@@ -1,0 +1,165 @@
+//! The credit economy.
+//!
+//! RIPE Atlas charges credits per measurement result. The replication
+//! needed "hundreds of millions" of credits and a specially upgraded
+//! account (§4.1.1); the credit ledger makes that cost a first-class,
+//! reportable output of every experiment.
+
+use std::fmt;
+
+/// Credit cost schedule, following RIPE Atlas's published rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSchedule {
+    /// Credits per ping packet.
+    pub per_ping_packet: u64,
+    /// Credits per traceroute.
+    pub per_traceroute: u64,
+}
+
+impl Default for CostSchedule {
+    fn default() -> CostSchedule {
+        CostSchedule {
+            // RIPE Atlas: a ping result costs packets * 1 credit...
+            // effectively ~3 per 3-packet ping; a traceroute ~10.
+            per_ping_packet: 1,
+            per_traceroute: 10,
+        }
+    }
+}
+
+/// Error: the account ran out of credits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsufficientCredits {
+    /// Credits the operation needed.
+    pub needed: u64,
+    /// Credits remaining in the account.
+    pub available: u64,
+}
+
+impl fmt::Display for InsufficientCredits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insufficient credits: need {}, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientCredits {}
+
+/// A credit account with a balance and a spending ledger.
+#[derive(Debug, Clone)]
+pub struct CreditAccount {
+    balance: u64,
+    spent: u64,
+    schedule: CostSchedule,
+}
+
+impl CreditAccount {
+    /// An account with the given starting balance.
+    pub fn new(balance: u64) -> CreditAccount {
+        CreditAccount {
+            balance,
+            spent: 0,
+            schedule: CostSchedule::default(),
+        }
+    }
+
+    /// The upgraded account RIPE granted the authors: effectively
+    /// unconstrained for one replication run.
+    pub fn upgraded() -> CreditAccount {
+        CreditAccount::new(u64::MAX / 2)
+    }
+
+    /// Account with a custom cost schedule.
+    pub fn with_schedule(balance: u64, schedule: CostSchedule) -> CreditAccount {
+        CreditAccount {
+            balance,
+            spent: 0,
+            schedule,
+        }
+    }
+
+    /// Remaining balance.
+    pub fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    /// Total credits spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The cost schedule.
+    pub fn schedule(&self) -> CostSchedule {
+        self.schedule
+    }
+
+    /// Charges for `packets` ping packets.
+    pub fn charge_pings(&mut self, packets: u64) -> Result<(), InsufficientCredits> {
+        self.charge(packets.saturating_mul(self.schedule.per_ping_packet))
+    }
+
+    /// Charges for `count` traceroutes.
+    pub fn charge_traceroutes(&mut self, count: u64) -> Result<(), InsufficientCredits> {
+        self.charge(count.saturating_mul(self.schedule.per_traceroute))
+    }
+
+    fn charge(&mut self, cost: u64) -> Result<(), InsufficientCredits> {
+        if cost > self.balance {
+            return Err(InsufficientCredits {
+                needed: cost,
+                available: self.balance,
+            });
+        }
+        self.balance -= cost;
+        self.spent += cost;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_and_tracks() {
+        let mut acc = CreditAccount::new(100);
+        acc.charge_pings(30).unwrap();
+        acc.charge_traceroutes(5).unwrap();
+        assert_eq!(acc.balance(), 100 - 30 - 50);
+        assert_eq!(acc.spent(), 80);
+    }
+
+    #[test]
+    fn rejects_overdraft() {
+        let mut acc = CreditAccount::new(5);
+        let err = acc.charge_traceroutes(1).unwrap_err();
+        assert_eq!(err.needed, 10);
+        assert_eq!(err.available, 5);
+        // Balance untouched on failure.
+        assert_eq!(acc.balance(), 5);
+        assert_eq!(acc.spent(), 0);
+    }
+
+    #[test]
+    fn upgraded_account_is_practically_unlimited() {
+        let mut acc = CreditAccount::upgraded();
+        acc.charge_pings(500_000_000).unwrap();
+        assert!(acc.balance() > 0);
+    }
+
+    #[test]
+    fn custom_schedule() {
+        let mut acc = CreditAccount::with_schedule(
+            100,
+            CostSchedule {
+                per_ping_packet: 2,
+                per_traceroute: 20,
+            },
+        );
+        acc.charge_pings(10).unwrap();
+        assert_eq!(acc.balance(), 80);
+    }
+}

@@ -1,0 +1,29 @@
+//! # atlas-sim
+//!
+//! A RIPE-Atlas-like measurement platform over `net-sim`: the substitute
+//! for the infrastructure dependency that shapes both scalability results
+//! of the replication (§5.1.3 and §5.2.5).
+//!
+//! The platform models exactly the constraints the paper identifies:
+//!
+//! - **credits**: every packet costs credits; the replication burned
+//!   "hundreds of millions" and needed a specially upgraded account;
+//! - **probing rate**: an anchor sustains 200–400 pps, a probe only
+//!   4–12 pps — which is why the million-scale paper's 500 pps
+//!   vantage points cannot be replicated on Atlas (§5.1.3);
+//! - **API latency**: creating a measurement and fetching its results
+//!   takes minutes of wall-clock time, which is why the street-level
+//!   technique's "1–2 seconds per target" becomes 20 minutes (§5.2.5).
+//!
+//! All time is virtual ([`clock::VirtualClock`]); nothing in the simulation
+//! reads wall-clock time.
+
+pub mod clock;
+pub mod credits;
+pub mod platform;
+pub mod traffic;
+
+pub use clock::VirtualClock;
+pub use credits::CreditAccount;
+pub use platform::{MeasurementBatch, Platform, PlatformConfig, PlatformError};
+pub use traffic::ProbeRate;

@@ -1,0 +1,357 @@
+//! The measurement platform API.
+//!
+//! [`Platform`] is what geolocation pipelines talk to: "ping this target
+//! from these vantage points", "run traceroutes to this landmark". Each
+//! call charges credits, advances the virtual clock by the scheduling time
+//! (slowest vantage point) plus the API round trip — the paper's §5.2.5
+//! observation that fetching results "generally takes a few minutes" — and
+//! returns deterministic results from `net-sim`.
+
+use crate::clock::{VirtualClock, VirtualDuration};
+use crate::credits::{CreditAccount, InsufficientCredits};
+use crate::traffic::ProbeRate;
+use geo_model::distr::{LogNormal, Sample};
+use geo_model::ip::Ipv4;
+use geo_model::rng::KeyRng;
+use net_sim::{Network, PingOutcome, Traceroute};
+use std::fmt;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// Platform behaviour knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Packets per ping measurement (RIPE Atlas default: 3).
+    pub packets_per_ping: usize,
+    /// Median API round trip (create measurement + poll results), seconds.
+    pub api_median_secs: f64,
+    /// Log-scale sigma of the API round trip.
+    pub api_sigma: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> PlatformConfig {
+        PlatformConfig {
+            packets_per_ping: 3,
+            // "it generally takes a few minutes to get the results of a
+            // measurement" (§5.2.5).
+            api_median_secs: 150.0,
+            api_sigma: 0.4,
+        }
+    }
+}
+
+/// Platform call failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// Out of credits.
+    Credits(InsufficientCredits),
+    /// The request named no vantage points.
+    NoVantagePoints,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Credits(e) => write!(f, "{e}"),
+            PlatformError::NoVantagePoints => write!(f, "no vantage points given"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<InsufficientCredits> for PlatformError {
+    fn from(e: InsufficientCredits) -> PlatformError {
+        PlatformError::Credits(e)
+    }
+}
+
+/// Results of one measurement batch, with its virtual-time span.
+#[derive(Debug, Clone)]
+pub struct MeasurementBatch<T> {
+    /// Per-vantage-point results in request order.
+    pub results: Vec<(HostId, T)>,
+    /// Virtual time when the batch was requested.
+    pub started_secs: f64,
+    /// Virtual time when results were available.
+    pub completed_secs: f64,
+}
+
+impl<T> MeasurementBatch<T> {
+    /// How long the batch took in virtual time.
+    pub fn duration(&self) -> VirtualDuration {
+        VirtualDuration::from_secs(self.completed_secs - self.started_secs)
+    }
+}
+
+/// The measurement platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    clock: VirtualClock,
+    credits: CreditAccount,
+    nonce: u64,
+}
+
+impl Platform {
+    /// A platform with the given credit account.
+    pub fn new(credits: CreditAccount) -> Platform {
+        Platform::with_config(credits, PlatformConfig::default())
+    }
+
+    /// A platform with explicit configuration.
+    pub fn with_config(credits: CreditAccount, config: PlatformConfig) -> Platform {
+        Platform {
+            config,
+            clock: VirtualClock::new(),
+            credits,
+            nonce: 0,
+        }
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The credit account.
+    pub fn credits(&self) -> &CreditAccount {
+        &self.credits
+    }
+
+    /// Advances virtual time for activity outside the platform (e.g. the
+    /// street-level pipeline's mapping-service queries).
+    pub fn spend_time(&mut self, d: VirtualDuration) {
+        self.clock.advance(d);
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce += 1;
+        self.nonce
+    }
+
+    /// The API round-trip latency for one batch (deterministic per nonce).
+    fn api_latency(&self, net: &Network, nonce: u64) -> f64 {
+        let mut rng = KeyRng::new(net.seed().derive_index("api-latency", nonce).0);
+        LogNormal::with_median(self.config.api_median_secs, self.config.api_sigma).sample(&mut rng)
+    }
+
+    /// Pings `target` from every vantage point (each sends
+    /// `packets_per_ping` packets; the minimum RTT is reported).
+    ///
+    /// Advances the clock by the scheduling time of the slowest VP plus one
+    /// API round trip, and charges one credit per packet.
+    pub fn ping_from(
+        &mut self,
+        world: &World,
+        net: &Network,
+        vps: &[HostId],
+        target: Ipv4,
+    ) -> Result<MeasurementBatch<PingOutcome>, PlatformError> {
+        if vps.is_empty() {
+            return Err(PlatformError::NoVantagePoints);
+        }
+        let packets = self.config.packets_per_ping;
+        self.credits
+            .charge_pings((vps.len() * packets) as u64)?;
+        let nonce = self.next_nonce();
+        let started = self.clock.now_secs();
+
+        let results: Vec<(HostId, PingOutcome)> = vps
+            .iter()
+            .map(|&vp| (vp, net.ping_min(world, vp, target, packets, nonce)))
+            .collect();
+
+        let sched = vps
+            .iter()
+            .map(|&vp| ProbeRate::of(world, vp).time_for(packets as u64))
+            .fold(0.0, f64::max);
+        self.clock
+            .advance(VirtualDuration::from_secs(sched + self.api_latency(net, nonce)));
+
+        Ok(MeasurementBatch {
+            results,
+            started_secs: started,
+            completed_secs: self.clock.now_secs(),
+        })
+    }
+
+    /// Runs one traceroute from each vantage point to `target`.
+    pub fn traceroute_from(
+        &mut self,
+        world: &World,
+        net: &Network,
+        vps: &[HostId],
+        target: Ipv4,
+    ) -> Result<MeasurementBatch<Traceroute>, PlatformError> {
+        if vps.is_empty() {
+            return Err(PlatformError::NoVantagePoints);
+        }
+        self.credits.charge_traceroutes(vps.len() as u64)?;
+        let nonce = self.next_nonce();
+        let started = self.clock.now_secs();
+
+        let results: Vec<(HostId, Traceroute)> = vps
+            .iter()
+            .map(|&vp| (vp, net.traceroute(world, vp, target, nonce)))
+            .collect();
+
+        // A traceroute sends ~16 packets (TTL sweep with retries).
+        let sched = vps
+            .iter()
+            .map(|&vp| ProbeRate::of(world, vp).time_for(16))
+            .fold(0.0, f64::max);
+        self.clock
+            .advance(VirtualDuration::from_secs(sched + self.api_latency(net, nonce)));
+
+        Ok(MeasurementBatch {
+            results,
+            started_secs: started,
+            completed_secs: self.clock.now_secs(),
+        })
+    }
+
+    /// The meshed anchor-to-anchor RTT measurements that RIPE Atlas
+    /// publishes and §4.3's sanitizer consumes. Returns `rtts[i][j]` =
+    /// min-RTT from `anchors[i]` to `anchors[j]` (None on the diagonal or
+    /// timeout). Charged like any other ping campaign.
+    pub fn anchor_mesh(
+        &mut self,
+        world: &World,
+        net: &Network,
+        anchors: &[HostId],
+    ) -> Result<Vec<Vec<Option<geo_model::units::Ms>>>, PlatformError> {
+        let n = anchors.len();
+        let packets = self.config.packets_per_ping;
+        self.credits
+            .charge_pings((n * n.saturating_sub(1) * packets) as u64)?;
+        let nonce = self.next_nonce();
+        let mut mesh = vec![vec![None; n]; n];
+        for (i, &src) in anchors.iter().enumerate() {
+            for (j, &dst) in anchors.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let ip = world.host(dst).ip;
+                mesh[i][j] = net
+                    .ping_min(world, src, ip, packets, nonce ^ ((i as u64) << 32 | j as u64))
+                    .rtt();
+            }
+        }
+        // The mesh runs continuously in the background on real Atlas; the
+        // charge models downloading a day's dump, not waiting for it.
+        self.clock
+            .advance(VirtualDuration::from_secs(self.api_latency(net, nonce)));
+        Ok(mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn setup() -> (World, Network, Platform) {
+        let w = World::generate(WorldConfig::small(Seed(121))).unwrap();
+        let net = Network::new(Seed(121));
+        let platform = Platform::new(CreditAccount::upgraded());
+        (w, net, platform)
+    }
+
+    #[test]
+    fn ping_batch_returns_all_vps_and_advances_clock() {
+        let (w, net, mut p) = setup();
+        let vps: Vec<_> = w.probes.iter().copied().take(20).collect();
+        let target = w.host(w.anchors[0]).ip;
+        let batch = p.ping_from(&w, &net, &vps, target).unwrap();
+        assert_eq!(batch.results.len(), 20);
+        assert!(batch.duration().as_secs() > 60.0, "API latency missing");
+        assert!(p.clock().now_secs() > 0.0);
+        let replies = batch
+            .results
+            .iter()
+            .filter(|(_, o)| matches!(o, PingOutcome::Reply(_)))
+            .count();
+        assert!(replies >= 18, "too many losses: {replies}/20");
+    }
+
+    #[test]
+    fn charges_credits() {
+        let (w, net, _) = setup();
+        let mut p = Platform::new(CreditAccount::new(100));
+        let vps: Vec<_> = w.probes.iter().copied().take(20).collect();
+        let target = w.host(w.anchors[0]).ip;
+        // 20 VPs * 3 packets = 60 credits.
+        p.ping_from(&w, &net, &vps, target).unwrap();
+        assert_eq!(p.credits().balance(), 40);
+        // Second batch cannot be paid.
+        let err = p.ping_from(&w, &net, &vps, target).unwrap_err();
+        assert!(matches!(err, PlatformError::Credits(_)));
+    }
+
+    #[test]
+    fn rejects_empty_vp_list() {
+        let (w, net, mut p) = setup();
+        let target = w.host(w.anchors[0]).ip;
+        assert_eq!(
+            p.ping_from(&w, &net, &[], target).unwrap_err(),
+            PlatformError::NoVantagePoints
+        );
+    }
+
+    #[test]
+    fn traceroute_batch_works() {
+        let (w, net, mut p) = setup();
+        let vps: Vec<_> = w.anchors.iter().copied().take(5).collect();
+        let target = w.host(w.anchors[9]).ip;
+        let batch = p.traceroute_from(&w, &net, &vps, target).unwrap();
+        assert_eq!(batch.results.len(), 5);
+        for (_, tr) in &batch.results {
+            assert!(!tr.hops.is_empty());
+        }
+    }
+
+    #[test]
+    fn mesh_has_expected_shape() {
+        let (w, net, mut p) = setup();
+        let anchors: Vec<_> = w.anchors.iter().copied().take(8).collect();
+        let mesh = p.anchor_mesh(&w, &net, &anchors).unwrap();
+        assert_eq!(mesh.len(), 8);
+        for (i, row) in mesh.iter().enumerate() {
+            assert_eq!(row.len(), 8);
+            assert!(row[i].is_none(), "diagonal must be empty");
+        }
+        let measured = mesh
+            .iter()
+            .flatten()
+            .filter(|o| o.is_some())
+            .count();
+        assert!(measured > 40, "mesh mostly failed: {measured}");
+    }
+
+    #[test]
+    fn batches_are_deterministic_in_sequence() {
+        let (w, net, _) = setup();
+        let run = || {
+            let mut p = Platform::new(CreditAccount::upgraded());
+            let vps: Vec<_> = w.probes.iter().copied().take(10).collect();
+            let t = w.host(w.anchors[0]).ip;
+            let b1 = p.ping_from(&w, &net, &vps, t).unwrap();
+            let b2 = p.ping_from(&w, &net, &vps, t).unwrap();
+            (
+                b1.results
+                    .iter()
+                    .filter_map(|(_, o)| o.rtt().map(|m| m.value()))
+                    .sum::<f64>(),
+                b2.results
+                    .iter()
+                    .filter_map(|(_, o)| o.rtt().map(|m| m.value()))
+                    .sum::<f64>(),
+                p.clock().now_secs(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,116 @@
+//! Probing-rate model (§5.1.3).
+//!
+//! The deployability analysis of the million-scale VP selection hinges on
+//! one number per vantage point: how many probe packets per second it can
+//! sustain. The paper cites 500 pps for the original work's PlanetLab
+//! nodes, 200–400 pps for an Atlas anchor, and 4–12 pps for an Atlas probe.
+
+use geo_model::rng::{fnv1a, splitmix64};
+use world_sim::host::HostKind;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// The sustained probing rate of a vantage point, packets per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRate(pub f64);
+
+impl ProbeRate {
+    /// The probing rate of the original million-scale paper's vantage
+    /// points (500 pps).
+    pub const MILLION_SCALE_VP: ProbeRate = ProbeRate(500.0);
+
+    /// Deterministic per-host rate following the paper's cited ranges.
+    pub fn of(world: &World, host: HostId) -> ProbeRate {
+        let h = world.host(host);
+        let u = unit(host.0 as u64);
+        match h.kind {
+            HostKind::Anchor => ProbeRate(200.0 + 200.0 * u),
+            HostKind::Probe => ProbeRate(4.0 + 8.0 * u),
+            // Other hosts are not measurement VPs; give them a probe-like
+            // budget if ever asked.
+            _ => ProbeRate(4.0 + 8.0 * u),
+        }
+    }
+
+    /// Seconds needed to send `packets` packets at this rate.
+    pub fn time_for(&self, packets: u64) -> f64 {
+        packets as f64 / self.0
+    }
+}
+
+fn unit(key: u64) -> f64 {
+    (splitmix64(key ^ fnv1a(b"probe-rate")) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// How long a fleet of VPs needs to probe `targets_per_vp` addresses with
+/// `packets_per_target` packets each, assuming all VPs probe in parallel:
+/// the slowest VP sets the pace.
+pub fn fleet_time_secs(
+    world: &World,
+    vps: &[HostId],
+    targets_per_vp: u64,
+    packets_per_target: u64,
+) -> f64 {
+    vps.iter()
+        .map(|&vp| ProbeRate::of(world, vp).time_for(targets_per_vp * packets_per_target))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(Seed(111))).unwrap()
+    }
+
+    #[test]
+    fn anchors_are_much_faster_than_probes() {
+        let w = world();
+        for &a in &w.anchors {
+            let r = ProbeRate::of(&w, a).0;
+            assert!((200.0..=400.0).contains(&r), "anchor rate {r}");
+        }
+        for &p in &w.probes {
+            let r = ProbeRate::of(&w, p).0;
+            assert!((4.0..=12.0).contains(&r), "probe rate {r}");
+        }
+    }
+
+    #[test]
+    fn rates_are_deterministic() {
+        let w = world();
+        assert_eq!(ProbeRate::of(&w, w.probes[0]), ProbeRate::of(&w, w.probes[0]));
+    }
+
+    #[test]
+    fn probes_cannot_sustain_million_scale() {
+        // §5.1.3: the original VPs probed at 500 pps; no probe gets close.
+        let w = world();
+        for &p in &w.probes {
+            assert!(ProbeRate::of(&w, p).0 < ProbeRate::MILLION_SCALE_VP.0 / 10.0);
+        }
+    }
+
+    #[test]
+    fn fleet_time_is_slowest_member() {
+        let w = world();
+        let vps: Vec<_> = w.probes.iter().copied().take(10).collect();
+        let t = fleet_time_secs(&w, &vps, 100, 3);
+        let slowest = vps
+            .iter()
+            .map(|&v| ProbeRate::of(&w, v).time_for(300))
+            .fold(0.0, f64::max);
+        assert_eq!(t, slowest);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn time_for_scales_linearly() {
+        let r = ProbeRate(10.0);
+        assert_eq!(r.time_for(100), 10.0);
+        assert_eq!(r.time_for(0), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the measurement platform's accounting
+//! invariants.
+
+use atlas_sim::clock::{VirtualClock, VirtualDuration};
+use atlas_sim::credits::{CostSchedule, CreditAccount};
+use atlas_sim::{CreditAccount as Credits, Platform};
+use geo_model::rng::Seed;
+use net_sim::Network;
+use proptest::prelude::*;
+use world_sim::{World, WorldConfig};
+
+fn world() -> &'static (World, Network) {
+    use std::sync::OnceLock;
+    static W: OnceLock<(World, Network)> = OnceLock::new();
+    W.get_or_init(|| {
+        (
+            World::generate(WorldConfig::small(Seed(4001))).expect("world"),
+            Network::new(Seed(4001)),
+        )
+    })
+}
+
+proptest! {
+    /// Credits: balance + spent is invariant, and failures never charge.
+    #[test]
+    fn credit_conservation(
+        balance in 0u64..10_000,
+        pings in 0u64..5_000,
+        traces in 0u64..1_000,
+    ) {
+        let mut acc = CreditAccount::new(balance);
+        let _ = acc.charge_pings(pings);
+        let _ = acc.charge_traceroutes(traces);
+        prop_assert_eq!(acc.balance() + acc.spent(), balance);
+    }
+
+    /// Custom schedules scale costs linearly.
+    #[test]
+    fn schedule_scales(ping_cost in 1u64..10, count in 1u64..100) {
+        let mut acc = CreditAccount::with_schedule(
+            1_000_000,
+            CostSchedule { per_ping_packet: ping_cost, per_traceroute: 10 },
+        );
+        acc.charge_pings(count).expect("affordable");
+        prop_assert_eq!(acc.spent(), ping_cost * count);
+    }
+
+    /// The virtual clock is monotone under any sequence of advances.
+    #[test]
+    fn clock_is_monotone(steps in prop::collection::vec(0.0f64..1e6, 1..50)) {
+        let mut clock = VirtualClock::new();
+        let mut last = 0.0;
+        for s in steps {
+            clock.advance(VirtualDuration::from_secs(s));
+            prop_assert!(clock.now_secs() >= last);
+            last = clock.now_secs();
+        }
+    }
+
+    /// A ping batch always returns one result per requested VP, charges
+    /// exactly VPs × packets credits, and advances the clock.
+    #[test]
+    fn batch_accounting(n_vps in 1usize..40, anchor_sel in 0usize..25) {
+        let (w, net) = world();
+        let mut platform = Platform::new(Credits::upgraded());
+        let vps: Vec<_> = w.probes.iter().copied().take(n_vps).collect();
+        let target = w.host(w.anchors[anchor_sel % w.anchors.len()]).ip;
+        let before_spent = platform.credits().spent();
+        let before_clock = platform.clock().now_secs();
+        let batch = platform.ping_from(w, net, &vps, target).expect("batch");
+        prop_assert_eq!(batch.results.len(), n_vps);
+        prop_assert_eq!(
+            platform.credits().spent() - before_spent,
+            (n_vps * 3) as u64
+        );
+        prop_assert!(platform.clock().now_secs() > before_clock);
+        prop_assert!(batch.duration().as_secs() > 0.0);
+    }
+}

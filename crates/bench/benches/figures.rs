@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the figure-regeneration experiments at the
+//! miniature scale: one benchmark per table/figure family, running the
+//! exact experiment code the `fig*` binaries use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::experiments as ex;
+use eval::{Dataset, EvalScale};
+use geo_model::rng::Seed;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        let mut scale = EvalScale::tiny(Seed(411));
+        scale.trials = 3;
+        scale.street_sample = Some(4);
+        Dataset::load(scale)
+    })
+}
+
+fn street_set() -> &'static ex::fig5::StreetSet {
+    static SET: OnceLock<ex::fig5::StreetSet> = OnceLock::new();
+    SET.get_or_init(|| ex::fig5::StreetSet::compute(dataset()))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("tab1_census", |b| b.iter(|| ex::tables::tab1(d)));
+    c.bench_function("tab2_categories", |b| b.iter(|| ex::tables::tab2(d)));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("fig2_hypotheses");
+    g.sample_size(10);
+    g.bench_function("fig2a", |b| b.iter(|| ex::fig2::fig2a(d)));
+    g.bench_function("fig2b", |b| b.iter(|| ex::fig2::fig2b(d)));
+    g.bench_function("fig2c", |b| b.iter(|| ex::fig2::fig2c(d)));
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let d = dataset();
+    d.rep_rtt(); // materialize outside the timed region
+    let mut g = c.benchmark_group("fig3_vp_selection");
+    g.sample_size(10);
+    g.bench_function("fig3a", |b| b.iter(|| ex::fig3::fig3a(d)));
+    g.bench_function("fig3bc", |b| b.iter(|| ex::fig3::fig3bc(d)));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("fig4_continents");
+    g.sample_size(10);
+    g.bench_function("fig4", |b| b.iter(|| ex::fig4::fig4(d)));
+    g.finish();
+}
+
+fn bench_fig5_street_level(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("fig5_street_level");
+    g.sample_size(10);
+    g.bench_function("street_pipeline", |b| {
+        b.iter(|| ex::fig5::StreetSet::compute(d))
+    });
+    let set = street_set();
+    g.bench_function("fig5a", |b| b.iter(|| ex::fig5::fig5a(d, set)));
+    g.bench_function("fig5b", |b| b.iter(|| ex::fig5::fig5b(d, set)));
+    g.bench_function("fig5c", |b| b.iter(|| ex::fig5::fig5c(d, set)));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let d = dataset();
+    let set = street_set();
+    let mut g = c.benchmark_group("fig6_noise_density_time");
+    g.bench_function("fig6a", |b| b.iter(|| ex::fig6::fig6a(d, set)));
+    g.bench_function("fig6b", |b| b.iter(|| ex::fig6::fig6b(d, set)));
+    g.bench_function("fig6c", |b| b.iter(|| ex::fig6::fig6c(d, set)));
+    g.finish();
+}
+
+fn bench_fig7_databases(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("fig7_databases");
+    g.sample_size(10);
+    g.bench_function("fig7", |b| b.iter(|| ex::fig7::fig7(d)));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig8_density", |b| b.iter(|| ex::fig8::fig8(d)));
+}
+
+fn bench_sanity(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("sanitize_report", |b| {
+        b.iter(|| ex::sanity::sanitize_report(d))
+    });
+    c.bench_function("deployability", |b| b.iter(|| ex::sanity::deployability(d)));
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5_street_level,
+    bench_fig6,
+    bench_fig7_databases,
+    bench_fig8,
+    bench_sanity
+);
+criterion_main!(benches);

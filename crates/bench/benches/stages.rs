@@ -1,0 +1,144 @@
+//! Criterion benchmarks of the pipeline stages: the computational cost of
+//! each building block the paper's experiments lean on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use geo_model::constraint::{Circle, Region};
+use geo_model::point::GeoPoint;
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::units::{Km, Ms};
+use ipgeo::cbg::{cbg, VpMeasurement};
+use ipgeo::two_step::greedy_coverage;
+use net_sim::Network;
+use world_sim::ids::HostId;
+use world_sim::{World, WorldConfig};
+
+fn world() -> (World, Network) {
+    let w = World::generate(WorldConfig::small(Seed(401))).expect("small world");
+    let net = Network::new(Seed(401));
+    (w, net)
+}
+
+fn synthetic_measurements(n: usize) -> Vec<VpMeasurement> {
+    let target = GeoPoint::new(48.0, 8.0);
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 137.5) % 360.0;
+            let dist = 50.0 + (i as f64 * 97.0) % 4000.0;
+            let loc = target.destination(bearing, Km(dist));
+            VpMeasurement {
+                vp: HostId(i as u32),
+                location: loc,
+                rtt: SpeedOfInternet::CBG.min_rtt(Km(dist)) * 1.4,
+            }
+        })
+        .collect()
+}
+
+fn bench_cbg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbg_intersection");
+    for n in [10usize, 100, 1000, 10_000] {
+        let ms = synthetic_measurements(n);
+        g.bench_function(format!("{n}_vps"), |b| {
+            b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG))
+        });
+    }
+    g.finish();
+}
+
+fn bench_region_redundancy(c: &mut Criterion) {
+    let ms = synthetic_measurements(5000);
+    let circles: Vec<Circle> = ms
+        .iter()
+        .map(|m| Circle::new(m.location, SpeedOfInternet::CBG.max_distance(m.rtt)))
+        .collect();
+    let region = Region::from_circles(circles);
+    c.bench_function("active_circles_5000", |b| {
+        b.iter(|| criterion::black_box(&region).active_circles())
+    });
+}
+
+fn bench_ping(c: &mut Criterion) {
+    let (w, net) = world();
+    let src = w.probes[0];
+    let dst = w.host(w.anchors[0]).ip;
+    c.bench_function("ping_min_3", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            net.ping_min(&w, src, dst, 3, nonce)
+        })
+    });
+}
+
+fn bench_traceroute(c: &mut Criterion) {
+    let (w, net) = world();
+    let src = w.probes[1];
+    let dst = w.host(w.anchors[1]).ip;
+    c.bench_function("traceroute", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            net.traceroute(&w, src, dst, nonce)
+        })
+    });
+}
+
+fn bench_greedy_coverage(c: &mut Criterion) {
+    let (w, _) = world();
+    let vps: Vec<HostId> = w.probes.clone();
+    let mut g = c.benchmark_group("greedy_coverage");
+    for k in [10usize, 50, 150] {
+        g.bench_function(format!("k{k}"), |b| {
+            b.iter(|| greedy_coverage(&w, criterion::black_box(&vps), k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sanitize(c: &mut Criterion) {
+    let (w, net) = world();
+    let mesh: Vec<Vec<Option<Ms>>> = w
+        .anchors
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| {
+            w.anchors
+                .iter()
+                .enumerate()
+                .map(|(j, &dst)| {
+                    if i == j {
+                        None
+                    } else {
+                        net.ping_min(&w, src, w.host(dst).ip, 3, 9).rtt()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    c.bench_function("sanitize_anchors", |b| {
+        b.iter_batched(
+            || mesh.clone(),
+            |m| ipgeo::sanitize_anchors(&w, &w.anchors, &m, SpeedOfInternet::CBG),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    c.bench_function("world_generate_small", |b| {
+        b.iter(|| World::generate(WorldConfig::small(Seed(402))).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cbg,
+    bench_region_redundancy,
+    bench_ping,
+    bench_traceroute,
+    bench_greedy_coverage,
+    bench_sanitize,
+    bench_world_generation
+);
+criterion_main!(benches);

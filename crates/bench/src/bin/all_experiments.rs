@@ -1,0 +1,29 @@
+//! Regenerates every table and figure in one run (the street-level
+//! pipeline is executed once and shared across Figures 5 and 6).
+use eval::experiments as ex;
+
+fn main() {
+    bench::run(|d| {
+        let set = ex::fig5::StreetSet::compute(d);
+        vec![
+            ex::tables::tab1(d),
+            ex::tables::tab2(d),
+            ex::sanity::sanitize_report(d),
+            ex::fig2::fig2a(d),
+            ex::fig2::fig2b(d),
+            ex::fig2::fig2c(d),
+            ex::fig3::fig3a(d),
+            ex::fig3::fig3bc(d),
+            ex::fig4::fig4(d),
+            ex::fig5::fig5a(d, &set),
+            ex::fig5::fig5b(d, &set),
+            ex::fig5::fig5c(d, &set),
+            ex::fig6::fig6a(d, &set),
+            ex::fig6::fig6b(d, &set),
+            ex::fig6::fig6c(d, &set),
+            ex::fig7::fig7(d),
+            ex::fig8::fig8(d),
+            ex::sanity::deployability(d),
+        ]
+    });
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see DESIGN.md's per-experiment index.
+fn main() {
+    bench::run(|d| vec![eval::experiments::sanity::deployability(d)]);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figures 3b and 3c (two-step selection accuracy + overhead).
+fn main() {
+    bench::run(|d| vec![eval::experiments::fig3::fig3bc(d)]);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the street-level figure; shares the pipeline run with the
+//! other fig5/fig6 binaries via `StreetSet`.
+fn main() {
+    bench::run(|d| {
+        let set = eval::experiments::fig5::StreetSet::compute(d);
+        vec![eval::experiments::fig5::fig5b(d, &set)]
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates the figure from the shared street-level pipeline run.
+fn main() {
+    bench::run(|d| {
+        let set = eval::experiments::fig5::StreetSet::compute(d);
+        vec![eval::experiments::fig6::fig6a(d, &set)]
+    });
+}

@@ -1,0 +1,36 @@
+//! Shared plumbing for the `fig*`/`tab*` binaries.
+//!
+//! Every binary loads the evaluation dataset at the scale selected by the
+//! environment (`IPGEO_FULL=1` for paper fidelity, `IPGEO_SEED=<n>` to
+//! change the world) and prints one or more reports.
+
+use eval::{Dataset, EvalScale, Report};
+
+/// Loads the dataset per the environment and times the load.
+pub fn load_dataset() -> Dataset {
+    let scale = EvalScale::from_env();
+    eprintln!(
+        "loading dataset (paper_world={}, targets={:?}, trials={}, seed={})…",
+        scale.paper_world, scale.target_sample, scale.trials, scale.seed.0
+    );
+    let t = std::time::Instant::now();
+    let d = Dataset::load(scale);
+    eprintln!(
+        "dataset ready in {:.1}s: {} targets, {} VPs, {} anchors",
+        t.elapsed().as_secs_f64(),
+        d.targets.len(),
+        d.vps.len(),
+        d.anchors.len()
+    );
+    d
+}
+
+/// Prints reports with a timing line each.
+pub fn run(make: impl FnOnce(&Dataset) -> Vec<Report>) {
+    let d = load_dataset();
+    let t = std::time::Instant::now();
+    for report in make(&d) {
+        println!("{report}");
+    }
+    eprintln!("experiments done in {:.1}s", t.elapsed().as_secs_f64());
+}

@@ -1,0 +1,218 @@
+//! Minimal argument parsing for the `ipgeo` CLI (no external parser: four
+//! subcommands and a handful of flags).
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// World seed (`--seed N`, default 2023).
+    pub seed: u64,
+    /// Use the paper-scale world (`--paper`) instead of the small one.
+    pub paper: bool,
+}
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the world census (Tables 1/2 style).
+    Census,
+    /// List a sample of anchor targets (addresses `locate` can use).
+    Targets,
+    /// Geolocate an address: `locate <ip> [--method m]`.
+    Locate {
+        /// Target address (dotted quad).
+        ip: String,
+        /// Technique to use.
+        method: Method,
+    },
+    /// Emit the explainable geolocation dataset as CSV.
+    Dataset,
+    /// Run the §4.3 sanitization and report removals.
+    Sanitize,
+    /// Print usage.
+    Help,
+}
+
+/// Geolocation techniques selectable from the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Constraint-Based Geolocation over all probes.
+    Cbg,
+    /// Shortest Ping over all probes.
+    ShortestPing,
+    /// The two-step VP selection.
+    TwoStep,
+    /// The street-level three-tier technique.
+    Street,
+}
+
+impl Method {
+    fn parse(s: &str) -> Result<Method, ParseError> {
+        match s {
+            "cbg" => Ok(Method::Cbg),
+            "shortest-ping" => Ok(Method::ShortestPing),
+            "two-step" => Ok(Method::TwoStep),
+            "street" => Ok(Method::Street),
+            other => Err(ParseError(format!(
+                "unknown method `{other}` (expected cbg|shortest-ping|two-step|street)"
+            ))),
+        }
+    }
+}
+
+/// A CLI parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ipgeo — IP geolocation over a simulated measurement ecosystem
+
+USAGE:
+    ipgeo <COMMAND> [OPTIONS]
+
+COMMANDS:
+    census                  world census (targets, VPs, AS categories)
+    targets                 list sample anchor addresses for `locate`
+    locate <ip>             geolocate an address of the generated world
+    dataset                 print the explainable geolocation dataset (CSV)
+    sanitize                run the speed-of-Internet sanitizer
+    help                    show this text
+
+OPTIONS:
+    --seed <N>              world seed (default 2023)
+    --paper                 paper-scale world (723 anchors, 10k probes)
+    --method <M>            locate only: cbg|shortest-ping|two-step|street
+                            (default cbg)
+";
+
+/// Parses argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mut seed = 2023u64;
+    let mut paper = false;
+    let mut method = Method::Cbg;
+    let mut positional: Vec<&str> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| ParseError("--seed needs a value".into()))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed `{v}`")))?;
+            }
+            "--paper" => paper = true,
+            "--method" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| ParseError("--method needs a value".into()))?;
+                method = Method::parse(v)?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ParseError(format!("unknown flag `{flag}`")));
+            }
+            word => positional.push(word),
+        }
+        i += 1;
+    }
+
+    let command = match positional.first().copied() {
+        None | Some("help") => {
+            if positional.is_empty() && args.iter().any(|a| a == "--seed" || a == "--paper") {
+                return Err(ParseError("missing command".into()));
+            }
+            Command::Help
+        }
+        Some("census") => Command::Census,
+        Some("targets") => Command::Targets,
+        Some("dataset") => Command::Dataset,
+        Some("sanitize") => Command::Sanitize,
+        Some("locate") => {
+            let ip = positional
+                .get(1)
+                .ok_or_else(|| ParseError("locate needs an <ip> argument".into()))?;
+            Command::Locate {
+                ip: ip.to_string(),
+                method,
+            }
+        }
+        Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
+    };
+
+    Ok(Cli {
+        command,
+        seed,
+        paper,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_census_with_flags() {
+        let cli = parse(&argv("census --seed 7 --paper")).unwrap();
+        assert_eq!(cli.command, Command::Census);
+        assert_eq!(cli.seed, 7);
+        assert!(cli.paper);
+    }
+
+    #[test]
+    fn parses_locate_with_method() {
+        let cli = parse(&argv("locate 1.0.42.1 --method street")).unwrap();
+        match cli.command {
+            Command::Locate { ip, method } => {
+                assert_eq!(ip, "1.0.42.1");
+                assert_eq!(method, Method::Street);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&argv("dataset")).unwrap();
+        assert_eq!(cli.seed, 2023);
+        assert!(!cli.paper);
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("census --wat")).is_err());
+        assert!(parse(&argv("locate")).is_err());
+        assert!(parse(&argv("locate 1.2.3.4 --method teleport")).is_err());
+        assert!(parse(&argv("census --seed")).is_err());
+        assert!(parse(&argv("census --seed abc")).is_err());
+    }
+
+    #[test]
+    fn parses_targets() {
+        assert_eq!(parse(&argv("targets")).unwrap().command, Command::Targets);
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap().command, Command::Help);
+    }
+}

@@ -1,0 +1,227 @@
+//! `ipgeo` — command-line interface to the replication framework.
+//!
+//! Generates a deterministic world and runs any of the replicated
+//! geolocation techniques against it. See `ipgeo help`.
+
+mod args;
+
+use args::{parse, Cli, Command, Method, USAGE};
+use geo_model::ip::{Ipv4, Prefix24};
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
+use ipgeo::street::{geolocate as street_geolocate, StreetConfig};
+use ipgeo::two_step::{geolocate as two_step_geolocate, greedy_coverage};
+use net_sim::Network;
+use std::process::ExitCode;
+use web_sim::ecosystem::{WebConfig, WebEcosystem};
+use world_sim::census::Census;
+use world_sim::ids::HostId;
+use world_sim::{World, WorldConfig};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_world(cli: &Cli) -> Result<(World, Network), String> {
+    let cfg = if cli.paper {
+        WorldConfig::paper(Seed(cli.seed))
+    } else {
+        WorldConfig::small(Seed(cli.seed))
+    };
+    let world = World::generate(cfg)?;
+    let net = Network::new(Seed(cli.seed));
+    Ok((world, net))
+}
+
+fn clean_probes(world: &World) -> Vec<HostId> {
+    world
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !world.host(p).is_mis_geolocated())
+        .collect()
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    match cli.command.clone() {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Targets => {
+            let (world, _) = build_world(&cli)?;
+            println!("sample anchor targets (seed {}):", cli.seed);
+            for &a in world.anchors.iter().take(15) {
+                let h = world.host(a);
+                println!(
+                    "  {:<16} {} ({})",
+                    h.ip.to_string(),
+                    h.location,
+                    world.city(h.city).name
+                );
+            }
+            Ok(())
+        }
+        Command::Census => {
+            let (world, _) = build_world(&cli)?;
+            let c = Census::of(&world);
+            println!("world seed {} ({})", cli.seed, if cli.paper { "paper scale" } else { "small" });
+            println!(
+                "cities {}  countries {}  ASes {}",
+                c.total_cities, c.total_countries, c.total_ases
+            );
+            println!(
+                "anchors {} (in {} cities, {} countries, {} ASes)  probes {}",
+                c.anchors, c.anchor_cities, c.anchor_countries, c.anchor_ases, c.probes
+            );
+            for (i, cont) in world_sim::continent::Continent::ALL.iter().enumerate() {
+                if c.anchors_per_continent[i] > 0 {
+                    println!("  {}: {} anchors", cont.code(), c.anchors_per_continent[i]);
+                }
+            }
+            Ok(())
+        }
+        Command::Sanitize => {
+            let (world, net) = build_world(&cli)?;
+            let mut platform = atlas_sim::Platform::new(atlas_sim::CreditAccount::upgraded());
+            let mesh = platform
+                .anchor_mesh(&world, &net, &world.anchors)
+                .map_err(|e| e.to_string())?;
+            let report =
+                ipgeo::sanitize_anchors(&world, &world.anchors, &mesh, SpeedOfInternet::CBG);
+            println!(
+                "anchors: kept {}, removed {} ({} iterations)",
+                report.kept.len(),
+                report.removed.len(),
+                report.iterations
+            );
+            for id in &report.removed {
+                let h = world.host(*id);
+                println!(
+                    "  removed {} at {} (claimed {})",
+                    h.ip, h.location, h.registered_location
+                );
+            }
+            println!(
+                "credits spent: {}  virtual time: {:.0}s",
+                platform.credits().spent(),
+                platform.clock().now_secs()
+            );
+            Ok(())
+        }
+        Command::Dataset => {
+            let (world, net) = build_world(&cli)?;
+            let vps = clean_probes(&world);
+            let mesh = greedy_coverage(&world, &vps, 300.min(vps.len()));
+            let prefixes: Vec<Prefix24> = world
+                .anchors
+                .iter()
+                .map(|&a| world.host(a).ip.prefix24())
+                .collect();
+            let ds = ipgeo::publish::build_dataset(&world, &net, &mesh, &prefixes, 1);
+            print!("{}", ipgeo::publish::to_csv(&ds));
+            Ok(())
+        }
+        Command::Locate { ip, method } => {
+            let (mut world, net) = build_world(&cli)?;
+            let target: Ipv4 = ip.parse().map_err(|e| format!("{e}"))?;
+            let Some(host) = world.host_by_ip(target).cloned() else {
+                return Err(format!(
+                    "{target} is not a responsive address in this world \
+                     (try an anchor address from `ipgeo census`-scale worlds, \
+                     e.g. 1.17.94.1 with --paper or 1.0.94.1 without)"
+                ));
+            };
+            let vps = clean_probes(&world);
+
+            let (estimate, label) = match method {
+                Method::Cbg | Method::ShortestPing => {
+                    let ms: Vec<VpMeasurement> = vps
+                        .iter()
+                        .filter_map(|&vp| {
+                            net.ping_min(&world, vp, target, 3, 1).rtt().map(|rtt| {
+                                VpMeasurement {
+                                    vp,
+                                    location: world.host(vp).registered_location,
+                                    rtt,
+                                }
+                            })
+                        })
+                        .collect();
+                    if method == Method::Cbg {
+                        let r = cbg(&ms, SpeedOfInternet::CBG)
+                            .ok_or("CBG region is empty")?;
+                        (r.estimate, "CBG (all probes)")
+                    } else {
+                        let best = shortest_ping(&ms).ok_or("no measurements")?;
+                        (best.location, "shortest ping")
+                    }
+                }
+                Method::TwoStep => {
+                    let coverage = greedy_coverage(&world, &vps, 50.min(vps.len()));
+                    let out = two_step_geolocate(&world, &net, &coverage, &vps, target, 1);
+                    let r = out.cbg.ok_or(
+                        "two-step selection failed: the target's /24 has no \
+                         responsive representatives (the VP selection needs the \
+                         hitlist, §3.1 — try an address from `ipgeo targets`)",
+                    )?;
+                    println!(
+                        "two-step: {} measurements, {} step-2 candidates",
+                        out.measurements, out.step2_candidates
+                    );
+                    (r.estimate, "two-step selection")
+                }
+                Method::Street => {
+                    let eco = WebEcosystem::generate(&mut world, &WebConfig::default())?;
+                    let anchors: Vec<HostId> = world
+                        .anchors
+                        .iter()
+                        .copied()
+                        .filter(|&a| {
+                            world.host(a).ip != target && !world.host(a).is_mis_geolocated()
+                        })
+                        .collect();
+                    let out = street_geolocate(
+                        &world,
+                        &net,
+                        &eco,
+                        &anchors,
+                        host.id,
+                        &StreetConfig::default(),
+                        1,
+                    );
+                    println!(
+                        "street level: {} landmarks, {} mapping queries, {:.0}s virtual time",
+                        out.landmarks.len(),
+                        out.mapping_queries,
+                        out.virtual_secs
+                    );
+                    (out.estimate.ok_or("street-level pipeline failed")?, "street level")
+                }
+            };
+
+            println!("target   {} (true location {})", target, host.location);
+            println!("estimate {} via {}", estimate, label);
+            println!(
+                "error    {:.1} km",
+                estimate.distance(&host.location).value()
+            );
+            Ok(())
+        }
+    }
+}

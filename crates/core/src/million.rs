@@ -1,0 +1,257 @@
+//! The million-scale paper's vantage-point selection (Hu et al., IMC 2012;
+//! §3.1 of the replication).
+//!
+//! To geolocate a target without probing it from every vantage point:
+//!
+//! 1. take the three highest-scoring responsive *representatives* of the
+//!    target's `/24` from the hitlist (falling back to random addresses if
+//!    fewer exist, as for 8 of the paper's targets);
+//! 2. ping the representatives from all VPs;
+//! 3. keep the `k` VPs with the lowest median RTT to the representatives;
+//! 4. geolocate the target with CBG (or Shortest Ping) using only those.
+//!
+//! The replication's Figure 3a varies `k` ∈ {1, 3, 10}; its headline
+//! finding is that `k = 1` — a single well-chosen VP — is enough.
+
+use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use geo_model::ip::Ipv4;
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use geo_model::units::Ms;
+use net_sim::Network;
+use world_sim::hitlist::HitlistEntry;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// Number of representatives per prefix, as in the original paper.
+pub const REPRESENTATIVES: usize = 3;
+
+/// The measured closeness of one VP to a target's representatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpScore {
+    /// The vantage point.
+    pub vp: HostId,
+    /// Median min-RTT to the responsive representatives; `None` if no
+    /// representative answered this VP.
+    pub median_rtt: Option<Ms>,
+}
+
+/// Result of the representative-probing step.
+#[derive(Debug, Clone)]
+pub struct RepProbe {
+    /// The representatives used (three when available).
+    pub representatives: Vec<HitlistEntry>,
+    /// Per-VP closeness scores, sorted best (lowest RTT) first; VPs with
+    /// no responsive representative sort last.
+    pub scores: Vec<VpScore>,
+    /// Ping measurements issued: `|vps| * |representatives|`.
+    pub measurements: u64,
+}
+
+/// Probes the representatives of `prefix_of` from every VP and ranks VPs.
+pub fn probe_representatives(
+    world: &World,
+    net: &Network,
+    vps: &[HostId],
+    target: Ipv4,
+    nonce: u64,
+) -> RepProbe {
+    let prefix = target.prefix24();
+    let mut reps = world.hitlist.representatives(prefix, REPRESENTATIVES);
+    if reps.len() < REPRESENTATIVES {
+        // Fallback: random addresses in the /24 (almost surely
+        // unresponsive), as the paper did for 8 sparse targets.
+        let mut rng = Seed(nonce).derive("rep-fill").rng();
+        reps = world
+            .hitlist
+            .fill_with_random(prefix, reps, REPRESENTATIVES, &mut rng);
+    }
+
+    let mut scores: Vec<VpScore> = vps
+        .iter()
+        .map(|&vp| {
+            let rtts: Vec<f64> = reps
+                .iter()
+                .filter_map(|r| {
+                    net.ping_min(world, vp, r.ip, 3, nonce ^ r.ip.0 as u64)
+                        .rtt()
+                        .map(|m| m.value())
+                })
+                .collect();
+            VpScore {
+                vp,
+                median_rtt: stats::median(&rtts).map(Ms),
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| match (a.median_rtt, b.median_rtt) {
+        (Some(x), Some(y)) => x.total_cmp(&y),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+
+    RepProbe {
+        measurements: (vps.len() * reps.len()) as u64,
+        representatives: reps,
+        scores,
+    }
+}
+
+/// Outcome of the full million-scale geolocation of one target.
+#[derive(Debug, Clone)]
+pub struct MillionScaleOutcome {
+    /// The chosen vantage points (lowest median RTT to representatives).
+    pub selected_vps: Vec<HostId>,
+    /// CBG over the selected VPs' RTTs to the target.
+    pub cbg: Option<CbgResult>,
+    /// Total ping measurements (representatives + target probes).
+    pub measurements: u64,
+}
+
+/// Geolocates `target` with the `k` best VPs from a representative probe.
+pub fn geolocate_with_selection(
+    world: &World,
+    net: &Network,
+    probe: &RepProbe,
+    target: Ipv4,
+    k: usize,
+    nonce: u64,
+) -> MillionScaleOutcome {
+    let selected: Vec<HostId> = probe
+        .scores
+        .iter()
+        .filter(|s| s.median_rtt.is_some())
+        .take(k)
+        .map(|s| s.vp)
+        .collect();
+
+    let measurements: Vec<VpMeasurement> = selected
+        .iter()
+        .filter_map(|&vp| {
+            net.ping_min(world, vp, target, 3, nonce)
+                .rtt()
+                .map(|rtt| VpMeasurement {
+                    vp,
+                    location: world.host(vp).registered_location,
+                    rtt,
+                })
+        })
+        .collect();
+
+    MillionScaleOutcome {
+        measurements: probe.measurements + selected.len() as u64,
+        cbg: cbg(&measurements, SpeedOfInternet::CBG),
+        selected_vps: selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn setup() -> (World, Network) {
+        let w = World::generate(WorldConfig::small(Seed(181))).unwrap();
+        let net = Network::new(Seed(181));
+        (w, net)
+    }
+
+    fn clean_probes(w: &World) -> Vec<HostId> {
+        w.probes
+            .iter()
+            .copied()
+            .filter(|&p| !w.host(p).is_mis_geolocated())
+            .collect()
+    }
+
+    #[test]
+    fn probes_representatives_and_ranks() {
+        let (w, net) = setup();
+        let vps = clean_probes(&w);
+        let target = w.host(w.anchors[0]);
+        let probe = probe_representatives(&w, &net, &vps, target.ip, 1);
+        assert_eq!(probe.representatives.len(), REPRESENTATIVES);
+        assert_eq!(probe.scores.len(), vps.len());
+        assert_eq!(probe.measurements, (vps.len() * 3) as u64);
+        // Sorted ascending among measured scores.
+        let measured: Vec<f64> = probe
+            .scores
+            .iter()
+            .filter_map(|s| s.median_rtt.map(|m| m.value()))
+            .collect();
+        for w2 in measured.windows(2) {
+            assert!(w2[0] <= w2[1]);
+        }
+    }
+
+    #[test]
+    fn best_vp_is_geographically_close() {
+        // The core hypothesis: low RTT to representatives implies
+        // geographic closeness to the target.
+        let (w, net) = setup();
+        let vps = clean_probes(&w);
+        let mut close_enough = 0;
+        let mut total = 0;
+        for (i, &aid) in w.anchors.iter().enumerate() {
+            let target = w.host(aid);
+            let probe = probe_representatives(&w, &net, &vps, target.ip, i as u64);
+            let Some(best) = probe.scores.first().filter(|s| s.median_rtt.is_some()) else {
+                continue;
+            };
+            let d = w
+                .host(best.vp)
+                .location
+                .distance(&target.location)
+                .value();
+            total += 1;
+            if d < 300.0 {
+                close_enough += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            close_enough * 10 >= total * 7,
+            "best VP rarely close: {close_enough}/{total}"
+        );
+    }
+
+    #[test]
+    fn geolocates_with_small_k() {
+        let (w, net) = setup();
+        let vps = clean_probes(&w);
+        let target = w.host(w.anchors[1]);
+        let probe = probe_representatives(&w, &net, &vps, target.ip, 2);
+        for k in [1usize, 3, 10] {
+            let out = geolocate_with_selection(&w, &net, &probe, target.ip, k, 2);
+            assert!(out.selected_vps.len() <= k);
+            let r = out.cbg.expect("CBG must produce an estimate");
+            let err = r.estimate.distance(&target.location).value();
+            assert!(err < 2000.0, "k={k} error {err} km");
+        }
+    }
+
+    #[test]
+    fn measurement_accounting() {
+        let (w, net) = setup();
+        let vps: Vec<HostId> = clean_probes(&w).into_iter().take(50).collect();
+        let target = w.host(w.anchors[2]);
+        let probe = probe_representatives(&w, &net, &vps, target.ip, 3);
+        let out = geolocate_with_selection(&w, &net, &probe, target.ip, 10, 3);
+        assert_eq!(out.measurements, 50 * 3 + out.selected_vps.len() as u64);
+    }
+
+    #[test]
+    fn sparse_prefix_falls_back_to_random_fill() {
+        let (w, net) = setup();
+        // An address in an unknown /24 has no hitlist entries at all.
+        let bogus = Ipv4::from_octets(203, 0, 113, 7);
+        let vps: Vec<HostId> = clean_probes(&w).into_iter().take(10).collect();
+        let probe = probe_representatives(&w, &net, &vps, bogus, 4);
+        assert_eq!(probe.representatives.len(), REPRESENTATIVES);
+        // All fills are unresponsive, so every VP has no score.
+        assert!(probe.scores.iter().all(|s| s.median_rtt.is_none()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Multi-round VP selection — the paper's §7.2.3 extension.
+//!
+//! "Round based geolocation is one key to scale": the two-step selection
+//! generalizes to `R` rounds, each using the previous round's CBG region
+//! to pick a smaller, better-placed probe set. More rounds cut the
+//! measurement bill further at the cost of one platform API round trip
+//! (minutes of latency) per extra round — the exact trade-off §7.2.3
+//! describes.
+//!
+//! Round 1 probes the representatives from the fixed coverage subset.
+//! Each later round keeps one VP per (AS, city) inside the current region,
+//! *halving* the kept candidate count by RTT rank each round, re-probes
+//! the representatives, and tightens the region. The final round's best
+//! VP geolocates the target.
+
+use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::million::probe_representatives;
+use geo_model::constraint::Region;
+use geo_model::ip::Ipv4;
+use geo_model::soi::SpeedOfInternet;
+use net_sim::Network;
+use std::collections::HashMap;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// Outcome of a multi-round selection.
+#[derive(Debug, Clone)]
+pub struct MultiRoundOutcome {
+    /// Candidate-set size after each round (round 1 = coverage size).
+    pub candidates_per_round: Vec<usize>,
+    /// The VP that finally geolocated the target.
+    pub chosen_vp: Option<HostId>,
+    /// Final CBG result.
+    pub cbg: Option<CbgResult>,
+    /// Ping measurements spent across all rounds.
+    pub measurements: u64,
+    /// Platform API round trips consumed (one per round plus the final
+    /// target probe) — the latency currency of §7.2.3.
+    pub api_rounds: u32,
+}
+
+/// Runs `rounds >= 2` rounds of region-guided VP selection.
+///
+/// With `rounds == 2` this is exactly the two-step algorithm (§5.1.4).
+pub fn geolocate(
+    world: &World,
+    net: &Network,
+    coverage: &[HostId],
+    all_vps: &[HostId],
+    target: Ipv4,
+    rounds: u32,
+    nonce: u64,
+) -> MultiRoundOutcome {
+    assert!(rounds >= 2, "multi-round needs at least two rounds");
+    let mut measurements = 0u64;
+    let mut api_rounds = 0u32;
+    let mut candidates_per_round = Vec::with_capacity(rounds as usize);
+
+    // Round 1: the coverage subset bounds the region.
+    let probe1 = probe_representatives(world, net, coverage, target, nonce);
+    measurements += probe1.measurements;
+    api_rounds += 1;
+    candidates_per_round.push(coverage.len());
+    let ms1: Vec<VpMeasurement> = probe1
+        .scores
+        .iter()
+        .filter_map(|s| {
+            s.median_rtt.map(|rtt| VpMeasurement {
+                vp: s.vp,
+                location: world.host(s.vp).registered_location,
+                rtt,
+            })
+        })
+        .collect();
+    let Some(mut current) = cbg(&ms1, SpeedOfInternet::CBG) else {
+        return MultiRoundOutcome {
+            candidates_per_round,
+            chosen_vp: None,
+            cbg: None,
+            measurements,
+            api_rounds,
+        };
+    };
+
+    let mut chosen: Option<HostId> = None;
+    let mut keep_cap = usize::MAX;
+    for round in 1..rounds {
+        // Candidates: one VP per (AS, city) inside the current region,
+        // capped at half the previous round's candidate count.
+        let active = Region::from_circles(current.region.active_circles());
+        let mut per_pop: HashMap<(u32, u32), HostId> = HashMap::new();
+        for &vp in all_vps {
+            let h = world.host(vp);
+            if active.contains(&h.registered_location) {
+                per_pop.entry((h.asn.0, h.city.0)).or_insert(vp);
+            }
+        }
+        let mut candidates: Vec<HostId> = per_pop.into_values().collect();
+        candidates.sort();
+        if candidates.is_empty() {
+            break;
+        }
+
+        let probe = probe_representatives(
+            world,
+            net,
+            &candidates,
+            target,
+            nonce ^ (round as u64) << 40,
+        );
+        measurements += probe.measurements;
+        api_rounds += 1;
+
+        // Rank, keep the best half for the next region (bounded below so
+        // the loop always converges to a single choice).
+        keep_cap = (keep_cap / 2).max(1).min(candidates.len());
+        let ranked: Vec<&crate::million::VpScore> = probe
+            .scores
+            .iter()
+            .filter(|s| s.median_rtt.is_some())
+            .collect();
+        candidates_per_round.push(candidates.len());
+        let Some(best) = ranked.first() else { break };
+        chosen = Some(best.vp);
+
+        // Tighten the region with the kept candidates' measurements.
+        let kept_ms: Vec<VpMeasurement> = ranked
+            .iter()
+            .take(keep_cap)
+            .map(|s| VpMeasurement {
+                vp: s.vp,
+                location: world.host(s.vp).registered_location,
+                rtt: s.median_rtt.expect("filtered"),
+            })
+            .collect();
+        if let Some(next) = cbg(&kept_ms, SpeedOfInternet::CBG) {
+            current = next;
+        }
+    }
+
+    // Final probe: the chosen VP pings the target itself.
+    let final_cbg = chosen.and_then(|vp| {
+        measurements += 1;
+        api_rounds += 1;
+        net.ping_min(world, vp, target, 3, nonce ^ 0xF1FA)
+            .rtt()
+            .and_then(|rtt| {
+                cbg(
+                    &[VpMeasurement {
+                        vp,
+                        location: world.host(vp).registered_location,
+                        rtt,
+                    }],
+                    SpeedOfInternet::CBG,
+                )
+            })
+    });
+
+    MultiRoundOutcome {
+        candidates_per_round,
+        chosen_vp: chosen,
+        cbg: final_cbg,
+        measurements,
+        api_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_step::greedy_coverage;
+    use geo_model::rng::Seed;
+    use geo_model::stats;
+    use world_sim::WorldConfig;
+
+    fn setup() -> (World, Network, Vec<HostId>) {
+        let w = World::generate(WorldConfig::small(Seed(341))).unwrap();
+        let net = Network::new(Seed(341));
+        let clean: Vec<HostId> = w
+            .probes
+            .iter()
+            .copied()
+            .filter(|&p| !w.host(p).is_mis_geolocated())
+            .collect();
+        (w, net, clean)
+    }
+
+    #[test]
+    #[should_panic(expected = "two rounds")]
+    fn rejects_single_round() {
+        let (w, net, vps) = setup();
+        let _ = geolocate(&w, &net, &vps[..5], &vps, w.host(w.anchors[0]).ip, 1, 0);
+    }
+
+    #[test]
+    fn two_rounds_matches_two_step_shape() {
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 20);
+        let target = w.host(w.anchors[0]);
+        let out = geolocate(&w, &net, &coverage, &vps, target.ip, 2, 1);
+        assert_eq!(out.candidates_per_round.len(), 2);
+        assert!(out.cbg.is_some());
+        assert!(out.api_rounds >= 3); // 2 rounds + final probe
+    }
+
+    #[test]
+    fn more_rounds_do_not_destroy_accuracy() {
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 20);
+        let mut errs2 = Vec::new();
+        let mut errs4 = Vec::new();
+        for (i, &aid) in w.anchors.iter().enumerate().take(12) {
+            let target = w.host(aid);
+            for (rounds, errs) in [(2u32, &mut errs2), (4u32, &mut errs4)] {
+                let out = geolocate(&w, &net, &coverage, &vps, target.ip, rounds, i as u64);
+                if let Some(r) = &out.cbg {
+                    errs.push(r.estimate.distance(&target.location).value());
+                }
+            }
+        }
+        let m2 = stats::median(&errs2).unwrap();
+        let m4 = stats::median(&errs4).unwrap();
+        assert!(
+            m4 < m2 * 6.0 + 60.0,
+            "4 rounds ({m4} km) far worse than 2 ({m2} km)"
+        );
+    }
+
+    #[test]
+    fn rounds_trade_measurements_for_latency() {
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 20);
+        let target = w.host(w.anchors[1]);
+        let o2 = geolocate(&w, &net, &coverage, &vps, target.ip, 2, 3);
+        let o4 = geolocate(&w, &net, &coverage, &vps, target.ip, 4, 3);
+        assert!(o4.api_rounds > o2.api_rounds, "extra rounds must cost latency");
+    }
+}

@@ -1,0 +1,55 @@
+//! The closest-landmark oracle (Fig. 5a).
+//!
+//! A lower bound on the street-level technique's error: assume every
+//! website that passed the locality tests really is where its entity's
+//! postal address says, and assume the technique always picks the landmark
+//! closest to the target. The remaining error is the distance to that
+//! closest landmark — §5.2.1 uses it to show that at most 33% of targets
+//! could ever be geolocated at street level.
+
+use geo_model::point::GeoPoint;
+use geo_model::units::Km;
+use web_sim::ecosystem::WebEcosystem;
+use web_sim::EntityId;
+
+/// The oracle's pick: the passed landmark closest to the (true) target
+/// location. Returns `None` when the landmark set is empty — the paper
+/// falls back to CBG for those 46 targets.
+pub fn closest_landmark(
+    eco: &WebEcosystem,
+    landmarks: &[EntityId],
+    true_location: &GeoPoint,
+) -> Option<(EntityId, Km)> {
+    landmarks
+        .iter()
+        .map(|&id| (id, eco.entity(id).location.distance(true_location)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use web_sim::ecosystem::WebConfig;
+    use world_sim::{World, WorldConfig};
+
+    #[test]
+    fn picks_the_nearest() {
+        let mut w = World::generate(WorldConfig::small(Seed(201))).unwrap();
+        let eco = WebEcosystem::generate(&mut w, &WebConfig::default()).unwrap();
+        let target = w.host(w.anchors[0]).location;
+        let ids: Vec<EntityId> = eco.entities.iter().map(|e| e.id).take(500).collect();
+        let (best, d) = closest_landmark(&eco, &ids, &target).unwrap();
+        for &id in &ids {
+            assert!(eco.entity(id).location.distance(&target) >= d);
+        }
+        assert!(ids.contains(&best));
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        let mut w = World::generate(WorldConfig::small(Seed(201))).unwrap();
+        let eco = WebEcosystem::generate(&mut w, &WebConfig::default()).unwrap();
+        assert!(closest_landmark(&eco, &[], &w.host(w.anchors[0]).location).is_none());
+    }
+}

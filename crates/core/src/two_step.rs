@@ -1,0 +1,317 @@
+//! The replication's two-step vantage-point selection (§5.1.4).
+//!
+//! The original VP selection needs every VP to ping every target's
+//! representatives — 21.7M measurements for 10k VPs × 723 targets — which
+//! RIPE Atlas probes cannot sustain (§5.1.3). The two-step variant:
+//!
+//! 1. a fixed, greedily chosen earth-covering subset of `s` VPs pings the
+//!    representatives and CBG bounds the region;
+//! 2. one VP per (AS, city) *inside the region* pings the representatives;
+//!    the VP with the lowest median RTT geolocates the target.
+//!
+//! Small `s` means a looser region and more second-step VPs; the paper
+//! finds the sweet spot at `s = 500` (2.88M measurements, 13.2% of the
+//! original) with no accuracy loss.
+
+use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::million::{probe_representatives, RepProbe};
+use geo_model::ip::Ipv4;
+use geo_model::point::GeoPoint;
+use geo_model::soi::SpeedOfInternet;
+use net_sim::Network;
+use std::collections::HashMap;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// Greedily selects `k` VPs maximizing geographic coverage: each iteration
+/// adds the VP with the largest sum of logarithmic distances to those
+/// already selected (the Metis-style criterion the paper cites).
+pub fn greedy_coverage(world: &World, vps: &[HostId], k: usize) -> Vec<HostId> {
+    if vps.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let locs: Vec<GeoPoint> = vps
+        .iter()
+        .map(|&v| world.host(v).registered_location)
+        .collect();
+
+    // Start from the VP furthest from the centroid of all VPs (a stable,
+    // deterministic seed of the greedy chain).
+    let centroid = GeoPoint::centroid(&locs).unwrap_or_else(|| GeoPoint::new(0.0, 0.0));
+    let first = (0..vps.len())
+        .max_by(|&a, &b| {
+            locs[a]
+                .distance(&centroid)
+                .total_cmp(&locs[b].distance(&centroid))
+        })
+        .expect("non-empty");
+
+    let mut selected = vec![first];
+    // Incremental sums of log-distances to the selected set.
+    let mut score: Vec<f64> = (0..vps.len())
+        .map(|i| log_dist(&locs[i], &locs[first]))
+        .collect();
+    score[first] = f64::NEG_INFINITY;
+
+    while selected.len() < k.min(vps.len()) {
+        let next = (0..vps.len())
+            .max_by(|&a, &b| score[a].total_cmp(&score[b]))
+            .expect("non-empty");
+        if score[next] == f64::NEG_INFINITY {
+            break;
+        }
+        selected.push(next);
+        for i in 0..vps.len() {
+            if score[i] != f64::NEG_INFINITY {
+                score[i] += log_dist(&locs[i], &locs[next]);
+            }
+        }
+        score[next] = f64::NEG_INFINITY;
+    }
+
+    selected.into_iter().map(|i| vps[i]).collect()
+}
+
+fn log_dist(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    // +1 km floor keeps co-located VPs finite.
+    (a.distance(b).value() + 1.0).ln()
+}
+
+/// Outcome of the two-step geolocation of one target.
+#[derive(Debug, Clone)]
+pub struct TwoStepOutcome {
+    /// The first-step CBG over the coverage subset.
+    pub step1_cbg: Option<CbgResult>,
+    /// Second-step candidate VPs (one per AS/city inside the region).
+    pub step2_candidates: usize,
+    /// The single VP chosen to geolocate the target.
+    pub chosen_vp: Option<HostId>,
+    /// Final CBG result (from the chosen VP's RTT to the target).
+    pub cbg: Option<CbgResult>,
+    /// Ping measurements spent: step 1 + step 2 representative probes.
+    pub measurements: u64,
+}
+
+/// Runs the two-step selection and geolocation for one target.
+///
+/// `coverage` is the fixed first-step subset (from [`greedy_coverage`]);
+/// `all_vps` is the full sanitized VP population that step 2 draws from.
+pub fn geolocate(
+    world: &World,
+    net: &Network,
+    coverage: &[HostId],
+    all_vps: &[HostId],
+    target: Ipv4,
+    nonce: u64,
+) -> TwoStepOutcome {
+    // Step 1: coverage subset probes the representatives; CBG bounds the
+    // region the target (and its /24) must lie in.
+    let probe1 = probe_representatives(world, net, coverage, target, nonce);
+    let ms1: Vec<VpMeasurement> = probe1
+        .scores
+        .iter()
+        .filter_map(|s| {
+            s.median_rtt.map(|rtt| VpMeasurement {
+                vp: s.vp,
+                location: world.host(s.vp).registered_location,
+                rtt,
+            })
+        })
+        .collect();
+    let step1 = cbg(&ms1, SpeedOfInternet::CBG);
+    let mut measurements = probe1.measurements;
+
+    let Some(step1_result) = step1 else {
+        // Degenerate first step (split representatives can make the
+        // median-RTT circles mutually inconsistent): fall back to the
+        // best-scoring first-step VP directly, without region filtering.
+        let chosen = probe1
+            .scores
+            .first()
+            .filter(|s| s.median_rtt.is_some())
+            .map(|s| s.vp);
+        let final_cbg = chosen.and_then(|vp| {
+            measurements += 1;
+            net.ping_min(world, vp, target, 3, nonce ^ 0x5A)
+                .rtt()
+                .and_then(|rtt| {
+                    cbg(
+                        &[VpMeasurement {
+                            vp,
+                            location: world.host(vp).registered_location,
+                            rtt,
+                        }],
+                        SpeedOfInternet::CBG,
+                    )
+                })
+        });
+        return TwoStepOutcome {
+            step1_cbg: None,
+            step2_candidates: 0,
+            chosen_vp: chosen,
+            cbg: final_cbg,
+            measurements,
+        };
+    };
+
+    // Step 2: one VP per (AS, city) inside the region. Membership is
+    // tested against the reduced (active) constraint set: every point of
+    // the intersection lies inside the tightest circle, which the active
+    // set always contains, so the test is equivalent and much cheaper.
+    let active_region =
+        geo_model::constraint::Region::from_circles(step1_result.region.active_circles());
+    let mut per_pop: HashMap<(u32, u32), HostId> = HashMap::new();
+    for &vp in all_vps {
+        let h = world.host(vp);
+        if active_region.contains(&h.registered_location) {
+            per_pop.entry((h.asn.0, h.city.0)).or_insert(vp);
+        }
+    }
+    let mut candidates: Vec<HostId> = per_pop.into_values().collect();
+    candidates.sort(); // deterministic order
+
+    let probe2: RepProbe = probe_representatives(world, net, &candidates, target, nonce ^ 0xA5);
+    measurements += probe2.measurements;
+
+    let chosen = probe2
+        .scores
+        .first()
+        .filter(|s| s.median_rtt.is_some())
+        .map(|s| s.vp);
+
+    let final_cbg = chosen.and_then(|vp| {
+        measurements += 1;
+        net.ping_min(world, vp, target, 3, nonce ^ 0x5A)
+            .rtt()
+            .and_then(|rtt| {
+                cbg(
+                    &[VpMeasurement {
+                        vp,
+                        location: world.host(vp).registered_location,
+                        rtt,
+                    }],
+                    SpeedOfInternet::CBG,
+                )
+            })
+    });
+
+    TwoStepOutcome {
+        step1_cbg: Some(step1_result),
+        step2_candidates: candidates.len(),
+        chosen_vp: chosen,
+        cbg: final_cbg,
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn setup() -> (World, Network, Vec<HostId>) {
+        let w = World::generate(WorldConfig::small(Seed(191))).unwrap();
+        let net = Network::new(Seed(191));
+        let clean: Vec<HostId> = w
+            .probes
+            .iter()
+            .copied()
+            .filter(|&p| !w.host(p).is_mis_geolocated())
+            .collect();
+        (w, net, clean)
+    }
+
+    #[test]
+    fn greedy_coverage_spreads_out() {
+        let (w, _, vps) = setup();
+        let sel = greedy_coverage(&w, &vps, 10);
+        assert_eq!(sel.len(), 10);
+        // No duplicates.
+        let mut dedup = sel.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        // Selected VPs are mutually further apart than random pairs on
+        // average: compare mean pairwise distance to that of the first 10.
+        let mean_pairwise = |ids: &[HostId]| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    total += w
+                        .host(a)
+                        .location
+                        .distance(&w.host(b).location)
+                        .value();
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        let naive: Vec<HostId> = vps.iter().copied().take(10).collect();
+        assert!(
+            mean_pairwise(&sel) > mean_pairwise(&naive),
+            "greedy selection no better spread than arbitrary"
+        );
+    }
+
+    #[test]
+    fn greedy_coverage_edge_cases() {
+        let (w, _, vps) = setup();
+        assert!(greedy_coverage(&w, &[], 5).is_empty());
+        assert!(greedy_coverage(&w, &vps, 0).is_empty());
+        let all = greedy_coverage(&w, &vps, vps.len() + 100);
+        assert_eq!(all.len(), vps.len());
+    }
+
+    #[test]
+    fn two_step_geolocates_accurately() {
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 30);
+        let mut errors = Vec::new();
+        for (i, &aid) in w.anchors.iter().enumerate().take(10) {
+            let target = w.host(aid);
+            let out = geolocate(&w, &net, &coverage, &vps, target.ip, i as u64);
+            if let Some(r) = &out.cbg {
+                errors.push(r.estimate.distance(&target.location).value());
+            }
+            assert!(out.measurements > 0);
+        }
+        assert!(errors.len() >= 7, "too many failures: {}", errors.len());
+        let median = geo_model::stats::median(&errors).unwrap();
+        assert!(median < 500.0, "median error {median} km");
+    }
+
+    #[test]
+    fn smaller_first_step_means_more_candidates() {
+        let (w, net, vps) = setup();
+        let small = greedy_coverage(&w, &vps, 5);
+        let large = greedy_coverage(&w, &vps, 60);
+        let target = w.host(w.anchors[0]);
+        let o_small = geolocate(&w, &net, &small, &vps, target.ip, 1);
+        let o_large = geolocate(&w, &net, &large, &vps, target.ip, 1);
+        // Looser region (fewer step-1 VPs) should not yield fewer
+        // candidates than the tight one.
+        assert!(
+            o_small.step2_candidates >= o_large.step2_candidates,
+            "candidates: small={} large={}",
+            o_small.step2_candidates,
+            o_large.step2_candidates
+        );
+    }
+
+    #[test]
+    fn overhead_below_full_selection() {
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 20);
+        let target = w.host(w.anchors[3]);
+        let out = geolocate(&w, &net, &coverage, &vps, target.ip, 9);
+        let full = (vps.len() * 3) as u64;
+        assert!(
+            out.measurements < full,
+            "two-step ({}) not cheaper than full ({full})",
+            out.measurements
+        );
+    }
+}

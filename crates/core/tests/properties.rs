@@ -1,0 +1,126 @@
+//! Property-based tests for the geolocation techniques.
+
+use geo_model::point::GeoPoint;
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::units::{Km, Ms};
+use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
+use proptest::prelude::*;
+use world_sim::ids::HostId;
+
+/// Measurements whose RTTs are physically consistent with a target at
+/// `target` (inflation ≥ 1 keeps 2/3 c circles sound).
+fn consistent(target: GeoPoint, specs: &[(f64, f64, f64)]) -> Vec<VpMeasurement> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(bearing, dist, inflation))| {
+            let loc = target.destination(bearing, Km(dist));
+            VpMeasurement {
+                vp: HostId(i as u32),
+                location: loc,
+                rtt: SpeedOfInternet::CBG.min_rtt(Km(dist)) * inflation + Ms(0.05),
+            }
+        })
+        .collect()
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec(
+        (0.0f64..360.0, 20.0f64..4000.0, 1.05f64..2.5),
+        3..12,
+    )
+}
+
+proptest! {
+    /// CBG with sound constraints always finds a region containing the
+    /// target, and its error never exceeds twice the tightest radius.
+    #[test]
+    fn cbg_sound_constraints_bound_error(
+        lat in -60.0f64..60.0,
+        lon in -180.0f64..180.0,
+        specs in arb_specs(),
+    ) {
+        let target = GeoPoint::new(lat, lon);
+        let ms = consistent(target, &specs);
+        let result = cbg(&ms, SpeedOfInternet::CBG).expect("sound constraints intersect");
+        prop_assert!(result.region.contains(&target), "region excludes target");
+        let err = result.estimate.distance(&target).value();
+        let tightest = result.region_estimate.tightest_radius.value();
+        prop_assert!(
+            err <= 2.0 * tightest + 1.0,
+            "error {err} exceeds 2x tightest radius {tightest}"
+        );
+    }
+
+    /// Adding a measurement can only shrink (never grow) the CBG region
+    /// area estimate, up to sampling tolerance.
+    #[test]
+    fn extra_constraint_shrinks_region(
+        lat in -60.0f64..60.0,
+        lon in 0.0f64..90.0,
+        specs in arb_specs(),
+        extra_bearing in 0.0f64..360.0,
+    ) {
+        let target = GeoPoint::new(lat, lon);
+        let ms = consistent(target, &specs);
+        let base = cbg(&ms, SpeedOfInternet::CBG).expect("sound");
+        // A tight extra constraint: 30 km away, inflation 1.2.
+        let mut more = ms.clone();
+        more.extend(consistent(target, &[(extra_bearing, 30.0, 1.2)]));
+        let refined = cbg(&more, SpeedOfInternet::CBG).expect("still sound");
+        prop_assert!(
+            refined.region_estimate.area_km2 <= base.region_estimate.area_km2 * 1.25 + 1.0,
+            "area grew: {} -> {}",
+            base.region_estimate.area_km2,
+            refined.region_estimate.area_km2
+        );
+    }
+
+    /// Shortest ping returns the measurement with the global minimum RTT.
+    #[test]
+    fn shortest_ping_is_argmin(specs in arb_specs()) {
+        let target = GeoPoint::new(10.0, 10.0);
+        let ms = consistent(target, &specs);
+        let best = shortest_ping(&ms).expect("non-empty");
+        for m in &ms {
+            prop_assert!(best.rtt <= m.rtt);
+        }
+    }
+
+    /// The street-level SOI factor can only widen error bounds relative
+    /// to 2/3 c when both succeed without fallback.
+    #[test]
+    fn street_factor_is_tighter_radius(rtt in 1.0f64..200.0) {
+        let street = SpeedOfInternet::STREET_LEVEL.max_distance(Ms(rtt));
+        let classic = SpeedOfInternet::CBG.max_distance(Ms(rtt));
+        prop_assert!(street < classic);
+    }
+
+    /// Database entries are deterministic in the seed (different seeds may
+    /// differ, same seed never does).
+    #[test]
+    fn dbsim_is_seed_deterministic(seed in 0u64..1000) {
+        use world_sim::{World, WorldConfig};
+        use ipgeo::dbsim::GeoDatabase;
+        use std::sync::OnceLock;
+        static W: OnceLock<World> = OnceLock::new();
+        let w = W.get_or_init(|| {
+            World::generate(WorldConfig::small(Seed(6001))).expect("world")
+        });
+        let prefixes: Vec<_> = w
+            .anchors
+            .iter()
+            .take(5)
+            .map(|&a| w.host(a).ip.prefix24())
+            .collect();
+        let a = GeoDatabase::maxmind_like(w, &prefixes, Seed(seed));
+        let b = GeoDatabase::maxmind_like(w, &prefixes, Seed(seed));
+        for &p in &prefixes {
+            prop_assert_eq!(
+                a.lookup(p.network()).map(|g| (g.lat(), g.lon())),
+                b.lookup(p.network()).map(|g| (g.lat(), g.lon()))
+            );
+        }
+    }
+}

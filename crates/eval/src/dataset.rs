@@ -1,0 +1,400 @@
+//! Shared experiment state: the world, the sanitized vantage points, and
+//! the bulk measurement matrices.
+//!
+//! Building a [`Dataset`] reproduces the paper's §4 pipeline end to end:
+//! generate (stand in for "recruit") the measurement infrastructure, run
+//! the meshed anchor measurements, sanitize anchors then probes (§4.3),
+//! and materialize the probe→anchor minimum-RTT campaign every experiment
+//! reads. The representative campaign of the million-scale experiments
+//! (21.7M measurements at full scale) is built lazily on first use.
+
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::units::Ms;
+use ipgeo::{sanitize_anchors, sanitize_probes};
+use net_sim::Network;
+use std::sync::OnceLock;
+use web_sim::ecosystem::{WebConfig, WebEcosystem};
+use world_sim::hitlist::HitlistEntry;
+use world_sim::host::Host;
+use world_sim::ids::HostId;
+use world_sim::{World, WorldConfig};
+
+/// Experiment fidelity knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalScale {
+    /// Seed for the whole evaluation.
+    pub seed: Seed,
+    /// Use the paper-scale world (723 anchors / 10k probes) or the
+    /// miniature test world.
+    pub paper_world: bool,
+    /// Random-subset trials for Figures 2a/2b (the paper uses 100).
+    pub trials: usize,
+    /// Limit the number of targets per experiment (`None` = all).
+    pub target_sample: Option<usize>,
+    /// Limit the number of targets for the street-level pipeline
+    /// (`None` = all).
+    pub street_sample: Option<usize>,
+}
+
+impl EvalScale {
+    /// Full paper fidelity.
+    pub fn full(seed: Seed) -> EvalScale {
+        EvalScale {
+            seed,
+            paper_world: true,
+            trials: 100,
+            target_sample: None,
+            street_sample: None,
+        }
+    }
+
+    /// Reduced fidelity: paper-scale world, subsampled targets and fewer
+    /// trials. The default for the `fig*` binaries (override with
+    /// `IPGEO_FULL=1`).
+    pub fn quick(seed: Seed) -> EvalScale {
+        EvalScale {
+            seed,
+            paper_world: true,
+            trials: 25,
+            target_sample: Some(240),
+            street_sample: Some(120),
+        }
+    }
+
+    /// Miniature world for Criterion benches and tests.
+    pub fn tiny(seed: Seed) -> EvalScale {
+        EvalScale {
+            seed,
+            paper_world: false,
+            trials: 5,
+            target_sample: None,
+            street_sample: Some(8),
+        }
+    }
+
+    /// Reads the scale from the environment: `IPGEO_SEED` (default 2023)
+    /// and `IPGEO_FULL=1` for full fidelity.
+    pub fn from_env() -> EvalScale {
+        let seed = std::env::var("IPGEO_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Seed)
+            .unwrap_or(Seed(2023));
+        if std::env::var("IPGEO_FULL").map(|v| v == "1").unwrap_or(false) {
+            EvalScale::full(seed)
+        } else {
+            EvalScale::quick(seed)
+        }
+    }
+}
+
+/// A dense RTT matrix (`f32` ms; NaN = timeout).
+#[derive(Debug, Clone)]
+pub struct RttMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl RttMatrix {
+    fn new(rows: usize, cols: usize) -> RttMatrix {
+        RttMatrix {
+            rows,
+            cols,
+            data: vec![f32::NAN; rows * cols],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: Option<Ms>) {
+        self.data[r * self.cols + c] = v.map(|m| m.value() as f32).unwrap_or(f32::NAN);
+    }
+
+    /// The measured min-RTT, `None` on timeout.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Option<Ms> {
+        let v = self.data[r * self.cols + c];
+        if v.is_nan() {
+            None
+        } else {
+            Some(Ms(v as f64))
+        }
+    }
+
+    /// Number of rows (vantage points).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (targets).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// The shared evaluation dataset.
+pub struct Dataset {
+    /// The world (with web servers added by the ecosystem generator).
+    pub world: World,
+    /// The web ecosystem.
+    pub eco: WebEcosystem,
+    /// The network simulator.
+    pub net: Network,
+    /// The scale this dataset was built at.
+    pub scale: EvalScale,
+    /// Sanitized targets (anchors that survived §4.3), subsampled per the
+    /// scale.
+    pub targets: Vec<HostId>,
+    /// All sanitized anchors (the street-level vantage points).
+    pub anchors: Vec<HostId>,
+    /// Sanitized probes (the million-scale vantage points).
+    pub vps: Vec<HostId>,
+    /// Anchors removed by sanitization.
+    pub removed_anchors: Vec<HostId>,
+    /// Probes removed by sanitization.
+    pub removed_probes: Vec<HostId>,
+    /// Min-RTT matrix: `vps x targets`.
+    pub rtt: RttMatrix,
+    /// Min-RTT mesh among sanitized anchors: `anchors x anchors`.
+    pub anchor_rtt: RttMatrix,
+    /// The representatives per target (parallel to `targets`).
+    pub reps: Vec<Vec<HitlistEntry>>,
+    rep_rtt: OnceLock<RttMatrix>,
+}
+
+impl Dataset {
+    /// Builds the dataset: world, ecosystem, sanitization, campaigns.
+    pub fn load(scale: EvalScale) -> Dataset {
+        let cfg = if scale.paper_world {
+            WorldConfig::paper(scale.seed)
+        } else {
+            WorldConfig::small(scale.seed)
+        };
+        let mut world = World::generate(cfg).expect("valid preset config");
+        let eco = WebEcosystem::generate(&mut world, &WebConfig::default())
+            .expect("valid web config");
+        let net = Network::new(scale.seed.derive("network"));
+        let soi = SpeedOfInternet::CBG;
+
+        // §4.3 step 1: meshed anchor measurements, sanitize anchors.
+        let raw_anchors = world.anchors.clone();
+        let mesh: Vec<Vec<Option<Ms>>> = raw_anchors
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| {
+                raw_anchors
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &dst)| {
+                        if i == j {
+                            None
+                        } else {
+                            net.ping_min(
+                                &world,
+                                src,
+                                world.host(dst).ip,
+                                3,
+                                0x4E5A ^ ((i as u64) << 24 | j as u64),
+                            )
+                            .rtt()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let anchor_report = sanitize_anchors(&world, &raw_anchors, &mesh, soi);
+        let anchors = anchor_report.kept.clone();
+
+        // §4.3 step 2: probes vs trusted anchors; the same measurements
+        // feed the main RTT matrix.
+        let raw_probes = world.probes.clone();
+        let mut probe_rtts: Vec<Vec<Option<Ms>>> = Vec::with_capacity(raw_probes.len());
+        for (p, &probe) in raw_probes.iter().enumerate() {
+            let row: Vec<Option<Ms>> = anchors
+                .iter()
+                .map(|&a| {
+                    net.ping_min(
+                        &world,
+                        probe,
+                        world.host(a).ip,
+                        3,
+                        0x9A11 ^ (p as u64) << 20,
+                    )
+                    .rtt()
+                })
+                .collect();
+            probe_rtts.push(row);
+        }
+        let probe_report = sanitize_probes(&world, &raw_probes, &anchors, &probe_rtts, soi);
+        let vps = probe_report.kept.clone();
+
+        // Target subsample (deterministic stride).
+        let targets: Vec<HostId> = match scale.target_sample {
+            Some(n) if n < anchors.len() => {
+                let stride = anchors.len() as f64 / n as f64;
+                (0..n)
+                    .map(|i| anchors[(i as f64 * stride) as usize])
+                    .collect()
+            }
+            _ => anchors.clone(),
+        };
+
+        // Dense matrices over the sanitized populations.
+        let anchor_index: std::collections::HashMap<HostId, usize> = anchors
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i))
+            .collect();
+        let probe_index: std::collections::HashMap<HostId, usize> = raw_probes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut rtt = RttMatrix::new(vps.len(), targets.len());
+        for (vi, &vp) in vps.iter().enumerate() {
+            let row = &probe_rtts[probe_index[&vp]];
+            for (ti, &t) in targets.iter().enumerate() {
+                rtt.set(vi, ti, row[anchor_index[&t]]);
+            }
+        }
+        let raw_anchor_index: std::collections::HashMap<HostId, usize> = raw_anchors
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i))
+            .collect();
+        let mut anchor_rtt = RttMatrix::new(anchors.len(), anchors.len());
+        for (i, &a) in anchors.iter().enumerate() {
+            for (j, &b) in anchors.iter().enumerate() {
+                anchor_rtt.set(i, j, mesh[raw_anchor_index[&a]][raw_anchor_index[&b]]);
+            }
+        }
+
+        // Representatives per target.
+        let reps: Vec<Vec<HitlistEntry>> = targets
+            .iter()
+            .map(|&t| {
+                let prefix = world.host(t).ip.prefix24();
+                world
+                    .hitlist
+                    .representatives(prefix, ipgeo::million::REPRESENTATIVES)
+            })
+            .collect();
+
+        Dataset {
+            world,
+            eco,
+            net,
+            scale,
+            targets,
+            anchors,
+            vps,
+            removed_anchors: anchor_report.removed,
+            removed_probes: probe_report.removed,
+            rtt,
+            anchor_rtt,
+            reps,
+            rep_rtt: OnceLock::new(),
+        }
+    }
+
+    /// The representative-campaign matrix: `vps x (targets *
+    /// REPRESENTATIVES)`, built lazily (21.7M measurements at full scale).
+    pub fn rep_rtt(&self) -> &RttMatrix {
+        self.rep_rtt.get_or_init(|| {
+            let k = ipgeo::million::REPRESENTATIVES;
+            let mut m = RttMatrix::new(self.vps.len(), self.targets.len() * k);
+            for (vi, &vp) in self.vps.iter().enumerate() {
+                for (ti, reps) in self.reps.iter().enumerate() {
+                    for (ri, rep) in reps.iter().enumerate().take(k) {
+                        let out = self.net.ping_min(
+                            &self.world,
+                            vp,
+                            rep.ip,
+                            3,
+                            0x5E9 ^ ((ti as u64) << 8 | ri as u64),
+                        );
+                        m.set(vi, ti * k + ri, out.rtt());
+                    }
+                }
+            }
+            m
+        })
+    }
+
+    /// Host behind a target index.
+    pub fn target_host(&self, idx: usize) -> &Host {
+        self.world.host(self.targets[idx])
+    }
+
+    /// Geolocation error of an estimate for a target (km, against the
+    /// true location).
+    pub fn error_km(&self, idx: usize, estimate: &geo_model::GeoPoint) -> f64 {
+        estimate.distance(&self.target_host(idx).location).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::load(EvalScale::tiny(Seed(231)))
+    }
+
+    #[test]
+    fn sanitization_removes_planted_hosts() {
+        let d = tiny();
+        // The small config plants 1 bad anchor and 4 bad probes.
+        assert!(!d.removed_anchors.is_empty());
+        assert!(d.removed_probes.len() >= 4);
+        for &a in &d.anchors {
+            assert!(!d.removed_anchors.contains(&a));
+        }
+    }
+
+    #[test]
+    fn matrices_have_consistent_shapes() {
+        let d = tiny();
+        assert_eq!(d.rtt.rows(), d.vps.len());
+        assert_eq!(d.rtt.cols(), d.targets.len());
+        assert_eq!(d.anchor_rtt.rows(), d.anchors.len());
+        assert_eq!(d.reps.len(), d.targets.len());
+    }
+
+    #[test]
+    fn rtt_matrix_mostly_populated() {
+        let d = tiny();
+        let mut hits = 0;
+        let mut total = 0;
+        for v in 0..d.rtt.rows() {
+            for t in 0..d.rtt.cols() {
+                total += 1;
+                if d.rtt.get(v, t).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 / total as f64 > 0.95, "{hits}/{total}");
+    }
+
+    #[test]
+    fn rep_matrix_lazy_build() {
+        let d = tiny();
+        let m = d.rep_rtt();
+        assert_eq!(m.rows(), d.vps.len());
+        assert_eq!(m.cols(), d.targets.len() * ipgeo::million::REPRESENTATIVES);
+        // Second call returns the same allocation.
+        let m2 = d.rep_rtt();
+        assert_eq!(m.cols(), m2.cols());
+    }
+
+    #[test]
+    fn target_subsampling() {
+        let mut scale = EvalScale::tiny(Seed(232));
+        scale.target_sample = Some(5);
+        let d = Dataset::load(scale);
+        assert_eq!(d.targets.len(), 5);
+        assert_eq!(d.rtt.cols(), 5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 2 — the three hypotheses on how VP subsets affect accuracy.
+
+use super::{cbg_error, cbg_errors_all_vps};
+use crate::dataset::Dataset;
+use crate::report::{log_thresholds, Report, Table};
+use geo_model::stats;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Subset sizes for Fig. 2a, clipped to the VP population (which is
+/// always included as the final size).
+fn fig2a_sizes(n_vps: usize) -> Vec<usize> {
+    let mut sizes: Vec<usize> = [10usize, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000]
+        .into_iter()
+        .filter(|&s| s < n_vps)
+        .collect();
+    sizes.push(n_vps);
+    sizes
+}
+
+/// Median CBG error over the targets for one random VP subset.
+fn trial_median_error(d: &Dataset, subset: &[usize]) -> Option<f64> {
+    let errs: Vec<f64> = (0..d.targets.len())
+        .filter_map(|t| cbg_error(d, t, subset.iter().copied()))
+        .collect();
+    stats::median(&errs)
+}
+
+fn random_subsets(d: &Dataset, size: usize, trials: usize, tag: u64) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let seed = d.scale.seed.derive_index("fig2-subset", tag ^ (trial as u64) << 20 ^ size as u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+        let mut idx: Vec<usize> = (0..d.vps.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(size);
+        out.push(idx);
+    }
+    out
+}
+
+/// Figure 2a: number of VPs vs geolocation error (error bars of the
+/// median error over random trials per subset size).
+pub fn fig2a(d: &Dataset) -> Report {
+    let mut report = Report::new("Figure 2a — number of VPs vs. accuracy");
+    report.note(format!(
+        "{} targets, {} VPs, {} trials per size",
+        d.targets.len(),
+        d.vps.len(),
+        d.scale.trials
+    ));
+    let mut table = Table {
+        heading: "median geolocation error (km) over trials".into(),
+        columns: ["VPs", "min", "q25", "median", "q75", "max"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    for size in fig2a_sizes(d.vps.len()) {
+        let medians: Vec<f64> = random_subsets(d, size, d.scale.trials, 0xA2)
+            .iter()
+            .filter_map(|s| trial_median_error(d, s))
+            .collect();
+        if let Some(eb) = stats::error_bars(&medians) {
+            table.rows.push(vec![
+                size.to_string(),
+                format!("{:.1}", eb.min),
+                format!("{:.1}", eb.q25),
+                format!("{:.1}", eb.median),
+                format!("{:.1}", eb.q75),
+                format!("{:.1}", eb.max),
+            ]);
+        }
+    }
+    report.table(table);
+    report
+}
+
+/// Figure 2b: CDF of the median error for subset sizes 100/500/1000/2000.
+pub fn fig2b(d: &Dataset) -> Report {
+    let mut report = Report::new("Figure 2b — accuracy vs. subset sizes");
+    report.note(format!("{} trials per size", d.scale.trials));
+    let xs = log_thresholds(1.0, 10_000.0, 4);
+    let mut series = Vec::new();
+    for size in [100usize, 500, 1000, 2000] {
+        if size > d.vps.len() {
+            continue;
+        }
+        let medians: Vec<f64> = random_subsets(d, size, d.scale.trials, 0xB2)
+            .iter()
+            .filter_map(|s| trial_median_error(d, s))
+            .collect();
+        if let (Some(lo), Some(hi)) = (stats::quantile(&medians, 0.0), stats::quantile(&medians, 1.0)) {
+            report.note(format!("{size} VPs: median error ranges {lo:.0}–{hi:.0} km"));
+        }
+        series.push((format!("{size} VPs"), stats::cdf_at(&medians, &xs)));
+    }
+    report.cdf_section("CDF of median error", "error (km)", &xs, &series);
+    report
+}
+
+/// Figure 2c: error with all VPs, and with VPs closer than
+/// 40/100/500/1000 km removed per target.
+pub fn fig2c(d: &Dataset) -> Report {
+    let mut report = Report::new(
+        "Figure 2c — error with all VPs and with close VPs removed",
+    );
+    let xs = log_thresholds(1.0, 10_000.0, 4);
+    let mut series = Vec::new();
+
+    let all = cbg_errors_all_vps(d);
+    report.note(format!(
+        "all VPs: median {:.1} km, {:.0}% of targets within 40 km",
+        stats::median(&all).unwrap_or(f64::NAN),
+        100.0 * stats::fraction_at_most(&all, 40.0)
+    ));
+    series.push(("All VPs".to_string(), stats::cdf_at(&all, &xs)));
+
+    for cutoff in [40.0f64, 100.0, 500.0, 1000.0] {
+        let errs: Vec<f64> = (0..d.targets.len())
+            .filter_map(|t| {
+                let tloc = d.target_host(t).location;
+                let far = (0..d.vps.len()).filter(|&vi| {
+                    d.world
+                        .host(d.vps[vi])
+                        .registered_location
+                        .distance(&tloc)
+                        .value()
+                        > cutoff
+                });
+                cbg_error(d, t, far)
+            })
+            .collect();
+        report.note(format!(
+            "VPs > {cutoff:.0} km: median {:.1} km, {:.0}% within 40 km",
+            stats::median(&errs).unwrap_or(f64::NAN),
+            100.0 * stats::fraction_at_most(&errs, 40.0)
+        ));
+        series.push((format!("VPs > {cutoff:.0} km"), stats::cdf_at(&errs, &xs)));
+    }
+    report.cdf_section("CDF of targets", "error (km)", &xs, &series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    fn tiny() -> Dataset {
+        crate::Dataset::load(EvalScale::tiny(Seed(251)))
+    }
+
+    #[test]
+    fn fig2a_rows_cover_sizes() {
+        let d = tiny();
+        let r = fig2a(&d);
+        assert!(!r.tables[0].rows.is_empty());
+        // Error bars are ordered within each row.
+        for row in &r.tables[0].rows {
+            let vals: Vec<f64> = row[1..].iter().map(|v| v.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9, "bars out of order: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig2a_more_vps_helps() {
+        let d = tiny();
+        let r = fig2a(&d);
+        let medians: Vec<f64> = r.tables[0]
+            .rows
+            .iter()
+            .map(|row| row[3].parse().unwrap())
+            .collect();
+        // The paper's core observation: error decreases (weakly) with more
+        // VPs. Allow noise but demand the last size beats the first.
+        assert!(
+            medians.last().unwrap() < medians.first().unwrap(),
+            "no improvement from more VPs: {medians:?}"
+        );
+    }
+
+    #[test]
+    fn fig2c_removing_close_vps_hurts() {
+        let d = tiny();
+        let r = fig2c(&d);
+        // First note = all VPs, last note = >1000 km removed.
+        let med = |s: &str| -> f64 {
+            s.split("median ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+        };
+        let all = med(&r.notes[0]);
+        let worst = med(r.notes.last().unwrap());
+        assert!(worst > all, "removing close VPs did not hurt: {all} vs {worst}");
+    }
+}

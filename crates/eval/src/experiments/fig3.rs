@@ -1,0 +1,210 @@
+//! Figure 3 — the million-scale VP selection and the two-step extension.
+
+use crate::dataset::Dataset;
+use crate::report::{log_thresholds, Report, Table};
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use geo_model::units::Ms;
+use ipgeo::cbg::cbg;
+use ipgeo::million::REPRESENTATIVES;
+use ipgeo::two_step::greedy_coverage;
+use std::collections::HashMap;
+
+/// Median RTT of one VP (by matrix row) to a target's representatives.
+fn rep_median(d: &Dataset, vp_idx: usize, target_idx: usize) -> Option<Ms> {
+    let m = d.rep_rtt();
+    let vals: Vec<f64> = (0..REPRESENTATIVES)
+        .filter_map(|r| {
+            m.get(vp_idx, target_idx * REPRESENTATIVES + r)
+                .map(|ms| ms.value())
+        })
+        .collect();
+    stats::median(&vals).map(Ms)
+}
+
+/// VP indices ranked by median RTT to the target's representatives,
+/// restricted to `pool` (indices into `d.vps`).
+fn rank_by_reps(d: &Dataset, target_idx: usize, pool: &[usize]) -> Vec<(usize, Ms)> {
+    let mut scored: Vec<(usize, Ms)> = pool
+        .iter()
+        .filter_map(|&vi| rep_median(d, vi, target_idx).map(|m| (vi, m)))
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scored
+}
+
+/// Figure 3a: error with the 1/3/10 closest VPs (by RTT to the target's
+/// /24 representatives) vs all VPs.
+pub fn fig3a(d: &Dataset) -> Report {
+    let mut report = Report::new(
+        "Figure 3a — original VP selection: closest-by-representative VPs vs all VPs",
+    );
+    let all_pool: Vec<usize> = (0..d.vps.len()).collect();
+    let xs = log_thresholds(1.0, 10_000.0, 4);
+    let mut series = Vec::new();
+    for &k in &[1usize, 3, 10] {
+        let errs: Vec<f64> = (0..d.targets.len())
+            .filter_map(|t| {
+                let ranked = rank_by_reps(d, t, &all_pool);
+                let chosen = ranked.iter().take(k).map(|&(vi, _)| vi);
+                super::cbg_error(d, t, chosen)
+            })
+            .collect();
+        report.note(format!(
+            "{k} closest VP(s): median {:.1} km, {:.0}% within 10 km, {:.0}% within 40 km",
+            stats::median(&errs).unwrap_or(f64::NAN),
+            100.0 * stats::fraction_at_most(&errs, 10.0),
+            100.0 * stats::fraction_at_most(&errs, 40.0)
+        ));
+        series.push((format!("{k} closest VP (RTT)"), stats::cdf_at(&errs, &xs)));
+    }
+    let all = super::cbg_errors_all_vps(d);
+    report.note(format!(
+        "all VPs: median {:.1} km, {:.0}% within 10 km",
+        stats::median(&all).unwrap_or(f64::NAN),
+        100.0 * stats::fraction_at_most(&all, 10.0)
+    ));
+    series.push(("All VPs".to_string(), stats::cdf_at(&all, &xs)));
+    report.cdf_section("CDF of targets", "error (km)", &xs, &series);
+    report
+}
+
+/// One target's two-step run on the matrices. Returns (error_km,
+/// measurements) when the pipeline succeeds.
+fn two_step_target(
+    d: &Dataset,
+    coverage_idx: &[usize],
+    target_idx: usize,
+) -> Option<(f64, u64)> {
+    // Step 1: coverage subset -> representatives -> CBG region.
+    let ms1 = super::measurements_from_reps(d, target_idx, coverage_idx);
+    let mut measurements = (coverage_idx.len() * REPRESENTATIVES) as u64;
+    let step1 = cbg(&ms1, SpeedOfInternet::CBG)?;
+
+    // Step 2: one VP per (AS, city) inside the region (membership via the
+    // reduced active set — equivalent, see `ipgeo::two_step`).
+    let active_region =
+        geo_model::constraint::Region::from_circles(step1.region.active_circles());
+    let mut per_pop: HashMap<(u32, u32), usize> = HashMap::new();
+    for vi in 0..d.vps.len() {
+        let h = d.world.host(d.vps[vi]);
+        if active_region.contains(&h.registered_location) {
+            per_pop.entry((h.asn.0, h.city.0)).or_insert(vi);
+        }
+    }
+    let mut candidates: Vec<usize> = per_pop.into_values().collect();
+    candidates.sort_unstable();
+    measurements += (candidates.len() * REPRESENTATIVES) as u64;
+
+    let ranked = rank_by_reps(d, target_idx, &candidates);
+    let best = ranked.first().map(|&(vi, _)| vi)?;
+    measurements += 1;
+    let err = super::cbg_error(d, target_idx, std::iter::once(best))?;
+    Some((err, measurements))
+}
+
+/// Figures 3b and 3c: accuracy and overhead of the two-step selection for
+/// first-step sizes 10/100/300/500/1000.
+pub fn fig3bc(d: &Dataset) -> Report {
+    let mut report = Report::new(
+        "Figures 3b/3c — two-step VP selection: accuracy and measurement overhead",
+    );
+    let sizes: Vec<usize> = [10usize, 100, 300, 500, 1000]
+        .into_iter()
+        .filter(|&s| s <= d.vps.len())
+        .collect();
+    let xs = log_thresholds(1.0, 10_000.0, 4);
+    let mut series = Vec::new();
+    let mut overhead = Table {
+        heading: "Figure 3c — measurement overhead".into(),
+        columns: ["VPs in first step", "measurements", "% of full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: Vec::new(),
+    };
+    let full = (d.vps.len() * REPRESENTATIVES * d.targets.len()) as u64;
+
+    // Greedy coverage over the full sanitized VP set, reused across sizes
+    // (prefix property of the greedy chain).
+    let max_size = *sizes.last().expect("non-empty sizes");
+    let chain = greedy_coverage(&d.world, &d.vps, max_size);
+    let vp_index: HashMap<_, _> = d.vps.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    for &s in &sizes {
+        let coverage: Vec<usize> = chain[..s.min(chain.len())]
+            .iter()
+            .map(|v| vp_index[v])
+            .collect();
+        let mut errs = Vec::new();
+        let mut total_meas = 0u64;
+        for t in 0..d.targets.len() {
+            if let Some((err, meas)) = two_step_target(d, &coverage, t) {
+                errs.push(err);
+                total_meas += meas;
+            }
+        }
+        report.note(format!(
+            "first step {s} VPs: median {:.1} km, {:.0}% within 40 km, {:.2}M measurements",
+            stats::median(&errs).unwrap_or(f64::NAN),
+            100.0 * stats::fraction_at_most(&errs, 40.0),
+            total_meas as f64 / 1e6
+        ));
+        series.push((format!("{s} VPs"), stats::cdf_at(&errs, &xs)));
+        overhead.rows.push(vec![
+            s.to_string(),
+            format!("{:.2}M", total_meas as f64 / 1e6),
+            format!("{:.1}%", 100.0 * total_meas as f64 / full as f64),
+        ]);
+    }
+    let all = super::cbg_errors_all_vps(d);
+    series.push(("All VPs".to_string(), stats::cdf_at(&all, &xs)));
+    overhead.rows.push(vec![
+        "All".to_string(),
+        format!("{:.2}M", full as f64 / 1e6),
+        "100%".to_string(),
+    ]);
+    report.cdf_section("Figure 3b — CDF of targets", "error (km)", &xs, &series);
+    report.table(overhead);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    fn tiny() -> Dataset {
+        Dataset::load(EvalScale::tiny(Seed(261)))
+    }
+
+    #[test]
+    fn fig3a_single_vp_is_competitive() {
+        let d = tiny();
+        let r = fig3a(&d);
+        // k=1 median must be within the same order as the all-VP median
+        // (the paper's headline: one well-chosen VP is enough).
+        let med = |s: &str| -> f64 {
+            s.split("median ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+        };
+        let k1 = med(&r.notes[0]);
+        let all = med(&r.notes[3]);
+        assert!(k1 < all * 10.0 + 50.0, "k=1 ({k1}) far worse than all ({all})");
+    }
+
+    #[test]
+    fn fig3bc_overhead_below_full() {
+        let d = tiny();
+        let r = fig3bc(&d);
+        let overhead = r.tables.iter().find(|t| t.heading.contains("3c")).unwrap();
+        // Every two-step row must be under 100% of the full campaign.
+        for row in &overhead.rows {
+            if row[0] == "All" {
+                continue;
+            }
+            let pct: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            assert!(pct < 100.0, "row {row:?}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 6 — delay noise (6a), population density (6b), and time to
+//! geolocate (6c).
+
+use super::fig5::StreetSet;
+use crate::dataset::Dataset;
+use crate::report::{Report, Table};
+use geo_model::stats;
+
+/// Figure 6a: CDF over targets of the fraction of landmarks whose
+/// `D1 + D2` is negative (unusable).
+pub fn fig6a(d: &Dataset, set: &StreetSet) -> Report {
+    let _ = d;
+    let mut report = Report::new("Figure 6a — fraction of landmarks with D1 + D2 < 0");
+    let fractions: Vec<f64> = set
+        .outcomes
+        .iter()
+        .filter_map(|(_, out)| {
+            let measured: Vec<f64> = out
+                .landmarks
+                .iter()
+                .filter_map(|l| l.delay_ms)
+                .collect();
+            if measured.is_empty() {
+                return None;
+            }
+            let neg = measured.iter().filter(|&&v| v < 0.0).count();
+            Some(neg as f64 / measured.len() as f64)
+        })
+        .collect();
+    report.note(format!(
+        "median fraction of unusable landmarks: {:.2} over {} targets with measurements",
+        stats::median(&fractions).unwrap_or(f64::NAN),
+        fractions.len()
+    ));
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let series = vec![(
+        "fraction unusable".to_string(),
+        stats::cdf_at(&fractions, &xs),
+    )];
+    report.cdf_section("CDF of targets", "fraction of landmarks with D1+D2 < 0", &xs, &series);
+    report
+}
+
+/// Figure 6b: street-level error vs population density at the target,
+/// with a log-log least-squares fit. The paper's finding: no dependence.
+pub fn fig6b(d: &Dataset, set: &StreetSet) -> Report {
+    let mut report = Report::new("Figure 6b — error distance vs population density");
+    let mut log_err = Vec::new();
+    let mut log_density = Vec::new();
+    let mut sample = Table {
+        heading: "sample of (error km, density people/km²)".into(),
+        columns: ["error (km)", "density"].iter().map(|s| s.to_string()).collect(),
+        rows: Vec::new(),
+    };
+    for (t, out) in &set.outcomes {
+        let Some(est) = out.estimate else { continue };
+        let err = d.error_km(*t, &est).max(0.01);
+        let density = d
+            .world
+            .density_at(&d.target_host(*t).location)
+            .max(0.01);
+        log_err.push(err.log10());
+        log_density.push(density.log10());
+        if sample.rows.len() < 15 {
+            sample
+                .rows
+                .push(vec![format!("{err:.1}"), format!("{density:.0}")]);
+        }
+    }
+    match stats::linear_fit(&log_err, &log_density) {
+        Some(line) => report.note(format!(
+            "log-log fit: slope {:.3}, r² {:.3} over {} targets (paper: no dependence)",
+            line.slope,
+            line.r_squared,
+            log_err.len()
+        )),
+        None => report.note("fit unavailable (degenerate data)".to_string()),
+    }
+    report.table(sample);
+    report
+}
+
+/// Figure 6c: CDF of the time to geolocate a target.
+pub fn fig6c(d: &Dataset, set: &StreetSet) -> Report {
+    let _ = d;
+    let mut report = Report::new("Figure 6c — time to geolocate a target");
+    let secs: Vec<f64> = set.outcomes.iter().map(|(_, o)| o.virtual_secs).collect();
+    report.note(format!(
+        "median {:.0} s ({:.1} min); paper: 1238 s with a 32-core pipeline",
+        stats::median(&secs).unwrap_or(f64::NAN),
+        stats::median(&secs).unwrap_or(f64::NAN) / 60.0
+    ));
+    let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 2000.0).collect();
+    let series = vec![("time".to_string(), stats::cdf_at(&secs, &xs))];
+    report.cdf_section("CDF of targets", "time to geolocate (s)", &xs, &series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    fn setup() -> (Dataset, StreetSet) {
+        let d = Dataset::load(EvalScale::tiny(Seed(291)));
+        let s = StreetSet::compute(&d);
+        (d, s)
+    }
+
+    #[test]
+    fn fig6a_fractions_in_unit_interval() {
+        let (d, s) = setup();
+        let r = fig6a(&d, &s);
+        assert!(r.notes[0].contains("median fraction"));
+        for row in &r.tables[0].rows {
+            let f: f64 = row[1].parse().unwrap();
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fig6c_times_are_positive() {
+        let (d, s) = setup();
+        let r = fig6c(&d, &s);
+        assert!(r.notes[0].contains("median"));
+        let med: f64 = r.notes[0]
+            .split("median ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(med > 0.0);
+    }
+}

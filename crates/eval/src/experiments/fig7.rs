@@ -1,0 +1,73 @@
+//! Figure 7 — CBG with all RIPE Atlas VPs vs commercial geolocation
+//! databases (§6).
+
+use super::cbg_errors_all_vps;
+use crate::dataset::Dataset;
+use crate::report::{log_thresholds, Report};
+use geo_model::ip::Prefix24;
+use geo_model::stats;
+use ipgeo::dbsim::GeoDatabase;
+
+/// Figure 7: error CDFs of CBG (all VPs), the MaxMind-free-like database
+/// and the IPinfo-like database over the target prefixes.
+pub fn fig7(d: &Dataset) -> Report {
+    let mut report = Report::new("Figure 7 — CBG vs geolocation databases");
+    let prefixes: Vec<Prefix24> = d
+        .targets
+        .iter()
+        .map(|&t| d.world.host(t).ip.prefix24())
+        .collect();
+    let mm = GeoDatabase::maxmind_like(&d.world, &prefixes, d.scale.seed);
+    let ii = GeoDatabase::ipinfo_like(&d.world, &d.net, &prefixes, d.scale.seed);
+
+    let db_errors = |db: &GeoDatabase| -> Vec<f64> {
+        (0..d.targets.len())
+            .filter_map(|t| {
+                let h = d.target_host(t);
+                db.lookup(h.ip).map(|p| p.distance(&h.location).value())
+            })
+            .collect()
+    };
+    let all = cbg_errors_all_vps(d);
+    let e_mm = db_errors(&mm);
+    let e_ii = db_errors(&ii);
+
+    for (name, errs) in [
+        ("All VPs (CBG)", &all),
+        ("MaxMind (free)-like", &e_mm),
+        ("IPinfo-like", &e_ii),
+    ] {
+        report.note(format!(
+            "{name}: median {:.1} km, {:.0}% within 40 km",
+            stats::median(errs).unwrap_or(f64::NAN),
+            100.0 * stats::fraction_at_most(errs, 40.0)
+        ));
+    }
+    let xs = log_thresholds(1.0, 10_000.0, 4);
+    let series = vec![
+        ("All VPs".to_string(), stats::cdf_at(&all, &xs)),
+        ("MaxMind (free)-like".to_string(), stats::cdf_at(&e_mm, &xs)),
+        ("IPinfo-like".to_string(), stats::cdf_at(&e_ii, &xs)),
+    ];
+    report.cdf_section("CDF of targets", "error (km)", &xs, &series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    #[test]
+    fn ipinfo_wins_at_city_level() {
+        let d = Dataset::load(EvalScale::tiny(Seed(301)));
+        let r = fig7(&d);
+        let city = |s: &str| -> f64 {
+            s.split(", ").nth(1).unwrap().split('%').next().unwrap().parse().unwrap()
+        };
+        let mm = city(&r.notes[1]);
+        let ii = city(&r.notes[2]);
+        assert!(ii > mm, "IPinfo-like ({ii}%) should beat MaxMind-like ({mm}%)");
+    }
+}

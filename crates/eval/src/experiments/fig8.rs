@@ -1,0 +1,40 @@
+//! Figure 8 (Appendix C) — population density of the targets dataset.
+
+use crate::dataset::Dataset;
+use crate::report::{log_thresholds, Report};
+use geo_model::stats;
+
+/// Figure 8: CDF of the population density at each target, showing the
+/// dataset covers both rural and urban areas.
+pub fn fig8(d: &Dataset) -> Report {
+    let mut report = Report::new("Figure 8 — population density of the targets");
+    let densities: Vec<f64> = (0..d.targets.len())
+        .map(|t| d.world.density_at(&d.target_host(t).location))
+        .collect();
+    report.note(format!(
+        "median {:.0} people/km²; min {:.1}, max {:.0}",
+        stats::median(&densities).unwrap_or(f64::NAN),
+        densities.iter().copied().fold(f64::INFINITY, f64::min),
+        densities.iter().copied().fold(0.0, f64::max)
+    ));
+    let xs = log_thresholds(1.0, 100_000.0, 2);
+    let series = vec![("targets".to_string(), stats::cdf_at(&densities, &xs))];
+    report.cdf_section("CDF of targets", "population density (people/km²)", &xs, &series);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    #[test]
+    fn covers_rural_and_urban() {
+        let d = Dataset::load(EvalScale::tiny(Seed(311)));
+        let r = fig8(&d);
+        let last = r.tables[0].rows.last().unwrap();
+        let frac: f64 = last[1].parse().unwrap();
+        assert!(frac > 0.9, "CDF does not reach ~1: {frac}");
+    }
+}

@@ -1,0 +1,95 @@
+//! One module per paper artifact. Every public function takes a
+//! [`Dataset`](crate::Dataset) (plus precomputed street outcomes where
+//! relevant) and returns a [`Report`](crate::Report) whose rows mirror the
+//! paper's figure or table.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod sanity;
+pub mod tables;
+
+use crate::dataset::Dataset;
+use geo_model::soi::SpeedOfInternet;
+use ipgeo::cbg::{cbg, VpMeasurement};
+
+/// CBG measurements of one target from a set of VP indices (rows of the
+/// main RTT matrix).
+pub fn measurements_for(
+    d: &Dataset,
+    target_idx: usize,
+    vp_indices: impl Iterator<Item = usize>,
+) -> Vec<VpMeasurement> {
+    vp_indices
+        .filter_map(|vi| {
+            d.rtt.get(vi, target_idx).map(|rtt| VpMeasurement {
+                vp: d.vps[vi],
+                location: d.world.host(d.vps[vi]).registered_location,
+                rtt,
+            })
+        })
+        .collect()
+}
+
+/// CBG measurements built from the representative campaign: each VP's
+/// constraint RTT is its median min-RTT to the target's `/24`
+/// representatives (the first step of the two-step selection).
+pub fn measurements_from_reps(
+    d: &Dataset,
+    target_idx: usize,
+    vp_indices: &[usize],
+) -> Vec<VpMeasurement> {
+    use geo_model::units::Ms;
+    let m = d.rep_rtt();
+    let k = ipgeo::million::REPRESENTATIVES;
+    vp_indices
+        .iter()
+        .filter_map(|&vi| {
+            let vals: Vec<f64> = (0..k)
+                .filter_map(|r| m.get(vi, target_idx * k + r).map(|ms| ms.value()))
+                .collect();
+            geo_model::stats::median(&vals).map(|rtt| VpMeasurement {
+                vp: d.vps[vi],
+                location: d.world.host(d.vps[vi]).registered_location,
+                rtt: Ms(rtt),
+            })
+        })
+        .collect()
+}
+
+/// CBG error (km) of one target using the given VP indices; `None` when
+/// the region is empty or no VP answered.
+pub fn cbg_error(d: &Dataset, target_idx: usize, vp_indices: impl Iterator<Item = usize>) -> Option<f64> {
+    let ms = measurements_for(d, target_idx, vp_indices);
+    let r = cbg(&ms, SpeedOfInternet::CBG)?;
+    Some(d.error_km(target_idx, &r.estimate))
+}
+
+/// Per-target CBG errors using *all* sanitized probes — the baseline
+/// series reused by Figures 2c, 4 and 7.
+pub fn cbg_errors_all_vps(d: &Dataset) -> Vec<f64> {
+    (0..d.targets.len())
+        .filter_map(|t| cbg_error(d, t, 0..d.vps.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+    use geo_model::stats;
+
+    #[test]
+    fn all_vp_baseline_is_sane() {
+        let d = Dataset::load(EvalScale::tiny(Seed(241)));
+        let errs = cbg_errors_all_vps(&d);
+        assert!(errs.len() >= d.targets.len() - 3);
+        let median = stats::median(&errs).unwrap();
+        assert!(median < 300.0, "median {median}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Tables 1 and 2 — dataset recap and AS-category composition.
+
+use crate::dataset::Dataset;
+use crate::report::{Report, Table};
+use world_sim::asn::AsCategory;
+use world_sim::census::Census;
+use world_sim::continent::Continent;
+
+/// Table 1: targets, vantage points and services used by the replication.
+pub fn tab1(d: &Dataset) -> Report {
+    let census = Census::of(&d.world);
+    let mut report = Report::new("Table 1 — datasets of the replication");
+    report.note(format!(
+        "targets: {} sanitized anchors in {} cities, {} countries, {} ASes",
+        d.anchors.len(),
+        census.anchor_cities,
+        census.anchor_countries,
+        census.anchor_ases
+    ));
+    let mut t = Table {
+        heading: "replication datasets".into(),
+        columns: ["dataset", "value"].iter().map(|s| s.to_string()).collect(),
+        rows: vec![
+            vec!["replication targets".into(), format!("{} anchors", d.anchors.len())],
+            vec!["million-scale VPs".into(), format!("{} probes", d.vps.len())],
+            vec!["street-level VPs".into(), format!("{} anchors", d.anchors.len())],
+            vec![
+                "other datasets".into(),
+                "simulated Nominatim / Overpass / hitlist / GPW density".into(),
+            ],
+        ],
+    };
+    let mut per_continent = Vec::new();
+    for (i, c) in Continent::ALL.iter().enumerate() {
+        if census.anchors_per_continent[i] > 0 {
+            per_continent.push(format!("{} {}", c.code(), census.anchors_per_continent[i]));
+        }
+    }
+    t.rows.push(vec!["targets per continent".into(), per_continent.join(", ")]);
+    report.table(t);
+    report
+}
+
+/// Table 2: AS categories of probes, anchors and their union.
+pub fn tab2(d: &Dataset) -> Report {
+    let census = Census::of(&d.world);
+    let mut report = Report::new("Table 2 — AS categories (CAIDA-style)");
+    let mut t = Table {
+        heading: "hosts per AS category".into(),
+        columns: std::iter::once("dataset".to_string())
+            .chain(AsCategory::ALL.iter().map(|c| c.label().to_string()))
+            .collect(),
+        rows: Vec::new(),
+    };
+    let row = |name: &str, counts: &world_sim::census::CategoryCounts| -> Vec<String> {
+        std::iter::once(name.to_string())
+            .chain(AsCategory::ALL.iter().enumerate().map(|(i, cat)| {
+                format!(
+                    "{} ({:.1}%)",
+                    counts.counts[i],
+                    100.0 * counts.fraction(*cat)
+                )
+            }))
+            .collect()
+    };
+    t.rows.push(row("Anchors", &census.anchor_categories));
+    t.rows.push(row("Probes", &census.probe_categories));
+    t.rows.push(row(
+        "Probes + Anchors",
+        &census.probe_categories.plus(&census.anchor_categories),
+    ));
+    report.table(t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    #[test]
+    fn tables_render() {
+        let d = Dataset::load(EvalScale::tiny(Seed(321)));
+        let t1 = tab1(&d);
+        assert!(t1.tables[0].rows.len() >= 5);
+        let t2 = tab2(&d);
+        assert_eq!(t2.tables[0].rows.len(), 3);
+        assert_eq!(t2.tables[0].columns.len(), 7);
+    }
+}

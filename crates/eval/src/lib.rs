@@ -1,0 +1,19 @@
+//! # eval
+//!
+//! The experiment harness: one module per table/figure of the replication
+//! paper, each producing a [`report::Report`] whose rows/series mirror
+//! what the paper plots. The `bench` crate's `fig*`/`tab*` binaries are
+//! thin wrappers around these functions.
+//!
+//! The expensive shared state — the paper-scale world, the sanitized
+//! vantage points, the probe→anchor minimum-RTT matrix — is materialized
+//! once per process in [`dataset::Dataset`]. Experiment fidelity (number
+//! of trials, target subsampling) is controlled by [`dataset::EvalScale`],
+//! so Criterion benches can run the identical code on reduced settings.
+
+pub mod dataset;
+pub mod experiments;
+pub mod report;
+
+pub use dataset::{Dataset, EvalScale};
+pub use report::Report;

@@ -1,0 +1,174 @@
+//! Plain-text rendering of experiment outputs.
+//!
+//! Every experiment produces a [`Report`]: a title, context lines, and a
+//! set of named series or table rows, rendered as markdown-ish text that
+//! the `fig*` binaries print and EXPERIMENTS.md embeds.
+
+use geo_model::stats::CdfPoint;
+use std::fmt;
+
+/// A rendered experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Title, e.g. `Figure 2a — number of VPs vs accuracy`.
+    pub title: String,
+    /// Free-form context lines (dataset sizes, parameters).
+    pub notes: Vec<String>,
+    /// Table sections: (heading, column names, rows).
+    pub tables: Vec<Table>,
+}
+
+/// One table in a report.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Section heading.
+    pub heading: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report with a title.
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Adds a context note.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a CDF series evaluated at the given thresholds as a table
+    /// section: one row per threshold, one column per series.
+    pub fn cdf_section(
+        &mut self,
+        heading: impl Into<String>,
+        xlabel: &str,
+        thresholds: &[f64],
+        series: &[(String, Vec<CdfPoint>)],
+    ) {
+        let mut columns = vec![xlabel.to_string()];
+        columns.extend(series.iter().map(|(name, _)| name.clone()));
+        let rows = thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let mut row = vec![format_value(x)];
+                for (_, pts) in series {
+                    row.push(format!("{:.3}", pts[i].fraction));
+                }
+                row
+            })
+            .collect();
+        self.tables.push(Table {
+            heading: heading.into(),
+            columns,
+            rows,
+        });
+    }
+}
+
+/// Log-spaced thresholds matching the paper's log-scale x axes
+/// (10^0 .. 10^4 km by default).
+pub fn log_thresholds(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && per_decade > 0);
+    let mut out = Vec::new();
+    let step = 1.0 / per_decade as f64;
+    let mut e = lo.log10();
+    while e <= hi.log10() + 1e-9 {
+        out.push(10f64.powf(e));
+        e += step;
+    }
+    out
+}
+
+fn format_value(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "  {n}")?;
+        }
+        for t in &self.tables {
+            writeln!(f)?;
+            if !t.heading.is_empty() {
+                writeln!(f, "### {}", t.heading)?;
+            }
+            writeln!(f, "| {} |", t.columns.join(" | "))?;
+            writeln!(
+                f,
+                "|{}|",
+                t.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            )?;
+            for row in &t.rows {
+                writeln!(f, "| {} |", row.join(" | "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::stats;
+
+    #[test]
+    fn renders_markdown() {
+        let mut r = Report::new("Figure X");
+        r.note("n = 3");
+        r.table(Table {
+            heading: "counts".into(),
+            columns: vec!["k".into(), "v".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        });
+        let s = r.to_string();
+        assert!(s.contains("## Figure X"));
+        assert!(s.contains("| k | v |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn log_thresholds_are_log_spaced() {
+        let t = log_thresholds(1.0, 10_000.0, 1);
+        assert_eq!(t.len(), 5);
+        assert!((t[0] - 1.0).abs() < 1e-9);
+        assert!((t[4] - 10_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_section_shapes() {
+        let mut r = Report::new("t");
+        let data = [1.0, 5.0, 50.0];
+        let xs = log_thresholds(1.0, 100.0, 1);
+        let series = vec![("errors".to_string(), stats::cdf_at(&data, &xs))];
+        r.cdf_section("cdf", "km", &xs, &series);
+        assert_eq!(r.tables[0].rows.len(), xs.len());
+        assert_eq!(r.tables[0].columns.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_thresholds_validate() {
+        let _ = log_thresholds(0.0, 10.0, 1);
+    }
+}

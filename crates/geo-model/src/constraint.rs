@@ -1,0 +1,360 @@
+//! Constraint circles and region intersection — the geometric core of
+//! Constraint-Based Geolocation (CBG).
+//!
+//! Each vantage point with a measured RTT to the target induces a
+//! [`Circle`]: the target must lie within `max_distance(rtt)` of the
+//! vantage point. A [`Region`] is the conjunction of such constraints; CBG
+//! estimates the target position as the **centroid of the intersection** of
+//! all circles.
+//!
+//! The intersection of spherical caps has no convenient closed form, so the
+//! centroid is estimated by sampling: a polar grid is laid over the
+//! smallest circle (every point of the intersection must lie inside the
+//! smallest circle) and the spherical centroid of the samples that satisfy
+//! every constraint is returned. The resolution adapts: if no sample
+//! satisfies all constraints, the grid is refined a few times before the
+//! region is declared empty — mirroring the paper's observation that for 5
+//! targets the 4/9 c factor produced no intersection at all (§5.2.1).
+
+use crate::point::GeoPoint;
+use crate::units::Km;
+
+/// A single geographic constraint: the target lies within `radius` of
+/// `center`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// The vantage point (or landmark) location.
+    pub center: GeoPoint,
+    /// Maximum distance of the target from the center.
+    pub radius: Km,
+}
+
+impl Circle {
+    /// Creates a constraint circle. Negative radii are clamped to zero.
+    pub fn new(center: GeoPoint, radius: Km) -> Circle {
+        Circle {
+            center,
+            radius: radius.max(Km::ZERO),
+        }
+    }
+
+    /// True if `point` satisfies this constraint.
+    #[inline]
+    pub fn contains(&self, point: &GeoPoint) -> bool {
+        self.center.distance(point) <= self.radius
+    }
+
+    /// True if the two circles can possibly share a point
+    /// (necessary, not sufficient, for a common intersection).
+    #[inline]
+    pub fn overlaps(&self, other: &Circle) -> bool {
+        self.center.distance(&other.center) <= self.radius + other.radius
+    }
+}
+
+/// The result of intersecting a region: the centroid estimate plus
+/// diagnostics used by the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionEstimate {
+    /// Spherical centroid of the sampled intersection.
+    pub centroid: GeoPoint,
+    /// Approximate area of the intersection in km².
+    pub area_km2: f64,
+    /// Radius of the smallest constraint circle — an upper bound on how far
+    /// the centroid can be from the target when constraints are sound.
+    pub tightest_radius: Km,
+}
+
+/// A conjunction of constraint circles.
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    circles: Vec<Circle>,
+}
+
+/// Number of radial rings in the base sampling grid.
+const BASE_RINGS: usize = 24;
+/// Number of refinement passes before declaring the region empty.
+const MAX_REFINES: usize = 3;
+
+impl Region {
+    /// An empty region (no constraints — the whole Earth).
+    pub fn new() -> Region {
+        Region::default()
+    }
+
+    /// Builds a region from constraint circles.
+    pub fn from_circles(circles: Vec<Circle>) -> Region {
+        Region { circles }
+    }
+
+    /// Adds one constraint.
+    pub fn push(&mut self, circle: Circle) {
+        self.circles.push(circle);
+    }
+
+    /// The constraints in this region.
+    pub fn circles(&self) -> &[Circle] {
+        &self.circles
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.circles.len()
+    }
+
+    /// True if no constraint has been added.
+    pub fn is_empty(&self) -> bool {
+        self.circles.is_empty()
+    }
+
+    /// True if `point` satisfies every constraint.
+    pub fn contains(&self, point: &GeoPoint) -> bool {
+        self.circles.iter().all(|c| c.contains(point))
+    }
+
+    /// The smallest constraint circle, if any.
+    pub fn tightest(&self) -> Option<&Circle> {
+        self.circles
+            .iter()
+            .min_by(|a, b| a.radius.total_cmp(&b.radius))
+    }
+
+    /// Quick necessary condition for non-emptiness: every pair of circles
+    /// overlaps. Cheap pre-filter before sampling.
+    pub fn pairwise_feasible(&self) -> bool {
+        for (i, a) in self.circles.iter().enumerate() {
+            for b in &self.circles[i + 1..] {
+                if !a.overlaps(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops constraints that cannot shape the intersection because they
+    /// fully contain the tightest circle's disc. With thousands of vantage
+    /// points, almost every circle is redundant: a VP at 100 ms constrains
+    /// a 10,000 km radius that any same-city constraint already implies.
+    /// Returns the active circles (always including the tightest).
+    pub fn active_circles(&self) -> Vec<Circle> {
+        let Some(t) = self.tightest().copied() else {
+            return Vec::new();
+        };
+        self.circles
+            .iter()
+            .filter(|c| {
+                // Keep c unless it strictly swallows the tightest disc
+                // (>=: the tightest itself is always kept).
+                c.center.distance(&t.center) + t.radius >= c.radius
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Estimates the centroid of the intersection of all constraints.
+    ///
+    /// Returns `None` if the region has no constraints or the intersection
+    /// is (numerically) empty. Redundant circles are dropped first
+    /// ([`active_circles`]); the smallest circle is then sampled with a
+    /// polar grid of `BASE_RINGS` rings (denser rings carry proportionally
+    /// more azimuthal samples so the point density is roughly uniform);
+    /// samples inside **all** active circles vote for the centroid. On an
+    /// empty vote the grid is refined up to `MAX_REFINES` times.
+    ///
+    /// [`active_circles`]: Region::active_circles
+    pub fn intersect(&self) -> Option<RegionEstimate> {
+        let tightest = *self.tightest()?;
+        let active = Region::from_circles(self.active_circles());
+        if !active.pairwise_feasible() {
+            return None;
+        }
+        active.intersect_inner(tightest)
+    }
+
+    fn intersect_inner(&self, tightest: Circle) -> Option<RegionEstimate> {
+        // Degenerate zero-radius constraint: the intersection is the center
+        // itself if it satisfies everything.
+        if tightest.radius.value() <= f64::EPSILON {
+            return if self.contains(&tightest.center) {
+                Some(RegionEstimate {
+                    centroid: tightest.center,
+                    area_km2: 0.0,
+                    tightest_radius: tightest.radius,
+                })
+            } else {
+                None
+            };
+        }
+
+        let mut rings = BASE_RINGS;
+        for _ in 0..=MAX_REFINES {
+            if let Some(est) = self.sample_intersection(&tightest, rings) {
+                return Some(est);
+            }
+            rings *= 2;
+        }
+        None
+    }
+
+    fn sample_intersection(&self, tightest: &Circle, rings: usize) -> Option<RegionEstimate> {
+        let r = tightest.radius.value();
+        let ring_width = r / rings as f64;
+        let mut inside: Vec<GeoPoint> = Vec::new();
+        let mut total_samples = 0usize;
+
+        // Ring 0: the center itself.
+        total_samples += 1;
+        if self.contains(&tightest.center) {
+            inside.push(tightest.center);
+        }
+
+        for ring in 1..=rings {
+            let radius = Km(ring as f64 * ring_width);
+            // ~6 samples per ring index keeps areal density uniform.
+            let samples = 6 * ring;
+            let step = 360.0 / samples as f64;
+            for k in 0..samples {
+                total_samples += 1;
+                let p = tightest.center.destination(k as f64 * step, radius);
+                if self.contains(&p) {
+                    inside.push(p);
+                }
+            }
+        }
+
+        if inside.is_empty() {
+            return None;
+        }
+        let centroid = GeoPoint::centroid(&inside)?;
+        let circle_area = std::f64::consts::PI * r * r;
+        let area_km2 = circle_area * inside.len() as f64 / total_samples as f64;
+        Some(RegionEstimate {
+            centroid,
+            area_km2,
+            tightest_radius: tightest.radius,
+        })
+    }
+
+    /// Points of this region's intersection boundary sampled for landmark
+    /// discovery: used by tests and by the street-level tier-2 stopping
+    /// rule ("the process stops when no points of a circle are within the
+    /// CBG region").
+    pub fn any_point_inside(&self, points: &[GeoPoint]) -> bool {
+        points.iter().any(|p| self.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn single_circle_centroid_is_center() {
+        let region = Region::from_circles(vec![Circle::new(p(40.0, -3.0), Km(500.0))]);
+        let est = region.intersect().unwrap();
+        assert!(est.centroid.distance(&p(40.0, -3.0)).value() < 10.0);
+        // Area should approximate the full circle.
+        let expected = std::f64::consts::PI * 500.0 * 500.0;
+        assert!((est.area_km2 - expected).abs() / expected < 0.1);
+    }
+
+    #[test]
+    fn two_overlapping_circles() {
+        // Centers 600 km apart, radii 400 km: lens around the midpoint.
+        let a = p(0.0, 0.0);
+        let b = a.destination(90.0, Km(600.0));
+        let region =
+            Region::from_circles(vec![Circle::new(a, Km(400.0)), Circle::new(b, Km(400.0))]);
+        let est = region.intersect().unwrap();
+        let mid = a.midpoint(&b);
+        assert!(
+            est.centroid.distance(&mid).value() < 30.0,
+            "centroid {} vs midpoint {}",
+            est.centroid,
+            mid
+        );
+    }
+
+    #[test]
+    fn disjoint_circles_have_no_intersection() {
+        let a = p(0.0, 0.0);
+        let b = a.destination(90.0, Km(3000.0));
+        let region =
+            Region::from_circles(vec![Circle::new(a, Km(500.0)), Circle::new(b, Km(500.0))]);
+        assert!(region.intersect().is_none());
+        assert!(!region.pairwise_feasible());
+    }
+
+    #[test]
+    fn empty_region_returns_none() {
+        assert!(Region::new().intersect().is_none());
+    }
+
+    #[test]
+    fn tightest_circle_bounds_error() {
+        // True target inside all circles: centroid must be within the
+        // tightest radius + tightest radius of the target.
+        let target = p(48.85, 2.35);
+        let vps = [
+            (p(50.0, 3.0), 250.0),
+            (p(47.0, 1.0), 350.0),
+            (p(49.0, 5.0), 300.0),
+        ];
+        let circles: Vec<Circle> = vps
+            .iter()
+            .map(|(vp, r)| Circle::new(*vp, Km(*r)))
+            .collect();
+        // Every circle genuinely contains the target.
+        for c in &circles {
+            assert!(c.contains(&target));
+        }
+        let region = Region::from_circles(circles);
+        let est = region.intersect().unwrap();
+        assert!(est.centroid.distance(&target).value() <= 2.0 * est.tightest_radius.value());
+    }
+
+    #[test]
+    fn zero_radius_circle() {
+        let c = p(10.0, 10.0);
+        let region = Region::from_circles(vec![
+            Circle::new(c, Km(0.0)),
+            Circle::new(p(10.5, 10.5), Km(200.0)),
+        ]);
+        let est = region.intersect().unwrap();
+        assert_eq!(est.centroid, c);
+        assert_eq!(est.area_km2, 0.0);
+    }
+
+    #[test]
+    fn negative_radius_clamped() {
+        let c = Circle::new(p(0.0, 0.0), Km(-5.0));
+        assert_eq!(c.radius, Km(0.0));
+    }
+
+    #[test]
+    fn contains_is_conjunction() {
+        let region = Region::from_circles(vec![
+            Circle::new(p(0.0, 0.0), Km(1000.0)),
+            Circle::new(p(0.0, 10.0), Km(1000.0)),
+        ]);
+        assert!(region.contains(&p(0.0, 5.0)));
+        assert!(!region.contains(&p(0.0, -8.5)));
+    }
+
+    #[test]
+    fn refinement_finds_thin_lens() {
+        // Nearly tangent circles: intersection is a thin lens that the base
+        // grid may miss; refinement should still find it.
+        let a = p(0.0, 0.0);
+        let b = a.destination(90.0, Km(999.0));
+        let region =
+            Region::from_circles(vec![Circle::new(a, Km(500.0)), Circle::new(b, Km(500.0))]);
+        let est = region.intersect();
+        assert!(est.is_some(), "thin lens not found");
+    }
+}

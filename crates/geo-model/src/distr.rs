@@ -1,0 +1,373 @@
+//! Probability distributions used by the Internet simulator.
+//!
+//! The workspace deliberately sticks to the sanctioned dependency list, so
+//! the few continuous distributions the simulator needs (normal, log-normal,
+//! gamma, exponential, Pareto) and the discrete Zipf law for city
+//! populations are implemented here with standard, well-tested algorithms:
+//! Marsaglia polar for the normal, Marsaglia–Tsang for the gamma, inversion
+//! for the exponential/Pareto, and finite-support inverse-CDF for Zipf.
+
+use rand::Rng;
+
+/// A distribution over `f64` samples.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Normal (Gaussian) distribution, via the Marsaglia polar method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Normal {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "std_dev must be finite and >= 0, got {std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// Draws a standard-normal variate.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for RTT jitter (heavy right tail, never negative) and for rural
+/// population density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (log scale).
+    pub mu: f64,
+    /// Std-dev of the underlying normal (log scale).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from log-scale parameters.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be finite and >= 0, got {sigma}"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given *linear-scale* median.
+    /// `median = exp(mu)`, so `mu = ln(median)`.
+    pub fn with_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`, via the
+/// Marsaglia–Tsang squeeze method (with the `k < 1` boost).
+///
+/// Used for last-mile delay: shape ~2 gives the characteristic "a few ms,
+/// occasionally tens of ms" residential access profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    /// Shape parameter `k` (> 0).
+    pub shape: f64,
+    /// Scale parameter `theta` (> 0). Mean is `shape * scale`.
+    pub scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(shape: f64, scale: f64) -> Gamma {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "shape must be finite and > 0, got {shape}"
+        );
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be finite and > 0, got {scale}"
+        );
+        Gamma { shape, scale }
+    }
+
+    fn sample_shape_ge1<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::standard(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Sample for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = if self.shape >= 1.0 {
+            Gamma::sample_shape_ge1(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+            let g = Gamma::sample_shape_ge1(self.shape + 1.0, rng);
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            g * u.powf(1.0 / self.shape)
+        };
+        raw * self.scale
+    }
+}
+
+/// Exponential distribution with the given rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (> 0).
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or non-finite.
+    pub fn new(rate: f64) -> Exponential {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be finite and > 0, got {rate}"
+        );
+        Exponential { rate }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto distribution with scale `x_min` and tail index `alpha`.
+///
+/// Used for AS footprint sizes (a few giant networks, many small ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (> 0).
+    pub x_min: f64,
+    /// Tail index (> 0); smaller means heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(x_min: f64, alpha: f64) -> Pareto {
+        assert!(x_min > 0.0 && x_min.is_finite(), "x_min must be > 0");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be > 0");
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf law over ranks `1..=n` with exponent `s`, sampled by inverse CDF
+/// over the precomputed normalization (exact for the finite support we
+/// need: city population ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over ranks `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF has no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+        .min(self.cdf.len())
+    }
+
+    /// The relative weight of rank `k` (unnormalized `1/k^s` is recovered
+    /// from the CDF differences).
+    pub fn weight(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    fn draw<D: Sample>(d: &D, n: usize, label: &str) -> Vec<f64> {
+        let mut rng = Seed(0xDEAD_BEEF).derive(label).rng();
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_moments() {
+        let s = draw(&Normal::new(5.0, 2.0), 40_000, "normal");
+        let (m, v) = mean_and_var(&s);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_median() {
+        let s = draw(&LogNormal::with_median(3.0, 0.8), 40_000, "lognormal");
+        assert!(s.iter().all(|&x| x > 0.0));
+        let mut sorted = s.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 3.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_ge1() {
+        let d = Gamma::new(2.0, 3.0);
+        let s = draw(&d, 40_000, "gamma1");
+        let (m, v) = mean_and_var(&s);
+        assert!((m - 6.0).abs() < 0.2, "mean {m}"); // k*theta
+        assert!((v - 18.0).abs() < 2.0, "var {v}"); // k*theta^2
+    }
+
+    #[test]
+    fn gamma_moments_shape_lt1() {
+        let d = Gamma::new(0.5, 2.0);
+        let s = draw(&d, 60_000, "gamma2");
+        let (m, _) = mean_and_var(&s);
+        assert!((m - 1.0).abs() < 0.1, "mean {m}");
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let s = draw(&Exponential::new(0.25), 40_000, "exp");
+        let (m, _) = mean_and_var(&s);
+        assert!((m - 4.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_respects_min() {
+        let s = draw(&Pareto::new(2.0, 1.5), 10_000, "pareto");
+        assert!(s.iter().all(|&x| x >= 2.0));
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Seed(7).derive("zipf").rng();
+        let mut counts = vec![0usize; 101];
+        for _ in 0..50_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.weight(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn zipf_rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Compact IPv4 address and `/24` prefix model.
+//!
+//! The simulator allocates synthetic IPv4 addresses to hosts; the
+//! million-scale technique reasons about `/24` prefixes (its representatives
+//! are "three responsive IP addresses in the target's /24"). We use a `u32`
+//! newtype rather than `std::net::Ipv4Addr` so prefix arithmetic is free and
+//! the address space of a simulated world can be allocated linearly.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address as a host-order `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The octets of this address.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The `/24` prefix containing this address.
+    pub const fn prefix24(self) -> Prefix24 {
+        Prefix24(self.0 >> 8)
+    }
+
+    /// The host byte (last octet) within the `/24`.
+    pub const fn host_byte(self) -> u8 {
+        self.0 as u8
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Errors parsing a dotted-quad address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpv4Error(String);
+
+impl fmt::Display for ParseIpv4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseIpv4Error {}
+
+impl FromStr for Ipv4 {
+    type Err = ParseIpv4Error;
+
+    fn from_str(s: &str) -> Result<Ipv4, ParseIpv4Error> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in octets.iter_mut() {
+            let part = parts.next().ok_or_else(|| ParseIpv4Error(s.to_string()))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| ParseIpv4Error(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseIpv4Error(s.to_string()));
+        }
+        Ok(Ipv4::from_octets(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// A `/24` prefix, stored as the upper 24 bits of its addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix24(pub u32);
+
+impl Prefix24 {
+    /// The network (`.0`) address of this prefix.
+    pub const fn network(self) -> Ipv4 {
+        Ipv4(self.0 << 8)
+    }
+
+    /// The address with the given host byte inside this prefix.
+    pub const fn host(self, byte: u8) -> Ipv4 {
+        Ipv4((self.0 << 8) | byte as u32)
+    }
+
+    /// Iterates all 256 addresses of the prefix.
+    pub fn addresses(self) -> impl Iterator<Item = Ipv4> {
+        (0u16..=255).map(move |b| self.host(b as u8))
+    }
+
+    /// True if the address belongs to this prefix.
+    pub const fn contains(self, addr: Ipv4) -> bool {
+        addr.0 >> 8 == self.0
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_roundtrip() {
+        let a = Ipv4::from_octets(192, 168, 1, 42);
+        assert_eq!(a.octets(), [192, 168, 1, 42]);
+        assert_eq!(a.to_string(), "192.168.1.42");
+    }
+
+    #[test]
+    fn parse_valid() {
+        let a: Ipv4 = "10.0.0.1".parse().unwrap();
+        assert_eq!(a, Ipv4::from_octets(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn parse_invalid() {
+        assert!("10.0.0".parse::<Ipv4>().is_err());
+        assert!("10.0.0.1.2".parse::<Ipv4>().is_err());
+        assert!("10.0.0.256".parse::<Ipv4>().is_err());
+        assert!("not-an-ip".parse::<Ipv4>().is_err());
+    }
+
+    #[test]
+    fn prefix_membership() {
+        let a = Ipv4::from_octets(10, 1, 2, 3);
+        let p = a.prefix24();
+        assert_eq!(p.network(), Ipv4::from_octets(10, 1, 2, 0));
+        assert!(p.contains(a));
+        assert!(p.contains(Ipv4::from_octets(10, 1, 2, 255)));
+        assert!(!p.contains(Ipv4::from_octets(10, 1, 3, 0)));
+        assert_eq!(a.host_byte(), 3);
+    }
+
+    #[test]
+    fn prefix_iterates_256() {
+        let p = Ipv4::from_octets(172, 16, 5, 0).prefix24();
+        let addrs: Vec<Ipv4> = p.addresses().collect();
+        assert_eq!(addrs.len(), 256);
+        assert_eq!(addrs[0], p.network());
+        assert_eq!(addrs[255], Ipv4::from_octets(172, 16, 5, 255));
+    }
+
+    #[test]
+    fn prefix_display() {
+        let p = Ipv4::from_octets(8, 8, 8, 8).prefix24();
+        assert_eq!(p.to_string(), "8.8.8.0/24");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ipv4::from_octets(1, 0, 0, 0) < Ipv4::from_octets(2, 0, 0, 0));
+        assert!(
+            Ipv4::from_octets(10, 0, 0, 1).prefix24() < Ipv4::from_octets(10, 0, 1, 0).prefix24()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # geo-model
+//!
+//! Geographic and measurement primitives shared by every crate in the
+//! `ipgeo` replication framework.
+//!
+//! This crate is the bottom of the dependency stack. It knows nothing about
+//! the Internet simulation or the geolocation techniques; it only provides:
+//!
+//! - [`GeoPoint`] and spherical geometry (haversine distance, destination
+//!   point, bearing) on the WGS-84 mean-radius sphere;
+//! - strongly typed units ([`Km`], [`Ms`]) so that distances and delays can
+//!   never be confused at an API boundary;
+//! - speed-of-internet conversions ([`soi`]) between round-trip times and
+//!   maximum geographic distances, with the two conversion factors used by
+//!   the replicated papers (2/3 c for CBG, 4/9 c for the street-level paper);
+//! - [`constraint`] regions: circles on the sphere, intersection tests and
+//!   centroid estimation, the geometric core of Constraint-Based Geolocation;
+//! - [`ip`]: a compact IPv4 address / `/24` prefix model;
+//! - [`rng`]: deterministic seed derivation so that every simulation is a
+//!   pure function of one `u64` seed;
+//! - [`distr`]: the handful of probability distributions the simulator needs
+//!   (normal, log-normal, gamma, Zipf, exponential, Pareto), implemented
+//!   locally to keep the dependency set tight;
+//! - [`stats`]: medians, percentiles, CDFs, Pearson correlation and linear
+//!   regression used by the evaluation harness.
+//!
+//! Everything here is deterministic and allocation-light, following the
+//! event-driven robustness-first idiom of the networking guides.
+
+pub mod constraint;
+pub mod distr;
+pub mod ip;
+pub mod point;
+pub mod rng;
+pub mod soi;
+pub mod stats;
+pub mod units;
+
+pub use constraint::{Circle, Region};
+pub use ip::{Ipv4, Prefix24};
+pub use point::GeoPoint;
+pub use units::{Km, Ms};

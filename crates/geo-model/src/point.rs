@@ -1,0 +1,246 @@
+//! Points on the Earth and spherical geometry.
+//!
+//! All geometry uses the mean-radius spherical Earth model
+//! ([`EARTH_RADIUS_KM`]), which is what the replicated geolocation papers
+//! use implicitly when converting latency to distance: CBG errors are tens
+//! of kilometers, three orders of magnitude above the ~0.5% error of the
+//! spherical approximation.
+
+use crate::units::Km;
+use std::fmt;
+
+/// Mean Earth radius in kilometers (IUGG mean radius R1).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Half the Earth's circumference: the maximum possible great-circle
+/// distance between two points.
+pub const MAX_DISTANCE_KM: f64 = std::f64::consts::PI * EARTH_RADIUS_KM;
+
+/// A geographic coordinate: latitude and longitude in degrees.
+///
+/// Latitude is in `[-90, 90]`, longitude in `[-180, 180)`. Constructors
+/// normalize out-of-range longitudes and clamp latitudes, so downstream code
+/// can assume canonical values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, clamping latitude to `[-90, 90]` and wrapping
+    /// longitude into `[-180, 180)`.
+    pub fn new(lat: f64, lon: f64) -> GeoPoint {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        if lon >= 180.0 {
+            lon -= 360.0;
+        }
+        GeoPoint { lat, lon }
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` using the haversine formula,
+    /// numerically stable for small distances.
+    pub fn distance(&self, other: &GeoPoint) -> Km {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().clamp(0.0, 1.0).asin();
+        Km(EARTH_RADIUS_KM * c)
+    }
+
+    /// Initial bearing (forward azimuth) from `self` to `other`, in degrees
+    /// clockwise from north, in `[0, 360)`.
+    pub fn bearing_to(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance` along the great circle
+    /// with initial bearing `bearing_deg` (degrees clockwise from north).
+    ///
+    /// This is the primitive behind the street-level paper's concentric
+    /// circle sampling (Tier 2/3): points on a circle of radius `r` around a
+    /// centroid are `destination(centroid, k * alpha, r)`.
+    pub fn destination(&self, bearing_deg: f64, distance: Km) -> GeoPoint {
+        let delta = distance.value() / EARTH_RADIUS_KM;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos())
+            .clamp(-1.0, 1.0)
+            .asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos())
+                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+        GeoPoint::new(lat2.to_degrees(), lon2.to_degrees())
+    }
+
+    /// The midpoint of the great-circle segment between `self` and `other`.
+    pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
+        let half = self.distance(other) / 2.0;
+        let bearing = self.bearing_to(other);
+        self.destination(bearing, half)
+    }
+
+    /// Geographic centroid of a set of points (mean of unit vectors on the
+    /// sphere, projected back). Returns `None` for an empty slice or if the
+    /// points cancel out exactly (antipodal degenerate case).
+    pub fn centroid(points: &[GeoPoint]) -> Option<GeoPoint> {
+        if points.is_empty() {
+            return None;
+        }
+        let (mut x, mut y, mut z) = (0.0f64, 0.0f64, 0.0f64);
+        for p in points {
+            let lat = p.lat.to_radians();
+            let lon = p.lon.to_radians();
+            x += lat.cos() * lon.cos();
+            y += lat.cos() * lon.sin();
+            z += lat.sin();
+        }
+        let n = points.len() as f64;
+        let (x, y, z) = (x / n, y / n, z / n);
+        let norm = (x * x + y * y + z * z).sqrt();
+        if norm < 1e-12 {
+            return None;
+        }
+        let lat = (z / norm).asin().to_degrees();
+        let lon = y.atan2(x).to_degrees();
+        Some(GeoPoint::new(lat, lon))
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn normalizes_longitude() {
+        let p = GeoPoint::new(10.0, 190.0);
+        assert!(close(p.lon(), -170.0, 1e-9));
+        let q = GeoPoint::new(10.0, -190.0);
+        assert!(close(q.lon(), 170.0, 1e-9));
+    }
+
+    #[test]
+    fn clamps_latitude() {
+        assert_eq!(GeoPoint::new(95.0, 0.0).lat(), 90.0);
+        assert_eq!(GeoPoint::new(-95.0, 0.0).lat(), -90.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(48.8566, 2.3522);
+        assert!(p.distance(&p).value() < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_paris_london() {
+        // Paris <-> London is ~344 km.
+        let paris = GeoPoint::new(48.8566, 2.3522);
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let d = paris.distance(&london).value();
+        assert!((330.0..360.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn known_distance_equator_quarter() {
+        // A quarter of the equator.
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 90.0);
+        let d = a.distance(&b).value();
+        assert!(close(d, MAX_DISTANCE_KM / 2.0, 1.0), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(37.77, -122.42);
+        let b = GeoPoint::new(-33.87, 151.21);
+        assert!(close(
+            a.distance(&b).value(),
+            b.distance(&a).value(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn destination_inverts_distance() {
+        let start = GeoPoint::new(40.0, -74.0);
+        let dest = start.destination(63.0, Km(500.0));
+        assert!(close(start.distance(&dest).value(), 500.0, 0.5));
+    }
+
+    #[test]
+    fn destination_bearing_north() {
+        let start = GeoPoint::new(0.0, 0.0);
+        let dest = start.destination(0.0, Km(111.0));
+        assert!(close(dest.lon(), 0.0, 1e-6));
+        assert!(dest.lat() > 0.9 && dest.lat() < 1.1);
+    }
+
+    #[test]
+    fn bearing_east_at_equator() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 10.0);
+        assert!(close(a.bearing_to(&b), 90.0, 1e-6));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = GeoPoint::new(48.8566, 2.3522);
+        let b = GeoPoint::new(51.5074, -0.1278);
+        let m = a.midpoint(&b);
+        assert!(close(
+            a.distance(&m).value(),
+            b.distance(&m).value(),
+            0.1
+        ));
+    }
+
+    #[test]
+    fn centroid_of_symmetric_points() {
+        let pts = [
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(-1.0, 1.0),
+            GeoPoint::new(1.0, -1.0),
+            GeoPoint::new(-1.0, -1.0),
+        ];
+        let c = GeoPoint::centroid(&pts).unwrap();
+        assert!(close(c.lat(), 0.0, 1e-6));
+        assert!(close(c.lon(), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn centroid_empty_is_none() {
+        assert!(GeoPoint::centroid(&[]).is_none());
+    }
+}

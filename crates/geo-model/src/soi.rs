@@ -1,0 +1,151 @@
+//! Speed-of-Internet conversions between RTTs and distances.
+//!
+//! Latency-based geolocation converts a round-trip time into an upper bound
+//! on the geographic distance between the two endpoints: light in fiber
+//! travels at roughly 2/3 of the vacuum speed of light `c`, and a packet
+//! must make the trip twice. CBG (Gueye et al.) uses the conservative
+//! `2/3 c` factor; the street-level paper argues `2/3 c` is *too*
+//! conservative for its dense landmark constraints and uses `4/9 c`
+//! (§3.2.2 of the replication). Both factors are first-class here so that
+//! each pipeline states explicitly which physics it assumes.
+
+use crate::units::{Km, Ms};
+
+/// Vacuum speed of light, in kilometers per millisecond.
+pub const C_KM_PER_MS: f64 = 299.792458;
+
+/// A speed-of-internet model: the assumed fraction of `c` at which signals
+/// effectively propagate end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedOfInternet {
+    fraction_of_c: f64,
+}
+
+impl SpeedOfInternet {
+    /// The classic CBG factor: signals travel at 2/3 of the speed of light
+    /// (speed of light in fiber). Used for constraint circles in CBG, for
+    /// the million-scale paper, and for the anchor sanitization of §4.3.
+    pub const CBG: SpeedOfInternet = SpeedOfInternet {
+        fraction_of_c: 2.0 / 3.0,
+    };
+
+    /// The street-level paper's factor: 4/9 of the speed of light, i.e.
+    /// 2/3 of the fiber speed, accounting for path inflation and queueing.
+    pub const STREET_LEVEL: SpeedOfInternet = SpeedOfInternet {
+        fraction_of_c: 4.0 / 9.0,
+    };
+
+    /// A custom fraction of `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is not in `(0, 1]`.
+    pub fn of_c(fraction: f64) -> SpeedOfInternet {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "speed-of-internet fraction must be in (0, 1], got {fraction}"
+        );
+        SpeedOfInternet {
+            fraction_of_c: fraction,
+        }
+    }
+
+    /// The fraction of `c` this model assumes.
+    #[inline]
+    pub fn fraction(&self) -> f64 {
+        self.fraction_of_c
+    }
+
+    /// Effective one-way propagation speed in km/ms.
+    #[inline]
+    pub fn km_per_ms(&self) -> f64 {
+        self.fraction_of_c * C_KM_PER_MS
+    }
+
+    /// Converts a round-trip time into the maximum one-way geographic
+    /// distance consistent with it: `rtt / 2 * speed`.
+    ///
+    /// Negative RTTs (which arise from the noisy `D1 + D2` computation of
+    /// the street-level paper, Fig. 6a) map to a zero-radius constraint and
+    /// should be filtered by the caller; we saturate rather than panic so
+    /// that bulk pipelines stay total.
+    #[inline]
+    pub fn max_distance(&self, rtt: Ms) -> Km {
+        Km((rtt.value().max(0.0) / 2.0) * self.km_per_ms())
+    }
+
+    /// Converts a geographic distance into the minimum possible round-trip
+    /// time: `2 * dist / speed`. This is the inverse of [`max_distance`]
+    /// and the test applied by the §4.3 sanitizer: a measured RTT below
+    /// this bound is a speed-of-internet violation.
+    ///
+    /// [`max_distance`]: SpeedOfInternet::max_distance
+    #[inline]
+    pub fn min_rtt(&self, distance: Km) -> Ms {
+        Ms(2.0 * distance.value() / self.km_per_ms())
+    }
+
+    /// True if a measured RTT over a known geographic distance violates
+    /// this speed-of-internet model (the packet would have had to travel
+    /// faster than the model allows).
+    #[inline]
+    pub fn violates(&self, distance: Km, rtt: Ms) -> bool {
+        rtt < self.min_rtt(distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbg_factor_value() {
+        assert!((SpeedOfInternet::CBG.fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // ~100 km per millisecond one-way is the usual rule of thumb.
+        let v = SpeedOfInternet::CBG.km_per_ms();
+        assert!((199.0..201.0).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn street_level_is_slower() {
+        assert!(
+            SpeedOfInternet::STREET_LEVEL.km_per_ms() < SpeedOfInternet::CBG.km_per_ms()
+        );
+    }
+
+    #[test]
+    fn rtt_distance_roundtrip() {
+        let soi = SpeedOfInternet::CBG;
+        let d = Km(1234.5);
+        let rtt = soi.min_rtt(d);
+        let back = soi.max_distance(rtt);
+        assert!((back.value() - d.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_100ms_is_10000km() {
+        // §3.1.1: "a VP with an RTT of 100ms to the target results in a
+        // constrained region with a radius of 10,000 km".
+        let r = SpeedOfInternet::CBG.max_distance(Ms(100.0));
+        assert!((r.value() - 9993.0).abs() < 20.0, "got {r}");
+    }
+
+    #[test]
+    fn negative_rtt_saturates() {
+        assert_eq!(SpeedOfInternet::CBG.max_distance(Ms(-5.0)), Km(0.0));
+    }
+
+    #[test]
+    fn violation_detection() {
+        let soi = SpeedOfInternet::CBG;
+        // 2000 km needs >= ~20 ms RTT at 2/3 c.
+        assert!(soi.violates(Km(2000.0), Ms(10.0)));
+        assert!(!soi.violates(Km(2000.0), Ms(30.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let _ = SpeedOfInternet::of_c(1.5);
+    }
+}

@@ -1,0 +1,300 @@
+//! Statistics for the evaluation harness.
+//!
+//! Everything the paper's figures need: medians and percentiles, empirical
+//! CDFs, Pearson correlation (Fig. 5c), ordinary least-squares regression
+//! (Fig. 6b), and error-bar summaries (Fig. 2a).
+
+/// Returns the `q`-quantile (`0.0..=1.0`) of the data using linear
+/// interpolation between order statistics. Returns `None` on empty input.
+/// NaN values are ignored.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// The median (0.5-quantile).
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` on empty input.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    let m = mean(data)?;
+    let var = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / data.len() as f64;
+    Some(var.sqrt())
+}
+
+/// The fraction of values `<= threshold`; the building block of every
+/// "X% of targets have an error of at most Y km" claim in the paper.
+pub fn fraction_at_most(data: &[f64], threshold: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|&&x| x <= threshold).count() as f64 / data.len() as f64
+}
+
+/// One point of an empirical CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// The value on the x-axis.
+    pub value: f64,
+    /// `P(X <= value)`.
+    pub fraction: f64,
+}
+
+/// The full empirical CDF: sorted values with cumulative fractions.
+/// NaN values are dropped.
+pub fn empirical_cdf(data: &[f64]) -> Vec<CdfPoint> {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, value)| CdfPoint {
+            value,
+            fraction: (i + 1) as f64 / n,
+        })
+        .collect()
+}
+
+/// Evaluates the empirical CDF at a fixed set of x-axis positions — useful
+/// for rendering several series over a common grid like the paper's plots.
+pub fn cdf_at(data: &[f64], xs: &[f64]) -> Vec<CdfPoint> {
+    xs.iter()
+        .map(|&x| CdfPoint {
+            value: x,
+            fraction: fraction_at_most(data, x),
+        })
+        .collect()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns `None` if lengths differ, fewer than two points, or either
+/// series is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// An ordinary-least-squares line `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Slope of the fit.
+    pub slope: f64,
+    /// Intercept of the fit.
+    pub intercept: f64,
+    /// Coefficient of determination `r²`.
+    pub r_squared: f64,
+}
+
+/// Fits a least-squares line. Returns `None` under the same conditions as
+/// [`pearson`].
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<Line> {
+    let r = pearson(x, y)?;
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let sx = std_dev(x)?;
+    let sy = std_dev(y)?;
+    let slope = r * sy / sx;
+    Some(Line {
+        slope,
+        intercept: my - slope * mx,
+        r_squared: r * r,
+    })
+}
+
+/// Five-number style summary used for error-bar plots (Fig. 2a): min, 25th,
+/// median, 75th, max over a set of trial outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBars {
+    /// Smallest observed value.
+    pub min: f64,
+    /// First quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q75: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+/// Computes error bars; `None` on empty input.
+pub fn error_bars(data: &[f64]) -> Option<ErrorBars> {
+    Some(ErrorBars {
+        min: quantile(data, 0.0)?,
+        q25: quantile(data, 0.25)?,
+        median: quantile(data, 0.5)?,
+        q75: quantile(data, 0.75)?,
+        max: quantile(data, 1.0)?,
+    })
+}
+
+/// Spearman rank correlation: Pearson over ranks. Measures whether the
+/// *relative order* of one series is preserved in the other — exactly the
+/// street-level paper's insight (2) about measured vs geographic distances.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Fractional ranks with ties averaged.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [0.0, 10.0];
+        assert_eq!(quantile(&data, 0.25), Some(2.5));
+        assert_eq!(quantile(&data, 0.0), Some(0.0));
+        assert_eq!(quantile(&data, 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_ignores_nan() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(cdf.len(), 4);
+        for w in cdf.windows(2) {
+            assert!(w[0].value <= w[1].value);
+            assert!(w[0].fraction <= w[1].fraction);
+        }
+        assert_eq!(cdf.last().unwrap().fraction, 1.0);
+    }
+
+    #[test]
+    fn fraction_at_most_basic() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_at_most(&d, 2.0), 0.5);
+        assert_eq!(fraction_at_most(&d, 0.0), 0.0);
+        assert_eq!(fraction_at_most(&d, 10.0), 1.0);
+        assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let line = linear_fit(&x, &y).unwrap();
+        assert!((line.slope - 3.0).abs() < 1e-9);
+        assert!((line.intercept + 7.0).abs() < 1e-9);
+        assert!((line.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_bars_ordering() {
+        let eb = error_bars(&[5.0, 1.0, 9.0, 3.0, 7.0]).unwrap();
+        assert!(eb.min <= eb.q25 && eb.q25 <= eb.median);
+        assert!(eb.median <= eb.q75 && eb.q75 <= eb.max);
+        assert_eq!(eb.min, 1.0);
+        assert_eq!(eb.max, 9.0);
+        assert_eq!(eb.median, 5.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        // y = x^3 is monotone: Spearman must be exactly 1, Pearson < 1.
+        let x: Vec<f64> = (-10..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

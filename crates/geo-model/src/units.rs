@@ -1,0 +1,223 @@
+//! Strongly typed scalar units.
+//!
+//! The geolocation literature constantly converts between round-trip times
+//! and distances; mixing the two up is the classic bug in CBG
+//! implementations. [`Km`] and [`Ms`] are transparent `f64` newtypes with
+//! just enough arithmetic to be ergonomic. Conversions between them live in
+//! [`crate::soi`] and are always explicit about the speed-of-internet factor.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the smaller of two values.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two values.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// True if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline]
+            fn partial_cmp(&self, other: &$name) -> Option<Ordering> {
+                self.0.partial_cmp(&other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+
+        impl $name {
+            /// Total ordering treating NaN as greater than everything,
+            /// suitable for sorting measurement vectors that may contain
+            /// failed (NaN) samples.
+            #[inline]
+            pub fn total_cmp(&self, other: &$name) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+    };
+}
+
+unit!(
+    /// A geographic distance in kilometers.
+    Km,
+    "km"
+);
+
+unit!(
+    /// A time interval in milliseconds (the unit of RTT measurements).
+    Ms,
+    "ms"
+);
+
+impl Ms {
+    /// Converts to seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Builds a delay from seconds.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Ms {
+        Ms(secs * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Km(10.0);
+        let b = Km(4.0);
+        assert_eq!((a + b).value(), 14.0);
+        assert_eq!((a - b).value(), 6.0);
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Km(1.0) < Km(2.0));
+        assert_eq!(Km(3.0).max(Km(5.0)), Km(5.0));
+        assert_eq!(Km(3.0).min(Km(5.0)), Km(3.0));
+        assert_eq!(Km(-3.0).abs(), Km(3.0));
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Ms = [Ms(1.0), Ms(2.0), Ms(3.5)].into_iter().sum();
+        assert!((total.value() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert_eq!(Ms(1500.0).as_secs(), 1.5);
+        assert_eq!(Ms::from_secs(2.0), Ms(2000.0));
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        let mut v = vec![Ms(f64::NAN), Ms(1.0), Ms(0.5)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Ms(0.5));
+        assert_eq!(v[1], Ms(1.0));
+        assert!(v[2].value().is_nan());
+    }
+
+    #[test]
+    fn display_formats_unit() {
+        assert_eq!(format!("{}", Km(1.5)), "1.500 km");
+        assert_eq!(format!("{}", Ms(0.25)), "0.250 ms");
+    }
+}

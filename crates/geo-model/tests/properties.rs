@@ -1,0 +1,156 @@
+//! Property-based tests for the geometric and statistical primitives.
+
+use geo_model::constraint::{Circle, Region};
+use geo_model::point::{GeoPoint, MAX_DISTANCE_KM};
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use geo_model::units::{Km, Ms};
+use geo_model::Ipv4;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-85.0f64..85.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetric(a in arb_point(), b in arb_point()) {
+        let d1 = a.distance(&b).value();
+        let d2 = b.distance(&a).value();
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_bounded(a in arb_point(), b in arb_point()) {
+        let d = a.distance(&b).value();
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= MAX_DISTANCE_KM + 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.distance(&b).value();
+        let bc = b.distance(&c).value();
+        let ac = a.distance(&c).value();
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn destination_distance_roundtrip(
+        p in arb_point(),
+        bearing in 0.0f64..360.0,
+        dist in 0.1f64..5000.0,
+    ) {
+        let q = p.destination(bearing, Km(dist));
+        let back = p.distance(&q).value();
+        // Spherical math is exact; allow small numeric slack.
+        prop_assert!((back - dist).abs() < dist * 1e-6 + 1e-6,
+            "wanted {dist}, got {back}");
+    }
+
+    #[test]
+    fn soi_roundtrip(rtt in 0.01f64..500.0) {
+        for soi in [SpeedOfInternet::CBG, SpeedOfInternet::STREET_LEVEL] {
+            let d = soi.max_distance(Ms(rtt));
+            let back = soi.min_rtt(d).value();
+            prop_assert!((back - rtt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn soi_min_rtt_never_violates(dist in 0.0f64..15000.0) {
+        let soi = SpeedOfInternet::CBG;
+        let min = soi.min_rtt(Km(dist));
+        prop_assert!(!soi.violates(Km(dist), min));
+        // Any faster RTT violates (strictly positive distances only).
+        if dist > 1.0 {
+            prop_assert!(soi.violates(Km(dist), min * 0.5));
+        }
+    }
+
+    #[test]
+    fn region_centroid_satisfies_sound_constraints(
+        target in arb_point(),
+        dists in prop::collection::vec((0.0f64..360.0, 10.0f64..2000.0, 1.0f64..1.8), 2..8),
+    ) {
+        // Build circles that all genuinely contain the target: place VPs at
+        // random offsets and give each a radius = true distance * slack.
+        let circles: Vec<Circle> = dists
+            .iter()
+            .map(|&(bearing, d, slack)| {
+                let vp = target.destination(bearing, Km(d));
+                Circle::new(vp, Km(d * slack + 1.0))
+            })
+            .collect();
+        let tightest = circles
+            .iter()
+            .map(|c| c.radius.value())
+            .fold(f64::INFINITY, f64::min);
+        let region = Region::from_circles(circles);
+        let est = region.intersect();
+        prop_assert!(est.is_some(), "sound constraints must intersect");
+        let est = est.unwrap();
+        // The centroid cannot be further than the diameter of the tightest
+        // circle from the target (both lie inside it).
+        let err = est.centroid.distance(&target).value();
+        prop_assert!(err <= 2.0 * tightest + 1.0, "err {err}, tightest {tightest}");
+    }
+
+    #[test]
+    fn ipv4_display_parse_roundtrip(raw in any::<u32>()) {
+        let addr = Ipv4(raw);
+        let parsed: Ipv4 = addr.to_string().parse().unwrap();
+        prop_assert_eq!(addr, parsed);
+    }
+
+    #[test]
+    fn prefix_contains_its_addresses(raw in any::<u32>()) {
+        let addr = Ipv4(raw);
+        let prefix = addr.prefix24();
+        prop_assert!(prefix.contains(addr));
+        prop_assert_eq!(prefix.host(addr.host_byte()), addr);
+    }
+
+    #[test]
+    fn cdf_monotone(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = stats::empirical_cdf(&data);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].value <= w[1].value);
+            prop_assert!(w[0].fraction <= w[1].fraction);
+        }
+        prop_assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_ordered(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let q1 = stats::quantile(&data, 0.25).unwrap();
+        let q2 = stats::quantile(&data, 0.5).unwrap();
+        let q3 = stats::quantile(&data, 0.75).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn pearson_in_range(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = stats::pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pearson_scale_invariant(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+        scale in 0.1f64..100.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let y2: Vec<f64> = y.iter().map(|v| v * scale + shift).collect();
+        if let (Some(r1), Some(r2)) = (stats::pearson(&x, &y), stats::pearson(&x, &y2)) {
+            prop_assert!((r1 - r2).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quick calibration probe: CBG with all probes against a sample of anchors.
+use geo_model::constraint::{Circle, Region};
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use net_sim::Network;
+use world_sim::{World, WorldConfig};
+
+fn main() {
+    let w = World::generate(WorldConfig::paper(Seed(2023))).unwrap();
+    let net = Network::new(Seed(2023));
+    let soi = SpeedOfInternet::CBG;
+    let t = std::time::Instant::now();
+    let mut errors = Vec::new();
+    let mut closest_vp_dist = Vec::new();
+    for (ti, &a) in w.anchors.iter().enumerate().take(60) {
+        let target = w.host(a);
+        let mut circles = Vec::new();
+        let mut best_rtt = f64::INFINITY;
+        let mut min_dist = f64::INFINITY;
+        for &p in &w.probes {
+            let ph = w.host(p);
+            if ph.is_mis_geolocated() { continue; }
+            let d = ph.location.distance(&target.location).value();
+            if d < min_dist { min_dist = d; }
+            if let Some(rtt) = net.ping_min(&w, p, target.ip, 3, ti as u64).rtt() {
+                if rtt.value() < best_rtt { best_rtt = rtt.value(); }
+                circles.push(Circle::new(ph.registered_location, soi.max_distance(rtt)));
+            }
+        }
+        let region = Region::from_circles(circles);
+        if let Some(est) = region.intersect() {
+            errors.push(est.centroid.distance(&target.location).value());
+        } else {
+            println!("target {ti}: EMPTY region");
+        }
+        closest_vp_dist.push(min_dist);
+        if ti < 5 { println!("target {ti}: best_rtt={best_rtt:.2}ms err={:.1}km closest_vp={:.1}km", errors.last().copied().unwrap_or(f64::NAN), min_dist); }
+    }
+    println!("elapsed {:?}  n={}", t.elapsed(), errors.len());
+    println!("median err {:.1} km, frac<=40km {:.2}", stats::median(&errors).unwrap(), stats::fraction_at_most(&errors, 40.0));
+    println!("median closest-vp dist {:.1} km, frac vp<=40km {:.2}", stats::median(&closest_vp_dist).unwrap(), stats::fraction_at_most(&closest_vp_dist, 40.0));
+}

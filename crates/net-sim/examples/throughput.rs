@@ -1,0 +1,22 @@
+use geo_model::rng::Seed;
+use net_sim::Network;
+use world_sim::{World, WorldConfig};
+
+fn main() {
+    let w = World::generate(WorldConfig::paper(Seed(2023))).unwrap();
+    let net = Network::new(Seed(2023));
+    let t = std::time::Instant::now();
+    let mut n = 0u64;
+    let mut acc = 0.0;
+    for &p in w.probes.iter().take(2000) {
+        for &a in w.anchors.iter().take(20) {
+            if let Some(rtt) = net.ping_min(&w, p, w.host(a).ip, 3, 1).rtt() {
+                acc += rtt.value();
+                n += 1;
+            }
+        }
+    }
+    let el = t.elapsed();
+    println!("{} pings(min3) in {:?} -> {:.1} us/ping, mean rtt {:.2} ms",
+        n, el, el.as_micros() as f64 / n as f64, acc / n as f64);
+}

@@ -1,0 +1,113 @@
+//! # net-sim
+//!
+//! A deterministic router-level latency and path simulator over a
+//! `world-sim` world. This is the substitute for the live Internet that the
+//! replication's measurement platform (RIPE Atlas in the paper,
+//! `atlas-sim` here) drives.
+//!
+//! The simulator is built around the properties the paper's analysis
+//! depends on, rather than around packet-level fidelity:
+//!
+//! - **Propagation floor.** Every link propagates at 2/3 c over a
+//!   cable-inflated geodesic (inflation ≥ 1.1), so a CBG constraint circle
+//!   computed at 2/3 c always contains the true target — while the
+//!   street-level paper's more aggressive 4/9 c conversion can exclude it,
+//!   as the paper observed for 5 of its targets.
+//! - **Hot-potato, destination-based routing.** Paths are synthesized
+//!   per-direction: an AS hands traffic to transit as early as possible and
+//!   the transit choice depends on the direction, so forward and reverse
+//!   paths differ routinely. Per-hop traceroute RTTs use the *reverse path
+//!   from that hop*, which is exactly what makes the street-level paper's
+//!   `D1 + D2` delay differences noisy and often negative (Appendix B).
+//! - **Last-mile delay.** Hosts in access networks add a gamma-distributed
+//!   last-mile delay to every measurement (§4.4.2), which caps how tight a
+//!   latency constraint through such vantage points can be.
+//! - **Determinism.** A measurement's outcome is a pure function of
+//!   (seed, src, dst, nonce): reruns are bit-identical, and independent
+//!   experiments can share one simulator without interference.
+//!
+//! Entry point: [`Network`].
+
+pub mod delay;
+pub mod measure;
+pub mod params;
+pub mod route;
+
+pub use measure::{Hop, PingOutcome, Traceroute};
+pub use params::NetParams;
+pub use route::{Endpoint, Path, Waypoint};
+
+use geo_model::ip::Ipv4;
+use geo_model::rng::Seed;
+use geo_model::units::Ms;
+use world_sim::ids::HostId;
+use world_sim::World;
+
+/// The network simulator. Cheap to clone; all state is parameters.
+#[derive(Debug, Clone)]
+pub struct Network {
+    seed: Seed,
+    params: NetParams,
+}
+
+impl Network {
+    /// Creates a simulator with default parameters.
+    pub fn new(seed: Seed) -> Network {
+        Network {
+            seed,
+            params: NetParams::default(),
+        }
+    }
+
+    /// Creates a simulator with explicit parameters.
+    pub fn with_params(seed: Seed, params: NetParams) -> Network {
+        Network { seed, params }
+    }
+
+    /// The simulator's parameters.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// The simulator's seed.
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// The forward path from one endpoint to another.
+    pub fn forward_path(&self, world: &World, src: Endpoint, dst: Endpoint) -> Path {
+        route::synthesize(world, &self.params, src, dst)
+    }
+
+    /// The deterministic (jitter-free, last-mile-free) round-trip time
+    /// between two hosts: forward one-way plus reverse one-way delay.
+    /// This is the quantity experiment harnesses cache in bulk.
+    pub fn base_rtt(&self, world: &World, src: HostId, dst: HostId) -> Ms {
+        measure::base_rtt(world, &self.params, src, dst)
+    }
+
+    /// One ping packet from `src` to the address `dst`. Deterministic in
+    /// `(seed, src, dst, nonce)`.
+    pub fn ping(&self, world: &World, src: HostId, dst: Ipv4, nonce: u64) -> PingOutcome {
+        measure::ping(world, &self.params, self.seed, src, dst, nonce)
+    }
+
+    /// The minimum RTT over `count` ping packets — how latency geolocation
+    /// actually measures (RIPE Atlas pings send 3 packets and keep the
+    /// minimum).
+    pub fn ping_min(
+        &self,
+        world: &World,
+        src: HostId,
+        dst: Ipv4,
+        count: usize,
+        nonce: u64,
+    ) -> PingOutcome {
+        measure::ping_min(world, &self.params, self.seed, src, dst, count, nonce)
+    }
+
+    /// A traceroute from `src` to the address `dst`.
+    pub fn traceroute(&self, world: &World, src: HostId, dst: Ipv4, nonce: u64) -> Traceroute {
+        measure::traceroute(world, &self.params, self.seed, src, dst, nonce)
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulator parameters.
+
+/// Tunable parameters of the network simulator. Defaults are calibrated so
+/// the replication's headline shapes emerge (see EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetParams {
+    /// Signal propagation speed as a fraction of c (fiber ≈ 2/3).
+    pub fiber_fraction_of_c: f64,
+    /// Minimum cable inflation over the geodesic (≥ 1 keeps 2/3 c
+    /// constraints sound).
+    pub cable_inflation_min: f64,
+    /// Maximum cable inflation over the geodesic.
+    pub cable_inflation_max: f64,
+    /// Extra inflation applied to short links, decaying with distance
+    /// (e-folding 800 km): local detours dominate short paths.
+    pub short_haul_inflation: f64,
+    /// Extra fixed delay for short (< 30 km) metro links, ms — local loops
+    /// are never geodesic.
+    pub metro_detour_ms: f64,
+    /// Per-router processing/queueing delay, ms (one way, per hop).
+    pub hop_processing_ms: f64,
+    /// Median of the per-packet lognormal jitter, ms.
+    pub jitter_median_ms: f64,
+    /// Log-scale sigma of the jitter.
+    pub jitter_sigma: f64,
+    /// Probability that a single ping packet is lost.
+    pub loss_rate: f64,
+    /// Probability that a traceroute hop does not answer.
+    pub hop_unresponsive_rate: f64,
+    /// Median of the ICMP slow-path delay routers add when generating
+    /// TTL-exceeded replies (control-plane processing), ms. Applies to
+    /// traceroute hop RTTs only — the physical reason `D1 + D2` delay
+    /// differences go negative (Fig. 6a).
+    pub icmp_slowpath_median_ms: f64,
+    /// Log-scale sigma of the ICMP slow-path delay.
+    pub icmp_slowpath_sigma: f64,
+    /// Probability that the reverse direction picks a different transit AS
+    /// than the forward direction (routing asymmetry).
+    pub asymmetry_rate: f64,
+    /// Gamma shape for last-mile delay samples.
+    pub last_mile_shape: f64,
+}
+
+impl Default for NetParams {
+    fn default() -> NetParams {
+        NetParams {
+            fiber_fraction_of_c: 2.0 / 3.0,
+            cable_inflation_min: 1.45,
+            cable_inflation_max: 2.20,
+            short_haul_inflation: 0.8,
+            metro_detour_ms: 0.04,
+            hop_processing_ms: 0.05,
+            jitter_median_ms: 0.12,
+            jitter_sigma: 0.6,
+            loss_rate: 0.01,
+            hop_unresponsive_rate: 0.12,
+            icmp_slowpath_median_ms: 0.35,
+            icmp_slowpath_sigma: 1.1,
+            asymmetry_rate: 0.55,
+            last_mile_shape: 2.0,
+        }
+    }
+}
+
+impl NetParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.fiber_fraction_of_c) || self.fiber_fraction_of_c <= 0.0 {
+            return Err("fiber fraction must be in (0,1]".into());
+        }
+        if self.cable_inflation_min < 1.0 {
+            return Err("cable inflation must be >= 1 to keep 2/3c constraints sound".into());
+        }
+        if self.cable_inflation_max < self.cable_inflation_min {
+            return Err("cable inflation max < min".into());
+        }
+        if self.short_haul_inflation < 0.0 {
+            return Err("short-haul inflation must be non-negative".into());
+        }
+        for (name, v) in [
+            ("loss_rate", self.loss_rate),
+            ("hop_unresponsive_rate", self.hop_unresponsive_rate),
+            ("asymmetry_rate", self.asymmetry_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        if self.hop_processing_ms < 0.0
+            || self.jitter_median_ms < 0.0
+            || self.metro_detour_ms < 0.0
+            || self.icmp_slowpath_median_ms < 0.0
+        {
+            return Err("delays must be non-negative".into());
+        }
+        if self.last_mile_shape <= 0.0 {
+            return Err("gamma shape must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Propagation speed in km/ms.
+    pub fn km_per_ms(&self) -> f64 {
+        self.fiber_fraction_of_c * geo_model::soi::C_KM_PER_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(NetParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn default_speed_near_200() {
+        let v = NetParams::default().km_per_ms();
+        assert!((199.0..201.0).contains(&v));
+    }
+
+    #[test]
+    fn rejects_deflation() {
+        let mut p = NetParams::default();
+        p.cable_inflation_min = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut p = NetParams::default();
+        p.loss_rate = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Path synthesis: deterministic router-level paths over the AS topology.
+//!
+//! Rather than running a global routing protocol, paths are synthesized
+//! per-pair with the decision rules that shape real interdomain paths:
+//!
+//! 1. intra-AS traffic rides the AS backbone between its PoPs;
+//! 2. if the two ASes share a city, they peer there — preferring a handoff
+//!    near the *source* (hot-potato);
+//! 3. otherwise traffic goes through a transit AS whose identity depends on
+//!    the ordered (src-AS, dst-AS) pair, entering at the transit PoP
+//!    nearest the source and leaving at the PoP nearest the destination.
+//!
+//! Rule 3's direction dependence is what produces asymmetric forward and
+//! reverse paths — the noise source behind the street-level paper's
+//! unusable `D1 + D2` delays.
+
+use crate::params::NetParams;
+use geo_model::point::GeoPoint;
+use geo_model::rng::{fnv1a, splitmix64};
+
+use world_sim::ids::{AsId, CityId, HostId};
+use world_sim::World;
+
+/// One endpoint of a path: a host, or a bare router PoP (used when
+/// computing reverse paths from a traceroute hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A host in the world.
+    Host(HostId),
+    /// A router at an AS point of presence.
+    Router(AsId, CityId),
+}
+
+/// A router on a path, identified by its PoP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Waypoint {
+    /// The AS operating the router.
+    pub asn: AsId,
+    /// The city of the PoP.
+    pub city: CityId,
+}
+
+impl Waypoint {
+    /// The router's physical location: the city center nudged by a
+    /// deterministic per-PoP offset (so different ASes' routers in one city
+    /// don't coincide exactly).
+    pub fn location(&self, world: &World) -> GeoPoint {
+        let center = world.city(self.city).center;
+        let h = splitmix64(
+            (self.asn.0 as u64) << 32 | self.city.0 as u64 ^ fnv1a(b"router-site"),
+        );
+        let bearing = (h % 360) as f64;
+        let dist = 1.0 + ((h >> 16) % 60) as f64 / 10.0; // 1..7 km
+        center.destination(bearing, geo_model::units::Km(dist))
+    }
+}
+
+/// A synthesized one-way path: source endpoint, the router waypoints in
+/// order, and the destination endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Router waypoints from source side to destination side.
+    pub waypoints: Vec<Waypoint>,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+}
+
+impl Path {
+    /// Number of router hops.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// True if there are no router hops (src and dst co-located).
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+}
+
+/// Resolves an endpoint's attachment PoP and physical location.
+fn attachment(world: &World, ep: Endpoint) -> (AsId, CityId, GeoPoint) {
+    match ep {
+        Endpoint::Host(id) => {
+            let h = world.host(id);
+            (h.asn, h.city, h.location)
+        }
+        Endpoint::Router(asn, city) => {
+            let wp = Waypoint { asn, city };
+            (asn, city, wp.location(world))
+        }
+    }
+}
+
+/// Synthesizes the forward path from `src` to `dst`.
+pub fn synthesize(world: &World, _params: &NetParams, src: Endpoint, dst: Endpoint) -> Path {
+    let (src_as, src_city, _) = attachment(world, src);
+    let (dst_as, dst_city, _) = attachment(world, dst);
+
+    let mut waypoints: Vec<Waypoint> = Vec::with_capacity(6);
+    waypoints.push(Waypoint { asn: src_as, city: src_city });
+
+    if src_as == dst_as {
+        // Intra-AS backbone hop.
+        waypoints.push(Waypoint { asn: src_as, city: dst_city });
+    } else if world.has_pop(dst_as, src_city) {
+        // Peer in the source city (hot-potato: hand off immediately).
+        waypoints.push(Waypoint { asn: dst_as, city: src_city });
+        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+    } else if world.has_pop(src_as, dst_city) {
+        // Source AS reaches into the destination city.
+        waypoints.push(Waypoint { asn: src_as, city: dst_city });
+        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+    } else if let Some(meet) = best_shared_pop(world, src_as, dst_as, src_city, dst_city) {
+        // Private peering at a shared PoP city.
+        waypoints.push(Waypoint { asn: src_as, city: meet });
+        waypoints.push(Waypoint { asn: dst_as, city: meet });
+        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+    } else {
+        // Transit. Direction-dependent provider choice.
+        let transit = pick_transit(world, _params, src_as, dst_as);
+        let t_in = world.nearest_pop(transit, src_city);
+        let t_out = world.nearest_pop(transit, dst_city);
+        waypoints.push(Waypoint { asn: transit, city: t_in });
+        if t_out != t_in {
+            waypoints.push(Waypoint { asn: transit, city: t_out });
+        }
+        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+    }
+
+    dedup_consecutive(&mut waypoints);
+    Path { src, waypoints, dst }
+}
+
+fn dedup_consecutive(waypoints: &mut Vec<Waypoint>) {
+    waypoints.dedup();
+}
+
+/// The shared PoP city minimizing the detour `src_city -> X -> dst_city`,
+/// if the two ASes share any.
+fn best_shared_pop(
+    world: &World,
+    a: AsId,
+    b: AsId,
+    src_city: CityId,
+    dst_city: CityId,
+) -> Option<CityId> {
+    // Scan the smaller footprint, membership-test against the other.
+    let (scan, other) = if world.asn(a).pops.len() <= world.asn(b).pops.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let src_p = world.city(src_city).center;
+    let dst_p = world.city(dst_city).center;
+    let mut best: Option<(CityId, f64)> = None;
+    for &c in &world.asn(scan).pops {
+        if !world.has_pop(other, c) {
+            continue;
+        }
+        let p = world.city(c).center;
+        let detour = src_p.distance(&p).value() + p.distance(&dst_p).value();
+        if best.map_or(true, |(_, d)| detour < d) {
+            best = Some((c, detour));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Picks the transit provider for the ordered (src, dst) AS pair.
+///
+/// Hot-potato reality: the *source* AS hands traffic to one of its own
+/// upstream providers, so traceroutes from one vantage point toward two
+/// nearby destinations share the provider (and its destination-side PoP —
+/// the street-level paper's "last common router"), while the reverse
+/// direction rides the *destination's* provider. That is the interdomain
+/// asymmetry behind the unusable `D1 + D2` values.
+///
+/// `asymmetry_rate` interpolates toward a symmetric Internet: with
+/// probability `1 - asymmetry_rate` (hashed on the unordered pair) both
+/// directions agree on one provider — the ablation knob for the
+/// `D1 + D2` noise.
+pub fn pick_transit(world: &World, params: &NetParams, src_as: AsId, dst_as: AsId) -> AsId {
+    let (lo, hi) = if src_as.0 <= dst_as.0 {
+        (src_as.0, dst_as.0)
+    } else {
+        (dst_as.0, src_as.0)
+    };
+    let unordered = splitmix64(((lo as u64) << 32 | hi as u64) ^ fnv1a(b"transit-pick"));
+    let symmetric = (unordered >> 11) as f64 / (1u64 << 53) as f64 >= params.asymmetry_rate;
+    if symmetric {
+        // Symmetric regime: both directions agree on the lower AS's
+        // provider set and index.
+        let set = world.providers(AsId(lo));
+        set[(splitmix64(unordered) % 2) as usize]
+    } else {
+        // Hot potato: the source's provider, selected per destination
+        // (coarse traffic engineering across the two upstreams).
+        let set = world.providers(src_as);
+        let h = splitmix64(((src_as.0 as u64) << 32 | dst_as.0 as u64) ^ fnv1a(b"te-split"));
+        set[(h % 2) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(Seed(81))).unwrap()
+    }
+
+    #[test]
+    fn path_starts_and_ends_at_endpoint_pops() {
+        let w = world();
+        let p = NetParams::default();
+        let src = w.anchors[0];
+        let dst = w.anchors[1];
+        let path = synthesize(&w, &p, Endpoint::Host(src), Endpoint::Host(dst));
+        assert!(!path.waypoints.is_empty());
+        let first = path.waypoints.first().unwrap();
+        let last = path.waypoints.last().unwrap();
+        assert_eq!(first.asn, w.host(src).asn);
+        assert_eq!(first.city, w.host(src).city);
+        assert_eq!(last.city, w.host(dst).city);
+    }
+
+    #[test]
+    fn no_consecutive_duplicate_waypoints() {
+        let w = world();
+        let p = NetParams::default();
+        for i in 0..w.anchors.len().min(10) {
+            for j in 0..w.probes.len().min(10) {
+                let path = synthesize(
+                    &w,
+                    &p,
+                    Endpoint::Host(w.probes[j]),
+                    Endpoint::Host(w.anchors[i]),
+                );
+                for win in path.waypoints.windows(2) {
+                    assert_ne!(win[0], win[1]);
+                }
+                assert!(path.len() <= 6, "path too long: {}", path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn same_host_pair_same_path() {
+        let w = world();
+        let p = NetParams::default();
+        let a = Endpoint::Host(w.anchors[0]);
+        let b = Endpoint::Host(w.probes[0]);
+        assert_eq!(synthesize(&w, &p, a, b), synthesize(&w, &p, a, b));
+    }
+
+    #[test]
+    fn reverse_paths_can_differ() {
+        let w = world();
+        let p = NetParams::default();
+        let mut asymmetric = 0;
+        let mut total = 0;
+        for i in 0..w.anchors.len() {
+            for j in 0..w.probes.len().min(20) {
+                let a = Endpoint::Host(w.anchors[i]);
+                let b = Endpoint::Host(w.probes[j]);
+                let fwd = synthesize(&w, &p, a, b);
+                let mut rev = synthesize(&w, &p, b, a);
+                rev.waypoints.reverse();
+                total += 1;
+                if fwd.waypoints != rev.waypoints {
+                    asymmetric += 1;
+                }
+            }
+        }
+        assert!(
+            asymmetric * 10 > total,
+            "too little asymmetry: {asymmetric}/{total}"
+        );
+    }
+
+    #[test]
+    fn router_locations_near_city() {
+        let w = world();
+        let wp = Waypoint { asn: w.ases[0].id, city: w.ases[0].pops[0] };
+        let d = wp
+            .location(&w)
+            .distance(&w.city(wp.city).center)
+            .value();
+        assert!(d <= 8.0, "router {d} km from city center");
+    }
+
+    #[test]
+    fn transit_pick_is_deterministic() {
+        let w = world();
+        let p = NetParams::default();
+        let a = w.ases[0].id;
+        let b = w.ases[1].id;
+        assert_eq!(pick_transit(&w, &p, a, b), pick_transit(&w, &p, a, b));
+    }
+
+    #[test]
+    fn zero_asymmetry_gives_symmetric_transit() {
+        let w = world();
+        let mut p = NetParams::default();
+        p.asymmetry_rate = 0.0;
+        for i in 0..w.ases.len().min(20) {
+            for j in 0..w.ases.len().min(20) {
+                let a = w.ases[i].id;
+                let b = w.ases[j].id;
+                assert_eq!(pick_transit(&w, &p, a, b), pick_transit(&w, &p, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_pop_is_nearest() {
+        let w = world();
+        let asn = w
+            .ases
+            .iter()
+            .find(|a| a.pops.len() >= 3)
+            .expect("some AS with several PoPs");
+        let city = w.cities[0].id;
+        let got = w.nearest_pop(asn.id, city);
+        let target = w.city(city).center;
+        for &p in &asn.pops {
+            assert!(
+                w.city(got).center.distance(&target) <= w.city(p).center.distance(&target)
+            );
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Entities, websites, and hosting.
+//!
+//! Tier 2 of the street-level technique mines a mapping service for
+//! "points of interest with a website" and keeps those that appear locally
+//! hosted. The generator creates that universe: per-city entity
+//! populations, each entity pointing at a website whose hosting model
+//! determines whether it can ever be a useful landmark:
+//!
+//! - `Local`: served from the entity's premises — a *true* landmark;
+//! - `Cloud`: served from a cloud datacenter, often another city;
+//! - `Cdn`: served from an anycast front end in the nearest big metro;
+//! - chain websites are shared by entities in many cities (franchises),
+//!   the main prey of the multi-zip locality test.
+//!
+//! Websites share server hosts per (AS, city) — virtual hosting — except
+//! local sites, which each get a host at their entity's location.
+
+use crate::zipgrid::zip_of;
+use geo_model::point::GeoPoint;
+use geo_model::units::Km;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use world_sim::asn::AsCategory;
+use world_sim::ids::{AsId, CityId, HostId, ZipCode};
+use world_sim::World;
+
+/// Identifier of an entity (index into the ecosystem's entity vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a website (index into the ecosystem's website vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WebsiteId(pub u32);
+
+/// The categories the street-level paper mined from Geonames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A business.
+    Business,
+    /// A university (reliably locally hosted in 2011; less so now).
+    University,
+    /// A government office.
+    GovernmentOffice,
+}
+
+/// How a website is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hosting {
+    /// Served from the owning entity's premises.
+    Local,
+    /// Served from a cloud datacenter.
+    Cloud,
+    /// Served from a CDN's anycast edge.
+    Cdn,
+}
+
+/// A website.
+#[derive(Debug, Clone)]
+pub struct Website {
+    /// Identifier.
+    pub id: WebsiteId,
+    /// Domain name.
+    pub domain: String,
+    /// Hosting model.
+    pub hosting: Hosting,
+    /// The host serving the site (shared for cloud/CDN).
+    pub server: HostId,
+    /// Number of distinct zip codes in which entities list this website
+    /// (chains appear in many — the third locality test).
+    pub zip_appearances: u32,
+}
+
+/// A point of interest with a postal address and a website.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Identifier.
+    pub id: EntityId,
+    /// Kind.
+    pub kind: EntityKind,
+    /// Physical location (street address).
+    pub location: GeoPoint,
+    /// City of the address.
+    pub city: CityId,
+    /// Postal code of the address.
+    pub zip: ZipCode,
+    /// The entity's website.
+    pub website: WebsiteId,
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebConfig {
+    /// Entities per inhabitant (e.g. 1/2500).
+    pub entities_per_capita: f64,
+    /// Per-city entity floor and cap.
+    pub min_entities_per_city: usize,
+    /// Per-city entity cap.
+    pub max_entities_per_city: usize,
+    /// Probability that a non-chain website is locally hosted.
+    pub p_local: f64,
+    /// Probability that a non-chain website is cloud hosted.
+    pub p_cloud: f64,
+    /// Fraction of entities belonging to a chain (shared website).
+    pub chain_fraction: f64,
+    /// Mean number of entities per chain.
+    pub mean_chain_size: usize,
+}
+
+impl Default for WebConfig {
+    fn default() -> WebConfig {
+        WebConfig {
+            entities_per_capita: 1.0 / 300.0,
+            min_entities_per_city: 30,
+            max_entities_per_city: 30_000,
+            p_local: 0.022,
+            p_cloud: 0.28,
+            chain_fraction: 0.30,
+            mean_chain_size: 40,
+        }
+    }
+}
+
+impl WebConfig {
+    /// Validates probability ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.p_local + self.p_cloud > 1.0 || self.p_local < 0.0 || self.p_cloud < 0.0 {
+            return Err("hosting probabilities must be non-negative and sum <= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.chain_fraction) {
+            return Err("chain_fraction must be a probability".into());
+        }
+        if self.mean_chain_size == 0 {
+            return Err("chains must have at least one member".into());
+        }
+        Ok(())
+    }
+}
+
+/// The generated web ecosystem.
+#[derive(Debug, Clone)]
+pub struct WebEcosystem {
+    /// All entities.
+    pub entities: Vec<Entity>,
+    /// All websites.
+    pub websites: Vec<Website>,
+    by_zip: HashMap<ZipCode, Vec<EntityId>>,
+    by_city: HashMap<CityId, Vec<EntityId>>,
+}
+
+impl WebEcosystem {
+    /// Generates the ecosystem, adding server hosts to the world.
+    pub fn generate(world: &mut World, cfg: &WebConfig) -> Result<WebEcosystem, String> {
+        cfg.validate()?;
+        let mut rng = world.config.seed.derive("web-ecosystem").rng();
+
+        // Infrastructure lookup tables.
+        let mut local_as_in_city: HashMap<CityId, Vec<AsId>> = HashMap::new();
+        let mut cloud_sites: Vec<(AsId, CityId)> = Vec::new();
+        let mut cdn_pops: Vec<(AsId, Vec<CityId>)> = Vec::new();
+        for a in &world.ases {
+            match a.category {
+                AsCategory::Access | AsCategory::Enterprise => {
+                    for &c in &a.pops {
+                        local_as_in_city.entry(c).or_default().push(a.id);
+                    }
+                }
+                AsCategory::Content if a.is_cloud => {
+                    for &c in &a.pops {
+                        cloud_sites.push((a.id, c));
+                    }
+                }
+                AsCategory::Content if a.is_cdn => {
+                    cdn_pops.push((a.id, a.pops.clone()));
+                }
+                _ => {}
+            }
+        }
+        if cloud_sites.is_empty() {
+            // Tiny worlds may lack cloud ASes; fall back to any content AS.
+            for a in &world.ases {
+                if a.category == AsCategory::Content {
+                    cloud_sites.push((a.id, a.pops[0]));
+                }
+            }
+        }
+        if cloud_sites.is_empty() {
+            return Err("world has no content ASes to host cloud websites".into());
+        }
+        if cdn_pops.is_empty() {
+            // Fall back: treat the widest content AS as a CDN.
+            let widest = world
+                .ases
+                .iter()
+                .filter(|a| a.category == AsCategory::Content)
+                .max_by_key(|a| a.pops.len())
+                .ok_or("world has no content ASes for CDN fallback")?;
+            cdn_pops.push((widest.id, widest.pops.clone()));
+        }
+
+        // Shared server hosts per (AS, city).
+        let mut shared_servers: HashMap<(AsId, CityId), HostId> = HashMap::new();
+
+        let mut entities: Vec<Entity> = Vec::new();
+        let mut websites: Vec<Website> = Vec::new();
+        let mut by_zip: HashMap<ZipCode, Vec<EntityId>> = HashMap::new();
+        let mut by_city: HashMap<CityId, Vec<EntityId>> = HashMap::new();
+        let mut website_zips: Vec<HashSet<ZipCode>> = Vec::new();
+
+        // Chain websites are created lazily as a pool and reused.
+        let mut chain_pool: Vec<WebsiteId> = Vec::new();
+
+        let city_count = world.cities.len();
+        for ci in 0..city_count {
+            let city = world.cities[ci].clone();
+            let n = ((city.population * cfg.entities_per_capita) as usize)
+                .clamp(cfg.min_entities_per_city, cfg.max_entities_per_city);
+            for _ in 0..n {
+                let eid = EntityId(entities.len() as u32);
+                let kind = match rng.gen_range(0..100) {
+                    0..=84 => EntityKind::Business,
+                    85..=89 => EntityKind::University,
+                    _ => EntityKind::GovernmentOffice,
+                };
+                // Addresses cluster toward the center.
+                let r = world.config.city_radius_km * rng.gen_range(0.0f64..1.0).powf(0.75);
+                let location = city.center.destination(rng.gen_range(0.0..360.0), Km(r));
+                let zip = zip_of(world, &location).expect("world has cities");
+
+                let is_chain_member = rng.gen::<f64>() < cfg.chain_fraction;
+                let website = if is_chain_member && !chain_pool.is_empty() && {
+                    // Reuse an existing chain unless it is time to found a
+                    // new one (expected chain size controls the rate).
+                    rng.gen_range(0..cfg.mean_chain_size) != 0
+                } {
+                    chain_pool[rng.gen_range(0..chain_pool.len())]
+                } else {
+                    // Found a new website (chain seed or independent).
+                    let hosting = if is_chain_member {
+                        // Chains are essentially never locally hosted.
+                        if rng.gen::<f64>() < 0.5 {
+                            Hosting::Cdn
+                        } else {
+                            Hosting::Cloud
+                        }
+                    } else {
+                        let u: f64 = rng.gen();
+                        if u < cfg.p_local {
+                            Hosting::Local
+                        } else if u < cfg.p_local + cfg.p_cloud {
+                            Hosting::Cloud
+                        } else {
+                            Hosting::Cdn
+                        }
+                    };
+                    let wid = WebsiteId(websites.len() as u32);
+                    let server = match hosting {
+                        Hosting::Local => {
+                            let asn = local_as_in_city
+                                .get(&city.id)
+                                .and_then(|v| {
+                                    if v.is_empty() {
+                                        None
+                                    } else {
+                                        Some(v[rng.gen_range(0..v.len())])
+                                    }
+                                })
+                                .unwrap_or_else(|| world.ases[0].id);
+                            world.add_web_server(asn, city.id, location)
+                        }
+                        Hosting::Cloud => {
+                            let (asn, dc_city) =
+                                cloud_sites[rng.gen_range(0..cloud_sites.len())];
+                            *shared_servers.entry((asn, dc_city)).or_insert_with(|| {
+                                let loc = world.city(dc_city).center;
+                                world.add_web_server(asn, dc_city, loc)
+                            })
+                        }
+                        Hosting::Cdn => {
+                            // Anycast approximation: the edge nearest the
+                            // entity's city.
+                            let (asn, pops) = &cdn_pops[rng.gen_range(0..cdn_pops.len())];
+                            let edge = nearest_of(world, pops, city.id);
+                            *shared_servers.entry((*asn, edge)).or_insert_with(|| {
+                                let loc = world.city(edge).center;
+                                world.add_web_server(*asn, edge, loc)
+                            })
+                        }
+                    };
+                    let domain = match hosting {
+                        Hosting::Local => format!("www.local-{}.example", wid.0),
+                        Hosting::Cloud => format!("www.cloud-{}.example", wid.0),
+                        Hosting::Cdn => format!("www.cdn-{}.example", wid.0),
+                    };
+                    websites.push(Website {
+                        id: wid,
+                        domain,
+                        hosting,
+                        server,
+                        zip_appearances: 0,
+                    });
+                    website_zips.push(HashSet::new());
+                    if is_chain_member {
+                        chain_pool.push(wid);
+                    }
+                    wid
+                };
+
+                website_zips[website.0 as usize].insert(zip);
+                by_zip.entry(zip).or_default().push(eid);
+                by_city.entry(city.id).or_default().push(eid);
+                entities.push(Entity {
+                    id: eid,
+                    kind,
+                    location,
+                    city: city.id,
+                    zip,
+                    website,
+                });
+            }
+        }
+
+        for (w, zips) in websites.iter_mut().zip(&website_zips) {
+            w.zip_appearances = zips.len() as u32;
+        }
+
+        Ok(WebEcosystem {
+            entities,
+            websites,
+            by_zip,
+            by_city,
+        })
+    }
+
+    /// Entities registered in a zip code.
+    pub fn entities_in_zip(&self, zip: ZipCode) -> &[EntityId] {
+        self.by_zip.get(&zip).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Entities registered in a city.
+    pub fn entities_in_city(&self, city: CityId) -> &[EntityId] {
+        self.by_city.get(&city).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Entity lookup.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0 as usize]
+    }
+
+    /// Website lookup.
+    pub fn website(&self, id: WebsiteId) -> &Website {
+        &self.websites[id.0 as usize]
+    }
+
+    /// All entities within `radius` of a point (scans cities in range).
+    pub fn entities_within(
+        &self,
+        world: &World,
+        p: &GeoPoint,
+        radius: Km,
+    ) -> Vec<(EntityId, Km)> {
+        let mut out = Vec::new();
+        // Entities lie within city_radius of their city center.
+        let slack = Km(world.config.city_radius_km);
+        for (city, _) in world.city_index.within(p, radius + slack) {
+            for &eid in self.entities_in_city(city) {
+                let d = self.entity(eid).location.distance(p);
+                if d <= radius {
+                    out.push((eid, d));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+}
+
+fn nearest_of(world: &World, cities: &[CityId], to: CityId) -> CityId {
+    let target = world.city(to).center;
+    *cities
+        .iter()
+        .min_by(|&&a, &&b| {
+            world
+                .city(a)
+                .center
+                .distance(&target)
+                .total_cmp(&world.city(b).center.distance(&target))
+        })
+        .expect("non-empty city list")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::host::HostKind;
+    use world_sim::WorldConfig;
+
+    fn build() -> (World, WebEcosystem) {
+        let mut w = World::generate(WorldConfig::small(Seed(141))).unwrap();
+        let eco = WebEcosystem::generate(&mut w, &WebConfig::default()).unwrap();
+        (w, eco)
+    }
+
+    #[test]
+    fn generates_entities_for_every_city() {
+        let (w, eco) = build();
+        assert!(!eco.entities.is_empty());
+        for city in &w.cities {
+            assert!(
+                eco.entities_in_city(city.id).len() >= 12,
+                "{} has too few entities",
+                city.name
+            );
+        }
+    }
+
+    #[test]
+    fn local_sites_are_served_from_entity_location() {
+        let (w, eco) = build();
+        let mut checked = 0;
+        for e in &eco.entities {
+            let site = eco.website(e.website);
+            if site.hosting == Hosting::Local {
+                let server = w.host(site.server);
+                assert_eq!(server.kind, HostKind::WebServer);
+                let d = server.location.distance(&e.location).value();
+                assert!(d < 0.001, "local server {d} km from entity");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no local sites generated");
+    }
+
+    #[test]
+    fn hosting_mix_is_plausible() {
+        let (_, eco) = build();
+        let total = eco.websites.len() as f64;
+        let local = eco
+            .websites
+            .iter()
+            .filter(|s| s.hosting == Hosting::Local)
+            .count() as f64;
+        // p_local applies to website records (chains excluded), so the
+        // realized fraction is near but not exactly p_local.
+        assert!(local / total < 0.10, "too many local sites: {}", local / total);
+        assert!(local > 0.0);
+    }
+
+    #[test]
+    fn chains_span_multiple_zips() {
+        let (_, eco) = build();
+        let max_appearances = eco
+            .websites
+            .iter()
+            .map(|s| s.zip_appearances)
+            .max()
+            .unwrap();
+        assert!(
+            max_appearances >= 3,
+            "no chain spans several zips (max {max_appearances})"
+        );
+        // Local sites appear in exactly one zip.
+        for s in &eco.websites {
+            if s.hosting == Hosting::Local {
+                assert_eq!(s.zip_appearances, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zip_index_is_consistent() {
+        let (_, eco) = build();
+        for e in eco.entities.iter().take(500) {
+            assert!(eco.entities_in_zip(e.zip).contains(&e.id));
+        }
+    }
+
+    #[test]
+    fn entities_within_matches_brute_force() {
+        let (w, eco) = build();
+        let p = w.cities[0].center;
+        let hits = eco.entities_within(&w, &p, Km(30.0));
+        let brute = eco
+            .entities
+            .iter()
+            .filter(|e| e.location.distance(&p).value() <= 30.0)
+            .count();
+        assert_eq!(hits.len(), brute);
+        for win in hits.windows(2) {
+            assert!(win[0].1 <= win[1].1);
+        }
+    }
+
+    #[test]
+    fn servers_resolve_by_ip() {
+        let (w, eco) = build();
+        for s in eco.websites.iter().take(200) {
+            let host = w.host(s.server);
+            assert_eq!(w.host_by_ip(host.ip).unwrap().id, host.id);
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut w = World::generate(WorldConfig::small(Seed(142))).unwrap();
+        let cfg = WebConfig {
+            p_local: 0.8,
+            p_cloud: 0.5,
+            ..WebConfig::default()
+        };
+        assert!(WebEcosystem::generate(&mut w, &cfg).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # web-sim
+//!
+//! The web ecosystem and mapping services that the street-level technique
+//! (Wang et al., NSDI 2011) depends on, rebuilt over the synthetic world:
+//!
+//! - **entities**: businesses, universities and government offices with
+//!   postal addresses, generated per city in proportion to population;
+//! - **websites**: each entity lists one. Hosting decides everything:
+//!   a *local* site is served from the entity's premises (a usable
+//!   landmark), a *cloud* site from a remote datacenter, a *CDN* site from
+//!   an anycast front end, and *chain* sites are shared by many entities
+//!   across cities — the main reason the paper's locality tests reject
+//!   97.5% of candidates;
+//! - **services**: a Nominatim-like reverse geocoder (point → zip code)
+//!   and an Overpass-like POI query (zip code → entities with websites),
+//!   both metering the ~8 requests/second the paper observed;
+//! - **locality tests** (§3.2 of the street-level paper): zip-code
+//!   consistency, CDN content detection, and multi-zip appearance, plus
+//!   the replication's additional ≤1 ms latency check (Fig. 5b).
+
+pub mod ecosystem;
+pub mod locality;
+pub mod services;
+pub mod zipgrid;
+
+pub use ecosystem::{Entity, EntityId, EntityKind, Hosting, WebEcosystem, WebsiteId};
+pub use services::{MappingServices, QueryMeter};
+pub use zipgrid::zip_of;

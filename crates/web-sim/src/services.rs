@@ -1,0 +1,150 @@
+//! The mapping services: reverse geocoding and POI search.
+//!
+//! Stand-ins for the replication's local Nominatim instance and the public
+//! Overpass API. Both meter their queries: the paper observed rate
+//! limiting at ~8 requests/second (§4.2.4), ran 753,428 reverse-geocoding
+//! queries, and that metering is what makes the street-level technique
+//! take 20 minutes per target (Fig. 6c).
+
+use crate::ecosystem::{EntityId, WebEcosystem};
+use crate::zipgrid::zip_of;
+use geo_model::point::GeoPoint;
+use world_sim::ids::ZipCode;
+use world_sim::World;
+
+/// A query counter with a sustained rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMeter {
+    queries: u64,
+    rate_per_sec: f64,
+}
+
+impl QueryMeter {
+    /// A meter with the given sustained rate.
+    pub fn new(rate_per_sec: f64) -> QueryMeter {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        QueryMeter {
+            queries: 0,
+            rate_per_sec,
+        }
+    }
+
+    /// Records one query.
+    pub fn record(&mut self) {
+        self.queries += 1;
+    }
+
+    /// Total queries so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Virtual seconds consumed by the recorded queries at the rate limit.
+    pub fn time_spent_secs(&self) -> f64 {
+        self.queries as f64 / self.rate_per_sec
+    }
+
+    /// Seconds a given number of queries would take.
+    pub fn time_for(&self, queries: u64) -> f64 {
+        queries as f64 / self.rate_per_sec
+    }
+}
+
+/// The two mapping services with their meters.
+#[derive(Debug, Clone)]
+pub struct MappingServices {
+    /// Reverse geocoding meter (Nominatim).
+    pub geocoder: QueryMeter,
+    /// POI search meter (Overpass).
+    pub poi: QueryMeter,
+}
+
+/// The rate limit the paper observed on the public Overpass instance.
+pub const OBSERVED_RATE_PER_SEC: f64 = 8.0;
+
+impl Default for MappingServices {
+    fn default() -> MappingServices {
+        MappingServices::new()
+    }
+}
+
+impl MappingServices {
+    /// Services at the observed ~8 req/s.
+    pub fn new() -> MappingServices {
+        MappingServices {
+            geocoder: QueryMeter::new(OBSERVED_RATE_PER_SEC),
+            poi: QueryMeter::new(OBSERVED_RATE_PER_SEC),
+        }
+    }
+
+    /// Reverse geocoding: point → zip code. One metered query.
+    pub fn reverse_geocode(&mut self, world: &World, p: &GeoPoint) -> Option<ZipCode> {
+        self.geocoder.record();
+        zip_of(world, p)
+    }
+
+    /// POI search: all entities with a website in the zip code. One
+    /// metered query.
+    pub fn pois_with_website(&mut self, eco: &WebEcosystem, zip: ZipCode) -> Vec<EntityId> {
+        self.poi.record();
+        eco.entities_in_zip(zip).to_vec()
+    }
+
+    /// Total virtual time the mapping-service rate limits cost so far.
+    pub fn total_time_secs(&self) -> f64 {
+        self.geocoder.time_spent_secs() + self.poi.time_spent_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecosystem::WebConfig;
+    use geo_model::rng::Seed;
+    use world_sim::WorldConfig;
+
+    fn build() -> (World, WebEcosystem) {
+        let mut w = World::generate(WorldConfig::small(Seed(151))).unwrap();
+        let eco = WebEcosystem::generate(&mut w, &WebConfig::default()).unwrap();
+        (w, eco)
+    }
+
+    #[test]
+    fn geocode_meters_and_resolves() {
+        let (w, _) = build();
+        let mut svc = MappingServices::new();
+        let p = w.cities[0].center;
+        let zip = svc.reverse_geocode(&w, &p).unwrap();
+        assert_eq!(zip.city, w.cities[0].id);
+        assert_eq!(svc.geocoder.queries(), 1);
+        assert!(svc.total_time_secs() > 0.0);
+    }
+
+    #[test]
+    fn poi_search_returns_zip_entities() {
+        let (w, eco) = build();
+        let mut svc = MappingServices::new();
+        let e = &eco.entities[0];
+        let got = svc.pois_with_website(&eco, e.zip);
+        assert!(got.contains(&e.id));
+        assert_eq!(svc.poi.queries(), 1);
+        let _ = w;
+    }
+
+    #[test]
+    fn meter_time_matches_rate() {
+        let mut m = QueryMeter::new(8.0);
+        for _ in 0..80 {
+            m.record();
+        }
+        assert_eq!(m.queries(), 80);
+        assert!((m.time_spent_secs() - 10.0).abs() < 1e-9);
+        assert_eq!(m.time_for(16), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn meter_rejects_zero_rate() {
+        let _ = QueryMeter::new(0.0);
+    }
+}

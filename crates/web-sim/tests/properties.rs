@@ -1,0 +1,108 @@
+//! Property-based tests for the web ecosystem and locality tests.
+
+use geo_model::rng::Seed;
+use geo_model::units::Km;
+use proptest::prelude::*;
+use web_sim::ecosystem::{Hosting, WebConfig, WebEcosystem};
+use web_sim::locality::{LocalityTester, Verdict};
+use web_sim::zipgrid::{zip_center, zip_of};
+use world_sim::{World, WorldConfig};
+
+fn ecosystem() -> &'static (World, WebEcosystem) {
+    use std::sync::OnceLock;
+    static E: OnceLock<(World, WebEcosystem)> = OnceLock::new();
+    E.get_or_init(|| {
+        let mut w = World::generate(WorldConfig::small(Seed(5001))).expect("world");
+        let eco = WebEcosystem::generate(&mut w, &WebConfig::default()).expect("eco");
+        (w, eco)
+    })
+}
+
+proptest! {
+    /// Reverse geocoding is idempotent: the center of a zip cell maps back
+    /// to the same zip.
+    #[test]
+    fn zip_roundtrip(
+        city_sel in 0usize..50,
+        bearing in 0.0f64..360.0,
+        dist in 0.0f64..20.0,
+    ) {
+        let (w, _) = ecosystem();
+        let base = w.cities[city_sel % w.cities.len()].center;
+        let p = base.destination(bearing, Km(dist));
+        let zip = zip_of(w, &p).expect("cities exist");
+        let center = zip_center(w, zip);
+        prop_assert_eq!(zip_of(w, &center), Some(zip));
+        // The cell center is within one cell diagonal of the point when
+        // the point is inside the (unclamped) grid span.
+        if dist < 60.0 {
+            prop_assert!(p.distance(&center).value() <= 3.0);
+        }
+    }
+
+    /// Locality verdicts are pure functions of (seed, entity, zip).
+    #[test]
+    fn verdicts_are_pure(entity_sel in 0usize..5_000, seed in 0u64..50) {
+        let (_, eco) = ecosystem();
+        let e = &eco.entities[entity_sel % eco.entities.len()];
+        let mut t1 = LocalityTester::new(Seed(seed));
+        let mut t2 = LocalityTester::new(Seed(seed));
+        prop_assert_eq!(t1.test(eco, e, e.zip), t2.test(eco, e, e.zip));
+    }
+
+    /// A candidate queried under the wrong zip is always rejected, and
+    /// chain websites never pass.
+    #[test]
+    fn hard_rejections(entity_sel in 0usize..5_000) {
+        let (_, eco) = ecosystem();
+        let e = &eco.entities[entity_sel % eco.entities.len()];
+        let other = eco
+            .entities
+            .iter()
+            .find(|x| x.zip != e.zip)
+            .expect("multiple zips");
+        let mut tester = LocalityTester::new(Seed(9));
+        prop_assert_eq!(tester.test(eco, e, other.zip), Verdict::ZipMismatch);
+        if eco.website(e.website).zip_appearances > 1 {
+            let v = tester.test(eco, e, e.zip);
+            prop_assert_ne!(v, Verdict::Landmark, "chain passed the tests");
+        }
+    }
+
+    /// Entities found within a radius really are within it, sorted by
+    /// distance, and include every in-range entity of a sampled city.
+    #[test]
+    fn entities_within_is_sound(city_sel in 0usize..50, radius in 1.0f64..60.0) {
+        let (w, eco) = ecosystem();
+        let p = w.cities[city_sel % w.cities.len()].center;
+        let hits = eco.entities_within(w, &p, Km(radius));
+        for win in hits.windows(2) {
+            prop_assert!(win[0].1 <= win[1].1);
+        }
+        for (id, d) in &hits {
+            let true_d = eco.entity(*id).location.distance(&p);
+            prop_assert!((true_d.value() - d.value()).abs() < 1e-9);
+            prop_assert!(d.value() <= radius);
+        }
+    }
+
+    /// Local websites are always served from inside their entity's city
+    /// region; CDN/cloud sites share servers.
+    #[test]
+    fn hosting_invariants(entity_sel in 0usize..5_000) {
+        let (w, eco) = ecosystem();
+        let e = &eco.entities[entity_sel % eco.entities.len()];
+        let site = eco.website(e.website);
+        let server = w.host(site.server);
+        match site.hosting {
+            Hosting::Local => {
+                prop_assert!(server.location.distance(&e.location).value() < 0.01);
+            }
+            Hosting::Cloud | Hosting::Cdn => {
+                // Shared server: located at some city center, not at the
+                // entity's doorstep (unless coincidentally co-located).
+                prop_assert!(w.cities.iter().any(|c| c.id == server.city));
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The autonomous-system ecosystem.
+//!
+//! ASes carry three roles in the replication: they host probes/anchors with
+//! the category mix of the paper's Table 2, they shape routing (`net-sim`
+//! joins paths at shared PoPs and through transit providers), and they carry
+//! the metadata hints (WHOIS registration city, geofeeds) that the
+//! IPinfo-like database simulator consumes.
+
+use crate::city::City;
+use crate::config::WorldConfig;
+use crate::continent::Continent;
+use crate::ids::{AsId, CityId, CountryId};
+use geo_model::distr::{Pareto, Sample};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// CAIDA-style AS category (the columns of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsCategory {
+    /// Content provider (includes CDNs and cloud platforms).
+    Content,
+    /// Eyeball/access network.
+    Access,
+    /// Mixed transit and access network.
+    TransitAccess,
+    /// Enterprise network.
+    Enterprise,
+    /// Global tier-1 transit network.
+    Tier1,
+    /// Unclassified.
+    Unknown,
+}
+
+impl AsCategory {
+    /// All categories in Table 2 column order.
+    pub const ALL: [AsCategory; 6] = [
+        AsCategory::Content,
+        AsCategory::Access,
+        AsCategory::TransitAccess,
+        AsCategory::Enterprise,
+        AsCategory::Tier1,
+        AsCategory::Unknown,
+    ];
+
+    /// Column label used in Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AsCategory::Content => "Content",
+            AsCategory::Access => "Access",
+            AsCategory::TransitAccess => "Transit/Access",
+            AsCategory::Enterprise => "Enterprise",
+            AsCategory::Tier1 => "Tier-1",
+            AsCategory::Unknown => "Unknown",
+        }
+    }
+}
+
+/// Fractions of *ASes* per category (distinct from the per-host mixes in
+/// the config, which describe where probes and anchors live).
+const AS_POPULATION_MIX: [(AsCategory, f64); 6] = [
+    (AsCategory::Content, 0.15),
+    (AsCategory::Access, 0.45),
+    (AsCategory::TransitAccess, 0.20),
+    (AsCategory::Enterprise, 0.145),
+    (AsCategory::Tier1, 0.005),
+    (AsCategory::Unknown, 0.05),
+];
+
+/// Fraction of content ASes that are CDNs (anycast front ends for the
+/// street-level paper's "not locally hosted" websites).
+const CDN_FRACTION_OF_CONTENT: f64 = 0.10;
+/// Fraction of content ASes that are cloud platforms (remote hosting).
+const CLOUD_FRACTION_OF_CONTENT: f64 = 0.15;
+
+/// An autonomous system.
+#[derive(Debug, Clone)]
+pub struct AutonomousSystem {
+    /// Identifier.
+    pub id: AsId,
+    /// CAIDA-style category.
+    pub category: AsCategory,
+    /// Cities where this AS has points of presence. Never empty.
+    pub pops: Vec<CityId>,
+    /// Registration country (WHOIS).
+    pub country: CountryId,
+    /// City listed in WHOIS records — often the headquarters, not where a
+    /// given prefix is deployed, which is exactly why WHOIS-based
+    /// geolocation is imprecise.
+    pub whois_city: CityId,
+    /// True for CDN content networks (anycast, fails the street-level
+    /// paper's locality checks).
+    pub is_cdn: bool,
+    /// True for cloud platforms (websites hosted far from their owner).
+    pub is_cloud: bool,
+    /// Whether this AS publishes an RFC 9092 geofeed.
+    pub publishes_geofeed: bool,
+}
+
+impl AutonomousSystem {
+    /// True if the AS has a PoP in the given city.
+    pub fn has_pop(&self, city: CityId) -> bool {
+        self.pops.contains(&city)
+    }
+}
+
+/// Generates the AS ecosystem over the given cities.
+pub fn generate_ases<R: Rng + ?Sized>(
+    cfg: &WorldConfig,
+    cities: &[City],
+    rng: &mut R,
+) -> Vec<AutonomousSystem> {
+    assert!(!cities.is_empty(), "cannot build ASes without cities");
+
+    // Pre-bucket cities for footprint sampling.
+    let mut by_continent: HashMap<Continent, Vec<&City>> = HashMap::new();
+    let mut by_country: HashMap<CountryId, Vec<&City>> = HashMap::new();
+    for c in cities {
+        by_continent.entry(c.continent).or_default().push(c);
+        by_country.entry(c.country).or_default().push(c);
+    }
+    // Sort for determinism: HashMap iteration order is unspecified.
+    let mut continents: Vec<Continent> = by_continent.keys().copied().collect();
+    continents.sort();
+
+    // Big cities worldwide, for tier-1 and CDN footprints.
+    let mut big_cities: Vec<&City> = cities.iter().collect();
+    big_cities.sort_by(|a, b| b.population.total_cmp(&a.population));
+
+    let mut out = Vec::with_capacity(cfg.num_ases);
+    for i in 0..cfg.num_ases {
+        let category = pick_category(i, cfg.num_ases);
+        let (is_cdn, is_cloud) = if category == AsCategory::Content {
+            let r: f64 = rng.gen();
+            (
+                r < CDN_FRACTION_OF_CONTENT,
+                (CDN_FRACTION_OF_CONTENT..CDN_FRACTION_OF_CONTENT + CLOUD_FRACTION_OF_CONTENT)
+                    .contains(&r),
+            )
+        } else {
+            (false, false)
+        };
+
+        let pops = footprint(
+            category,
+            is_cdn,
+            cities,
+            &by_continent,
+            &by_country,
+            &continents,
+            &big_cities,
+            rng,
+        );
+        debug_assert!(!pops.is_empty());
+        let whois_city = pops[0];
+        let country = cities[whois_city.index()].country;
+        out.push(AutonomousSystem {
+            id: AsId(i as u32),
+            category,
+            pops,
+            country,
+            whois_city,
+            is_cdn,
+            is_cloud,
+            publishes_geofeed: rng.gen::<f64>() < cfg.geofeed_fraction,
+        });
+    }
+    out
+}
+
+/// Deterministically apportions AS indices to categories so the realized
+/// counts match `AS_POPULATION_MIX` exactly (largest-remainder style by
+/// cumulative rounding).
+fn pick_category(index: usize, total: usize) -> AsCategory {
+    let mut acc = 0usize;
+    for (cat, frac) in AS_POPULATION_MIX {
+        let count = (frac * total as f64).round() as usize;
+        acc += count;
+        if index < acc {
+            return cat;
+        }
+    }
+    AsCategory::Unknown
+}
+
+#[allow(clippy::too_many_arguments)]
+fn footprint<R: Rng + ?Sized>(
+    category: AsCategory,
+    is_cdn: bool,
+    cities: &[City],
+    by_continent: &HashMap<Continent, Vec<&City>>,
+    by_country: &HashMap<CountryId, Vec<&City>>,
+    continents: &[Continent],
+    big_cities: &[&City],
+    rng: &mut R,
+) -> Vec<CityId> {
+    let pareto = Pareto::new(1.0, 1.2);
+    match category {
+        AsCategory::Tier1 => {
+            // Global backbone: PoPs in the biggest cities of every continent.
+            let n = (30.0 + pareto.sample(rng) * 20.0).min(120.0) as usize;
+            sample_cities(&big_cities[..big_cities.len().min(200)], n.max(20), rng)
+        }
+        AsCategory::Content if is_cdn => {
+            // CDN: wide anycast footprint in big cities.
+            let n = (20.0 + pareto.sample(rng) * 15.0).min(100.0) as usize;
+            sample_cities(&big_cities[..big_cities.len().min(300)], n.max(15), rng)
+        }
+        AsCategory::Content => {
+            // Hosting/cloud: a few datacenter metros.
+            let n = (pareto.sample(rng) as usize).clamp(1, 6);
+            sample_cities(big_cities, n, rng)
+        }
+        AsCategory::TransitAccess => {
+            // Regional: one continent, several cities.
+            let continent = continents[rng.gen_range(0..continents.len())];
+            let pool = &by_continent[&continent];
+            let n = (2.0 + pareto.sample(rng) * 4.0).min(30.0) as usize;
+            sample_cities(pool, n.max(2), rng)
+        }
+        AsCategory::Access => {
+            // National eyeball network: cities of one country.
+            let country = cities[rng.gen_range(0..cities.len())].country;
+            let pool = &by_country[&country];
+            let n = (1.0 + pareto.sample(rng) * 2.0).min(12.0) as usize;
+            sample_cities(pool, n.max(1), rng)
+        }
+        AsCategory::Enterprise | AsCategory::Unknown => {
+            let country = cities[rng.gen_range(0..cities.len())].country;
+            let pool = &by_country[&country];
+            sample_cities(pool, rng.gen_range(1..=2), rng)
+        }
+    }
+}
+
+fn sample_cities<R: Rng + ?Sized>(pool: &[&City], n: usize, rng: &mut R) -> Vec<CityId> {
+    let n = n.min(pool.len()).max(1);
+    let mut ids: Vec<CityId> = pool.iter().map(|c| c.id).collect();
+    ids.shuffle(rng);
+    ids.truncate(n);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::generate_cities;
+    use geo_model::rng::Seed;
+
+    fn build() -> (Vec<City>, Vec<AutonomousSystem>) {
+        let cfg = WorldConfig::small(Seed(21));
+        let mut rng = Seed(21).derive("test-as").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let ases = generate_ases(&cfg, &cities, &mut rng);
+        (cities, ases)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, ases) = build();
+        assert_eq!(ases.len(), 60);
+    }
+
+    #[test]
+    fn every_as_has_pops() {
+        let (cities, ases) = build();
+        for a in &ases {
+            assert!(!a.pops.is_empty(), "{} has no PoPs", a.id);
+            for p in &a.pops {
+                assert!(p.index() < cities.len());
+            }
+            assert!(a.has_pop(a.whois_city));
+        }
+    }
+
+    #[test]
+    fn category_mix_matches_population() {
+        let (_, ases) = build();
+        let access = ases.iter().filter(|a| a.category == AsCategory::Access).count();
+        // 45% of 60 = 27.
+        assert_eq!(access, 27);
+        let tier1 = ases.iter().filter(|a| a.category == AsCategory::Tier1).count();
+        assert!(tier1 <= 2); // 0.5% rounds to 0 at this scale
+    }
+
+    #[test]
+    fn tier1_spans_widely() {
+        // Use a larger world so a tier-1 exists.
+        let cfg = WorldConfig::paper(Seed(22));
+        let mut rng = Seed(22).derive("test-as").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let ases = generate_ases(&cfg, &cities, &mut rng);
+        let t1 = ases.iter().find(|a| a.category == AsCategory::Tier1).unwrap();
+        assert!(t1.pops.len() >= 20, "tier-1 has only {} PoPs", t1.pops.len());
+        // Access networks stay within one country.
+        let access = ases.iter().find(|a| a.category == AsCategory::Access).unwrap();
+        let country = cities[access.pops[0].index()].country;
+        for p in &access.pops {
+            assert_eq!(cities[p.index()].country, country);
+        }
+    }
+
+    #[test]
+    fn cdn_flags_only_on_content() {
+        let (_, ases) = build();
+        for a in &ases {
+            if a.is_cdn || a.is_cloud {
+                assert_eq!(a.category, AsCategory::Content);
+            }
+            assert!(!(a.is_cdn && a.is_cloud));
+        }
+    }
+
+    #[test]
+    fn some_ases_publish_geofeeds() {
+        let cfg = WorldConfig::paper(Seed(23));
+        let mut rng = Seed(23).derive("test-as").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let ases = generate_ases(&cfg, &cities, &mut rng);
+        let geofeeds = ases.iter().filter(|a| a.publishes_geofeed).count();
+        let frac = geofeeds as f64 / ases.len() as f64;
+        assert!((0.15..0.30).contains(&frac), "geofeed fraction {frac}");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = AsCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! World census: the numbers behind the paper's Tables 1 and 2.
+//!
+//! Table 1 recaps the datasets (723 anchors as targets, 10k probes as VPs);
+//! Table 2 breaks the probes/anchors down by CAIDA AS category. The census
+//! computes both from a generated world so the `tab1`/`tab2` binaries can
+//! print the replication's rows next to the paper's.
+
+use crate::asn::AsCategory;
+use crate::ids::HostId;
+use crate::world::World;
+use std::collections::HashSet;
+
+/// Host counts per AS category (one Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CategoryCounts {
+    /// Counts in `AsCategory::ALL` order.
+    pub counts: [usize; 6],
+}
+
+impl CategoryCounts {
+    /// Total hosts across categories.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the row in the given category.
+    pub fn fraction(&self, cat: AsCategory) -> f64 {
+        let idx = AsCategory::ALL.iter().position(|c| *c == cat).expect("known");
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.counts[idx] as f64 / self.total() as f64
+        }
+    }
+
+    /// Adds two rows elementwise (the probes + anchors row of Table 2).
+    pub fn plus(&self, other: &CategoryCounts) -> CategoryCounts {
+        let mut counts = [0usize; 6];
+        for i in 0..6 {
+            counts[i] = self.counts[i] + other.counts[i];
+        }
+        CategoryCounts { counts }
+    }
+}
+
+/// The full census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Census {
+    /// Number of anchors (the replication's targets).
+    pub anchors: usize,
+    /// Number of probes.
+    pub probes: usize,
+    /// Number of cities, countries and ASes hosting at least one anchor.
+    pub anchor_cities: usize,
+    /// Countries with at least one anchor.
+    pub anchor_countries: usize,
+    /// ASes hosting at least one anchor.
+    pub anchor_ases: usize,
+    /// Anchors per continent in `Continent::ALL` order.
+    pub anchors_per_continent: [usize; 6],
+    /// Table 2, anchors row.
+    pub anchor_categories: CategoryCounts,
+    /// Table 2, probes row.
+    pub probe_categories: CategoryCounts,
+    /// Total ASes in the world.
+    pub total_ases: usize,
+    /// Total cities in the world.
+    pub total_cities: usize,
+    /// Total countries in the world.
+    pub total_countries: usize,
+}
+
+impl Census {
+    /// Computes the census of a world.
+    pub fn of(world: &World) -> Census {
+        let categorize = |ids: &[HostId]| {
+            let mut row = CategoryCounts::default();
+            for &id in ids {
+                let cat = world.asn(world.host(id).asn).category;
+                let idx = AsCategory::ALL.iter().position(|c| *c == cat).expect("known");
+                row.counts[idx] += 1;
+            }
+            row
+        };
+
+        let mut anchor_cities = HashSet::new();
+        let mut anchor_countries = HashSet::new();
+        let mut anchor_ases = HashSet::new();
+        let mut per_continent = [0usize; 6];
+        for h in world.anchor_hosts() {
+            anchor_cities.insert(h.city);
+            anchor_countries.insert(world.city(h.city).country);
+            anchor_ases.insert(h.asn);
+            let cont = world.city(h.city).continent;
+            let idx = crate::continent::Continent::ALL
+                .iter()
+                .position(|c| *c == cont)
+                .expect("known continent");
+            per_continent[idx] += 1;
+        }
+
+        Census {
+            anchors: world.anchors.len(),
+            probes: world.probes.len(),
+            anchor_cities: anchor_cities.len(),
+            anchor_countries: anchor_countries.len(),
+            anchor_ases: anchor_ases.len(),
+            anchors_per_continent: per_continent,
+            anchor_categories: categorize(&world.anchors),
+            probe_categories: categorize(&world.probes),
+            total_ases: world.ases.len(),
+            total_cities: world.cities.len(),
+            total_countries: world.num_countries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use geo_model::rng::Seed;
+
+    #[test]
+    fn census_counts_small_world() {
+        let w = World::generate(WorldConfig::small(Seed(71))).unwrap();
+        let c = Census::of(&w);
+        assert_eq!(c.anchors, 30);
+        assert_eq!(c.probes, 230);
+        assert_eq!(c.anchor_categories.total(), 30);
+        assert_eq!(c.probe_categories.total(), 230);
+        assert!(c.anchor_cities <= 30);
+        assert!(c.anchor_cities >= 2);
+        assert!(c.anchor_ases >= 2);
+        // Small world: Europe + North America only.
+        assert_eq!(c.anchors_per_continent[0], 20);
+        assert_eq!(c.anchors_per_continent[2], 10);
+    }
+
+    #[test]
+    fn category_fractions_sum_to_one() {
+        let w = World::generate(WorldConfig::small(Seed(71))).unwrap();
+        let c = Census::of(&w);
+        let total: f64 = AsCategory::ALL
+            .iter()
+            .map(|cat| c.probe_categories.fraction(*cat))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plus_adds_rows() {
+        let a = CategoryCounts { counts: [1, 2, 3, 4, 5, 6] };
+        let b = CategoryCounts { counts: [6, 5, 4, 3, 2, 1] };
+        assert_eq!(a.plus(&b).counts, [7; 6]);
+        assert_eq!(a.plus(&b).total(), 42);
+    }
+}

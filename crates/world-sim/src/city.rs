@@ -1,0 +1,365 @@
+//! Cities: placement, population, and a spatial index.
+//!
+//! Cities are the world's geographic anchors: hosts, websites and postal
+//! codes all hang off a city. Placement samples continent land boxes with a
+//! minimum-separation rule (so "city-level accuracy = 40 km" remains a
+//! meaningful granularity), populations follow a per-continent Zipf law,
+//! and countries are coarse geographic partitions of each continent.
+
+use crate::config::WorldConfig;
+use crate::continent::Continent;
+use crate::ids::{CityId, CountryId};
+use geo_model::distr::Zipf;
+use geo_model::point::GeoPoint;
+use geo_model::units::Km;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Minimum distance between two city centers, km.
+const MIN_CITY_SEPARATION_KM: f64 = 30.0;
+/// Attempts to find a separated location before giving up on separation.
+const PLACEMENT_ATTEMPTS: usize = 40;
+/// Size of the country grid cells, degrees (lat, lon).
+const COUNTRY_CELL_DEG: (f64, f64) = (6.0, 8.0);
+
+/// A city in the synthetic world.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Identifier (index into the world's city vector).
+    pub id: CityId,
+    /// Synthetic name, e.g. `EU-0042`.
+    pub name: String,
+    /// City center.
+    pub center: GeoPoint,
+    /// Population (people).
+    pub population: f64,
+    /// Core population density (people/km²) used by the density field.
+    pub core_density: f64,
+    /// Continent the city is on.
+    pub continent: Continent,
+    /// Country (coarse partition of the continent).
+    pub country: CountryId,
+    /// Extra last-mile delay (ms) that access infrastructure in this city
+    /// adds to every probe; zero for well-served cities. Correlating
+    /// last-mile quality by city reproduces §5.1.5's targets whose *every*
+    /// nearby probe measures a large RTT.
+    pub infrastructure_penalty_ms: f64,
+}
+
+/// Generates all cities plus the number of distinct countries.
+pub fn generate_cities<R: Rng + ?Sized>(cfg: &WorldConfig, rng: &mut R) -> (Vec<City>, usize) {
+    let mut cities: Vec<City> = Vec::with_capacity(cfg.total_cities());
+    let mut country_ids: HashMap<(Continent, i32, i32), CountryId> = HashMap::new();
+
+    for mix in &cfg.mix {
+        let n = mix.cities;
+        if n == 0 {
+            continue;
+        }
+        // Sample separated centers.
+        let mut centers: Vec<GeoPoint> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut placed = None;
+            for _ in 0..PLACEMENT_ATTEMPTS {
+                let p = mix.continent.sample_point(rng);
+                let ok = centers
+                    .iter()
+                    .all(|c| c.distance(&p).value() >= MIN_CITY_SEPARATION_KM);
+                if ok {
+                    placed = Some(p);
+                    break;
+                }
+            }
+            centers.push(placed.unwrap_or_else(|| mix.continent.sample_point(rng)));
+        }
+
+        // Zipf populations over a random rank permutation, so geography and
+        // rank are independent.
+        let zipf = Zipf::new(n, cfg.city_zipf_exponent);
+        let mut ranks: Vec<usize> = (1..=n).collect();
+        ranks.shuffle(rng);
+
+        for (i, center) in centers.into_iter().enumerate() {
+            let rank = ranks[i];
+            // Use the Zipf weight relative to rank 1 to scale populations.
+            let population =
+                cfg.max_city_population * zipf.weight(rank) / zipf.weight(1);
+            let population = population.max(20_000.0);
+            let id = CityId(cities.len() as u32);
+            let country = country_of(&mut country_ids, mix.continent, &center);
+            let infrastructure_penalty_ms = if rng.gen::<f64>() < cfg.heavy_city_fraction {
+                rng.gen_range(4.0..14.0)
+            } else {
+                0.0
+            };
+            cities.push(City {
+                id,
+                name: format!("{}-{:04}", mix.continent.code(), i),
+                center,
+                population,
+                core_density: core_density(population),
+                continent: mix.continent,
+                country,
+                infrastructure_penalty_ms,
+            });
+        }
+    }
+
+    let num_countries = country_ids.len();
+    (cities, num_countries)
+}
+
+/// Core population density from total population: sublinear, so megacities
+/// reach a few thousand people/km² and small towns a few hundred.
+fn core_density(population: f64) -> f64 {
+    (8.0 * population.powf(0.42)).min(25_000.0)
+}
+
+fn country_of(
+    ids: &mut HashMap<(Continent, i32, i32), CountryId>,
+    continent: Continent,
+    p: &GeoPoint,
+) -> CountryId {
+    let cell = (
+        (p.lat() / COUNTRY_CELL_DEG.0).floor() as i32,
+        (p.lon() / COUNTRY_CELL_DEG.1).floor() as i32,
+    );
+    let next = CountryId(ids.len() as u32);
+    *ids.entry((continent, cell.0, cell.1)).or_insert(next)
+}
+
+/// A grid-bucketed spatial index over city centers for nearest-city and
+/// radius queries (used by the density field, zip codes, and landmark
+/// discovery).
+#[derive(Debug, Clone)]
+pub struct CityIndex {
+    /// City centers, indexed by `CityId`.
+    centers: Vec<GeoPoint>,
+    /// 1°-cell buckets: (lat_cell, lon_cell) -> city indices.
+    grid: HashMap<(i32, i32), Vec<u32>>,
+}
+
+impl CityIndex {
+    /// Builds the index.
+    pub fn build(cities: &[City]) -> CityIndex {
+        let mut grid: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        let centers: Vec<GeoPoint> = cities.iter().map(|c| c.center).collect();
+        for (i, p) in centers.iter().enumerate() {
+            grid.entry(Self::cell(p)).or_default().push(i as u32);
+        }
+        CityIndex { centers, grid }
+    }
+
+    fn cell(p: &GeoPoint) -> (i32, i32) {
+        (p.lat().floor() as i32, p.lon().floor() as i32)
+    }
+
+    /// The nearest city to `p`, or `None` if the index is empty.
+    pub fn nearest(&self, p: &GeoPoint) -> Option<(CityId, Km)> {
+        if self.centers.is_empty() {
+            return None;
+        }
+        let (clat, clon) = Self::cell(p);
+        // Expand search rings until a hit is found, then one extra ring to
+        // guard against grid-boundary effects.
+        let mut best: Option<(u32, f64)> = None;
+        let mut ring = 0i32;
+        loop {
+            let mut found_any = false;
+            for dlat in -ring..=ring {
+                for dlon in -ring..=ring {
+                    if dlat.abs() != ring && dlon.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    // Wrap longitude cells.
+                    let lon_cell = wrap_lon_cell(clon + dlon);
+                    if let Some(bucket) = self.grid.get(&(clat + dlat, lon_cell)) {
+                        found_any = true;
+                        for &i in bucket {
+                            let d = self.centers[i as usize].distance(p).value();
+                            if best.map_or(true, |(_, bd)| d < bd) {
+                                best = Some((i, d));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, bd)) = best {
+                // Terminate once the scanned rings are guaranteed to cover
+                // the best distance. Longitude cells shrink by cos(lat), so
+                // use the most pessimistic latitude touched by the scan.
+                let worst_lat = (p.lat().abs() + ring as f64 + 1.0).min(89.0);
+                let lon_km_per_cell = 111.32 * worst_lat.to_radians().cos();
+                let scanned_km = ring as f64 * lon_km_per_cell.min(110.57);
+                if bd <= scanned_km || ring > 360 {
+                    break;
+                }
+            }
+            if ring > 400 {
+                break;
+            }
+            let _ = found_any;
+            ring += 1;
+        }
+        best.map(|(i, d)| (CityId(i), Km(d)))
+    }
+
+    /// All cities within `radius` of `p`.
+    pub fn within(&self, p: &GeoPoint, radius: Km) -> Vec<(CityId, Km)> {
+        // Longitude cells shrink by cos(lat); size the scan for the most
+        // pessimistic latitude the radius can reach.
+        let lat_cells = (radius.value() / 110.57).ceil();
+        let worst_lat = (p.lat().abs() + lat_cells + 1.0).min(89.0);
+        let lon_km = 111.32 * worst_lat.to_radians().cos();
+        let cells = (radius.value() / lon_km.min(110.57)).ceil() as i32 + 1;
+        let (clat, clon) = Self::cell(p);
+        let mut out = Vec::new();
+        for dlat in -cells..=cells {
+            for dlon in -cells..=cells {
+                let lon_cell = wrap_lon_cell(clon + dlon);
+                if let Some(bucket) = self.grid.get(&(clat + dlat, lon_cell)) {
+                    for &i in bucket {
+                        let d = self.centers[i as usize].distance(p);
+                        if d <= radius {
+                            out.push((CityId(i), d));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+}
+
+fn wrap_lon_cell(cell: i32) -> i32 {
+    let mut c = cell;
+    while c < -180 {
+        c += 360;
+    }
+    while c >= 180 {
+        c -= 360;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+
+    fn make_world() -> (Vec<City>, usize) {
+        let cfg = WorldConfig::small(Seed(5));
+        let mut rng = Seed(5).derive("cities").rng();
+        generate_cities(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let (cities, countries) = make_world();
+        assert_eq!(cities.len(), 50);
+        assert!(countries >= 2, "expected multiple countries, got {countries}");
+    }
+
+    #[test]
+    fn cities_are_on_their_continent() {
+        let (cities, _) = make_world();
+        for c in &cities {
+            assert!(c.continent.contains(&c.center), "{} off-continent", c.name);
+        }
+    }
+
+    #[test]
+    fn populations_follow_zipf_shape() {
+        let (cities, _) = make_world();
+        let max = cities.iter().map(|c| c.population).fold(0.0, f64::max);
+        let min = cities.iter().map(|c| c.population).fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "Zipf spread too small: {max}/{min}");
+        assert!(cities.iter().all(|c| c.population >= 20_000.0));
+    }
+
+    #[test]
+    fn most_cities_respect_separation() {
+        let (cities, _) = make_world();
+        let mut violations = 0;
+        for (i, a) in cities.iter().enumerate() {
+            for b in &cities[i + 1..] {
+                if a.continent == b.continent
+                    && a.center.distance(&b.center).value() < MIN_CITY_SEPARATION_KM
+                {
+                    violations += 1;
+                }
+            }
+        }
+        // Rejection sampling is best-effort; tolerate a few collisions.
+        assert!(violations <= cities.len() / 10, "{violations} separation violations");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorldConfig::small(Seed(5));
+        let mut r1 = Seed(5).derive("cities").rng();
+        let mut r2 = Seed(5).derive("cities").rng();
+        let (a, _) = generate_cities(&cfg, &mut r1);
+        let (b, _) = generate_cities(&cfg, &mut r2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.population, y.population);
+            assert_eq!(x.country, y.country);
+        }
+    }
+
+    #[test]
+    fn index_nearest_matches_linear_scan() {
+        let (cities, _) = make_world();
+        let index = CityIndex::build(&cities);
+        let mut rng = Seed(6).derive("probe-points").rng();
+        for _ in 0..50 {
+            let p = Continent::Europe.sample_point(&mut rng);
+            let (got, gd) = index.nearest(&p).unwrap();
+            let want = cities
+                .iter()
+                .min_by(|a, b| {
+                    a.center
+                        .distance(&p)
+                        .total_cmp(&b.center.distance(&p))
+                })
+                .unwrap();
+            let wd = want.center.distance(&p);
+            assert!(
+                (gd.value() - wd.value()).abs() < 1e-6,
+                "nearest mismatch: got {} at {}, want {} at {}",
+                got,
+                gd,
+                want.id,
+                wd
+            );
+        }
+    }
+
+    #[test]
+    fn index_within_radius() {
+        let (cities, _) = make_world();
+        let index = CityIndex::build(&cities);
+        let p = cities[0].center;
+        let hits = index.within(&p, Km(500.0));
+        assert!(hits.iter().any(|(id, _)| *id == cities[0].id));
+        // Sorted by distance.
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // All within radius and no false negatives.
+        let brute: usize = cities
+            .iter()
+            .filter(|c| c.center.distance(&p).value() <= 500.0)
+            .count();
+        assert_eq!(hits.len(), brute);
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let index = CityIndex::build(&[]);
+        assert!(index.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! World-generation configuration.
+//!
+//! All knobs in one place, with two presets: [`WorldConfig::paper`]
+//! reproduces the replication's scale (723 anchors, ~10k probes, ~3.5k
+//! ASes), and [`WorldConfig::small`] is a miniature world for unit and
+//! integration tests.
+
+use crate::continent::Continent;
+use geo_model::rng::Seed;
+
+/// How many entities of each kind to place on each continent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinentMix {
+    /// The continent.
+    pub continent: Continent,
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of anchors (the replication's targets and street-level VPs).
+    pub anchors: usize,
+    /// Number of probes (the million-scale paper's VPs).
+    pub probes: usize,
+}
+
+/// Fractions of hosts per AS category, following the paper's Table 2.
+///
+/// Order: content, access, transit/access, enterprise, tier-1, unknown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryMix(pub [f64; 6]);
+
+impl CategoryMix {
+    /// The anchors row of Table 2.
+    pub const ANCHORS: CategoryMix =
+        CategoryMix([0.317, 0.292, 0.272, 0.076, 0.008, 0.035]);
+    /// The probes row of Table 2. (The paper's rounded percentages sum to
+    /// 100.1%; the content fraction is nudged down so the mix normalizes.)
+    pub const PROBES: CategoryMix =
+        CategoryMix([0.091, 0.752, 0.083, 0.034, 0.014, 0.026]);
+
+    /// Validates that fractions are non-negative and sum to ~1.
+    pub fn is_valid(&self) -> bool {
+        self.0.iter().all(|&f| f >= 0.0)
+            && (self.0.iter().sum::<f64>() - 1.0).abs() < 1e-6
+    }
+}
+
+/// Full configuration of a synthetic world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Master seed; the world is a pure function of config including seed.
+    pub seed: Seed,
+    /// Per-continent entity counts.
+    pub mix: Vec<ContinentMix>,
+    /// Total number of autonomous systems.
+    pub num_ases: usize,
+    /// Zipf exponent for city populations.
+    pub city_zipf_exponent: f64,
+    /// Population of the rank-1 city.
+    pub max_city_population: f64,
+    /// Radius (km) within which a city's hosts scatter around its center.
+    pub city_radius_km: f64,
+    /// AS category mix for anchor hosting (Table 2, anchors row).
+    pub anchor_categories: CategoryMix,
+    /// AS category mix for probe hosting (Table 2, probes row).
+    pub probe_categories: CategoryMix,
+    /// Number of anchors whose registered geolocation is wrong (to be
+    /// caught by §4.3 sanitization; the paper removed 9).
+    pub mis_geolocated_anchors: usize,
+    /// Number of probes whose registered geolocation is wrong (the paper
+    /// removed 96).
+    pub mis_geolocated_probes: usize,
+    /// Distance (km) by which a mis-geolocated host's registered location
+    /// is displaced from its true location.
+    pub mis_geolocation_offset_km: f64,
+    /// Fraction of probes placed by population weight; the rest are spread
+    /// uniformly across cities (captures RIPE Atlas volunteers in small
+    /// towns).
+    pub probe_population_affinity: f64,
+    /// Exponent on city population when placing anchors; below 1 spreads
+    /// anchors into smaller cities than the probe distribution reaches.
+    pub anchor_city_exponent: f64,
+    /// Number of responsive hitlist addresses generated per target /24.
+    pub hitlist_per_prefix: usize,
+    /// Probability that a representative in the target's /24 is actually in
+    /// a *different* city (prefix split across sites) — the failure mode of
+    /// the million-scale VP selection.
+    pub prefix_split_probability: f64,
+    /// Fraction of probes suffering a heavy last-mile tail (§5.1.5's 26 bad
+    /// European targets trace back to such probes).
+    pub heavy_last_mile_fraction: f64,
+    /// Fraction of cities whose access infrastructure adds a penalty to
+    /// every probe's last mile (correlated badness; see §5.1.5).
+    pub heavy_city_fraction: f64,
+    /// Fraction of ASes publishing an RFC 9092 geofeed (used by the
+    /// IPinfo-like database simulator).
+    pub geofeed_fraction: f64,
+    /// Fraction of hosts with a geo-hinting DNS hostname.
+    pub dns_hint_fraction: f64,
+}
+
+impl WorldConfig {
+    /// The replication's scale: 723 anchors distributed per §4.1.2
+    /// (EU 399 + the 5 unstated, AS 133, NA 125, SA 27, OC 18, AF 16) and
+    /// ~10k probes with RIPE Atlas's European skew.
+    pub fn paper(seed: Seed) -> WorldConfig {
+        WorldConfig {
+            seed,
+            mix: vec![
+                ContinentMix { continent: Continent::Europe, cities: 800, anchors: 404, probes: 6200 },
+                ContinentMix { continent: Continent::Asia, cities: 450, anchors: 133, probes: 1100 },
+                ContinentMix { continent: Continent::NorthAmerica, cities: 450, anchors: 125, probes: 1800 },
+                ContinentMix { continent: Continent::SouthAmerica, cities: 120, anchors: 27, probes: 350 },
+                ContinentMix { continent: Continent::Oceania, cities: 80, anchors: 18, probes: 330 },
+                ContinentMix { continent: Continent::Africa, cities: 100, anchors: 16, probes: 220 },
+            ],
+            num_ases: 3494,
+            city_zipf_exponent: 1.05,
+            max_city_population: 12_000_000.0,
+            city_radius_km: 15.0,
+            anchor_categories: CategoryMix::ANCHORS,
+            probe_categories: CategoryMix::PROBES,
+            mis_geolocated_anchors: 9,
+            mis_geolocated_probes: 96,
+            mis_geolocation_offset_km: 7000.0,
+            probe_population_affinity: 0.88,
+            anchor_city_exponent: 0.55,
+            hitlist_per_prefix: 6,
+            prefix_split_probability: 0.08,
+            heavy_last_mile_fraction: 0.10,
+            heavy_city_fraction: 0.14,
+            geofeed_fraction: 0.22,
+            dns_hint_fraction: 0.45,
+        }
+    }
+
+    /// A miniature world for tests: 2 continents, tens of hosts.
+    pub fn small(seed: Seed) -> WorldConfig {
+        WorldConfig {
+            seed,
+            mix: vec![
+                ContinentMix { continent: Continent::Europe, cities: 30, anchors: 20, probes: 150 },
+                ContinentMix { continent: Continent::NorthAmerica, cities: 20, anchors: 10, probes: 80 },
+            ],
+            num_ases: 60,
+            city_zipf_exponent: 1.0,
+            max_city_population: 5_000_000.0,
+            city_radius_km: 15.0,
+            anchor_categories: CategoryMix::ANCHORS,
+            probe_categories: CategoryMix::PROBES,
+            mis_geolocated_anchors: 1,
+            mis_geolocated_probes: 4,
+            mis_geolocation_offset_km: 7000.0,
+            probe_population_affinity: 0.75,
+            anchor_city_exponent: 0.55,
+            hitlist_per_prefix: 5,
+            prefix_split_probability: 0.08,
+            heavy_last_mile_fraction: 0.04,
+            heavy_city_fraction: 0.10,
+            geofeed_fraction: 0.22,
+            dns_hint_fraction: 0.45,
+        }
+    }
+
+    /// Total number of cities.
+    pub fn total_cities(&self) -> usize {
+        self.mix.iter().map(|m| m.cities).sum()
+    }
+
+    /// Total number of anchors.
+    pub fn total_anchors(&self) -> usize {
+        self.mix.iter().map(|m| m.anchors).sum()
+    }
+
+    /// Total number of probes.
+    pub fn total_probes(&self) -> usize {
+        self.mix.iter().map(|m| m.probes).sum()
+    }
+
+    /// Checks internal consistency; called by the generator before use.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mix.is_empty() {
+            return Err("continent mix must not be empty".into());
+        }
+        if !self.anchor_categories.is_valid() || !self.probe_categories.is_valid() {
+            return Err("category mixes must be non-negative and sum to 1".into());
+        }
+        if self.num_ases < 6 {
+            return Err("need at least one AS per category".into());
+        }
+        if self.total_cities() == 0 {
+            return Err("need at least one city".into());
+        }
+        if self.mis_geolocated_anchors > self.total_anchors() {
+            return Err("cannot mis-geolocate more anchors than exist".into());
+        }
+        if self.mis_geolocated_probes > self.total_probes() {
+            return Err("cannot mis-geolocate more probes than exist".into());
+        }
+        for f in [
+            self.probe_population_affinity,
+            self.prefix_split_probability,
+            self.heavy_last_mile_fraction,
+            self.heavy_city_fraction,
+            self.geofeed_fraction,
+            self.dns_hint_fraction,
+        ] {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("fraction out of [0,1]: {f}"));
+            }
+        }
+        if self.hitlist_per_prefix < 3 {
+            return Err("the VP selection needs >= 3 representatives per /24".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_totals() {
+        let cfg = WorldConfig::paper(Seed(1));
+        assert_eq!(cfg.total_anchors(), 723);
+        assert_eq!(cfg.total_probes(), 10_000);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(WorldConfig::small(Seed(1)).validate().is_ok());
+    }
+
+    #[test]
+    fn table2_mixes_sum_to_one() {
+        assert!(CategoryMix::ANCHORS.is_valid());
+        assert!(CategoryMix::PROBES.is_valid());
+    }
+
+    #[test]
+    fn validation_catches_bad_fraction() {
+        let mut cfg = WorldConfig::small(Seed(1));
+        cfg.prefix_split_probability = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_excess_misgeolocation() {
+        let mut cfg = WorldConfig::small(Seed(1));
+        cfg.mis_geolocated_anchors = 10_000;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_small_hitlist() {
+        let mut cfg = WorldConfig::small(Seed(1));
+        cfg.hitlist_per_prefix = 2;
+        assert!(cfg.validate().is_err());
+    }
+}

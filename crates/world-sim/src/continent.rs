@@ -1,0 +1,215 @@
+//! Continents and their (coarse) landmass geometry.
+//!
+//! Cities are sampled inside per-continent collections of bounding boxes
+//! that roughly follow the populated parts of each landmass. The exact
+//! shapes do not matter for the replication — what matters is that
+//! continents are *far apart* (inter-continental RTTs are dominated by
+//! geography) and that the paper's continental target distribution
+//! (EU 399, AS 133, NA 125, SA 27, OC 18, AF 16) can be reproduced.
+
+use geo_model::point::GeoPoint;
+use rand::Rng;
+
+/// The six continents the paper's Figure 4 splits targets by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+/// A latitude/longitude box with a sampling weight proportional to how much
+/// of the continent's population it holds.
+#[derive(Debug, Clone, Copy)]
+pub struct LandBox {
+    /// Minimum latitude (degrees).
+    pub lat_min: f64,
+    /// Maximum latitude (degrees).
+    pub lat_max: f64,
+    /// Minimum longitude (degrees).
+    pub lon_min: f64,
+    /// Maximum longitude (degrees).
+    pub lon_max: f64,
+    /// Relative sampling weight.
+    pub weight: f64,
+}
+
+impl LandBox {
+    /// True if the point lies inside this box.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat() >= self.lat_min
+            && p.lat() <= self.lat_max
+            && p.lon() >= self.lon_min
+            && p.lon() <= self.lon_max
+    }
+
+    /// Samples a uniform point inside the box.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
+        GeoPoint::new(
+            rng.gen_range(self.lat_min..self.lat_max),
+            rng.gen_range(self.lon_min..self.lon_max),
+        )
+    }
+}
+
+impl Continent {
+    /// All continents, in the order used by reports.
+    pub const ALL: [Continent; 6] = [
+        Continent::Europe,
+        Continent::Asia,
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Africa,
+        Continent::Oceania,
+    ];
+
+    /// Two-letter code used in the paper's Figure 4 legend.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::NorthAmerica => "NA",
+            Continent::SouthAmerica => "SA",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Continent::Europe => "Europe",
+            Continent::Asia => "Asia",
+            Continent::NorthAmerica => "North America",
+            Continent::SouthAmerica => "South America",
+            Continent::Africa => "Africa",
+            Continent::Oceania => "Oceania",
+        }
+    }
+
+    /// The populated-landmass boxes of this continent.
+    pub fn land_boxes(&self) -> &'static [LandBox] {
+        match self {
+            Continent::Europe => &[
+                // Western/central Europe: dense.
+                LandBox { lat_min: 36.0, lat_max: 60.0, lon_min: -10.0, lon_max: 25.0, weight: 3.0 },
+                // Eastern Europe.
+                LandBox { lat_min: 44.0, lat_max: 60.0, lon_min: 25.0, lon_max: 40.0, weight: 1.0 },
+                // Scandinavia.
+                LandBox { lat_min: 55.0, lat_max: 68.0, lon_min: 5.0, lon_max: 30.0, weight: 0.5 },
+            ],
+            Continent::Asia => &[
+                // East Asia.
+                LandBox { lat_min: 22.0, lat_max: 45.0, lon_min: 100.0, lon_max: 145.0, weight: 3.0 },
+                // South Asia.
+                LandBox { lat_min: 8.0, lat_max: 32.0, lon_min: 68.0, lon_max: 92.0, weight: 2.0 },
+                // Southeast Asia.
+                LandBox { lat_min: -8.0, lat_max: 20.0, lon_min: 95.0, lon_max: 125.0, weight: 1.5 },
+                // Middle East / central Asia.
+                LandBox { lat_min: 12.0, lat_max: 42.0, lon_min: 35.0, lon_max: 68.0, weight: 1.0 },
+            ],
+            Continent::NorthAmerica => &[
+                // Contiguous US + southern Canada.
+                LandBox { lat_min: 28.0, lat_max: 50.0, lon_min: -125.0, lon_max: -68.0, weight: 3.0 },
+                // Mexico / Central America.
+                LandBox { lat_min: 10.0, lat_max: 28.0, lon_min: -110.0, lon_max: -85.0, weight: 1.0 },
+            ],
+            Continent::SouthAmerica => &[
+                // Brazil coast / southeastern cone.
+                LandBox { lat_min: -35.0, lat_max: -5.0, lon_min: -65.0, lon_max: -38.0, weight: 2.0 },
+                // Andean west.
+                LandBox { lat_min: -35.0, lat_max: 10.0, lon_min: -80.0, lon_max: -65.0, weight: 1.0 },
+            ],
+            Continent::Africa => &[
+                // North Africa.
+                LandBox { lat_min: 25.0, lat_max: 37.0, lon_min: -10.0, lon_max: 32.0, weight: 1.0 },
+                // West Africa.
+                LandBox { lat_min: 4.0, lat_max: 15.0, lon_min: -17.0, lon_max: 10.0, weight: 1.0 },
+                // East Africa.
+                LandBox { lat_min: -5.0, lat_max: 15.0, lon_min: 30.0, lon_max: 45.0, weight: 1.0 },
+                // Southern Africa.
+                LandBox { lat_min: -35.0, lat_max: -15.0, lon_min: 15.0, lon_max: 32.0, weight: 1.0 },
+            ],
+            Continent::Oceania => &[
+                // Australian east/south coast.
+                LandBox { lat_min: -38.0, lat_max: -25.0, lon_min: 138.0, lon_max: 154.0, weight: 2.0 },
+                // New Zealand.
+                LandBox { lat_min: -47.0, lat_max: -34.0, lon_min: 166.0, lon_max: 179.0, weight: 1.0 },
+            ],
+        }
+    }
+
+    /// Samples a point on this continent, box-weighted.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
+        let boxes = self.land_boxes();
+        let total: f64 = boxes.iter().map(|b| b.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        for b in boxes {
+            if pick < b.weight {
+                return b.sample(rng);
+            }
+            pick -= b.weight;
+        }
+        boxes[boxes.len() - 1].sample(rng)
+    }
+
+    /// True if the point lies in any of this continent's boxes.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        self.land_boxes().iter().any(|b| b.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+
+    #[test]
+    fn sampled_points_stay_on_continent() {
+        let mut rng = Seed(11).derive("continent-test").rng();
+        for continent in Continent::ALL {
+            for _ in 0..200 {
+                let p = continent.sample_point(&mut rng);
+                assert!(continent.contains(&p), "{} escaped: {}", continent.name(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn continents_are_disjoint_enough() {
+        // Sampled European and Oceanian points must be far apart.
+        let mut rng = Seed(12).derive("disjoint").rng();
+        let eu = Continent::Europe.sample_point(&mut rng);
+        let oc = Continent::Oceania.sample_point(&mut rng);
+        assert!(eu.distance(&oc).value() > 10_000.0);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = Continent::ALL.iter().map(|c| c.code()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn box_weights_positive() {
+        for c in Continent::ALL {
+            assert!(!c.land_boxes().is_empty());
+            for b in c.land_boxes() {
+                assert!(b.weight > 0.0);
+                assert!(b.lat_min < b.lat_max);
+                assert!(b.lon_min < b.lon_max);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The population-density field.
+//!
+//! Substitutes for the "Gridded Population of the World" dataset the paper
+//! uses for Figures 6b and 8: a query-anywhere density surface composed of
+//! Gaussian city kernels (radius derived from population and core density)
+//! over a deterministic, spatially varying rural background.
+
+use crate::city::{City, CityIndex};
+use geo_model::point::GeoPoint;
+use geo_model::rng::{fnv1a, splitmix64, Seed};
+use geo_model::units::Km;
+
+/// Resolution of the rural-background texture, degrees (~1 km at 0.01°).
+const RURAL_CELL_DEG: f64 = 0.01;
+/// Median rural density, people/km².
+const RURAL_MEDIAN: f64 = 8.0;
+/// Log-scale spread of the rural texture.
+const RURAL_SIGMA: f64 = 1.4;
+/// How far (in city-kernel sigmas) a city contributes density.
+const KERNEL_CUTOFF_SIGMAS: f64 = 3.0;
+
+/// A queryable population-density surface.
+#[derive(Debug, Clone)]
+pub struct DensityField {
+    cities: Vec<CityKernel>,
+    index: CityIndex,
+    seed: Seed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CityKernel {
+    core_density: f64,
+    sigma_km: f64,
+}
+
+impl DensityField {
+    /// Builds the field from the world's cities.
+    pub fn build(cities: &[City], seed: Seed) -> DensityField {
+        let kernels = cities
+            .iter()
+            .map(|c| CityKernel {
+                core_density: c.core_density,
+                sigma_km: urban_sigma_km(c.population, c.core_density),
+            })
+            .collect();
+        DensityField {
+            cities: kernels,
+            index: CityIndex::build(cities),
+            seed: seed.derive("density-field"),
+        }
+    }
+
+    /// Population density at `p`, people/km².
+    pub fn density_at(&self, p: &GeoPoint) -> f64 {
+        let mut best = self.rural_background(p);
+        // Cities within the cutoff of the largest plausible kernel.
+        let max_reach = Km(KERNEL_CUTOFF_SIGMAS * 60.0);
+        for (city, dist) in self.index.within(p, max_reach) {
+            let k = &self.cities[city.index()];
+            let d = dist.value();
+            if d <= KERNEL_CUTOFF_SIGMAS * k.sigma_km {
+                let contribution =
+                    k.core_density * (-0.5 * (d / k.sigma_km).powi(2)).exp();
+                best = best.max(contribution);
+            }
+        }
+        best
+    }
+
+    /// The deterministic rural texture: a log-normal value per ~1 km cell,
+    /// derived purely from the cell coordinates and the seed.
+    fn rural_background(&self, p: &GeoPoint) -> f64 {
+        let cell_lat = (p.lat() / RURAL_CELL_DEG).floor() as i64;
+        let cell_lon = (p.lon() / RURAL_CELL_DEG).floor() as i64;
+        let mut h = self.seed.0;
+        h = splitmix64(h ^ cell_lat as u64);
+        h = splitmix64(h ^ cell_lon as u64 ^ fnv1a(b"rural"));
+        // Two uniforms from the hash -> one normal via Box-Muller.
+        let u1 = ((h >> 11) as f64 / (1u64 << 53) as f64).max(f64::MIN_POSITIVE);
+        let h2 = splitmix64(h);
+        let u2 = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        RURAL_MEDIAN * (RURAL_SIGMA * z).exp()
+    }
+}
+
+/// Kernel width from population: the radius at which the Gaussian integral
+/// roughly accounts for the city's population at its core density.
+fn urban_sigma_km(population: f64, core_density: f64) -> f64 {
+    // population ≈ 2π σ² core_density for a Gaussian disc.
+    (population / (2.0 * std::f64::consts::PI * core_density))
+        .sqrt()
+        .clamp(1.5, 60.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::generate_cities;
+    use crate::config::WorldConfig;
+
+    fn field() -> (Vec<City>, DensityField) {
+        let cfg = WorldConfig::small(Seed(3));
+        let mut rng = Seed(3).derive("cities").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let f = DensityField::build(&cities, Seed(3));
+        (cities, f)
+    }
+
+    #[test]
+    fn city_core_is_denser_than_countryside() {
+        let (cities, f) = field();
+        let big = cities
+            .iter()
+            .max_by(|a, b| a.population.total_cmp(&b.population))
+            .unwrap();
+        let at_core = f.density_at(&big.center);
+        // 200 km east of the big city should be much sparser (unless
+        // another city happens to sit there; pick the max of a few samples).
+        let far = big.center.destination(90.0, Km(200.0));
+        let at_far = f.density_at(&far);
+        assert!(
+            at_core > 10.0 * at_far.min(at_core / 20.0 + 1.0) || at_core > 500.0,
+            "core {at_core} vs far {at_far}"
+        );
+        assert!(at_core >= big.core_density * 0.9);
+    }
+
+    #[test]
+    fn density_is_deterministic() {
+        let (_, f1) = field();
+        let (_, f2) = field();
+        let p = GeoPoint::new(47.3, 8.5);
+        assert_eq!(f1.density_at(&p), f2.density_at(&p));
+    }
+
+    #[test]
+    fn rural_texture_varies_by_cell() {
+        let (_, f) = field();
+        // Two points in the middle of an ocean-ish area: rural background
+        // differs across cells but both are positive and small-ish.
+        let a = f.density_at(&GeoPoint::new(-50.0, -140.0));
+        let b = f.density_at(&GeoPoint::new(-50.1, -140.1));
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn density_always_positive() {
+        let (_, f) = field();
+        let mut rng = Seed(9).derive("d").rng();
+        use rand::Rng;
+        for _ in 0..200 {
+            let p = GeoPoint::new(rng.gen_range(-80.0..80.0), rng.gen_range(-180.0..180.0));
+            assert!(f.density_at(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sigma_clamps() {
+        assert_eq!(urban_sigma_km(1e12, 1.0), 60.0);
+        assert_eq!(urban_sigma_km(1.0, 1e9), 1.5);
+    }
+}

@@ -1,0 +1,634 @@
+//! Host populations: anchors, probes, hitlist representatives, and the
+//! address plan that ties `/24` prefixes to AS points of presence.
+//!
+//! The placement rules encode the properties the replication's analysis
+//! depends on:
+//!
+//! - anchors are well-connected servers (negligible last-mile delay, §4.4.2)
+//!   whose *registered* geolocation is usually — but not always — correct;
+//!   the few wrong ones are what §4.3's sanitizer must catch;
+//! - probes live disproportionately in access networks (Table 2) and suffer
+//!   last-mile delay; a small fraction has a heavy tail, which is what makes
+//!   some European targets hard to geolocate despite nearby probes (§5.1.5);
+//! - each anchor's `/24` holds several responsive "representative"
+//!   addresses, usually in the same city (the million-scale paper's core
+//!   assumption) but occasionally split to a different site.
+
+use crate::asn::{AsCategory, AutonomousSystem};
+use crate::city::City;
+use crate::config::{CategoryMix, WorldConfig};
+use crate::ids::{AsId, CityId, HostId};
+use geo_model::ip::{Ipv4, Prefix24};
+use geo_model::point::GeoPoint;
+use geo_model::units::Km;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// What role a host plays in the replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostKind {
+    /// A RIPE-Atlas-style anchor: target and street-level vantage point.
+    Anchor,
+    /// A RIPE-Atlas-style probe: million-scale vantage point.
+    Probe,
+    /// A responsive hitlist address in some target's /24.
+    Representative,
+    /// A web server (created later by `web-sim`).
+    WebServer,
+}
+
+/// Last-mile delay profile of a host, sampled per-measurement by `net-sim`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LastMile {
+    /// Well-connected server: sub-0.1 ms.
+    Negligible,
+    /// Residential access: gamma-distributed with the given mean (ms).
+    Access {
+        /// Mean extra delay in milliseconds.
+        mean_ms: f64,
+    },
+}
+
+/// A host in the synthetic world.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Identifier (index into the world's host vector).
+    pub id: HostId,
+    /// The host's IPv4 address.
+    pub ip: Ipv4,
+    /// Role.
+    pub kind: HostKind,
+    /// The AS announcing the host's prefix.
+    pub asn: AsId,
+    /// The city whose PoP serves the host.
+    pub city: CityId,
+    /// True physical location.
+    pub location: GeoPoint,
+    /// Location *registered* in platform metadata — differs from
+    /// `location` for mis-geolocated hosts.
+    pub registered_location: GeoPoint,
+    /// Last-mile delay profile.
+    pub last_mile: LastMile,
+}
+
+impl Host {
+    /// True if the registered location is (materially) wrong.
+    pub fn is_mis_geolocated(&self) -> bool {
+        self.location
+            .distance(&self.registered_location)
+            .value()
+            > 1.0
+    }
+}
+
+/// Allocates `/24` prefixes to (AS, city) points of presence and addresses
+/// within them.
+#[derive(Debug, Clone, Default)]
+pub struct AddressPlan {
+    /// prefix -> owning PoP.
+    owners: HashMap<Prefix24, (AsId, CityId)>,
+    /// Next free prefix (starts at 1.0.0.0/24 and grows linearly).
+    next_prefix: u32,
+    /// Next free host byte in the most recent prefix per PoP.
+    cursors: HashMap<(AsId, CityId), (Prefix24, u8)>,
+}
+
+/// Hosts per /24 before a PoP gets a fresh prefix. Leaves room for the
+/// hitlist representatives added into anchor prefixes.
+const HOSTS_PER_PREFIX: u8 = 200;
+
+impl AddressPlan {
+    /// Creates an empty plan.
+    pub fn new() -> AddressPlan {
+        AddressPlan {
+            owners: HashMap::new(),
+            next_prefix: 1 << 16, // 1.0.0.0/24
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh, dedicated /24 for the PoP (used for anchors so
+    /// that each target owns its prefix, mirroring how the hitlist picks
+    /// representatives per target /24).
+    pub fn allocate_prefix(&mut self, asn: AsId, city: CityId) -> Prefix24 {
+        let p = Prefix24(self.next_prefix);
+        self.next_prefix += 1;
+        self.owners.insert(p, (asn, city));
+        p
+    }
+
+    /// Allocates the next address for a PoP, opening a new /24 when the
+    /// current one is full.
+    pub fn allocate_address(&mut self, asn: AsId, city: CityId) -> Ipv4 {
+        let cursor = self.cursors.get(&(asn, city)).copied();
+        let (prefix, byte) = match cursor {
+            Some((p, b)) if b < HOSTS_PER_PREFIX => (p, b),
+            _ => {
+                let p = Prefix24(self.next_prefix);
+                self.next_prefix += 1;
+                self.owners.insert(p, (asn, city));
+                (p, 1)
+            }
+        };
+        self.cursors.insert((asn, city), (prefix, byte + 1));
+        prefix.host(byte)
+    }
+
+    /// The PoP owning a prefix, if allocated.
+    pub fn owner(&self, prefix: Prefix24) -> Option<(AsId, CityId)> {
+        self.owners.get(&prefix).copied()
+    }
+
+    /// Number of allocated prefixes.
+    pub fn allocated(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Iterates all allocated prefixes with their owners.
+    pub fn prefixes(&self) -> impl Iterator<Item = (Prefix24, (AsId, CityId))> + '_ {
+        self.owners.iter().map(|(p, o)| (*p, *o))
+    }
+}
+
+/// The generated host population.
+#[derive(Debug, Clone)]
+pub struct HostPopulation {
+    /// All hosts, indexed by `HostId`.
+    pub hosts: Vec<Host>,
+    /// Ids of anchor hosts.
+    pub anchors: Vec<HostId>,
+    /// Ids of probe hosts.
+    pub probes: Vec<HostId>,
+    /// Ids of representative hosts, grouped per anchor (same order as
+    /// `anchors`).
+    pub representatives: Vec<Vec<HostId>>,
+    /// The address plan.
+    pub plan: AddressPlan,
+}
+
+/// Context shared by the placement helpers.
+struct Placer {
+    /// category -> AS ids, for host-to-AS assignment.
+    by_category: HashMap<AsCategory, Vec<usize>>,
+    /// city -> AS indices with a PoP there.
+    pops_in_city: HashMap<CityId, Vec<usize>>,
+}
+
+impl Placer {
+    fn new(ases: &[AutonomousSystem]) -> Placer {
+        let mut by_category: HashMap<AsCategory, Vec<usize>> = HashMap::new();
+        let mut pops_in_city: HashMap<CityId, Vec<usize>> = HashMap::new();
+        for (i, a) in ases.iter().enumerate() {
+            by_category.entry(a.category).or_default().push(i);
+            for &c in &a.pops {
+                pops_in_city.entry(c).or_default().push(i);
+            }
+        }
+        Placer {
+            by_category,
+            pops_in_city,
+        }
+    }
+
+    /// Picks an AS of `category` with a PoP in `city`; if none exists, adds
+    /// a PoP there to a random AS of that category (hosting implies
+    /// presence) and records it.
+    fn as_for<R: Rng + ?Sized>(
+        &mut self,
+        ases: &mut [AutonomousSystem],
+        category: AsCategory,
+        city: CityId,
+        rng: &mut R,
+    ) -> AsId {
+        let local = self
+            .pops_in_city
+            .get(&city)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| ases[i].category == category)
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        if let Some(&i) = local.choose(rng) {
+            return ases[i].id;
+        }
+        let pool = self
+            .by_category
+            .get(&category)
+            .or_else(|| self.by_category.get(&AsCategory::Access))
+            .expect("at least one AS per fallback category");
+        let i = pool[rng.gen_range(0..pool.len())];
+        ases[i].pops.push(city);
+        self.pops_in_city.entry(city).or_default().push(i);
+        ases[i].id
+    }
+}
+
+/// Picks a category index from a [`CategoryMix`].
+fn pick_category<R: Rng + ?Sized>(mix: &CategoryMix, rng: &mut R) -> AsCategory {
+    let mut u: f64 = rng.gen();
+    for (i, &f) in mix.0.iter().enumerate() {
+        if u < f {
+            return AsCategory::ALL[i];
+        }
+        u -= f;
+    }
+    AsCategory::Unknown
+}
+
+/// Cumulative-weight city picker.
+struct CityPicker {
+    ids: Vec<CityId>,
+    cumulative: Vec<f64>,
+}
+
+impl CityPicker {
+    fn by_population(cities: &[City], filter: impl Fn(&City) -> bool) -> CityPicker {
+        CityPicker::by_population_pow(cities, 1.0, filter)
+    }
+
+    /// Weights cities by `population^exponent`; exponents below 1 spread
+    /// hosts into smaller cities (used for anchors, which volunteers host
+    /// well beyond the megacities).
+    fn by_population_pow(
+        cities: &[City],
+        exponent: f64,
+        filter: impl Fn(&City) -> bool,
+    ) -> CityPicker {
+        let mut ids = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0;
+        for c in cities.iter().filter(|c| filter(c)) {
+            acc += c.population.powf(exponent);
+            ids.push(c.id);
+            cumulative.push(acc);
+        }
+        CityPicker { ids, cumulative }
+    }
+
+    fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CityId> {
+        let total = *self.cumulative.last()?;
+        let u = rng.gen_range(0.0..total);
+        let i = match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN weights"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        Some(self.ids[i.min(self.ids.len() - 1)])
+    }
+
+    fn uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CityId> {
+        self.ids.choose(rng).copied()
+    }
+}
+
+/// Scatters a location around a city center within the configured radius
+/// (triangular-ish falloff toward the edge).
+fn scatter<R: Rng + ?Sized>(center: &GeoPoint, radius_km: f64, rng: &mut R) -> GeoPoint {
+    let bearing = rng.gen_range(0.0..360.0);
+    // sqrt for areal uniformity, squared once more to bias toward center.
+    let r = radius_km * rng.gen_range(0.0f64..1.0).sqrt();
+    center.destination(bearing, Km(r))
+}
+
+/// Generates the host population. `ases` may gain PoPs (hosting implies
+/// presence).
+pub fn generate_hosts<R: Rng + ?Sized>(
+    cfg: &WorldConfig,
+    cities: &[City],
+    ases: &mut Vec<AutonomousSystem>,
+    rng: &mut R,
+) -> HostPopulation {
+    let mut placer = Placer::new(ases);
+    let mut plan = AddressPlan::new();
+    let mut hosts: Vec<Host> = Vec::new();
+    let mut anchors = Vec::new();
+    let mut probes = Vec::new();
+
+    // --- Probes first: their footprint defines where close VPs exist. ---
+    for mix in &cfg.mix {
+        let continent = mix.continent;
+        let pop_picker = CityPicker::by_population(cities, |c| c.continent == continent);
+        for _ in 0..mix.probes {
+            let city = if rng.gen::<f64>() < cfg.probe_population_affinity {
+                pop_picker.pick(rng)
+            } else {
+                pop_picker.uniform(rng)
+            }
+            .expect("continent has cities");
+            let category = pick_category(&cfg.probe_categories, rng);
+            let asn = placer.as_for(ases, category, city, rng);
+            let ip = plan.allocate_address(asn, city);
+            let location = scatter(&cities[city.index()].center, cfg.city_radius_km, rng);
+            let heavy = rng.gen::<f64>() < cfg.heavy_last_mile_fraction;
+            // The fallback in `as_for` may land the probe in a different
+            // category than sampled; last-mile behaviour follows the AS the
+            // probe actually lives in.
+            let actual_category = ases[asn.index()].category;
+            let city_penalty = cities[city.index()].infrastructure_penalty_ms;
+            let last_mile = match actual_category {
+                AsCategory::Access | AsCategory::TransitAccess => LastMile::Access {
+                    mean_ms: city_penalty
+                        + if heavy {
+                            rng.gen_range(8.0..20.0)
+                        } else {
+                            rng.gen_range(1.0..5.0)
+                        },
+                },
+                _ if city_penalty > 0.0 => LastMile::Access {
+                    mean_ms: city_penalty,
+                },
+                _ => {
+                    if heavy {
+                        LastMile::Access {
+                            mean_ms: rng.gen_range(6.0..12.0),
+                        }
+                    } else {
+                        LastMile::Negligible
+                    }
+                }
+            };
+            let id = HostId(hosts.len() as u32);
+            hosts.push(Host {
+                id,
+                ip,
+                kind: HostKind::Probe,
+                asn,
+                city,
+                location,
+                registered_location: location,
+                last_mile,
+            });
+            probes.push(id);
+        }
+    }
+
+    // --- Anchors: each in its own /24 so representatives share the prefix. ---
+    let mut anchor_prefixes: Vec<Prefix24> = Vec::new();
+    for mix in &cfg.mix {
+        let continent = mix.continent;
+        let pop_picker =
+            CityPicker::by_population_pow(cities, cfg.anchor_city_exponent, |c| {
+                c.continent == continent
+            });
+        for _ in 0..mix.anchors {
+            let city = pop_picker.pick(rng).expect("continent has cities");
+            let category = pick_category(&cfg.anchor_categories, rng);
+            let asn = placer.as_for(ases, category, city, rng);
+            let prefix = plan.allocate_prefix(asn, city);
+            let ip = prefix.host(1);
+            let location = scatter(&cities[city.index()].center, cfg.city_radius_km, rng);
+            let id = HostId(hosts.len() as u32);
+            hosts.push(Host {
+                id,
+                ip,
+                kind: HostKind::Anchor,
+                asn,
+                city,
+                location,
+                registered_location: location,
+                last_mile: LastMile::Negligible,
+            });
+            anchors.push(id);
+            anchor_prefixes.push(prefix);
+        }
+    }
+
+    // --- Representatives: responsive addresses in each anchor's /24. ---
+    let mut representatives: Vec<Vec<HostId>> = Vec::with_capacity(anchors.len());
+    for (idx, &anchor_id) in anchors.iter().enumerate() {
+        let prefix = anchor_prefixes[idx];
+        let anchor = hosts[anchor_id.index()].clone();
+        let mut reps = Vec::with_capacity(cfg.hitlist_per_prefix);
+        for k in 0..cfg.hitlist_per_prefix {
+            // Host bytes 10, 20, ... avoid colliding with the anchor (.1).
+            let ip = prefix.host((10 + 10 * k as u32).min(250) as u8);
+            let split = rng.gen::<f64>() < cfg.prefix_split_probability;
+            let (city, location) = if split {
+                // Prefix split: the representative answers from another PoP
+                // of the same AS (or the same city if the AS has only one).
+                let asn = &ases[anchor.asn.index()];
+                let other = asn.pops[rng.gen_range(0..asn.pops.len())];
+                (
+                    other,
+                    scatter(&cities[other.index()].center, cfg.city_radius_km, rng),
+                )
+            } else {
+                (
+                    anchor.city,
+                    scatter(&cities[anchor.city.index()].center, cfg.city_radius_km, rng),
+                )
+            };
+            let id = HostId(hosts.len() as u32);
+            hosts.push(Host {
+                id,
+                ip,
+                kind: HostKind::Representative,
+                asn: anchor.asn,
+                city,
+                location,
+                registered_location: location,
+                last_mile: LastMile::Negligible,
+            });
+            reps.push(id);
+        }
+        representatives.push(reps);
+    }
+
+    // --- Mis-geolocate a handful of anchors and probes (caught by §4.3). ---
+    mis_geolocate(
+        &mut hosts,
+        &anchors,
+        cfg.mis_geolocated_anchors,
+        cfg.mis_geolocation_offset_km,
+        rng,
+    );
+    mis_geolocate(
+        &mut hosts,
+        &probes,
+        cfg.mis_geolocated_probes,
+        cfg.mis_geolocation_offset_km,
+        rng,
+    );
+
+    HostPopulation {
+        hosts,
+        anchors,
+        probes,
+        representatives,
+        plan,
+    }
+}
+
+fn mis_geolocate<R: Rng + ?Sized>(
+    hosts: &mut [Host],
+    pool: &[HostId],
+    count: usize,
+    offset_km: f64,
+    rng: &mut R,
+) {
+    let mut ids: Vec<HostId> = pool.to_vec();
+    ids.shuffle(rng);
+    for &id in ids.iter().take(count) {
+        let h = &mut hosts[id.index()];
+        let bearing = rng.gen_range(0.0..360.0);
+        let dist = offset_km * rng.gen_range(0.7..1.5);
+        h.registered_location = h.location.destination(bearing, Km(dist));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::generate_ases;
+    use crate::city::generate_cities;
+    use geo_model::rng::Seed;
+
+    fn build() -> (Vec<City>, Vec<AutonomousSystem>, HostPopulation) {
+        let cfg = WorldConfig::small(Seed(31));
+        let mut rng = cfg.seed.derive("world").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let mut ases = generate_ases(&cfg, &cities, &mut rng);
+        let pop = generate_hosts(&cfg, &cities, &mut ases, &mut rng);
+        (cities, ases, pop)
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let (_, _, pop) = build();
+        assert_eq!(pop.anchors.len(), 30);
+        assert_eq!(pop.probes.len(), 230);
+        assert_eq!(pop.representatives.len(), 30);
+        for reps in &pop.representatives {
+            assert_eq!(reps.len(), 5);
+        }
+    }
+
+    #[test]
+    fn anchors_own_their_prefixes() {
+        let (_, _, pop) = build();
+        for (i, &aid) in pop.anchors.iter().enumerate() {
+            let anchor = &pop.hosts[aid.index()];
+            let prefix = anchor.ip.prefix24();
+            // All representatives share the anchor's /24.
+            for &rid in &pop.representatives[i] {
+                let rep = &pop.hosts[rid.index()];
+                assert_eq!(rep.ip.prefix24(), prefix);
+                assert_ne!(rep.ip, anchor.ip);
+            }
+            // And the plan knows the owner.
+            let (asn, _) = pop.plan.owner(prefix).unwrap();
+            assert_eq!(asn, anchor.asn);
+        }
+    }
+
+    #[test]
+    fn representatives_mostly_share_anchor_city() {
+        let (_, _, pop) = build();
+        let mut same = 0;
+        let mut total = 0;
+        for (i, &aid) in pop.anchors.iter().enumerate() {
+            let anchor_city = pop.hosts[aid.index()].city;
+            for &rid in &pop.representatives[i] {
+                total += 1;
+                if pop.hosts[rid.index()].city == anchor_city {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.8, "only {frac} of reps co-located");
+    }
+
+    #[test]
+    fn misgeolocation_counts() {
+        let (_, _, pop) = build();
+        let bad_anchors = pop
+            .anchors
+            .iter()
+            .filter(|id| pop.hosts[id.index()].is_mis_geolocated())
+            .count();
+        let bad_probes = pop
+            .probes
+            .iter()
+            .filter(|id| pop.hosts[id.index()].is_mis_geolocated())
+            .count();
+        assert_eq!(bad_anchors, 1);
+        assert_eq!(bad_probes, 4);
+    }
+
+    #[test]
+    fn anchors_have_no_last_mile() {
+        let (_, _, pop) = build();
+        for &aid in &pop.anchors {
+            assert_eq!(pop.hosts[aid.index()].last_mile, LastMile::Negligible);
+        }
+    }
+
+    #[test]
+    fn most_probes_in_access_have_last_mile() {
+        let (_, ases, pop) = build();
+        let mut access_with_lm = 0;
+        let mut access_total = 0;
+        for &pid in &pop.probes {
+            let h = &pop.hosts[pid.index()];
+            if ases[h.asn.index()].category == AsCategory::Access {
+                access_total += 1;
+                if matches!(h.last_mile, LastMile::Access { .. }) {
+                    access_with_lm += 1;
+                }
+            }
+        }
+        assert!(access_total > 0);
+        assert_eq!(access_with_lm, access_total);
+    }
+
+    #[test]
+    fn hosts_near_their_city() {
+        let (cities, _, pop) = build();
+        for h in &pop.hosts {
+            let d = h.location.distance(&cities[h.city.index()].center).value();
+            assert!(d <= 16.0, "host {} is {d} km from its city", h.id);
+        }
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let (_, _, pop) = build();
+        let mut ips: Vec<Ipv4> = pop.hosts.iter().map(|h| h.ip).collect();
+        let n = ips.len();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), n);
+    }
+
+    #[test]
+    fn plan_rolls_prefixes() {
+        let mut plan = AddressPlan::new();
+        let asn = AsId(1);
+        let city = CityId(2);
+        let mut prefixes = std::collections::HashSet::new();
+        for _ in 0..450 {
+            prefixes.insert(plan.allocate_address(asn, city).prefix24());
+        }
+        assert!(prefixes.len() >= 3, "expected rollover, got {}", prefixes.len());
+        for p in prefixes {
+            assert_eq!(plan.owner(p), Some((asn, city)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, _, a) = build();
+        let (_, _, b) = build();
+        assert_eq!(a.hosts.len(), b.hosts.len());
+        for (x, y) in a.hosts.iter().zip(&b.hosts) {
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.location, y.location);
+        }
+    }
+}

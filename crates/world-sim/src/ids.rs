@@ -1,0 +1,100 @@
+//! Typed identifiers for world entities.
+//!
+//! Indices into the world's dense entity vectors, wrapped so that a city
+//! index can never be used where an AS index is expected.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense-vector index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A city in the synthetic world.
+    CityId,
+    "city"
+);
+id_type!(
+    /// An autonomous system.
+    AsId,
+    "AS"
+);
+id_type!(
+    /// A country (coarse geographic partition within a continent).
+    CountryId,
+    "country"
+);
+id_type!(
+    /// A host: anchor, probe, representative, router or web server.
+    HostId,
+    "host"
+);
+
+/// A postal code: city plus a local ~2 km grid cell, the granularity at
+/// which the mapping service reverse-geocodes and at which the street-level
+/// paper matches websites to sampled circle points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZipCode {
+    /// The city this postal code belongs to.
+    pub city: CityId,
+    /// The local grid cell within the city.
+    pub cell: u16,
+}
+
+impl fmt::Display for ZipCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:05}-{:04}", self.city.0 % 100_000, self.cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(CityId(3).to_string(), "city3");
+        assert_eq!(AsId(65000).to_string(), "AS65000");
+        assert_eq!(HostId(1).to_string(), "host1");
+        assert_eq!(CountryId(9).to_string(), "country9");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(CityId(1));
+        set.insert(CityId(1));
+        set.insert(CityId(2));
+        assert_eq!(set.len(), 2);
+        assert!(CityId(1) < CityId(2));
+    }
+
+    #[test]
+    fn zipcode_identity() {
+        let a = ZipCode { city: CityId(5), cell: 17 };
+        let b = ZipCode { city: CityId(5), cell: 17 };
+        let c = ZipCode { city: CityId(5), cell: 18 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "00005-0017");
+    }
+}

@@ -1,0 +1,33 @@
+//! # world-sim
+//!
+//! Seeded generation of a synthetic-but-statistically-faithful world for the
+//! `ipgeo` replication framework: continents, cities with Zipf populations
+//! and a population-density field, an AS ecosystem following the CAIDA
+//! category mix of the paper's Table 2, and the host populations the
+//! replication needs — RIPE-Atlas-style anchors and probes, hitlist
+//! representatives in each target's `/24`, and address blocks for the web
+//! ecosystem built on top by `web-sim`.
+//!
+//! Everything is a pure function of a [`geo_model::rng::Seed`]: generating
+//! the same [`config::WorldConfig`] twice yields byte-identical worlds.
+//!
+//! The crate stops at *who exists where*; latency and routing live in
+//! `net-sim`, the measurement platform in `atlas-sim`, and websites/mapping
+//! services in `web-sim`.
+
+pub mod asn;
+pub mod census;
+pub mod city;
+pub mod config;
+pub mod continent;
+pub mod density;
+pub mod hitlist;
+pub mod host;
+pub mod ids;
+pub mod metadata;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use continent::Continent;
+pub use ids::{AsId, CityId, CountryId, HostId};
+pub use world::World;

@@ -1,0 +1,204 @@
+//! Public metadata hints: DNS hostnames, RFC 9092 geofeeds, WHOIS.
+//!
+//! §6 of the replication demystifies the IPinfo database: beyond its own
+//! latency measurements it leans on "hints extracted from DNS, WHOIS,
+//! geofeeds". This module generates those hints for the synthetic world so
+//! that `ipgeo::dbsim` can build the IPinfo-like database the paper
+//! compares against in Figure 7. Hints are *mostly* right: a configurable
+//! fraction is stale or points at the network's headquarters instead of the
+//! prefix's deployment — the realistic failure modes.
+
+use crate::asn::AutonomousSystem;
+use crate::city::City;
+use crate::host::{AddressPlan, Host};
+use crate::ids::{CityId, HostId};
+use geo_model::ip::Prefix24;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Fraction of DNS hints that are accurate (the rest point at the AS's
+/// WHOIS city — a decommissioned or re-assigned hostname).
+const DNS_HINT_ACCURACY: f64 = 0.90;
+/// Fraction of geofeed entries that are accurate.
+const GEOFEED_ACCURACY: f64 = 0.95;
+
+/// A reverse-DNS name with an optional embedded location hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnsName {
+    /// The hostname.
+    pub name: String,
+    /// City the hostname encodes, if any (e.g. an airport code); may be
+    /// stale.
+    pub hint: Option<CityId>,
+}
+
+/// All metadata hints of a world.
+#[derive(Debug, Clone, Default)]
+pub struct Metadata {
+    /// Reverse DNS per host.
+    pub dns: HashMap<HostId, DnsName>,
+    /// Geofeed entries: prefix -> declared city.
+    pub geofeed: HashMap<Prefix24, CityId>,
+}
+
+impl Metadata {
+    /// Generates DNS names and geofeeds for the given hosts/prefixes.
+    pub fn generate<R: Rng + ?Sized>(
+        hosts: &[Host],
+        ases: &[AutonomousSystem],
+        cities: &[City],
+        plan: &AddressPlan,
+        dns_hint_fraction: f64,
+        rng: &mut R,
+    ) -> Metadata {
+        let mut dns = HashMap::new();
+        for h in hosts {
+            let asn = &ases[h.asn.index()];
+            let hinted = rng.gen::<f64>() < dns_hint_fraction;
+            let hint = if hinted {
+                let accurate = rng.gen::<f64>() < DNS_HINT_ACCURACY;
+                Some(if accurate { h.city } else { asn.whois_city })
+            } else {
+                None
+            };
+            let name = match hint {
+                Some(city) => format!(
+                    "{}.{}.{}.example.net",
+                    h.id,
+                    cities[city.index()].name.to_lowercase(),
+                    asn.id
+                ),
+                None => format!("{}.{}.example.net", h.id, asn.id),
+            };
+            dns.insert(h.id, DnsName { name, hint });
+        }
+
+        let mut geofeed = HashMap::new();
+        // Sort for determinism: the plan's prefix map has unspecified order
+        // and each entry consumes randomness.
+        let mut prefixes: Vec<_> = plan.prefixes().collect();
+        prefixes.sort_by_key(|(p, _)| *p);
+        for (prefix, (asn_id, city)) in prefixes {
+            let asn = &ases[asn_id.index()];
+            if !asn.publishes_geofeed {
+                continue;
+            }
+            let accurate = rng.gen::<f64>() < GEOFEED_ACCURACY;
+            geofeed.insert(prefix, if accurate { city } else { asn.whois_city });
+        }
+
+        Metadata { dns, geofeed }
+    }
+
+    /// The DNS hint for a host, if any.
+    pub fn dns_hint(&self, host: HostId) -> Option<CityId> {
+        self.dns.get(&host).and_then(|d| d.hint)
+    }
+
+    /// The geofeed city for a prefix, if published.
+    pub fn geofeed_city(&self, prefix: Prefix24) -> Option<CityId> {
+        self.geofeed.get(&prefix).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::generate_ases;
+    use crate::city::generate_cities;
+    use crate::config::WorldConfig;
+    use crate::host::generate_hosts;
+    use geo_model::rng::Seed;
+
+    fn build() -> (Vec<City>, Vec<AutonomousSystem>, crate::host::HostPopulation, Metadata) {
+        let cfg = WorldConfig::small(Seed(51));
+        let mut rng = cfg.seed.derive("world").rng();
+        let (cities, _) = generate_cities(&cfg, &mut rng);
+        let mut ases = generate_ases(&cfg, &cities, &mut rng);
+        let pop = generate_hosts(&cfg, &cities, &mut ases, &mut rng);
+        let meta = Metadata::generate(
+            &pop.hosts,
+            &ases,
+            &cities,
+            &pop.plan,
+            cfg.dns_hint_fraction,
+            &mut rng,
+        );
+        (cities, ases, pop, meta)
+    }
+
+    #[test]
+    fn every_host_has_a_name() {
+        let (_, _, pop, meta) = build();
+        assert_eq!(meta.dns.len(), pop.hosts.len());
+        for h in &pop.hosts {
+            assert!(meta.dns[&h.id].name.contains("example.net"));
+        }
+    }
+
+    #[test]
+    fn hint_fraction_roughly_configured() {
+        let (_, _, pop, meta) = build();
+        let hinted = pop
+            .hosts
+            .iter()
+            .filter(|h| meta.dns_hint(h.id).is_some())
+            .count();
+        let frac = hinted as f64 / pop.hosts.len() as f64;
+        assert!((0.3..0.6).contains(&frac), "hint fraction {frac}");
+    }
+
+    #[test]
+    fn most_hints_accurate() {
+        let (_, _, pop, meta) = build();
+        let mut accurate = 0;
+        let mut total = 0;
+        for h in &pop.hosts {
+            if let Some(city) = meta.dns_hint(h.id) {
+                total += 1;
+                if city == h.city {
+                    accurate += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = accurate as f64 / total as f64;
+        assert!(frac > 0.8, "accuracy {frac}");
+    }
+
+    #[test]
+    fn geofeeds_only_for_publishing_ases() {
+        let (_, ases, pop, meta) = build();
+        for (prefix, city) in &meta.geofeed {
+            let (asn, _) = pop.plan.owner(*prefix).unwrap();
+            assert!(ases[asn.index()].publishes_geofeed);
+            let _ = city;
+        }
+        // If any AS publishes and owns prefixes, the geofeed is non-empty.
+        let publishing_prefixes = pop
+            .plan
+            .prefixes()
+            .filter(|(_, (asn, _))| ases[asn.index()].publishes_geofeed)
+            .count();
+        if publishing_prefixes > 0 {
+            assert!(!meta.geofeed.is_empty());
+        }
+    }
+
+    #[test]
+    fn geofeed_mostly_matches_owner_city() {
+        let (_, _, pop, meta) = build();
+        let mut ok = 0;
+        let mut total = 0;
+        for (prefix, city) in &meta.geofeed {
+            let (_, owner_city) = pop.plan.owner(*prefix).unwrap();
+            total += 1;
+            if owner_city == *city {
+                ok += 1;
+            }
+        }
+        if total >= 20 {
+            assert!(ok as f64 / total as f64 > 0.8);
+        }
+    }
+}

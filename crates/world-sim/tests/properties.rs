@@ -1,0 +1,104 @@
+//! Property-based tests for world generation invariants.
+
+use geo_model::rng::Seed;
+use proptest::prelude::*;
+use world_sim::config::ContinentMix;
+use world_sim::continent::Continent;
+use world_sim::host::HostKind;
+use world_sim::{World, WorldConfig};
+
+fn arb_config() -> impl Strategy<Value = WorldConfig> {
+    (
+        0u64..1_000_000,
+        5usize..25,
+        2usize..12,
+        20usize..80,
+        0usize..3,
+    )
+        .prop_map(|(seed, cities, anchors, probes, bad)| {
+            let mut cfg = WorldConfig::small(Seed(seed));
+            cfg.mix = vec![ContinentMix {
+                continent: Continent::Europe,
+                cities,
+                anchors,
+                probes,
+            }];
+            cfg.mis_geolocated_anchors = bad.min(anchors);
+            cfg.mis_geolocated_probes = bad.min(probes);
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated worlds honor their configured entity counts exactly.
+    #[test]
+    fn counts_match_config(cfg in arb_config()) {
+        let w = World::generate(cfg.clone()).expect("valid config");
+        prop_assert_eq!(w.cities.len(), cfg.total_cities());
+        prop_assert_eq!(w.anchors.len(), cfg.total_anchors());
+        prop_assert_eq!(w.probes.len(), cfg.total_probes());
+        prop_assert_eq!(w.representatives.len(), w.anchors.len());
+        let planted = w
+            .hosts
+            .iter()
+            .filter(|h| h.kind == HostKind::Anchor && h.is_mis_geolocated())
+            .count();
+        prop_assert_eq!(planted, cfg.mis_geolocated_anchors);
+    }
+
+    /// All addresses are unique and resolvable back to their hosts.
+    #[test]
+    fn addresses_are_unique(cfg in arb_config()) {
+        let w = World::generate(cfg).expect("valid config");
+        let mut ips: Vec<_> = w.hosts.iter().map(|h| h.ip).collect();
+        let n = ips.len();
+        ips.sort();
+        ips.dedup();
+        prop_assert_eq!(ips.len(), n);
+        for h in &w.hosts {
+            prop_assert_eq!(w.host_by_ip(h.ip).expect("resolvable").id, h.id);
+        }
+    }
+
+    /// Every anchor's representatives share its /24 prefix.
+    #[test]
+    fn representatives_share_prefix(cfg in arb_config()) {
+        let w = World::generate(cfg).expect("valid config");
+        for (i, &aid) in w.anchors.iter().enumerate() {
+            let prefix = w.host(aid).ip.prefix24();
+            for &rid in w.representatives_of(i) {
+                prop_assert_eq!(w.host(rid).ip.prefix24(), prefix);
+            }
+        }
+    }
+
+    /// Every host's city has the host's AS among its PoPs (hosting implies
+    /// presence), and the transit pool is never empty.
+    #[test]
+    fn hosting_implies_presence(cfg in arb_config()) {
+        let w = World::generate(cfg).expect("valid config");
+        for h in &w.hosts {
+            prop_assert!(
+                w.has_pop(h.asn, h.city),
+                "host {} in {} but AS {} has no PoP there",
+                h.id, h.city, h.asn
+            );
+        }
+        prop_assert!(!w.transit_pool().is_empty());
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_pure(cfg in arb_config()) {
+        let a = World::generate(cfg.clone()).expect("valid");
+        let b = World::generate(cfg).expect("valid");
+        prop_assert_eq!(a.hosts.len(), b.hosts.len());
+        for (x, y) in a.hosts.iter().zip(&b.hosts) {
+            prop_assert_eq!(x.ip, y.ip);
+            prop_assert_eq!(x.location, y.location);
+            prop_assert_eq!(x.asn, y.asn);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Compares CBG against the commercial-database simulators of §6
+//! (MaxMind-free-like and IPinfo-like) on the anchor targets.
+//!
+//! ```sh
+//! cargo run --release -p ipgeo --example compare_databases
+//! ```
+
+use geo_model::ip::Prefix24;
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use ipgeo::cbg::{cbg, VpMeasurement};
+use ipgeo::dbsim::GeoDatabase;
+use net_sim::Network;
+use world_sim::{World, WorldConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig::small(Seed(2023))).expect("valid preset");
+    let net = Network::new(Seed(2023));
+    let prefixes: Vec<Prefix24> = world
+        .anchors
+        .iter()
+        .map(|&a| world.host(a).ip.prefix24())
+        .collect();
+
+    let maxmind = GeoDatabase::maxmind_like(&world, &prefixes, Seed(2023));
+    let ipinfo = GeoDatabase::ipinfo_like(&world, &net, &prefixes, Seed(2023));
+
+    // CBG baseline with all sanitized probes.
+    let vps: Vec<_> = world
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !world.host(p).is_mis_geolocated())
+        .collect();
+    let mut cbg_errs = Vec::new();
+    for &a in &world.anchors {
+        let target = world.host(a);
+        let ms: Vec<VpMeasurement> = vps
+            .iter()
+            .filter_map(|&vp| {
+                net.ping_min(&world, vp, target.ip, 3, 3)
+                    .rtt()
+                    .map(|rtt| VpMeasurement {
+                        vp,
+                        location: world.host(vp).registered_location,
+                        rtt,
+                    })
+            })
+            .collect();
+        if let Some(r) = cbg(&ms, SpeedOfInternet::CBG) {
+            cbg_errs.push(r.estimate.distance(&target.location).value());
+        }
+    }
+
+    let db_errs = |db: &GeoDatabase| -> Vec<f64> {
+        world
+            .anchors
+            .iter()
+            .filter_map(|&a| {
+                let h = world.host(a);
+                db.lookup(h.ip).map(|p| p.distance(&h.location).value())
+            })
+            .collect()
+    };
+
+    println!("technique            median_km  city_level(<=40km)");
+    for (name, errs) in [
+        ("CBG (all VPs)", cbg_errs),
+        (maxmind.name(), db_errs(&maxmind)),
+        (ipinfo.name(), db_errs(&ipinfo)),
+    ] {
+        println!(
+            "{name:<20} {:>8.1}  {:>17.0}%",
+            stats::median(&errs).unwrap_or(f64::NAN),
+            100.0 * stats::fraction_at_most(&errs, 40.0)
+        );
+    }
+}

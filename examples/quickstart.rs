@@ -1,0 +1,65 @@
+//! Quickstart: geolocate one IP address with Constraint-Based Geolocation
+//! over a simulated measurement platform.
+//!
+//! ```sh
+//! cargo run --release -p ipgeo --example quickstart
+//! ```
+
+use geo_model::rng::Seed;
+use geo_model::soi::SpeedOfInternet;
+use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
+use net_sim::Network;
+use world_sim::{World, WorldConfig};
+
+fn main() {
+    // 1. A deterministic synthetic Internet: cities, ASes, anchors, probes.
+    let world = World::generate(WorldConfig::small(Seed(42))).expect("valid preset");
+    let net = Network::new(Seed(42));
+    println!(
+        "world: {} cities, {} ASes, {} anchors, {} probes",
+        world.cities.len(),
+        world.ases.len(),
+        world.anchors.len(),
+        world.probes.len()
+    );
+
+    // 2. Pick a target (one of the anchors) and ping it from every probe.
+    let target = world.host(world.anchors[0]);
+    println!("target {} at {}", target.ip, target.location);
+
+    let measurements: Vec<VpMeasurement> = world
+        .probes
+        .iter()
+        .filter(|&&p| !world.host(p).is_mis_geolocated())
+        .filter_map(|&vp| {
+            net.ping_min(&world, vp, target.ip, 3, 1)
+                .rtt()
+                .map(|rtt| VpMeasurement {
+                    vp,
+                    location: world.host(vp).registered_location,
+                    rtt,
+                })
+        })
+        .collect();
+    println!("{} vantage points answered", measurements.len());
+
+    // 3. Shortest Ping: the lowest-RTT vantage point is the estimate.
+    let sp = shortest_ping(&measurements).expect("measurements exist");
+    println!(
+        "shortest ping: VP {} at {} (rtt {}) -> error {:.1} km",
+        sp.vp,
+        sp.location,
+        sp.rtt,
+        sp.location.distance(&target.location).value()
+    );
+
+    // 4. CBG: intersect the speed-of-internet constraint circles.
+    let result = cbg(&measurements, SpeedOfInternet::CBG).expect("region nonempty");
+    println!(
+        "CBG: estimate {} (region area {:.0} km², {} active constraints) -> error {:.1} km",
+        result.estimate,
+        result.region_estimate.area_km2,
+        result.region.active_circles().len(),
+        result.estimate.distance(&target.location).value()
+    );
+}

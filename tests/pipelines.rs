@@ -1,0 +1,175 @@
+//! End-to-end pipeline tests: million-scale selection, two-step
+//! extension, street-level three-tier, database simulators — the shapes
+//! the paper reports must hold on the miniature world.
+
+use eval::experiments as ex;
+use eval::{Dataset, EvalScale};
+use geo_model::rng::Seed;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static D: OnceLock<Dataset> = OnceLock::new();
+    D.get_or_init(|| Dataset::load(EvalScale::tiny(Seed(1101))))
+}
+
+fn street() -> &'static ex::fig5::StreetSet {
+    static S: OnceLock<ex::fig5::StreetSet> = OnceLock::new();
+    S.get_or_init(|| ex::fig5::StreetSet::compute(dataset()))
+}
+
+fn note_value(note: &str, key: &str) -> f64 {
+    note.split(key)
+        .nth(1)
+        .unwrap_or_else(|| panic!("no `{key}` in `{note}`"))
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .next()
+        .expect("number after key")
+        .parse()
+        .unwrap_or_else(|e| panic!("bad number after `{key}` in `{note}`: {e}"))
+}
+
+/// Hypothesis 3 (Fig. 2c): removing close VPs degrades accuracy, and the
+/// degradation grows with the removal radius.
+#[test]
+fn close_vps_drive_accuracy() {
+    let r = ex::fig2::fig2c(dataset());
+    let medians: Vec<f64> = r.notes.iter().map(|n| note_value(n, "median")).collect();
+    assert!(medians.len() >= 5);
+    assert!(
+        medians[4] > medians[0],
+        "removing all VPs within 1000 km must hurt: {medians:?}"
+    );
+}
+
+/// Fig. 3a headline: one well-chosen VP is competitive with all VPs.
+#[test]
+fn single_well_chosen_vp_works() {
+    let r = ex::fig3::fig3a(dataset());
+    let k1 = note_value(&r.notes[0], "median");
+    let all = note_value(&r.notes[3], "median");
+    assert!(
+        k1 <= all * 8.0 + 40.0,
+        "single-VP selection broken: k1 {k1} km vs all {all} km"
+    );
+}
+
+/// Fig. 3c: every two-step variant is cheaper than the full campaign, and
+/// accuracy is preserved within a reasonable factor.
+#[test]
+fn two_step_reduces_overhead() {
+    let r = ex::fig3::fig3bc(dataset());
+    let overhead = r
+        .tables
+        .iter()
+        .find(|t| t.heading.contains("3c"))
+        .expect("overhead table");
+    let mut saw_reduction = false;
+    for row in &overhead.rows {
+        if row[0] == "All" {
+            continue;
+        }
+        let pct: f64 = row[2].trim_end_matches('%').parse().expect("pct");
+        assert!(pct < 100.0);
+        if pct < 60.0 {
+            saw_reduction = true;
+        }
+    }
+    assert!(saw_reduction, "no size achieved a substantial reduction");
+}
+
+/// Fig. 5a shape: the street-level technique is not meaningfully better
+/// than CBG (the replication's headline), and both are far from street
+/// level for most targets.
+#[test]
+fn street_level_is_not_street_level() {
+    let d = dataset();
+    let r = ex::fig5::fig5a(d, street());
+    let street_median = note_value(&r.notes[0], "street level: median");
+    let cbg_median = note_value(&r.notes[0], "CBG: median");
+    // Same ballpark: within 5x of each other.
+    assert!(street_median < cbg_median * 5.0 + 50.0);
+    assert!(cbg_median < street_median * 5.0 + 50.0);
+}
+
+/// Fig. 5b invariants: counts grow with the distance cutoff and the
+/// latency check only removes landmarks.
+#[test]
+fn landmark_availability_table() {
+    let d = dataset();
+    let r = ex::fig5::fig5b(d, street());
+    let rows = &r.tables[0].rows;
+    assert_eq!(rows.len(), 4);
+    let first: usize = rows[0][1].split(' ').next().unwrap().parse().unwrap();
+    let last: usize = rows[3][1].split(' ').next().unwrap().parse().unwrap();
+    assert!(last >= first);
+}
+
+/// Fig. 5c: the order-preservation insight does not hold — correlation
+/// between measured and geographic distances is weak.
+#[test]
+fn distance_order_is_not_preserved() {
+    let d = dataset();
+    let r = ex::fig5::fig5c(d, street());
+    let median_r = note_value(&r.notes[0], "distances:");
+    assert!(
+        median_r.abs() < 0.7,
+        "suspiciously strong correlation {median_r}; the simulation's noise model may be off"
+    );
+}
+
+/// Fig. 6a: a meaningful share of landmarks has negative (unusable)
+/// D1 + D2 for at least some targets.
+#[test]
+fn some_delays_are_unusable() {
+    let d = dataset();
+    let r = ex::fig6::fig6a(d, street());
+    assert!(r.notes[0].contains("median fraction"));
+}
+
+/// Fig. 6c: geolocating one target takes minutes (not the original
+/// paper's 1–2 seconds).
+#[test]
+fn geolocation_takes_minutes() {
+    let d = dataset();
+    let r = ex::fig6::fig6c(d, street());
+    let median_secs = note_value(&r.notes[0], "median");
+    assert!(
+        median_secs > 120.0,
+        "street-level pipeline implausibly fast: {median_secs}s"
+    );
+}
+
+/// Fig. 7: the IPinfo-like database beats the MaxMind-like one at city
+/// level (the §6 result).
+#[test]
+fn database_ranking() {
+    let r = ex::fig7::fig7(dataset());
+    let city = |idx: usize| -> f64 { note_value(&r.notes[idx], ", ") };
+    let maxmind = city(1);
+    let ipinfo = city(2);
+    assert!(ipinfo > maxmind, "ipinfo {ipinfo}% <= maxmind {maxmind}%");
+}
+
+/// The whole report suite renders without panicking and contains every
+/// paper artifact.
+#[test]
+fn all_reports_render() {
+    let d = dataset();
+    let set = street();
+    let reports = vec![
+        ex::tables::tab1(d),
+        ex::tables::tab2(d),
+        ex::sanity::sanitize_report(d),
+        ex::fig2::fig2b(d),
+        ex::fig4::fig4(d),
+        ex::fig6::fig6b(d, set),
+        ex::fig8::fig8(d),
+        ex::sanity::deployability(d),
+    ];
+    for r in reports {
+        let text = r.to_string();
+        assert!(text.starts_with("## "), "missing title: {text}");
+        assert!(!text.trim().is_empty());
+    }
+}
