@@ -153,8 +153,7 @@ impl Platform {
             return Err(PlatformError::NoVantagePoints);
         }
         let packets = self.config.packets_per_ping;
-        self.credits
-            .charge_pings((vps.len() * packets) as u64)?;
+        self.credits.charge_pings((vps.len() * packets) as u64)?;
         let nonce = self.next_nonce();
         let started = self.clock.now_secs();
 
@@ -167,8 +166,9 @@ impl Platform {
             .iter()
             .map(|&vp| ProbeRate::of(world, vp).time_for(packets as u64))
             .fold(0.0, f64::max);
-        self.clock
-            .advance(VirtualDuration::from_secs(sched + self.api_latency(net, nonce)));
+        self.clock.advance(VirtualDuration::from_secs(
+            sched + self.api_latency(net, nonce),
+        ));
 
         Ok(MeasurementBatch {
             results,
@@ -202,8 +202,9 @@ impl Platform {
             .iter()
             .map(|&vp| ProbeRate::of(world, vp).time_for(16))
             .fold(0.0, f64::max);
-        self.clock
-            .advance(VirtualDuration::from_secs(sched + self.api_latency(net, nonce)));
+        self.clock.advance(VirtualDuration::from_secs(
+            sched + self.api_latency(net, nonce),
+        ));
 
         Ok(MeasurementBatch {
             results,
@@ -235,7 +236,13 @@ impl Platform {
                 }
                 let ip = world.host(dst).ip;
                 mesh[i][j] = net
-                    .ping_min(world, src, ip, packets, nonce ^ ((i as u64) << 32 | j as u64))
+                    .ping_min(
+                        world,
+                        src,
+                        ip,
+                        packets,
+                        nonce ^ ((i as u64) << 32 | j as u64),
+                    )
                     .rtt();
             }
         }
@@ -323,11 +330,7 @@ mod tests {
             assert_eq!(row.len(), 8);
             assert!(row[i].is_none(), "diagonal must be empty");
         }
-        let measured = mesh
-            .iter()
-            .flatten()
-            .filter(|o| o.is_some())
-            .count();
+        let measured = mesh.iter().flatten().filter(|o| o.is_some()).count();
         assert!(measured > 40, "mesh mostly failed: {measured}");
     }
 

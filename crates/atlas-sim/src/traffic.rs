@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn rates_are_deterministic() {
         let w = world();
-        assert_eq!(ProbeRate::of(&w, w.probes[0]), ProbeRate::of(&w, w.probes[0]));
+        assert_eq!(
+            ProbeRate::of(&w, w.probes[0]),
+            ProbeRate::of(&w, w.probes[0])
+        );
     }
 
     #[test]

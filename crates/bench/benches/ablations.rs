@@ -60,8 +60,10 @@ fn ablate_coverage_strategy(c: &mut Criterion) {
 fn ablate_asymmetry(c: &mut Criterion) {
     let w = World::generate(WorldConfig::small(Seed(422))).expect("small world");
     let symmetric = {
-        let mut p = NetParams::default();
-        p.asymmetry_rate = 0.0;
+        let p = NetParams {
+            asymmetry_rate: 0.0,
+            ..NetParams::default()
+        };
         Network::with_params(Seed(422), p)
     };
     let asymmetric = Network::new(Seed(422));

@@ -80,7 +80,11 @@ fn run(cli: Cli) -> Result<(), String> {
         Command::Census => {
             let (world, _) = build_world(&cli)?;
             let c = Census::of(&world);
-            println!("world seed {} ({})", cli.seed, if cli.paper { "paper scale" } else { "small" });
+            println!(
+                "world seed {} ({})",
+                cli.seed,
+                if cli.paper { "paper scale" } else { "small" }
+            );
             println!(
                 "cities {}  countries {}  ASes {}",
                 c.total_cities, c.total_countries, c.total_ases
@@ -154,18 +158,17 @@ fn run(cli: Cli) -> Result<(), String> {
                     let ms: Vec<VpMeasurement> = vps
                         .iter()
                         .filter_map(|&vp| {
-                            net.ping_min(&world, vp, target, 3, 1).rtt().map(|rtt| {
-                                VpMeasurement {
+                            net.ping_min(&world, vp, target, 3, 1)
+                                .rtt()
+                                .map(|rtt| VpMeasurement {
                                     vp,
                                     location: world.host(vp).registered_location,
                                     rtt,
-                                }
-                            })
+                                })
                         })
                         .collect();
                     if method == Method::Cbg {
-                        let r = cbg(&ms, SpeedOfInternet::CBG)
-                            .ok_or("CBG region is empty")?;
+                        let r = cbg(&ms, SpeedOfInternet::CBG).ok_or("CBG region is empty")?;
                         (r.estimate, "CBG (all probes)")
                     } else {
                         let best = shortest_ping(&ms).ok_or("no measurements")?;
@@ -211,7 +214,10 @@ fn run(cli: Cli) -> Result<(), String> {
                         out.mapping_queries,
                         out.virtual_secs
                     );
-                    (out.estimate.ok_or("street-level pipeline failed")?, "street level")
+                    (
+                        out.estimate.ok_or("street-level pipeline failed")?,
+                        "street level",
+                    )
                 }
             };
 

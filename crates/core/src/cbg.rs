@@ -83,9 +83,7 @@ pub fn cbg(measurements: &[VpMeasurement], soi: SpeedOfInternet) -> Option<CbgRe
 
 /// Shortest Ping: the VP with the lowest RTT *is* the estimate.
 pub fn shortest_ping(measurements: &[VpMeasurement]) -> Option<&VpMeasurement> {
-    measurements
-        .iter()
-        .min_by(|a, b| a.rtt.total_cmp(&b.rtt))
+    measurements.iter().min_by(|a, b| a.rtt.total_cmp(&b.rtt))
 }
 
 #[cfg(test)]
@@ -104,19 +102,24 @@ mod tests {
     /// Builds measurements whose RTTs are consistent with a target at
     /// `target` seen through a given inflation factor.
     fn consistent_measurements(target: GeoPoint, inflation: f64) -> Vec<VpMeasurement> {
-        [(40.0, 500.0), (130.0, 800.0), (250.0, 300.0), (330.0, 1200.0)]
-            .iter()
-            .enumerate()
-            .map(|(i, &(bearing, d))| {
-                let loc = target.destination(bearing, Km(d));
-                let rtt = SpeedOfInternet::CBG.min_rtt(Km(d)) * inflation;
-                VpMeasurement {
-                    vp: HostId(i as u32),
-                    location: loc,
-                    rtt,
-                }
-            })
-            .collect()
+        [
+            (40.0, 500.0),
+            (130.0, 800.0),
+            (250.0, 300.0),
+            (330.0, 1200.0),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(bearing, d))| {
+            let loc = target.destination(bearing, Km(d));
+            let rtt = SpeedOfInternet::CBG.min_rtt(Km(d)) * inflation;
+            VpMeasurement {
+                vp: HostId(i as u32),
+                location: loc,
+                rtt,
+            }
+        })
+        .collect()
     }
 
     #[test]

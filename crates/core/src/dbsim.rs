@@ -134,7 +134,9 @@ impl GeoDatabase {
 
             // 3. The provider's latency mesh: shortest ping to a
             // responsive address in the prefix.
-            let responsive = prefix.addresses().find(|&ip| world.host_by_ip(ip).is_some());
+            let responsive = prefix
+                .addresses()
+                .find(|&ip| world.host_by_ip(ip).is_some());
             if let Some(ip) = responsive {
                 let nonce = splitmix64(seed.0 ^ prefix.0 as u64);
                 let best = mesh
@@ -175,11 +177,7 @@ mod tests {
     fn setup() -> (World, Network, Vec<Prefix24>) {
         let w = World::generate(WorldConfig::small(Seed(221))).unwrap();
         let net = Network::new(Seed(221));
-        let prefixes: Vec<Prefix24> = w
-            .anchors
-            .iter()
-            .map(|&a| w.host(a).ip.prefix24())
-            .collect();
+        let prefixes: Vec<Prefix24> = w.anchors.iter().map(|&a| w.host(a).ip.prefix24()).collect();
         (w, net, prefixes)
     }
 

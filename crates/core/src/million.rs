@@ -201,11 +201,7 @@ mod tests {
             let Some(best) = probe.scores.first().filter(|s| s.median_rtt.is_some()) else {
                 continue;
             };
-            let d = w
-                .host(best.vp)
-                .location
-                .distance(&target.location)
-                .value();
+            let d = w.host(best.vp).location.distance(&target.location).value();
             total += 1;
             if d < 300.0 {
                 close_enough += 1;

@@ -233,6 +233,9 @@ mod tests {
         let target = w.host(w.anchors[1]);
         let o2 = geolocate(&w, &net, &coverage, &vps, target.ip, 2, 3);
         let o4 = geolocate(&w, &net, &coverage, &vps, target.ip, 4, 3);
-        assert!(o4.api_rounds > o2.api_rounds, "extra rounds must cost latency");
+        assert!(
+            o4.api_rounds > o2.api_rounds,
+            "extra rounds must cost latency"
+        );
     }
 }

@@ -119,7 +119,10 @@ pub fn build_dataset(
             }
 
             // 3. Latency: CBG toward a responsive address of the prefix.
-            if let Some(ip) = prefix.addresses().find(|&ip| world.host_by_ip(ip).is_some()) {
+            if let Some(ip) = prefix
+                .addresses()
+                .find(|&ip| world.host_by_ip(ip).is_some())
+            {
                 let ms: Vec<VpMeasurement> = vps
                     .iter()
                     .filter_map(|&vp| {
@@ -185,11 +188,7 @@ mod tests {
             .copied()
             .filter(|&p| !w.host(p).is_mis_geolocated())
             .collect();
-        let prefixes: Vec<Prefix24> = w
-            .anchors
-            .iter()
-            .map(|&a| w.host(a).ip.prefix24())
-            .collect();
+        let prefixes: Vec<Prefix24> = w.anchors.iter().map(|&a| w.host(a).ip.prefix24()).collect();
         (w, net, vps, prefixes)
     }
 
@@ -244,7 +243,12 @@ mod tests {
         let (w, net, vps, prefixes) = setup();
         let ds = build_dataset(&w, &net, &vps, &prefixes, 1);
         for e in &ds {
-            if let Evidence::Latency { vps: n, best_rtt, best_vp } = &e.evidence {
+            if let Evidence::Latency {
+                vps: n,
+                best_rtt,
+                best_vp,
+            } = &e.evidence
+            {
                 assert!(*n > 0);
                 assert!(best_rtt.value() > 0.0);
                 assert!(vps.contains(best_vp));

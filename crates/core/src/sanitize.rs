@@ -39,7 +39,11 @@ pub fn sanitize_anchors(
     mesh: &[Vec<Option<Ms>>],
     soi: SpeedOfInternet,
 ) -> SanitizeReport {
-    assert_eq!(mesh.len(), anchors.len(), "mesh must be square over anchors");
+    assert_eq!(
+        mesh.len(),
+        anchors.len(),
+        "mesh must be square over anchors"
+    );
     let n = anchors.len();
     let mut alive: Vec<bool> = vec![true; n];
     let mut removed = Vec::new();
@@ -50,11 +54,12 @@ pub fn sanitize_anchors(
         let a = world.host(anchors[i]).registered_location;
         let b = world.host(anchors[j]).registered_location;
         let dist = a.distance(&b);
-        let v_ij = mesh[i][j].map_or(false, |rtt| soi.violates(dist, rtt));
-        let v_ji = mesh[j][i].map_or(false, |rtt| soi.violates(dist, rtt));
+        let v_ij = mesh[i][j].is_some_and(|rtt| soi.violates(dist, rtt));
+        let v_ji = mesh[j][i].is_some_and(|rtt| soi.violates(dist, rtt));
         v_ij || v_ji
     };
     let mut edges: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    #[allow(clippy::needless_range_loop)] // symmetric double-index fill
     for i in 0..n {
         for j in (i + 1)..n {
             if violates(i, j) {
@@ -112,7 +117,7 @@ pub fn sanitize_probes(
         let ploc = world.host(probe).registered_location;
         let violation = trusted_anchors.iter().enumerate().any(|(a, &anchor)| {
             let aloc = world.host(anchor).registered_location;
-            rtts[p][a].map_or(false, |rtt| soi.violates(ploc.distance(&aloc), rtt))
+            rtts[p][a].is_some_and(|rtt| soi.violates(ploc.distance(&aloc), rtt))
         });
         if violation {
             removed.push(probe);

@@ -100,7 +100,7 @@ pub struct LandmarkObs {
 impl LandmarkObs {
     /// True if the selected delay exists and is non-negative.
     pub fn usable(&self) -> bool {
-        self.delay_ms.map_or(false, |d| d >= 0.0)
+        self.delay_ms.is_some_and(|d| d >= 0.0)
     }
 }
 
@@ -198,7 +198,12 @@ pub fn geolocate(
         .iter()
         .map(|&vp| {
             traceroutes += 1;
-            net.traceroute(world, vp, target_ip, splitmix64(nonce ^ 0x7714 ^ vp.0 as u64))
+            net.traceroute(
+                world,
+                vp,
+                target_ip,
+                splitmix64(nonce ^ 0x7714 ^ vp.0 as u64),
+            )
         })
         .collect();
 
@@ -281,14 +286,11 @@ pub fn geolocate(
     virtual_secs += cfg.api_round_secs; // the tier-3 traceroute wave
 
     // ---- Final mapping: smallest usable delay wins. ----
-    let chosen = landmarks
-        .iter()
-        .filter(|l| l.usable())
-        .min_by(|a, b| {
-            a.delay_ms
-                .expect("usable")
-                .total_cmp(&b.delay_ms.expect("usable"))
-        });
+    let chosen = landmarks.iter().filter(|l| l.usable()).min_by(|a, b| {
+        a.delay_ms
+            .expect("usable")
+            .total_cmp(&b.delay_ms.expect("usable"))
+    });
     let (estimate, chosen_landmark) = match chosen {
         Some(l) => (Some(l.claimed_location), Some(l.entity)),
         None => (Some(centroid), None),
@@ -331,7 +333,14 @@ fn discover(
 
     // Ring 0: the centroid itself.
     probe_point(
-        world, eco, services, tester, center, seen, &mut queried_zips, &mut found,
+        world,
+        eco,
+        services,
+        tester,
+        center,
+        seen,
+        &mut queried_zips,
+        &mut found,
     );
 
     for ring in 1..=cfg.max_rings {
@@ -348,7 +357,14 @@ fn discover(
                 continue;
             }
             probe_point(
-                world, eco, services, tester, &p, seen, &mut queried_zips, &mut found,
+                world,
+                eco,
+                services,
+                tester,
+                &p,
+                seen,
+                &mut queried_zips,
+                &mut found,
             );
         }
         if !any_inside {
@@ -493,7 +509,10 @@ mod tests {
         let vps = clean_anchor_vps(&w, target);
         let a = geolocate(&w, &net, &eco, &vps, target, &StreetConfig::default(), 5);
         let b = geolocate(&w, &net, &eco, &vps, target, &StreetConfig::default(), 5);
-        assert_eq!(a.estimate.map(|p| (p.lat(), p.lon())), b.estimate.map(|p| (p.lat(), p.lon())));
+        assert_eq!(
+            a.estimate.map(|p| (p.lat(), p.lon())),
+            b.estimate.map(|p| (p.lat(), p.lon()))
+        );
         assert_eq!(a.landmarks.len(), b.landmarks.len());
         assert_eq!(a.mapping_queries, b.mapping_queries);
     }

@@ -239,11 +239,7 @@ mod tests {
             let mut n = 0;
             for (i, &a) in ids.iter().enumerate() {
                 for &b in &ids[i + 1..] {
-                    total += w
-                        .host(a)
-                        .location
-                        .distance(&w.host(b).location)
-                        .value();
+                    total += w.host(a).location.distance(&w.host(b).location).value();
                     n += 1;
                 }
             }

@@ -26,10 +26,7 @@ fn consistent(target: GeoPoint, specs: &[(f64, f64, f64)]) -> Vec<VpMeasurement>
 }
 
 fn arb_specs() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
-    prop::collection::vec(
-        (0.0f64..360.0, 20.0f64..4000.0, 1.05f64..2.5),
-        3..12,
-    )
+    prop::collection::vec((0.0f64..360.0, 20.0f64..4000.0, 1.05f64..2.5), 3..12)
 }
 
 proptest! {

@@ -1,0 +1,285 @@
+//! # criterion (offline stand-in)
+//!
+//! The build environment has no crates.io access, so this in-repo crate
+//! satisfies the `criterion` dev-dependency with a minimal wall-clock
+//! harness exposing the API surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up for a fixed number of
+//! iterations, then timed over `sample_size` samples; the median, minimum
+//! and mean per-iteration times are printed in a stable, grep-friendly
+//! format (`bench <name> ... median <t> min <t> mean <t>`). Respects
+//! `--bench` (ignored filter compatibility) and an optional substring
+//! filter passed on the command line, mirroring `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the computation behind
+/// it (same contract as `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (only the variants used here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to hold; one setup per iteration.
+    SmallInput,
+    /// Larger inputs; identical behaviour in this stand-in.
+    LargeInput,
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, samples: usize, mut sample: impl FnMut(u64) -> Duration) {
+    // Calibrate the per-sample iteration count so one sample takes a
+    // measurable but bounded slice of time.
+    let probe = sample(1);
+    let iters = if probe < Duration::from_millis(1) {
+        (Duration::from_millis(5).as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000) as u64
+    } else {
+        1
+    };
+    // Warm-up.
+    sample(iters.min(3));
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| sample(iters).as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {name:<48} median {:>12} min {:>12} mean {:>12} ({samples} samples x {iters} iters)",
+        format_time(Duration::from_secs_f64(median)),
+        format_time(Duration::from_secs_f64(min)),
+        format_time(Duration::from_secs_f64(mean)),
+    );
+}
+
+/// The bench context passed to every registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` forwards extra args; honor the first
+        // non-flag one as a substring filter like upstream does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let name = name.to_string();
+        let samples = self.sample_size;
+        if self.enabled(&name) {
+            bench_with(&name, samples, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+fn bench_with<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    run_one(name, samples, |iters| {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.elapsed
+    });
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group (printed as `group/name`).
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        if self.parent.enabled(&full) {
+            bench_with(&full, samples, f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no summary state).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of bench functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+        c.bench_function("does-match-me", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(Duration::from_nanos(12)).contains("ns"));
+        assert!(format_time(Duration::from_micros(12)).contains("µs"));
+        assert!(format_time(Duration::from_millis(12)).contains("ms"));
+        assert!(format_time(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -9,6 +9,7 @@
 //! (21.7M measurements at full scale) is built lazily on first use.
 
 use geo_model::rng::Seed;
+use geo_model::runtime::par_map_indexed;
 use geo_model::soi::SpeedOfInternet;
 use geo_model::units::Ms;
 use ipgeo::{sanitize_anchors, sanitize_probes};
@@ -81,7 +82,10 @@ impl EvalScale {
             .and_then(|s| s.parse().ok())
             .map(Seed)
             .unwrap_or(Seed(2023));
-        if std::env::var("IPGEO_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("IPGEO_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             EvalScale::full(seed)
         } else {
             EvalScale::quick(seed)
@@ -106,9 +110,32 @@ impl RttMatrix {
         }
     }
 
+    /// Assembles a matrix from per-row cell vectors (the parallel campaign
+    /// builders produce one row per worker task). Every row must have
+    /// `cols` cells.
+    fn from_rows(cols: usize, rows: Vec<Vec<f32>>) -> RttMatrix {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged campaign row");
+            data.extend_from_slice(&row);
+        }
+        RttMatrix {
+            rows: n,
+            cols,
+            data,
+        }
+    }
+
+    /// Encodes one measurement as a cell (`NaN` = timeout).
+    #[inline]
+    fn cell(v: Option<Ms>) -> f32 {
+        v.map(|m| m.value() as f32).unwrap_or(f32::NAN)
+    }
+
     #[inline]
     fn set(&mut self, r: usize, c: usize, v: Option<Ms>) {
-        self.data[r * self.cols + c] = v.map(|m| m.value() as f32).unwrap_or(f32::NAN);
+        self.data[r * self.cols + c] = RttMatrix::cell(v);
     }
 
     /// The measured min-RTT, `None` on timeout.
@@ -120,6 +147,13 @@ impl RttMatrix {
         } else {
             Some(Ms(v as f64))
         }
+    }
+
+    /// One row of raw cells (`NaN` = timeout): the hot-loop access path —
+    /// a single bounds computation per row instead of one per cell.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Number of rows (vantage points).
@@ -172,46 +206,45 @@ impl Dataset {
             WorldConfig::small(scale.seed)
         };
         let mut world = World::generate(cfg).expect("valid preset config");
-        let eco = WebEcosystem::generate(&mut world, &WebConfig::default())
-            .expect("valid web config");
+        let eco =
+            WebEcosystem::generate(&mut world, &WebConfig::default()).expect("valid web config");
         let net = Network::new(scale.seed.derive("network"));
         let soi = SpeedOfInternet::CBG;
 
         // §4.3 step 1: meshed anchor measurements, sanitize anchors.
+        // Row-parallel: each row is a pure function of its index, so the
+        // mesh is bit-identical at any `IPGEO_THREADS`.
         let raw_anchors = world.anchors.clone();
-        let mesh: Vec<Vec<Option<Ms>>> = raw_anchors
-            .iter()
-            .enumerate()
-            .map(|(i, &src)| {
-                raw_anchors
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &dst)| {
-                        if i == j {
-                            None
-                        } else {
-                            net.ping_min(
-                                &world,
-                                src,
-                                world.host(dst).ip,
-                                3,
-                                0x4E5A ^ ((i as u64) << 24 | j as u64),
-                            )
-                            .rtt()
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let mesh: Vec<Vec<Option<Ms>>> = par_map_indexed(raw_anchors.len(), |i| {
+            let src = raw_anchors[i];
+            raw_anchors
+                .iter()
+                .enumerate()
+                .map(|(j, &dst)| {
+                    if i == j {
+                        None
+                    } else {
+                        net.ping_min(
+                            &world,
+                            src,
+                            world.host(dst).ip,
+                            3,
+                            0x4E5A ^ ((i as u64) << 24 | j as u64),
+                        )
+                        .rtt()
+                    }
+                })
+                .collect()
+        });
         let anchor_report = sanitize_anchors(&world, &raw_anchors, &mesh, soi);
         let anchors = anchor_report.kept.clone();
 
         // §4.3 step 2: probes vs trusted anchors; the same measurements
         // feed the main RTT matrix.
         let raw_probes = world.probes.clone();
-        let mut probe_rtts: Vec<Vec<Option<Ms>>> = Vec::with_capacity(raw_probes.len());
-        for (p, &probe) in raw_probes.iter().enumerate() {
-            let row: Vec<Option<Ms>> = anchors
+        let probe_rtts: Vec<Vec<Option<Ms>>> = par_map_indexed(raw_probes.len(), |p| {
+            let probe = raw_probes[p];
+            anchors
                 .iter()
                 .map(|&a| {
                     net.ping_min(
@@ -223,9 +256,8 @@ impl Dataset {
                     )
                     .rtt()
                 })
-                .collect();
-            probe_rtts.push(row);
-        }
+                .collect()
+        });
         let probe_report = sanitize_probes(&world, &raw_probes, &anchors, &probe_rtts, soi);
         let vps = probe_report.kept.clone();
 
@@ -241,11 +273,8 @@ impl Dataset {
         };
 
         // Dense matrices over the sanitized populations.
-        let anchor_index: std::collections::HashMap<HostId, usize> = anchors
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (a, i))
-            .collect();
+        let anchor_index: std::collections::HashMap<HostId, usize> =
+            anchors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
         let probe_index: std::collections::HashMap<HostId, usize> = raw_probes
             .iter()
             .enumerate()
@@ -300,11 +329,15 @@ impl Dataset {
 
     /// The representative-campaign matrix: `vps x (targets *
     /// REPRESENTATIVES)`, built lazily (21.7M measurements at full scale).
+    /// Row-parallel like the eager campaigns; bit-identical at any
+    /// `IPGEO_THREADS`.
     pub fn rep_rtt(&self) -> &RttMatrix {
         self.rep_rtt.get_or_init(|| {
             let k = ipgeo::million::REPRESENTATIVES;
-            let mut m = RttMatrix::new(self.vps.len(), self.targets.len() * k);
-            for (vi, &vp) in self.vps.iter().enumerate() {
+            let cols = self.targets.len() * k;
+            let rows = par_map_indexed(self.vps.len(), |vi| {
+                let vp = self.vps[vi];
+                let mut row = vec![f32::NAN; cols];
                 for (ti, reps) in self.reps.iter().enumerate() {
                     for (ri, rep) in reps.iter().enumerate().take(k) {
                         let out = self.net.ping_min(
@@ -314,11 +347,12 @@ impl Dataset {
                             3,
                             0x5E9 ^ ((ti as u64) << 8 | ri as u64),
                         );
-                        m.set(vi, ti * k + ri, out.rtt());
+                        row[ti * k + ri] = RttMatrix::cell(out.rtt());
                     }
                 }
-            }
-            m
+                row
+            });
+            RttMatrix::from_rows(cols, rows)
         })
     }
 

@@ -3,6 +3,7 @@
 use super::{cbg_error, cbg_errors_all_vps};
 use crate::dataset::Dataset;
 use crate::report::{log_thresholds, Report, Table};
+use geo_model::runtime::par_map_indexed;
 use geo_model::stats;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -29,7 +30,10 @@ fn trial_median_error(d: &Dataset, subset: &[usize]) -> Option<f64> {
 fn random_subsets(d: &Dataset, size: usize, trials: usize, tag: u64) -> Vec<Vec<usize>> {
     let mut out = Vec::with_capacity(trials);
     for trial in 0..trials {
-        let seed = d.scale.seed.derive_index("fig2-subset", tag ^ (trial as u64) << 20 ^ size as u64);
+        let seed = d
+            .scale
+            .seed
+            .derive_index("fig2-subset", tag ^ (trial as u64) << 20 ^ size as u64);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
         let mut idx: Vec<usize> = (0..d.vps.len()).collect();
         idx.shuffle(&mut rng);
@@ -37,6 +41,17 @@ fn random_subsets(d: &Dataset, size: usize, trials: usize, tag: u64) -> Vec<Vec<
         out.push(idx);
     }
     out
+}
+
+/// Median errors over `trials` random subsets of `size` VPs. Each trial's
+/// subset is a pure function of (seed, tag, trial, size), so the trials
+/// run in parallel with output identical to the serial loop.
+fn trial_medians(d: &Dataset, size: usize, tag: u64) -> Vec<f64> {
+    let subsets = random_subsets(d, size, d.scale.trials, tag);
+    par_map_indexed(subsets.len(), |i| trial_median_error(d, &subsets[i]))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Figure 2a: number of VPs vs geolocation error (error bars of the
@@ -58,10 +73,7 @@ pub fn fig2a(d: &Dataset) -> Report {
         rows: Vec::new(),
     };
     for size in fig2a_sizes(d.vps.len()) {
-        let medians: Vec<f64> = random_subsets(d, size, d.scale.trials, 0xA2)
-            .iter()
-            .filter_map(|s| trial_median_error(d, s))
-            .collect();
+        let medians = trial_medians(d, size, 0xA2);
         if let Some(eb) = stats::error_bars(&medians) {
             table.rows.push(vec![
                 size.to_string(),
@@ -87,12 +99,14 @@ pub fn fig2b(d: &Dataset) -> Report {
         if size > d.vps.len() {
             continue;
         }
-        let medians: Vec<f64> = random_subsets(d, size, d.scale.trials, 0xB2)
-            .iter()
-            .filter_map(|s| trial_median_error(d, s))
-            .collect();
-        if let (Some(lo), Some(hi)) = (stats::quantile(&medians, 0.0), stats::quantile(&medians, 1.0)) {
-            report.note(format!("{size} VPs: median error ranges {lo:.0}–{hi:.0} km"));
+        let medians = trial_medians(d, size, 0xB2);
+        if let (Some(lo), Some(hi)) = (
+            stats::quantile(&medians, 0.0),
+            stats::quantile(&medians, 1.0),
+        ) {
+            report.note(format!(
+                "{size} VPs: median error ranges {lo:.0}–{hi:.0} km"
+            ));
         }
         series.push((format!("{size} VPs"), stats::cdf_at(&medians, &xs)));
     }
@@ -103,9 +117,7 @@ pub fn fig2b(d: &Dataset) -> Report {
 /// Figure 2c: error with all VPs, and with VPs closer than
 /// 40/100/500/1000 km removed per target.
 pub fn fig2c(d: &Dataset) -> Report {
-    let mut report = Report::new(
-        "Figure 2c — error with all VPs and with close VPs removed",
-    );
+    let mut report = Report::new("Figure 2c — error with all VPs and with close VPs removed");
     let xs = log_thresholds(1.0, 10_000.0, 4);
     let mut series = Vec::new();
 
@@ -118,20 +130,21 @@ pub fn fig2c(d: &Dataset) -> Report {
     series.push(("All VPs".to_string(), stats::cdf_at(&all, &xs)));
 
     for cutoff in [40.0f64, 100.0, 500.0, 1000.0] {
-        let errs: Vec<f64> = (0..d.targets.len())
-            .filter_map(|t| {
-                let tloc = d.target_host(t).location;
-                let far = (0..d.vps.len()).filter(|&vi| {
-                    d.world
-                        .host(d.vps[vi])
-                        .registered_location
-                        .distance(&tloc)
-                        .value()
-                        > cutoff
-                });
-                cbg_error(d, t, far)
-            })
-            .collect();
+        let errs: Vec<f64> = par_map_indexed(d.targets.len(), |t| {
+            let tloc = d.target_host(t).location;
+            let far = (0..d.vps.len()).filter(|&vi| {
+                d.world
+                    .host(d.vps[vi])
+                    .registered_location
+                    .distance(&tloc)
+                    .value()
+                    > cutoff
+            });
+            cbg_error(d, t, far)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         report.note(format!(
             "VPs > {cutoff:.0} km: median {:.1} km, {:.0}% within 40 km",
             stats::median(&errs).unwrap_or(f64::NAN),
@@ -190,10 +203,20 @@ mod tests {
         let r = fig2c(&d);
         // First note = all VPs, last note = >1000 km removed.
         let med = |s: &str| -> f64 {
-            s.split("median ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+            s.split("median ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         let all = med(&r.notes[0]);
         let worst = med(r.notes.last().unwrap());
-        assert!(worst > all, "removing close VPs did not hurt: {all} vs {worst}");
+        assert!(
+            worst > all,
+            "removing close VPs did not hurt: {all} vs {worst}"
+        );
     }
 }

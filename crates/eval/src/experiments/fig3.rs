@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::report::{log_thresholds, Report, Table};
+use geo_model::runtime::par_map_indexed;
 use geo_model::soi::SpeedOfInternet;
 use geo_model::stats;
 use geo_model::units::Ms;
@@ -13,11 +14,13 @@ use std::collections::HashMap;
 /// Median RTT of one VP (by matrix row) to a target's representatives.
 fn rep_median(d: &Dataset, vp_idx: usize, target_idx: usize) -> Option<Ms> {
     let m = d.rep_rtt();
-    let vals: Vec<f64> = (0..REPRESENTATIVES)
-        .filter_map(|r| {
-            m.get(vp_idx, target_idx * REPRESENTATIVES + r)
-                .map(|ms| ms.value())
-        })
+    // One row lookup for the target's k contiguous representative cells.
+    let start = target_idx * REPRESENTATIVES;
+    let cells = &m.row(vp_idx)[start..start + REPRESENTATIVES];
+    let vals: Vec<f64> = cells
+        .iter()
+        .filter(|c| !c.is_nan())
+        .map(|&c| c as f64)
         .collect();
     stats::median(&vals).map(Ms)
 }
@@ -36,20 +39,22 @@ fn rank_by_reps(d: &Dataset, target_idx: usize, pool: &[usize]) -> Vec<(usize, M
 /// Figure 3a: error with the 1/3/10 closest VPs (by RTT to the target's
 /// /24 representatives) vs all VPs.
 pub fn fig3a(d: &Dataset) -> Report {
-    let mut report = Report::new(
-        "Figure 3a — original VP selection: closest-by-representative VPs vs all VPs",
-    );
+    let mut report =
+        Report::new("Figure 3a — original VP selection: closest-by-representative VPs vs all VPs");
     let all_pool: Vec<usize> = (0..d.vps.len()).collect();
     let xs = log_thresholds(1.0, 10_000.0, 4);
     let mut series = Vec::new();
     for &k in &[1usize, 3, 10] {
-        let errs: Vec<f64> = (0..d.targets.len())
-            .filter_map(|t| {
-                let ranked = rank_by_reps(d, t, &all_pool);
-                let chosen = ranked.iter().take(k).map(|&(vi, _)| vi);
-                super::cbg_error(d, t, chosen)
-            })
-            .collect();
+        // Target-parallel: ranking VPs by representative RTT is the
+        // dominant cost and independent per target.
+        let errs: Vec<f64> = par_map_indexed(d.targets.len(), |t| {
+            let ranked = rank_by_reps(d, t, &all_pool);
+            let chosen = ranked.iter().take(k).map(|&(vi, _)| vi);
+            super::cbg_error(d, t, chosen)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         report.note(format!(
             "{k} closest VP(s): median {:.1} km, {:.0}% within 10 km, {:.0}% within 40 km",
             stats::median(&errs).unwrap_or(f64::NAN),
@@ -71,11 +76,7 @@ pub fn fig3a(d: &Dataset) -> Report {
 
 /// One target's two-step run on the matrices. Returns (error_km,
 /// measurements) when the pipeline succeeds.
-fn two_step_target(
-    d: &Dataset,
-    coverage_idx: &[usize],
-    target_idx: usize,
-) -> Option<(f64, u64)> {
+fn two_step_target(d: &Dataset, coverage_idx: &[usize], target_idx: usize) -> Option<(f64, u64)> {
     // Step 1: coverage subset -> representatives -> CBG region.
     let ms1 = super::measurements_from_reps(d, target_idx, coverage_idx);
     let mut measurements = (coverage_idx.len() * REPRESENTATIVES) as u64;
@@ -83,8 +84,7 @@ fn two_step_target(
 
     // Step 2: one VP per (AS, city) inside the region (membership via the
     // reduced active set — equivalent, see `ipgeo::two_step`).
-    let active_region =
-        geo_model::constraint::Region::from_circles(step1.region.active_circles());
+    let active_region = geo_model::constraint::Region::from_circles(step1.region.active_circles());
     let mut per_pop: HashMap<(u32, u32), usize> = HashMap::new();
     for vi in 0..d.vps.len() {
         let h = d.world.host(d.vps[vi]);
@@ -106,9 +106,8 @@ fn two_step_target(
 /// Figures 3b and 3c: accuracy and overhead of the two-step selection for
 /// first-step sizes 10/100/300/500/1000.
 pub fn fig3bc(d: &Dataset) -> Report {
-    let mut report = Report::new(
-        "Figures 3b/3c — two-step VP selection: accuracy and measurement overhead",
-    );
+    let mut report =
+        Report::new("Figures 3b/3c — two-step VP selection: accuracy and measurement overhead");
     let sizes: Vec<usize> = [10usize, 100, 300, 500, 1000]
         .into_iter()
         .filter(|&s| s <= d.vps.len())
@@ -136,13 +135,14 @@ pub fn fig3bc(d: &Dataset) -> Report {
             .iter()
             .map(|v| vp_index[v])
             .collect();
+        // Target-parallel two-step runs; the (error, measurement-count)
+        // pairs are reduced in index order, so totals are deterministic.
+        let outcomes = par_map_indexed(d.targets.len(), |t| two_step_target(d, &coverage, t));
         let mut errs = Vec::new();
         let mut total_meas = 0u64;
-        for t in 0..d.targets.len() {
-            if let Some((err, meas)) = two_step_target(d, &coverage, t) {
-                errs.push(err);
-                total_meas += meas;
-            }
+        for (err, meas) in outcomes.into_iter().flatten() {
+            errs.push(err);
+            total_meas += meas;
         }
         report.note(format!(
             "first step {s} VPs: median {:.1} km, {:.0}% within 40 km, {:.2}M measurements",
@@ -186,11 +186,21 @@ mod tests {
         // k=1 median must be within the same order as the all-VP median
         // (the paper's headline: one well-chosen VP is enough).
         let med = |s: &str| -> f64 {
-            s.split("median ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+            s.split("median ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         let k1 = med(&r.notes[0]);
         let all = med(&r.notes[3]);
-        assert!(k1 < all * 10.0 + 50.0, "k=1 ({k1}) far worse than all ({all})");
+        assert!(
+            k1 < all * 10.0 + 50.0,
+            "k=1 ({k1}) far worse than all ({all})"
+        );
     }
 
     #[test]

@@ -15,9 +15,7 @@ pub fn fig4(d: &Dataset) -> Report {
 
     for continent in Continent::ALL {
         let idxs: Vec<usize> = (0..d.targets.len())
-            .filter(|&t| {
-                d.world.city(d.target_host(t).city).continent == continent
-            })
+            .filter(|&t| d.world.city(d.target_host(t).city).continent == continent)
             .collect();
         if idxs.is_empty() {
             continue;
@@ -64,7 +62,9 @@ pub fn fig4(d: &Dataset) -> Report {
     let mut close_rtts_of_bad = Vec::new();
     let mut bad_targets = 0usize;
     for t in 0..d.targets.len() {
-        let Some(err) = cbg_error(d, t, 0..d.vps.len()) else { continue };
+        let Some(err) = cbg_error(d, t, 0..d.vps.len()) else {
+            continue;
+        };
         if err <= 300.0 {
             continue;
         }

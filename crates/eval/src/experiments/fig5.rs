@@ -28,22 +28,18 @@ impl StreetSet {
             .min(d.targets.len());
         let stride = d.targets.len() as f64 / n as f64;
         let cfg = StreetConfig::default();
-        let outcomes = (0..n)
-            .map(|i| {
-                let t = (i as f64 * stride) as usize;
-                let target = d.targets[t];
-                let vps: Vec<_> = d
-                    .anchors
-                    .iter()
-                    .copied()
-                    .filter(|&a| a != target)
-                    .collect();
-                (
-                    t,
-                    geolocate(&d.world, &d.net, &d.eco, &vps, target, &cfg, t as u64),
-                )
-            })
-            .collect();
+        // Target-parallel: each three-tier run is a pure function of the
+        // target index, so the outcome list is identical at any
+        // `IPGEO_THREADS`.
+        let outcomes = geo_model::runtime::par_map_indexed(n, |i| {
+            let t = (i as f64 * stride) as usize;
+            let target = d.targets[t];
+            let vps: Vec<_> = d.anchors.iter().copied().filter(|&a| a != target).collect();
+            (
+                t,
+                geolocate(&d.world, &d.net, &d.eco, &vps, target, &cfg, t as u64),
+            )
+        });
         StreetSet { outcomes }
     }
 }
@@ -72,9 +68,7 @@ fn anchor_cbg_error(d: &Dataset, target_idx: usize) -> Option<f64> {
 
 /// Figure 5a: street level vs CBG vs the closest-landmark oracle.
 pub fn fig5a(d: &Dataset, set: &StreetSet) -> Report {
-    let mut report = Report::new(
-        "Figure 5a — street level vs CBG vs closest-landmark oracle",
-    );
+    let mut report = Report::new("Figure 5a — street level vs CBG vs closest-landmark oracle");
     let xs = log_thresholds(0.1, 10_000.0, 4);
     let mut street = Vec::new();
     let mut cbg_errs = Vec::new();
@@ -120,7 +114,10 @@ pub fn fig5a(d: &Dataset, set: &StreetSet) -> Report {
     let series = vec![
         ("Street Level".to_string(), stats::cdf_at(&street, &xs)),
         ("CBG".to_string(), stats::cdf_at(&cbg_errs, &xs)),
-        ("Closest Landmark".to_string(), stats::cdf_at(&oracle_errs, &xs)),
+        (
+            "Closest Landmark".to_string(),
+            stats::cdf_at(&oracle_errs, &xs),
+        ),
     ];
     report.cdf_section("CDF of targets", "error (km)", &xs, &series);
     report
@@ -184,7 +181,11 @@ pub fn fig5b(d: &Dataset, set: &StreetSet) -> Report {
     for (i, &cut) in distances.iter().enumerate() {
         table.rows.push(vec![
             format!("{cut:.0} km"),
-            format!("{} ({:.0}%)", plain[i], 100.0 * plain[i] as f64 / total as f64),
+            format!(
+                "{} ({:.0}%)",
+                plain[i],
+                100.0 * plain[i] as f64 / total as f64
+            ),
             format!(
                 "{} ({:.0}%)",
                 checked[i],
@@ -199,9 +200,8 @@ pub fn fig5b(d: &Dataset, set: &StreetSet) -> Report {
 /// Figure 5c: measured vs geographic distance; the order-preservation
 /// insight, summarized by the median per-target Pearson correlation.
 pub fn fig5c(d: &Dataset, set: &StreetSet) -> Report {
-    let mut report = Report::new(
-        "Figure 5c — measured vs geographic landmark distances (order preservation)",
-    );
+    let mut report =
+        Report::new("Figure 5c — measured vs geographic landmark distances (order preservation)");
     let speed = SpeedOfInternet::STREET_LEVEL.km_per_ms();
     let mut correlations = Vec::new();
     let mut example = Table {

@@ -15,11 +15,7 @@ pub fn fig6a(d: &Dataset, set: &StreetSet) -> Report {
         .outcomes
         .iter()
         .filter_map(|(_, out)| {
-            let measured: Vec<f64> = out
-                .landmarks
-                .iter()
-                .filter_map(|l| l.delay_ms)
-                .collect();
+            let measured: Vec<f64> = out.landmarks.iter().filter_map(|l| l.delay_ms).collect();
             if measured.is_empty() {
                 return None;
             }
@@ -37,7 +33,12 @@ pub fn fig6a(d: &Dataset, set: &StreetSet) -> Report {
         "fraction unusable".to_string(),
         stats::cdf_at(&fractions, &xs),
     )];
-    report.cdf_section("CDF of targets", "fraction of landmarks with D1+D2 < 0", &xs, &series);
+    report.cdf_section(
+        "CDF of targets",
+        "fraction of landmarks with D1+D2 < 0",
+        &xs,
+        &series,
+    );
     report
 }
 
@@ -49,16 +50,16 @@ pub fn fig6b(d: &Dataset, set: &StreetSet) -> Report {
     let mut log_density = Vec::new();
     let mut sample = Table {
         heading: "sample of (error km, density people/km²)".into(),
-        columns: ["error (km)", "density"].iter().map(|s| s.to_string()).collect(),
+        columns: ["error (km)", "density"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         rows: Vec::new(),
     };
     for (t, out) in &set.outcomes {
         let Some(est) = out.estimate else { continue };
         let err = d.error_km(*t, &est).max(0.01);
-        let density = d
-            .world
-            .density_at(&d.target_host(*t).location)
-            .max(0.01);
+        let density = d.world.density_at(&d.target_host(*t).location).max(0.01);
         log_err.push(err.log10());
         log_density.push(density.log10());
         if sample.rows.len() < 15 {

@@ -64,10 +64,20 @@ mod tests {
         let d = Dataset::load(EvalScale::tiny(Seed(301)));
         let r = fig7(&d);
         let city = |s: &str| -> f64 {
-            s.split(", ").nth(1).unwrap().split('%').next().unwrap().parse().unwrap()
+            s.split(", ")
+                .nth(1)
+                .unwrap()
+                .split('%')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         let mm = city(&r.notes[1]);
         let ii = city(&r.notes[2]);
-        assert!(ii > mm, "IPinfo-like ({ii}%) should beat MaxMind-like ({mm}%)");
+        assert!(
+            ii > mm,
+            "IPinfo-like ({ii}%) should beat MaxMind-like ({mm}%)"
+        );
     }
 }

@@ -19,7 +19,12 @@ pub fn fig8(d: &Dataset) -> Report {
     ));
     let xs = log_thresholds(1.0, 100_000.0, 2);
     let series = vec![("targets".to_string(), stats::cdf_at(&densities, &xs))];
-    report.cdf_section("CDF of targets", "population density (people/km²)", &xs, &series);
+    report.cdf_section(
+        "CDF of targets",
+        "population density (people/km²)",
+        &xs,
+        &series,
+    );
     report
 }
 

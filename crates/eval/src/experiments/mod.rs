@@ -18,7 +18,8 @@ use geo_model::soi::SpeedOfInternet;
 use ipgeo::cbg::{cbg, VpMeasurement};
 
 /// CBG measurements of one target from a set of VP indices (rows of the
-/// main RTT matrix).
+/// main RTT matrix). Reads rows via [`crate::dataset::RttMatrix::row`] so
+/// the per-cell index arithmetic stays out of the hot loop.
 pub fn measurements_for(
     d: &Dataset,
     target_idx: usize,
@@ -26,10 +27,14 @@ pub fn measurements_for(
 ) -> Vec<VpMeasurement> {
     vp_indices
         .filter_map(|vi| {
-            d.rtt.get(vi, target_idx).map(|rtt| VpMeasurement {
+            let cell = d.rtt.row(vi)[target_idx];
+            if cell.is_nan() {
+                return None;
+            }
+            Some(VpMeasurement {
                 vp: d.vps[vi],
                 location: d.world.host(d.vps[vi]).registered_location,
-                rtt,
+                rtt: geo_model::units::Ms(cell as f64),
             })
         })
         .collect()
@@ -49,8 +54,12 @@ pub fn measurements_from_reps(
     vp_indices
         .iter()
         .filter_map(|&vi| {
-            let vals: Vec<f64> = (0..k)
-                .filter_map(|r| m.get(vi, target_idx * k + r).map(|ms| ms.value()))
+            // One row lookup covers all k representative cells.
+            let cells = &m.row(vi)[target_idx * k..target_idx * k + k];
+            let vals: Vec<f64> = cells
+                .iter()
+                .filter(|c| !c.is_nan())
+                .map(|&c| c as f64)
                 .collect();
             geo_model::stats::median(&vals).map(|rtt| VpMeasurement {
                 vp: d.vps[vi],
@@ -63,17 +72,24 @@ pub fn measurements_from_reps(
 
 /// CBG error (km) of one target using the given VP indices; `None` when
 /// the region is empty or no VP answered.
-pub fn cbg_error(d: &Dataset, target_idx: usize, vp_indices: impl Iterator<Item = usize>) -> Option<f64> {
+pub fn cbg_error(
+    d: &Dataset,
+    target_idx: usize,
+    vp_indices: impl Iterator<Item = usize>,
+) -> Option<f64> {
     let ms = measurements_for(d, target_idx, vp_indices);
     let r = cbg(&ms, SpeedOfInternet::CBG)?;
     Some(d.error_km(target_idx, &r.estimate))
 }
 
 /// Per-target CBG errors using *all* sanitized probes — the baseline
-/// series reused by Figures 2c, 4 and 7.
+/// series reused by Figures 2c, 4 and 7. Target-parallel: each target's
+/// CBG run is independent, so the error vector is identical at any
+/// `IPGEO_THREADS`.
 pub fn cbg_errors_all_vps(d: &Dataset) -> Vec<f64> {
-    (0..d.targets.len())
-        .filter_map(|t| cbg_error(d, t, 0..d.vps.len()))
+    geo_model::runtime::par_map_indexed(d.targets.len(), |t| cbg_error(d, t, 0..d.vps.len()))
+        .into_iter()
+        .flatten()
         .collect()
 }
 

@@ -46,9 +46,7 @@ pub fn sanitize_report(d: &Dataset) -> Report {
 /// §5.1.3: why the original VP selection cannot be deployed on the
 /// platform — per-VP probing rates vs the original 500 pps.
 pub fn deployability(d: &Dataset) -> Report {
-    let mut report = Report::new(
-        "§5.1.3 — deployability of the VP selection on the platform",
-    );
+    let mut report = Report::new("§5.1.3 — deployability of the VP selection on the platform");
     let rates: Vec<f64> = d
         .vps
         .iter()
@@ -75,8 +73,7 @@ pub fn deployability(d: &Dataset) -> Report {
     for targets in [1_000u64, 100_000, 1_000_000, 4_000_000] {
         let packets_per_target = (REPRESENTATIVES * 3) as u64;
         let platform_secs = fleet_time_secs(&d.world, &d.vps, targets, packets_per_target);
-        let original_secs =
-            ProbeRate::MILLION_SCALE_VP.time_for(targets * packets_per_target);
+        let original_secs = ProbeRate::MILLION_SCALE_VP.time_for(targets * packets_per_target);
         t.rows.push(vec![
             targets.to_string(),
             format_days(platform_secs),

@@ -21,9 +21,18 @@ pub fn tab1(d: &Dataset) -> Report {
         heading: "replication datasets".into(),
         columns: ["dataset", "value"].iter().map(|s| s.to_string()).collect(),
         rows: vec![
-            vec!["replication targets".into(), format!("{} anchors", d.anchors.len())],
-            vec!["million-scale VPs".into(), format!("{} probes", d.vps.len())],
-            vec!["street-level VPs".into(), format!("{} anchors", d.anchors.len())],
+            vec![
+                "replication targets".into(),
+                format!("{} anchors", d.anchors.len()),
+            ],
+            vec![
+                "million-scale VPs".into(),
+                format!("{} probes", d.vps.len()),
+            ],
+            vec![
+                "street-level VPs".into(),
+                format!("{} anchors", d.anchors.len()),
+            ],
             vec![
                 "other datasets".into(),
                 "simulated Nominatim / Overpass / hitlist / GPW density".into(),
@@ -36,7 +45,10 @@ pub fn tab1(d: &Dataset) -> Report {
             per_continent.push(format!("{} {}", c.code(), census.anchors_per_continent[i]));
         }
     }
-    t.rows.push(vec!["targets per continent".into(), per_continent.join(", ")]);
+    t.rows.push(vec![
+        "targets per continent".into(),
+        per_continent.join(", "),
+    ]);
     report.table(t);
     report
 }

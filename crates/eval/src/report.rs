@@ -117,7 +117,11 @@ impl fmt::Display for Report {
             writeln!(
                 f,
                 "|{}|",
-                t.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+                t.columns
+                    .iter()
+                    .map(|_| "---")
+                    .collect::<Vec<_>>()
+                    .join("|")
             )?;
             for row in &t.rows {
                 writeln!(f, "| {} |", row.join(" | "))?;

@@ -1,0 +1,66 @@
+//! The determinism contract of the parallel measurement engine: every
+//! campaign cell is a pure function of (seed, src, dst, nonce), so the
+//! thread count must never leak into the output, and the base-delay cache
+//! must be a transparent memoization of the uncached path.
+
+use eval::dataset::{Dataset, EvalScale, RttMatrix};
+use geo_model::rng::Seed;
+use net_sim::Network;
+use proptest::prelude::*;
+use world_sim::{World, WorldConfig};
+
+/// Every cell of a matrix as raw bits, row-major. Bit comparison (rather
+/// than `==`) keeps NaN timeout cells comparable.
+fn matrix_bits(m: &RttMatrix) -> Vec<u32> {
+    (0..m.rows())
+        .flat_map(|r| m.row(r).iter().map(|c| c.to_bits()))
+        .collect()
+}
+
+fn dataset_bits(scale: EvalScale) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let d = Dataset::load(scale);
+    let rep = matrix_bits(d.rep_rtt());
+    (matrix_bits(&d.rtt), matrix_bits(&d.anchor_rtt), rep)
+}
+
+/// Tentpole acceptance: a Dataset built serially and one built with four
+/// workers carry byte-identical RTT matrices (mesh, probe matrix, and the
+/// lazy representative campaign).
+#[test]
+fn dataset_is_bit_identical_across_thread_counts() {
+    let scale = || EvalScale::tiny(Seed(977));
+    std::env::set_var("IPGEO_THREADS", "1");
+    assert_eq!(geo_model::runtime::threads(), 1);
+    let serial = dataset_bits(scale());
+    std::env::set_var("IPGEO_THREADS", "4");
+    assert_eq!(geo_model::runtime::threads(), 4);
+    let parallel = dataset_bits(scale());
+    std::env::remove_var("IPGEO_THREADS");
+    assert_eq!(serial.0, parallel.0, "probe matrix differs");
+    assert_eq!(serial.1, parallel.1, "anchor mesh differs");
+    assert_eq!(serial.2, parallel.2, "representative matrix differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cache is transparent: for any endpoint pair, the cached path
+    /// delay equals the uncached recomputation bit-for-bit, in both
+    /// directions (base RTT is symmetric) and on repeat lookups.
+    #[test]
+    fn cached_base_delay_matches_uncached(seed in 0u64..1000, a in 0usize..64, b in 0usize..64) {
+        let world = World::generate(WorldConfig::small(Seed(4242))).unwrap();
+        let net = Network::new(Seed(seed));
+        let (x, y) = (world.hosts[a].id, world.hosts[b].id);
+        let cached = net.base_rtt(&world, x, y);
+        let uncached = net.base_rtt_uncached(&world, x, y);
+        prop_assert_eq!(cached.value().to_bits(), uncached.value().to_bits());
+        // A second lookup is a hit and returns the same bits; the reverse
+        // direction shares the unordered cache entry.
+        let again = net.base_rtt(&world, x, y);
+        let reverse = net.base_rtt(&world, y, x);
+        prop_assert_eq!(again.value().to_bits(), cached.value().to_bits());
+        prop_assert_eq!(reverse.value().to_bits(), cached.value().to_bits());
+        prop_assert!(net.cache_stats().hits >= 2);
+    }
+}

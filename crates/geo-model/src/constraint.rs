@@ -305,10 +305,7 @@ mod tests {
             (p(47.0, 1.0), 350.0),
             (p(49.0, 5.0), 300.0),
         ];
-        let circles: Vec<Circle> = vps
-            .iter()
-            .map(|(vp, r)| Circle::new(*vp, Km(*r)))
-            .collect();
+        let circles: Vec<Circle> = vps.iter().map(|(vp, r)| Circle::new(*vp, Km(*r))).collect();
         // Every circle genuinely contains the target.
         for c in &circles {
             assert!(c.contains(&target));

@@ -74,7 +74,9 @@ impl FromStr for Ipv4 {
         if parts.next().is_some() {
             return Err(ParseIpv4Error(s.to_string()));
         }
-        Ok(Ipv4::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(Ipv4::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 

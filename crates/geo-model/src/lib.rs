@@ -22,7 +22,10 @@
 //!   (normal, log-normal, gamma, Zipf, exponential, Pareto), implemented
 //!   locally to keep the dependency set tight;
 //! - [`stats`]: medians, percentiles, CDFs, Pearson correlation and linear
-//!   regression used by the evaluation harness.
+//!   regression used by the evaluation harness;
+//! - [`runtime`]: deterministic data-parallel execution
+//!   ([`runtime::par_map_indexed`]) for the bulk measurement campaigns,
+//!   governed by the `IPGEO_THREADS` environment variable.
 //!
 //! Everything here is deterministic and allocation-light, following the
 //! event-driven robustness-first idiom of the networking guides.
@@ -32,6 +35,7 @@ pub mod distr;
 pub mod ip;
 pub mod point;
 pub mod rng;
+pub mod runtime;
 pub mod soi;
 pub mod stats;
 pub mod units;

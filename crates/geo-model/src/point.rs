@@ -58,8 +58,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().clamp(0.0, 1.0).asin();
         Km(EARTH_RADIUS_KM * c)
     }
@@ -90,8 +89,7 @@ impl GeoPoint {
             .clamp(-1.0, 1.0)
             .asin();
         let lon2 = lon1
-            + (theta.sin() * delta.sin() * lat1.cos())
-                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
         GeoPoint::new(lat2.to_degrees(), lon2.to_degrees())
     }
 
@@ -185,11 +183,7 @@ mod tests {
     fn distance_is_symmetric() {
         let a = GeoPoint::new(37.77, -122.42);
         let b = GeoPoint::new(-33.87, 151.21);
-        assert!(close(
-            a.distance(&b).value(),
-            b.distance(&a).value(),
-            1e-9
-        ));
+        assert!(close(a.distance(&b).value(), b.distance(&a).value(), 1e-9));
     }
 
     #[test]
@@ -219,11 +213,7 @@ mod tests {
         let a = GeoPoint::new(48.8566, 2.3522);
         let b = GeoPoint::new(51.5074, -0.1278);
         let m = a.midpoint(&b);
-        assert!(close(
-            a.distance(&m).value(),
-            b.distance(&m).value(),
-            0.1
-        ));
+        assert!(close(a.distance(&m).value(), b.distance(&m).value(), 0.1));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Deterministic data-parallel execution for the bulk measurement
+//! campaigns.
+//!
+//! Every simulated measurement in this workspace is a pure function of
+//! `(seed, src, dst, nonce)` (see `net-sim`), so a campaign loop over an
+//! index range can be chunked across threads freely: each output slot is
+//! written exactly once with a value that does not depend on scheduling,
+//! which makes the parallel result **bit-identical** to the serial one
+//! regardless of worker count. [`par_map_indexed`] packages that argument:
+//! results land in pre-allocated slots (one disjoint chunk per worker via
+//! `chunks_mut`), so no ordering, merging, or locking can perturb the
+//! output.
+//!
+//! Worker count comes from the `IPGEO_THREADS` environment variable:
+//! `IPGEO_THREADS=1` restores the fully serial behaviour, unset or `0`
+//! means "use the machine" (`std::thread::available_parallelism`). The
+//! variable is read per call, so tests can flip it between dataset builds.
+
+/// The worker count in effect: `IPGEO_THREADS`, defaulting to the
+/// machine's available parallelism (`1` if that cannot be determined).
+pub fn threads() -> usize {
+    match std::env::var("IPGEO_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => default_threads(),
+            Ok(n) => n,
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `0..n` into a `Vec`, in parallel across [`threads`]
+/// workers, with output bit-identical to `(0..n).map(f).collect()`.
+///
+/// `f` must be a pure function of the index for the determinism guarantee
+/// to hold; all campaign closures in this workspace are (they only read
+/// the world and derive per-measurement keys from the index).
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slice) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * chunk;
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is covered by exactly one worker chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_map() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        let parallel = par_map_indexed(1000, |i| (i as u64).wrapping_mul(0x9E37));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = par_map_indexed(537, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 537);
+        assert_eq!(out, (0..537).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_ranges() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i * 2), vec![0]);
+    }
+
+    #[test]
+    fn smaller_n_than_workers() {
+        // Chunks never exceed n; no worker sees an out-of-range index.
+        let out = par_map_indexed(3, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn non_send_free_closure_state_is_shared() {
+        // The closure only needs Sync; captured reads are shared, not
+        // cloned per worker.
+        let data: Vec<usize> = (0..100).rev().collect();
+        let out = par_map_indexed(100, |i| data[i]);
+        assert_eq!(out, data);
+    }
+}

@@ -108,9 +108,7 @@ mod tests {
 
     #[test]
     fn street_level_is_slower() {
-        assert!(
-            SpeedOfInternet::STREET_LEVEL.km_per_ms() < SpeedOfInternet::CBG.km_per_ms()
-        );
+        assert!(SpeedOfInternet::STREET_LEVEL.km_per_ms() < SpeedOfInternet::CBG.km_per_ms());
     }
 
     #[test]

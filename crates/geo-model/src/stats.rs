@@ -8,7 +8,10 @@
 /// interpolation between order statistics. Returns `None` on empty input.
 /// NaN values are ignored.
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut v: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
     if v.is_empty() {
         return None;

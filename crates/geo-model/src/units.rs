@@ -208,7 +208,7 @@ mod tests {
 
     #[test]
     fn total_cmp_handles_nan() {
-        let mut v = vec![Ms(f64::NAN), Ms(1.0), Ms(0.5)];
+        let mut v = [Ms(f64::NAN), Ms(1.0), Ms(0.5)];
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(v[0], Ms(0.5));
         assert_eq!(v[1], Ms(1.0));

@@ -20,11 +20,17 @@ fn main() {
         let mut min_dist = f64::INFINITY;
         for &p in &w.probes {
             let ph = w.host(p);
-            if ph.is_mis_geolocated() { continue; }
+            if ph.is_mis_geolocated() {
+                continue;
+            }
             let d = ph.location.distance(&target.location).value();
-            if d < min_dist { min_dist = d; }
+            if d < min_dist {
+                min_dist = d;
+            }
             if let Some(rtt) = net.ping_min(&w, p, target.ip, 3, ti as u64).rtt() {
-                if rtt.value() < best_rtt { best_rtt = rtt.value(); }
+                if rtt.value() < best_rtt {
+                    best_rtt = rtt.value();
+                }
                 circles.push(Circle::new(ph.registered_location, soi.max_distance(rtt)));
             }
         }
@@ -35,9 +41,23 @@ fn main() {
             println!("target {ti}: EMPTY region");
         }
         closest_vp_dist.push(min_dist);
-        if ti < 5 { println!("target {ti}: best_rtt={best_rtt:.2}ms err={:.1}km closest_vp={:.1}km", errors.last().copied().unwrap_or(f64::NAN), min_dist); }
+        if ti < 5 {
+            println!(
+                "target {ti}: best_rtt={best_rtt:.2}ms err={:.1}km closest_vp={:.1}km",
+                errors.last().copied().unwrap_or(f64::NAN),
+                min_dist
+            );
+        }
     }
     println!("elapsed {:?}  n={}", t.elapsed(), errors.len());
-    println!("median err {:.1} km, frac<=40km {:.2}", stats::median(&errors).unwrap(), stats::fraction_at_most(&errors, 40.0));
-    println!("median closest-vp dist {:.1} km, frac vp<=40km {:.2}", stats::median(&closest_vp_dist).unwrap(), stats::fraction_at_most(&closest_vp_dist, 40.0));
+    println!(
+        "median err {:.1} km, frac<=40km {:.2}",
+        stats::median(&errors).unwrap(),
+        stats::fraction_at_most(&errors, 40.0)
+    );
+    println!(
+        "median closest-vp dist {:.1} km, frac vp<=40km {:.2}",
+        stats::median(&closest_vp_dist).unwrap(),
+        stats::fraction_at_most(&closest_vp_dist, 40.0)
+    );
 }

@@ -17,6 +17,11 @@ fn main() {
         }
     }
     let el = t.elapsed();
-    println!("{} pings(min3) in {:?} -> {:.1} us/ping, mean rtt {:.2} ms",
-        n, el, el.as_micros() as f64 / n as f64, acc / n as f64);
+    println!(
+        "{} pings(min3) in {:?} -> {:.1} us/ping, mean rtt {:.2} ms",
+        n,
+        el,
+        el.as_micros() as f64 / n as f64,
+        acc / n as f64
+    );
 }

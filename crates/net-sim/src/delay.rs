@@ -52,7 +52,11 @@ pub fn endpoint_location(world: &World, ep: Endpoint) -> GeoPoint {
 /// A stable key for the link between two abstract link endpoints.
 fn link_key(a_tag: u64, b_tag: u64) -> u64 {
     // Symmetric: the same cable is used in both directions.
-    let (lo, hi) = if a_tag <= b_tag { (a_tag, b_tag) } else { (b_tag, a_tag) };
+    let (lo, hi) = if a_tag <= b_tag {
+        (a_tag, b_tag)
+    } else {
+        (b_tag, a_tag)
+    };
     splitmix64(lo ^ splitmix64(hi))
 }
 
@@ -182,9 +186,7 @@ mod tests {
         for key in 0..50u64 {
             let delay = link_delay(&p, &a, &b, key).value();
             assert!(delay >= floor, "delay {delay} under floor {floor}");
-            assert!(
-                delay <= floor * (p.cable_inflation_max + p.short_haul_inflation) + 0.2
-            );
+            assert!(delay <= floor * (p.cable_inflation_max + p.short_haul_inflation) + 0.2);
         }
     }
 
@@ -214,12 +216,8 @@ mod tests {
             let dst = w.anchors[i];
             let path = synthesize(&w, &p, Endpoint::Host(src), Endpoint::Host(dst));
             let delay = one_way_delay(&w, &p, &path).value();
-            let floor = w
-                .host(src)
-                .location
-                .distance(&w.host(dst).location)
-                .value()
-                / p.km_per_ms();
+            let floor =
+                w.host(src).location.distance(&w.host(dst).location).value() / p.km_per_ms();
             assert!(delay >= floor, "delay {delay} under geodesic floor {floor}");
         }
     }
@@ -257,8 +255,10 @@ mod tests {
 
     #[test]
     fn zero_jitter_configurable() {
-        let mut p = NetParams::default();
-        p.jitter_median_ms = 0.0;
+        let p = NetParams {
+            jitter_median_ms: 0.0,
+            ..NetParams::default()
+        };
         assert_eq!(jitter(&p, Seed(5), 1), Ms::ZERO);
     }
 
@@ -279,7 +279,10 @@ mod tests {
         assert!((acc_sum / 200.0 - 4.0).abs() < 1.0);
         // The access delay is a per-line constant: even the minimum over
         // many packets stays near the line's value.
-        assert!(acc_min > 2.5, "min-of-N washed out the last mile: {acc_min}");
+        assert!(
+            acc_min > 2.5,
+            "min-of-N washed out the last mile: {acc_min}"
+        );
     }
 
     #[test]

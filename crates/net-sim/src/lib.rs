@@ -28,11 +28,13 @@
 //!
 //! Entry point: [`Network`].
 
+pub mod cache;
 pub mod delay;
 pub mod measure;
 pub mod params;
 pub mod route;
 
+pub use cache::{BaseDelayCache, CacheStats};
 pub use measure::{Hop, PingOutcome, Traceroute};
 pub use params::NetParams;
 pub use route::{Endpoint, Path, Waypoint};
@@ -40,28 +42,32 @@ pub use route::{Endpoint, Path, Waypoint};
 use geo_model::ip::Ipv4;
 use geo_model::rng::Seed;
 use geo_model::units::Ms;
+use std::sync::Arc;
 use world_sim::ids::HostId;
 use world_sim::World;
 
-/// The network simulator. Cheap to clone; all state is parameters.
+/// The network simulator. Cheap to clone; clones share the base-delay
+/// cache (all other state is parameters).
 #[derive(Debug, Clone)]
 pub struct Network {
     seed: Seed,
     params: NetParams,
+    cache: Arc<BaseDelayCache>,
 }
 
 impl Network {
     /// Creates a simulator with default parameters.
     pub fn new(seed: Seed) -> Network {
-        Network {
-            seed,
-            params: NetParams::default(),
-        }
+        Network::with_params(seed, NetParams::default())
     }
 
     /// Creates a simulator with explicit parameters.
     pub fn with_params(seed: Seed, params: NetParams) -> Network {
-        Network { seed, params }
+        Network {
+            seed,
+            params,
+            cache: Arc::new(BaseDelayCache::new()),
+        }
     }
 
     /// The simulator's parameters.
@@ -81,20 +87,55 @@ impl Network {
 
     /// The deterministic (jitter-free, last-mile-free) round-trip time
     /// between two hosts: forward one-way plus reverse one-way delay.
-    /// This is the quantity experiment harnesses cache in bulk.
+    /// Memoized per unordered endpoint pair in the shared [`BaseDelayCache`]
+    /// — this is the bulk-cacheable part of every ping.
     pub fn base_rtt(&self, world: &World, src: HostId, dst: HostId) -> Ms {
+        Ms(self.cache.get_or_compute(src, dst, || {
+            measure::base_rtt(world, &self.params, src, dst).value()
+        }))
+    }
+
+    /// [`Network::base_rtt`] bypassing the cache: recomputes the full
+    /// router-level path synthesis. Used by the equivalence property test
+    /// and the cold-cache benchmarks.
+    pub fn base_rtt_uncached(&self, world: &World, src: HostId, dst: HostId) -> Ms {
         measure::base_rtt(world, &self.params, src, dst)
+    }
+
+    /// Hit/miss counters and size of the shared base-delay cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Empties the base-delay cache and resets its counters (cold-cache
+    /// benchmarks; never needed for correctness).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
     }
 
     /// One ping packet from `src` to the address `dst`. Deterministic in
     /// `(seed, src, dst, nonce)`.
     pub fn ping(&self, world: &World, src: HostId, dst: Ipv4, nonce: u64) -> PingOutcome {
-        measure::ping(world, &self.params, self.seed, src, dst, nonce)
+        let Some(dst_host) = world.host_by_ip(dst) else {
+            return PingOutcome::Timeout;
+        };
+        let base = self.base_rtt(world, src, dst_host.id);
+        measure::ping_with_base(
+            world,
+            &self.params,
+            self.seed,
+            src,
+            dst,
+            dst_host.id,
+            base,
+            nonce,
+        )
     }
 
     /// The minimum RTT over `count` ping packets — how latency geolocation
     /// actually measures (RIPE Atlas pings send 3 packets and keep the
-    /// minimum).
+    /// minimum). The deterministic base RTT is resolved once through the
+    /// cache; only the per-packet noise is recomputed.
     pub fn ping_min(
         &self,
         world: &World,
@@ -103,7 +144,21 @@ impl Network {
         count: usize,
         nonce: u64,
     ) -> PingOutcome {
-        measure::ping_min(world, &self.params, self.seed, src, dst, count, nonce)
+        let Some(dst_host) = world.host_by_ip(dst) else {
+            return PingOutcome::Timeout;
+        };
+        let base = self.base_rtt(world, src, dst_host.id);
+        measure::ping_min_with_base(
+            world,
+            &self.params,
+            self.seed,
+            src,
+            dst,
+            dst_host.id,
+            base,
+            count,
+            nonce,
+        )
     }
 
     /// A traceroute from `src` to the address `dst`.

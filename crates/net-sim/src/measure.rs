@@ -122,9 +122,24 @@ pub fn ping(
     let Some(dst_host) = world.host_by_ip(dst) else {
         return PingOutcome::Timeout;
     };
-    let key = measurement_key(src, dst, nonce);
     let base = base_rtt(world, params, src, dst_host.id);
-    packet_outcome(world, params, seed, src, dst_host.id, base, key)
+    ping_with_base(world, params, seed, src, dst, dst_host.id, base, nonce)
+}
+
+/// [`ping`] with a precomputed base RTT — the cached fast path.
+#[allow(clippy::too_many_arguments)]
+pub fn ping_with_base(
+    world: &World,
+    params: &NetParams,
+    seed: Seed,
+    src: HostId,
+    dst: Ipv4,
+    dst_host: HostId,
+    base: Ms,
+    nonce: u64,
+) -> PingOutcome {
+    let key = measurement_key(src, dst, nonce);
+    packet_outcome(world, params, seed, src, dst_host, base, key)
 }
 
 /// Minimum RTT over `count` packets (RIPE Atlas ping semantics). The
@@ -238,9 +253,8 @@ pub fn traceroute(
     let dst_rtt = match dst_host {
         Some(h) => ping(world, params, seed, src, dst, splitmix64(nonce ^ 0xF1))
             .rtt()
-            .map(|ms| {
+            .inspect(|_ms| {
                 let _ = h;
-                ms
             }),
         None => None,
     };
@@ -293,10 +307,7 @@ mod tests {
                 let dst_host = w.host(w.anchors[j]);
                 if let PingOutcome::Reply(rtt) = ping(&w, &p, s, src, dst_host.ip, 3) {
                     let dist = w.host(src).location.distance(&dst_host.location);
-                    assert!(
-                        !soi.violates(dist, rtt),
-                        "SOI violation: {dist} in {rtt}"
-                    );
+                    assert!(!soi.violates(dist, rtt), "SOI violation: {dist} in {rtt}");
                 }
             }
         }
@@ -309,9 +320,7 @@ mod tests {
         let dst = w.host(w.anchors[1]).ip;
         if let PingOutcome::Reply(min) = ping_min(&w, &p, s, src, dst, 5, 7) {
             for i in 0..5u64 {
-                if let PingOutcome::Reply(one) =
-                    ping(&w, &p, s, src, dst, splitmix64(7 ^ i))
-                {
+                if let PingOutcome::Reply(one) = ping(&w, &p, s, src, dst, splitmix64(7 ^ i)) {
                     assert!(min <= one);
                 }
             }

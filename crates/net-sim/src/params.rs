@@ -122,15 +122,19 @@ mod tests {
 
     #[test]
     fn rejects_deflation() {
-        let mut p = NetParams::default();
-        p.cable_inflation_min = 0.9;
+        let p = NetParams {
+            cable_inflation_min: 0.9,
+            ..NetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn rejects_bad_probability() {
-        let mut p = NetParams::default();
-        p.loss_rate = 1.5;
+        let p = NetParams {
+            loss_rate: 1.5,
+            ..NetParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

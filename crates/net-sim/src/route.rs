@@ -46,9 +46,7 @@ impl Waypoint {
     /// don't coincide exactly).
     pub fn location(&self, world: &World) -> GeoPoint {
         let center = world.city(self.city).center;
-        let h = splitmix64(
-            (self.asn.0 as u64) << 32 | self.city.0 as u64 ^ fnv1a(b"router-site"),
-        );
+        let h = splitmix64((self.asn.0 as u64) << 32 | self.city.0 as u64 ^ fnv1a(b"router-site"));
         let bearing = (h % 360) as f64;
         let dist = 1.0 + ((h >> 16) % 60) as f64 / 10.0; // 1..7 km
         center.destination(bearing, geo_model::units::Km(dist))
@@ -99,38 +97,78 @@ pub fn synthesize(world: &World, _params: &NetParams, src: Endpoint, dst: Endpoi
     let (dst_as, dst_city, _) = attachment(world, dst);
 
     let mut waypoints: Vec<Waypoint> = Vec::with_capacity(6);
-    waypoints.push(Waypoint { asn: src_as, city: src_city });
+    waypoints.push(Waypoint {
+        asn: src_as,
+        city: src_city,
+    });
 
     if src_as == dst_as {
         // Intra-AS backbone hop.
-        waypoints.push(Waypoint { asn: src_as, city: dst_city });
+        waypoints.push(Waypoint {
+            asn: src_as,
+            city: dst_city,
+        });
     } else if world.has_pop(dst_as, src_city) {
         // Peer in the source city (hot-potato: hand off immediately).
-        waypoints.push(Waypoint { asn: dst_as, city: src_city });
-        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: src_city,
+        });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: dst_city,
+        });
     } else if world.has_pop(src_as, dst_city) {
         // Source AS reaches into the destination city.
-        waypoints.push(Waypoint { asn: src_as, city: dst_city });
-        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+        waypoints.push(Waypoint {
+            asn: src_as,
+            city: dst_city,
+        });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: dst_city,
+        });
     } else if let Some(meet) = best_shared_pop(world, src_as, dst_as, src_city, dst_city) {
         // Private peering at a shared PoP city.
-        waypoints.push(Waypoint { asn: src_as, city: meet });
-        waypoints.push(Waypoint { asn: dst_as, city: meet });
-        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+        waypoints.push(Waypoint {
+            asn: src_as,
+            city: meet,
+        });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: meet,
+        });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: dst_city,
+        });
     } else {
         // Transit. Direction-dependent provider choice.
         let transit = pick_transit(world, _params, src_as, dst_as);
         let t_in = world.nearest_pop(transit, src_city);
         let t_out = world.nearest_pop(transit, dst_city);
-        waypoints.push(Waypoint { asn: transit, city: t_in });
+        waypoints.push(Waypoint {
+            asn: transit,
+            city: t_in,
+        });
         if t_out != t_in {
-            waypoints.push(Waypoint { asn: transit, city: t_out });
+            waypoints.push(Waypoint {
+                asn: transit,
+                city: t_out,
+            });
         }
-        waypoints.push(Waypoint { asn: dst_as, city: dst_city });
+        waypoints.push(Waypoint {
+            asn: dst_as,
+            city: dst_city,
+        });
     }
 
     dedup_consecutive(&mut waypoints);
-    Path { src, waypoints, dst }
+    Path {
+        src,
+        waypoints,
+        dst,
+    }
 }
 
 fn dedup_consecutive(waypoints: &mut Vec<Waypoint>) {
@@ -161,7 +199,7 @@ fn best_shared_pop(
         }
         let p = world.city(c).center;
         let detour = src_p.distance(&p).value() + p.distance(&dst_p).value();
-        if best.map_or(true, |(_, d)| detour < d) {
+        if best.is_none_or(|(_, d)| detour < d) {
             best = Some((c, detour));
         }
     }
@@ -285,11 +323,11 @@ mod tests {
     #[test]
     fn router_locations_near_city() {
         let w = world();
-        let wp = Waypoint { asn: w.ases[0].id, city: w.ases[0].pops[0] };
-        let d = wp
-            .location(&w)
-            .distance(&w.city(wp.city).center)
-            .value();
+        let wp = Waypoint {
+            asn: w.ases[0].id,
+            city: w.ases[0].pops[0],
+        };
+        let d = wp.location(&w).distance(&w.city(wp.city).center).value();
         assert!(d <= 8.0, "router {d} km from city center");
     }
 
@@ -305,8 +343,10 @@ mod tests {
     #[test]
     fn zero_asymmetry_gives_symmetric_transit() {
         let w = world();
-        let mut p = NetParams::default();
-        p.asymmetry_rate = 0.0;
+        let p = NetParams {
+            asymmetry_rate: 0.0,
+            ..NetParams::default()
+        };
         for i in 0..w.ases.len().min(20) {
             for j in 0..w.ases.len().min(20) {
                 let a = w.ases[i].id;
@@ -328,9 +368,7 @@ mod tests {
         let got = w.nearest_pop(asn.id, city);
         let target = w.city(city).center;
         for &p in &asn.pops {
-            assert!(
-                w.city(got).center.distance(&target) <= w.city(p).center.distance(&target)
-            );
+            assert!(w.city(got).center.distance(&target) <= w.city(p).center.distance(&target));
         }
     }
 }

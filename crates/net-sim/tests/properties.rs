@@ -120,8 +120,10 @@ proptest! {
     #[test]
     fn zero_asymmetry_is_symmetric(a_sel in 0usize..60, b_sel in 0usize..60) {
         let (w, _) = world();
-        let mut p = NetParams::default();
-        p.asymmetry_rate = 0.0;
+        let p = NetParams {
+            asymmetry_rate: 0.0,
+            ..NetParams::default()
+        };
         let a = w.ases[a_sel % w.ases.len()].id;
         let b = w.ases[b_sel % w.ases.len()].id;
         prop_assert_eq!(

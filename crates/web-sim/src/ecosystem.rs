@@ -268,8 +268,7 @@ impl WebEcosystem {
                             world.add_web_server(asn, city.id, location)
                         }
                         Hosting::Cloud => {
-                            let (asn, dc_city) =
-                                cloud_sites[rng.gen_range(0..cloud_sites.len())];
+                            let (asn, dc_city) = cloud_sites[rng.gen_range(0..cloud_sites.len())];
                             *shared_servers.entry((asn, dc_city)).or_insert_with(|| {
                                 let loc = world.city(dc_city).center;
                                 world.add_web_server(asn, dc_city, loc)
@@ -352,12 +351,7 @@ impl WebEcosystem {
     }
 
     /// All entities within `radius` of a point (scans cities in range).
-    pub fn entities_within(
-        &self,
-        world: &World,
-        p: &GeoPoint,
-        radius: Km,
-    ) -> Vec<(EntityId, Km)> {
+    pub fn entities_within(&self, world: &World, p: &GeoPoint, radius: Km) -> Vec<(EntityId, Km)> {
         let mut out = Vec::new();
         // Entities lie within city_radius of their city center.
         let slack = Km(world.config.city_radius_km);
@@ -442,7 +436,11 @@ mod tests {
             .count() as f64;
         // p_local applies to website records (chains excluded), so the
         // realized fraction is near but not exactly p_local.
-        assert!(local / total < 0.10, "too many local sites: {}", local / total);
+        assert!(
+            local / total < 0.10,
+            "too many local sites: {}",
+            local / total
+        );
         assert!(local > 0.0);
     }
 

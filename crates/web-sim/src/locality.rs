@@ -110,12 +110,7 @@ impl LocalityTester {
     }
 
     /// Tests one candidate entity found via `queried_zip`.
-    pub fn test(
-        &mut self,
-        eco: &WebEcosystem,
-        entity: &Entity,
-        queried_zip: ZipCode,
-    ) -> Verdict {
+    pub fn test(&mut self, eco: &WebEcosystem, entity: &Entity, queried_zip: ZipCode) -> Verdict {
         self.tests_run += 1;
         self.dns_queries += 1;
         self.http_fetches += 2;

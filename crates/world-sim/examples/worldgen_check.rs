@@ -1,10 +1,17 @@
-use world_sim::{World, WorldConfig};
 use geo_model::rng::Seed;
+use world_sim::{World, WorldConfig};
 fn main() {
     let t = std::time::Instant::now();
     let w = World::generate(WorldConfig::paper(Seed(2023))).unwrap();
     println!("gen in {:?}", t.elapsed());
     let c = world_sim::census::Census::of(&w);
-    println!("anchors={} probes={} cities w/anchor={} countries={} ases={} hosts={}",
-        c.anchors, c.probes, c.anchor_cities, c.anchor_countries, c.anchor_ases, w.hosts.len());
+    println!(
+        "anchors={} probes={} cities w/anchor={} countries={} ases={} hosts={}",
+        c.anchors,
+        c.probes,
+        c.anchor_cities,
+        c.anchor_countries,
+        c.anchor_ases,
+        w.hosts.len()
+    );
 }

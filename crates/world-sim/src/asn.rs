@@ -276,10 +276,16 @@ mod tests {
     #[test]
     fn category_mix_matches_population() {
         let (_, ases) = build();
-        let access = ases.iter().filter(|a| a.category == AsCategory::Access).count();
+        let access = ases
+            .iter()
+            .filter(|a| a.category == AsCategory::Access)
+            .count();
         // 45% of 60 = 27.
         assert_eq!(access, 27);
-        let tier1 = ases.iter().filter(|a| a.category == AsCategory::Tier1).count();
+        let tier1 = ases
+            .iter()
+            .filter(|a| a.category == AsCategory::Tier1)
+            .count();
         assert!(tier1 <= 2); // 0.5% rounds to 0 at this scale
     }
 
@@ -290,10 +296,20 @@ mod tests {
         let mut rng = Seed(22).derive("test-as").rng();
         let (cities, _) = generate_cities(&cfg, &mut rng);
         let ases = generate_ases(&cfg, &cities, &mut rng);
-        let t1 = ases.iter().find(|a| a.category == AsCategory::Tier1).unwrap();
-        assert!(t1.pops.len() >= 20, "tier-1 has only {} PoPs", t1.pops.len());
+        let t1 = ases
+            .iter()
+            .find(|a| a.category == AsCategory::Tier1)
+            .unwrap();
+        assert!(
+            t1.pops.len() >= 20,
+            "tier-1 has only {} PoPs",
+            t1.pops.len()
+        );
         // Access networks stay within one country.
-        let access = ases.iter().find(|a| a.category == AsCategory::Access).unwrap();
+        let access = ases
+            .iter()
+            .find(|a| a.category == AsCategory::Access)
+            .unwrap();
         let country = cities[access.pops[0].index()].country;
         for p in &access.pops {
             assert_eq!(cities[p.index()].country, country);

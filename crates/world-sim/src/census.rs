@@ -25,7 +25,10 @@ impl CategoryCounts {
 
     /// Fraction of the row in the given category.
     pub fn fraction(&self, cat: AsCategory) -> f64 {
-        let idx = AsCategory::ALL.iter().position(|c| *c == cat).expect("known");
+        let idx = AsCategory::ALL
+            .iter()
+            .position(|c| *c == cat)
+            .expect("known");
         if self.total() == 0 {
             0.0
         } else {
@@ -35,10 +38,7 @@ impl CategoryCounts {
 
     /// Adds two rows elementwise (the probes + anchors row of Table 2).
     pub fn plus(&self, other: &CategoryCounts) -> CategoryCounts {
-        let mut counts = [0usize; 6];
-        for i in 0..6 {
-            counts[i] = self.counts[i] + other.counts[i];
-        }
+        let counts = std::array::from_fn(|i| self.counts[i] + other.counts[i]);
         CategoryCounts { counts }
     }
 }
@@ -77,7 +77,10 @@ impl Census {
             let mut row = CategoryCounts::default();
             for &id in ids {
                 let cat = world.asn(world.host(id).asn).category;
-                let idx = AsCategory::ALL.iter().position(|c| *c == cat).expect("known");
+                let idx = AsCategory::ALL
+                    .iter()
+                    .position(|c| *c == cat)
+                    .expect("known");
                 row.counts[idx] += 1;
             }
             row
@@ -150,8 +153,12 @@ mod tests {
 
     #[test]
     fn plus_adds_rows() {
-        let a = CategoryCounts { counts: [1, 2, 3, 4, 5, 6] };
-        let b = CategoryCounts { counts: [6, 5, 4, 3, 2, 1] };
+        let a = CategoryCounts {
+            counts: [1, 2, 3, 4, 5, 6],
+        };
+        let b = CategoryCounts {
+            counts: [6, 5, 4, 3, 2, 1],
+        };
         assert_eq!(a.plus(&b).counts, [7; 6]);
         assert_eq!(a.plus(&b).total(), 42);
     }

@@ -83,8 +83,7 @@ pub fn generate_cities<R: Rng + ?Sized>(cfg: &WorldConfig, rng: &mut R) -> (Vec<
         for (i, center) in centers.into_iter().enumerate() {
             let rank = ranks[i];
             // Use the Zipf weight relative to rank 1 to scale populations.
-            let population =
-                cfg.max_city_population * zipf.weight(rank) / zipf.weight(1);
+            let population = cfg.max_city_population * zipf.weight(rank) / zipf.weight(1);
             let population = population.max(20_000.0);
             let id = CityId(cities.len() as u32);
             let country = country_of(&mut country_ids, mix.continent, &center);
@@ -178,7 +177,7 @@ impl CityIndex {
                         found_any = true;
                         for &i in bucket {
                             let d = self.centers[i as usize].distance(p).value();
-                            if best.map_or(true, |(_, bd)| d < bd) {
+                            if best.is_none_or(|(_, bd)| d < bd) {
                                 best = Some((i, d));
                             }
                         }
@@ -259,7 +258,10 @@ mod tests {
     fn generates_requested_counts() {
         let (cities, countries) = make_world();
         assert_eq!(cities.len(), 50);
-        assert!(countries >= 2, "expected multiple countries, got {countries}");
+        assert!(
+            countries >= 2,
+            "expected multiple countries, got {countries}"
+        );
     }
 
     #[test]
@@ -274,7 +276,10 @@ mod tests {
     fn populations_follow_zipf_shape() {
         let (cities, _) = make_world();
         let max = cities.iter().map(|c| c.population).fold(0.0, f64::max);
-        let min = cities.iter().map(|c| c.population).fold(f64::INFINITY, f64::min);
+        let min = cities
+            .iter()
+            .map(|c| c.population)
+            .fold(f64::INFINITY, f64::min);
         assert!(max / min > 5.0, "Zipf spread too small: {max}/{min}");
         assert!(cities.iter().all(|c| c.population >= 20_000.0));
     }
@@ -293,7 +298,10 @@ mod tests {
             }
         }
         // Rejection sampling is best-effort; tolerate a few collisions.
-        assert!(violations <= cities.len() / 10, "{violations} separation violations");
+        assert!(
+            violations <= cities.len() / 10,
+            "{violations} separation violations"
+        );
     }
 
     #[test]
@@ -320,11 +328,7 @@ mod tests {
             let (got, gd) = index.nearest(&p).unwrap();
             let want = cities
                 .iter()
-                .min_by(|a, b| {
-                    a.center
-                        .distance(&p)
-                        .total_cmp(&b.center.distance(&p))
-                })
+                .min_by(|a, b| a.center.distance(&p).total_cmp(&b.center.distance(&p)))
                 .unwrap();
             let wd = want.center.distance(&p);
             assert!(

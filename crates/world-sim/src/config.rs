@@ -29,17 +29,14 @@ pub struct CategoryMix(pub [f64; 6]);
 
 impl CategoryMix {
     /// The anchors row of Table 2.
-    pub const ANCHORS: CategoryMix =
-        CategoryMix([0.317, 0.292, 0.272, 0.076, 0.008, 0.035]);
+    pub const ANCHORS: CategoryMix = CategoryMix([0.317, 0.292, 0.272, 0.076, 0.008, 0.035]);
     /// The probes row of Table 2. (The paper's rounded percentages sum to
     /// 100.1%; the content fraction is nudged down so the mix normalizes.)
-    pub const PROBES: CategoryMix =
-        CategoryMix([0.091, 0.752, 0.083, 0.034, 0.014, 0.026]);
+    pub const PROBES: CategoryMix = CategoryMix([0.091, 0.752, 0.083, 0.034, 0.014, 0.026]);
 
     /// Validates that fractions are non-negative and sum to ~1.
     pub fn is_valid(&self) -> bool {
-        self.0.iter().all(|&f| f >= 0.0)
-            && (self.0.iter().sum::<f64>() - 1.0).abs() < 1e-6
+        self.0.iter().all(|&f| f >= 0.0) && (self.0.iter().sum::<f64>() - 1.0).abs() < 1e-6
     }
 }
 
@@ -105,12 +102,42 @@ impl WorldConfig {
         WorldConfig {
             seed,
             mix: vec![
-                ContinentMix { continent: Continent::Europe, cities: 800, anchors: 404, probes: 6200 },
-                ContinentMix { continent: Continent::Asia, cities: 450, anchors: 133, probes: 1100 },
-                ContinentMix { continent: Continent::NorthAmerica, cities: 450, anchors: 125, probes: 1800 },
-                ContinentMix { continent: Continent::SouthAmerica, cities: 120, anchors: 27, probes: 350 },
-                ContinentMix { continent: Continent::Oceania, cities: 80, anchors: 18, probes: 330 },
-                ContinentMix { continent: Continent::Africa, cities: 100, anchors: 16, probes: 220 },
+                ContinentMix {
+                    continent: Continent::Europe,
+                    cities: 800,
+                    anchors: 404,
+                    probes: 6200,
+                },
+                ContinentMix {
+                    continent: Continent::Asia,
+                    cities: 450,
+                    anchors: 133,
+                    probes: 1100,
+                },
+                ContinentMix {
+                    continent: Continent::NorthAmerica,
+                    cities: 450,
+                    anchors: 125,
+                    probes: 1800,
+                },
+                ContinentMix {
+                    continent: Continent::SouthAmerica,
+                    cities: 120,
+                    anchors: 27,
+                    probes: 350,
+                },
+                ContinentMix {
+                    continent: Continent::Oceania,
+                    cities: 80,
+                    anchors: 18,
+                    probes: 330,
+                },
+                ContinentMix {
+                    continent: Continent::Africa,
+                    cities: 100,
+                    anchors: 16,
+                    probes: 220,
+                },
             ],
             num_ases: 3494,
             city_zipf_exponent: 1.05,
@@ -137,8 +164,18 @@ impl WorldConfig {
         WorldConfig {
             seed,
             mix: vec![
-                ContinentMix { continent: Continent::Europe, cities: 30, anchors: 20, probes: 150 },
-                ContinentMix { continent: Continent::NorthAmerica, cities: 20, anchors: 10, probes: 80 },
+                ContinentMix {
+                    continent: Continent::Europe,
+                    cities: 30,
+                    anchors: 20,
+                    probes: 150,
+                },
+                ContinentMix {
+                    continent: Continent::NorthAmerica,
+                    cities: 20,
+                    anchors: 10,
+                    probes: 80,
+                },
             ],
             num_ases: 60,
             city_zipf_exponent: 1.0,

@@ -101,49 +101,151 @@ impl Continent {
         match self {
             Continent::Europe => &[
                 // Western/central Europe: dense.
-                LandBox { lat_min: 36.0, lat_max: 60.0, lon_min: -10.0, lon_max: 25.0, weight: 3.0 },
+                LandBox {
+                    lat_min: 36.0,
+                    lat_max: 60.0,
+                    lon_min: -10.0,
+                    lon_max: 25.0,
+                    weight: 3.0,
+                },
                 // Eastern Europe.
-                LandBox { lat_min: 44.0, lat_max: 60.0, lon_min: 25.0, lon_max: 40.0, weight: 1.0 },
+                LandBox {
+                    lat_min: 44.0,
+                    lat_max: 60.0,
+                    lon_min: 25.0,
+                    lon_max: 40.0,
+                    weight: 1.0,
+                },
                 // Scandinavia.
-                LandBox { lat_min: 55.0, lat_max: 68.0, lon_min: 5.0, lon_max: 30.0, weight: 0.5 },
+                LandBox {
+                    lat_min: 55.0,
+                    lat_max: 68.0,
+                    lon_min: 5.0,
+                    lon_max: 30.0,
+                    weight: 0.5,
+                },
             ],
             Continent::Asia => &[
                 // East Asia.
-                LandBox { lat_min: 22.0, lat_max: 45.0, lon_min: 100.0, lon_max: 145.0, weight: 3.0 },
+                LandBox {
+                    lat_min: 22.0,
+                    lat_max: 45.0,
+                    lon_min: 100.0,
+                    lon_max: 145.0,
+                    weight: 3.0,
+                },
                 // South Asia.
-                LandBox { lat_min: 8.0, lat_max: 32.0, lon_min: 68.0, lon_max: 92.0, weight: 2.0 },
+                LandBox {
+                    lat_min: 8.0,
+                    lat_max: 32.0,
+                    lon_min: 68.0,
+                    lon_max: 92.0,
+                    weight: 2.0,
+                },
                 // Southeast Asia.
-                LandBox { lat_min: -8.0, lat_max: 20.0, lon_min: 95.0, lon_max: 125.0, weight: 1.5 },
+                LandBox {
+                    lat_min: -8.0,
+                    lat_max: 20.0,
+                    lon_min: 95.0,
+                    lon_max: 125.0,
+                    weight: 1.5,
+                },
                 // Middle East / central Asia.
-                LandBox { lat_min: 12.0, lat_max: 42.0, lon_min: 35.0, lon_max: 68.0, weight: 1.0 },
+                LandBox {
+                    lat_min: 12.0,
+                    lat_max: 42.0,
+                    lon_min: 35.0,
+                    lon_max: 68.0,
+                    weight: 1.0,
+                },
             ],
             Continent::NorthAmerica => &[
                 // Contiguous US + southern Canada.
-                LandBox { lat_min: 28.0, lat_max: 50.0, lon_min: -125.0, lon_max: -68.0, weight: 3.0 },
+                LandBox {
+                    lat_min: 28.0,
+                    lat_max: 50.0,
+                    lon_min: -125.0,
+                    lon_max: -68.0,
+                    weight: 3.0,
+                },
                 // Mexico / Central America.
-                LandBox { lat_min: 10.0, lat_max: 28.0, lon_min: -110.0, lon_max: -85.0, weight: 1.0 },
+                LandBox {
+                    lat_min: 10.0,
+                    lat_max: 28.0,
+                    lon_min: -110.0,
+                    lon_max: -85.0,
+                    weight: 1.0,
+                },
             ],
             Continent::SouthAmerica => &[
                 // Brazil coast / southeastern cone.
-                LandBox { lat_min: -35.0, lat_max: -5.0, lon_min: -65.0, lon_max: -38.0, weight: 2.0 },
+                LandBox {
+                    lat_min: -35.0,
+                    lat_max: -5.0,
+                    lon_min: -65.0,
+                    lon_max: -38.0,
+                    weight: 2.0,
+                },
                 // Andean west.
-                LandBox { lat_min: -35.0, lat_max: 10.0, lon_min: -80.0, lon_max: -65.0, weight: 1.0 },
+                LandBox {
+                    lat_min: -35.0,
+                    lat_max: 10.0,
+                    lon_min: -80.0,
+                    lon_max: -65.0,
+                    weight: 1.0,
+                },
             ],
             Continent::Africa => &[
                 // North Africa.
-                LandBox { lat_min: 25.0, lat_max: 37.0, lon_min: -10.0, lon_max: 32.0, weight: 1.0 },
+                LandBox {
+                    lat_min: 25.0,
+                    lat_max: 37.0,
+                    lon_min: -10.0,
+                    lon_max: 32.0,
+                    weight: 1.0,
+                },
                 // West Africa.
-                LandBox { lat_min: 4.0, lat_max: 15.0, lon_min: -17.0, lon_max: 10.0, weight: 1.0 },
+                LandBox {
+                    lat_min: 4.0,
+                    lat_max: 15.0,
+                    lon_min: -17.0,
+                    lon_max: 10.0,
+                    weight: 1.0,
+                },
                 // East Africa.
-                LandBox { lat_min: -5.0, lat_max: 15.0, lon_min: 30.0, lon_max: 45.0, weight: 1.0 },
+                LandBox {
+                    lat_min: -5.0,
+                    lat_max: 15.0,
+                    lon_min: 30.0,
+                    lon_max: 45.0,
+                    weight: 1.0,
+                },
                 // Southern Africa.
-                LandBox { lat_min: -35.0, lat_max: -15.0, lon_min: 15.0, lon_max: 32.0, weight: 1.0 },
+                LandBox {
+                    lat_min: -35.0,
+                    lat_max: -15.0,
+                    lon_min: 15.0,
+                    lon_max: 32.0,
+                    weight: 1.0,
+                },
             ],
             Continent::Oceania => &[
                 // Australian east/south coast.
-                LandBox { lat_min: -38.0, lat_max: -25.0, lon_min: 138.0, lon_max: 154.0, weight: 2.0 },
+                LandBox {
+                    lat_min: -38.0,
+                    lat_max: -25.0,
+                    lon_min: 138.0,
+                    lon_max: 154.0,
+                    weight: 2.0,
+                },
                 // New Zealand.
-                LandBox { lat_min: -47.0, lat_max: -34.0, lon_min: 166.0, lon_max: 179.0, weight: 1.0 },
+                LandBox {
+                    lat_min: -47.0,
+                    lat_max: -34.0,
+                    lon_min: 166.0,
+                    lon_max: 179.0,
+                    weight: 1.0,
+                },
             ],
         }
     }
@@ -179,7 +281,12 @@ mod tests {
         for continent in Continent::ALL {
             for _ in 0..200 {
                 let p = continent.sample_point(&mut rng);
-                assert!(continent.contains(&p), "{} escaped: {}", continent.name(), p);
+                assert!(
+                    continent.contains(&p),
+                    "{} escaped: {}",
+                    continent.name(),
+                    p
+                );
             }
         }
     }

@@ -59,8 +59,7 @@ impl DensityField {
             let k = &self.cities[city.index()];
             let d = dist.value();
             if d <= KERNEL_CUTOFF_SIGMAS * k.sigma_km {
-                let contribution =
-                    k.core_density * (-0.5 * (d / k.sigma_km).powi(2)).exp();
+                let contribution = k.core_density * (-0.5 * (d / k.sigma_km).powi(2)).exp();
                 best = best.max(contribution);
             }
         }

@@ -75,10 +75,7 @@ pub struct Host {
 impl Host {
     /// True if the registered location is (materially) wrong.
     pub fn is_mis_geolocated(&self) -> bool {
-        self.location
-            .distance(&self.registered_location)
-            .value()
-            > 1.0
+        self.location.distance(&self.registered_location).value() > 1.0
     }
 }
 
@@ -300,7 +297,7 @@ fn scatter<R: Rng + ?Sized>(center: &GeoPoint, radius_km: f64, rng: &mut R) -> G
 pub fn generate_hosts<R: Rng + ?Sized>(
     cfg: &WorldConfig,
     cities: &[City],
-    ases: &mut Vec<AutonomousSystem>,
+    ases: &mut [AutonomousSystem],
     rng: &mut R,
 ) -> HostPopulation {
     let mut placer = Placer::new(ases);
@@ -371,10 +368,9 @@ pub fn generate_hosts<R: Rng + ?Sized>(
     let mut anchor_prefixes: Vec<Prefix24> = Vec::new();
     for mix in &cfg.mix {
         let continent = mix.continent;
-        let pop_picker =
-            CityPicker::by_population_pow(cities, cfg.anchor_city_exponent, |c| {
-                c.continent == continent
-            });
+        let pop_picker = CityPicker::by_population_pow(cities, cfg.anchor_city_exponent, |c| {
+            c.continent == continent
+        });
         for _ in 0..mix.anchors {
             let city = pop_picker.pick(rng).expect("continent has cities");
             let category = pick_category(&cfg.anchor_categories, rng);
@@ -615,7 +611,11 @@ mod tests {
         for _ in 0..450 {
             prefixes.insert(plan.allocate_address(asn, city).prefix24());
         }
-        assert!(prefixes.len() >= 3, "expected rollover, got {}", prefixes.len());
+        assert!(
+            prefixes.len() >= 3,
+            "expected rollover, got {}",
+            prefixes.len()
+        );
         for p in prefixes {
             assert_eq!(plan.owner(p), Some((asn, city)));
         }

@@ -90,9 +90,18 @@ mod tests {
 
     #[test]
     fn zipcode_identity() {
-        let a = ZipCode { city: CityId(5), cell: 17 };
-        let b = ZipCode { city: CityId(5), cell: 17 };
-        let c = ZipCode { city: CityId(5), cell: 18 };
+        let a = ZipCode {
+            city: CityId(5),
+            cell: 17,
+        };
+        let b = ZipCode {
+            city: CityId(5),
+            cell: 17,
+        };
+        let c = ZipCode {
+            city: CityId(5),
+            cell: 18,
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.to_string(), "00005-0017");

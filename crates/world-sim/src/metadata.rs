@@ -110,7 +110,12 @@ mod tests {
     use crate::host::generate_hosts;
     use geo_model::rng::Seed;
 
-    fn build() -> (Vec<City>, Vec<AutonomousSystem>, crate::host::HostPopulation, Metadata) {
+    fn build() -> (
+        Vec<City>,
+        Vec<AutonomousSystem>,
+        crate::host::HostPopulation,
+        Metadata,
+    ) {
         let cfg = WorldConfig::small(Seed(51));
         let mut rng = cfg.seed.derive("world").rng();
         let (cities, _) = generate_cities(&cfg, &mut rng);

@@ -120,11 +120,12 @@ impl World {
                 if !transit.is_empty() {
                     transit
                 } else {
-                    vec![ases
-                        .iter()
-                        .max_by_key(|a| a.pops.len())
-                        .expect("world has ASes")
-                        .id]
+                    vec![
+                        ases.iter()
+                            .max_by_key(|a| a.pops.len())
+                            .expect("world has ASes")
+                            .id,
+                    ]
                 }
             }
         };
@@ -234,12 +235,7 @@ impl World {
 
     /// Adds a host created after generation (web servers from `web-sim`).
     /// Returns its id.
-    pub fn add_web_server(
-        &mut self,
-        asn: AsId,
-        city: CityId,
-        location: GeoPoint,
-    ) -> HostId {
+    pub fn add_web_server(&mut self, asn: AsId, city: CityId, location: GeoPoint) -> HostId {
         let ip = self.plan.allocate_address(asn, city);
         let id = HostId(self.hosts.len() as u32);
         let host = Host {

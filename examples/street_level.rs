@@ -63,7 +63,7 @@ fn main() {
     let unusable = out
         .landmarks
         .iter()
-        .filter(|l| l.delay_ms.map_or(true, |d| d < 0.0))
+        .filter(|l| l.delay_ms.is_none_or(|d| d < 0.0))
         .count();
     println!(
         "{unusable}/{} landmarks have no usable D1+D2 delay",

@@ -58,7 +58,10 @@ fn sanitized_cbg_end_to_end() {
             errors.push(r.estimate.distance(&w.host(target).location).value());
         }
     }
-    assert!(errors.len() >= anchors.kept.len() - 3, "too many empty regions");
+    assert!(
+        errors.len() >= anchors.kept.len() - 3,
+        "too many empty regions"
+    );
     let median = stats::median(&errors).expect("errors nonempty");
     assert!(median < 150.0, "median error {median} km too large");
     // City-level for a solid majority.
@@ -78,11 +81,13 @@ fn shortest_ping_vs_cbg() {
         .iter()
         .filter(|&&p| !w.host(p).is_mis_geolocated())
         .filter_map(|&vp| {
-            net.ping_min(&w, vp, target.ip, 3, 5).rtt().map(|rtt| VpMeasurement {
-                vp,
-                location: w.host(vp).registered_location,
-                rtt,
-            })
+            net.ping_min(&w, vp, target.ip, 3, 5)
+                .rtt()
+                .map(|rtt| VpMeasurement {
+                    vp,
+                    location: w.host(vp).registered_location,
+                    rtt,
+                })
         })
         .collect();
     let sp = shortest_ping(&ms).expect("measurements exist");
