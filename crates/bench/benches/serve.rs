@@ -1,0 +1,205 @@
+//! Serving-layer benchmarks: `.igds` snapshot load, single vs batch
+//! lookups (the serial/parallel fan-out), and concurrent-client TCP
+//! throughput against a live `QueryServer`.
+//!
+//! `cargo bench -p bench --bench serve` runs the Criterion group;
+//! `cargo bench -p bench --bench serve -- --snapshot` additionally
+//! rewrites `BENCH_serve.json` at the repo root with one fixed-shape
+//! timing pass (the committed snapshot).
+
+use criterion::{criterion_group, Criterion};
+use geo_model::ip::Ipv4;
+use geo_model::rng::Seed;
+use geo_serve::{format, DatasetStore, QueryServer};
+use ipgeo::publish::{build_dataset, DatasetEntry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use world_sim::{World, WorldConfig};
+
+/// The publish producer at bench scale: small world, modest mesh.
+fn published_entries(seed: u64) -> Vec<DatasetEntry> {
+    let world = World::generate(WorldConfig::small(Seed(seed))).expect("small world");
+    let net = net_sim::Network::new(Seed(seed));
+    let vps: Vec<_> = world
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !world.host(p).is_mis_geolocated())
+        .collect();
+    let mesh = ipgeo::two_step::greedy_coverage(&world, &vps, 60.min(vps.len()));
+    let prefixes: Vec<_> = world
+        .anchors
+        .iter()
+        .map(|&a| world.host(a).ip.prefix24())
+        .collect();
+    build_dataset(&world, &net, &mesh, &prefixes, 1)
+}
+
+/// Every address of every published prefix — a full query sweep.
+fn all_addresses(store: &DatasetStore) -> Vec<Ipv4> {
+    store
+        .entries()
+        .iter()
+        .flat_map(|e| e.prefix.addresses())
+        .collect()
+}
+
+fn batch_with_threads(store: &DatasetStore, ips: &[Ipv4], threads: &str) -> usize {
+    std::env::set_var("IPGEO_THREADS", threads);
+    let hits = store.lookup_batch(ips).iter().flatten().count();
+    std::env::remove_var("IPGEO_THREADS");
+    hits
+}
+
+/// One persistent-connection client issuing `queries` LOCATEs and
+/// checking every reply is a hit.
+fn client_sweep(addr: &str, ips: &[Ipv4], queries: usize) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut hits = 0;
+    let mut reply = String::new();
+    for q in 0..queries {
+        let line = format!("LOCATE {}\n", ips[q % ips.len()]);
+        writer.write_all(line.as_bytes()).expect("send");
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply");
+        if reply.starts_with("OK") {
+            hits += 1;
+        }
+    }
+    writer.write_all(b"QUIT\n").expect("quit");
+    hits
+}
+
+/// `clients` concurrent connections, `per_client` queries each; returns
+/// total confirmed hits.
+fn concurrent_sweep(addr: &str, ips: &[Ipv4], clients: usize, per_client: usize) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let offset_ips: Vec<Ipv4> = ips.iter().copied().skip(c * 7).collect();
+                scope.spawn(move || client_sweep(addr, &offset_ips, per_client))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    })
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let entries = published_entries(631);
+    let bytes = format::encode(&entries, 631, 1);
+    let store = DatasetStore::from_bytes(&bytes).expect("decode");
+    let ips = all_addresses(&store);
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("store/decode", |b| {
+        b.iter(|| DatasetStore::from_bytes(&bytes).expect("decode"))
+    });
+    g.bench_function("lookup/single_sweep", |b| {
+        b.iter(|| ips.iter().filter_map(|&ip| store.lookup(ip)).count())
+    });
+    g.bench_function("lookup/batch_serial", |b| {
+        b.iter(|| batch_with_threads(&store, &ips, "1"))
+    });
+    g.bench_function("lookup/batch_parallel", |b| {
+        b.iter(|| batch_with_threads(&store, &ips, "0"))
+    });
+
+    let server = QueryServer::spawn(Arc::new(store.clone()), 0).expect("spawn");
+    let addr = server.addr().to_string();
+    g.bench_function("tcp/locate_roundtrips_x100", |b| {
+        b.iter(|| client_sweep(&addr, &ips, 100))
+    });
+    g.bench_function("tcp/concurrent_8x100", |b| {
+        b.iter(|| concurrent_sweep(&addr, &ips, 8, 100))
+    });
+    g.finish();
+    server.shutdown();
+}
+
+criterion_group!(serve, bench_serve);
+
+/// Median of `reps` wall-clock timings of `f`, in seconds.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            criterion::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One fixed-shape measurement pass, written to `BENCH_serve.json`.
+fn write_snapshot() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("snapshot: publishing the bench dataset");
+    let entries = published_entries(631);
+    let bytes = format::encode(&entries, 631, 1);
+    let store = DatasetStore::from_bytes(&bytes).expect("decode");
+    let ips = all_addresses(&store);
+
+    let load_s = time_median(9, || DatasetStore::from_bytes(&bytes).expect("decode"));
+    let single_s = time_median(9, || ips.iter().filter_map(|&ip| store.lookup(ip)).count());
+    println!("snapshot: timing batch lookups (serial vs parallel)");
+    let batch_serial_s = time_median(9, || batch_with_threads(&store, &ips, "1"));
+    let batch_parallel_s = time_median(9, || batch_with_threads(&store, &ips, "4"));
+
+    println!("snapshot: timing concurrent TCP clients");
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 250;
+    let server = QueryServer::spawn(Arc::new(store.clone()), 0).expect("spawn");
+    let addr = server.addr().to_string();
+    let tcp_s = time_median(5, || {
+        assert_eq!(
+            concurrent_sweep(&addr, &ips, CLIENTS, PER_CLIENT),
+            CLIENTS * PER_CLIENT
+        )
+    });
+    server.shutdown();
+    let qps = (CLIENTS * PER_CLIENT) as f64 / tcp_s;
+
+    let json = format!(
+        r#"{{
+  "bench": "serve",
+  "host": {{ "available_parallelism": {cores} }},
+  "dataset": {{ "entries": {}, "igds_bytes": {}, "query_sweep_ips": {} }},
+  "store_load": {{ "decode_s": {load_s:.6} }},
+  "lookup": {{
+    "single_sweep_s": {single_s:.6},
+    "batch_serial_s": {batch_serial_s:.6},
+    "batch_parallel_4_threads_s": {batch_parallel_s:.6},
+    "speedup": {:.2}
+  }},
+  "tcp": {{
+    "clients": {CLIENTS},
+    "queries_per_client": {PER_CLIENT},
+    "sweep_s": {tcp_s:.4},
+    "qps": {qps:.0}
+  }},
+  "note": "timings from the committed container; batch speedup scales with available_parallelism (1 core => parity by design, results are bit-identical at any IPGEO_THREADS)"
+}}
+"#,
+        store.len(),
+        bytes.len(),
+        ips.len(),
+        batch_serial_s / batch_parallel_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("snapshot written to {path}:\n{json}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        write_snapshot();
+        return;
+    }
+    serve();
+}

@@ -1,5 +1,5 @@
-//! Minimal argument parsing for the `ipgeo` CLI (no external parser: four
-//! subcommands and a handful of flags).
+//! Minimal argument parsing for the `ipgeo` CLI (no external parser: a
+//! handful of subcommands and flags).
 
 use std::fmt;
 
@@ -12,6 +12,19 @@ pub struct Cli {
     pub seed: u64,
     /// Use the paper-scale world (`--paper`) instead of the small one.
     pub paper: bool,
+    /// Measurement nonce for dataset campaigns (`--nonce N`, default 1).
+    pub nonce: u64,
+    /// Coverage-mesh size for dataset campaigns (`--mesh N`, default 300).
+    pub mesh: usize,
+}
+
+/// Where `query` resolves lookups: a local snapshot or a running server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySource {
+    /// A `.igds` snapshot on disk.
+    File(String),
+    /// A `host:port` of a running `ipgeo serve`.
+    Server(String),
 }
 
 /// The CLI subcommands.
@@ -30,6 +43,34 @@ pub enum Command {
     },
     /// Emit the explainable geolocation dataset as CSV.
     Dataset,
+    /// Build the dataset and write it as a `.igds` snapshot.
+    Publish {
+        /// Output path (`--out`).
+        out: String,
+    },
+    /// Look an address up in a snapshot or against a running server.
+    Query {
+        /// Snapshot file or server address.
+        source: QuerySource,
+        /// Address to look up.
+        ip: String,
+        /// Fall back to the nearest covering prefix (`--nearest`).
+        nearest: bool,
+    },
+    /// Serve a snapshot over TCP: `serve <file.igds> [--port N]`.
+    Serve {
+        /// Snapshot to serve.
+        path: String,
+        /// TCP port on 127.0.0.1 (0 = OS-assigned).
+        port: u16,
+    },
+    /// Compare two snapshots: `diff <old.igds> <new.igds>`.
+    Diff {
+        /// The older snapshot.
+        old: String,
+        /// The newer snapshot.
+        new: String,
+    },
     /// Run the §4.3 sanitization and report removals.
     Sanitize,
     /// Print usage.
@@ -85,6 +126,13 @@ COMMANDS:
     targets                 list sample anchor addresses for `locate`
     locate <ip>             geolocate an address of the generated world
     dataset                 print the explainable geolocation dataset (CSV)
+    publish --out <file>    build the dataset and write a .igds snapshot
+    query <file> <ip>       look an address up in a .igds snapshot
+    query --server <addr> <ip>
+                            ask a running `ipgeo serve` instead
+    serve <file>            serve a .igds snapshot over TCP (LOCATE/
+                            NEAREST/STATS/QUIT line protocol)
+    diff <old> <new>        compare two .igds snapshots (churn report)
     sanitize                run the speed-of-Internet sanitizer
     help                    show this text
 
@@ -93,6 +141,17 @@ OPTIONS:
     --paper                 paper-scale world (723 anchors, 10k probes)
     --method <M>            locate only: cbg|shortest-ping|two-step|street
                             (default cbg)
+    --nonce <N>             dataset/publish: measurement nonce mixed into
+                            every ping of the campaign (default 1)
+    --mesh <N>              dataset/publish: coverage-mesh size, the number
+                            of vantage points kept by the greedy earth
+                            cover (default 300)
+    --out <FILE>            publish: output .igds path (required)
+    --port <N>              serve: TCP port on 127.0.0.1, 0 = OS-assigned
+                            (default 4750)
+    --server <ADDR>         query: host:port of a running server
+    --nearest               query: fall back to the nearest covering
+                            prefix on a miss
 ";
 
 /// Parses argv (without the program name).
@@ -100,16 +159,26 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut seed = 2023u64;
     let mut paper = false;
     let mut method = Method::Cbg;
+    let mut nonce = 1u64;
+    let mut mesh = 300usize;
+    let mut out: Option<String> = None;
+    let mut port = 4750u16;
+    let mut server: Option<String> = None;
+    let mut nearest = false;
     let mut positional: Vec<&str> = Vec::new();
+
+    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, ParseError> {
+        args.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+    }
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
-                let v = args
-                    .get(i)
-                    .ok_or_else(|| ParseError("--seed needs a value".into()))?;
+                let v = value(args, i, "--seed")?;
                 seed = v
                     .parse()
                     .map_err(|_| ParseError(format!("bad seed `{v}`")))?;
@@ -117,11 +186,38 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             "--paper" => paper = true,
             "--method" => {
                 i += 1;
-                let v = args
-                    .get(i)
-                    .ok_or_else(|| ParseError("--method needs a value".into()))?;
-                method = Method::parse(v)?;
+                method = Method::parse(value(args, i, "--method")?)?;
             }
+            "--nonce" => {
+                i += 1;
+                let v = value(args, i, "--nonce")?;
+                nonce = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad nonce `{v}`")))?;
+            }
+            "--mesh" => {
+                i += 1;
+                let v = value(args, i, "--mesh")?;
+                mesh = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad mesh size `{v}`")))?;
+            }
+            "--out" => {
+                i += 1;
+                out = Some(value(args, i, "--out")?.to_string());
+            }
+            "--port" => {
+                i += 1;
+                let v = value(args, i, "--port")?;
+                port = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad port `{v}`")))?;
+            }
+            "--server" => {
+                i += 1;
+                server = Some(value(args, i, "--server")?.to_string());
+            }
+            "--nearest" => nearest = true,
             flag if flag.starts_with("--") => {
                 return Err(ParseError(format!("unknown flag `{flag}`")));
             }
@@ -141,6 +237,47 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         Some("targets") => Command::Targets,
         Some("dataset") => Command::Dataset,
         Some("sanitize") => Command::Sanitize,
+        Some("publish") => Command::Publish {
+            out: out.ok_or_else(|| ParseError("publish needs --out <file>".into()))?,
+        },
+        Some("query") => {
+            let (source, ip) = match (&server, positional.get(1), positional.get(2)) {
+                (Some(addr), Some(ip), None) => (QuerySource::Server(addr.clone()), *ip),
+                (Some(_), _, _) => {
+                    return Err(ParseError(
+                        "query --server <addr> takes exactly one <ip>".into(),
+                    ))
+                }
+                (None, Some(file), Some(ip)) => (QuerySource::File(file.to_string()), *ip),
+                (None, _, _) => {
+                    return Err(ParseError(
+                        "query needs <file.igds> <ip> (or --server <addr> <ip>)".into(),
+                    ))
+                }
+            };
+            Command::Query {
+                source,
+                ip: ip.to_string(),
+                nearest,
+            }
+        }
+        Some("serve") => Command::Serve {
+            path: positional
+                .get(1)
+                .ok_or_else(|| ParseError("serve needs a <file.igds> argument".into()))?
+                .to_string(),
+            port,
+        },
+        Some("diff") => Command::Diff {
+            old: positional
+                .get(1)
+                .ok_or_else(|| ParseError("diff needs <old.igds> <new.igds>".into()))?
+                .to_string(),
+            new: positional
+                .get(2)
+                .ok_or_else(|| ParseError("diff needs <old.igds> <new.igds>".into()))?
+                .to_string(),
+        },
         Some("locate") => {
             let ip = positional
                 .get(1)
@@ -157,6 +294,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         command,
         seed,
         paper,
+        nonce,
+        mesh,
     })
 }
 
@@ -193,6 +332,81 @@ mod tests {
         let cli = parse(&argv("dataset")).unwrap();
         assert_eq!(cli.seed, 2023);
         assert!(!cli.paper);
+        assert_eq!(cli.nonce, 1);
+        assert_eq!(cli.mesh, 300);
+    }
+
+    #[test]
+    fn dataset_campaign_knobs_are_flags() {
+        let cli = parse(&argv("dataset --nonce 9 --mesh 150")).unwrap();
+        assert_eq!(cli.command, Command::Dataset);
+        assert_eq!(cli.nonce, 9);
+        assert_eq!(cli.mesh, 150);
+    }
+
+    #[test]
+    fn parses_publish() {
+        let cli = parse(&argv("publish --out ds.igds --seed 42")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Publish {
+                out: "ds.igds".into()
+            }
+        );
+        assert_eq!(cli.seed, 42);
+        assert!(parse(&argv("publish")).is_err(), "--out is required");
+    }
+
+    #[test]
+    fn parses_query_file_and_server() {
+        let cli = parse(&argv("query ds.igds 1.0.94.1 --nearest")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                source: QuerySource::File("ds.igds".into()),
+                ip: "1.0.94.1".into(),
+                nearest: true,
+            }
+        );
+        let cli = parse(&argv("query --server 127.0.0.1:4750 1.0.94.1")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                source: QuerySource::Server("127.0.0.1:4750".into()),
+                ip: "1.0.94.1".into(),
+                nearest: false,
+            }
+        );
+        assert!(parse(&argv("query ds.igds")).is_err());
+        assert!(parse(&argv("query --server 127.0.0.1:4750 a.igds 1.2.3.4")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_diff() {
+        let cli = parse(&argv("serve ds.igds --port 9999")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                path: "ds.igds".into(),
+                port: 9999,
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve ds.igds")).unwrap().command,
+            Command::Serve {
+                path: "ds.igds".into(),
+                port: 4750,
+            }
+        );
+        assert_eq!(
+            parse(&argv("diff a.igds b.igds")).unwrap().command,
+            Command::Diff {
+                old: "a.igds".into(),
+                new: "b.igds".into(),
+            }
+        );
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("diff a.igds")).is_err());
     }
 
     #[test]
@@ -203,6 +417,9 @@ mod tests {
         assert!(parse(&argv("locate 1.2.3.4 --method teleport")).is_err());
         assert!(parse(&argv("census --seed")).is_err());
         assert!(parse(&argv("census --seed abc")).is_err());
+        assert!(parse(&argv("dataset --nonce abc")).is_err());
+        assert!(parse(&argv("dataset --mesh -3")).is_err());
+        assert!(parse(&argv("serve ds.igds --port 70000")).is_err());
     }
 
     #[test]

@@ -5,15 +5,18 @@
 
 mod args;
 
-use args::{parse, Cli, Command, Method, USAGE};
+use args::{parse, Cli, Command, Method, QuerySource, USAGE};
 use geo_model::ip::{Ipv4, Prefix24};
 use geo_model::rng::Seed;
 use geo_model::soi::SpeedOfInternet;
+use geo_serve::{DatasetStore, DiffReport, Manifest, QueryServer};
 use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
+use ipgeo::publish::DatasetEntry;
 use ipgeo::street::{geolocate as street_geolocate, StreetConfig};
 use ipgeo::two_step::{geolocate as two_step_geolocate, greedy_coverage};
 use net_sim::Network;
 use std::process::ExitCode;
+use std::sync::Arc;
 use web_sim::ecosystem::{WebConfig, WebEcosystem};
 use world_sim::census::Census;
 use world_sim::ids::HostId;
@@ -55,6 +58,26 @@ fn clean_probes(world: &World) -> Vec<HostId> {
         .copied()
         .filter(|&p| !world.host(p).is_mis_geolocated())
         .collect()
+}
+
+/// The shared producer behind `dataset` and `publish`: build the
+/// explainable dataset over the anchors' prefixes with the CLI's
+/// campaign knobs (`--nonce`, `--mesh`).
+fn publish_dataset(cli: &Cli, world: &World) -> Result<Vec<DatasetEntry>, String> {
+    let net = Network::new(Seed(cli.seed));
+    let vps = clean_probes(world);
+    if vps.is_empty() {
+        return Err("no usable vantage points in this world".into());
+    }
+    let mesh = greedy_coverage(world, &vps, cli.mesh.min(vps.len()));
+    let prefixes: Vec<Prefix24> = world
+        .anchors
+        .iter()
+        .map(|&a| world.host(a).ip.prefix24())
+        .collect();
+    Ok(ipgeo::publish::build_dataset(
+        world, &net, &mesh, &prefixes, cli.nonce,
+    ))
 }
 
 fn run(cli: Cli) -> Result<(), String> {
@@ -129,16 +152,89 @@ fn run(cli: Cli) -> Result<(), String> {
             Ok(())
         }
         Command::Dataset => {
-            let (world, net) = build_world(&cli)?;
-            let vps = clean_probes(&world);
-            let mesh = greedy_coverage(&world, &vps, 300.min(vps.len()));
-            let prefixes: Vec<Prefix24> = world
-                .anchors
-                .iter()
-                .map(|&a| world.host(a).ip.prefix24())
-                .collect();
-            let ds = ipgeo::publish::build_dataset(&world, &net, &mesh, &prefixes, 1);
+            let (world, _) = build_world(&cli)?;
+            let ds = publish_dataset(&cli, &world)?;
             print!("{}", ipgeo::publish::to_csv(&ds));
+            Ok(())
+        }
+        Command::Publish { out } => {
+            let (world, _) = build_world(&cli)?;
+            let ds = publish_dataset(&cli, &world)?;
+            let header = geo_serve::format::save(&out, &ds, cli.seed, cli.nonce)
+                .map_err(|e| e.to_string())?;
+            let store = DatasetStore::open(&out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {} entries, checksum {:016x}",
+                header.entries, header.checksum
+            );
+            print!("{}", Manifest::with_accuracy(&store, &world));
+            Ok(())
+        }
+        Command::Query {
+            source,
+            ip,
+            nearest,
+        } => {
+            match source {
+                QuerySource::Server(addr) => {
+                    let verb = if nearest { "NEAREST" } else { "LOCATE" };
+                    let reply = geo_serve::query_one(&addr, &format!("{verb} {ip}"))
+                        .map_err(|e| format!("{addr}: {e}"))?;
+                    println!("{reply}");
+                    if !reply.starts_with("OK") {
+                        return Err(format!("server answered: {reply}"));
+                    }
+                }
+                QuerySource::File(path) => {
+                    let store = DatasetStore::open(&path).map_err(|e| e.to_string())?;
+                    let target: Ipv4 = ip.parse().map_err(|e| format!("{e}"))?;
+                    println!("prefix,lat,lon,method,evidence");
+                    match (store.lookup(target), nearest) {
+                        (Some(entry), _) => println!("{entry}"),
+                        (None, true) => {
+                            let (entry, dist) = store
+                                .lookup_nearest(target)
+                                .ok_or_else(|| format!("{path} is empty"))?;
+                            println!("{entry}");
+                            eprintln!("note: nearest covering prefix, {dist} x /24 away");
+                        }
+                        (None, false) => {
+                            return Err(format!(
+                                "{target} has no covering /24 in {path} \
+                                 (try --nearest for the closest prefix)"
+                            ))
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Serve { path, port } => {
+            let store = Arc::new(DatasetStore::open(&path).map_err(|e| e.to_string())?);
+            let server = QueryServer::spawn(store.clone(), port).map_err(|e| e.to_string())?;
+            println!(
+                "serving {} entries from {path} on {} (world seed {}, nonce {})",
+                store.len(),
+                server.addr(),
+                store.header().world_seed,
+                store.header().nonce
+            );
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            server.wait();
+            Ok(())
+        }
+        Command::Diff { old, new } => {
+            let old_store = DatasetStore::open(&old).map_err(|e| format!("{old}: {e}"))?;
+            let new_store = DatasetStore::open(&new).map_err(|e| format!("{new}: {e}"))?;
+            println!(
+                "old: {old} (seed {}, {} entries)  new: {new} (seed {}, {} entries)",
+                old_store.header().world_seed,
+                old_store.len(),
+                new_store.header().world_seed,
+                new_store.len()
+            );
+            print!("{}", DiffReport::between(&old_store, &new_store));
             Ok(())
         }
         Command::Locate { ip, method } => {

@@ -53,10 +53,28 @@ impl Evidence {
             Evidence::Whois => "whois",
         }
     }
+
+    /// The evidence trail behind the method, as a single CSV-safe field:
+    /// `key=value` pairs joined by `;` (never a comma), `-` when the
+    /// method carries no measurement detail (geofeed, WHOIS).
+    pub fn detail(&self) -> String {
+        match self {
+            Evidence::Geofeed | Evidence::Whois => "-".to_string(),
+            Evidence::DnsHint { hostname } => format!("hostname={hostname}"),
+            Evidence::Latency {
+                vps,
+                best_rtt,
+                best_vp,
+            } => format!(
+                "vps={vps};best_rtt_ms={:.3};best_vp={best_vp}",
+                best_rtt.value()
+            ),
+        }
+    }
 }
 
 /// One dataset entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetEntry {
     /// The prefix this entry covers.
     pub prefix: Prefix24,
@@ -70,11 +88,12 @@ impl fmt::Display for DatasetEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{},{:.4},{:.4},{}",
+            "{},{:.4},{:.4},{},{}",
             self.prefix,
             self.location.lat(),
             self.location.lon(),
-            self.evidence.method()
+            self.evidence.method(),
+            self.evidence.detail()
         )
     }
 }
@@ -82,6 +101,11 @@ impl fmt::Display for DatasetEntry {
 /// Builds the public dataset for the given prefixes, preferring the most
 /// reliable evidence: geofeed → DNS hint → latency (CBG over the supplied
 /// vantage points) → WHOIS.
+///
+/// Each prefix is resolved independently — a pure function of
+/// `(world, net, vps, prefix, nonce)` — so the campaign fans out over
+/// [`geo_model::runtime::par_map_indexed`] and the result is bit-identical
+/// at any `IPGEO_THREADS` setting.
 pub fn build_dataset(
     world: &World,
     net: &Network,
@@ -89,82 +113,95 @@ pub fn build_dataset(
     prefixes: &[Prefix24],
     nonce: u64,
 ) -> Vec<DatasetEntry> {
-    prefixes
-        .iter()
-        .filter_map(|&prefix| {
-            let (asn, _city) = world.plan.owner(prefix)?;
+    geo_model::runtime::par_map_indexed(prefixes.len(), |i| {
+        locate_prefix(world, net, vps, prefixes[i], nonce)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
-            // 1. Geofeed.
-            if let Some(city) = world.metadata.geofeed_city(prefix) {
-                return Some(DatasetEntry {
-                    prefix,
-                    location: world.city(city).center,
-                    evidence: Evidence::Geofeed,
-                });
-            }
+/// Resolves one prefix through the evidence ladder. `None` only for
+/// prefixes with no registered owner (never allocated in this world).
+fn locate_prefix(
+    world: &World,
+    net: &Network,
+    vps: &[HostId],
+    prefix: Prefix24,
+    nonce: u64,
+) -> Option<DatasetEntry> {
+    let (asn, _city) = world.plan.owner(prefix)?;
 
-            // 2. DNS hint on any host of the prefix.
-            let hint = prefix.addresses().find_map(|ip| {
-                let host = world.host_by_ip(ip)?;
-                let city = world.metadata.dns_hint(host.id)?;
-                let name = world.metadata.dns.get(&host.id)?.name.clone();
-                Some((city, name))
-            });
-            if let Some((city, hostname)) = hint {
-                return Some(DatasetEntry {
-                    prefix,
-                    location: world.city(city).center,
-                    evidence: Evidence::DnsHint { hostname },
-                });
-            }
+    // 1. Geofeed.
+    if let Some(city) = world.metadata.geofeed_city(prefix) {
+        return Some(DatasetEntry {
+            prefix,
+            location: world.city(city).center,
+            evidence: Evidence::Geofeed,
+        });
+    }
 
-            // 3. Latency: CBG toward a responsive address of the prefix.
-            if let Some(ip) = prefix
-                .addresses()
-                .find(|&ip| world.host_by_ip(ip).is_some())
-            {
-                let ms: Vec<VpMeasurement> = vps
-                    .iter()
-                    .filter_map(|&vp| {
-                        net.ping_min(world, vp, ip, 3, nonce ^ prefix.0 as u64)
-                            .rtt()
-                            .map(|rtt| VpMeasurement {
-                                vp,
-                                location: world.host(vp).registered_location,
-                                rtt,
-                            })
+    // 2. DNS hint on any host of the prefix.
+    let hint = prefix.addresses().find_map(|ip| {
+        let host = world.host_by_ip(ip)?;
+        let city = world.metadata.dns_hint(host.id)?;
+        let name = world.metadata.dns.get(&host.id)?.name.clone();
+        Some((city, name))
+    });
+    if let Some((city, hostname)) = hint {
+        return Some(DatasetEntry {
+            prefix,
+            location: world.city(city).center,
+            evidence: Evidence::DnsHint { hostname },
+        });
+    }
+
+    // 3. Latency: CBG toward a responsive address of the prefix.
+    if let Some(ip) = prefix
+        .addresses()
+        .find(|&ip| world.host_by_ip(ip).is_some())
+    {
+        let ms: Vec<VpMeasurement> = vps
+            .iter()
+            .filter_map(|&vp| {
+                net.ping_min(world, vp, ip, 3, nonce ^ prefix.0 as u64)
+                    .rtt()
+                    .map(|rtt| VpMeasurement {
+                        vp,
+                        location: world.host(vp).registered_location,
+                        rtt,
                     })
-                    .collect();
-                if let Some(result) = cbg(&ms, SpeedOfInternet::CBG) {
-                    let best = ms
-                        .iter()
-                        .min_by(|a, b| a.rtt.total_cmp(&b.rtt))
-                        .expect("cbg implies measurements");
-                    return Some(DatasetEntry {
-                        prefix,
-                        location: result.estimate,
-                        evidence: Evidence::Latency {
-                            vps: ms.len(),
-                            best_rtt: best.rtt,
-                            best_vp: best.vp,
-                        },
-                    });
-                }
-            }
-
-            // 4. WHOIS fallback.
-            Some(DatasetEntry {
-                prefix,
-                location: world.city(world.asn(asn).whois_city).center,
-                evidence: Evidence::Whois,
             })
-        })
-        .collect()
+            .collect();
+        if let Some(result) = cbg(&ms, SpeedOfInternet::CBG) {
+            let best = ms
+                .iter()
+                .min_by(|a, b| a.rtt.total_cmp(&b.rtt))
+                .expect("cbg implies measurements");
+            return Some(DatasetEntry {
+                prefix,
+                location: result.estimate,
+                evidence: Evidence::Latency {
+                    vps: ms.len(),
+                    best_rtt: best.rtt,
+                    best_vp: best.vp,
+                },
+            });
+        }
+    }
+
+    // 4. WHOIS fallback.
+    Some(DatasetEntry {
+        prefix,
+        location: world.city(world.asn(asn).whois_city).center,
+        evidence: Evidence::Whois,
+    })
 }
 
 /// Renders the dataset as CSV with a header — the publishable artifact.
+/// The `evidence` column carries the full audit trail ([`Evidence::detail`]).
 pub fn to_csv(entries: &[DatasetEntry]) -> String {
-    let mut out = String::from("prefix,lat,lon,method\n");
+    let mut out = String::from("prefix,lat,lon,method,evidence\n");
     for e in entries {
         out.push_str(&e.to_string());
         out.push('\n');
@@ -231,10 +268,32 @@ mod tests {
         let ds = build_dataset(&w, &net, &vps, &prefixes[..5], 1);
         let csv = to_csv(&ds);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "prefix,lat,lon,method");
+        assert_eq!(lines[0], "prefix,lat,lon,method,evidence");
         assert_eq!(lines.len(), 6);
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 4, "bad row: {line}");
+            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_carries_the_evidence_trail() {
+        let (w, net, vps, prefixes) = setup();
+        let ds = build_dataset(&w, &net, &vps, &prefixes, 1);
+        for e in &ds {
+            let detail = e.evidence.detail();
+            assert!(!detail.contains(','), "evidence breaks CSV: {detail}");
+            match &e.evidence {
+                Evidence::DnsHint { hostname } => {
+                    assert_eq!(detail, format!("hostname={hostname}"));
+                }
+                Evidence::Latency { vps, best_vp, .. } => {
+                    assert!(detail.starts_with(&format!("vps={vps};best_rtt_ms=")));
+                    assert!(detail.ends_with(&format!("best_vp={best_vp}")));
+                }
+                Evidence::Geofeed | Evidence::Whois => assert_eq!(detail, "-"),
+            }
+            let row = e.to_string();
+            assert!(row.ends_with(&detail), "row drops evidence: {row}");
         }
     }
 

@@ -7,7 +7,12 @@ use eval::dataset::{Dataset, EvalScale, RttMatrix};
 use geo_model::rng::Seed;
 use net_sim::Network;
 use proptest::prelude::*;
+use std::sync::Mutex;
 use world_sim::{World, WorldConfig};
+
+/// `IPGEO_THREADS` is process-global; tests that flip it must not
+/// interleave.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Every cell of a matrix as raw bits, row-major. Bit comparison (rather
 /// than `==`) keeps NaN timeout cells comparable.
@@ -28,6 +33,7 @@ fn dataset_bits(scale: EvalScale) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
 /// lazy representative campaign).
 #[test]
 fn dataset_is_bit_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
     let scale = || EvalScale::tiny(Seed(977));
     std::env::set_var("IPGEO_THREADS", "1");
     assert_eq!(geo_model::runtime::threads(), 1);
@@ -39,6 +45,58 @@ fn dataset_is_bit_identical_across_thread_counts() {
     assert_eq!(serial.0, parallel.0, "probe matrix differs");
     assert_eq!(serial.1, parallel.1, "anchor mesh differs");
     assert_eq!(serial.2, parallel.2, "representative matrix differs");
+}
+
+/// The published dataset is a campaign too: `publish::build_dataset` fans
+/// out over the same engine, so its entries — locations bit-for-bit, full
+/// evidence trail, and the serialized CSV — must not depend on the worker
+/// count.
+#[test]
+fn published_dataset_is_bit_identical_across_thread_counts() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let build = || {
+        let world = World::generate(WorldConfig::small(Seed(351))).unwrap();
+        let net = Network::new(Seed(351));
+        let vps: Vec<_> = world
+            .probes
+            .iter()
+            .copied()
+            .filter(|&p| !world.host(p).is_mis_geolocated())
+            .collect();
+        let prefixes: Vec<_> = world
+            .anchors
+            .iter()
+            .map(|&a| world.host(a).ip.prefix24())
+            .collect();
+        ipgeo::publish::build_dataset(&world, &net, &vps, &prefixes, 1)
+    };
+    std::env::set_var("IPGEO_THREADS", "1");
+    let serial = build();
+    std::env::set_var("IPGEO_THREADS", "4");
+    let parallel = build();
+    std::env::remove_var("IPGEO_THREADS");
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.prefix, p.prefix);
+        assert_eq!(
+            s.location.lat().to_bits(),
+            p.location.lat().to_bits(),
+            "latitude differs for {}",
+            s.prefix
+        );
+        assert_eq!(
+            s.location.lon().to_bits(),
+            p.location.lon().to_bits(),
+            "longitude differs for {}",
+            s.prefix
+        );
+        assert_eq!(s.evidence, p.evidence, "evidence differs for {}", s.prefix);
+    }
+    assert_eq!(
+        ipgeo::publish::to_csv(&serial),
+        ipgeo::publish::to_csv(&parallel)
+    );
 }
 
 proptest! {

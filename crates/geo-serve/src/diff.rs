@@ -1,0 +1,206 @@
+//! Longitudinal snapshot comparison — the Gouel et al. analysis applied
+//! to our own artifact: which prefixes appeared, vanished, moved, or
+//! changed the technique backing their location between two `.igds`
+//! snapshots.
+
+use crate::store::DatasetStore;
+use geo_model::ip::Prefix24;
+use geo_model::point::GeoPoint;
+use std::fmt;
+
+/// Locations closer than this are "the same place" (~100 m, far below
+/// any geolocation technique's resolution).
+pub const MOVE_THRESHOLD_KM: f64 = 0.1;
+
+/// A prefix present in both snapshots whose location changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovedPrefix {
+    /// The prefix.
+    pub prefix: Prefix24,
+    /// Location in the older snapshot.
+    pub from: GeoPoint,
+    /// Location in the newer snapshot.
+    pub to: GeoPoint,
+    /// Great-circle displacement in kilometers.
+    pub km: f64,
+}
+
+/// A prefix whose backing technique changed (method churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retagged {
+    /// The prefix.
+    pub prefix: Prefix24,
+    /// Method in the older snapshot.
+    pub from: &'static str,
+    /// Method in the newer snapshot.
+    pub to: &'static str,
+}
+
+/// The full diff between two snapshots (`old` → `new`).
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Prefixes only in the newer snapshot.
+    pub added: Vec<Prefix24>,
+    /// Prefixes only in the older snapshot.
+    pub removed: Vec<Prefix24>,
+    /// Prefixes whose location moved ≥ [`MOVE_THRESHOLD_KM`].
+    pub moved: Vec<MovedPrefix>,
+    /// Prefixes whose method changed (may overlap with `moved`).
+    pub retagged: Vec<Retagged>,
+    /// Prefixes identical in place and method.
+    pub unchanged: usize,
+}
+
+impl DiffReport {
+    /// Compares two stores; both are prefix-sorted, so this is a single
+    /// linear merge.
+    pub fn between(old: &DatasetStore, new: &DatasetStore) -> DiffReport {
+        let (a, b) = (old.entries(), new.entries());
+        let mut report = DiffReport::default();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].prefix.cmp(&b[j].prefix) {
+                std::cmp::Ordering::Less => {
+                    report.removed.push(a[i].prefix);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    report.added.push(b[j].prefix);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let (o, n) = (&a[i], &b[j]);
+                    let km = o.location.distance(&n.location).value();
+                    let moved = km >= MOVE_THRESHOLD_KM;
+                    let retagged = o.evidence.method() != n.evidence.method();
+                    if moved {
+                        report.moved.push(MovedPrefix {
+                            prefix: o.prefix,
+                            from: o.location,
+                            to: n.location,
+                            km,
+                        });
+                    }
+                    if retagged {
+                        report.retagged.push(Retagged {
+                            prefix: o.prefix,
+                            from: o.evidence.method(),
+                            to: n.evidence.method(),
+                        });
+                    }
+                    if !moved && !retagged {
+                        report.unchanged += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        report.removed.extend(a[i..].iter().map(|e| e.prefix));
+        report.added.extend(b[j..].iter().map(|e| e.prefix));
+        report
+    }
+
+    /// Total churn: every prefix that is not identical across the pair.
+    pub fn churn(&self) -> usize {
+        let moved_only = self
+            .moved
+            .iter()
+            .filter(|m| !self.retagged.iter().any(|r| r.prefix == m.prefix))
+            .count();
+        self.added.len() + self.removed.len() + moved_only + self.retagged.len()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "snapshot diff: +{} added, -{} removed, {} moved, {} retagged, {} unchanged ({} churned)",
+            self.added.len(),
+            self.removed.len(),
+            self.moved.len(),
+            self.retagged.len(),
+            self.unchanged,
+            self.churn()
+        )?;
+        for p in self.added.iter().take(5) {
+            writeln!(f, "  + {p}")?;
+        }
+        for p in self.removed.iter().take(5) {
+            writeln!(f, "  - {p}")?;
+        }
+        for m in self.moved.iter().take(5) {
+            writeln!(f, "  ~ {} moved {:.1} km", m.prefix, m.km)?;
+        }
+        for r in self.retagged.iter().take(5) {
+            writeln!(f, "  * {} {} -> {}", r.prefix, r.from, r.to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipgeo::publish::{DatasetEntry, Evidence};
+
+    fn entry(prefix: u32, lat: f64, evidence: Evidence) -> DatasetEntry {
+        DatasetEntry {
+            prefix: Prefix24(prefix),
+            location: GeoPoint::new(lat, 10.0),
+            evidence,
+        }
+    }
+
+    #[test]
+    fn classifies_every_kind_of_change() {
+        let old = DatasetStore::from_entries(
+            &[
+                entry(1, 0.0, Evidence::Whois),
+                entry(2, 10.0, Evidence::Geofeed),
+                entry(3, 20.0, Evidence::Whois),
+                entry(4, 30.0, Evidence::Whois),
+            ],
+            1,
+            1,
+        );
+        let new = DatasetStore::from_entries(
+            &[
+                entry(2, 10.0, Evidence::Geofeed), // unchanged
+                entry(3, 21.0, Evidence::Whois),   // moved ~111 km
+                entry(4, 30.0, Evidence::Geofeed), // retagged
+                entry(5, 40.0, Evidence::Whois),   // added
+            ],
+            1,
+            1,
+        );
+        let d = DiffReport::between(&old, &new);
+        assert_eq!(d.added, vec![Prefix24(5)]);
+        assert_eq!(d.removed, vec![Prefix24(1)]);
+        assert_eq!(d.moved.len(), 1);
+        assert_eq!(d.moved[0].prefix, Prefix24(3));
+        assert!((d.moved[0].km - 111.19).abs() < 1.0, "{}", d.moved[0].km);
+        assert_eq!(
+            d.retagged,
+            vec![Retagged {
+                prefix: Prefix24(4),
+                from: "whois",
+                to: "geofeed"
+            }]
+        );
+        assert_eq!(d.unchanged, 1);
+        assert_eq!(d.churn(), 4);
+        let text = d.to_string();
+        assert!(text.contains("+1 added"), "{text}");
+        assert!(text.contains("moved"), "{text}");
+    }
+
+    #[test]
+    fn identical_snapshots_have_zero_churn() {
+        let s = DatasetStore::from_entries(&[entry(9, 5.0, Evidence::Whois)], 1, 1);
+        let d = DiffReport::between(&s, &s.clone());
+        assert_eq!(d.churn(), 0);
+        assert_eq!(d.unchanged, 1);
+    }
+}

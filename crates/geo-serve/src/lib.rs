@@ -1,0 +1,35 @@
+//! # geo-serve
+//!
+//! The consumption layer the paper's deliverable implies: once
+//! [`ipgeo::publish`] has assembled the accurate/complete/explainable
+//! dataset, this crate makes it *publishable and servable* —
+//!
+//! - [`format`] — the `.igds` versioned binary snapshot: checksummed,
+//!   column-oriented, byte-deterministic for a given world seed;
+//! - [`store`] — [`DatasetStore`], an indexed read-only view answering
+//!   exact-`/24` and nearest-covering-prefix lookups by binary search,
+//!   with batch lookups fanned out over the workspace's deterministic
+//!   thread pool;
+//! - [`server`] — [`QueryServer`], a thread-per-connection TCP server
+//!   speaking a one-line text protocol (`LOCATE`/`NEAREST`/`STATS`/
+//!   `QUIT`) with atomic hit/miss counters and graceful shutdown;
+//! - [`diff`] — [`DiffReport`], the longitudinal added/removed/moved/
+//!   retagged comparison between two snapshots;
+//! - [`manifest`] — [`Manifest`], the coverage and (given ground truth)
+//!   accuracy summary of one snapshot.
+//!
+//! Everything is `std`-only: the workspace builds offline, so the wire
+//! protocol and the on-disk format are hand-rolled rather than pulled
+//! from serde/tokio.
+
+pub mod diff;
+pub mod format;
+pub mod manifest;
+pub mod server;
+pub mod store;
+
+pub use diff::DiffReport;
+pub use format::{FormatError, Header};
+pub use manifest::Manifest;
+pub use server::{query_one, QueryServer, StatsSnapshot};
+pub use store::DatasetStore;

@@ -1,0 +1,142 @@
+//! Coverage/accuracy manifest of a snapshot — the paper's three criteria
+//! (accurate, complete, explainable) summarized for one `.igds` file.
+
+use crate::store::DatasetStore;
+use geo_model::stats;
+use std::fmt;
+use world_sim::World;
+
+/// Accuracy of the snapshot against the generating world's ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracySummary {
+    /// Entries with a ground-truth anchor in the world.
+    pub scored: usize,
+    /// Median error in kilometers.
+    pub median_km: f64,
+    /// Fraction within 40 km ("city level" in the paper's evaluation).
+    pub city_level: f64,
+}
+
+/// What a snapshot covers and how it was derived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// World seed recorded in the header.
+    pub world_seed: u64,
+    /// Campaign nonce recorded in the header.
+    pub nonce: u64,
+    /// Number of prefixes.
+    pub entries: usize,
+    /// `(method, count)` per evidence class, most common first.
+    pub methods: Vec<(&'static str, usize)>,
+    /// Accuracy against ground truth, when a world was supplied.
+    pub accuracy: Option<AccuracySummary>,
+}
+
+impl Manifest {
+    /// Summarizes coverage and the evidence mix of a store.
+    pub fn of(store: &DatasetStore) -> Manifest {
+        let mut methods: Vec<(&'static str, usize)> = Vec::new();
+        for e in store.entries() {
+            let m = e.evidence.method();
+            match methods.iter_mut().find(|(name, _)| *name == m) {
+                Some((_, n)) => *n += 1,
+                None => methods.push((m, 1)),
+            }
+        }
+        methods.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        Manifest {
+            world_seed: store.header().world_seed,
+            nonce: store.header().nonce,
+            entries: store.len(),
+            methods,
+            accuracy: None,
+        }
+    }
+
+    /// Adds ground-truth accuracy: each entry is scored against the
+    /// anchor of its prefix in `world` (entries without one are skipped).
+    pub fn with_accuracy(store: &DatasetStore, world: &World) -> Manifest {
+        let mut manifest = Manifest::of(store);
+        let errors: Vec<f64> = store
+            .entries()
+            .iter()
+            .filter_map(|e| {
+                let anchor = world
+                    .anchors
+                    .iter()
+                    .map(|&a| world.host(a))
+                    .find(|h| h.ip.prefix24() == e.prefix)?;
+                Some(e.location.distance(&anchor.location).value())
+            })
+            .collect();
+        if !errors.is_empty() {
+            manifest.accuracy = Some(AccuracySummary {
+                scored: errors.len(),
+                median_km: stats::median(&errors).unwrap_or(f64::NAN),
+                city_level: stats::fraction_at_most(&errors, 40.0),
+            });
+        }
+        manifest
+    }
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "manifest: {} prefixes (world seed {}, nonce {})",
+            self.entries, self.world_seed, self.nonce
+        )?;
+        for (method, n) in &self.methods {
+            let pct = 100.0 * *n as f64 / self.entries.max(1) as f64;
+            writeln!(f, "  {method:<12} {n:>6} ({pct:.1}%)")?;
+        }
+        if let Some(a) = &self.accuracy {
+            writeln!(
+                f,
+                "  accuracy: median {:.1} km, {:.0}% city-level over {} scored entries",
+                a.median_km,
+                100.0 * a.city_level,
+                a.scored
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::ip::Prefix24;
+    use geo_model::point::GeoPoint;
+    use ipgeo::publish::{DatasetEntry, Evidence};
+
+    #[test]
+    fn counts_methods_most_common_first() {
+        let entries = vec![
+            DatasetEntry {
+                prefix: Prefix24(1),
+                location: GeoPoint::new(0.0, 0.0),
+                evidence: Evidence::Whois,
+            },
+            DatasetEntry {
+                prefix: Prefix24(2),
+                location: GeoPoint::new(0.0, 0.0),
+                evidence: Evidence::Whois,
+            },
+            DatasetEntry {
+                prefix: Prefix24(3),
+                location: GeoPoint::new(0.0, 0.0),
+                evidence: Evidence::Geofeed,
+            },
+        ];
+        let m = Manifest::of(&DatasetStore::from_entries(&entries, 11, 2));
+        assert_eq!(m.entries, 3);
+        assert_eq!(m.world_seed, 11);
+        assert_eq!(m.methods, vec![("whois", 2), ("geofeed", 1)]);
+        assert!(m.accuracy.is_none());
+        let text = m.to_string();
+        assert!(text.contains("whois"), "{text}");
+        assert!(text.contains("66.7%"), "{text}");
+    }
+}

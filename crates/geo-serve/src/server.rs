@@ -1,0 +1,349 @@
+//! A concurrent TCP query server over a [`DatasetStore`].
+//!
+//! Thread-per-connection on `std::net` (the workspace is offline and
+//! vendored-only, so no async runtime), speaking a newline-delimited text
+//! protocol:
+//!
+//! ```text
+//! LOCATE <ip>    -> OK <prefix,lat,lon,method,evidence>   exact /24 hit
+//!                   MISS <ip>                             no covering entry
+//! NEAREST <ip>   -> OK <row> distance=<n>                 nearest prefix, /24 steps
+//! STATS          -> OK entries=.. hits=.. misses=.. connections=.. uptime_s=.. qps=..
+//! QUIT           -> BYE                                   closes the connection
+//! anything else  -> ERR <reason>
+//! ```
+//!
+//! Hit/miss/connection counters are relaxed atomics (monotonic counters,
+//! no cross-counter invariant to protect). Shutdown is graceful: the stop
+//! flag is raised, a wake-up connection unblocks `accept`, and every
+//! connection thread is joined — reads poll with a short timeout so an
+//! idle client cannot stall teardown.
+
+use crate::store::DatasetStore;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked connection reads re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Live counters of a running server.
+#[derive(Debug)]
+pub struct ServeStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    connections: AtomicU64,
+    started: Instant,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries answered from the store.
+    pub hits: u64,
+    /// Queries with no covering entry.
+    pub misses: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+}
+
+impl StatsSnapshot {
+    /// Total queries answered.
+    pub fn queries(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Mean queries per second over the server's uptime.
+    pub fn qps(&self) -> f64 {
+        if self.uptime_s > 0.0 {
+            self.queries() as f64 / self.uptime_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ServeStats {
+    fn new() -> ServeStats {
+        ServeStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            uptime_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Computes the one-line response to a protocol line. Pure with respect to
+/// the connection (only counters mutate), so it is unit-testable without a
+/// socket. The second return is `true` when the connection should close.
+fn respond(store: &DatasetStore, stats: &ServeStats, line: &str) -> (String, bool) {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("LOCATE") => match words.next().map(str::parse) {
+            Some(Ok(ip)) => match store.lookup(ip) {
+                Some(entry) => {
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    (format!("OK {entry}"), false)
+                }
+                None => {
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    (format!("MISS {ip}"), false)
+                }
+            },
+            Some(Err(e)) => (format!("ERR {e}"), false),
+            None => ("ERR LOCATE needs an <ip>".into(), false),
+        },
+        Some("NEAREST") => match words.next().map(str::parse) {
+            Some(Ok(ip)) => match store.lookup_nearest(ip) {
+                Some((entry, dist)) => {
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    (format!("OK {entry} distance={dist}"), false)
+                }
+                None => {
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    (format!("MISS {ip}"), false)
+                }
+            },
+            Some(Err(e)) => (format!("ERR {e}"), false),
+            None => ("ERR NEAREST needs an <ip>".into(), false),
+        },
+        Some("STATS") => {
+            let s = stats.snapshot();
+            (
+                format!(
+                    "OK entries={} hits={} misses={} connections={} uptime_s={:.3} qps={:.1}",
+                    store.len(),
+                    s.hits,
+                    s.misses,
+                    s.connections,
+                    s.uptime_s,
+                    s.qps()
+                ),
+                false,
+            )
+        }
+        Some("QUIT") => ("BYE".into(), true),
+        Some(other) => (
+            format!("ERR unknown command `{other}` (LOCATE|NEAREST|STATS|QUIT)"),
+            false,
+        ),
+        None => ("ERR empty command".into(), false),
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: &DatasetStore,
+    stats: &ServeStats,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let (mut reply, close) = respond(store, stats, line.trim());
+                line.clear();
+                // One write per reply: split writes would leave the
+                // trailing newline to Nagle + delayed-ACK (~40 ms).
+                reply.push('\n');
+                if writer.write_all(reply.as_bytes()).is_err() || close {
+                    break;
+                }
+            }
+            // A timeout keeps any partial line accumulated in `line`;
+            // it only gives us a chance to notice shutdown.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// A running query server; dropping the handle does **not** stop it —
+/// call [`QueryServer::shutdown`] (or [`QueryServer::wait`] to serve
+/// until the process dies).
+pub struct QueryServer {
+    addr: SocketAddr,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `127.0.0.1:port` (`port` 0 lets the OS choose) and starts
+    /// accepting connections, one handler thread per client.
+    pub fn spawn(store: Arc<DatasetStore>, port: u16) -> io::Result<QueryServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let (stats, stop) = (stats.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let (store, stats, stop) = (store.clone(), stats.clone(), stop.clone());
+                    let worker = std::thread::spawn(move || {
+                        handle_connection(stream, &store, &stats, &stop);
+                    });
+                    workers.lock().unwrap().push(worker);
+                }
+                for worker in workers.into_inner().unwrap() {
+                    let _ = worker.join();
+                }
+            })
+        };
+
+        Ok(QueryServer {
+            addr,
+            stats,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (real port even when spawned with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: raises the stop flag, unblocks `accept` with a
+    /// wake-up connection, and joins the accept thread (which joins every
+    /// connection thread).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Blocks on the accept loop forever — the `ipgeo serve` foreground
+    /// mode, ended only by killing the process.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// One-shot client: sends a single protocol line to a running server and
+/// returns the one-line reply. This is the `ipgeo query --server` path and
+/// the integration tests' client primitive.
+pub fn query_one(addr: &str, command: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{command}\n").as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::ip::Prefix24;
+    use geo_model::point::GeoPoint;
+    use ipgeo::publish::{DatasetEntry, Evidence};
+
+    fn store() -> DatasetStore {
+        let entries = vec![
+            DatasetEntry {
+                prefix: Prefix24(0x0A0A0A),
+                location: GeoPoint::new(48.85, 2.35),
+                evidence: Evidence::DnsHint {
+                    hostname: "par1.example.net".into(),
+                },
+            },
+            DatasetEntry {
+                prefix: Prefix24(0x0A0A10),
+                location: GeoPoint::new(-33.9, 151.2),
+                evidence: Evidence::Whois,
+            },
+        ];
+        DatasetStore::from_entries(&entries, 3, 1)
+    }
+
+    #[test]
+    fn protocol_lines() {
+        let s = store();
+        let stats = ServeStats::new();
+        let (hit, close) = respond(&s, &stats, "LOCATE 10.10.10.200");
+        assert!(!close);
+        assert_eq!(
+            hit,
+            "OK 10.10.10.0/24,48.8500,2.3500,dns-hint,hostname=par1.example.net"
+        );
+        let (miss, _) = respond(&s, &stats, "LOCATE 9.9.9.9");
+        assert_eq!(miss, "MISS 9.9.9.9");
+        let (near, _) = respond(&s, &stats, "NEAREST 10.10.11.1");
+        assert!(near.starts_with("OK 10.10.10.0/24"), "{near}");
+        assert!(near.ends_with("distance=1"), "{near}");
+        let (stats_line, _) = respond(&s, &stats, "STATS");
+        assert!(
+            stats_line.starts_with("OK entries=2 hits=2 misses=1"),
+            "{stats_line}"
+        );
+        assert_eq!(respond(&s, &stats, "QUIT"), ("BYE".into(), true));
+        assert!(respond(&s, &stats, "LOCATE not-an-ip").0.starts_with("ERR"));
+        assert!(respond(&s, &stats, "TELEPORT 1.2.3.4").0.starts_with("ERR"));
+        assert!(respond(&s, &stats, "").0.starts_with("ERR"));
+    }
+
+    #[test]
+    fn serves_over_a_real_socket() {
+        let server = QueryServer::spawn(Arc::new(store()), 0).unwrap();
+        let addr = server.addr().to_string();
+        let reply = query_one(&addr, "LOCATE 10.10.10.1").unwrap();
+        assert!(reply.starts_with("OK 10.10.10.0/24"), "{reply}");
+        let reply = query_one(&addr, "STATS").unwrap();
+        assert!(reply.contains("hits=1"), "{reply}");
+        let stats = server.stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.connections >= 2);
+        server.shutdown();
+        // The port is released after shutdown: a fresh connect must fail
+        // or be refused service; either way, no reply arrives.
+        assert!(query_one(&addr, "LOCATE 10.10.10.1").is_err());
+    }
+}

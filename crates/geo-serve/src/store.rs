@@ -1,0 +1,183 @@
+//! An indexed, read-only view over a loaded `.igds` snapshot.
+//!
+//! The store keeps the entries exactly as the format guarantees them —
+//! sorted by prefix, unique — so every lookup is a binary search over the
+//! prefix column ("Lost in the Prefix": the unit of geolocation truth is
+//! the routed prefix, not the individual address). Batch lookups fan out
+//! over [`geo_model::runtime::par_map_indexed`], inheriting the
+//! workspace-wide `IPGEO_THREADS` knob and its determinism contract.
+
+use crate::format::{self, FormatError, Header};
+use geo_model::ip::{Ipv4, Prefix24};
+use ipgeo::publish::DatasetEntry;
+use std::path::Path;
+
+/// A loaded snapshot with its header, ready to answer queries.
+#[derive(Debug, Clone)]
+pub struct DatasetStore {
+    header: Header,
+    entries: Vec<DatasetEntry>,
+}
+
+impl DatasetStore {
+    /// Parses a snapshot from raw `.igds` bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DatasetStore, FormatError> {
+        let (header, entries) = format::decode(bytes)?;
+        Ok(DatasetStore { header, entries })
+    }
+
+    /// Loads and validates a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<DatasetStore, FormatError> {
+        let (header, entries) = format::load(path)?;
+        Ok(DatasetStore { header, entries })
+    }
+
+    /// Builds a store directly from entries (tests, benches, diffing a
+    /// freshly built dataset without touching disk). Round-trips through
+    /// the encoder so the store is always format-canonical.
+    pub fn from_entries(entries: &[DatasetEntry], world_seed: u64, nonce: u64) -> DatasetStore {
+        DatasetStore::from_bytes(&format::encode(entries, world_seed, nonce))
+            .expect("freshly encoded snapshot decodes")
+    }
+
+    /// The snapshot header (seed, nonce, counts, checksum).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of prefixes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, sorted by prefix.
+    pub fn entries(&self) -> &[DatasetEntry] {
+        &self.entries
+    }
+
+    /// Exact-prefix lookup by binary search.
+    pub fn get(&self, prefix: Prefix24) -> Option<&DatasetEntry> {
+        self.entries
+            .binary_search_by_key(&prefix, |e| e.prefix)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Exact lookup of the `/24` covering `ip`.
+    pub fn lookup(&self, ip: Ipv4) -> Option<&DatasetEntry> {
+        self.get(ip.prefix24())
+    }
+
+    /// Nearest-covering-prefix lookup: the entry whose prefix is closest
+    /// to `ip`'s `/24` in address space, with the distance in /24 steps
+    /// (0 for an exact hit). Ties prefer the lower prefix. `None` only on
+    /// an empty store.
+    pub fn lookup_nearest(&self, ip: Ipv4) -> Option<(&DatasetEntry, u32)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let target = ip.prefix24();
+        let idx = match self.entries.binary_search_by_key(&target, |e| e.prefix) {
+            Ok(i) => return Some((&self.entries[i], 0)),
+            Err(i) => i,
+        };
+        let dist = |i: usize| self.entries[i].prefix.0.abs_diff(target.0);
+        let below = idx.checked_sub(1);
+        let above = (idx < self.entries.len()).then_some(idx);
+        let best = match (below, above) {
+            (Some(b), Some(a)) => {
+                if dist(b) <= dist(a) {
+                    b
+                } else {
+                    a
+                }
+            }
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (None, None) => unreachable!("store is non-empty"),
+        };
+        Some((&self.entries[best], dist(best)))
+    }
+
+    /// Batch exact lookup, fanned out over the measurement engine's
+    /// deterministic thread pool. Output order matches `ips`.
+    pub fn lookup_batch(&self, ips: &[Ipv4]) -> Vec<Option<DatasetEntry>> {
+        geo_model::runtime::par_map_indexed(ips.len(), |i| self.lookup(ips[i]).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::point::GeoPoint;
+    use ipgeo::publish::Evidence;
+
+    fn entry(prefix: u32) -> DatasetEntry {
+        DatasetEntry {
+            prefix: Prefix24(prefix),
+            location: GeoPoint::new(prefix as f64 / 100.0, 0.0),
+            evidence: Evidence::Whois,
+        }
+    }
+
+    fn store() -> DatasetStore {
+        let entries: Vec<DatasetEntry> = [10u32, 20, 30, 300].map(entry).to_vec();
+        DatasetStore::from_entries(&entries, 1, 1)
+    }
+
+    #[test]
+    fn exact_lookup_hits_and_misses() {
+        let s = store();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(Prefix24(20)).unwrap().prefix, Prefix24(20));
+        assert!(s.get(Prefix24(21)).is_none());
+        let ip = Prefix24(30).host(7);
+        assert_eq!(s.lookup(ip).unwrap().prefix, Prefix24(30));
+    }
+
+    #[test]
+    fn nearest_picks_the_closer_neighbor() {
+        let s = store();
+        // 24 is 4 away from 20 and 6 away from 30.
+        let (e, d) = s.lookup_nearest(Prefix24(24).host(1)).unwrap();
+        assert_eq!((e.prefix, d), (Prefix24(20), 4));
+        // Exact hit has distance 0.
+        let (e, d) = s.lookup_nearest(Prefix24(300).host(9)).unwrap();
+        assert_eq!((e.prefix, d), (Prefix24(300), 0));
+        // Below the smallest and above the largest prefix clamp to the ends.
+        assert_eq!(
+            s.lookup_nearest(Prefix24(1).host(0)).unwrap().0.prefix,
+            Prefix24(10)
+        );
+        assert_eq!(
+            s.lookup_nearest(Prefix24(9999).host(0)).unwrap().0.prefix,
+            Prefix24(300)
+        );
+        // Equidistant (25 between 20 and 30) prefers the lower prefix.
+        let (e, d) = s.lookup_nearest(Prefix24(25).host(0)).unwrap();
+        assert_eq!((e.prefix, d), (Prefix24(20), 5));
+    }
+
+    #[test]
+    fn empty_store_answers_nothing() {
+        let s = DatasetStore::from_entries(&[], 1, 1);
+        assert!(s.is_empty());
+        assert!(s.lookup(Ipv4(77)).is_none());
+        assert!(s.lookup_nearest(Ipv4(77)).is_none());
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let s = store();
+        let ips: Vec<Ipv4> = (0u32..600).map(|p| Prefix24(p).host(1)).collect();
+        let batch = s.lookup_batch(&ips);
+        for (ip, got) in ips.iter().zip(&batch) {
+            assert_eq!(got.as_ref(), s.lookup(*ip));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the `.igds` format and the store's lookup index:
+//! arbitrary entry sets survive a save→load round trip bit-identically,
+//! and binary-search lookups agree with a linear scan of the source.
+
+use geo_model::ip::{Ipv4, Prefix24};
+use geo_model::point::GeoPoint;
+use geo_model::units::Ms;
+use geo_serve::format;
+use geo_serve::DatasetStore;
+use ipgeo::publish::{DatasetEntry, Evidence};
+use proptest::prelude::*;
+use world_sim::ids::HostId;
+
+/// Builds one entry from a generated tuple: a 24-bit prefix, a location,
+/// and one of the four evidence classes with tag-derived detail values.
+fn entry((prefix, lat, lon, tag, detail): (u32, f64, f64, u8, u32)) -> DatasetEntry {
+    let evidence = match tag {
+        0 => Evidence::Geofeed,
+        1 => Evidence::DnsHint {
+            hostname: format!("host-{detail}.as{}.example.net", detail % 97),
+        },
+        2 => Evidence::Latency {
+            vps: (detail % 512) as usize,
+            // An arbitrary but finite bit pattern derived from the tuple.
+            best_rtt: Ms((detail % 10_000) as f64 / 16.0),
+            best_vp: HostId(detail),
+        },
+        _ => Evidence::Whois,
+    };
+    DatasetEntry {
+        prefix: Prefix24(prefix),
+        location: GeoPoint::new(lat, lon),
+        evidence,
+    }
+}
+
+/// The canonical form the format promises: sorted by prefix, first record
+/// kept for duplicated prefixes.
+fn canonical(mut entries: Vec<DatasetEntry>) -> Vec<DatasetEntry> {
+    entries.sort_by_key(|e| e.prefix);
+    entries.dedup_by_key(|e| e.prefix);
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode→decode returns the canonical entry set with bit-exact
+    /// coordinates and RTTs, and re-encoding reproduces the same bytes.
+    #[test]
+    fn snapshot_round_trips_bit_identically(
+        raw in prop::collection::vec(
+            (0u32..0x0100_0000, -90.0f64..90.0, -180.0f64..180.0, 0u8..4, any::<u32>()),
+            0..48,
+        ),
+        seed in any::<u64>(),
+        nonce in any::<u64>(),
+    ) {
+        let entries: Vec<DatasetEntry> = raw.into_iter().map(entry).collect();
+        let bytes = format::encode(&entries, seed, nonce);
+        let (header, decoded) = format::decode(&bytes).expect("fresh snapshot decodes");
+        let expected = canonical(entries);
+
+        prop_assert_eq!(header.world_seed, seed);
+        prop_assert_eq!(header.nonce, nonce);
+        prop_assert_eq!(decoded.len(), expected.len());
+        for (d, e) in decoded.iter().zip(&expected) {
+            prop_assert_eq!(d.prefix, e.prefix);
+            prop_assert_eq!(d.location.lat().to_bits(), e.location.lat().to_bits());
+            prop_assert_eq!(d.location.lon().to_bits(), e.location.lon().to_bits());
+            prop_assert_eq!(&d.evidence, &e.evidence);
+        }
+        // Determinism: a second encode of the decoded entries is the same
+        // file, byte for byte.
+        prop_assert_eq!(format::encode(&decoded, seed, nonce), bytes);
+    }
+
+    /// Binary-search lookups agree with a linear scan over the source
+    /// entries, for exact, batch, and nearest queries.
+    #[test]
+    fn store_lookups_agree_with_linear_scan(
+        raw in prop::collection::vec(
+            (0u32..4096, -90.0f64..90.0, -180.0f64..180.0, 0u8..4, any::<u32>()),
+            1..64,
+        ),
+        probes in prop::collection::vec((0u32..4096, 0u32..256), 1..32),
+    ) {
+        let entries = canonical(raw.into_iter().map(entry).collect());
+        let store = DatasetStore::from_entries(&entries, 1, 1);
+        let ips: Vec<Ipv4> = probes
+            .iter()
+            .map(|&(p, byte)| Prefix24(p).host(byte as u8))
+            .collect();
+        let batch = store.lookup_batch(&ips);
+
+        for (ip, from_batch) in ips.iter().zip(&batch) {
+            let scan = entries.iter().find(|e| e.prefix.contains(*ip));
+            prop_assert_eq!(store.lookup(*ip), scan);
+            prop_assert_eq!(from_batch.as_ref(), scan);
+
+            let (nearest, dist) = store.lookup_nearest(*ip).expect("store is non-empty");
+            let best = entries
+                .iter()
+                .map(|e| e.prefix.0.abs_diff(ip.prefix24().0))
+                .min()
+                .expect("store is non-empty");
+            prop_assert_eq!(dist, best);
+            prop_assert_eq!(nearest.prefix.0.abs_diff(ip.prefix24().0), best);
+        }
+    }
+}
