@@ -36,10 +36,10 @@ fn ablate_soi_factor(c: &mut Criterion) {
     let ms = measurements(500, 1.5);
     let mut g = c.benchmark_group("ablation_soi_factor");
     g.bench_function("cbg_two_thirds_c", |b| {
-        b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG))
+        b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG));
     });
     g.bench_function("cbg_four_ninths_c", |b| {
-        b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::STREET_LEVEL))
+        b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::STREET_LEVEL));
     });
     g.finish();
 }
@@ -49,10 +49,10 @@ fn ablate_coverage_strategy(c: &mut Criterion) {
     let vps: Vec<HostId> = w.probes.clone();
     let mut g = c.benchmark_group("ablation_first_step_subset");
     g.bench_function("greedy_coverage_50", |b| {
-        b.iter(|| ipgeo::two_step::greedy_coverage(&w, &vps, 50))
+        b.iter(|| ipgeo::two_step::greedy_coverage(&w, &vps, 50));
     });
     g.bench_function("arbitrary_prefix_50", |b| {
-        b.iter(|| vps.iter().copied().take(50).collect::<Vec<_>>())
+        b.iter(|| vps.iter().copied().take(50).collect::<Vec<_>>());
     });
     g.finish();
 }
@@ -75,14 +75,14 @@ fn ablate_asymmetry(c: &mut Criterion) {
         b.iter(|| {
             nonce += 1;
             symmetric.traceroute(&w, src, dst, nonce)
-        })
+        });
     });
     g.bench_function("traceroute_asymmetric", |b| {
         let mut nonce = 0u64;
         b.iter(|| {
             nonce += 1;
             asymmetric.traceroute(&w, src, dst, nonce)
-        })
+        });
     });
     g.finish();
 }
@@ -100,10 +100,10 @@ fn ablate_redundancy_filter(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_redundancy_filter");
     g.sample_size(20);
     g.bench_function("intersect_with_filter", |b| {
-        b.iter(|| criterion::black_box(&full).intersect())
+        b.iter(|| criterion::black_box(&full).intersect());
     });
     g.bench_function("intersect_prefiltered_input", |b| {
-        b.iter(|| criterion::black_box(&reduced).intersect())
+        b.iter(|| criterion::black_box(&reduced).intersect());
     });
     g.finish();
 }
@@ -128,7 +128,7 @@ fn ablate_rounds(c: &mut Criterion) {
             b.iter(|| {
                 nonce += 1;
                 ipgeo::multi_round::geolocate(&w, &net, &coverage, &vps, target, rounds, nonce)
-            })
+            });
         });
     }
     g.finish();

@@ -62,7 +62,7 @@ fn bench_fig5_street_level(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_street_level");
     g.sample_size(10);
     g.bench_function("street_pipeline", |b| {
-        b.iter(|| ex::fig5::StreetSet::compute(d))
+        b.iter(|| ex::fig5::StreetSet::compute(d));
     });
     let set = street_set();
     g.bench_function("fig5a", |b| b.iter(|| ex::fig5::fig5a(d, set)));
@@ -97,7 +97,7 @@ fn bench_fig8(c: &mut Criterion) {
 fn bench_sanity(c: &mut Criterion) {
     let d = dataset();
     c.bench_function("sanitize_report", |b| {
-        b.iter(|| ex::sanity::sanitize_report(d))
+        b.iter(|| ex::sanity::sanitize_report(d));
     });
     c.bench_function("deployability", |b| b.iter(|| ex::sanity::deployability(d)));
 }

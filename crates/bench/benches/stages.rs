@@ -40,7 +40,7 @@ fn bench_cbg(c: &mut Criterion) {
     for n in [10usize, 100, 1000, 10_000] {
         let ms = synthetic_measurements(n);
         g.bench_function(format!("{n}_vps"), |b| {
-            b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG))
+            b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG));
         });
     }
     g.finish();
@@ -54,7 +54,7 @@ fn bench_region_redundancy(c: &mut Criterion) {
         .collect();
     let region = Region::from_circles(circles);
     c.bench_function("active_circles_5000", |b| {
-        b.iter(|| criterion::black_box(&region).active_circles())
+        b.iter(|| criterion::black_box(&region).active_circles());
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_ping(c: &mut Criterion) {
         b.iter(|| {
             nonce += 1;
             net.ping_min(&w, src, dst, 3, nonce)
-        })
+        });
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_traceroute(c: &mut Criterion) {
         b.iter(|| {
             nonce += 1;
             net.traceroute(&w, src, dst, nonce)
-        })
+        });
     });
 }
 
@@ -90,7 +90,7 @@ fn bench_greedy_coverage(c: &mut Criterion) {
     let mut g = c.benchmark_group("greedy_coverage");
     for k in [10usize, 50, 150] {
         g.bench_function(format!("k{k}"), |b| {
-            b.iter(|| greedy_coverage(&w, criterion::black_box(&vps), k))
+            b.iter(|| greedy_coverage(&w, criterion::black_box(&vps), k));
         });
     }
     g.finish();
@@ -121,13 +121,13 @@ fn bench_sanitize(c: &mut Criterion) {
             || mesh.clone(),
             |m| ipgeo::sanitize_anchors(&w, &w.anchors, &m, SpeedOfInternet::CBG),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
 fn bench_world_generation(c: &mut Criterion) {
     c.bench_function("world_generate_small", |b| {
-        b.iter(|| World::generate(WorldConfig::small(Seed(402))).expect("valid"))
+        b.iter(|| World::generate(WorldConfig::small(Seed(402))).expect("valid"));
     });
 }
 

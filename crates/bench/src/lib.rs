@@ -4,6 +4,10 @@
 //! environment (`IPGEO_FULL=1` for paper fidelity, `IPGEO_SEED=<n>` to
 //! change the world) and prints one or more reports.
 
+// Timing measurement is this code's purpose; the workspace bans
+// wall-clock reads by default (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use eval::{Dataset, EvalScale, Report};
 
 /// Loads the dataset per the environment and times the load.

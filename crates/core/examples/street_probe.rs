@@ -1,3 +1,6 @@
+// Timing measurement is this code's purpose; the workspace bans
+// wall-clock reads by default (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
 use geo_model::rng::Seed;
 use geo_model::stats;
 use ipgeo::street::{geolocate, StreetConfig};

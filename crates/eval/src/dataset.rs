@@ -80,12 +80,8 @@ impl EvalScale {
         let seed = std::env::var("IPGEO_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
-            .map(Seed)
-            .unwrap_or(Seed(2023));
-        if std::env::var("IPGEO_FULL")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
+            .map_or(Seed(2023), Seed);
+        if std::env::var("IPGEO_FULL").is_ok_and(|v| v == "1") {
             EvalScale::full(seed)
         } else {
             EvalScale::quick(seed)
@@ -130,7 +126,7 @@ impl RttMatrix {
     /// Encodes one measurement as a cell (`NaN` = timeout).
     #[inline]
     fn cell(v: Option<Ms>) -> f32 {
-        v.map(|m| m.value() as f32).unwrap_or(f32::NAN)
+        v.map_or(f32::NAN, |m| m.value() as f32)
     }
 
     #[inline]

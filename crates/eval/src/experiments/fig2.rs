@@ -6,7 +6,6 @@ use crate::report::{log_thresholds, Report, Table};
 use geo_model::runtime::par_map_indexed;
 use geo_model::stats;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Subset sizes for Fig. 2a, clipped to the VP population (which is
 /// always included as the final size).
@@ -34,7 +33,7 @@ fn random_subsets(d: &Dataset, size: usize, trials: usize, tag: u64) -> Vec<Vec<
             .scale
             .seed
             .derive_index("fig2-subset", tag ^ (trial as u64) << 20 ^ size as u64);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.0);
+        let mut rng = seed.rng();
         let mut idx: Vec<usize> = (0..d.vps.len()).collect();
         idx.shuffle(&mut rng);
         idx.truncate(size);

@@ -1,0 +1,424 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The workspace is offline and vendored-only, so `geo-lint` cannot lean on
+//! `syn` or `proc-macro2`; instead this module tokenizes Rust source by hand.
+//! It understands exactly what the rules need to never misfire inside
+//! non-code text: line/doc comments, nested block comments, string literals
+//! (plain, raw with any `#` count, byte, byte-raw), char literals vs.
+//! lifetimes, and numbers. Everything else becomes an identifier or a
+//! single-character punctuation token, each tagged with its 1-based line.
+//!
+//! Comments are not tokens: they are collected separately (with their line
+//! numbers) so the directive parser can find `// geo-lint: allow(...)`
+//! annotations without the rule scanners ever seeing comment text.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `for`, `HashMap`, …).
+    Ident(String),
+    /// Any literal: string, char, number. The payload is discarded — no
+    /// rule inspects literal contents, they only need to be skipped safely.
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never a char).
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `{`, `(`, `#`, …).
+    Punct(char),
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment with its source line (text excludes the `//` / `/*` markers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct FileLex {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`, separating code tokens from comments.
+pub fn lex(src: &str) -> FileLex {
+    let bytes = src.as_bytes();
+    let mut out = FileLex::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..end].to_string(),
+                });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; contents are recorded so a
+                // directive in a block comment is still diagnosable.
+                let start = i + 2;
+                let start_line = line;
+                let mut depth = 1;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    match (bytes[j], bytes.get(j + 1)) {
+                        (b'/', Some(b'*')) => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        (b'*', Some(b'/')) => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        (b'\n', _) => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end.min(src.len())].to_string(),
+                });
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = lex_string(bytes, i, &mut line, &mut out, tok_line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = lex_raw_or_byte(bytes, i, &mut line, &mut out);
+            }
+            '\'' => i = lex_quote(bytes, i, line, &mut out),
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    let continues = b.is_ascii_alphanumeric()
+                        || b == '_'
+                        || (b == '.' && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()))
+                        || ((b == '+' || b == '-')
+                            && matches!(bytes[i - 1], b'e' | b'E')
+                            && matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()));
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a raw/byte string (`r"`, `r#`, `b"`,
+/// `br"`, `br#`) rather than an identifier beginning with `r`/`b`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'r', b'#', ..] | [b'b', b'"', ..] => {
+            // `r#ident` is a raw identifier, not a raw string: require the
+            // hashes (if any) to terminate in a quote.
+            if rest.len() >= 2 && rest[1] == b'#' {
+                let mut j = 1;
+                while j < rest.len() && rest[j] == b'#' {
+                    j += 1;
+                }
+                rest.get(j) == Some(&b'"')
+            } else {
+                true
+            }
+        }
+        [b'b', b'r', b'"', ..] | [b'b', b'r', b'#', ..] => true,
+        [b'b', b'\'', ..] => true,
+        _ => false,
+    }
+}
+
+/// Lexes a plain `"..."` string starting at the opening quote.
+fn lex_string(
+    bytes: &[u8],
+    start: usize,
+    line: &mut usize,
+    out: &mut FileLex,
+    tok_line: usize,
+) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        line: tok_line,
+    });
+    i
+}
+
+/// Lexes raw strings (`r"…"`, `r##"…"##`), byte strings (`b"…"`), raw byte
+/// strings (`br#"…"#`), and byte chars (`b'x'`), starting at the prefix.
+fn lex_raw_or_byte(bytes: &[u8], start: usize, line: &mut usize, out: &mut FileLex) -> usize {
+    let tok_line = *line;
+    let mut i = start;
+    // Skip the b/r prefix letters.
+    while i < bytes.len() && (bytes[i] == b'b' || bytes[i] == b'r') {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // Byte char b'x'.
+        return lex_quote(bytes, i, tok_line, out);
+    }
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1; // opening quote
+    let raw = bytes[start] == b'r' || (bytes[start] == b'b' && bytes.get(start + 1) == Some(&b'r'));
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    i = j;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        line: tok_line,
+    });
+    i
+}
+
+/// Lexes a `'` — either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+fn lex_quote(bytes: &[u8], start: usize, line: usize, out: &mut FileLex) -> usize {
+    let mut i = start + 1;
+    // Lifetime: 'ident not followed by a closing quote.
+    let is_lifetime = matches!(bytes.get(i), Some(c) if (c.is_ascii_alphabetic() || *c == b'_'))
+        && {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            bytes.get(j) != Some(&b'\'')
+        };
+    if is_lifetime {
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            line,
+        });
+        return i;
+    }
+    // Char literal: skip escape or single char, then the closing quote.
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+    } else {
+        // Possibly multi-byte UTF-8; advance to the closing quote.
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    i = (i + 1).min(bytes.len());
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        line,
+    });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let f = lex("let x = 1;\nfoo.bar()");
+        assert_eq!(
+            idents("let x = 1;\nfoo.bar()"),
+            vec!["let", "x", "foo", "bar"]
+        );
+        let bar = f.tokens.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert_eq!(bar.line, 2);
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let f = lex("a // Instant::now()\nb /* thread_rng */ c");
+        assert_eq!(
+            idents("a // Instant::now()\nb /* thread_rng */ c"),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(f.comments.len(), 2);
+        assert!(f.comments[0].text.contains("Instant::now"));
+        assert_eq!(f.comments[0].line, 1);
+        assert_eq!(f.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            idents(r#"let s = "Instant::now()"; t"#),
+            vec!["let", "s", "t"]
+        );
+        assert_eq!(
+            idents(r##"let s = r#"unwrap() " quote"# ; t"##),
+            vec!["let", "s", "t"]
+        );
+        assert_eq!(
+            idents(r#"let s = b"bytes\"more"; t"#),
+            vec!["let", "s", "t"]
+        );
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let f = lex("\"a\nb\"\nend");
+        let end = f.tokens.iter().find(|t| t.is_ident("end")).unwrap();
+        assert_eq!(end.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        // 'x' and '\n' are literals, not lifetimes.
+        let lits = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        assert_eq!(idents("1.5e-3 0xFFu32 1_000usize next"), vec!["next"]);
+        // A method call on a float binding is not swallowed by the number.
+        assert_eq!(idents("x.max(1.0).sqrt()"), vec!["x", "max", "sqrt"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        assert_eq!(idents("r#type = 1; end"), vec!["r", "type", "end"]);
+    }
+}

@@ -1,0 +1,67 @@
+//! `geo-lint`: the workspace determinism & robustness auditor.
+//!
+//! Everything this replication publishes rests on one claim: a campaign is
+//! a pure function of `(seed, src, dst, nonce)`, so datasets and `.igds`
+//! snapshots are byte-identical at any thread count. Equivalence tests
+//! guard that invariant at a handful of points; this crate guards it
+//! *statically*, across the whole workspace, by scanning every source file
+//! for the constructs that historically break it:
+//!
+//! | rule | violation |
+//! |------|-----------|
+//! | `D1` | wall-clock / ambient entropy in deterministic crates |
+//! | `D2` | iteration over `HashMap`/`HashSet` outside sort-then-iterate |
+//! | `D3` | RNG construction bypassing `geo_model::rng` seeding |
+//! | `R1` | `unwrap`/`expect`/`panic!` in `geo-serve` serving paths |
+//! | `R2` | `static mut` / `unsafe impl` shared mutable state |
+//! | `X1` | malformed or unknown `geo-lint: allow(...)` directive |
+//! | `X2` | stale allow (suppresses nothing) |
+//!
+//! A violation is suppressed with an inline
+//! `// geo-lint: allow(<rule>, reason = "...")` on the offending line (or
+//! on its own line directly above); every suppression is recorded in the
+//! report. The tool is dependency-free — a hand-rolled lexer, no registry
+//! crates — and runs as `cargo run -p geo-lint -- check`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use report::Report;
+use rules::Config;
+use std::path::Path;
+
+/// Checks every discovered file under `root`, returning the sorted report.
+pub fn check(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for rel in walk::discover(root, cfg)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        rules::lint_file(cfg, &rel, &src, &mut report);
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace must stay clean: this is the same gate CI runs,
+    /// enforced from the tier-1 test suite so a violating change cannot
+    /// land even when CI is skipped.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crate lives at <root>/crates/geo-lint");
+        let report = check(root, &Config::workspace()).expect("workspace scan");
+        assert!(report.files_scanned > 50, "suspiciously few files scanned");
+        assert!(
+            report.is_clean(),
+            "geo-lint violations in the workspace:\n{}",
+            report.render_human()
+        );
+    }
+}

@@ -1,0 +1,952 @@
+//! The lint rules and the per-file checking pass.
+//!
+//! Every rule is a scan over the token stream produced by [`crate::lexer`],
+//! scoped by where the file lives in the workspace (see [`Config`]).
+//! `#[cfg(test)]` modules and `#[test]` functions are stripped before the
+//! determinism/robustness rules run — tests may time themselves and unwrap
+//! freely.
+
+use crate::lexer::{self, Comment, FileLex, Token, TokenKind};
+use crate::report::{Diagnostic, Report, Suppression};
+
+/// Static description of one rule, for `geo-lint rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// All rules, including the meta-rules about allow directives themselves.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        summary: "no wall-clock or ambient entropy (SystemTime, Instant::now, thread_rng, \
+                  from_entropy) in deterministic crates",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "no iteration over HashMap/HashSet in deterministic crates outside \
+                  sort-then-iterate (hash iteration order is unspecified)",
+    },
+    RuleInfo {
+        id: "D3",
+        summary: "RNG construction must flow through geo_model::rng (Seed::rng / KeyRng), \
+                  not direct SeedableRng calls",
+    },
+    RuleInfo {
+        id: "R1",
+        summary: "no unwrap/expect/panic in geo-serve server and request paths — a bad \
+                  request or poisoned lock must not kill the server",
+    },
+    RuleInfo {
+        id: "R2",
+        summary: "no `static mut` or `unsafe impl Send/Sync` — shared mutable state goes \
+                  through std sync primitives",
+    },
+    RuleInfo {
+        id: "X1",
+        summary: "malformed or unknown-rule `geo-lint: allow(...)` directive",
+    },
+    RuleInfo {
+        id: "X2",
+        summary: "stale allow: the directive suppresses nothing on its target line",
+    },
+];
+
+/// True when `id` names a suppressible (non-meta) rule.
+fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id && !r.id.starts_with('X'))
+}
+
+/// Where each rule family applies, expressed as crate-name lists relative
+/// to the checked root. Fixtures construct their own `Config`, which is how
+/// the golden tests exercise scoping without replicating this repo's names.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose `src/` must be a pure function of the seed (D1–D3).
+    pub deterministic_crates: Vec<String>,
+    /// Crates whose `src/` is a serving path (R1).
+    pub server_crates: Vec<String>,
+    /// Vendored stand-in crates, skipped entirely.
+    pub vendored_crates: Vec<String>,
+    /// File (root-relative, `/`-separated) exempt from D3: the one place
+    /// allowed to touch `SeedableRng` directly.
+    pub rng_module: String,
+}
+
+impl Config {
+    /// The scoping used for this workspace.
+    pub fn workspace() -> Config {
+        Config {
+            deterministic_crates: ["world-sim", "net-sim", "geo-model", "core", "eval"]
+                .map(String::from)
+                .to_vec(),
+            server_crates: vec!["geo-serve".into()],
+            vendored_crates: ["rand", "proptest", "criterion"].map(String::from).to_vec(),
+            rng_module: "crates/geo-model/src/rng.rs".into(),
+        }
+    }
+}
+
+/// Classification of one file by its root-relative path.
+struct FileCtx<'a> {
+    rel: &'a str,
+    /// Component after `crates/`, if the file lives under a crate.
+    crate_name: Option<&'a str>,
+    /// True when the file is under the crate's `src/` directory.
+    in_src: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn classify(rel: &'a str) -> FileCtx<'a> {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next());
+        let in_src = match crate_name {
+            Some(name) => rel.starts_with(&format!("crates/{name}/src/")),
+            None => false,
+        };
+        FileCtx {
+            rel,
+            crate_name,
+            in_src,
+        }
+    }
+
+    fn is_deterministic(&self, cfg: &Config) -> bool {
+        self.in_src
+            && self
+                .crate_name
+                .is_some_and(|c| cfg.deterministic_crates.iter().any(|d| d == c))
+    }
+
+    fn is_server(&self, cfg: &Config) -> bool {
+        self.in_src
+            && self
+                .crate_name
+                .is_some_and(|c| cfg.server_crates.iter().any(|d| d == c))
+    }
+}
+
+/// Lints one file; appends non-suppressed diagnostics and used
+/// suppressions to `report`. `rel` is the root-relative path.
+pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
+    let ctx = FileCtx::classify(rel);
+    let lexed = lexer::lex(src);
+    let code = strip_test_regions(&lexed.tokens);
+    let lines: Vec<&str> = src.lines().collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if ctx.is_deterministic(cfg) {
+        check_d1(&code, &mut diags);
+        check_d2(&code, &mut diags);
+        if ctx.rel != cfg.rng_module {
+            check_d3(&code, &mut diags);
+        }
+    }
+    if ctx.is_server(cfg) {
+        check_r1(&code, &mut diags);
+    }
+    check_r2(&code, &mut diags);
+
+    for d in &mut diags {
+        d.file = rel.to_string();
+        d.snippet = lines
+            .get(d.line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+    }
+
+    apply_allows(rel, &lexed, &lines, diags, report);
+    report.files_scanned += 1;
+}
+
+/// A parsed `// geo-lint: allow(RULE, reason = "...")` directive.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    reason: Option<String>,
+    /// Line of the comment itself.
+    directive_line: usize,
+    /// Line the allow applies to: the comment's own line for trailing
+    /// comments, the next code line for standalone comment lines.
+    target_line: usize,
+    /// Set once the allow has suppressed at least one diagnostic.
+    used: bool,
+}
+
+/// Reconciles allow directives against raw diagnostics: matched pairs
+/// become recorded suppressions, unmatched allows become X2, malformed or
+/// unknown-rule allows become X1.
+fn apply_allows(
+    rel: &str,
+    lexed: &FileLex,
+    lines: &[&str],
+    diags: Vec<Diagnostic>,
+    report: &mut Report,
+) {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        parse_allows(c, lexed, rel, lines, &mut allows, report);
+    }
+
+    'diag: for d in diags {
+        for a in &mut allows {
+            if a.rule == d.rule && a.target_line == d.line {
+                report.suppressed.push(Suppression {
+                    rule: d.rule.clone(),
+                    file: rel.to_string(),
+                    line: d.line,
+                    reason: a.reason.clone().unwrap_or_default(),
+                });
+                a.used = true;
+                continue 'diag;
+            }
+        }
+        report.diagnostics.push(d);
+    }
+
+    for a in &allows {
+        if !a.used {
+            report.diagnostics.push(Diagnostic {
+                rule: "X2".into(),
+                file: rel.to_string(),
+                line: a.directive_line,
+                snippet: lines
+                    .get(a.directive_line.saturating_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                rationale: format!(
+                    "stale allow: no {} violation on line {} — remove the directive",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+}
+
+/// Parses every `geo-lint:` occurrence in one comment. Malformed or
+/// unknown-rule directives are reported immediately as X1.
+fn parse_allows(
+    c: &Comment,
+    lexed: &FileLex,
+    rel: &str,
+    lines: &[&str],
+    allows: &mut Vec<Allow>,
+    report: &mut Report,
+) {
+    // A directive must *start* the comment (after doc-comment markers):
+    // prose that merely mentions `geo-lint:` mid-sentence is not one.
+    let anchored = c.text.trim_start_matches(['/', '!', '*']).trim_start();
+    if !anchored.starts_with("geo-lint:") {
+        return;
+    }
+    let mut rest = anchored;
+    while let Some(pos) = rest.find("geo-lint:") {
+        rest = &rest[pos + "geo-lint:".len()..];
+        let body = rest.trim_start();
+        let fail = |why: &str, report: &mut Report| {
+            report.diagnostics.push(Diagnostic {
+                rule: "X1".into(),
+                file: rel.to_string(),
+                line: c.line,
+                snippet: lines
+                    .get(c.line.saturating_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                rationale: format!(
+                    "malformed geo-lint directive: {why} \
+                     (expected `geo-lint: allow(<rule>, reason = \"...\")`)"
+                ),
+            });
+        };
+        let Some(args) = body.strip_prefix("allow(") else {
+            fail("only `allow(...)` is understood", report);
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            fail("unclosed `allow(`", report);
+            continue;
+        };
+        let inner = &args[..close];
+        let (rule, reason_part) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), Some(rest.trim())),
+            None => (inner.trim(), None),
+        };
+        if !is_known_rule(rule) {
+            fail(&format!("unknown rule id `{rule}`"), report);
+            continue;
+        }
+        let reason = reason_part
+            .and_then(|r| r.strip_prefix("reason"))
+            .map(|r| r.trim_start_matches(['=', ' ']))
+            .map(|r| r.trim_matches('"').to_string());
+        let Some(reason) = reason.filter(|r| !r.is_empty()) else {
+            fail("missing `reason = \"...\"`", report);
+            continue;
+        };
+        let trailing = lexed.tokens.iter().any(|t| t.line == c.line);
+        let target_line = if trailing {
+            c.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(usize::MAX)
+        };
+        allows.push(Allow {
+            rule: rule.to_string(),
+            reason: Some(reason),
+            directive_line: c.line,
+            target_line,
+            used: false,
+        });
+    }
+}
+
+/// Removes tokens inside `#[cfg(test)]` items and `#[test]` functions.
+fn strip_test_regions(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_test_attr(tokens, i) {
+            // Skip to the end of the attribute's item: either a `;`
+            // (e.g. `mod tests;`) or a balanced `{ ... }` block.
+            let mut j = i;
+            // Consume the attribute itself: `# [ ... ]`.
+            j += 1; // '#'
+            let mut depth = 0;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // Now consume until the item ends.
+            let mut brace = 0i32;
+            let mut entered = false;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') {
+                    brace += 1;
+                    entered = true;
+                } else if t.is_punct('}') {
+                    brace -= 1;
+                } else if t.is_punct(';') && !entered {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+                if entered && brace == 0 {
+                    break;
+                }
+            }
+            i = j;
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `tokens[i..]` starts `#[cfg(test)]` or `#[test]`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct('#') {
+        return false;
+    }
+    let t = |k: usize| tokens.get(i + k);
+    let is = |k: usize, name: &str| t(k).is_some_and(|x| x.is_ident(name));
+    let p = |k: usize, c: char| t(k).is_some_and(|x| x.is_punct(c));
+    // #[test]
+    if p(1, '[') && is(2, "test") && p(3, ']') {
+        return true;
+    }
+    // #[cfg(test)]
+    p(1, '[') && is(2, "cfg") && p(3, '(') && is(4, "test") && p(5, ')') && p(6, ']')
+}
+
+fn diag(rule: &str, line: usize, rationale: String) -> Diagnostic {
+    Diagnostic {
+        rule: rule.into(),
+        file: String::new(),
+        line,
+        snippet: String::new(),
+        rationale,
+    }
+}
+
+/// D1: wall-clock and ambient-entropy reads.
+fn check_d1(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "SystemTime" | "UNIX_EPOCH" => diags.push(diag(
+                "D1",
+                t.line,
+                format!("`{name}` reads the wall clock; deterministic crates must be pure functions of the seed"),
+            )),
+            "thread_rng" | "from_entropy" => diags.push(diag(
+                "D1",
+                t.line,
+                format!("`{name}` draws ambient OS entropy; derive randomness from `geo_model::rng::Seed` instead"),
+            )),
+            "Instant"
+                if tokens.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|x| x.is_ident("now"))
+                => {
+                    diags.push(diag(
+                        "D1",
+                        t.line,
+                        "`Instant::now()` reads the monotonic clock; timing belongs in `bench`, not in deterministic crates".into(),
+                    ));
+                }
+            _ => {}
+        }
+    }
+}
+
+/// Iterator-producing methods on hash collections.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Sorting calls that make hash-iteration output order-stable.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Chain members whose result does not depend on iteration order.
+const ORDER_INSENSITIVE: &[&str] = &["count", "len", "any", "all", "is_empty", "contains"];
+
+/// D2: iteration over HashMap/HashSet outside sort-then-iterate.
+fn check_d2(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    let bindings = collect_hash_bindings(tokens);
+    if !bindings.iter().any(|b| b.hash) {
+        return;
+    }
+    // Latest binding before the use site wins, so a name reused for a
+    // BTree collection in a later function does not inherit hash-ness.
+    let is_hash_at = |name: &str, use_tok: usize| {
+        bindings
+            .iter()
+            .rev()
+            .find(|b| b.tok < use_tok && b.name == name)
+            .is_some_and(|b| b.hash)
+    };
+    let rationale = |name: &str, how: &str| {
+        format!(
+            "`{name}` is a HashMap/HashSet and {how} observes its unspecified iteration order; \
+             sort the items (or collect into a BTree map/set) before consuming them"
+        )
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !is_hash_at(name, i) {
+            continue;
+        }
+        // Chain form: `name.iter()`, `self.name.values_mut()`, …
+        let chain = tokens.get(i + 1).is_some_and(|x| x.is_punct('.'))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|x| x.ident().is_some_and(|m| ITER_METHODS.contains(&m)))
+            && tokens.get(i + 3).is_some_and(|x| x.is_punct('('));
+        if chain {
+            if !iteration_is_ordered(tokens, i) {
+                let method = tokens[i + 2].ident().unwrap_or_default();
+                diags.push(diag(
+                    "D2",
+                    t.line,
+                    rationale(name, &format!("`.{method}()`")),
+                ));
+            }
+            continue;
+        }
+        // Bare for-loop form: `for x in &name {` / `for x in name {`.
+        if in_bare_for_loop(tokens, i) {
+            diags.push(diag("D2", t.line, rationale(name, "`for … in`")));
+        }
+    }
+}
+
+/// One `name`-to-type fact, at the token index where `name` appears.
+/// `hash: false` bindings record that the name was (re)bound to a
+/// non-hash type, shadowing any earlier hash binding for later uses.
+struct Binding {
+    name: String,
+    tok: usize,
+    hash: bool,
+}
+
+/// Collects identifier bindings relevant to D2, in token order: typed
+/// bindings/fields/params (`name: HashMap<…>`) and constructor bindings
+/// (`name = HashMap::new()`).
+fn collect_hash_bindings(tokens: &[Token]) -> Vec<Binding> {
+    let mut out: Vec<Binding> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if name == "HashMap" || name == "HashSet" {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        // `name : HashMap<…>` — the *outermost* type must be the hash
+        // collection (a `Vec<HashMap<…>>` is iterated in Vec order and is
+        // fine). Skip reference/lifetime/mut prefixes and path segments.
+        if next.is_punct(':') && !tokens.get(i + 2).is_some_and(|x| x.is_punct(':')) {
+            let mut k = i + 2;
+            loop {
+                match tokens.get(k).map(|t| &t.kind) {
+                    Some(TokenKind::Punct('&')) | Some(TokenKind::Lifetime) => k += 1,
+                    Some(TokenKind::Ident(s)) if s == "mut" || s == "dyn" => k += 1,
+                    Some(TokenKind::Ident(_))
+                        if tokens.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                            && tokens.get(k + 2).is_some_and(|x| x.is_punct(':')) =>
+                    {
+                        // Path segment (`std::collections::…`): keep going.
+                        k += 3;
+                    }
+                    Some(TokenKind::Ident(s)) => {
+                        out.push(Binding {
+                            name: name.to_string(),
+                            tok: i,
+                            hash: s == "HashMap" || s == "HashSet",
+                        });
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // `name = [path::]HashMap::new(…)` — the initializer must *be* a
+        // hash-collection constructor call, not merely contain one nested
+        // somewhere (`Vec` of maps, closure bodies, …).
+        if next.is_punct('=')
+            && !tokens.get(i + 2).is_some_and(|x| x.is_punct('='))
+            && !tokens.get(i.wrapping_sub(1)).is_some_and(|x| {
+                x.is_punct('=') || x.is_punct('<') || x.is_punct('>') || x.is_punct('!')
+            })
+        {
+            let mut k = i + 2;
+            loop {
+                match tokens.get(k).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(s)) if s == "HashMap" || s == "HashSet" => {
+                        if tokens.get(k + 1).is_some_and(|x| x.is_punct(':')) {
+                            out.push(Binding {
+                                name: name.to_string(),
+                                tok: i,
+                                hash: true,
+                            });
+                        }
+                        break;
+                    }
+                    Some(TokenKind::Ident(_))
+                        if tokens.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                            && tokens.get(k + 2).is_some_and(|x| x.is_punct(':')) =>
+                    {
+                        k += 3;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when the hash iteration starting at token `i` (the collection
+/// identifier) is made order-stable: the surrounding statement sorts,
+/// collects into a BTree, or only computes order-insensitive aggregates —
+/// or the statement `let`-binds a value that one of the next few
+/// statements sorts.
+fn iteration_is_ordered(tokens: &[Token], i: usize) -> bool {
+    // Backward to the statement start (`;`, `{`, `}` boundary).
+    let mut start = i;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    // Forward to the statement end: `;` or `{` at relative depth 0.
+    let mut end = i;
+    let mut depth = 0i32;
+    while end < tokens.len() {
+        let t = &tokens[end];
+        match t.kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct(';') if depth <= 0 => break,
+            TokenKind::Punct('{') if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+
+    let stmt = &tokens[start..end];
+    let has = |names: &[&str]| {
+        stmt.iter()
+            .any(|t| t.ident().is_some_and(|s| names.contains(&s)))
+    };
+    if has(SORT_METHODS) || has(&["BTreeMap", "BTreeSet"]) || has(ORDER_INSENSITIVE) {
+        return true;
+    }
+
+    // `let [mut] NAME = …collect…;` followed within three statements by
+    // `NAME.sort*(…)` — the repo's canonical collect-then-sort idiom.
+    let mut it = stmt.iter();
+    if !it.next().is_some_and(|t| t.is_ident("let")) {
+        return false;
+    }
+    let mut name = it.next().and_then(|t| t.ident());
+    if name == Some("mut") {
+        name = it.next().and_then(|t| t.ident());
+    }
+    let Some(name) = name else { return false };
+
+    let mut stmts_seen = 0;
+    let mut depth = 0i32;
+    let mut j = end;
+    while j + 2 < tokens.len() && stmts_seen < 4 {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokenKind::Punct(';') if depth <= 0 => stmts_seen += 1,
+            _ => {}
+        }
+        if t.is_ident(name)
+            && tokens[j + 1].is_punct('.')
+            && tokens[j + 2]
+                .ident()
+                .is_some_and(|m| SORT_METHODS.contains(&m))
+        {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True when token `i` (a hash-collection identifier) is the bare iterated
+/// expression of a `for` loop: `for PAT in [&][mut][self.]name {`.
+fn in_bare_for_loop(tokens: &[Token], i: usize) -> bool {
+    // The token after the collection must open the loop body (possibly
+    // after a closing `)` for tuple patterns — not applicable here since
+    // the collection ends the expression).
+    if !tokens.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+        return false;
+    }
+    // Walk backward over `&`, `mut`, `self`, `.` to find `in` then `for`.
+    let mut j = i;
+    while j > 0 {
+        let t = &tokens[j - 1];
+        let passable =
+            t.is_punct('&') || t.is_punct('.') || t.is_ident("mut") || t.is_ident("self");
+        if passable {
+            j -= 1;
+            continue;
+        }
+        return t.is_ident("in") && {
+            // Something before `in` must eventually be `for`; scan back a
+            // bounded window over the pattern.
+            tokens[..j - 1]
+                .iter()
+                .rev()
+                .take(16)
+                .any(|t| t.is_ident("for"))
+        };
+    }
+    false
+}
+
+/// D3: direct `SeedableRng` construction outside `geo_model::rng`.
+fn check_d3(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    for t in tokens {
+        let Some(name) = t.ident() else { continue };
+        if matches!(
+            name,
+            "seed_from_u64" | "from_seed" | "from_rng" | "SeedableRng"
+        ) {
+            diags.push(diag(
+                "D3",
+                t.line,
+                format!(
+                    "`{name}` constructs an RNG directly; route seeding through \
+                     `geo_model::rng` (`Seed::rng()` / `KeyRng::new`) so streams stay \
+                     domain-separated"
+                ),
+            ));
+        }
+    }
+}
+
+/// R1: panicking calls in server/request paths.
+fn check_r1(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "unwrap" | "expect" => {
+                let method_call = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|x| x.is_punct('('));
+                if method_call {
+                    diags.push(diag(
+                        "R1",
+                        t.line,
+                        format!(
+                            "`.{name}()` can panic and take the whole server down; handle the \
+                             error (log-and-continue, or recover the poisoned lock)"
+                        ),
+                    ));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|x| x.is_punct('!')) =>
+            {
+                diags.push(diag(
+                        "R1",
+                        t.line,
+                        format!("`{name}!` in a serving path kills the connection thread or process; return an error instead"),
+                    ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R2: mutable statics and hand-asserted thread-safety.
+fn check_r2(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("static") && tokens.get(i + 1).is_some_and(|x| x.is_ident("mut")) {
+            diags.push(diag(
+                "R2",
+                t.line,
+                "`static mut` is unsynchronized shared mutable state; use an atomic, a \
+                 `Mutex`, or `OnceLock`"
+                    .into(),
+            ));
+        }
+        if t.is_ident("unsafe") && tokens.get(i + 1).is_some_and(|x| x.is_ident("impl")) {
+            diags.push(diag(
+                "R2",
+                t.line,
+                "`unsafe impl` hand-asserts a thread-safety contract the compiler cannot \
+                 check; prefer types that are `Send`/`Sync` by construction"
+                    .into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: &Config, rel: &str, src: &str) -> Report {
+        let mut report = Report::default();
+        lint_file(cfg, rel, src, &mut report);
+        report.sort();
+        report
+    }
+
+    fn det(src: &str) -> Report {
+        run(&Config::workspace(), "crates/core/src/lib.rs", src)
+    }
+
+    #[test]
+    fn d1_fires_on_instant_now_in_deterministic_crate() {
+        let r = det("fn f() { let t = std::time::Instant::now(); }");
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "D1");
+        assert_eq!(r.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn d1_ignores_instant_elsewhere_and_outside_scope() {
+        // `Instant` without `::now` (e.g. a stored field type) is fine.
+        assert!(det("struct S { t: Instant }").is_clean());
+        // The same code in a non-deterministic crate is fine.
+        let r = run(
+            &Config::workspace(),
+            "crates/bench/src/lib.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn d1_skips_cfg_test_modules() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n  fn f() { let t = Instant::now(); }\n}";
+        assert!(det(src).is_clean());
+    }
+
+    #[test]
+    fn d2_fires_on_unsorted_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {\n  for v in m.values() { drop(v); }\n}";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "D2");
+        assert_eq!(r.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn d2_fires_on_bare_for_loop_over_hash() {
+        let src = "use std::collections::HashSet;\nfn f(s: HashSet<u32>) {\n  for v in &s { drop(v); }\n}";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "D2");
+    }
+
+    #[test]
+    fn d2_allows_collect_then_sort() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n  let mut v: Vec<u32> = m.keys().copied().collect();\n  v.sort();\n  v\n}";
+        assert!(det(src).is_clean(), "{:?}", det(src).diagnostics);
+    }
+
+    #[test]
+    fn d2_allows_same_statement_sort_and_btree_collect() {
+        let sorted = "fn f(m: &std::collections::HashMap<u32, u32>) {\n  let mut v: Vec<_> = m.keys().collect(); v.sort_unstable();\n}";
+        assert!(det(sorted).is_clean(), "{:?}", det(sorted).diagnostics);
+        let btree = "fn f(m: &std::collections::HashMap<u32, u32>) {\n  let b: std::collections::BTreeMap<_, _> = m.iter().collect();\n  for x in &b { drop(x); }\n}";
+        assert!(det(btree).is_clean(), "{:?}", det(btree).diagnostics);
+    }
+
+    #[test]
+    fn d2_allows_order_insensitive_aggregates() {
+        let src =
+            "fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n  m.values().count()\n}";
+        assert!(det(src).is_clean(), "{:?}", det(src).diagnostics);
+    }
+
+    #[test]
+    fn d2_tracks_constructor_bindings() {
+        let src = "fn f() {\n  let mut m = std::collections::HashMap::new();\n  m.insert(1, 2);\n  for v in m.values() { drop(v); }\n}";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn d2_ignores_lookups_and_inserts() {
+        let src = "fn f(m: &mut std::collections::HashMap<u32, u32>) {\n  m.insert(1, 2);\n  let _ = m.get(&1);\n  let _ = m.len();\n}";
+        assert!(det(src).is_clean(), "{:?}", det(src).diagnostics);
+    }
+
+    #[test]
+    fn d3_fires_on_direct_seeding_but_not_in_rng_module() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(1); }";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "D3");
+        let rng = run(&Config::workspace(), "crates/geo-model/src/rng.rs", src);
+        assert!(rng.is_clean());
+    }
+
+    #[test]
+    fn r1_fires_in_server_crate_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "R1");
+        assert!(run(&Config::workspace(), "crates/core/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r1_fires_on_panic_macros_not_assert() {
+        let src = "fn f() { assert!(true); panic!(\"boom\"); }";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/lib.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert!(r.diagnostics[0].rationale.contains("panic"));
+    }
+
+    #[test]
+    fn r1_ignores_unwrap_or_else() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }";
+        assert!(run(&Config::workspace(), "crates/geo-serve/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r2_fires_everywhere() {
+        let src = "static mut COUNTER: u32 = 0;";
+        let r = run(&Config::workspace(), "crates/bench/src/lib.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "R2");
+    }
+
+    #[test]
+    fn allow_suppresses_exactly_its_rule_on_its_line() {
+        let src = "fn f() { let t = Instant::now(); } // geo-lint: allow(D1, reason = \"demo\")";
+        let r = det(src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "D1");
+        assert_eq!(r.suppressed[0].reason, "demo");
+        // An allow for a different rule does not suppress D1 and is stale.
+        let wrong = "fn f() { let t = Instant::now(); } // geo-lint: allow(D3, reason = \"demo\")";
+        let r = det(wrong);
+        let rules: Vec<&str> = r.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+        assert_eq!(rules, vec!["D1", "X2"], "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "// geo-lint: allow(D1, reason = \"demo\")\nfn f() { let t = Instant::now(); }";
+        let r = det(src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].line, 2);
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_reason_are_errors() {
+        let r = det("fn f() {} // geo-lint: allow(Z9, reason = \"x\")");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "X1");
+        assert!(r.diagnostics[0].rationale.contains("Z9"));
+        let r = det("fn f() {} // geo-lint: allow(D1)");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "X1");
+        assert!(r.diagnostics[0].rationale.contains("reason"));
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let r = det("fn f() {} // geo-lint: allow(D1, reason = \"nothing here\")");
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "X2");
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_allowed() {
+        let r = det("fn f() {} // geo-lint: allow(X2, reason = \"no\")");
+        assert_eq!(r.diagnostics[0].rule, "X1");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: deterministic idioms that must not trip any rule.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sorted_iteration(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+pub fn btree_walk(m: &BTreeMap<u32, u32>) -> u64 {
+    let mut acc = 0;
+    for (k, v) in m {
+        acc += u64::from(k ^ v);
+    }
+    acc
+}
+
+pub fn lookups(m: &mut HashMap<u32, u32>) -> Option<u32> {
+    m.insert(1, 2);
+    m.get(&1).copied()
+}

@@ -1,0 +1,7 @@
+//! Fixture: directive errors — unknown rule id, stale allow.
+
+// geo-lint: allow(Q7, reason = "no such rule")
+pub fn unknown() {}
+
+// geo-lint: allow(D1, reason = "nothing to suppress here")
+pub fn stale() {}

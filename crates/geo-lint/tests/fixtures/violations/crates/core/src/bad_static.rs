@@ -1,0 +1,9 @@
+//! Fixture: unsynchronized shared mutable state.
+
+static mut COUNTER: u64 = 0;
+
+pub fn bump() {
+    unsafe {
+        COUNTER += 1;
+    }
+}

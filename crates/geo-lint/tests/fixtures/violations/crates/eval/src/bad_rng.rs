@@ -1,0 +1,5 @@
+//! Fixture: direct RNG construction bypassing `geo_model::rng`.
+
+pub fn direct(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

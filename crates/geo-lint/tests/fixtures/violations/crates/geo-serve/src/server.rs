@@ -1,0 +1,18 @@
+//! Fixture: panicking calls in a serving path; fine inside tests.
+
+pub fn handle(line: Option<&str>) -> String {
+    let line = line.unwrap();
+    if line.is_empty() {
+        panic!("empty request");
+    }
+    line.to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: hash-order iteration, one suppressed, one sorted (clean).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn bare_loop(seen: &HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for v in seen {
+        acc ^= v;
+    }
+    acc
+}
+
+pub fn unsorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn suppressed(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().map(|v| v ^ 1).collect() // geo-lint: allow(D2, reason = "fixture: output re-sorted by the caller")
+}
+
+pub fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn aggregate(m: &HashMap<u32, u32>) -> usize {
+    m.values().count()
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock and ambient-entropy reads in a deterministic crate.
+
+pub fn timed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

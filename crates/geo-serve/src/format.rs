@@ -342,7 +342,7 @@ pub fn save(
 ) -> Result<Header, FormatError> {
     let bytes = encode(entries, world_seed, nonce);
     std::fs::write(path.as_ref(), &bytes).map_err(|e| FormatError::Io(e.to_string()))?;
-    let (header, _) = decode(&bytes).expect("freshly encoded snapshot decodes");
+    let (header, _) = decode(&bytes)?;
     Ok(header)
 }
 

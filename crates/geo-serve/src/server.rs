@@ -69,6 +69,9 @@ impl StatsSnapshot {
 }
 
 impl ServeStats {
+    // Server uptime is a wall-clock serving statistic, not simulation
+    // state; exempt from the workspace timing ban (see clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     fn new() -> ServeStats {
         ServeStats {
             hits: AtomicU64::new(0),
@@ -219,9 +222,17 @@ impl QueryServer {
                     let worker = std::thread::spawn(move || {
                         handle_connection(stream, &store, &stats, &stop);
                     });
-                    workers.lock().unwrap().push(worker);
+                    // A panicking worker poisons the registry; recover the
+                    // guard so one bad connection never wedges accept.
+                    workers
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(worker);
                 }
-                for worker in workers.into_inner().unwrap() {
+                let workers = workers
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for worker in workers {
                     let _ = worker.join();
                 }
             })

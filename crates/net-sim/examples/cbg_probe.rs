@@ -1,4 +1,8 @@
 //! Quick calibration probe: CBG with all probes against a sample of anchors.
+
+// Timing measurement is this code's purpose; the workspace bans
+// wall-clock reads by default (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
 use geo_model::constraint::{Circle, Region};
 use geo_model::rng::Seed;
 use geo_model::soi::SpeedOfInternet;

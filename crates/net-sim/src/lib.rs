@@ -110,7 +110,7 @@ impl Network {
     /// Empties the base-delay cache and resets its counters (cold-cache
     /// benchmarks; never needed for correctness).
     pub fn clear_cache(&self) {
-        self.cache.clear()
+        self.cache.clear();
     }
 
     /// One ping packet from `src` to the address `dst`. Deterministic in

@@ -332,12 +332,12 @@ impl WebEcosystem {
 
     /// Entities registered in a zip code.
     pub fn entities_in_zip(&self, zip: ZipCode) -> &[EntityId] {
-        self.by_zip.get(&zip).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_zip.get(&zip).map_or(&[], Vec::as_slice)
     }
 
     /// Entities registered in a city.
     pub fn entities_in_city(&self, city: CityId) -> &[EntityId] {
-        self.by_city.get(&city).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_city.get(&city).map_or(&[], Vec::as_slice)
     }
 
     /// Entity lookup.

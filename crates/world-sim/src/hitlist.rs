@@ -11,7 +11,7 @@ use crate::host::{Host, HostKind, HostPopulation};
 use crate::ids::HostId;
 use geo_model::ip::{Ipv4, Prefix24};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One hitlist entry: an address with a responsiveness score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,9 +26,13 @@ pub struct HitlistEntry {
 }
 
 /// The full hitlist: entries per /24.
+///
+/// Keyed by a `BTreeMap`: `build` consumes randomness while walking the
+/// prefixes, so the walk order must be deterministic — with a hash map the
+/// set of sparse prefixes would differ from run to run (geo-lint: D2).
 #[derive(Debug, Clone, Default)]
 pub struct Hitlist {
-    per_prefix: HashMap<Prefix24, Vec<HitlistEntry>>,
+    per_prefix: BTreeMap<Prefix24, Vec<HitlistEntry>>,
 }
 
 /// Fraction of prefixes with fewer than three responsive addresses.
@@ -38,7 +42,7 @@ impl Hitlist {
     /// Builds the hitlist from the host population: every representative
     /// host gets a score; a small fraction of prefixes is made sparse.
     pub fn build<R: Rng + ?Sized>(pop: &HostPopulation, rng: &mut R) -> Hitlist {
-        let mut per_prefix: HashMap<Prefix24, Vec<HitlistEntry>> = HashMap::new();
+        let mut per_prefix: BTreeMap<Prefix24, Vec<HitlistEntry>> = BTreeMap::new();
         for h in &pop.hosts {
             if h.kind != HostKind::Representative {
                 continue;
@@ -132,10 +136,7 @@ impl Hitlist {
 
     /// Looks up hosts for test assertions: all entries of a prefix.
     pub fn entries(&self, prefix: Prefix24) -> &[HitlistEntry] {
-        self.per_prefix
-            .get(&prefix)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.per_prefix.get(&prefix).map_or(&[], Vec::as_slice)
     }
 }
 

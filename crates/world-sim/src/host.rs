@@ -23,7 +23,7 @@ use geo_model::point::GeoPoint;
 use geo_model::units::Km;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// What role a host plays in the replication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,8 +83,10 @@ impl Host {
 /// within them.
 #[derive(Debug, Clone, Default)]
 pub struct AddressPlan {
-    /// prefix -> owning PoP.
-    owners: HashMap<Prefix24, (AsId, CityId)>,
+    /// prefix -> owning PoP. A `BTreeMap` so `prefixes()` iterates in
+    /// prefix order — downstream consumers draw randomness per prefix and
+    /// must see a deterministic walk (geo-lint: D2).
+    owners: BTreeMap<Prefix24, (AsId, CityId)>,
     /// Next free prefix (starts at 1.0.0.0/24 and grows linearly).
     next_prefix: u32,
     /// Next free host byte in the most recent prefix per PoP.
@@ -99,7 +101,7 @@ impl AddressPlan {
     /// Creates an empty plan.
     pub fn new() -> AddressPlan {
         AddressPlan {
-            owners: HashMap::new(),
+            owners: BTreeMap::new(),
             next_prefix: 1 << 16, // 1.0.0.0/24
             cursors: HashMap::new(),
         }
@@ -142,7 +144,7 @@ impl AddressPlan {
         self.owners.len()
     }
 
-    /// Iterates all allocated prefixes with their owners.
+    /// Iterates all allocated prefixes with their owners, in prefix order.
     pub fn prefixes(&self) -> impl Iterator<Item = (Prefix24, (AsId, CityId))> + '_ {
         self.owners.iter().map(|(p, o)| (*p, *o))
     }

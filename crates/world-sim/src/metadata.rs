@@ -74,11 +74,9 @@ impl Metadata {
         }
 
         let mut geofeed = HashMap::new();
-        // Sort for determinism: the plan's prefix map has unspecified order
-        // and each entry consumes randomness.
-        let mut prefixes: Vec<_> = plan.prefixes().collect();
-        prefixes.sort_by_key(|(p, _)| *p);
-        for (prefix, (asn_id, city)) in prefixes {
+        // `plan.prefixes()` walks its BTree in prefix order, so the
+        // randomness consumed per entry is deterministic.
+        for (prefix, (asn_id, city)) in plan.prefixes() {
             let asn = &ases[asn_id.index()];
             if !asn.publishes_geofeed {
                 continue;
