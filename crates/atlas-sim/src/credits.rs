@@ -49,10 +49,15 @@ impl fmt::Display for InsufficientCredits {
 impl std::error::Error for InsufficientCredits {}
 
 /// A credit account with a balance and a spending ledger.
+///
+/// Accounting identity: `initial_balance == balance() + spent()` at all
+/// times, where `spent()` is *net* of refunds; `refunded()` counts the
+/// credits returned for measurements the platform failed to deliver.
 #[derive(Debug, Clone)]
 pub struct CreditAccount {
     balance: u64,
     spent: u64,
+    refunded: u64,
     schedule: CostSchedule,
 }
 
@@ -62,6 +67,7 @@ impl CreditAccount {
         CreditAccount {
             balance,
             spent: 0,
+            refunded: 0,
             schedule: CostSchedule::default(),
         }
     }
@@ -77,6 +83,7 @@ impl CreditAccount {
         CreditAccount {
             balance,
             spent: 0,
+            refunded: 0,
             schedule,
         }
     }
@@ -86,9 +93,14 @@ impl CreditAccount {
         self.balance
     }
 
-    /// Total credits spent so far.
+    /// Total credits spent so far, net of refunds.
     pub fn spent(&self) -> u64 {
         self.spent
+    }
+
+    /// Total credits refunded for failed or undelivered measurements.
+    pub fn refunded(&self) -> u64 {
+        self.refunded
     }
 
     /// The cost schedule.
@@ -106,6 +118,17 @@ impl CreditAccount {
         self.charge(count.saturating_mul(self.schedule.per_traceroute))
     }
 
+    /// Refunds `packets` ping packets that were charged but never
+    /// delivered (API failure, disconnected probe).
+    pub fn refund_pings(&mut self, packets: u64) {
+        self.refund(packets.saturating_mul(self.schedule.per_ping_packet));
+    }
+
+    /// Refunds `count` traceroutes that were charged but never delivered.
+    pub fn refund_traceroutes(&mut self, count: u64) {
+        self.refund(count.saturating_mul(self.schedule.per_traceroute));
+    }
+
     fn charge(&mut self, cost: u64) -> Result<(), InsufficientCredits> {
         if cost > self.balance {
             return Err(InsufficientCredits {
@@ -116,6 +139,16 @@ impl CreditAccount {
         self.balance -= cost;
         self.spent += cost;
         Ok(())
+    }
+
+    /// Returns previously charged credits. A refund can never exceed what
+    /// was actually spent, so the `initial == balance + spent` identity
+    /// survives any interleaving of charges and refunds.
+    fn refund(&mut self, amount: u64) {
+        let amount = amount.min(self.spent);
+        self.balance = self.balance.saturating_add(amount);
+        self.spent -= amount;
+        self.refunded += amount;
     }
 }
 
@@ -151,6 +184,33 @@ mod tests {
     }
 
     #[test]
+    fn refund_restores_balance_and_tracks() {
+        let mut acc = CreditAccount::new(100);
+        acc.charge_pings(30).unwrap();
+        acc.refund_pings(10);
+        assert_eq!(acc.balance(), 80);
+        assert_eq!(acc.spent(), 20);
+        assert_eq!(acc.refunded(), 10);
+        acc.charge_traceroutes(2).unwrap();
+        acc.refund_traceroutes(1);
+        assert_eq!(acc.balance(), 70);
+        assert_eq!(acc.spent(), 30);
+        assert_eq!(acc.refunded(), 20);
+        // Identity: initial == balance + spent.
+        assert_eq!(acc.balance() + acc.spent(), 100);
+    }
+
+    #[test]
+    fn refund_is_clamped_to_spent() {
+        let mut acc = CreditAccount::new(50);
+        acc.charge_pings(10).unwrap();
+        acc.refund_pings(1_000_000);
+        assert_eq!(acc.balance(), 50);
+        assert_eq!(acc.spent(), 0);
+        assert_eq!(acc.refunded(), 10);
+    }
+
+    #[test]
     fn custom_schedule() {
         let mut acc = CreditAccount::with_schedule(
             100,
@@ -161,5 +221,39 @@ mod tests {
         );
         acc.charge_pings(10).unwrap();
         assert_eq!(acc.balance(), 80);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The ledger identity `initial == balance + spent` holds after
+            /// every operation, for any interleaving of charges (which may
+            /// overdraft and be rejected) and refunds (which clamp to what
+            /// was actually spent).
+            #[test]
+            fn accounting_identity_survives_any_interleaving(
+                initial in 0u64..100_000,
+                ops in prop::collection::vec((0u8..4, 0u64..2_000), 0..64),
+            ) {
+                let mut acc = CreditAccount::new(initial);
+                let mut refunded_before = 0;
+                for (kind, amount) in ops {
+                    match kind {
+                        0 => { let _ = acc.charge_pings(amount); }
+                        1 => { let _ = acc.charge_traceroutes(amount); }
+                        2 => acc.refund_pings(amount),
+                        _ => acc.refund_traceroutes(amount),
+                    }
+                    prop_assert_eq!(acc.balance() + acc.spent(), initial);
+                    prop_assert!(acc.spent() <= initial);
+                    prop_assert!(acc.refunded() >= refunded_before);
+                    refunded_before = acc.refunded();
+                }
+            }
+        }
     }
 }

@@ -20,10 +20,12 @@
 
 pub mod clock;
 pub mod credits;
+pub mod faults;
 pub mod platform;
 pub mod traffic;
 
 pub use clock::VirtualClock;
 pub use credits::CreditAccount;
+pub use faults::{ApiFault, FaultConfig, FaultPlan, FaultProfile};
 pub use platform::{MeasurementBatch, Platform, PlatformConfig, PlatformError};
 pub use traffic::ProbeRate;

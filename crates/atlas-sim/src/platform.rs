@@ -9,6 +9,7 @@
 
 use crate::clock::{VirtualClock, VirtualDuration};
 use crate::credits::{CreditAccount, InsufficientCredits};
+use crate::faults::{ApiFault, FaultPlan};
 use crate::traffic::ProbeRate;
 use geo_model::distr::{LogNormal, Sample};
 use geo_model::ip::Ipv4;
@@ -41,13 +42,41 @@ impl Default for PlatformConfig {
     }
 }
 
-/// Platform call failures.
+/// Platform call failures, split into fatal conditions (credits, bad
+/// request) and transient API faults a caller may retry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlatformError {
-    /// Out of credits.
+    /// Out of credits. Fatal: retrying cannot help.
     Credits(InsufficientCredits),
-    /// The request named no vantage points.
+    /// The request named no vantage points. Fatal: a caller bug.
     NoVantagePoints,
+    /// The API shed load (HTTP 429). Transient: retry after the hint.
+    RateLimited {
+        /// Suggested wait before retrying, virtual seconds.
+        retry_after_secs: f64,
+    },
+    /// The measurement API answered 5xx; the measurement never ran.
+    /// Transient.
+    ServerError,
+    /// The result fetch never completed. Transient; the wait is already
+    /// charged to the virtual clock.
+    ApiTimeout {
+        /// Virtual seconds wasted waiting before giving up.
+        waited_secs: f64,
+    },
+}
+
+impl PlatformError {
+    /// True for transient faults where a bounded retry is the right
+    /// response; false for conditions retrying cannot fix.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PlatformError::RateLimited { .. }
+                | PlatformError::ServerError
+                | PlatformError::ApiTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for PlatformError {
@@ -55,6 +84,13 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::Credits(e) => write!(f, "{e}"),
             PlatformError::NoVantagePoints => write!(f, "no vantage points given"),
+            PlatformError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited (retry after {retry_after_secs:.0}s)")
+            }
+            PlatformError::ServerError => write!(f, "measurement API server error"),
+            PlatformError::ApiTimeout { waited_secs } => {
+                write!(f, "result fetch timed out after {waited_secs:.0}s")
+            }
         }
     }
 }
@@ -92,6 +128,7 @@ pub struct Platform {
     clock: VirtualClock,
     credits: CreditAccount,
     nonce: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl Platform {
@@ -107,7 +144,27 @@ impl Platform {
             clock: VirtualClock::new(),
             credits,
             nonce: 0,
+            faults: None,
         }
+    }
+
+    /// A platform whose calls are subjected to a seeded fault plan. A plan
+    /// with all rates at zero behaves exactly like a fault-free platform.
+    pub fn with_faults(
+        credits: CreditAccount,
+        config: PlatformConfig,
+        plan: FaultPlan,
+    ) -> Platform {
+        let mut p = Platform::with_config(credits, config);
+        if !plan.is_zero() {
+            p.faults = Some(plan);
+        }
+        p
+    }
+
+    /// The active fault plan, if any injects faults.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The virtual clock.
@@ -137,6 +194,43 @@ impl Platform {
         LogNormal::with_median(self.config.api_median_secs, self.config.api_sigma).sample(&mut rng)
     }
 
+    /// Consults the fault plan for call `nonce`. On a scheduled API fault,
+    /// burns the virtual time the failed call cost and returns the typed
+    /// retryable error; the caller must refund the charge first.
+    fn api_fault_for(&mut self, net: &Network, nonce: u64) -> Option<PlatformError> {
+        let fault = self.faults.as_ref()?.api_fault(nonce)?;
+        Some(match fault {
+            ApiFault::RateLimited => {
+                // Rejected at submission: near-instant, with a polite hint.
+                self.clock.advance(VirtualDuration::from_secs(1.0));
+                PlatformError::RateLimited {
+                    retry_after_secs: 30.0,
+                }
+            }
+            ApiFault::ServerError => {
+                self.clock.advance(VirtualDuration::from_secs(5.0));
+                PlatformError::ServerError
+            }
+            ApiFault::Timeout => {
+                // The caller polled well past the normal fetch time.
+                let waited = 4.0 * self.api_latency(net, nonce);
+                self.clock.advance(VirtualDuration::from_secs(waited));
+                PlatformError::ApiTimeout {
+                    waited_secs: waited,
+                }
+            }
+        })
+    }
+
+    /// The churn window the virtual clock currently sits in.
+    fn churn_window(&self) -> u64 {
+        let secs = match &self.faults {
+            Some(plan) => plan.config().churn_window_secs.max(1.0),
+            None => return 0,
+        };
+        (self.clock.now_secs() / secs) as u64
+    }
+
     /// Pings `target` from every vantage point (each sends
     /// `packets_per_ping` packets; the minimum RTT is reported).
     ///
@@ -157,10 +251,41 @@ impl Platform {
         let nonce = self.next_nonce();
         let started = self.clock.now_secs();
 
-        let results: Vec<(HostId, PingOutcome)> = vps
-            .iter()
-            .map(|&vp| (vp, net.ping_min(world, vp, target, packets, nonce)))
-            .collect();
+        if let Some(err) = self.api_fault_for(net, nonce) {
+            // The measurement never produced results; Atlas refunds.
+            self.credits.refund_pings((vps.len() * packets) as u64);
+            return Err(err);
+        }
+
+        let window = self.churn_window();
+        let mut results: Vec<(HostId, PingOutcome)> = Vec::with_capacity(vps.len());
+        let mut disconnected = 0u64;
+        for &vp in vps {
+            if let Some(plan) = &self.faults {
+                if plan.vp_disconnected(vp, window) {
+                    // Probe offline for this window: no packets sent.
+                    disconnected += 1;
+                    continue;
+                }
+                if plan.reply_lost(vp, nonce) {
+                    results.push((vp, PingOutcome::Timeout));
+                    continue;
+                }
+                if let Some(bad) = plan.garbled_rtt(vp, nonce) {
+                    results.push((vp, PingOutcome::Reply(bad)));
+                    continue;
+                }
+            }
+            results.push((vp, net.ping_min(world, vp, target, packets, nonce)));
+        }
+        if disconnected > 0 {
+            self.credits.refund_pings(disconnected * packets as u64);
+        }
+        if let Some(plan) = &self.faults {
+            // Truncation loses delivered results after the charge: the
+            // measurements ran, the fetch dropped the tail.
+            results.truncate(plan.delivered_len(results.len(), nonce));
+        }
 
         let sched = vps
             .iter()
@@ -192,10 +317,29 @@ impl Platform {
         let nonce = self.next_nonce();
         let started = self.clock.now_secs();
 
-        let results: Vec<(HostId, Traceroute)> = vps
-            .iter()
-            .map(|&vp| (vp, net.traceroute(world, vp, target, nonce)))
-            .collect();
+        if let Some(err) = self.api_fault_for(net, nonce) {
+            self.credits.refund_traceroutes(vps.len() as u64);
+            return Err(err);
+        }
+
+        let window = self.churn_window();
+        let mut results: Vec<(HostId, Traceroute)> = Vec::with_capacity(vps.len());
+        let mut disconnected = 0u64;
+        for &vp in vps {
+            if let Some(plan) = &self.faults {
+                if plan.vp_disconnected(vp, window) {
+                    disconnected += 1;
+                    continue;
+                }
+            }
+            results.push((vp, net.traceroute(world, vp, target, nonce)));
+        }
+        if disconnected > 0 {
+            self.credits.refund_traceroutes(disconnected);
+        }
+        if let Some(plan) = &self.faults {
+            results.truncate(plan.delivered_len(results.len(), nonce));
+        }
 
         // A traceroute sends ~16 packets (TTL sweep with retries).
         let sched = vps
@@ -228,22 +372,26 @@ impl Platform {
         self.credits
             .charge_pings((n * n.saturating_sub(1) * packets) as u64)?;
         let nonce = self.next_nonce();
+        if let Some(err) = self.api_fault_for(net, nonce) {
+            // Modelled as a failed dump download: nothing was delivered.
+            self.credits
+                .refund_pings((n * n.saturating_sub(1) * packets) as u64);
+            return Err(err);
+        }
         let mut mesh = vec![vec![None; n]; n];
         for (i, &src) in anchors.iter().enumerate() {
             for (j, &dst) in anchors.iter().enumerate() {
                 if i == j {
                     continue;
                 }
+                let pair = nonce ^ ((i as u64) << 32 | j as u64);
+                if let Some(plan) = &self.faults {
+                    if plan.reply_lost(src, pair) {
+                        continue;
+                    }
+                }
                 let ip = world.host(dst).ip;
-                mesh[i][j] = net
-                    .ping_min(
-                        world,
-                        src,
-                        ip,
-                        packets,
-                        nonce ^ ((i as u64) << 32 | j as u64),
-                    )
-                    .rtt();
+                mesh[i][j] = net.ping_min(world, src, ip, packets, pair).rtt();
             }
         }
         // The mesh runs continuously in the background on real Atlas; the
@@ -281,7 +429,20 @@ mod tests {
             .iter()
             .filter(|(_, o)| matches!(o, PingOutcome::Reply(_)))
             .count();
-        assert!(replies >= 18, "too many losses: {replies}/20");
+        // A VP goes unanswered only if all its packets are lost; bound the
+        // expected count from the configured packets-per-ping and loss rate
+        // (generous 10x margin plus one) so config changes keep the test
+        // honest instead of silently invalidating a hard-coded 18/20.
+        let n = vps.len();
+        let p_unanswered = net
+            .params()
+            .loss_rate
+            .powi(PlatformConfig::default().packets_per_ping as i32);
+        let allowed = (10.0 * n as f64 * p_unanswered).ceil() as usize + 1;
+        assert!(
+            replies >= n - allowed,
+            "too many losses: {replies}/{n} (allowed {allowed})"
+        );
     }
 
     #[test]
@@ -332,6 +493,93 @@ mod tests {
         }
         let measured = mesh.iter().flatten().filter(|o| o.is_some()).count();
         assert!(measured > 40, "mesh mostly failed: {measured}");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_identical_to_no_plan() {
+        let (w, net, _) = setup();
+        let vps: Vec<_> = w.probes.iter().copied().take(15).collect();
+        let t = w.host(w.anchors[0]).ip;
+        let run = |mut p: Platform| {
+            let b = p.ping_from(&w, &net, &vps, t).unwrap();
+            let rtts: Vec<_> = b.results.iter().map(|(v, o)| (*v, o.rtt())).collect();
+            (rtts, p.clock().now_secs(), p.credits().balance())
+        };
+        let plain = run(Platform::new(CreditAccount::new(10_000)));
+        let planned = run(Platform::with_faults(
+            CreditAccount::new(10_000),
+            PlatformConfig::default(),
+            FaultPlan::with_config(Seed(9), crate::faults::FaultConfig::none()),
+        ));
+        assert_eq!(plain, planned);
+    }
+
+    #[test]
+    fn faulty_platform_injects_typed_retryable_errors() {
+        use crate::faults::FaultProfile;
+        let (w, net, _) = setup();
+        let plan = FaultPlan::new(Seed(121), FaultProfile::Hostile);
+        let mut p =
+            Platform::with_faults(CreditAccount::upgraded(), PlatformConfig::default(), plan);
+        let vps: Vec<_> = w.probes.iter().copied().take(10).collect();
+        let t = w.host(w.anchors[0]).ip;
+        let mut failures = 0;
+        let mut short_batches = 0;
+        for _ in 0..60 {
+            match p.ping_from(&w, &net, &vps, t) {
+                Ok(b) => {
+                    if b.results.len() < vps.len() {
+                        short_batches += 1;
+                    }
+                }
+                Err(e) => {
+                    assert!(e.is_retryable(), "unexpected fatal error: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 0, "hostile plan never failed an API call");
+        assert!(short_batches > 0, "hostile plan never shed a result");
+    }
+
+    #[test]
+    fn refunds_keep_the_accounting_identity_under_faults() {
+        use crate::faults::FaultProfile;
+        let (w, net, _) = setup();
+        let initial = 1_000_000;
+        let plan = FaultPlan::new(Seed(5), FaultProfile::Hostile);
+        let mut p =
+            Platform::with_faults(CreditAccount::new(initial), PlatformConfig::default(), plan);
+        let vps: Vec<_> = w.probes.iter().copied().take(12).collect();
+        let t = w.host(w.anchors[0]).ip;
+        for _ in 0..40 {
+            let _ = p.ping_from(&w, &net, &vps, t);
+            let _ = p.traceroute_from(&w, &net, &vps, t);
+        }
+        assert!(p.credits().refunded() > 0, "hostile run refunded nothing");
+        assert_eq!(p.credits().balance() + p.credits().spent(), initial);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use crate::faults::FaultProfile;
+        let (w, net, _) = setup();
+        let run = || {
+            let plan = FaultPlan::new(Seed(121), FaultProfile::Flaky);
+            let mut p =
+                Platform::with_faults(CreditAccount::upgraded(), PlatformConfig::default(), plan);
+            let vps: Vec<_> = w.probes.iter().copied().take(10).collect();
+            let t = w.host(w.anchors[0]).ip;
+            let mut trace = String::new();
+            for _ in 0..30 {
+                match p.ping_from(&w, &net, &vps, t) {
+                    Ok(b) => trace.push_str(&format!("ok:{};", b.results.len())),
+                    Err(e) => trace.push_str(&format!("err:{e};")),
+                }
+            }
+            (trace, p.clock().now_secs(), p.credits().spent())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

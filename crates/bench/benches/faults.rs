@@ -1,0 +1,214 @@
+//! Resilient-executor benchmarks: what the fault-tolerance layer costs
+//! when nothing fails (the acceptance bound is <3% over the direct path)
+//! and what recovery costs under the flaky/hostile profiles.
+//!
+//! `cargo bench -p bench --bench faults` runs the Criterion group;
+//! `cargo bench -p bench --bench faults -- --snapshot` additionally
+//! rewrites `BENCH_faults.json` at the repo root.
+
+// Timing measurement is this code's purpose; the workspace bans
+// wall-clock reads by default (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
+use atlas_sim::{FaultPlan, FaultProfile};
+use criterion::{criterion_group, Criterion};
+use geo_model::ip::Ipv4;
+use geo_model::rng::Seed;
+use ipgeo::resilient::{self, CampaignReport, TargetLog};
+use ipgeo::Resilience;
+use net_sim::Network;
+use world_sim::ids::HostId;
+use world_sim::{World, WorldConfig};
+
+fn setup() -> (World, Network, Vec<HostId>, Vec<Ipv4>) {
+    let world = World::generate(WorldConfig::small(Seed(441))).expect("small world");
+    let net = Network::new(Seed(441));
+    let vps: Vec<HostId> = world
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !world.host(p).is_mis_geolocated())
+        .collect();
+    let targets: Vec<Ipv4> = world.anchors.iter().map(|&a| world.host(a).ip).collect();
+    (world, net, vps, targets)
+}
+
+fn batch_key(target: Ipv4) -> u64 {
+    0xFA17 ^ target.0 as u64
+}
+
+/// The pre-executor path: every VP pings every target directly.
+fn direct_sweep(world: &World, net: &Network, vps: &[HostId], targets: &[Ipv4]) -> f64 {
+    let mut acc = 0.0;
+    for &t in targets {
+        for &vp in vps {
+            if let net_sim::PingOutcome::Reply(rtt) = net.ping_min(world, vp, t, 3, batch_key(t)) {
+                acc += rtt.value();
+            }
+        }
+    }
+    acc
+}
+
+/// The same sweep through the resilient executor.
+fn executor_sweep(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    targets: &[Ipv4],
+) -> (f64, CampaignReport) {
+    let mut acc = 0.0;
+    let mut report = CampaignReport::default();
+    for &t in targets {
+        let mut log = TargetLog::default();
+        for (_, outcome) in
+            resilient::ping_batch(world, net, res, vps, t, 3, batch_key(t), &mut log)
+        {
+            if let Some(rtt) = outcome.rtt() {
+                acc += rtt.value();
+            }
+        }
+        report.absorb(&log);
+    }
+    (acc, report)
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let (world, net, vps, targets) = setup();
+    direct_sweep(&world, &net, &vps, &targets); // warm the base-delay cache
+
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    g.bench_function("sweep/direct", |b| {
+        b.iter(|| direct_sweep(&world, &net, &vps, &targets));
+    });
+    g.bench_function("sweep/executor_none", |b| {
+        let res = Resilience::none();
+        b.iter(|| executor_sweep(&world, &net, &res, &vps, &targets));
+    });
+    let flaky = FaultPlan::new(Seed(441), FaultProfile::Flaky);
+    g.bench_function("sweep/executor_flaky", |b| {
+        let res = Resilience::with_plan(&flaky);
+        b.iter(|| executor_sweep(&world, &net, &res, &vps, &targets));
+    });
+    let hostile = FaultPlan::new(Seed(441), FaultProfile::Hostile);
+    g.bench_function("sweep/executor_hostile", |b| {
+        let res = Resilience::with_plan(&hostile);
+        b.iter(|| executor_sweep(&world, &net, &res, &vps, &targets));
+    });
+    g.finish();
+}
+
+criterion_group!(faults, bench_faults);
+
+/// Median of `reps` wall-clock timings of `f`, in seconds.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            criterion::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One fixed-shape measurement pass, written to `BENCH_faults.json`.
+fn write_snapshot() {
+    let (world, net, vps, targets) = setup();
+    direct_sweep(&world, &net, &vps, &targets); // warm the base-delay cache
+
+    // One sweep is a few milliseconds, and the effect under test is sub-3%:
+    // time batches of sweeps (so scheduler noise amortizes) and interleave
+    // the direct/executor samples (so slow machine-state drift cancels).
+    const BATCH: usize = 10;
+    println!("snapshot: timing the fault-free sweep (direct vs executor)");
+    let none = Resilience::none();
+    direct_sweep(&world, &net, &vps, &targets);
+    executor_sweep(&world, &net, &none, &vps, &targets);
+    let mut direct_samples = Vec::new();
+    let mut executor_samples = Vec::new();
+    for _ in 0..15 {
+        let t = std::time::Instant::now();
+        for _ in 0..BATCH {
+            criterion::black_box(direct_sweep(&world, &net, &vps, &targets));
+        }
+        direct_samples.push(t.elapsed().as_secs_f64() / BATCH as f64);
+        let t = std::time::Instant::now();
+        for _ in 0..BATCH {
+            criterion::black_box(executor_sweep(&world, &net, &none, &vps, &targets));
+        }
+        executor_samples.push(t.elapsed().as_secs_f64() / BATCH as f64);
+    }
+    direct_samples.sort_by(f64::total_cmp);
+    executor_samples.sort_by(f64::total_cmp);
+    let direct = direct_samples[direct_samples.len() / 2];
+    let executor = executor_samples[executor_samples.len() / 2];
+    let overhead_pct = (executor / direct - 1.0) * 100.0;
+
+    println!("snapshot: timing the faulty sweeps (flaky, hostile)");
+    let flaky_plan = FaultPlan::new(Seed(441), FaultProfile::Flaky);
+    let flaky_res = Resilience::with_plan(&flaky_plan);
+    let flaky = time_median(3, || {
+        executor_sweep(&world, &net, &flaky_res, &vps, &targets)
+    });
+    let (_, flaky_report) = executor_sweep(&world, &net, &flaky_res, &vps, &targets);
+    let hostile_plan = FaultPlan::new(Seed(441), FaultProfile::Hostile);
+    let hostile_res = Resilience::with_plan(&hostile_plan);
+    let hostile = time_median(3, || {
+        executor_sweep(&world, &net, &hostile_res, &vps, &targets)
+    });
+    let (_, hostile_report) = executor_sweep(&world, &net, &hostile_res, &vps, &targets);
+
+    let json = format!(
+        r#"{{
+  "bench": "faults",
+  "sweep": {{ "targets": {}, "vps": {}, "packets_per_ping": 3 }},
+  "fault_free": {{
+    "direct_s": {direct:.4},
+    "executor_none_s": {executor:.4},
+    "executor_overhead_pct": {overhead_pct:.2},
+    "acceptance": "executor overhead at fault rate 0 must stay under 3%"
+  }},
+  "flaky": {{
+    "sweep_s": {flaky:.4},
+    "retries": {},
+    "faults_survived": {},
+    "delivered": {},
+    "requested": {}
+  }},
+  "hostile": {{
+    "sweep_s": {hostile:.4},
+    "retries": {},
+    "faults_survived": {},
+    "delivered": {},
+    "requested": {}
+  }},
+  "note": "same seed and nonce per batch in every mode; the fault-free executor issues exactly the direct path's net-sim calls"
+}}
+"#,
+        targets.len(),
+        vps.len(),
+        flaky_report.retries,
+        flaky_report.faults.total(),
+        flaky_report.delivered,
+        flaky_report.requested,
+        hostile_report.retries,
+        hostile_report.faults.total(),
+        hostile_report.delivered,
+        hostile_report.requested,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("snapshot written to {path}:\n{json}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        write_snapshot();
+        return;
+    }
+    faults();
+}

@@ -23,6 +23,7 @@ fn main() {
             ex::fig6::fig6c(d, &set),
             ex::fig7::fig7(d),
             ex::fig8::fig8(d),
+            ex::faults::fault_sweep(d),
             ex::sanity::deployability(d),
         ]
     });

@@ -1,0 +1,4 @@
+//! Fault sweep: million-scale accuracy under injected platform faults.
+fn main() {
+    bench::run(|d| vec![eval::experiments::faults::fault_sweep(d)]);
+}

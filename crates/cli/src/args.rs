@@ -1,6 +1,7 @@
 //! Minimal argument parsing for the `ipgeo` CLI (no external parser: a
 //! handful of subcommands and flags).
 
+use atlas_sim::FaultProfile;
 use std::fmt;
 
 /// Parsed command line.
@@ -16,6 +17,9 @@ pub struct Cli {
     pub nonce: u64,
     /// Coverage-mesh size for dataset campaigns (`--mesh N`, default 300).
     pub mesh: usize,
+    /// Injected platform faults (`--fault-profile none|flaky|hostile`,
+    /// default none).
+    pub fault_profile: FaultProfile,
 }
 
 /// Where `query` resolves lookups: a local snapshot or a running server.
@@ -152,6 +156,9 @@ OPTIONS:
     --server <ADDR>         query: host:port of a running server
     --nearest               query: fall back to the nearest covering
                             prefix on a miss
+    --fault-profile <P>     locate/dataset/publish: inject deterministic
+                            platform faults and run the resilient campaign
+                            executor: none|flaky|hostile (default none)
 ";
 
 /// Parses argv (without the program name).
@@ -161,6 +168,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut method = Method::Cbg;
     let mut nonce = 1u64;
     let mut mesh = 300usize;
+    let mut fault_profile = FaultProfile::None;
     let mut out: Option<String> = None;
     let mut port = 4750u16;
     let mut server: Option<String> = None;
@@ -218,6 +226,11 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 server = Some(value(args, i, "--server")?.to_string());
             }
             "--nearest" => nearest = true,
+            "--fault-profile" => {
+                i += 1;
+                fault_profile =
+                    FaultProfile::parse(value(args, i, "--fault-profile")?).map_err(ParseError)?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(ParseError(format!("unknown flag `{flag}`")));
             }
@@ -296,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         paper,
         nonce,
         mesh,
+        fault_profile,
     })
 }
 
@@ -334,6 +348,17 @@ mod tests {
         assert!(!cli.paper);
         assert_eq!(cli.nonce, 1);
         assert_eq!(cli.mesh, 300);
+        assert_eq!(cli.fault_profile, FaultProfile::None);
+    }
+
+    #[test]
+    fn parses_fault_profile() {
+        let cli = parse(&argv("dataset --fault-profile flaky")).unwrap();
+        assert_eq!(cli.fault_profile, FaultProfile::Flaky);
+        let cli = parse(&argv("locate 1.0.42.1 --fault-profile hostile")).unwrap();
+        assert_eq!(cli.fault_profile, FaultProfile::Hostile);
+        assert!(parse(&argv("dataset --fault-profile chaotic")).is_err());
+        assert!(parse(&argv("dataset --fault-profile")).is_err());
     }
 
     #[test]

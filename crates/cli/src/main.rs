@@ -6,14 +6,17 @@
 mod args;
 
 use args::{parse, Cli, Command, Method, QuerySource, USAGE};
+use atlas_sim::{FaultPlan, FaultProfile};
 use geo_model::ip::{Ipv4, Prefix24};
 use geo_model::rng::Seed;
 use geo_model::soi::SpeedOfInternet;
 use geo_serve::{DatasetStore, DiffReport, Manifest, QueryServer};
 use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
 use ipgeo::publish::DatasetEntry;
-use ipgeo::street::{geolocate as street_geolocate, StreetConfig};
-use ipgeo::two_step::{geolocate as two_step_geolocate, greedy_coverage};
+use ipgeo::resilient::{CampaignReport, TargetLog};
+use ipgeo::street::{geolocate_resilient as street_geolocate, StreetConfig};
+use ipgeo::two_step::{geolocate_resilient as two_step_geolocate, greedy_coverage};
+use ipgeo::Resilience;
 use net_sim::Network;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -60,6 +63,21 @@ fn clean_probes(world: &World) -> Vec<HostId> {
         .collect()
 }
 
+/// The fault plan the CLI's `--fault-profile` selects, seeded from the
+/// world seed so a given `(seed, profile)` pair replays bit-identically.
+fn fault_plan(cli: &Cli) -> FaultPlan {
+    FaultPlan::new(Seed(cli.seed), cli.fault_profile)
+}
+
+/// Prints the campaign report to stderr (stdout stays machine-readable
+/// CSV / protocol output) when faults were actually injected.
+fn report_faults(cli: &Cli, report: &CampaignReport) {
+    if cli.fault_profile != FaultProfile::None {
+        eprintln!("fault profile {} (seed {}):", cli.fault_profile, cli.seed);
+        eprintln!("{report}");
+    }
+}
+
 /// The shared producer behind `dataset` and `publish`: build the
 /// explainable dataset over the anchors' prefixes with the CLI's
 /// campaign knobs (`--nonce`, `--mesh`).
@@ -75,9 +93,17 @@ fn publish_dataset(cli: &Cli, world: &World) -> Result<Vec<DatasetEntry>, String
         .iter()
         .map(|&a| world.host(a).ip.prefix24())
         .collect();
-    Ok(ipgeo::publish::build_dataset(
-        world, &net, &mesh, &prefixes, cli.nonce,
-    ))
+    let plan = fault_plan(cli);
+    let (ds, report) = ipgeo::publish::build_dataset_resilient(
+        world,
+        &net,
+        &Resilience::with_plan(&plan),
+        &mesh,
+        &prefixes,
+        cli.nonce,
+    );
+    report_faults(cli, &report);
+    Ok(ds)
 }
 
 fn run(cli: Cli) -> Result<(), String> {
@@ -248,21 +274,24 @@ fn run(cli: Cli) -> Result<(), String> {
                 ));
             };
             let vps = clean_probes(&world);
+            let plan = fault_plan(&cli);
+            let res = Resilience::with_plan(&plan);
+            let mut log = TargetLog::default();
 
             let (estimate, label) = match method {
                 Method::Cbg | Method::ShortestPing => {
-                    let ms: Vec<VpMeasurement> = vps
-                        .iter()
-                        .filter_map(|&vp| {
-                            net.ping_min(&world, vp, target, 3, 1)
-                                .rtt()
-                                .map(|rtt| VpMeasurement {
-                                    vp,
-                                    location: world.host(vp).registered_location,
-                                    rtt,
-                                })
+                    let ms: Vec<VpMeasurement> = ipgeo::resilient::ping_batch(
+                        &world, &net, &res, &vps, target, 3, 1, &mut log,
+                    )
+                    .into_iter()
+                    .filter_map(|(vp, outcome)| {
+                        outcome.rtt().map(|rtt| VpMeasurement {
+                            vp,
+                            location: world.host(vp).registered_location,
+                            rtt,
                         })
-                        .collect();
+                    })
+                    .collect();
                     if method == Method::Cbg {
                         let r = cbg(&ms, SpeedOfInternet::CBG).ok_or("CBG region is empty")?;
                         (r.estimate, "CBG (all probes)")
@@ -273,7 +302,9 @@ fn run(cli: Cli) -> Result<(), String> {
                 }
                 Method::TwoStep => {
                     let coverage = greedy_coverage(&world, &vps, 50.min(vps.len()));
-                    let out = two_step_geolocate(&world, &net, &coverage, &vps, target, 1);
+                    let out = two_step_geolocate(
+                        &world, &net, &res, &coverage, &vps, target, 1, &mut log,
+                    );
                     let r = out.cbg.ok_or(
                         "two-step selection failed: the target's /24 has no \
                          responsive representatives (the VP selection needs the \
@@ -299,10 +330,12 @@ fn run(cli: Cli) -> Result<(), String> {
                         &world,
                         &net,
                         &eco,
+                        &res,
                         &anchors,
                         host.id,
                         &StreetConfig::default(),
                         1,
+                        &mut log,
                     );
                     println!(
                         "street level: {} landmarks, {} mapping queries, {:.0}s virtual time",
@@ -323,6 +356,9 @@ fn run(cli: Cli) -> Result<(), String> {
                 "error    {:.1} km",
                 estimate.distance(&host.location).value()
             );
+            let mut report = CampaignReport::default();
+            report.absorb(&log);
+            report_faults(&cli, &report);
             Ok(())
         }
     }

@@ -33,6 +33,12 @@
 //! cost (pings, traceroutes, mapping queries, virtual time), because the
 //! replication's headline results are as much about deployability as
 //! about accuracy.
+//!
+//! Measurement batches route through [`resilient`], the campaign executor
+//! that retries transient platform faults (`atlas_sim::faults`) with
+//! bounded deterministic backoff, tolerates partial results, and records a
+//! [`resilient::CampaignReport`]; without a fault plan it is byte-identical
+//! to direct `net-sim` calls.
 
 pub mod cbg;
 pub mod dbsim;
@@ -40,9 +46,11 @@ pub mod million;
 pub mod multi_round;
 pub mod oracle;
 pub mod publish;
+pub mod resilient;
 pub mod sanitize;
 pub mod street;
 pub mod two_step;
 
 pub use cbg::{cbg, shortest_ping, CbgResult, VpMeasurement};
+pub use resilient::{CampaignReport, Resilience, RetryPolicy, TargetLog};
 pub use sanitize::{sanitize_anchors, sanitize_probes, SanitizeReport};

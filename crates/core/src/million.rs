@@ -14,12 +14,14 @@
 //! finding is that `k = 1` — a single well-chosen VP — is enough.
 
 use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::resilient::{self, CampaignReport, Resilience, TargetLog};
 use geo_model::ip::Ipv4;
-use geo_model::rng::Seed;
+use geo_model::rng::{splitmix64, Seed};
 use geo_model::soi::SpeedOfInternet;
 use geo_model::stats;
 use geo_model::units::Ms;
 use net_sim::Network;
+use std::collections::HashMap;
 use world_sim::hitlist::HitlistEntry;
 use world_sim::ids::HostId;
 use world_sim::World;
@@ -57,6 +59,29 @@ pub fn probe_representatives(
     target: Ipv4,
     nonce: u64,
 ) -> RepProbe {
+    probe_representatives_resilient(
+        world,
+        net,
+        &Resilience::none(),
+        vps,
+        target,
+        nonce,
+        &mut TargetLog::default(),
+    )
+}
+
+/// [`probe_representatives`] with every representative batch routed
+/// through the resilient executor. Fault-free, it issues exactly the same
+/// `net-sim` calls.
+pub fn probe_representatives_resilient(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    target: Ipv4,
+    nonce: u64,
+    log: &mut TargetLog,
+) -> RepProbe {
     let prefix = target.prefix24();
     let mut reps = world.hitlist.representatives(prefix, REPRESENTATIVES);
     if reps.len() < REPRESENTATIVES {
@@ -68,21 +93,26 @@ pub fn probe_representatives(
             .fill_with_random(prefix, reps, REPRESENTATIVES, &mut rng);
     }
 
+    // One batch per representative; transpose delivered results back to
+    // per-VP RTT lists (lookup only — no hash iteration, per geo-lint D2).
+    let index: HashMap<HostId, usize> = vps.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut rtts: Vec<Vec<f64>> = vec![Vec::new(); vps.len()];
+    for r in &reps {
+        let key = nonce ^ r.ip.0 as u64;
+        let batch = resilient::ping_batch(world, net, res, vps, r.ip, 3, key, log);
+        for (vp, outcome) in batch {
+            if let Some(m) = outcome.rtt() {
+                rtts[index[&vp]].push(m.value());
+            }
+        }
+    }
+
     let mut scores: Vec<VpScore> = vps
         .iter()
-        .map(|&vp| {
-            let rtts: Vec<f64> = reps
-                .iter()
-                .filter_map(|r| {
-                    net.ping_min(world, vp, r.ip, 3, nonce ^ r.ip.0 as u64)
-                        .rtt()
-                        .map(|m| m.value())
-                })
-                .collect();
-            VpScore {
-                vp,
-                median_rtt: stats::median(&rtts).map(Ms),
-            }
+        .enumerate()
+        .map(|(i, &vp)| VpScore {
+            vp,
+            median_rtt: stats::median(&rtts[i]).map(Ms),
         })
         .collect();
     scores.sort_by(|a, b| match (a.median_rtt, b.median_rtt) {
@@ -119,6 +149,31 @@ pub fn geolocate_with_selection(
     k: usize,
     nonce: u64,
 ) -> MillionScaleOutcome {
+    geolocate_with_selection_resilient(
+        world,
+        net,
+        &Resilience::none(),
+        probe,
+        target,
+        k,
+        nonce,
+        &mut TargetLog::default(),
+    )
+}
+
+/// [`geolocate_with_selection`] with the target pings routed through the
+/// resilient executor.
+#[allow(clippy::too_many_arguments)]
+pub fn geolocate_with_selection_resilient(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    probe: &RepProbe,
+    target: Ipv4,
+    k: usize,
+    nonce: u64,
+    log: &mut TargetLog,
+) -> MillionScaleOutcome {
     let selected: Vec<HostId> = probe
         .scores
         .iter()
@@ -127,16 +182,15 @@ pub fn geolocate_with_selection(
         .map(|s| s.vp)
         .collect();
 
-    let measurements: Vec<VpMeasurement> = selected
+    let batch = resilient::ping_batch(world, net, res, &selected, target, 3, nonce, log);
+    let measurements: Vec<VpMeasurement> = batch
         .iter()
-        .filter_map(|&vp| {
-            net.ping_min(world, vp, target, 3, nonce)
-                .rtt()
-                .map(|rtt| VpMeasurement {
-                    vp,
-                    location: world.host(vp).registered_location,
-                    rtt,
-                })
+        .filter_map(|(vp, outcome)| {
+            outcome.rtt().map(|rtt| VpMeasurement {
+                vp: *vp,
+                location: world.host(*vp).registered_location,
+                rtt,
+            })
         })
         .collect();
 
@@ -145,6 +199,48 @@ pub fn geolocate_with_selection(
         cbg: cbg(&measurements, SpeedOfInternet::CBG),
         selected_vps: selected,
     }
+}
+
+/// Runs the full million-scale campaign over `targets`, fanning out with
+/// [`geo_model::runtime::par_map_indexed`] (bit-identical at any
+/// `IPGEO_THREADS`) and folding per-target accounting into one
+/// [`CampaignReport`] in target order.
+pub fn campaign(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    targets: &[Ipv4],
+    k: usize,
+    nonce: u64,
+) -> (Vec<MillionScaleOutcome>, CampaignReport) {
+    let per: Vec<(MillionScaleOutcome, TargetLog)> =
+        geo_model::runtime::par_map_indexed(targets.len(), |i| {
+            let key = Seed(nonce).derive_index("million-campaign", i as u64).0;
+            let mut log = TargetLog::default();
+            let probe =
+                probe_representatives_resilient(world, net, res, vps, targets[i], key, &mut log);
+            let out = geolocate_with_selection_resilient(
+                world,
+                net,
+                res,
+                &probe,
+                targets[i],
+                k,
+                splitmix64(key ^ 0x717A),
+                &mut log,
+            );
+            (out, log)
+        });
+    let mut report = CampaignReport::default();
+    let outcomes = per
+        .into_iter()
+        .map(|(out, log)| {
+            report.absorb(&log);
+            out
+        })
+        .collect();
+    (outcomes, report)
 }
 
 #[cfg(test)]
@@ -237,6 +333,61 @@ mod tests {
         let probe = probe_representatives(&w, &net, &vps, target.ip, 3);
         let out = geolocate_with_selection(&w, &net, &probe, target.ip, 10, 3);
         assert_eq!(out.measurements, 50 * 3 + out.selected_vps.len() as u64);
+    }
+
+    #[test]
+    fn campaign_survives_api_failures_with_correct_accounting() {
+        use atlas_sim::faults::{FaultConfig, FaultPlan};
+        let (w, net) = setup();
+        let vps: Vec<HostId> = clean_probes(&w).into_iter().take(30).collect();
+        let targets: Vec<Ipv4> = w.anchors.iter().take(6).map(|&a| w.host(a).ip).collect();
+        // The acceptance scenario: 20% of API calls fail transiently.
+        let cfg = FaultConfig {
+            api_fault_rate: 0.2,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::with_config(Seed(42), cfg);
+        let res = Resilience::with_plan(&plan);
+        let (outs, report) = campaign(&w, &net, &res, &vps, &targets, 3, 9);
+        assert_eq!(outs.len(), targets.len());
+        assert!(outs.iter().all(|o| o.cbg.is_some()), "a target got no fix");
+        let api_faults =
+            report.faults.rate_limited + report.faults.server_errors + report.faults.api_timeouts;
+        assert!(api_faults > 0, "20% fault rate never fired");
+        assert!(report.retries > 0, "faults never retried");
+        // Partial-result accounting: with API faults only, every refund
+        // matches a failed call exactly, so net credits equal the cost of
+        // what was delivered (3-packet pings at 1 credit per packet).
+        assert_eq!(report.credits.net(), report.delivered * 3);
+        assert_eq!(
+            report.delivered, report.requested,
+            "bounded retries failed to recover a batch: {report}"
+        );
+        assert_eq!(report.failed_batches, 0);
+    }
+
+    #[test]
+    fn campaign_report_is_deterministic() {
+        use atlas_sim::faults::{FaultPlan, FaultProfile};
+        let (w, net) = setup();
+        let vps: Vec<HostId> = clean_probes(&w).into_iter().take(20).collect();
+        let targets: Vec<Ipv4> = w.anchors.iter().take(4).map(|&a| w.host(a).ip).collect();
+        let run = || {
+            let plan = FaultPlan::new(Seed(13), FaultProfile::Flaky);
+            let res = Resilience::with_plan(&plan);
+            let (outs, report) = campaign(&w, &net, &res, &vps, &targets, 3, 5);
+            let shape: Vec<_> = outs
+                .iter()
+                .map(|o| {
+                    (
+                        o.selected_vps.clone(),
+                        o.cbg.as_ref().map(|r| (r.estimate.lat(), r.estimate.lon())),
+                    )
+                })
+                .collect();
+            (shape, report.to_string())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! lack.
 
 use crate::cbg::{cbg, VpMeasurement};
+use crate::resilient::{self, CampaignReport, Resilience, TargetLog};
 use geo_model::ip::Prefix24;
 use geo_model::point::GeoPoint;
 use geo_model::soi::SpeedOfInternet;
@@ -113,12 +114,35 @@ pub fn build_dataset(
     prefixes: &[Prefix24],
     nonce: u64,
 ) -> Vec<DatasetEntry> {
-    geo_model::runtime::par_map_indexed(prefixes.len(), |i| {
-        locate_prefix(world, net, vps, prefixes[i], nonce)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    build_dataset_resilient(world, net, &Resilience::none(), vps, prefixes, nonce).0
+}
+
+/// [`build_dataset`] with latency campaigns routed through the resilient
+/// executor, returning the per-campaign accounting alongside the entries.
+/// Fault-free, the entries are byte-identical to [`build_dataset`]'s.
+pub fn build_dataset_resilient(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    prefixes: &[Prefix24],
+    nonce: u64,
+) -> (Vec<DatasetEntry>, CampaignReport) {
+    let per: Vec<(Option<DatasetEntry>, TargetLog)> =
+        geo_model::runtime::par_map_indexed(prefixes.len(), |i| {
+            let mut log = TargetLog::default();
+            let entry = locate_prefix(world, net, res, vps, prefixes[i], nonce, &mut log);
+            (entry, log)
+        });
+    let mut report = CampaignReport::default();
+    let entries = per
+        .into_iter()
+        .filter_map(|(entry, log)| {
+            report.absorb(&log);
+            entry
+        })
+        .collect();
+    (entries, report)
 }
 
 /// Resolves one prefix through the evidence ladder. `None` only for
@@ -126,9 +150,11 @@ pub fn build_dataset(
 fn locate_prefix(
     world: &World,
     net: &Network,
+    res: &Resilience,
     vps: &[HostId],
     prefix: Prefix24,
     nonce: u64,
+    log: &mut TargetLog,
 ) -> Option<DatasetEntry> {
     let (asn, _city) = world.plan.owner(prefix)?;
 
@@ -161,16 +187,16 @@ fn locate_prefix(
         .addresses()
         .find(|&ip| world.host_by_ip(ip).is_some())
     {
-        let ms: Vec<VpMeasurement> = vps
+        let batch =
+            resilient::ping_batch(world, net, res, vps, ip, 3, nonce ^ prefix.0 as u64, log);
+        let ms: Vec<VpMeasurement> = batch
             .iter()
-            .filter_map(|&vp| {
-                net.ping_min(world, vp, ip, 3, nonce ^ prefix.0 as u64)
-                    .rtt()
-                    .map(|rtt| VpMeasurement {
-                        vp,
-                        location: world.host(vp).registered_location,
-                        rtt,
-                    })
+            .filter_map(|(vp, outcome)| {
+                outcome.rtt().map(|rtt| VpMeasurement {
+                    vp: *vp,
+                    location: world.host(*vp).registered_location,
+                    rtt,
+                })
             })
             .collect();
         if let Some(result) = cbg(&ms, SpeedOfInternet::CBG) {
@@ -260,6 +286,44 @@ mod tests {
             .collect();
         let city_level = stats::fraction_at_most(&errors, 40.0);
         assert!(city_level > 0.5, "only {city_level} at city level");
+    }
+
+    #[test]
+    fn resilient_dataset_matches_plain_when_fault_free() {
+        let (w, net, vps, prefixes) = setup();
+        let plain = build_dataset(&w, &net, &vps, &prefixes, 1);
+        let (entries, report) =
+            build_dataset_resilient(&w, &net, &Resilience::none(), &vps, &prefixes, 1);
+        assert_eq!(plain, entries);
+        assert_eq!(report.targets, prefixes.len() as u64);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.faults.total(), 0);
+        assert_eq!(report.credits.charged, report.credits.baseline);
+    }
+
+    #[test]
+    fn resilient_dataset_survives_hostile_faults() {
+        use atlas_sim::faults::{FaultPlan, FaultProfile};
+        let (w, net, vps, _) = setup();
+        // Probe prefixes rarely carry geofeed/DNS evidence, so the ladder
+        // reaches the latency step and its fault-exposed ping batches.
+        let mut prefixes: Vec<Prefix24> = w
+            .probes
+            .iter()
+            .take(40)
+            .map(|&p| w.host(p).ip.prefix24())
+            .collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let plan = FaultPlan::new(Seed(63), FaultProfile::Hostile);
+        let res = Resilience::with_plan(&plan);
+        let (entries, report) = build_dataset_resilient(&w, &net, &res, &vps, &prefixes, 1);
+        // Every owned prefix still gets an entry: the evidence ladder
+        // degrades (latency → WHOIS) rather than dropping coverage.
+        assert_eq!(entries.len(), prefixes.len());
+        assert!(report.attempts > 0, "latency step never reached");
+        assert!(report.faults.total() > 0, "hostile plan never fired");
+        assert!(report.credits.charged >= report.credits.baseline);
     }
 
     #[test]

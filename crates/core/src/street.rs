@@ -24,6 +24,7 @@
 //! round trips) for the Fig. 6c scalability analysis.
 
 use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::resilient::{self, Resilience, TargetLog};
 use geo_model::constraint::{Circle, Region};
 use geo_model::point::GeoPoint;
 use geo_model::rng::splitmix64;
@@ -145,22 +146,58 @@ pub fn geolocate(
     cfg: &StreetConfig,
     nonce: u64,
 ) -> StreetOutcome {
+    geolocate_resilient(
+        world,
+        net,
+        eco,
+        &Resilience::none(),
+        vps,
+        target,
+        cfg,
+        nonce,
+        &mut TargetLog::default(),
+    )
+}
+
+/// [`geolocate`] with every measurement batch routed through the resilient
+/// executor. Fault-free, it issues exactly the same `net-sim` calls.
+#[allow(clippy::too_many_arguments)]
+pub fn geolocate_resilient(
+    world: &World,
+    net: &Network,
+    eco: &WebEcosystem,
+    res: &Resilience,
+    vps: &[HostId],
+    target: HostId,
+    cfg: &StreetConfig,
+    nonce: u64,
+    log: &mut TargetLog,
+) -> StreetOutcome {
     let target_ip = world.host(target).ip;
     let mut virtual_secs = 0.0;
     let mut services = MappingServices::new();
     let mut tester = LocalityTester::new(net.seed().derive_index("street", nonce));
 
     // ---- Tier 1 ----
-    let tier1_ms: Vec<VpMeasurement> = vps
+    let tier1_batch = resilient::ping_batch_keyed(
+        world,
+        net,
+        res,
+        vps,
+        target_ip,
+        3,
+        nonce,
+        |_, vp: HostId| splitmix64(nonce ^ vp.0 as u64),
+        log,
+    );
+    let tier1_ms: Vec<VpMeasurement> = tier1_batch
         .iter()
-        .filter_map(|&vp| {
-            net.ping_min(world, vp, target_ip, 3, splitmix64(nonce ^ vp.0 as u64))
-                .rtt()
-                .map(|rtt| VpMeasurement {
-                    vp,
-                    location: world.host(vp).registered_location,
-                    rtt,
-                })
+        .filter_map(|(vp, outcome)| {
+            outcome.rtt().map(|rtt| VpMeasurement {
+                vp: *vp,
+                location: world.host(*vp).registered_location,
+                rtt,
+            })
         })
         .collect();
     virtual_secs += cfg.api_round_secs; // one ping campaign
@@ -193,19 +230,19 @@ pub fn geolocate(
         .collect();
 
     // Traceroutes from each VP to the target (reused for all landmarks).
-    let mut traceroutes: u64 = 0;
-    let target_traces: Vec<Traceroute> = trace_vps
-        .iter()
-        .map(|&vp| {
-            traceroutes += 1;
-            net.traceroute(
-                world,
-                vp,
-                target_ip,
-                splitmix64(nonce ^ 0x7714 ^ vp.0 as u64),
-            )
-        })
-        .collect();
+    // Results pair with landmark traceroutes by VP id, so a VP lost to
+    // churn here simply contributes no D1+D2 value later.
+    let target_traces: Vec<(HostId, Traceroute)> = resilient::traceroute_batch_keyed(
+        world,
+        net,
+        res,
+        &trace_vps,
+        target_ip,
+        nonce ^ 0x7714,
+        |_, vp: HostId| splitmix64(nonce ^ 0x7714 ^ vp.0 as u64),
+        log,
+    );
+    let mut traceroutes: u64 = target_traces.len() as u64;
 
     let mut seen_entities: HashSet<EntityId> = HashSet::new();
     let mut landmarks: Vec<LandmarkObs> = Vec::new();
@@ -229,6 +266,7 @@ pub fn geolocate(
         world,
         net,
         eco,
+        res,
         &trace_vps,
         &target_traces,
         &found2,
@@ -236,6 +274,7 @@ pub fn geolocate(
         nonce,
         &mut landmarks,
         &mut traceroutes,
+        log,
     );
     virtual_secs += cfg.api_round_secs; // the tier-2 traceroute wave
 
@@ -275,6 +314,7 @@ pub fn geolocate(
         world,
         net,
         eco,
+        res,
         &trace_vps,
         &target_traces,
         &found3,
@@ -282,6 +322,7 @@ pub fn geolocate(
         nonce ^ 0x3333,
         &mut landmarks,
         &mut traceroutes,
+        log,
     );
     virtual_secs += cfg.api_round_secs; // the tier-3 traceroute wave
 
@@ -404,34 +445,46 @@ fn probe_point(
     }
 }
 
-/// Runs traceroutes to each new landmark and derives `D1 + D2`.
+/// Runs traceroutes to each new landmark and derives `D1 + D2`. Landmark
+/// and target traceroutes pair by vantage-point id, so a VP whose probe
+/// churned out of either wave contributes no value instead of misaligning
+/// the computation.
 #[allow(clippy::too_many_arguments)]
 fn measure_landmarks(
     world: &World,
     net: &Network,
     eco: &WebEcosystem,
+    res: &Resilience,
     trace_vps: &[HostId],
-    target_traces: &[Traceroute],
+    target_traces: &[(HostId, Traceroute)],
     found: &[EntityId],
     cfg: &StreetConfig,
     nonce: u64,
     landmarks: &mut Vec<LandmarkObs>,
     traceroutes: &mut u64,
+    log: &mut TargetLog,
 ) {
     for &eid in found.iter().take(cfg.max_landmarks) {
         let entity = eco.entity(eid);
         let lm_ip = world.host(eco.website(entity.website).server).ip;
+        let lm_key = nonce ^ ((eid.0 as u64) << 20);
+        let batch = resilient::traceroute_batch_keyed(
+            world,
+            net,
+            res,
+            trace_vps,
+            lm_ip,
+            lm_key,
+            |_, vp: HostId| splitmix64(lm_key ^ vp.0 as u64),
+            log,
+        );
+        *traceroutes += batch.len() as u64;
         let mut values = Vec::new();
-        for (vi, &vp) in trace_vps.iter().enumerate() {
-            *traceroutes += 1;
-            let tr_lm = net.traceroute(
-                world,
-                vp,
-                lm_ip,
-                splitmix64(nonce ^ ((eid.0 as u64) << 20) ^ vp.0 as u64),
-            );
-            let tr_t = &target_traces[vi];
-            let Some(d) = d1_plus_d2(&tr_lm, tr_t) else {
+        for (vp, tr_lm) in &batch {
+            let Some((_, tr_t)) = target_traces.iter().find(|(v, _)| v == vp) else {
+                continue;
+            };
+            let Some(d) = d1_plus_d2(tr_lm, tr_t) else {
                 continue;
             };
             values.push(d);
@@ -544,6 +597,38 @@ mod tests {
                 "no negative D1+D2 among {measured} landmarks — asymmetry model broken?"
             );
         }
+    }
+
+    #[test]
+    fn resilient_street_survives_hostile_faults() {
+        use atlas_sim::faults::{FaultPlan, FaultProfile};
+        let (w, net, eco) = setup();
+        let target = w.anchors[3];
+        let vps = clean_anchor_vps(&w, target);
+        let run = || {
+            let plan = FaultPlan::new(Seed(31), FaultProfile::Hostile);
+            let res = Resilience::with_plan(&plan);
+            let mut log = TargetLog::default();
+            let out = geolocate_resilient(
+                &w,
+                &net,
+                &eco,
+                &res,
+                &vps,
+                target,
+                &StreetConfig::default(),
+                6,
+                &mut log,
+            );
+            (
+                out.estimate.map(|p| (p.lat(), p.lon())),
+                out.landmarks.len(),
+                out.traceroutes,
+                format!("{log:?}"),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "hostile street-level not deterministic");
     }
 
     #[test]

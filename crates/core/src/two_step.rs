@@ -14,7 +14,8 @@
 //! original) with no accuracy loss.
 
 use crate::cbg::{cbg, CbgResult, VpMeasurement};
-use crate::million::{probe_representatives, RepProbe};
+use crate::million::{probe_representatives_resilient, RepProbe};
+use crate::resilient::{self, Resilience, TargetLog};
 use geo_model::ip::Ipv4;
 use geo_model::point::GeoPoint;
 use geo_model::soi::SpeedOfInternet;
@@ -104,9 +105,41 @@ pub fn geolocate(
     target: Ipv4,
     nonce: u64,
 ) -> TwoStepOutcome {
+    geolocate_resilient(
+        world,
+        net,
+        &Resilience::none(),
+        coverage,
+        all_vps,
+        target,
+        nonce,
+        &mut TargetLog::default(),
+    )
+}
+
+/// [`geolocate`] with every measurement batch routed through the resilient
+/// executor. Fault-free, it issues exactly the same `net-sim` calls.
+#[allow(clippy::too_many_arguments)]
+pub fn geolocate_resilient(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    coverage: &[HostId],
+    all_vps: &[HostId],
+    target: Ipv4,
+    nonce: u64,
+    log: &mut TargetLog,
+) -> TwoStepOutcome {
+    // A single chosen VP pings the target for the final estimate.
+    let final_ping = |vp: HostId, log: &mut TargetLog| {
+        resilient::ping_batch(world, net, res, &[vp], target, 3, nonce ^ 0x5A, log)
+            .first()
+            .and_then(|(_, o)| o.rtt())
+    };
+
     // Step 1: coverage subset probes the representatives; CBG bounds the
     // region the target (and its /24) must lie in.
-    let probe1 = probe_representatives(world, net, coverage, target, nonce);
+    let probe1 = probe_representatives_resilient(world, net, res, coverage, target, nonce, log);
     let ms1: Vec<VpMeasurement> = probe1
         .scores
         .iter()
@@ -132,18 +165,16 @@ pub fn geolocate(
             .map(|s| s.vp);
         let final_cbg = chosen.and_then(|vp| {
             measurements += 1;
-            net.ping_min(world, vp, target, 3, nonce ^ 0x5A)
-                .rtt()
-                .and_then(|rtt| {
-                    cbg(
-                        &[VpMeasurement {
-                            vp,
-                            location: world.host(vp).registered_location,
-                            rtt,
-                        }],
-                        SpeedOfInternet::CBG,
-                    )
-                })
+            final_ping(vp, log).and_then(|rtt| {
+                cbg(
+                    &[VpMeasurement {
+                        vp,
+                        location: world.host(vp).registered_location,
+                        rtt,
+                    }],
+                    SpeedOfInternet::CBG,
+                )
+            })
         });
         return TwoStepOutcome {
             step1_cbg: None,
@@ -170,7 +201,8 @@ pub fn geolocate(
     let mut candidates: Vec<HostId> = per_pop.into_values().collect();
     candidates.sort(); // deterministic order
 
-    let probe2: RepProbe = probe_representatives(world, net, &candidates, target, nonce ^ 0xA5);
+    let probe2: RepProbe =
+        probe_representatives_resilient(world, net, res, &candidates, target, nonce ^ 0xA5, log);
     measurements += probe2.measurements;
 
     let chosen = probe2
@@ -181,18 +213,16 @@ pub fn geolocate(
 
     let final_cbg = chosen.and_then(|vp| {
         measurements += 1;
-        net.ping_min(world, vp, target, 3, nonce ^ 0x5A)
-            .rtt()
-            .and_then(|rtt| {
-                cbg(
-                    &[VpMeasurement {
-                        vp,
-                        location: world.host(vp).registered_location,
-                        rtt,
-                    }],
-                    SpeedOfInternet::CBG,
-                )
-            })
+        final_ping(vp, log).and_then(|rtt| {
+            cbg(
+                &[VpMeasurement {
+                    vp,
+                    location: world.host(vp).registered_location,
+                    rtt,
+                }],
+                SpeedOfInternet::CBG,
+            )
+        })
     });
 
     TwoStepOutcome {
@@ -295,6 +325,35 @@ mod tests {
             o_small.step2_candidates,
             o_large.step2_candidates
         );
+    }
+
+    #[test]
+    fn resilient_two_step_survives_hostile_faults() {
+        use atlas_sim::faults::{FaultPlan, FaultProfile};
+        let (w, net, vps) = setup();
+        let coverage = greedy_coverage(&w, &vps, 20);
+        let run = || {
+            let plan = FaultPlan::new(Seed(21), FaultProfile::Hostile);
+            let res = Resilience::with_plan(&plan);
+            let mut log = TargetLog::default();
+            let out = geolocate_resilient(
+                &w,
+                &net,
+                &res,
+                &coverage,
+                &vps,
+                w.host(w.anchors[2]).ip,
+                4,
+                &mut log,
+            );
+            (
+                out.cbg.map(|r| (r.estimate.lat(), r.estimate.lon())),
+                out.measurements,
+                format!("{log:?}"),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "hostile two-step not deterministic");
     }
 
     #[test]

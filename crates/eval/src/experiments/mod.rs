@@ -3,6 +3,7 @@
 //! relevant) and returns a [`Report`](crate::Report) whose rows mirror the
 //! paper's figure or table.
 
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

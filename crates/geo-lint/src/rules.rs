@@ -44,6 +44,11 @@ pub const RULES: &[RuleInfo] = &[
                   through std sync primitives",
     },
     RuleInfo {
+        id: "R3",
+        summary: "no unbounded retry loops: a `loop`/`while true` that handles retryable \
+                  `PlatformError`s must bound its attempts with a counter or budget",
+    },
+    RuleInfo {
         id: "X1",
         summary: "malformed or unknown-rule `geo-lint: allow(...)` directive",
     },
@@ -67,6 +72,9 @@ pub struct Config {
     pub deterministic_crates: Vec<String>,
     /// Crates whose `src/` is a serving path (R1).
     pub server_crates: Vec<String>,
+    /// Crates whose `src/` talks to the fault-injecting platform and must
+    /// bound its retry loops (R3).
+    pub retry_crates: Vec<String>,
     /// Vendored stand-in crates, skipped entirely.
     pub vendored_crates: Vec<String>,
     /// File (root-relative, `/`-separated) exempt from D3: the one place
@@ -82,6 +90,7 @@ impl Config {
                 .map(String::from)
                 .to_vec(),
             server_crates: vec!["geo-serve".into()],
+            retry_crates: ["core", "atlas-sim"].map(String::from).to_vec(),
             vendored_crates: ["rand", "proptest", "criterion"].map(String::from).to_vec(),
             rng_module: "crates/geo-model/src/rng.rs".into(),
         }
@@ -126,6 +135,13 @@ impl<'a> FileCtx<'a> {
                 .crate_name
                 .is_some_and(|c| cfg.server_crates.iter().any(|d| d == c))
     }
+
+    fn is_retry(&self, cfg: &Config) -> bool {
+        self.in_src
+            && self
+                .crate_name
+                .is_some_and(|c| cfg.retry_crates.iter().any(|d| d == c))
+    }
 }
 
 /// Lints one file; appends non-suppressed diagnostics and used
@@ -148,6 +164,9 @@ pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
         check_r1(&code, &mut diags);
     }
     check_r2(&code, &mut diags);
+    if ctx.is_retry(cfg) {
+        check_r3(&code, &mut diags);
+    }
 
     for d in &mut diags {
         d.file = rel.to_string();
@@ -742,6 +761,77 @@ fn check_r1(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Identifiers that signal a retry loop bounds its own attempts: a counter
+/// compared or incremented inside the loop, or a budget being drawn down.
+const ATTEMPT_MARKERS: &[&str] = &[
+    "attempt",
+    "attempts",
+    "max_attempts",
+    "tries",
+    "retries",
+    "budget",
+    "remaining",
+];
+
+/// R3: a `loop { … }` / `while true { … }` whose body handles retryable
+/// platform errors (`PlatformError`, `is_retryable`) without any bounded
+/// attempt accounting. Under fault injection such a loop can spin forever
+/// on a fault the plan keeps returning.
+fn check_r3(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let open = if t.is_ident("loop") && tokens.get(i + 1).is_some_and(|x| x.is_punct('{')) {
+            Some(i + 1)
+        } else if t.is_ident("while")
+            && tokens.get(i + 1).is_some_and(|x| x.is_ident("true"))
+            && tokens.get(i + 2).is_some_and(|x| x.is_punct('{'))
+        {
+            Some(i + 2)
+        } else {
+            None
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        // The loop's balanced body.
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let body = &tokens[open..j.min(tokens.len())];
+        let retryable = body.iter().any(|t| {
+            t.ident()
+                .is_some_and(|s| s == "PlatformError" || s == "is_retryable")
+        });
+        let bounded = body
+            .iter()
+            .any(|t| t.ident().is_some_and(|s| ATTEMPT_MARKERS.contains(&s)));
+        if retryable && !bounded {
+            diags.push(diag(
+                "R3",
+                t.line,
+                "unbounded retry loop: it matches retryable `PlatformError`s but never \
+                 counts attempts; bound it with an attempt counter or budget (see \
+                 `ipgeo::resilient::RetryPolicy`)"
+                    .into(),
+            ));
+        }
+        // Advance one token only, so nested loops are still inspected.
+        i += 1;
+    }
+}
+
 /// R2: mutable statics and hand-asserted thread-safety.
 fn check_r2(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
     for (i, t) in tokens.iter().enumerate() {
@@ -899,6 +989,40 @@ mod tests {
         let r = run(&Config::workspace(), "crates/bench/src/lib.rs", src);
         assert_eq!(r.diagnostics.len(), 1);
         assert_eq!(r.diagnostics[0].rule, "R2");
+    }
+
+    #[test]
+    fn r3_fires_on_unbounded_retry_loops_in_retry_crates_only() {
+        let src = "fn f() {\n  loop {\n    match ping() {\n      Err(PlatformError::ServerError) => continue,\n      _ => break,\n    }\n  }\n}";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R3");
+        assert_eq!(r.diagnostics[0].line, 2);
+        // atlas-sim is in scope too; bench is not.
+        let atlas = run(
+            &Config::workspace(),
+            "crates/atlas-sim/src/platform.rs",
+            src,
+        );
+        assert_eq!(atlas.diagnostics.len(), 1, "{:?}", atlas.diagnostics);
+        assert!(run(&Config::workspace(), "crates/bench/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r3_fires_on_while_true_retry() {
+        let src = "fn f(e: &PlatformError) {\n  while true {\n    if e.is_retryable() { continue; }\n    break;\n  }\n}";
+        let r = det(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R3");
+    }
+
+    #[test]
+    fn r3_allows_attempt_bounded_loops_and_fault_free_loops() {
+        let bounded = "fn f() {\n  let mut attempt = 0;\n  loop {\n    attempt += 1;\n    if attempt >= 4 { break; }\n    match ping() {\n      Err(e) if e.is_retryable() => continue,\n      _ => break,\n    }\n  }\n}";
+        assert!(det(bounded).is_clean(), "{:?}", det(bounded).diagnostics);
+        // A loop with no retryable error handling is not a retry loop.
+        let plain = "fn f() { loop { if done() { break; } } }";
+        assert!(det(plain).is_clean(), "{:?}", det(plain).diagnostics);
     }
 
     #[test]

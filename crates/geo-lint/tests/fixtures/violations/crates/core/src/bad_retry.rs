@@ -1,0 +1,24 @@
+//! Fixture: an unbounded retry loop (R3) next to a properly bounded one.
+
+pub fn retry_forever() {
+    loop {
+        match ping() {
+            Err(PlatformError::ServerError) => continue,
+            _ => break,
+        }
+    }
+}
+
+pub fn retry_bounded() {
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        if attempt >= 4 {
+            break;
+        }
+        match ping() {
+            Err(e) if e.is_retryable() => continue,
+            _ => break,
+        }
+    }
+}

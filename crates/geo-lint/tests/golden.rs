@@ -39,7 +39,7 @@ fn clean_fixture_is_clean() {
 #[test]
 fn violations_fixture_finds_every_rule() {
     let report = geo_lint::check(&fixture("violations"), &Config::workspace()).unwrap();
-    for rule in ["D1", "D2", "D3", "R1", "R2", "X1", "X2"] {
+    for rule in ["D1", "D2", "D3", "R1", "R2", "R3", "X1", "X2"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "no {rule} diagnostic in:\n{}",
@@ -114,7 +114,7 @@ fn cli_json_mode_is_well_formed() {
 fn cli_rules_lists_all_rules() {
     let (code, out) = run_cli(&["rules"]);
     assert_eq!(code, 0);
-    for rule in ["D1", "D2", "D3", "R1", "R2", "X1", "X2"] {
+    for rule in ["D1", "D2", "D3", "R1", "R2", "R3", "X1", "X2"] {
         assert!(out.contains(rule), "{out}");
     }
 }

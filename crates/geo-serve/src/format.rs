@@ -256,7 +256,17 @@ pub fn decode(bytes: &[u8]) -> Result<(Header, Vec<DatasetEntry>), FormatError> 
     };
     let n = header.entries as usize;
     let evidence_len = read_u32(bytes, 28) as usize;
-    let need = HEADER_LEN + n * (4 + 8 + 8 + 1 + 4) + evidence_len;
+    // Checked arithmetic: a hostile header can claim counts whose implied
+    // size overflows usize; that must surface as a typed error, not UB or
+    // a debug-build panic.
+    let need = n
+        .checked_mul(4 + 8 + 8 + 1 + 4)
+        .and_then(|cols| cols.checked_add(HEADER_LEN))
+        .and_then(|total| total.checked_add(evidence_len))
+        .ok_or(FormatError::Truncated {
+            need: usize::MAX,
+            have: bytes.len(),
+        })?;
     if bytes.len() != need {
         return Err(FormatError::Truncated {
             need,
@@ -452,6 +462,47 @@ mod tests {
             decode(&flipped),
             Err(FormatError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_a_typed_error() {
+        let good = encode(&sample(), 1, 1);
+        for len in 0..good.len() {
+            assert!(
+                decode(&good[..len]).is_err(),
+                "decode of a {len}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic() {
+        let good = encode(&sample(), 1, 1);
+        for i in 0..good.len() {
+            for bit in 0..8 {
+                let mut mutated = good.clone();
+                mutated[i] ^= 1 << bit;
+                // Any outcome must be a typed Result — flipping a header
+                // count, a tag, or an offset must never panic the decoder.
+                let _ = decode(&mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_header_counts_are_a_typed_error() {
+        // A header claiming u32::MAX entries and a u32::MAX evidence table:
+        // the implied size must not overflow into a bogus bounds check.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(FormatError::Truncated { .. })));
     }
 
     #[test]

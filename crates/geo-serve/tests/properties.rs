@@ -75,6 +75,39 @@ proptest! {
         prop_assert_eq!(format::encode(&decoded, seed, nonce), bytes);
     }
 
+    /// Arbitrary byte soup and arbitrarily mutated valid snapshots always
+    /// decode to a typed `Result` — the decoder never panics, whatever the
+    /// input (the geo-serve hardening contract).
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        soup in prop::collection::vec(any::<u8>(), 0..512),
+        raw in prop::collection::vec(
+            (0u32..0x0100_0000, -90.0f64..90.0, -180.0f64..180.0, 0u8..4, any::<u32>()),
+            0..16,
+        ),
+        cut in any::<u64>(),
+        flip_at in any::<u64>(),
+        flip_bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        // Pure noise.
+        let _ = format::decode(&soup);
+
+        // A valid snapshot, truncated at an arbitrary point: must fail,
+        // and must fail with a typed error rather than a panic.
+        let entries: Vec<DatasetEntry> = raw.into_iter().map(entry).collect();
+        let good = format::encode(&entries, seed, 1);
+        let len = (cut as usize) % good.len().max(1);
+        prop_assert!(format::decode(&good[..len.min(good.len() - 1)]).is_err());
+
+        // A single bit flip anywhere: decoding may fail (typed) but must
+        // never panic. On the rare no-op regions it may still succeed.
+        let mut mutated = good.clone();
+        let at = (flip_at as usize) % mutated.len();
+        mutated[at] ^= 1 << flip_bit;
+        let _ = format::decode(&mutated);
+    }
+
     /// Binary-search lookups agree with a linear scan over the source
     /// entries, for exact, batch, and nearest queries.
     #[test]
