@@ -358,15 +358,17 @@ impl Platform {
     }
 
     /// The meshed anchor-to-anchor RTT measurements that RIPE Atlas
-    /// publishes and §4.3's sanitizer consumes. Returns `rtts[i][j]` =
-    /// min-RTT from `anchors[i]` to `anchors[j]` (None on the diagonal or
-    /// timeout). Charged like any other ping campaign.
+    /// publishes and §4.3's sanitizer consumes. Cell `(i, j)` is the
+    /// min-RTT from `anchors[i]` to `anchors[j]` (NaN on the diagonal or
+    /// timeout), in the `f64` staging format the sanitizer reads directly.
+    /// Charged like any other ping campaign.
     pub fn anchor_mesh(
         &mut self,
         world: &World,
         net: &Network,
         anchors: &[HostId],
-    ) -> Result<Vec<Vec<Option<geo_model::units::Ms>>>, PlatformError> {
+    ) -> Result<geo_model::matrix::DelayMatrix, PlatformError> {
+        use geo_model::matrix::DelayMatrix;
         let n = anchors.len();
         let packets = self.config.packets_per_ping;
         self.credits
@@ -378,7 +380,7 @@ impl Platform {
                 .refund_pings((n * n.saturating_sub(1) * packets) as u64);
             return Err(err);
         }
-        let mut mesh = vec![vec![None; n]; n];
+        let mut mesh = DelayMatrix::new(n, n);
         for (i, &src) in anchors.iter().enumerate() {
             for (j, &dst) in anchors.iter().enumerate() {
                 if i == j {
@@ -391,7 +393,7 @@ impl Platform {
                     }
                 }
                 let ip = world.host(dst).ip;
-                mesh[i][j] = net.ping_min(world, src, ip, packets, pair).rtt();
+                mesh.set(i, j, net.ping_min(world, src, ip, packets, pair).rtt());
             }
         }
         // The mesh runs continuously in the background on real Atlas; the
@@ -486,12 +488,13 @@ mod tests {
         let (w, net, mut p) = setup();
         let anchors: Vec<_> = w.anchors.iter().copied().take(8).collect();
         let mesh = p.anchor_mesh(&w, &net, &anchors).unwrap();
-        assert_eq!(mesh.len(), 8);
-        for (i, row) in mesh.iter().enumerate() {
-            assert_eq!(row.len(), 8);
-            assert!(row[i].is_none(), "diagonal must be empty");
+        assert_eq!(mesh.rows(), 8);
+        assert_eq!(mesh.cols(), 8);
+        let mut measured = 0;
+        for i in 0..8 {
+            assert!(mesh.get(i, i).is_none(), "diagonal must be empty");
+            measured += (0..8).filter(|&j| mesh.get(i, j).is_some()).count();
         }
-        let measured = mesh.iter().flatten().filter(|o| o.is_some()).count();
         assert!(measured > 40, "mesh mostly failed: {measured}");
     }
 

@@ -1,15 +1,29 @@
-//! Criterion benchmarks of the pipeline stages: the computational cost of
-//! each building block the paper's experiments lean on.
+//! Criterion benchmarks of the pipeline stages, plus the per-stage time
+//! budget snapshot.
+//!
+//! `cargo bench -p bench --bench stages` runs the Criterion group;
+//! `cargo bench -p bench --bench stages -- --snapshot` times the four
+//! hot-path stages (route synthesis, delay model, constraint solve,
+//! publish encode) on the small CI preset and merges a `stage_budget`
+//! object into `BENCH_campaigns.json` (run the campaigns snapshot first —
+//! it owns the rest of the file). The CI `bench-smoke` job runs this on
+//! every push and validates the emitted schema.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use geo_model::constraint::{Circle, Region};
+// Timing measurement is this code's purpose; the workspace bans
+// wall-clock reads by default (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
+use criterion::{criterion_group, BatchSize, Criterion};
+use geo_model::constraint::{Circle, Region, RegionScratch};
+use geo_model::ip::Prefix24;
+use geo_model::matrix::DelayMatrix;
 use geo_model::point::GeoPoint;
 use geo_model::rng::Seed;
 use geo_model::soi::SpeedOfInternet;
-use geo_model::units::{Km, Ms};
-use ipgeo::cbg::{cbg, VpMeasurement};
+use geo_model::units::Km;
+use ipgeo::cbg::{cbg, cbg_with, VpMeasurement};
 use ipgeo::two_step::greedy_coverage;
-use net_sim::Network;
+use net_sim::{Network, RowScratch};
 use world_sim::ids::HostId;
 use world_sim::{World, WorldConfig};
 
@@ -42,6 +56,16 @@ fn bench_cbg(c: &mut Criterion) {
         g.bench_function(format!("{n}_vps"), |b| {
             b.iter(|| cbg(criterion::black_box(&ms), SpeedOfInternet::CBG));
         });
+        let mut scratch = RegionScratch::new();
+        g.bench_function(format!("{n}_vps_scratch"), |b| {
+            b.iter(|| {
+                cbg_with(
+                    criterion::black_box(&ms),
+                    SpeedOfInternet::CBG,
+                    &mut scratch,
+                )
+            });
+        });
     }
     g.finish();
 }
@@ -71,6 +95,35 @@ fn bench_ping(c: &mut Criterion) {
     });
 }
 
+fn bench_campaign_row(c: &mut Criterion) {
+    let (w, net) = world();
+    let lane = net.target_lane(&w, &w.anchors);
+    let mut scratch = RowScratch::new();
+    let src = w.probes[0];
+    c.bench_function("campaign_row", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let mut acc = 0.0f64;
+            net.campaign_row(
+                &w,
+                &lane,
+                &mut scratch,
+                src,
+                3,
+                |c| nonce ^ c as u64,
+                None,
+                |_, o| {
+                    if let Some(rtt) = o.rtt() {
+                        acc += rtt.value();
+                    }
+                },
+            );
+            acc
+        });
+    });
+}
+
 fn bench_traceroute(c: &mut Criterion) {
     let (w, net) = world();
     let src = w.probes[1];
@@ -96,26 +149,31 @@ fn bench_greedy_coverage(c: &mut Criterion) {
     g.finish();
 }
 
+/// The anchor mesh as the campaign engine builds it (see
+/// `eval::dataset`): one row per source anchor, NaN diagonal.
+fn anchor_mesh(w: &World, net: &Network) -> DelayMatrix {
+    let lane = net.target_lane(w, &w.anchors);
+    let mut scratch = RowScratch::new();
+    let n = w.anchors.len();
+    let mut mesh = DelayMatrix::new(n, n);
+    for i in 0..n {
+        net.campaign_row(
+            w,
+            &lane,
+            &mut scratch,
+            w.anchors[i],
+            3,
+            |j| 9 ^ ((i as u64) << 24 | j as u64),
+            Some(i),
+            |j, o| mesh.set(i, j, o.rtt()),
+        );
+    }
+    mesh
+}
+
 fn bench_sanitize(c: &mut Criterion) {
     let (w, net) = world();
-    let mesh: Vec<Vec<Option<Ms>>> = w
-        .anchors
-        .iter()
-        .enumerate()
-        .map(|(i, &src)| {
-            w.anchors
-                .iter()
-                .enumerate()
-                .map(|(j, &dst)| {
-                    if i == j {
-                        None
-                    } else {
-                        net.ping_min(&w, src, w.host(dst).ip, 3, 9).rtt()
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let mesh = anchor_mesh(&w, &net);
     c.bench_function("sanitize_anchors", |b| {
         b.iter_batched(
             || mesh.clone(),
@@ -136,9 +194,171 @@ criterion_group!(
     bench_cbg,
     bench_region_redundancy,
     bench_ping,
+    bench_campaign_row,
     bench_traceroute,
     bench_greedy_coverage,
     bench_sanitize,
     bench_world_generation
 );
-criterion_main!(benches);
+
+/// Median of `reps` wall-clock timings of `f`, in seconds.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            criterion::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times the four hot-path stages on `WorldConfig::small` and returns the
+/// `stage_budget` JSON object (without trailing comma).
+fn stage_budget_json() -> String {
+    let (w, net) = world();
+    let rows = w.probes.len();
+    let cols = w.anchors.len();
+    let lane = net.target_lane(
+        &w,
+        &w.probes
+            .iter()
+            .chain(&w.anchors)
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    // Stage 1: route synthesis — base RTTs only (count = 0), every probe
+    // row against every host column through the campaign engine.
+    let route_synth = time_median(3, || {
+        let mut scratch = RowScratch::new();
+        let mut acc = 0.0f64;
+        for &p in &w.probes {
+            net.campaign_row(
+                &w,
+                &lane,
+                &mut scratch,
+                p,
+                0,
+                |_| 0,
+                None,
+                |_, o| {
+                    if let Some(rtt) = o.rtt() {
+                        acc += rtt.value();
+                    }
+                },
+            );
+        }
+        acc
+    });
+    // Stage 2: delay model — the same rows with 3-packet noise sampling;
+    // the delta over stage 1 is the noise model's share.
+    let delay_model = time_median(3, || {
+        let mut scratch = RowScratch::new();
+        let mut acc = 0.0f64;
+        for (pi, &p) in w.probes.iter().enumerate() {
+            net.campaign_row(
+                &w,
+                &lane,
+                &mut scratch,
+                p,
+                3,
+                |c| 0xB07 ^ ((pi as u64) << 20 | c as u64),
+                None,
+                |_, o| {
+                    if let Some(rtt) = o.rtt() {
+                        acc += rtt.value();
+                    }
+                },
+            );
+        }
+        acc
+    });
+    // Stage 3: constraint solve — CBG over 1000 synthetic VPs, one shared
+    // scratch across 50 targets (the campaign access pattern).
+    let ms = synthetic_measurements(1000);
+    let solve_targets = 50usize;
+    let constraint_solve = time_median(3, || {
+        let mut scratch = RegionScratch::new();
+        let mut hits = 0usize;
+        for t in 0..solve_targets {
+            let mut shifted = ms.clone();
+            for m in &mut shifted {
+                m.rtt = m.rtt * (1.0 + t as f64 * 1e-3);
+            }
+            if cbg_with(&shifted, SpeedOfInternet::CBG, &mut scratch).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    // Stage 4: publish encode — CSV and .igds serialization of a built
+    // dataset (the build itself is the campaigns snapshot's job).
+    let vps: Vec<HostId> = w
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !w.host(p).is_mis_geolocated())
+        .collect();
+    let mut prefixes: Vec<Prefix24> = w.anchors.iter().map(|&a| w.host(a).ip.prefix24()).collect();
+    prefixes.extend(w.probes.iter().take(60).map(|&p| w.host(p).ip.prefix24()));
+    prefixes.sort();
+    prefixes.dedup();
+    let entries = ipgeo::publish::build_dataset(&w, &net, &vps, &prefixes, 7);
+    let publish_encode = time_median(3, || {
+        let csv = ipgeo::publish::to_csv(&entries);
+        let igds = geo_serve::format::encode(&entries, 401, 7);
+        csv.len() + igds.len()
+    });
+
+    format!(
+        r#""stage_budget": {{
+    "preset": "world_small_seed_401",
+    "route_synth_s": {route_synth:.4},
+    "route_synth_rows": {rows},
+    "route_synth_cols": {},
+    "delay_model_s": {delay_model:.4},
+    "constraint_solve_s": {constraint_solve:.4},
+    "constraint_solve_targets": {solve_targets},
+    "publish_encode_s": {publish_encode:.4},
+    "publish_prefixes": {}
+  }}"#,
+        rows + cols,
+        prefixes.len(),
+    )
+}
+
+/// Merges the `stage_budget` object into `BENCH_campaigns.json`, replacing
+/// any previous one. The campaigns snapshot owns the rest of the file and
+/// always keeps `"note"` as the final key, which anchors the splice.
+fn write_snapshot() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaigns.json");
+    let current = std::fs::read_to_string(path)
+        .expect("BENCH_campaigns.json missing: run the campaigns snapshot first");
+    let anchor = "  \"note\":";
+    let note_at = current.find(anchor).expect(
+        "no \"note\" anchor in BENCH_campaigns.json: regenerate with the campaigns snapshot",
+    );
+    // Replace everything between a previous stage_budget (if any) and the
+    // note anchor.
+    let head_end = match current.find("  \"stage_budget\":") {
+        Some(at) => at,
+        None => note_at,
+    };
+    let budget = stage_budget_json();
+    let merged = format!(
+        "{}  {budget},\n{}",
+        &current[..head_end],
+        &current[note_at..]
+    );
+    std::fs::write(path, &merged).expect("write BENCH_campaigns.json");
+    println!("stage budget merged into {path}:\n{budget}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        write_snapshot();
+        return;
+    }
+    benches();
+}

@@ -9,7 +9,7 @@
 //!   speed-of-Internet factor), intersects the resulting circles, and
 //!   estimates the target as the intersection's centroid.
 
-use geo_model::constraint::{Circle, Region, RegionEstimate};
+use geo_model::constraint::{Circle, Region, RegionEstimate, RegionScratch};
 use geo_model::point::GeoPoint;
 use geo_model::soi::SpeedOfInternet;
 use geo_model::units::Ms;
@@ -46,6 +46,17 @@ pub struct CbgResult {
 /// Returns `None` when there are no measurements or no intersection even
 /// at the conservative 2/3 c fallback.
 pub fn cbg(measurements: &[VpMeasurement], soi: SpeedOfInternet) -> Option<CbgResult> {
+    cbg_with(measurements, soi, &mut RegionScratch::new())
+}
+
+/// [`cbg`] with caller-owned intersection buffers: bit-identical result;
+/// solver loops over many targets should hold one [`RegionScratch`] and
+/// pass it to every call.
+pub fn cbg_with(
+    measurements: &[VpMeasurement],
+    soi: SpeedOfInternet,
+    scratch: &mut RegionScratch,
+) -> Option<CbgResult> {
     if measurements.is_empty() {
         return None;
     }
@@ -58,7 +69,7 @@ pub fn cbg(measurements: &[VpMeasurement], soi: SpeedOfInternet) -> Option<CbgRe
         )
     };
     let region = build(soi);
-    if let Some(est) = region.intersect() {
+    if let Some(est) = region.intersect_with(scratch) {
         return Some(CbgResult {
             estimate: est.centroid,
             region_estimate: est,
@@ -73,7 +84,7 @@ pub fn cbg(measurements: &[VpMeasurement], soi: SpeedOfInternet) -> Option<CbgRe
         return None;
     }
     let region = build(fallback);
-    region.intersect().map(|est| CbgResult {
+    region.intersect_with(scratch).map(|est| CbgResult {
         estimate: est.centroid,
         region_estimate: est,
         region,

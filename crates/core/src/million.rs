@@ -21,7 +21,6 @@ use geo_model::soi::SpeedOfInternet;
 use geo_model::stats;
 use geo_model::units::Ms;
 use net_sim::Network;
-use std::collections::HashMap;
 use world_sim::hitlist::HitlistEntry;
 use world_sim::ids::HostId;
 use world_sim::World;
@@ -93,26 +92,47 @@ pub fn probe_representatives_resilient(
             .fill_with_random(prefix, reps, REPRESENTATIVES, &mut rng);
     }
 
-    // One batch per representative; transpose delivered results back to
-    // per-VP RTT lists (lookup only — no hash iteration, per geo-lint D2).
-    let index: HashMap<HostId, usize> = vps.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let mut rtts: Vec<Vec<f64>> = vec![Vec::new(); vps.len()];
-    for r in &reps {
+    // One batch per representative; transpose delivered results into one
+    // flat `vps.len() * reps.len()` slab (NaN = no measurement). Batch
+    // results are an ordered subsequence of `vps`, so a cursor merge
+    // replaces the per-target `HashMap` + vec-of-vecs the transpose used
+    // to churn through.
+    let mut rtts: Vec<f64> = vec![f64::NAN; vps.len() * reps.len()];
+    let mut batch: Vec<(HostId, net_sim::PingOutcome)> = Vec::new();
+    for (j, r) in reps.iter().enumerate() {
         let key = nonce ^ r.ip.0 as u64;
-        let batch = resilient::ping_batch(world, net, res, vps, r.ip, 3, key, log);
-        for (vp, outcome) in batch {
-            if let Some(m) = outcome.rtt() {
-                rtts[index[&vp]].push(m.value());
+        resilient::ping_batch_into(world, net, res, vps, r.ip, 3, key, log, &mut batch);
+        let mut cursor = 0usize;
+        for &(vp, outcome) in &batch {
+            while vps[cursor] != vp {
+                cursor += 1;
             }
+            if let Some(m) = outcome.rtt() {
+                rtts[cursor * reps.len() + j] = m.value();
+            }
+            cursor += 1;
         }
     }
 
+    // Per-VP medians over the responsive representatives, compacted in
+    // representative order — the exact sequence the vec-of-vecs held.
+    let mut vals = [0.0f64; REPRESENTATIVES];
     let mut scores: Vec<VpScore> = vps
         .iter()
         .enumerate()
-        .map(|(i, &vp)| VpScore {
-            vp,
-            median_rtt: stats::median(&rtts[i]).map(Ms),
+        .map(|(i, &vp)| {
+            let mut n = 0usize;
+            for j in 0..reps.len() {
+                let v = rtts[i * reps.len() + j];
+                if !v.is_nan() {
+                    vals[n] = v;
+                    n += 1;
+                }
+            }
+            VpScore {
+                vp,
+                median_rtt: stats::median(&vals[..n]).map(Ms),
+            }
         })
         .collect();
     scores.sort_by(|a, b| match (a.median_rtt, b.median_rtt) {

@@ -13,9 +13,9 @@
 //! the representatives, and tightens the region. The final round's best
 //! VP geolocates the target.
 
-use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::cbg::{cbg_with, CbgResult, VpMeasurement};
 use crate::million::probe_representatives;
-use geo_model::constraint::Region;
+use geo_model::constraint::{Region, RegionScratch};
 use geo_model::ip::Ipv4;
 use geo_model::soi::SpeedOfInternet;
 use net_sim::Network;
@@ -54,6 +54,9 @@ pub fn geolocate(
     assert!(rounds >= 2, "multi-round needs at least two rounds");
     let mut measurements = 0u64;
     let mut api_rounds = 0u32;
+    // One set of intersection buffers serves every CBG run for this
+    // target (round 1, per-round tightening, final estimate).
+    let mut scratch = RegionScratch::new();
     let mut candidates_per_round = Vec::with_capacity(rounds as usize);
 
     // Round 1: the coverage subset bounds the region.
@@ -72,7 +75,7 @@ pub fn geolocate(
             })
         })
         .collect();
-    let Some(mut current) = cbg(&ms1, SpeedOfInternet::CBG) else {
+    let Some(mut current) = cbg_with(&ms1, SpeedOfInternet::CBG, &mut scratch) else {
         return MultiRoundOutcome {
             candidates_per_round,
             chosen_vp: None,
@@ -133,7 +136,7 @@ pub fn geolocate(
                 rtt: s.median_rtt.expect("filtered"),
             })
             .collect();
-        if let Some(next) = cbg(&kept_ms, SpeedOfInternet::CBG) {
+        if let Some(next) = cbg_with(&kept_ms, SpeedOfInternet::CBG, &mut scratch) {
             current = next;
         }
     }
@@ -145,13 +148,14 @@ pub fn geolocate(
         net.ping_min(world, vp, target, 3, nonce ^ 0xF1FA)
             .rtt()
             .and_then(|rtt| {
-                cbg(
+                cbg_with(
                     &[VpMeasurement {
                         vp,
                         location: world.host(vp).registered_location,
                         rtt,
                     }],
                     SpeedOfInternet::CBG,
+                    &mut scratch,
                 )
             })
     });

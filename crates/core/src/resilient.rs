@@ -334,9 +334,35 @@ pub fn ping_batch_keyed(
     vp_nonce: impl Fn(usize, HostId) -> u64,
     log: &mut TargetLog,
 ) -> Vec<(HostId, PingOutcome)> {
+    let mut out = Vec::new();
+    ping_batch_keyed_into(
+        world, net, res, vps, target, packets, batch_key, vp_nonce, log, &mut out,
+    );
+    out
+}
+
+/// [`ping_batch_keyed`] delivering into a caller-owned buffer (cleared
+/// first): per-target campaign loops reuse one buffer across batches, so
+/// the fault-free path performs no allocations at all. Results are always
+/// an ordered subsequence of `vps` — delivered in request order, with
+/// churned VPs skipped and truncation dropping a suffix.
+#[allow(clippy::too_many_arguments)]
+pub fn ping_batch_keyed_into(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    target: Ipv4,
+    packets: usize,
+    batch_key: u64,
+    vp_nonce: impl Fn(usize, HostId) -> u64,
+    log: &mut TargetLog,
+    out: &mut Vec<(HostId, PingOutcome)>,
+) {
+    out.clear();
     let n = vps.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let per_vp_cost = packets as u64 * CostSchedule::default().per_ping_packet;
     log.requested += n as u64;
@@ -346,16 +372,13 @@ pub fn ping_batch_keyed(
         log.attempts += 1;
         log.credits.charged += n as u64 * per_vp_cost;
         log.delivered += n as u64;
-        return vps
-            .iter()
-            .enumerate()
-            .map(|(i, &vp)| {
-                (
-                    vp,
-                    net.ping_min(world, vp, target, packets, vp_nonce(i, vp)),
-                )
-            })
-            .collect();
+        out.extend(vps.iter().enumerate().map(|(i, &vp)| {
+            (
+                vp,
+                net.ping_min(world, vp, target, packets, vp_nonce(i, vp)),
+            )
+        }));
+        return;
     };
 
     let required = res.policy.required(n);
@@ -430,7 +453,7 @@ pub fn ping_batch_keyed(
         log.degraded_batches += 1;
     }
     log.delivered += best.len() as u64;
-    best
+    *out = best;
 }
 
 /// [`ping_batch_keyed`] with a single nonce for every VP — the common
@@ -457,6 +480,34 @@ pub fn ping_batch(
         |_, _| nonce,
         log,
     )
+}
+
+/// [`ping_batch`] delivering into a caller-owned buffer (see
+/// [`ping_batch_keyed_into`]).
+#[allow(clippy::too_many_arguments)]
+pub fn ping_batch_into(
+    world: &World,
+    net: &Network,
+    res: &Resilience,
+    vps: &[HostId],
+    target: Ipv4,
+    packets: usize,
+    nonce: u64,
+    log: &mut TargetLog,
+    out: &mut Vec<(HostId, PingOutcome)>,
+) {
+    ping_batch_keyed_into(
+        world,
+        net,
+        res,
+        vps,
+        target,
+        packets,
+        nonce,
+        |_, _| nonce,
+        log,
+        out,
+    );
 }
 
 /// Traceroutes `target` from every VP, retrying transient faults. Same

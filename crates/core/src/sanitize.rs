@@ -12,6 +12,7 @@
 //! - Probes are then checked against the surviving (trusted) anchors and
 //!   removed on any violation (the paper removed 96).
 
+use geo_model::matrix::DelayMatrix;
 use geo_model::soi::SpeedOfInternet;
 use geo_model::units::Ms;
 use world_sim::ids::HostId;
@@ -29,19 +30,21 @@ pub struct SanitizeReport {
     pub iterations: usize,
 }
 
-/// Sanitizes anchors using meshed RTTs: `mesh[i][j]` is the min-RTT from
-/// `anchors[i]` to `anchors[j]` (as produced by
-/// `atlas_sim::Platform::anchor_mesh`). Distances use the anchors'
-/// *registered* locations — that is all the platform metadata offers.
+/// Sanitizes anchors using meshed RTTs: cell `(i, j)` of `mesh` is the
+/// min-RTT from `anchors[i]` to `anchors[j]` (NaN on the diagonal or
+/// timeout, as produced by `atlas_sim::Platform::anchor_mesh`). Distances
+/// use the anchors' *registered* locations — that is all the platform
+/// metadata offers. The mesh stays in the `f64` staging format
+/// ([`DelayMatrix`]) so the physics comparison sees the exact measured
+/// bits.
 pub fn sanitize_anchors(
     world: &World,
     anchors: &[HostId],
-    mesh: &[Vec<Option<Ms>>],
+    mesh: &DelayMatrix,
     soi: SpeedOfInternet,
 ) -> SanitizeReport {
-    assert_eq!(
-        mesh.len(),
-        anchors.len(),
+    assert!(
+        mesh.rows() == anchors.len() && mesh.cols() == anchors.len(),
         "mesh must be square over anchors"
     );
     let n = anchors.len();
@@ -54,8 +57,8 @@ pub fn sanitize_anchors(
         let a = world.host(anchors[i]).registered_location;
         let b = world.host(anchors[j]).registered_location;
         let dist = a.distance(&b);
-        let v_ij = mesh[i][j].is_some_and(|rtt| soi.violates(dist, rtt));
-        let v_ji = mesh[j][i].is_some_and(|rtt| soi.violates(dist, rtt));
+        let v_ij = mesh.get(i, j).is_some_and(|rtt| soi.violates(dist, rtt));
+        let v_ji = mesh.get(j, i).is_some_and(|rtt| soi.violates(dist, rtt));
         v_ij || v_ji
     };
     let mut edges: Vec<Vec<bool>> = vec![vec![false; n]; n];
@@ -100,24 +103,30 @@ pub fn sanitize_anchors(
     }
 }
 
-/// Sanitizes probes against trusted anchors: `rtts[p][a]` is the min-RTT
-/// from `probes[p]` to `trusted_anchors[a]`. A probe is removed on any
-/// violation.
+/// Sanitizes probes against trusted anchors: cell `(p, a)` of `rtts` is
+/// the min-RTT from `probes[p]` to `trusted_anchors[a]` (NaN = timeout).
+/// A probe is removed on any violation.
 pub fn sanitize_probes(
     world: &World,
     probes: &[HostId],
     trusted_anchors: &[HostId],
-    rtts: &[Vec<Option<Ms>>],
+    rtts: &DelayMatrix,
     soi: SpeedOfInternet,
 ) -> SanitizeReport {
-    assert_eq!(rtts.len(), probes.len(), "one RTT row per probe");
+    assert_eq!(rtts.rows(), probes.len(), "one RTT row per probe");
+    assert_eq!(
+        rtts.cols(),
+        trusted_anchors.len(),
+        "one RTT column per trusted anchor"
+    );
     let mut kept = Vec::new();
     let mut removed = Vec::new();
     for (p, &probe) in probes.iter().enumerate() {
         let ploc = world.host(probe).registered_location;
+        let row = rtts.row(p);
         let violation = trusted_anchors.iter().enumerate().any(|(a, &anchor)| {
             let aloc = world.host(anchor).registered_location;
-            rtts[p][a].is_some_and(|rtt| soi.violates(ploc.distance(&aloc), rtt))
+            !row[a].is_nan() && soi.violates(ploc.distance(&aloc), Ms(row[a]))
         });
         if violation {
             removed.push(probe);
@@ -172,9 +181,9 @@ mod tests {
     #[test]
     fn no_violations_removes_nothing() {
         let (w, _) = setup();
-        // An all-None mesh has no violations by construction.
+        // An all-NaN (unmeasured) mesh has no violations by construction.
         let n = w.anchors.len();
-        let mesh = vec![vec![None; n]; n];
+        let mesh = DelayMatrix::new(n, n);
         let report = sanitize_anchors(&w, &w.anchors, &mesh, SpeedOfInternet::CBG);
         assert!(report.removed.is_empty());
         assert_eq!(report.kept, w.anchors);
@@ -189,16 +198,11 @@ mod tests {
 
         // Probe -> trusted-anchor pings.
         let trusted = &anchors_report.kept;
-        let rtts: Vec<Vec<Option<Ms>>> = w
-            .probes
-            .iter()
-            .map(|&p| {
-                trusted
-                    .iter()
-                    .map(|&a| net.ping_min(&w, p, w.host(a).ip, 3, 7).rtt())
-                    .collect()
-            })
-            .collect();
+        let rtts = DelayMatrix::par_build(w.probes.len(), trusted.len(), |p, row| {
+            for (a, slot) in trusted.iter().zip(row.iter_mut()) {
+                *slot = DelayMatrix::cell(net.ping_min(&w, w.probes[p], w.host(*a).ip, 3, 7).rtt());
+            }
+        });
         let report = sanitize_probes(&w, &w.probes, trusted, &rtts, SpeedOfInternet::CBG);
 
         let truly_bad: Vec<HostId> = w
@@ -234,6 +238,11 @@ mod tests {
     #[should_panic(expected = "square")]
     fn mesh_shape_is_checked() {
         let (w, _) = setup();
-        let _ = sanitize_anchors(&w, &w.anchors, &[], SpeedOfInternet::CBG);
+        let _ = sanitize_anchors(
+            &w,
+            &w.anchors,
+            &DelayMatrix::new(0, 0),
+            SpeedOfInternet::CBG,
+        );
     }
 }

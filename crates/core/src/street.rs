@@ -23,9 +23,9 @@
 //! (mapping-service rate limits, locality-test fetches, measurement API
 //! round trips) for the Fig. 6c scalability analysis.
 
-use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::cbg::{cbg_with, CbgResult, VpMeasurement};
 use crate::resilient::{self, Resilience, TargetLog};
-use geo_model::constraint::{Circle, Region};
+use geo_model::constraint::{Circle, Region, RegionScratch};
 use geo_model::point::GeoPoint;
 use geo_model::rng::splitmix64;
 use geo_model::soi::SpeedOfInternet;
@@ -175,6 +175,9 @@ pub fn geolocate_resilient(
 ) -> StreetOutcome {
     let target_ip = world.host(target).ip;
     let mut virtual_secs = 0.0;
+    // One set of intersection buffers serves the tier-1 CBG and the
+    // landmark-region intersections for this target.
+    let mut scratch = RegionScratch::new();
     let mut services = MappingServices::new();
     let mut tester = LocalityTester::new(net.seed().derive_index("street", nonce));
 
@@ -201,7 +204,7 @@ pub fn geolocate_resilient(
         })
         .collect();
     virtual_secs += cfg.api_round_secs; // one ping campaign
-    let tier1 = cbg(&tier1_ms, cfg.soi);
+    let tier1 = cbg_with(&tier1_ms, cfg.soi, &mut scratch);
 
     let Some(tier1_result) = tier1 else {
         return StreetOutcome {
@@ -291,7 +294,7 @@ pub fn geolocate_resilient(
         .collect();
     if !lm_circles.is_empty() {
         let lm_region = Region::from_circles(lm_circles);
-        if let Some(est) = lm_region.intersect() {
+        if let Some(est) = lm_region.intersect_with(&mut scratch) {
             centroid = est.centroid;
             region = lm_region;
         }

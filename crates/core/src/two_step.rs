@@ -13,9 +13,10 @@
 //! finds the sweet spot at `s = 500` (2.88M measurements, 13.2% of the
 //! original) with no accuracy loss.
 
-use crate::cbg::{cbg, CbgResult, VpMeasurement};
+use crate::cbg::{cbg_with, CbgResult, VpMeasurement};
 use crate::million::{probe_representatives_resilient, RepProbe};
 use crate::resilient::{self, Resilience, TargetLog};
+use geo_model::constraint::RegionScratch;
 use geo_model::ip::Ipv4;
 use geo_model::point::GeoPoint;
 use geo_model::soi::SpeedOfInternet;
@@ -130,6 +131,9 @@ pub fn geolocate_resilient(
     nonce: u64,
     log: &mut TargetLog,
 ) -> TwoStepOutcome {
+    // One set of intersection buffers serves every CBG run for this
+    // target (step 1, fallback, final estimate).
+    let mut scratch = RegionScratch::new();
     // A single chosen VP pings the target for the final estimate.
     let final_ping = |vp: HostId, log: &mut TargetLog| {
         resilient::ping_batch(world, net, res, &[vp], target, 3, nonce ^ 0x5A, log)
@@ -151,7 +155,7 @@ pub fn geolocate_resilient(
             })
         })
         .collect();
-    let step1 = cbg(&ms1, SpeedOfInternet::CBG);
+    let step1 = cbg_with(&ms1, SpeedOfInternet::CBG, &mut scratch);
     let mut measurements = probe1.measurements;
 
     let Some(step1_result) = step1 else {
@@ -166,13 +170,14 @@ pub fn geolocate_resilient(
         let final_cbg = chosen.and_then(|vp| {
             measurements += 1;
             final_ping(vp, log).and_then(|rtt| {
-                cbg(
+                cbg_with(
                     &[VpMeasurement {
                         vp,
                         location: world.host(vp).registered_location,
                         rtt,
                     }],
                     SpeedOfInternet::CBG,
+                    &mut scratch,
                 )
             })
         });
@@ -214,13 +219,14 @@ pub fn geolocate_resilient(
     let final_cbg = chosen.and_then(|vp| {
         measurements += 1;
         final_ping(vp, log).and_then(|rtt| {
-            cbg(
+            cbg_with(
                 &[VpMeasurement {
                     vp,
                     location: world.host(vp).registered_location,
                     rtt,
                 }],
                 SpeedOfInternet::CBG,
+                &mut scratch,
             )
         })
     });

@@ -7,19 +7,27 @@
 //! and materialize the probe→anchor minimum-RTT campaign every experiment
 //! reads. The representative campaign of the million-scale experiments
 //! (21.7M measurements at full scale) is built lazily on first use.
+//!
+//! Campaign outputs stage through [`DelayMatrix`] (`f64`, exact measured
+//! bits for the sanitizers) and land in dense [`RttMatrix`] arenas; every
+//! bulk measurement goes through `Network::ping_min_once`, which resolves
+//! the base RTT through the route cache without inserting into the
+//! base-delay cache — campaigns touch each (src, dst) pair exactly once,
+//! so a per-pair cache entry would cost memory and hashing for reads that
+//! never come. See DESIGN.md §10 for the hot-path architecture.
 
 use geo_model::rng::Seed;
-use geo_model::runtime::par_map_indexed;
 use geo_model::soi::SpeedOfInternet;
-use geo_model::units::Ms;
 use ipgeo::{sanitize_anchors, sanitize_probes};
-use net_sim::Network;
+use net_sim::{Network, RowScratch};
 use std::sync::OnceLock;
 use web_sim::ecosystem::{WebConfig, WebEcosystem};
 use world_sim::hitlist::HitlistEntry;
 use world_sim::host::Host;
 use world_sim::ids::HostId;
 use world_sim::{World, WorldConfig};
+
+pub use geo_model::matrix::{DelayMatrix, RttMatrix};
 
 /// Experiment fidelity knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,78 +97,20 @@ impl EvalScale {
     }
 }
 
-/// A dense RTT matrix (`f32` ms; NaN = timeout).
-#[derive(Debug, Clone)]
-pub struct RttMatrix {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
-
-impl RttMatrix {
-    fn new(rows: usize, cols: usize) -> RttMatrix {
-        RttMatrix {
-            rows,
-            cols,
-            data: vec![f32::NAN; rows * cols],
+/// Positions of an in-order subset within its source list: `subset` must
+/// preserve `all`'s order (the sanitizers' `kept` lists do). A linear
+/// two-pointer walk — no hash maps on the assembly path.
+fn positions_of(subset: &[HostId], all: &[HostId]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(subset.len());
+    let mut i = 0;
+    for &want in subset {
+        while all[i] != want {
+            i += 1;
         }
+        out.push(i);
+        i += 1;
     }
-
-    /// Assembles a matrix from per-row cell vectors (the parallel campaign
-    /// builders produce one row per worker task). Every row must have
-    /// `cols` cells.
-    fn from_rows(cols: usize, rows: Vec<Vec<f32>>) -> RttMatrix {
-        let n = rows.len();
-        let mut data = Vec::with_capacity(n * cols);
-        for row in rows {
-            assert_eq!(row.len(), cols, "ragged campaign row");
-            data.extend_from_slice(&row);
-        }
-        RttMatrix {
-            rows: n,
-            cols,
-            data,
-        }
-    }
-
-    /// Encodes one measurement as a cell (`NaN` = timeout).
-    #[inline]
-    fn cell(v: Option<Ms>) -> f32 {
-        v.map_or(f32::NAN, |m| m.value() as f32)
-    }
-
-    #[inline]
-    fn set(&mut self, r: usize, c: usize, v: Option<Ms>) {
-        self.data[r * self.cols + c] = RttMatrix::cell(v);
-    }
-
-    /// The measured min-RTT, `None` on timeout.
-    #[inline]
-    pub fn get(&self, r: usize, c: usize) -> Option<Ms> {
-        let v = self.data[r * self.cols + c];
-        if v.is_nan() {
-            None
-        } else {
-            Some(Ms(v as f64))
-        }
-    }
-
-    /// One row of raw cells (`NaN` = timeout): the hot-loop access path —
-    /// a single bounds computation per row instead of one per cell.
-    #[inline]
-    pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Number of rows (vantage points).
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of columns (targets).
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
+    out
 }
 
 /// The shared evaluation dataset.
@@ -208,92 +158,99 @@ impl Dataset {
         let soi = SpeedOfInternet::CBG;
 
         // §4.3 step 1: meshed anchor measurements, sanitize anchors.
-        // Row-parallel: each row is a pure function of its index, so the
-        // mesh is bit-identical at any `IPGEO_THREADS`.
+        // Row-parallel straight into the staging arena: each row is a pure
+        // function of its index, so the mesh is bit-identical at any
+        // `IPGEO_THREADS`. The target lane hoists the per-call constant
+        // work (`host_by_ip`, last-mile, access delays) out of the loops;
+        // see DESIGN.md §10.
         let raw_anchors = world.anchors.clone();
-        let mesh: Vec<Vec<Option<Ms>>> = par_map_indexed(raw_anchors.len(), |i| {
-            let src = raw_anchors[i];
-            raw_anchors
-                .iter()
-                .enumerate()
-                .map(|(j, &dst)| {
-                    if i == j {
-                        None
-                    } else {
-                        net.ping_min(
-                            &world,
-                            src,
-                            world.host(dst).ip,
-                            3,
-                            0x4E5A ^ ((i as u64) << 24 | j as u64),
-                        )
-                        .rtt()
-                    }
-                })
-                .collect()
+        let n_anchors = raw_anchors.len();
+        let anchor_lane = net.target_lane(&world, &raw_anchors);
+        let mesh = DelayMatrix::par_build_with(n_anchors, n_anchors, RowScratch::new, {
+            let (world, net) = (&world, &net);
+            let (raw_anchors, anchor_lane) = (&raw_anchors, &anchor_lane);
+            move |scratch, i, row| {
+                net.campaign_row(
+                    world,
+                    anchor_lane,
+                    scratch,
+                    raw_anchors[i],
+                    3,
+                    |j| 0x4E5A ^ ((i as u64) << 24 | j as u64),
+                    Some(i), // diagonal stays NaN
+                    |j, out| row[j] = DelayMatrix::cell(out.rtt()),
+                );
+            }
         });
         let anchor_report = sanitize_anchors(&world, &raw_anchors, &mesh, soi);
         let anchors = anchor_report.kept.clone();
 
         // §4.3 step 2: probes vs trusted anchors; the same measurements
-        // feed the main RTT matrix.
+        // feed the main RTT matrix. Every cell is a pure function of
+        // (probe, anchor, packet index), so rows may be computed in any
+        // order: computing them grouped by the probe's attachment PoP lets
+        // consecutive rows reuse the scratch's route sequences, and a
+        // row permutation afterwards restores probe order bit-for-bit.
         let raw_probes = world.probes.clone();
-        let probe_rtts: Vec<Vec<Option<Ms>>> = par_map_indexed(raw_probes.len(), |p| {
-            let probe = raw_probes[p];
-            anchors
-                .iter()
-                .map(|&a| {
-                    net.ping_min(
-                        &world,
-                        probe,
-                        world.host(a).ip,
+        let probe_lane = net.target_lane(&world, &anchors);
+        let mut order: Vec<u32> = (0..raw_probes.len() as u32).collect();
+        order.sort_by_key(|&p| (net.attach_group(&world, raw_probes[p as usize]), p));
+        let grouped =
+            DelayMatrix::par_build_with(raw_probes.len(), anchors.len(), RowScratch::new, {
+                let (world, net) = (&world, &net);
+                let (raw_probes, probe_lane, order) = (&raw_probes, &probe_lane, &order);
+                move |scratch, k, row| {
+                    let p = order[k] as usize;
+                    net.campaign_row(
+                        world,
+                        probe_lane,
+                        scratch,
+                        raw_probes[p],
                         3,
-                        0x9A11 ^ (p as u64) << 20,
-                    )
-                    .rtt()
-                })
-                .collect()
+                        |_| 0x9A11 ^ (p as u64) << 20,
+                        None,
+                        |a, out| row[a] = DelayMatrix::cell(out.rtt()),
+                    );
+                }
+            });
+        let mut pos = vec![0u32; order.len()];
+        for (k, &p) in order.iter().enumerate() {
+            pos[p as usize] = k as u32;
+        }
+        let probe_rtts = DelayMatrix::par_build(raw_probes.len(), anchors.len(), |p, row| {
+            row.copy_from_slice(grouped.row(pos[p] as usize));
         });
         let probe_report = sanitize_probes(&world, &raw_probes, &anchors, &probe_rtts, soi);
         let vps = probe_report.kept.clone();
 
-        // Target subsample (deterministic stride).
-        let targets: Vec<HostId> = match scale.target_sample {
+        // Target subsample (deterministic stride); `target_cols[t]` is the
+        // target's column in `probe_rtts` / row in the anchor mesh order.
+        let target_cols: Vec<usize> = match scale.target_sample {
             Some(n) if n < anchors.len() => {
                 let stride = anchors.len() as f64 / n as f64;
-                (0..n)
-                    .map(|i| anchors[(i as f64 * stride) as usize])
-                    .collect()
+                (0..n).map(|i| (i as f64 * stride) as usize).collect()
             }
-            _ => anchors.clone(),
+            _ => (0..anchors.len()).collect(),
         };
+        let targets: Vec<HostId> = target_cols.iter().map(|&c| anchors[c]).collect();
 
-        // Dense matrices over the sanitized populations.
-        let anchor_index: std::collections::HashMap<HostId, usize> =
-            anchors.iter().enumerate().map(|(i, &a)| (a, i)).collect();
-        let probe_index: std::collections::HashMap<HostId, usize> = raw_probes
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
-        let mut rtt = RttMatrix::new(vps.len(), targets.len());
-        for (vi, &vp) in vps.iter().enumerate() {
-            let row = &probe_rtts[probe_index[&vp]];
-            for (ti, &t) in targets.iter().enumerate() {
-                rtt.set(vi, ti, row[anchor_index[&t]]);
+        // Dense matrices over the sanitized populations, by direct index
+        // remap (kept lists preserve input order, so the positions come
+        // from a linear walk, not hash lookups).
+        let vp_rows = positions_of(&vps, &raw_probes);
+        let rtt = RttMatrix::par_build(vps.len(), targets.len(), |vi, out| {
+            let row = probe_rtts.row(vp_rows[vi]);
+            for (slot, &col) in out.iter_mut().zip(&target_cols) {
+                *slot = row[col] as f32;
             }
-        }
-        let raw_anchor_index: std::collections::HashMap<HostId, usize> = raw_anchors
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| (a, i))
-            .collect();
-        let mut anchor_rtt = RttMatrix::new(anchors.len(), anchors.len());
-        for (i, &a) in anchors.iter().enumerate() {
-            for (j, &b) in anchors.iter().enumerate() {
-                anchor_rtt.set(i, j, mesh[raw_anchor_index[&a]][raw_anchor_index[&b]]);
+        });
+        let anchor_rows = positions_of(&anchors, &raw_anchors);
+        let anchor_rtt = RttMatrix::par_build(anchors.len(), anchors.len(), |i, out| {
+            let row = mesh.row(anchor_rows[i]);
+            for (slot, &col) in out.iter_mut().zip(&anchor_rows) {
+                *slot = row[col] as f32;
             }
-        }
+        });
 
         // Representatives per target.
         let reps: Vec<Vec<HitlistEntry>> = targets
@@ -331,12 +288,11 @@ impl Dataset {
         self.rep_rtt.get_or_init(|| {
             let k = ipgeo::million::REPRESENTATIVES;
             let cols = self.targets.len() * k;
-            let rows = par_map_indexed(self.vps.len(), |vi| {
+            RttMatrix::par_build(self.vps.len(), cols, |vi, row| {
                 let vp = self.vps[vi];
-                let mut row = vec![f32::NAN; cols];
                 for (ti, reps) in self.reps.iter().enumerate() {
                     for (ri, rep) in reps.iter().enumerate().take(k) {
-                        let out = self.net.ping_min(
+                        let out = self.net.ping_min_once(
                             &self.world,
                             vp,
                             rep.ip,
@@ -346,9 +302,7 @@ impl Dataset {
                         row[ti * k + ri] = RttMatrix::cell(out.rtt());
                     }
                 }
-                row
-            });
-            RttMatrix::from_rows(cols, rows)
+            })
         })
     }
 
@@ -426,5 +380,13 @@ mod tests {
         let d = Dataset::load(scale);
         assert_eq!(d.targets.len(), 5);
         assert_eq!(d.rtt.cols(), 5);
+    }
+
+    #[test]
+    fn subset_positions_walk_in_order() {
+        let all: Vec<HostId> = (0..10).map(HostId).collect();
+        let subset = [HostId(1), HostId(4), HostId(5), HostId(9)];
+        assert_eq!(positions_of(&subset, &all), vec![1, 4, 5, 9]);
+        assert_eq!(positions_of(&[], &all), Vec::<usize>::new());
     }
 }

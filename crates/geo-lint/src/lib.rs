@@ -14,6 +14,7 @@
 //! | `D3` | RNG construction bypassing `geo_model::rng` seeding |
 //! | `R1` | `unwrap`/`expect`/`panic!` in `geo-serve` serving paths |
 //! | `R2` | `static mut` / `unsafe impl` shared mutable state |
+//! | `P1` | heap allocation inside a `// geo-lint: hot-path` function |
 //! | `X1` | malformed or unknown `geo-lint: allow(...)` directive |
 //! | `X2` | stale allow (suppresses nothing) |
 //!

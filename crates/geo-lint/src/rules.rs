@@ -49,6 +49,11 @@ pub const RULES: &[RuleInfo] = &[
                   `PlatformError`s must bound its attempts with a counter or budget",
     },
     RuleInfo {
+        id: "P1",
+        summary: "heap allocation (Vec/String constructors, vec!/format!, .collect/.to_vec/\
+                  .to_string/.to_owned) inside a function marked `// geo-lint: hot-path`",
+    },
+    RuleInfo {
         id: "X1",
         summary: "malformed or unknown-rule `geo-lint: allow(...)` directive",
     },
@@ -75,6 +80,9 @@ pub struct Config {
     /// Crates whose `src/` talks to the fault-injecting platform and must
     /// bound its retry loops (R3).
     pub retry_crates: Vec<String>,
+    /// Crates whose `src/` carries `// geo-lint: hot-path` markers that P1
+    /// enforces; markers elsewhere are inert documentation.
+    pub hot_path_crates: Vec<String>,
     /// Vendored stand-in crates, skipped entirely.
     pub vendored_crates: Vec<String>,
     /// File (root-relative, `/`-separated) exempt from D3: the one place
@@ -91,6 +99,7 @@ impl Config {
                 .to_vec(),
             server_crates: vec!["geo-serve".into()],
             retry_crates: ["core", "atlas-sim"].map(String::from).to_vec(),
+            hot_path_crates: ["net-sim", "geo-model"].map(String::from).to_vec(),
             vendored_crates: ["rand", "proptest", "criterion"].map(String::from).to_vec(),
             rng_module: "crates/geo-model/src/rng.rs".into(),
         }
@@ -142,6 +151,13 @@ impl<'a> FileCtx<'a> {
                 .crate_name
                 .is_some_and(|c| cfg.retry_crates.iter().any(|d| d == c))
     }
+
+    fn is_hot_path(&self, cfg: &Config) -> bool {
+        self.in_src
+            && self
+                .crate_name
+                .is_some_and(|c| cfg.hot_path_crates.iter().any(|d| d == c))
+    }
 }
 
 /// Lints one file; appends non-suppressed diagnostics and used
@@ -166,6 +182,9 @@ pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
     check_r2(&code, &mut diags);
     if ctx.is_retry(cfg) {
         check_r3(&code, &mut diags);
+    }
+    if ctx.is_hot_path(cfg) {
+        check_p1(&lexed, &code, &mut diags);
     }
 
     for d in &mut diags {
@@ -279,8 +298,15 @@ fn parse_allows(
                 ),
             });
         };
+        if body.trim() == "hot-path" {
+            // A P1 marker, not an allow; `check_p1` consumes it.
+            continue;
+        }
         let Some(args) = body.strip_prefix("allow(") else {
-            fail("only `allow(...)` is understood", report);
+            fail(
+                "only `allow(...)` and the `hot-path` marker are understood",
+                report,
+            );
             continue;
         };
         let Some(close) = args.find(')') else {
@@ -856,6 +882,115 @@ fn check_r2(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Types whose associated constructors allocate (P1): `Vec::new(…)`,
+/// `String::with_capacity(…)`, … Bare mentions in type position are fine.
+const ALLOC_CTOR_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+/// The allocating associated functions on those types.
+const ALLOC_CTOR_FNS: &[&str] = &["new", "with_capacity", "from", "default"];
+
+/// Chained methods that allocate their result.
+const ALLOC_CHAIN_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// P1: heap allocation inside a function marked `// geo-lint: hot-path`.
+///
+/// The marker is a standalone comment directly above the function
+/// (attributes between marker and `fn` are fine). Hot-path functions run
+/// per simulated packet or per route link; a `Vec`/`String` allocation
+/// there turns an O(1) step into allocator traffic that dominates the
+/// campaign profile. Flagged constructs: allocating constructors
+/// (`Vec::new`, `String::with_capacity`, …), `vec!`/`format!`, and
+/// allocating chain methods (`.collect()`, `.to_vec()`, …).
+fn check_p1(lexed: &FileLex, code: &[Token], diags: &mut Vec<Diagnostic>) {
+    for c in &lexed.comments {
+        let anchored = c.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(body) = anchored.strip_prefix("geo-lint:") else {
+            continue;
+        };
+        if body.trim() != "hot-path" {
+            continue;
+        }
+        // The marked function: the first `fn` shortly after the marker
+        // (bounded so a detached marker cannot adopt an unrelated
+        // function further down the file).
+        let Some(fn_tok) = code
+            .iter()
+            .position(|t| t.line > c.line && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        if code[fn_tok].line > c.line + 8 {
+            continue;
+        }
+        // Balanced `{ … }` body after the signature.
+        let Some(open) = (fn_tok..code.len()).find(|&k| code[k].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < code.len() {
+            if code[end].is_punct('{') {
+                depth += 1;
+            } else if code[end].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        scan_hot_body(&code[open..end.min(code.len())], diags);
+    }
+}
+
+/// Scans one hot-path function body for allocating constructs.
+fn scan_hot_body(body: &[Token], diags: &mut Vec<Diagnostic>) {
+    let p1 = |what: &str, line: usize, diags: &mut Vec<Diagnostic>| {
+        diags.push(diag(
+            "P1",
+            line,
+            format!(
+                "`{what}` heap-allocates inside a `// geo-lint: hot-path` function; \
+                 hoist the buffer to the caller or use a fixed-size scratch"
+            ),
+        ));
+    };
+    for (i, t) in body.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        // `Vec::new(…)` and friends.
+        if ALLOC_CTOR_TYPES.contains(&name)
+            && body.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && body.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && body
+                .get(i + 3)
+                .is_some_and(|x| x.ident().is_some_and(|m| ALLOC_CTOR_FNS.contains(&m)))
+            && body.get(i + 4).is_some_and(|x| x.is_punct('('))
+        {
+            let m = body[i + 3].ident().unwrap_or_default();
+            p1(&format!("{name}::{m}"), t.line, diags);
+            continue;
+        }
+        // `vec![…]` / `format!(…)`.
+        if ALLOC_MACROS.contains(&name) && body.get(i + 1).is_some_and(|x| x.is_punct('!')) {
+            p1(&format!("{name}!"), t.line, diags);
+            continue;
+        }
+        // `.collect()`, `.to_vec()`, …
+        if ALLOC_CHAIN_METHODS.contains(&name)
+            && i > 0
+            && body[i - 1].is_punct('.')
+            && body.get(i + 1).is_some_and(|x| x.is_punct('('))
+        {
+            p1(&format!(".{name}()"), t.line, diags);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1023,6 +1158,57 @@ mod tests {
         // A loop with no retryable error handling is not a retry loop.
         let plain = "fn f() { loop { if done() { break; } } }";
         assert!(det(plain).is_clean(), "{:?}", det(plain).diagnostics);
+    }
+
+    fn hot(src: &str) -> Report {
+        run(&Config::workspace(), "crates/net-sim/src/hotpath.rs", src)
+    }
+
+    #[test]
+    fn p1_fires_on_allocation_in_marked_function() {
+        let src = "// geo-lint: hot-path\nfn f(xs: &[u32]) -> Vec<u32> {\n  xs.iter().map(|x| x * 2).collect()\n}";
+        let r = hot(src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "P1");
+        assert_eq!(r.diagnostics[0].line, 3);
+        let ctor = "// geo-lint: hot-path\n#[inline]\nfn f() -> usize { let v = Vec::with_capacity(4); v.len() }";
+        let r = hot(ctor);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert!(r.diagnostics[0].rationale.contains("Vec::with_capacity"));
+        let mac = "// geo-lint: hot-path\nfn f(x: u32) -> usize { format!(\"{x}\").len() }";
+        assert_eq!(hot(mac).diagnostics.len(), 1, "{:?}", hot(mac).diagnostics);
+    }
+
+    #[test]
+    fn p1_ignores_unmarked_functions_and_out_of_scope_crates() {
+        // Allocation without a marker is fine (types in signatures too).
+        let unmarked = "fn f(out: &mut Vec<u32>) { out.push(1); }\nfn g() -> Vec<u8> { vec![0] }";
+        assert!(hot(unmarked).is_clean(), "{:?}", hot(unmarked).diagnostics);
+        // A marked clean function is fine.
+        let clean = "// geo-lint: hot-path\nfn f(xs: &[f64]) -> f64 { xs.iter().sum() }";
+        assert!(hot(clean).is_clean(), "{:?}", hot(clean).diagnostics);
+        // Markers outside hot-path crates are inert documentation.
+        let src = "// geo-lint: hot-path\nfn f() -> Vec<u8> { vec![0] }";
+        let r = run(&Config::workspace(), "crates/core/src/lib.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn hot_path_marker_is_not_a_malformed_directive() {
+        let r = hot("// geo-lint: hot-path\nfn f() -> u32 { 1 }");
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        // A detached marker (no function within reach) stays inert.
+        let detached = "// geo-lint: hot-path\nconst X: u32 = 1;";
+        assert!(hot(detached).is_clean(), "{:?}", hot(detached).diagnostics);
+    }
+
+    #[test]
+    fn p1_can_be_allowed_with_reason() {
+        let src = "// geo-lint: hot-path\nfn f() -> usize {\n  // geo-lint: allow(P1, reason = \"cold fallback\")\n  String::new().len()\n}";
+        let r = hot(src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "P1");
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Deliberate P1 violations: allocation inside `hot-path` functions.
+
+// geo-lint: hot-path
+fn marked_collect(xs: &[u32]) -> u32 {
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    doubled.iter().sum()
+}
+
+// geo-lint: hot-path
+#[inline]
+fn marked_ctor(n: usize) -> usize {
+    let mut buf = Vec::with_capacity(n);
+    buf.push(n);
+    buf.len()
+}
+
+// geo-lint: hot-path
+fn marked_macro(x: u32) -> usize {
+    format!("{x}").len()
+}
+
+// geo-lint: hot-path
+fn marked_clean(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}
+
+fn unmarked_alloc(n: usize) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.resize(n, 0);
+    v
+}
+
+// geo-lint: hot-path
+fn marked_allowed() -> usize {
+    // geo-lint: allow(P1, reason = "fixture: cold fallback inside a hot function")
+    String::new().len()
+}

@@ -16,7 +16,7 @@
 //! region is declared empty — mirroring the paper's observation that for 5
 //! targets the 4/9 c factor produced no intersection at all (§5.2.1).
 
-use crate::point::GeoPoint;
+use crate::point::{GeoPoint, PointTrig};
 use crate::units::Km;
 
 /// A single geographic constraint: the target lies within `radius` of
@@ -75,6 +75,49 @@ pub struct Region {
 const BASE_RINGS: usize = 24;
 /// Number of refinement passes before declaring the region empty.
 const MAX_REFINES: usize = 3;
+
+/// Reusable buffers for [`Region::intersect_with`].
+///
+/// One `intersect` call makes thousands of circle-containment tests, each
+/// of which used to re-derive the radians and sine/cosine of both
+/// endpoints, and allocated an active-circle list plus a sample vector per
+/// refinement pass. The scratch hoists the per-circle trig (computed once
+/// per call) and keeps the buffers alive across calls, so solver loops
+/// over many targets perform no steady-state allocations.
+///
+/// The result is bit-identical to [`Region::intersect`] — only redundant
+/// work is skipped (see [`PointTrig`]); a scratch carries no state between
+/// calls other than buffer capacity.
+#[derive(Debug, Clone, Default)]
+pub struct RegionScratch {
+    /// Active circles, in region order (as [`Region::active_circles`]).
+    active: Vec<Circle>,
+    /// Precomputed center trig, parallel to `active`.
+    trig: Vec<PointTrig>,
+    /// Containment-check order: indices into `active`, ascending radius.
+    /// The region is a conjunction, so check order cannot change the
+    /// outcome — but tight circles reject samples earliest.
+    order: Vec<u32>,
+    /// Samples inside every constraint, in sample-grid order.
+    inside: Vec<GeoPoint>,
+}
+
+impl RegionScratch {
+    /// Fresh (empty) buffers.
+    pub fn new() -> RegionScratch {
+        RegionScratch::default()
+    }
+
+    /// True if the sample `t` satisfies every active constraint, checking
+    /// tightest circles first.
+    // geo-lint: hot-path
+    #[inline]
+    fn contains(&self, t: &PointTrig) -> bool {
+        self.order
+            .iter()
+            .all(|&i| self.trig[i as usize].distance(t) <= self.active[i as usize].radius)
+    }
+}
 
 impl Region {
     /// An empty region (no constraints — the whole Earth).
@@ -164,19 +207,52 @@ impl Region {
     ///
     /// [`active_circles`]: Region::active_circles
     pub fn intersect(&self) -> Option<RegionEstimate> {
-        let tightest = *self.tightest()?;
-        let active = Region::from_circles(self.active_circles());
-        if !active.pairwise_feasible() {
-            return None;
-        }
-        active.intersect_inner(tightest)
+        self.intersect_with(&mut RegionScratch::new())
     }
 
-    fn intersect_inner(&self, tightest: Circle) -> Option<RegionEstimate> {
+    /// [`Region::intersect`] with caller-owned buffers: bit-identical
+    /// result, no steady-state allocations. Solver loops that intersect
+    /// many regions should hold one [`RegionScratch`] and pass it here.
+    // geo-lint: hot-path
+    pub fn intersect_with(&self, scratch: &mut RegionScratch) -> Option<RegionEstimate> {
+        let tightest = *self.tightest()?;
+        let t_trig = PointTrig::of(&tightest.center);
+
+        // Active filter (same predicate and order as `active_circles`),
+        // computing each center's trig exactly once.
+        scratch.active.clear();
+        scratch.trig.clear();
+        scratch.order.clear();
+        for c in &self.circles {
+            let ct = PointTrig::of(&c.center);
+            if ct.distance(&t_trig) + tightest.radius >= c.radius {
+                scratch.active.push(*c);
+                scratch.trig.push(ct);
+            }
+        }
+
+        // Pairwise feasibility over the active set (`pairwise_feasible`).
+        for i in 0..scratch.active.len() {
+            for j in i + 1..scratch.active.len() {
+                if scratch.trig[i].distance(&scratch.trig[j])
+                    > scratch.active[i].radius + scratch.active[j].radius
+                {
+                    return None;
+                }
+            }
+        }
+
+        scratch.order.extend(0..scratch.active.len() as u32);
+        scratch.order.sort_unstable_by(|&a, &b| {
+            scratch.active[a as usize]
+                .radius
+                .total_cmp(&scratch.active[b as usize].radius)
+        });
+
         // Degenerate zero-radius constraint: the intersection is the center
         // itself if it satisfies everything.
         if tightest.radius.value() <= f64::EPSILON {
-            return if self.contains(&tightest.center) {
+            return if scratch.contains(&t_trig) {
                 Some(RegionEstimate {
                     centroid: tightest.center,
                     area_km2: 0.0,
@@ -189,7 +265,7 @@ impl Region {
 
         let mut rings = BASE_RINGS;
         for _ in 0..=MAX_REFINES {
-            if let Some(est) = self.sample_intersection(&tightest, rings) {
+            if let Some(est) = Region::sample_with(scratch, &tightest, &t_trig, rings) {
                 return Some(est);
             }
             rings *= 2;
@@ -197,16 +273,22 @@ impl Region {
         None
     }
 
-    fn sample_intersection(&self, tightest: &Circle, rings: usize) -> Option<RegionEstimate> {
+    // geo-lint: hot-path
+    fn sample_with(
+        scratch: &mut RegionScratch,
+        tightest: &Circle,
+        center: &PointTrig,
+        rings: usize,
+    ) -> Option<RegionEstimate> {
         let r = tightest.radius.value();
         let ring_width = r / rings as f64;
-        let mut inside: Vec<GeoPoint> = Vec::new();
+        scratch.inside.clear();
         let mut total_samples = 0usize;
 
         // Ring 0: the center itself.
         total_samples += 1;
-        if self.contains(&tightest.center) {
-            inside.push(tightest.center);
+        if scratch.contains(center) {
+            scratch.inside.push(tightest.center);
         }
 
         for ring in 1..=rings {
@@ -216,19 +298,19 @@ impl Region {
             let step = 360.0 / samples as f64;
             for k in 0..samples {
                 total_samples += 1;
-                let p = tightest.center.destination(k as f64 * step, radius);
-                if self.contains(&p) {
-                    inside.push(p);
+                let p = center.destination(k as f64 * step, radius);
+                if scratch.contains(&PointTrig::of(&p)) {
+                    scratch.inside.push(p);
                 }
             }
         }
 
-        if inside.is_empty() {
+        if scratch.inside.is_empty() {
             return None;
         }
-        let centroid = GeoPoint::centroid(&inside)?;
+        let centroid = GeoPoint::centroid(&scratch.inside)?;
         let circle_area = std::f64::consts::PI * r * r;
-        let area_km2 = circle_area * inside.len() as f64 / total_samples as f64;
+        let area_km2 = circle_area * scratch.inside.len() as f64 / total_samples as f64;
         Some(RegionEstimate {
             centroid,
             area_km2,
@@ -341,6 +423,59 @@ mod tests {
         ]);
         assert!(region.contains(&p(0.0, 5.0)));
         assert!(!region.contains(&p(0.0, -8.5)));
+    }
+
+    #[test]
+    fn intersect_with_reused_scratch_is_bit_identical() {
+        // Several geometries through ONE scratch, compared bit-for-bit
+        // against the fresh-allocation path: lens, redundant outer circle,
+        // zero radius, empty intersection, thin lens (refinement), single
+        // circle.
+        let a = p(0.0, 0.0);
+        let regions = [
+            Region::from_circles(vec![Circle::new(a, Km(400.0))]),
+            Region::from_circles(vec![
+                Circle::new(a, Km(400.0)),
+                Circle::new(a.destination(90.0, Km(600.0)), Km(400.0)),
+                Circle::new(a.destination(45.0, Km(100.0)), Km(9000.0)),
+            ]),
+            Region::from_circles(vec![
+                Circle::new(p(10.0, 10.0), Km(0.0)),
+                Circle::new(p(10.5, 10.5), Km(200.0)),
+            ]),
+            Region::from_circles(vec![
+                Circle::new(a, Km(500.0)),
+                Circle::new(a.destination(90.0, Km(3000.0)), Km(500.0)),
+            ]),
+            Region::from_circles(vec![
+                Circle::new(a, Km(500.0)),
+                Circle::new(a.destination(90.0, Km(999.0)), Km(500.0)),
+            ]),
+            Region::new(),
+        ];
+        let mut scratch = RegionScratch::new();
+        for (i, region) in regions.iter().enumerate() {
+            let fresh = region.intersect();
+            let reused = region.intersect_with(&mut scratch);
+            match (fresh, reused) {
+                (None, None) => {}
+                (Some(f), Some(r)) => {
+                    assert_eq!(
+                        f.centroid.lat().to_bits(),
+                        r.centroid.lat().to_bits(),
+                        "region {i}"
+                    );
+                    assert_eq!(
+                        f.centroid.lon().to_bits(),
+                        r.centroid.lon().to_bits(),
+                        "region {i}"
+                    );
+                    assert_eq!(f.area_km2.to_bits(), r.area_km2.to_bits(), "region {i}");
+                    assert_eq!(f.tightest_radius, r.tightest_radius, "region {i}");
+                }
+                (f, r) => panic!("region {i}: fresh {f:?} vs reused {r:?}"),
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub mod constraint;
 pub mod distr;
 pub mod ip;
+pub mod matrix;
 pub mod point;
 pub mod rng;
 pub mod runtime;
@@ -42,5 +43,6 @@ pub mod units;
 
 pub use constraint::{Circle, Region};
 pub use ip::{Ipv4, Prefix24};
+pub use matrix::{DelayMatrix, RttMatrix};
 pub use point::GeoPoint;
 pub use units::{Km, Ms};

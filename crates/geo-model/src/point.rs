@@ -133,6 +133,76 @@ impl fmt::Display for GeoPoint {
     }
 }
 
+/// Precomputed trigonometry of a [`GeoPoint`] for repeated spherical
+/// geometry against many counterparts.
+///
+/// [`GeoPoint::distance`] and [`GeoPoint::destination`] re-derive the
+/// radians and sine/cosine of both endpoints on every call; inner loops
+/// that test one point against thousands of others (constraint-region
+/// sampling, PoP detour scans) pay most of their time in that redundant
+/// trig. `PointTrig` hoists it: the methods below replay the exact
+/// floating-point operation sequence of their `GeoPoint` counterparts, so
+/// results are **bit-identical** — only the redundant recomputation is
+/// skipped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointTrig {
+    /// The original point (degrees).
+    point: GeoPoint,
+    /// Latitude and longitude in radians.
+    lat: f64,
+    lon: f64,
+    sin_lat: f64,
+    cos_lat: f64,
+}
+
+impl PointTrig {
+    /// Precomputes the trig of `point`.
+    pub fn of(point: &GeoPoint) -> PointTrig {
+        let lat = point.lat.to_radians();
+        PointTrig {
+            point: *point,
+            lat,
+            lon: point.lon.to_radians(),
+            sin_lat: lat.sin(),
+            cos_lat: lat.cos(),
+        }
+    }
+
+    /// The original point.
+    #[inline]
+    pub fn point(&self) -> GeoPoint {
+        self.point
+    }
+
+    /// [`GeoPoint::distance`], bit-identical, with both endpoints' trig
+    /// precomputed.
+    // geo-lint: hot-path
+    #[inline]
+    pub fn distance(&self, other: &PointTrig) -> Km {
+        let dlat = other.lat - self.lat;
+        let dlon = other.lon - self.lon;
+        let a =
+            (dlat / 2.0).sin().powi(2) + self.cos_lat * other.cos_lat * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().clamp(0.0, 1.0).asin();
+        Km(EARTH_RADIUS_KM * c)
+    }
+
+    /// [`GeoPoint::destination`], bit-identical, with the origin's trig
+    /// precomputed (the per-call trig is only the bearing and arc length).
+    // geo-lint: hot-path
+    pub fn destination(&self, bearing_deg: f64, distance: Km) -> GeoPoint {
+        let delta = distance.value() / EARTH_RADIUS_KM;
+        let theta = bearing_deg.to_radians();
+        let lat2 = (self.sin_lat * delta.cos() + self.cos_lat * delta.sin() * theta.cos())
+            .clamp(-1.0, 1.0)
+            .asin();
+        let lon2 = self.lon
+            + (theta.sin() * delta.sin() * self.cos_lat)
+                .atan2(delta.cos() - self.sin_lat * lat2.sin());
+        GeoPoint::new(lat2.to_degrees(), lon2.to_degrees())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +302,60 @@ mod tests {
     #[test]
     fn centroid_empty_is_none() {
         assert!(GeoPoint::centroid(&[]).is_none());
+    }
+
+    /// A deterministic scatter of awkward points (poles, antimeridian,
+    /// near-coincident pairs) for the bit-equality checks.
+    fn scatter() -> Vec<GeoPoint> {
+        let mut pts = vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(90.0, 0.0),
+            GeoPoint::new(-90.0, 13.0),
+            GeoPoint::new(51.5074, -0.1278),
+            GeoPoint::new(51.5074, -0.1279),
+            GeoPoint::new(-33.87, 151.21),
+            GeoPoint::new(10.0, 179.999),
+            GeoPoint::new(10.0, -179.999),
+        ];
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..40 {
+            h = h.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17);
+            let lat = (h >> 40) as f64 / (1u64 << 24) as f64 * 180.0 - 90.0;
+            let lon = (h & 0xFFFF_FFFF) as f64 / (1u64 << 32) as f64 * 360.0 - 180.0;
+            pts.push(GeoPoint::new(lat, lon));
+        }
+        pts
+    }
+
+    #[test]
+    fn point_trig_distance_is_bit_identical() {
+        let pts = scatter();
+        let trig: Vec<PointTrig> = pts.iter().map(PointTrig::of).collect();
+        for (a, ta) in pts.iter().zip(&trig) {
+            for (b, tb) in pts.iter().zip(&trig) {
+                assert_eq!(
+                    a.distance(b).value().to_bits(),
+                    ta.distance(tb).value().to_bits(),
+                    "distance bits drifted for {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_trig_destination_is_bit_identical() {
+        for p in scatter() {
+            let t = PointTrig::of(&p);
+            for (i, bearing) in [0.0, 63.0, 90.0, 179.5, 270.0, 359.0]
+                .into_iter()
+                .enumerate()
+            {
+                let d = Km(7.0 + 997.0 * i as f64);
+                let a = p.destination(bearing, d);
+                let b = t.destination(bearing, d);
+                assert_eq!(a.lat().to_bits(), b.lat().to_bits());
+                assert_eq!(a.lon().to_bits(), b.lon().to_bits());
+            }
+        }
     }
 }

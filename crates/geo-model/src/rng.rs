@@ -98,12 +98,16 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// FNV-1a hash of a byte string.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash of a byte string. `const` so that fixed domain labels
+/// (`b"jitter"`, `b"loss"`, …) hash at compile time on measurement hot
+/// paths instead of re-walking the literal per packet.
+pub const fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
     }
     hash
 }

@@ -67,6 +67,88 @@ where
         .collect()
 }
 
+/// Fills a `rows * cols` row-major arena in parallel: `f(r, row)` writes
+/// row `r` into its pre-allocated slot. Unlike [`par_map_indexed`] over
+/// per-row `Vec`s, the output lands directly in the final flat allocation —
+/// one arena, no per-row allocations, no assembly copy — which is what the
+/// campaign matrices (`geo_model::matrix`) are built from.
+///
+/// Every element starts as `init` (rows `f` leaves untouched stay `init`),
+/// and the same purity contract as [`par_map_indexed`] makes the result
+/// bit-identical at any worker count.
+pub fn par_fill_rows<E, F>(rows: usize, cols: usize, init: E, f: F) -> Vec<E>
+where
+    E: Clone + Send,
+    F: Fn(usize, &mut [E]) + Sync,
+{
+    let mut data = vec![init; rows * cols];
+    if cols == 0 || rows == 0 {
+        return data;
+    }
+    let workers = threads().min(rows);
+    if workers <= 1 {
+        for (r, row) in data.chunks_mut(cols).enumerate() {
+            f(r, row);
+        }
+        return data;
+    }
+    let rows_per = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, block) in data.chunks_mut(rows_per * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = w * rows_per;
+                for (off, row) in block.chunks_mut(cols).enumerate() {
+                    f(base + off, row);
+                }
+            });
+        }
+    });
+    data
+}
+
+/// [`par_fill_rows`] with per-worker scratch state: each worker calls
+/// `mk()` once and threads the value through `f` for every row of its
+/// contiguous chunk. Serial execution uses a single state for all rows.
+///
+/// `f` must still be a pure function of the row index *as far as the
+/// output is concerned* — the scratch may only carry memoized values that
+/// are themselves index-determined (e.g. route sequences), so the result
+/// stays bit-identical at any worker count.
+pub fn par_fill_rows_with<E, S, M, F>(rows: usize, cols: usize, init: E, mk: M, f: F) -> Vec<E>
+where
+    E: Clone + Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [E]) + Sync,
+{
+    let mut data = vec![init; rows * cols];
+    if cols == 0 || rows == 0 {
+        return data;
+    }
+    let workers = threads().min(rows);
+    if workers <= 1 {
+        let mut state = mk();
+        for (r, row) in data.chunks_mut(cols).enumerate() {
+            f(&mut state, r, row);
+        }
+        return data;
+    }
+    let rows_per = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, block) in data.chunks_mut(rows_per * cols).enumerate() {
+            let (f, mk) = (&f, &mk);
+            scope.spawn(move || {
+                let base = w * rows_per;
+                let mut state = mk();
+                for (off, row) in block.chunks_mut(cols).enumerate() {
+                    f(&mut state, base + off, row);
+                }
+            });
+        }
+    });
+    data
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +192,59 @@ mod tests {
         let data: Vec<usize> = (0..100).rev().collect();
         let out = par_map_indexed(100, |i| data[i]);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fill_rows_matches_serial_fill() {
+        let serial = par_fill_rows(0, 0, 0u64, |_, _| {});
+        assert!(serial.is_empty());
+        let filled = par_fill_rows(53, 7, u64::MAX, |r, row| {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = (r as u64) << 32 | c as u64;
+            }
+        });
+        assert_eq!(filled.len(), 53 * 7);
+        for r in 0..53 {
+            for c in 0..7 {
+                assert_eq!(filled[r * 7 + c], (r as u64) << 32 | c as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_rows_with_state_matches_stateless() {
+        // The scratch here memoizes a pure function of the index, so the
+        // output must be identical to the stateless fill at any width.
+        let plain = par_fill_rows(37, 5, 0u64, |r, row| {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = (r * 5 + c) as u64;
+            }
+        });
+        let with = par_fill_rows_with(
+            37,
+            5,
+            0u64,
+            || 0usize,
+            |calls, r, row| {
+                *calls += 1;
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = (r * 5 + c) as u64;
+                }
+            },
+        );
+        assert_eq!(plain, with);
+    }
+
+    #[test]
+    fn fill_rows_untouched_rows_keep_init() {
+        let data = par_fill_rows(10, 3, -1.0f64, |r, row| {
+            if r % 2 == 0 {
+                row.fill(r as f64);
+            }
+        });
+        for r in 0..10 {
+            let expect = if r % 2 == 0 { r as f64 } else { -1.0 };
+            assert!(data[r * 3..(r + 1) * 3].iter().all(|&v| v == expect));
+        }
     }
 }

@@ -50,7 +50,7 @@ pub fn endpoint_location(world: &World, ep: Endpoint) -> GeoPoint {
 }
 
 /// A stable key for the link between two abstract link endpoints.
-fn link_key(a_tag: u64, b_tag: u64) -> u64 {
+pub(crate) fn link_key(a_tag: u64, b_tag: u64) -> u64 {
     // Symmetric: the same cable is used in both directions.
     let (lo, hi) = if a_tag <= b_tag {
         (a_tag, b_tag)
@@ -60,7 +60,7 @@ fn link_key(a_tag: u64, b_tag: u64) -> u64 {
     splitmix64(lo ^ splitmix64(hi))
 }
 
-fn endpoint_tag(ep: Endpoint) -> u64 {
+pub(crate) fn endpoint_tag(ep: Endpoint) -> u64 {
     match ep {
         Endpoint::Host(id) => splitmix64(id.0 as u64 ^ fnv1a(b"host-tag")),
         Endpoint::Router(asn, city) => {
@@ -69,7 +69,7 @@ fn endpoint_tag(ep: Endpoint) -> u64 {
     }
 }
 
-fn waypoint_tag(wp: &Waypoint) -> u64 {
+pub(crate) fn waypoint_tag(wp: &Waypoint) -> u64 {
     endpoint_tag(Endpoint::Router(wp.asn, wp.city))
 }
 

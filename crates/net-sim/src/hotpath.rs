@@ -1,0 +1,1073 @@
+//! The memoized measurement hot path: route shapes, link delays and
+//! per-packet noise, bit-identical to the reference implementation.
+//!
+//! `measure::base_rtt` is the cost center of every bulk campaign: it
+//! synthesizes two router-level paths and walks them link by link, paying
+//! spherical trigonometry (`Waypoint::location`, haversine) and hash
+//! derivation per link, per call. Almost all of that work repeats across
+//! measurements, because paths are built from a small vocabulary:
+//!
+//! - the **first and last links** of any host path depend only on the host
+//!   (its location, its attachment PoP) — one constant per host;
+//! - a path starting at a `Router` endpoint begins with a zero-length link
+//!   to its own PoP, whose delay collapses to the metro detour — one
+//!   constant per simulator;
+//! - the **shape** of a path and all its middle (PoP-to-PoP) link delays
+//!   depend only on the two endpoints' attachment PoPs `(asn, city)` —
+//!   one short addend sequence per attach pair, shared by every host pair
+//!   behind the same attachments;
+//! - the topology tests the shape is decided by (`has_pop`, `nearest_pop`,
+//!   the `best_shared_pop` scan) hit tiny key spaces — dense lanes beat
+//!   hash tables.
+//!
+//! [`RouteCache`] memoizes exactly those pieces and replays the delay sum
+//! in the *same addition order* as `delay::one_way_delay`, so every f64 is
+//! bit-identical to the unmemoized reference (f64 addition is not
+//! associative, so caching whole sums per pair would entangle the per-host
+//! access terms; caching the middle addends and re-adding in order is safe).
+//!
+//! [`NoiseModel`] precomputes the per-packet distributions (`ln()` per
+//! lognormal, domain hashes) that `delay::jitter`/`last_mile` re-derive on
+//! every packet. Sampling itself is untouched, so draws are bit-identical.
+//!
+//! `crates/core/tests/hotpath_equivalence.rs` pins the end-to-end outputs
+//! against pre-optimization digests; `tests/hotpath_equivalence.rs` in this
+//! crate checks the fast path against the reference pair by pair.
+
+use crate::delay;
+use crate::measure::{self, PingOutcome};
+use crate::params::NetParams;
+use crate::route::{self, Endpoint, Waypoint};
+use geo_model::distr::{LogNormal, Sample};
+use geo_model::ip::Ipv4;
+use geo_model::point::EARTH_RADIUS_KM;
+use geo_model::rng::{fnv1a, splitmix64, KeyRng, Seed};
+use geo_model::units::Ms;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+use world_sim::host::LastMile;
+use world_sim::ids::{AsId, CityId, HostId};
+use world_sim::World;
+
+/// Compile-time domain hashes (the reference path hashes these literals on
+/// every call; see `delay::unit_sample` and friends).
+const H_LOSS: u64 = fnv1a(b"loss");
+const H_JITTER: u64 = fnv1a(b"jitter");
+const H_LAST_MILE: u64 = fnv1a(b"last-mile");
+const H_ICMP: u64 = fnv1a(b"icmp-slowpath");
+const H_HOP_RESPONDS: u64 = fnv1a(b"hop-responds");
+const H_CABLE: u64 = fnv1a(b"cable");
+pub(crate) const H_TRACEROUTE: u64 = fnv1a(b"traceroute");
+
+/// A cheap deterministic hasher for the memo tables: one splitmix64 round
+/// per written word. The default SipHash costs more than the memoized
+/// computation it guards; statistical quality here only affects bucket
+/// spread, never results.
+#[derive(Default)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = splitmix64(self.0 ^ b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = splitmix64(self.0 ^ v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+}
+
+type MixMap<K, V> = HashMap<K, V, BuildHasherDefault<MixHasher>>;
+
+/// Number of shards for the attach-pair memo (power of two).
+const PAIR_SHARDS: usize = 64;
+
+/// A path's waypoint list on the stack: `route::synthesize` never emits
+/// more than four waypoints, so the shape of a route needs no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathShape {
+    wps: [(AsId, CityId); 4],
+    len: u8,
+}
+
+impl PathShape {
+    fn new() -> PathShape {
+        PathShape {
+            wps: [(AsId(0), CityId(0)); 4],
+            len: 0,
+        }
+    }
+
+    /// Appends a waypoint, dropping consecutive duplicates — the same
+    /// normalization `Vec::dedup` applies in `route::synthesize`.
+    #[inline]
+    fn push(&mut self, asn: AsId, city: CityId) {
+        let n = self.len as usize;
+        if n > 0 && self.wps[n - 1] == (asn, city) {
+            return;
+        }
+        self.wps[n] = (asn, city);
+        self.len += 1;
+    }
+
+    /// The waypoints in path order.
+    #[inline]
+    pub fn waypoints(&self) -> &[(AsId, CityId)] {
+        &self.wps[..self.len as usize]
+    }
+}
+
+/// An endpoint's attachment PoP (no location resolution — the hot path
+/// never needs endpoint coordinates, only per-host link constants).
+#[inline]
+fn attach(world: &World, ep: Endpoint) -> (AsId, CityId) {
+    match ep {
+        Endpoint::Host(id) => {
+            let h = world.host(id);
+            (h.asn, h.city)
+        }
+        Endpoint::Router(asn, city) => (asn, city),
+    }
+}
+
+#[inline]
+fn pack(asn: AsId, city: CityId) -> u64 {
+    (asn.0 as u64) << 32 | city.0 as u64
+}
+
+/// Precomputed trigonometry for a point, replaying `GeoPoint::distance`
+/// bit-for-bit (`to_radians` and `cos` are deterministic, so hoisting them
+/// changes nothing).
+#[derive(Debug, Clone, Copy)]
+struct PointTrig {
+    lat_rad: f64,
+    lon_rad: f64,
+    cos_lat: f64,
+}
+
+impl PointTrig {
+    fn of(p: &geo_model::point::GeoPoint) -> PointTrig {
+        let lat_rad = p.lat().to_radians();
+        PointTrig {
+            lat_rad,
+            lon_rad: p.lon().to_radians(),
+            cos_lat: lat_rad.cos(),
+        }
+    }
+}
+
+/// Haversine between two precomputed points; the exact expression
+/// sequence of `GeoPoint::distance`, minus the re-derived trig.
+// geo-lint: hot-path
+#[inline]
+fn distance_km(a: &PointTrig, b: &PointTrig) -> f64 {
+    let dlat = b.lat_rad - a.lat_rad;
+    let dlon = b.lon_rad - a.lon_rad;
+    let h = (dlat / 2.0).sin().powi(2) + a.cos_lat * b.cos_lat * (dlon / 2.0).sin().powi(2);
+    let c = 2.0 * h.sqrt().clamp(0.0, 1.0).asin();
+    EARTH_RADIUS_KM * c
+}
+
+/// Router-waypoint constants: the symmetric link-key tag and the
+/// trigonometry of the router's physical location.
+#[derive(Debug, Clone, Copy)]
+struct WpInfo {
+    tag: u64,
+    trig: PointTrig,
+}
+
+impl WpInfo {
+    fn of(world: &World, asn: AsId, city: CityId) -> WpInfo {
+        let wp = Waypoint { asn, city };
+        WpInfo {
+            tag: delay::waypoint_tag(&wp),
+            trig: PointTrig::of(&wp.location(world)),
+        }
+    }
+}
+
+/// The middle-link addends of one attach-pair direction: `route::synthesize`
+/// emits at most four waypoints, so at most three PoP-to-PoP links.
+#[derive(Debug, Clone, Copy)]
+struct DirSeq {
+    mids: [f64; 3],
+    len: u8,
+}
+
+/// Both directions of an unordered attach pair: `fwd` is low→high attach
+/// index. Hop processing is a parameter constant, so only the link delays
+/// are stored; the fold re-interleaves them in the reference order.
+#[derive(Debug, Clone, Copy)]
+struct PairSeq {
+    fwd: DirSeq,
+    rev: DirSeq,
+}
+
+/// Dense per-world lookup lanes, built once on first use. All tables key
+/// on world entity ids: one `Network` must not be reused across
+/// differently-generated worlds.
+#[derive(Debug)]
+struct WorldLane {
+    n_cities: usize,
+    /// Per-city trig of city centers (detour replays in
+    /// `best_shared_pop`).
+    city_trig: Vec<PointTrig>,
+    /// `has_pop` bitset over `as_index * n_cities + city_index`.
+    pop_bits: Vec<u64>,
+    /// CSR offsets into `pop_city`/`wp`, one slice per AS. A dense
+    /// `(asn, city)` table at world scale is tens of megabytes of
+    /// mostly-`MAX` entries, and every lookup through it is a cache miss;
+    /// the CSR form is under a megabyte total, so the footprints of the
+    /// ASes a campaign actually routes through stay cache-resident.
+    pop_off: Vec<u32>,
+    /// Each AS's PoP cities, sorted (and deduplicated) within its slice.
+    pop_city: Vec<u32>,
+    /// Waypoint constants, parallel to `pop_city`.
+    wp: Vec<WpInfo>,
+    /// `World::nearest_pop` results: one lazily-allocated row per AS
+    /// (`city.0 + 1`, zero = not yet computed). Only transit-path ASes are
+    /// ever queried, so almost no rows materialize. Racing fills recompute
+    /// identical values.
+    nearest: Vec<OnceLock<Box<[AtomicU32]>>>,
+    /// Each host's attach index (into `attaches`).
+    host_attach: Vec<u32>,
+    /// Distinct host attachment PoPs.
+    attaches: Vec<(AsId, CityId)>,
+}
+
+impl WorldLane {
+    fn build(world: &World) -> WorldLane {
+        let n_cities = world.cities.len();
+        let n_as = world.ases.len();
+        let city_trig: Vec<PointTrig> = world
+            .cities
+            .iter()
+            .map(|c| PointTrig::of(&c.center))
+            .collect();
+        let mut pop_bits = vec![0u64; (n_as * n_cities).div_ceil(64)];
+        let mut pop_off = Vec::with_capacity(n_as + 1);
+        let mut pop_city: Vec<u32> = Vec::new();
+        let mut wp = Vec::new();
+        let mut cities: Vec<u32> = Vec::new();
+        pop_off.push(0);
+        for a in &world.ases {
+            cities.clear();
+            cities.extend(a.pops.iter().map(|c| c.0));
+            cities.sort_unstable();
+            cities.dedup();
+            for &c in &cities {
+                let k = a.id.index() * n_cities + c as usize;
+                pop_bits[k / 64] |= 1u64 << (k % 64);
+                pop_city.push(c);
+                wp.push(WpInfo::of(world, a.id, CityId(c)));
+            }
+            pop_off.push(pop_city.len() as u32);
+        }
+        let mut attach_of: MixMap<u64, u32> = MixMap::default();
+        let mut attaches: Vec<(AsId, CityId)> = Vec::new();
+        let host_attach = world
+            .hosts
+            .iter()
+            .map(|h| {
+                *attach_of.entry(pack(h.asn, h.city)).or_insert_with(|| {
+                    attaches.push((h.asn, h.city));
+                    (attaches.len() - 1) as u32
+                })
+            })
+            .collect();
+        WorldLane {
+            n_cities,
+            city_trig,
+            pop_bits,
+            pop_off,
+            pop_city,
+            nearest: (0..n_as).map(|_| OnceLock::new()).collect(),
+            host_attach,
+            attaches,
+            wp,
+        }
+    }
+
+    // geo-lint: hot-path
+    #[inline]
+    fn has_pop(&self, asn: AsId, city: CityId) -> bool {
+        let k = asn.index() * self.n_cities + city.index();
+        self.pop_bits[k / 64] >> (k % 64) & 1 == 1
+    }
+
+    /// The nearest-PoP memo row for an AS, allocated on the AS's first
+    /// query (cold path: a handful of transit ASes per world).
+    fn nearest_row(&self, asn: AsId) -> &[AtomicU32] {
+        self.nearest[asn.index()].get_or_init(|| {
+            (0..self.n_cities)
+                .map(|_| AtomicU32::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+    }
+
+    /// Memoized `World::nearest_pop` (a dot-product scan over the AS's
+    /// footprint — transit ASes have hundreds of PoPs).
+    // geo-lint: hot-path
+    #[inline]
+    fn nearest_pop(&self, world: &World, asn: AsId, city: CityId) -> CityId {
+        let slot = &self.nearest_row(asn)[city.index()];
+        let v = slot.load(Ordering::Relaxed);
+        if v != 0 {
+            return CityId(v - 1);
+        }
+        let c = world.nearest_pop(asn, city);
+        slot.store(c.0 + 1, Ordering::Relaxed);
+        c
+    }
+}
+
+/// Memoized route synthesis and deterministic delay composition.
+///
+/// All tables are lazily filled and shared across clones of a [`Network`]
+/// (`crate::Network`); racing fills recompute identical values, so the
+/// cache can never perturb a measurement.
+#[derive(Debug)]
+pub struct RouteCache {
+    /// Per-host first/last-link delay bits, indexed by `HostId`; zero means
+    /// "not yet computed" (real access links are strictly positive — the
+    /// metro detour alone guarantees it for co-located endpoints).
+    access: OnceLock<Vec<AtomicU64>>,
+    /// Delay of a router's zero-length link to its own PoP: distance zero,
+    /// so exactly the metro detour. Heads every `Endpoint::Router` path.
+    router_self_ms: f64,
+    /// Dense per-world lookup lanes.
+    lane: OnceLock<WorldLane>,
+    /// Waypoint constants for non-PoP waypoints (hosts attached where
+    /// their AS has no registered PoP; rare).
+    virt: RwLock<MixMap<u64, WpInfo>>,
+    /// Middle-link addend sequences per unordered host attach pair.
+    pairs: Vec<RwLock<MixMap<u64, PairSeq>>>,
+}
+
+impl RouteCache {
+    /// An empty cache for a simulator with the given parameters.
+    pub fn new(params: &NetParams) -> RouteCache {
+        // Any point works: the link has zero length, so only the metro
+        // detour survives.
+        let origin = geo_model::point::GeoPoint::new(0.0, 0.0);
+        RouteCache {
+            access: OnceLock::new(),
+            router_self_ms: delay::link_delay(params, &origin, &origin, 0).value(),
+            lane: OnceLock::new(),
+            virt: RwLock::new(MixMap::default()),
+            pairs: (0..PAIR_SHARDS)
+                .map(|_| RwLock::new(MixMap::default()))
+                .collect(),
+        }
+    }
+
+    fn lane(&self, world: &World) -> &WorldLane {
+        self.lane.get_or_init(|| WorldLane::build(world))
+    }
+
+    fn access_lane(&self, world: &World) -> &[AtomicU64] {
+        self.access
+            .get_or_init(|| (0..world.hosts.len()).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// The delay of a host's access link (host to its attachment PoP) —
+    /// both the first link of every path leaving it and the last link of
+    /// every path reaching it, since `route::synthesize` pins the boundary
+    /// waypoints to the endpoint attachments.
+    // geo-lint: hot-path
+    fn access_ms(&self, world: &World, params: &NetParams, id: HostId) -> f64 {
+        let lane = self.access_lane(world);
+        match lane.get(id.index()) {
+            Some(slot) => {
+                let bits = slot.load(Ordering::Relaxed);
+                if bits != 0 {
+                    return f64::from_bits(bits);
+                }
+                let v = compute_access_ms(world, params, id);
+                slot.store(v.to_bits(), Ordering::Relaxed);
+                v
+            }
+            // Host added after the lane was sized (a later `add_web_server`):
+            // stay correct, just unmemoized.
+            None => compute_access_ms(world, params, id),
+        }
+    }
+
+    /// Waypoint constants for a (possibly virtual) PoP.
+    // geo-lint: hot-path
+    fn wp_info(&self, world: &World, lane: &WorldLane, asn: AsId, city: CityId) -> WpInfo {
+        let s = lane.pop_off[asn.index()] as usize;
+        let e = lane.pop_off[asn.index() + 1] as usize;
+        if let Ok(pos) = lane.pop_city[s..e].binary_search(&city.0) {
+            return lane.wp[s + pos];
+        }
+        let key = pack(asn, city);
+        if let Some(&info) = self.virt.read().expect("virt memo poisoned").get(&key) {
+            return info;
+        }
+        let info = WpInfo::of(world, asn, city);
+        self.virt
+            .write()
+            .expect("virt memo poisoned")
+            .insert(key, info);
+        info
+    }
+
+    /// The delay of the link between two adjacent PoP waypoints, computed
+    /// fresh from precomputed waypoint constants — an exact replay of
+    /// `delay::link_delay` (distance, cable inflation, metro detour), and
+    /// cheaper than a memo lookup at the key cardinalities involved.
+    // geo-lint: hot-path
+    fn mid_ms(
+        &self,
+        world: &World,
+        params: &NetParams,
+        lane: &WorldLane,
+        a: (AsId, CityId),
+        b: (AsId, CityId),
+    ) -> f64 {
+        let wa = self.wp_info(world, lane, a.0, a.1);
+        let wb = self.wp_info(world, lane, b.0, b.1);
+        let key = delay::link_key(wa.tag, wb.tag);
+        let dist = distance_km(&wa.trig, &wb.trig);
+        // `delay::inflation`, inlined with the compile-time domain hash.
+        let h = splitmix64(key ^ H_CABLE);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let base = params.cable_inflation_min
+            + u * (params.cable_inflation_max - params.cable_inflation_min);
+        let u2 = ((splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64) * 0.5 + 0.5;
+        let inflation = base + params.short_haul_inflation * u2 * (-dist / 800.0).exp();
+        let mut ms = dist * inflation / params.km_per_ms();
+        if dist < 30.0 {
+            ms += params.metro_detour_ms;
+        }
+        ms
+    }
+
+    /// The first/last link delay for an endpoint.
+    // geo-lint: hot-path
+    fn endpoint_ms(&self, world: &World, params: &NetParams, ep: Endpoint) -> f64 {
+        match ep {
+            Endpoint::Host(id) => self.access_ms(world, params, id),
+            Endpoint::Router(..) => self.router_self_ms,
+        }
+    }
+
+    /// `route::best_shared_pop`, with PoP membership resolved through the
+    /// dense bitset and the detour distances through precomputed city trig.
+    /// The scan order (and so the first-minimum tie-break) matches the
+    /// reference exactly.
+    // geo-lint: hot-path
+    fn best_shared_pop(
+        &self,
+        world: &World,
+        lane: &WorldLane,
+        a: AsId,
+        b: AsId,
+        src_city: CityId,
+        dst_city: CityId,
+    ) -> Option<CityId> {
+        // Same scan/other resolution as the reference: scan the smaller
+        // footprint, membership-test against the other.
+        let (scan, other) = if world.asn(a).pops.len() <= world.asn(b).pops.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let src_t = &lane.city_trig[src_city.index()];
+        let dst_t = &lane.city_trig[dst_city.index()];
+        let mut best: Option<(CityId, f64)> = None;
+        for &c in &world.asn(scan).pops {
+            if !lane.has_pop(other, c) {
+                continue;
+            }
+            let t = &lane.city_trig[c.index()];
+            let detour = distance_km(src_t, t) + distance_km(t, dst_t);
+            if best.is_none_or(|(_, d)| detour < d) {
+                best = Some((c, detour));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// The waypoint list `route::synthesize` would emit between two
+    /// attachment PoPs.
+    // geo-lint: hot-path
+    fn shape_of(
+        &self,
+        world: &World,
+        params: &NetParams,
+        lane: &WorldLane,
+        (src_as, src_city): (AsId, CityId),
+        (dst_as, dst_city): (AsId, CityId),
+    ) -> PathShape {
+        let mut s = PathShape::new();
+        s.push(src_as, src_city);
+        if src_as == dst_as {
+            s.push(src_as, dst_city);
+        } else if lane.has_pop(dst_as, src_city) {
+            s.push(dst_as, src_city);
+            s.push(dst_as, dst_city);
+        } else if lane.has_pop(src_as, dst_city) {
+            s.push(src_as, dst_city);
+            s.push(dst_as, dst_city);
+        } else if let Some(meet) =
+            self.best_shared_pop(world, lane, src_as, dst_as, src_city, dst_city)
+        {
+            s.push(src_as, meet);
+            s.push(dst_as, meet);
+            s.push(dst_as, dst_city);
+        } else {
+            let transit = route::pick_transit(world, params, src_as, dst_as);
+            let t_in = lane.nearest_pop(world, transit, src_city);
+            let t_out = lane.nearest_pop(world, transit, dst_city);
+            s.push(transit, t_in);
+            if t_out != t_in {
+                s.push(transit, t_out);
+            }
+            s.push(dst_as, dst_city);
+        }
+        s
+    }
+
+    /// The waypoint list `route::synthesize` would emit for this pair,
+    /// computed allocation-free with dense lanes. Property-tested equal
+    /// in `tests/hotpath_equivalence.rs`.
+    // geo-lint: hot-path
+    pub fn shape(
+        &self,
+        world: &World,
+        params: &NetParams,
+        src: Endpoint,
+        dst: Endpoint,
+    ) -> PathShape {
+        let lane = self.lane(world);
+        self.shape_of(world, params, lane, attach(world, src), attach(world, dst))
+    }
+
+    /// The middle-link addends of one direction between two attaches.
+    // geo-lint: hot-path
+    fn dir_seq(
+        &self,
+        world: &World,
+        params: &NetParams,
+        lane: &WorldLane,
+        from: (AsId, CityId),
+        to: (AsId, CityId),
+    ) -> DirSeq {
+        let shape = self.shape_of(world, params, lane, from, to);
+        let wps = shape.waypoints();
+        let mut mids = [0.0f64; 3];
+        let mut len = 0u8;
+        for w in wps.windows(2) {
+            mids[len as usize] = self.mid_ms(world, params, lane, w[0], w[1]);
+            len += 1;
+        }
+        DirSeq { mids, len }
+    }
+
+    /// One-way delay along a shape, replaying the exact addition order of
+    /// `delay::one_way_delay`: first link, then per waypoint (processing,
+    /// next link), then the final link.
+    // geo-lint: hot-path
+    pub fn one_way_ms(
+        &self,
+        world: &World,
+        params: &NetParams,
+        src: Endpoint,
+        dst: Endpoint,
+        shape: &PathShape,
+    ) -> f64 {
+        let lane = self.lane(world);
+        let wps = shape.waypoints();
+        let mut total = 0.0f64;
+        total += self.endpoint_ms(world, params, src);
+        total += params.hop_processing_ms;
+        for w in wps.windows(2) {
+            total += self.mid_ms(world, params, lane, w[0], w[1]);
+            total += params.hop_processing_ms;
+        }
+        total += self.endpoint_ms(world, params, dst);
+        total
+    }
+
+    /// Folds one direction's addends in the reference order: access link,
+    /// then per waypoint (processing, next link), then the far access link.
+    // geo-lint: hot-path
+    #[inline]
+    fn fold(&self, params: &NetParams, access_src: f64, seq: &DirSeq, access_dst: f64) -> f64 {
+        let mut total = 0.0f64;
+        total += access_src;
+        total += params.hop_processing_ms;
+        for i in 0..seq.len as usize {
+            total += seq.mids[i];
+            total += params.hop_processing_ms;
+        }
+        total += access_dst;
+        total
+    }
+
+    /// Base (jitter-free) RTT between two hosts: forward plus reverse
+    /// one-way delay, identical bits to `measure::base_rtt`. The middle
+    /// addends of both directions are memoized per unordered attach pair;
+    /// only the two per-host access constants and the fold differ between
+    /// host pairs behind the same attachments.
+    // geo-lint: hot-path
+    pub fn base_rtt_ms(&self, world: &World, params: &NetParams, src: HostId, dst: HostId) -> f64 {
+        let lane = self.lane(world);
+        let (Some(&ai), Some(&bi)) = (
+            lane.host_attach.get(src.index()),
+            lane.host_attach.get(dst.index()),
+        ) else {
+            // Host added after the lane was sized: full uncached replay.
+            let fwd = self.shape(world, params, Endpoint::Host(src), Endpoint::Host(dst));
+            let rev = self.shape(world, params, Endpoint::Host(dst), Endpoint::Host(src));
+            return self.one_way_ms(
+                world,
+                params,
+                Endpoint::Host(src),
+                Endpoint::Host(dst),
+                &fwd,
+            ) + self.one_way_ms(
+                world,
+                params,
+                Endpoint::Host(dst),
+                Endpoint::Host(src),
+                &rev,
+            );
+        };
+        let seq = self.pair_seq(world, params, lane, ai, bi);
+        let (f, r) = if ai <= bi {
+            (&seq.fwd, &seq.rev)
+        } else {
+            (&seq.rev, &seq.fwd)
+        };
+        let sa = self.access_ms(world, params, src);
+        let sb = self.access_ms(world, params, dst);
+        self.fold(params, sa, f, sb) + self.fold(params, sb, r, sa)
+    }
+
+    /// The memoized middle addends of the unordered attach pair
+    /// `(ai, bi)`: `fwd` is always the low→high direction.
+    // geo-lint: hot-path
+    fn pair_seq(
+        &self,
+        world: &World,
+        params: &NetParams,
+        lane: &WorldLane,
+        ai: u32,
+        bi: u32,
+    ) -> PairSeq {
+        let (lo, hi) = if ai <= bi { (ai, bi) } else { (bi, ai) };
+        let key = (lo as u64) << 32 | hi as u64;
+        let shard = &self.pairs[(splitmix64(key) >> 58) as usize & (PAIR_SHARDS - 1)];
+        let seq = {
+            let memo = shard.read().expect("pair shard poisoned");
+            memo.get(&key).copied()
+        };
+        match seq {
+            Some(s) => s,
+            None => {
+                let a = lane.attaches[lo as usize];
+                let b = lane.attaches[hi as usize];
+                let s = PairSeq {
+                    fwd: self.dir_seq(world, params, lane, a, b),
+                    rev: self.dir_seq(world, params, lane, b, a),
+                };
+                shard.write().expect("pair shard poisoned").insert(key, s);
+                s
+            }
+        }
+    }
+
+    /// Cumulative delays to each waypoint (traceroute hop timing),
+    /// replaying `delay::cumulative_delays` into a caller-owned buffer.
+    pub fn cumulative_ms(
+        &self,
+        world: &World,
+        params: &NetParams,
+        src: Endpoint,
+        shape: &PathShape,
+        out: &mut Vec<Ms>,
+    ) {
+        out.clear();
+        let lane = self.lane(world);
+        let wps = shape.waypoints();
+        if wps.is_empty() {
+            return;
+        }
+        let mut total = 0.0f64;
+        total += self.endpoint_ms(world, params, src);
+        total += params.hop_processing_ms;
+        out.push(Ms(total));
+        for w in wps.windows(2) {
+            total += self.mid_ms(world, params, lane, w[0], w[1]);
+            total += params.hop_processing_ms;
+            out.push(Ms(total));
+        }
+    }
+}
+
+/// Per-target constants for a bulk campaign: everything `ping_min_once`
+/// re-derives per call (`host_by_ip`, last-mile profile, access delay,
+/// attach index) resolved once per target column.
+#[derive(Debug)]
+pub struct TargetLane {
+    cols: Vec<TargetCol>,
+}
+
+impl TargetLane {
+    /// Number of target columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the lane has no targets.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TargetCol {
+    host: HostId,
+    ip: Ipv4,
+    last_mile: LastMile,
+    /// Attach index into the world lane, `u32::MAX` if the host was added
+    /// after the lane was sized (falls back to `base_rtt_ms` per cell).
+    attach: u32,
+    /// The host's access-link delay (first/last addend of its base RTT).
+    access: f64,
+}
+
+/// Reusable per-worker scratch for [`RouteCache::base_row`]: the oriented
+/// middle-addend sequences of one source attach against every target
+/// column. Rows from sources behind the same attach reuse the filled
+/// scratch, so grouping rows by attach amortizes the pair-memo lookups.
+///
+/// A scratch is only meaningful against the [`TargetLane`] it was last
+/// filled for; use a fresh scratch per campaign.
+#[derive(Debug)]
+pub struct RowScratch {
+    /// Source attach index the sequences are oriented for (`u32::MAX` =
+    /// unfilled).
+    attach: u32,
+    /// Per column: (src→target, target→src) middle addends.
+    seqs: Vec<(DirSeq, DirSeq)>,
+}
+
+impl RowScratch {
+    /// An unfilled scratch.
+    pub fn new() -> RowScratch {
+        RowScratch {
+            attach: u32::MAX,
+            seqs: Vec::new(),
+        }
+    }
+}
+
+impl Default for RowScratch {
+    fn default() -> RowScratch {
+        RowScratch::new()
+    }
+}
+
+impl RouteCache {
+    /// Resolves per-target constants for a campaign against `targets`.
+    pub fn target_lane(&self, world: &World, params: &NetParams, targets: &[HostId]) -> TargetLane {
+        let lane = self.lane(world);
+        TargetLane {
+            cols: targets
+                .iter()
+                .map(|&id| {
+                    let h = world.host(id);
+                    TargetCol {
+                        host: id,
+                        ip: h.ip,
+                        last_mile: h.last_mile,
+                        attach: lane
+                            .host_attach
+                            .get(id.index())
+                            .copied()
+                            .unwrap_or(u32::MAX),
+                        access: self.access_ms(world, params, id),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// (Re)fills `scratch` with the oriented pair sequences of attach `ai`
+    /// against every target column.
+    ///
+    /// Computes each [`DirSeq`] directly instead of going through the
+    /// sharded pair memo: a campaign visits each (source attach, target
+    /// attach) pair only a handful of times, and the scratch itself
+    /// provides that reuse, so the memo's hundreds of megabytes of
+    /// insert-once entries would cost far more in DRAM traffic than they
+    /// save. `dir_seq` is a pure function of the attach pair, so the
+    /// addends are bit-identical to what the memo would return.
+    fn fill_scratch(
+        &self,
+        world: &World,
+        params: &NetParams,
+        targets: &TargetLane,
+        scratch: &mut RowScratch,
+        ai: u32,
+    ) {
+        let lane = self.lane(world);
+        let a = lane.attaches[ai as usize];
+        scratch.seqs.clear();
+        for col in &targets.cols {
+            if col.attach == u32::MAX {
+                let empty = DirSeq {
+                    mids: [0.0; 3],
+                    len: 0,
+                };
+                scratch.seqs.push((empty, empty));
+                continue;
+            }
+            let b = lane.attaches[col.attach as usize];
+            scratch.seqs.push((
+                self.dir_seq(world, params, lane, a, b),
+                self.dir_seq(world, params, lane, b, a),
+            ));
+        }
+        scratch.attach = ai;
+    }
+
+    /// One campaign row: the base RTT from `src` to every target column,
+    /// bit-identical to calling [`RouteCache::base_rtt_ms`] per target.
+    /// `emit(col, base, ip, last_mile)` receives each column in order,
+    /// skipping `skip` (a self-measurement diagonal).
+    ///
+    /// The fold per cell reads the scratch sequentially (L2-resident for
+    /// campaign-sized target lists) instead of probing the sharded pair
+    /// memo per call; sources behind the attach the scratch is already
+    /// filled for skip the memo entirely.
+    // geo-lint: hot-path
+    #[allow(clippy::too_many_arguments)]
+    pub fn base_row(
+        &self,
+        world: &World,
+        params: &NetParams,
+        targets: &TargetLane,
+        scratch: &mut RowScratch,
+        src: HostId,
+        skip: Option<usize>,
+        mut emit: impl FnMut(usize, Ms, Ipv4, LastMile),
+    ) {
+        let lane = self.lane(world);
+        let ai = lane.host_attach.get(src.index()).copied();
+        match ai {
+            Some(ai) => {
+                if scratch.attach != ai {
+                    self.fill_scratch(world, params, targets, scratch, ai);
+                }
+                let sa = self.access_ms(world, params, src);
+                for (c, col) in targets.cols.iter().enumerate() {
+                    if skip == Some(c) {
+                        continue;
+                    }
+                    let base = if col.attach == u32::MAX {
+                        self.base_rtt_ms(world, params, src, col.host)
+                    } else {
+                        let (f, r) = &scratch.seqs[c];
+                        self.fold(params, sa, f, col.access) + self.fold(params, col.access, r, sa)
+                    };
+                    emit(c, Ms(base), col.ip, col.last_mile);
+                }
+            }
+            // Source beyond the lane (added after sizing): per-cell replay.
+            None => {
+                for (c, col) in targets.cols.iter().enumerate() {
+                    if skip == Some(c) {
+                        continue;
+                    }
+                    let base = self.base_rtt_ms(world, params, src, col.host);
+                    emit(c, Ms(base), col.ip, col.last_mile);
+                }
+            }
+        }
+    }
+
+    /// The attach-group key of a host: rows of a campaign sorted by this
+    /// key maximize [`RowScratch`] reuse (hosts behind the same attachment
+    /// PoP share every pair sequence). Hosts beyond the lane sort last.
+    pub fn attach_group(&self, world: &World, id: HostId) -> u32 {
+        let lane = self.lane(world);
+        lane.host_attach
+            .get(id.index())
+            .copied()
+            .unwrap_or(u32::MAX)
+    }
+}
+
+fn compute_access_ms(world: &World, params: &NetParams, id: HostId) -> f64 {
+    let h = world.host(id);
+    let wp = Waypoint {
+        asn: h.asn,
+        city: h.city,
+    };
+    delay::link_delay(
+        params,
+        &h.location,
+        &wp.location(world),
+        delay::link_key(
+            delay::endpoint_tag(Endpoint::Host(id)),
+            delay::waypoint_tag(&wp),
+        ),
+    )
+    .value()
+}
+
+/// Precomputed per-packet noise distributions. The reference path
+/// (`delay::jitter`, `delay::last_mile`, `delay::icmp_slowpath`)
+/// reconstructs each lognormal — including an `ln()` — per packet;
+/// the distributions are plain `{mu, sigma}` data, so hoisting them
+/// preserves every sampled bit.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    loss_rate: f64,
+    hop_unresponsive_rate: f64,
+    /// `None` replays the `median <= 0.0` zero-jitter gate.
+    jitter: Option<LogNormal>,
+    /// `None` replays the `median <= 0.0` zero-slow-path gate.
+    icmp: Option<LogNormal>,
+    /// `LastMile::Negligible` delay distribution.
+    negligible: LogNormal,
+    /// Multiplicative variation around `LastMile::Access` line delay.
+    access_var: LogNormal,
+}
+
+impl NoiseModel {
+    /// Precomputes the noise distributions for the given parameters.
+    pub fn new(params: &NetParams) -> NoiseModel {
+        NoiseModel {
+            loss_rate: params.loss_rate,
+            hop_unresponsive_rate: params.hop_unresponsive_rate,
+            jitter: (params.jitter_median_ms > 0.0)
+                .then(|| LogNormal::with_median(params.jitter_median_ms, params.jitter_sigma)),
+            icmp: (params.icmp_slowpath_median_ms > 0.0).then(|| {
+                LogNormal::with_median(params.icmp_slowpath_median_ms, params.icmp_slowpath_sigma)
+            }),
+            negligible: LogNormal::with_median(0.08, 0.6),
+            access_var: LogNormal::new(0.0, 0.12),
+        }
+    }
+
+    /// `delay::unit_sample` with a precomputed domain hash.
+    // geo-lint: hot-path
+    #[inline]
+    fn unit(seed: Seed, key: u64, domain_hash: u64) -> f64 {
+        let h = splitmix64(seed.0 ^ splitmix64(key ^ domain_hash));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Per-packet jitter (bit-identical to `delay::jitter`).
+    // geo-lint: hot-path
+    pub fn jitter(&self, seed: Seed, key: u64) -> Ms {
+        match &self.jitter {
+            None => Ms::ZERO,
+            Some(d) => {
+                let mut rng = KeyRng::new(seed.0 ^ splitmix64(key ^ H_JITTER));
+                Ms(d.sample(&mut rng))
+            }
+        }
+    }
+
+    /// Per-reply ICMP slow-path delay (`delay::icmp_slowpath`).
+    // geo-lint: hot-path
+    pub fn icmp_slowpath(&self, seed: Seed, key: u64) -> Ms {
+        match &self.icmp {
+            None => Ms::ZERO,
+            Some(d) => {
+                let mut rng = KeyRng::new(seed.0 ^ splitmix64(key ^ H_ICMP));
+                Ms(d.sample(&mut rng))
+            }
+        }
+    }
+
+    /// Per-packet last-mile sample (`delay::last_mile`).
+    // geo-lint: hot-path
+    pub fn last_mile(&self, profile: LastMile, seed: Seed, key: u64) -> Ms {
+        let mut rng = KeyRng::new(seed.0 ^ splitmix64(key ^ H_LAST_MILE));
+        match profile {
+            LastMile::Negligible => Ms(self.negligible.sample(&mut rng)),
+            LastMile::Access { mean_ms } => Ms(mean_ms * self.access_var.sample(&mut rng)),
+        }
+    }
+
+    /// Whether a traceroute hop answers (`delay::unit_sample` gate).
+    // geo-lint: hot-path
+    pub fn hop_responds(&self, seed: Seed, hop_key: u64) -> bool {
+        NoiseModel::unit(seed, hop_key, H_HOP_RESPONDS) >= self.hop_unresponsive_rate
+    }
+
+    /// One packet's outcome on top of a known base RTT, with the endpoint
+    /// last-mile profiles hoisted out of the per-packet loop
+    /// (`measure::packet_outcome` re-reads them per packet; the values are
+    /// per-host constants).
+    // geo-lint: hot-path
+    pub fn packet(
+        &self,
+        seed: Seed,
+        src_lm: LastMile,
+        dst_lm: LastMile,
+        base: Ms,
+        key: u64,
+    ) -> PingOutcome {
+        if NoiseModel::unit(seed, key, H_LOSS) < self.loss_rate {
+            return PingOutcome::Timeout;
+        }
+        let src_lm = self.last_mile(src_lm, seed, key ^ 0x51);
+        let dst_lm = self.last_mile(dst_lm, seed, key ^ 0xD5);
+        let j = self.jitter(seed, key);
+        PingOutcome::Reply(base + src_lm + dst_lm + j)
+    }
+
+    /// Minimum RTT over `count` packets (`measure::ping_min_with_base`).
+    // geo-lint: hot-path
+    #[allow(clippy::too_many_arguments)]
+    pub fn ping_min(
+        &self,
+        seed: Seed,
+        src: HostId,
+        dst: Ipv4,
+        src_lm: LastMile,
+        dst_lm: LastMile,
+        base: Ms,
+        count: usize,
+        nonce: u64,
+    ) -> PingOutcome {
+        let mut best: Option<Ms> = None;
+        for i in 0..count {
+            let key = measure::measurement_key(src, dst, splitmix64(nonce ^ i as u64));
+            if let PingOutcome::Reply(ms) = self.packet(seed, src_lm, dst_lm, base, key) {
+                best = Some(match best {
+                    Some(b) => b.min(ms),
+                    None => ms,
+                });
+            }
+        }
+        match best {
+            Some(ms) => PingOutcome::Reply(ms),
+            None => PingOutcome::Timeout,
+        }
+    }
+}

@@ -30,29 +30,33 @@
 
 pub mod cache;
 pub mod delay;
+pub mod hotpath;
 pub mod measure;
 pub mod params;
 pub mod route;
 
 pub use cache::{BaseDelayCache, CacheStats};
+pub use hotpath::{NoiseModel, PathShape, RouteCache, RowScratch, TargetLane};
 pub use measure::{Hop, PingOutcome, Traceroute};
 pub use params::NetParams;
 pub use route::{Endpoint, Path, Waypoint};
 
 use geo_model::ip::Ipv4;
-use geo_model::rng::Seed;
+use geo_model::rng::{splitmix64, Seed};
 use geo_model::units::Ms;
 use std::sync::Arc;
 use world_sim::ids::HostId;
 use world_sim::World;
 
 /// The network simulator. Cheap to clone; clones share the base-delay
-/// cache (all other state is parameters).
+/// cache and the route cache (all other state is parameters).
 #[derive(Debug, Clone)]
 pub struct Network {
     seed: Seed,
     params: NetParams,
     cache: Arc<BaseDelayCache>,
+    routes: Arc<RouteCache>,
+    noise: NoiseModel,
 }
 
 impl Network {
@@ -63,10 +67,14 @@ impl Network {
 
     /// Creates a simulator with explicit parameters.
     pub fn with_params(seed: Seed, params: NetParams) -> Network {
+        let routes = Arc::new(RouteCache::new(&params));
+        let noise = NoiseModel::new(&params);
         Network {
             seed,
             params,
             cache: Arc::new(BaseDelayCache::new()),
+            routes,
+            noise,
         }
     }
 
@@ -91,7 +99,7 @@ impl Network {
     /// — this is the bulk-cacheable part of every ping.
     pub fn base_rtt(&self, world: &World, src: HostId, dst: HostId) -> Ms {
         Ms(self.cache.get_or_compute(src, dst, || {
-            measure::base_rtt(world, &self.params, src, dst).value()
+            self.routes.base_rtt_ms(world, &self.params, src, dst)
         }))
     }
 
@@ -120,15 +128,13 @@ impl Network {
             return PingOutcome::Timeout;
         };
         let base = self.base_rtt(world, src, dst_host.id);
-        measure::ping_with_base(
-            world,
-            &self.params,
+        let key = measure::measurement_key(src, dst, nonce);
+        self.noise.packet(
             self.seed,
-            src,
-            dst,
-            dst_host.id,
+            world.host(src).last_mile,
+            dst_host.last_mile,
             base,
-            nonce,
+            key,
         )
     }
 
@@ -148,21 +154,189 @@ impl Network {
             return PingOutcome::Timeout;
         };
         let base = self.base_rtt(world, src, dst_host.id);
-        measure::ping_min_with_base(
-            world,
-            &self.params,
+        self.noise.ping_min(
             self.seed,
             src,
             dst,
-            dst_host.id,
+            world.host(src).last_mile,
+            dst_host.last_mile,
             base,
             count,
             nonce,
         )
     }
 
-    /// A traceroute from `src` to the address `dst`.
+    /// [`Network::ping_min`] for single-visit pairs: the base RTT is
+    /// resolved through the route cache but *not* inserted into the
+    /// base-delay cache. Bulk campaigns that touch each (src, dst) pair
+    /// exactly once (the probe campaign, the representative matrix) would
+    /// otherwise pay the insert and the memory for entries never read back.
+    pub fn ping_min_once(
+        &self,
+        world: &World,
+        src: HostId,
+        dst: Ipv4,
+        count: usize,
+        nonce: u64,
+    ) -> PingOutcome {
+        let Some(dst_host) = world.host_by_ip(dst) else {
+            return PingOutcome::Timeout;
+        };
+        let base = Ms(self
+            .routes
+            .base_rtt_ms(world, &self.params, src, dst_host.id));
+        self.noise.ping_min(
+            self.seed,
+            src,
+            dst,
+            world.host(src).last_mile,
+            dst_host.last_mile,
+            base,
+            count,
+            nonce,
+        )
+    }
+
+    /// Resolves per-target constants for a bulk campaign against a fixed
+    /// target list (see [`Network::campaign_row`]).
+    pub fn target_lane(&self, world: &World, targets: &[HostId]) -> TargetLane {
+        self.routes.target_lane(world, &self.params, targets)
+    }
+
+    /// The attach-group key of a host: campaign rows sorted by this key
+    /// maximize [`RowScratch`] reuse across consecutive rows.
+    pub fn attach_group(&self, world: &World, id: HostId) -> u32 {
+        self.routes.attach_group(world, id)
+    }
+
+    /// One campaign row: [`Network::ping_min_once`] from `src` to every
+    /// target column, bit-identical cell by cell, with the per-call
+    /// constant work (`host_by_ip`, last-mile lookup, access delays,
+    /// pair-memo probes) hoisted into the [`TargetLane`] and the
+    /// attach-keyed [`RowScratch`]. `nonce_of(col)` supplies the per-cell
+    /// nonce; `skip` omits a column (the mesh diagonal).
+    // geo-lint: hot-path
+    #[allow(clippy::too_many_arguments)]
+    pub fn campaign_row(
+        &self,
+        world: &World,
+        targets: &TargetLane,
+        scratch: &mut RowScratch,
+        src: HostId,
+        count: usize,
+        nonce_of: impl Fn(usize) -> u64,
+        skip: Option<usize>,
+        mut emit: impl FnMut(usize, PingOutcome),
+    ) {
+        let src_lm = world.host(src).last_mile;
+        self.routes.base_row(
+            world,
+            &self.params,
+            targets,
+            scratch,
+            src,
+            skip,
+            |c, base, ip, dst_lm| {
+                let out = self.noise.ping_min(
+                    self.seed,
+                    src,
+                    ip,
+                    src_lm,
+                    dst_lm,
+                    base,
+                    count,
+                    nonce_of(c),
+                );
+                emit(c, out);
+            },
+        );
+    }
+
+    /// A traceroute from `src` to the address `dst`. Same semantics as
+    /// [`measure::traceroute`], with the forward path, per-hop reverse
+    /// paths and noise resolved through the shared caches.
     pub fn traceroute(&self, world: &World, src: HostId, dst: Ipv4, nonce: u64) -> Traceroute {
-        measure::traceroute(world, &self.params, self.seed, src, dst, nonce)
+        let dst_host = world.host_by_ip(dst);
+        let key = measure::measurement_key(src, dst, splitmix64(nonce ^ hotpath::H_TRACEROUTE));
+
+        let fwd_dst = match dst_host {
+            Some(h) => Endpoint::Host(h.id),
+            None => match world.plan.owner(dst.prefix24()) {
+                Some((asn, city)) => Endpoint::Router(asn, city),
+                None => {
+                    return Traceroute {
+                        src,
+                        dst,
+                        hops: Vec::new(),
+                        dst_rtt: None,
+                    }
+                }
+            },
+        };
+        let fwd = self
+            .routes
+            .shape(world, &self.params, Endpoint::Host(src), fwd_dst);
+        let mut cumulative = Vec::new();
+        self.routes.cumulative_ms(
+            world,
+            &self.params,
+            Endpoint::Host(src),
+            &fwd,
+            &mut cumulative,
+        );
+        // The reference samples the source last mile with the same key for
+        // every hop; one sample serves all of them.
+        let src_lm = self
+            .noise
+            .last_mile(world.host(src).last_mile, self.seed, key ^ 0x17);
+
+        let mut hops = Vec::with_capacity(fwd.waypoints().len());
+        for (i, &(asn, city)) in fwd.waypoints().iter().enumerate() {
+            let hop_key = splitmix64(key ^ (i as u64 + 1));
+            let rtt = if self.noise.hop_responds(self.seed, hop_key) {
+                // Reverse path *from this router* to the source.
+                let rev_src = Endpoint::Router(asn, city);
+                let rev = self
+                    .routes
+                    .shape(world, &self.params, rev_src, Endpoint::Host(src));
+                let rev_delay = Ms(self.routes.one_way_ms(
+                    world,
+                    &self.params,
+                    rev_src,
+                    Endpoint::Host(src),
+                    &rev,
+                ));
+                let j = self.noise.jitter(self.seed, hop_key);
+                let slowpath = self.noise.icmp_slowpath(self.seed, hop_key);
+                Some(cumulative[i] + rev_delay + j + src_lm + slowpath)
+            } else {
+                None
+            };
+            hops.push(Hop {
+                waypoint: Waypoint { asn, city },
+                rtt,
+            });
+        }
+
+        let dst_rtt = dst_host.and_then(|h| {
+            let base = self.base_rtt(world, src, h.id);
+            let ping_key = measure::measurement_key(src, dst, splitmix64(nonce ^ 0xF1));
+            self.noise
+                .packet(
+                    self.seed,
+                    world.host(src).last_mile,
+                    h.last_mile,
+                    base,
+                    ping_key,
+                )
+                .rtt()
+        });
+
+        Traceroute {
+            src,
+            dst,
+            hops,
+            dst_rtt,
+        }
     }
 }

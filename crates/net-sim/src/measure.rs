@@ -78,7 +78,7 @@ impl Traceroute {
 }
 
 /// A stable measurement key mixing endpoints and nonce.
-fn measurement_key(src: HostId, dst: Ipv4, nonce: u64) -> u64 {
+pub(crate) fn measurement_key(src: HostId, dst: Ipv4, nonce: u64) -> u64 {
     splitmix64((src.0 as u64) << 32 ^ dst.0 as u64 ^ splitmix64(nonce ^ fnv1a(b"measurement")))
 }
 

@@ -1,0 +1,192 @@
+//! Pair-by-pair bit-equivalence of the memoized hot path
+//! ([`net_sim::hotpath`]) against the reference implementation
+//! (`route::synthesize` + `delay::one_way_delay` + per-packet noise).
+//!
+//! The end-to-end digests live in `crates/core/tests/hotpath_equivalence.rs`;
+//! this test localizes any drift to the exact primitive that diverged.
+
+use geo_model::rng::{splitmix64, Seed};
+use net_sim::measure;
+use net_sim::route::{synthesize, Endpoint};
+use net_sim::{delay, Network, NoiseModel, RouteCache};
+use world_sim::{World, WorldConfig};
+
+fn world() -> World {
+    World::generate(WorldConfig::small(Seed(351))).unwrap()
+}
+
+#[test]
+fn shapes_match_synthesize() {
+    let w = world();
+    let net = Network::new(Seed(351));
+    let cache = RouteCache::new(net.params());
+    let mut host_pairs = 0;
+    let mut router_pairs = 0;
+    for i in 0..w.probes.len().min(120) {
+        for j in 0..w.anchors.len().min(40) {
+            let src = Endpoint::Host(w.probes[i]);
+            let dst = Endpoint::Host(w.anchors[j]);
+            for (a, b) in [(src, dst), (dst, src)] {
+                let slow = synthesize(&w, net.params(), a, b);
+                let fast = cache.shape(&w, net.params(), a, b);
+                let slow_wps: Vec<_> = slow.waypoints.iter().map(|wp| (wp.asn, wp.city)).collect();
+                assert_eq!(fast.waypoints(), &slow_wps[..], "{a:?} -> {b:?}");
+                host_pairs += 1;
+            }
+            // Router-sourced reverse paths (traceroute semantics).
+            let h = w.host(w.anchors[j]);
+            let router = Endpoint::Router(h.asn, h.city);
+            let slow = synthesize(&w, net.params(), router, src);
+            let fast = cache.shape(&w, net.params(), router, src);
+            let slow_wps: Vec<_> = slow.waypoints.iter().map(|wp| (wp.asn, wp.city)).collect();
+            assert_eq!(fast.waypoints(), &slow_wps[..], "{router:?} -> {src:?}");
+            router_pairs += 1;
+        }
+    }
+    assert!(host_pairs > 1000 && router_pairs > 500);
+}
+
+#[test]
+fn one_way_and_base_rtt_bits_match() {
+    let w = world();
+    let net = Network::new(Seed(351));
+    let cache = RouteCache::new(net.params());
+    for i in 0..w.probes.len().min(150) {
+        let src = w.probes[i];
+        let dst = w.anchors[i % w.anchors.len()];
+        // Full base RTT, both through a cold cache and replayed warm.
+        for _ in 0..2 {
+            let fast = cache.base_rtt_ms(&w, net.params(), src, dst);
+            let slow = measure::base_rtt(&w, net.params(), src, dst).value();
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "base_rtt bits diverged for {src:?} -> {dst:?}: {fast} vs {slow}"
+            );
+        }
+        // Each direction's one-way delay separately.
+        for (a, b) in [
+            (Endpoint::Host(src), Endpoint::Host(dst)),
+            (Endpoint::Host(dst), Endpoint::Host(src)),
+        ] {
+            let shape = cache.shape(&w, net.params(), a, b);
+            let fast = cache.one_way_ms(&w, net.params(), a, b, &shape);
+            let slow =
+                delay::one_way_delay(&w, net.params(), &synthesize(&w, net.params(), a, b)).value();
+            assert_eq!(fast.to_bits(), slow.to_bits());
+        }
+        // Router-sourced one-way delay (reverse path from a hop).
+        let h = w.host(dst);
+        let rev_src = Endpoint::Router(h.asn, h.city);
+        let shape = cache.shape(&w, net.params(), rev_src, Endpoint::Host(src));
+        let fast = cache.one_way_ms(&w, net.params(), rev_src, Endpoint::Host(src), &shape);
+        let slow = delay::one_way_delay(
+            &w,
+            net.params(),
+            &synthesize(&w, net.params(), rev_src, Endpoint::Host(src)),
+        )
+        .value();
+        assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+}
+
+#[test]
+fn cumulative_delays_match() {
+    let w = world();
+    let net = Network::new(Seed(351));
+    let cache = RouteCache::new(net.params());
+    let mut buf = Vec::new();
+    for i in 0..w.probes.len().min(80) {
+        let src = Endpoint::Host(w.probes[i]);
+        let dst = Endpoint::Host(w.anchors[i % w.anchors.len()]);
+        let shape = cache.shape(&w, net.params(), src, dst);
+        cache.cumulative_ms(&w, net.params(), src, &shape, &mut buf);
+        let slow =
+            delay::cumulative_delays(&w, net.params(), &synthesize(&w, net.params(), src, dst));
+        assert_eq!(buf.len(), slow.len());
+        for (f, s) in buf.iter().zip(&slow) {
+            assert_eq!(f.value().to_bits(), s.value().to_bits());
+        }
+    }
+}
+
+#[test]
+fn noise_model_matches_reference_packets() {
+    let w = world();
+    let net = Network::new(Seed(351));
+    let noise = NoiseModel::new(net.params());
+    for i in 0..w.probes.len().min(200) {
+        let src = w.probes[i];
+        let dst_host = w.host(w.anchors[i % w.anchors.len()]);
+        let base = measure::base_rtt(&w, net.params(), src, dst_host.id);
+        let nonce = 0xC0FFEE ^ i as u64;
+        let slow = measure::ping_min_with_base(
+            &w,
+            net.params(),
+            net.seed(),
+            src,
+            dst_host.ip,
+            dst_host.id,
+            base,
+            3,
+            nonce,
+        );
+        let fast = noise.ping_min(
+            net.seed(),
+            src,
+            dst_host.ip,
+            w.host(src).last_mile,
+            dst_host.last_mile,
+            base,
+            3,
+            nonce,
+        );
+        assert_eq!(fast, slow, "ping_min diverged for pair {i}");
+    }
+}
+
+#[test]
+fn network_ping_and_traceroute_match_reference() {
+    let w = world();
+    let net = Network::new(Seed(351));
+    for i in 0..w.probes.len().min(100) {
+        let src = w.probes[i];
+        let dst = w.host(w.anchors[i % w.anchors.len()]).ip;
+        let nonce = 0xBEEF ^ i as u64;
+        assert_eq!(
+            net.ping(&w, src, dst, nonce),
+            measure::ping(&w, net.params(), net.seed(), src, dst, nonce)
+        );
+        assert_eq!(
+            net.ping_min(&w, src, dst, 3, nonce),
+            measure::ping_min(&w, net.params(), net.seed(), src, dst, 3, nonce)
+        );
+        assert_eq!(
+            net.ping_min_once(&w, src, dst, 3, nonce),
+            measure::ping_min(&w, net.params(), net.seed(), src, dst, 3, nonce)
+        );
+        assert_eq!(
+            net.traceroute(&w, src, dst, nonce),
+            measure::traceroute(&w, net.params(), net.seed(), src, dst, nonce)
+        );
+    }
+    // Traceroute corner cases: unrouted prefix, allocated-but-unresponsive.
+    let unrouted = geo_model::ip::Ipv4::from_octets(250, 1, 2, 3);
+    assert_eq!(
+        net.traceroute(&w, w.probes[0], unrouted, 1),
+        measure::traceroute(&w, net.params(), net.seed(), w.probes[0], unrouted, 1)
+    );
+    let ghost = w.host(w.anchors[0]).ip.prefix24().host(251);
+    assert!(w.host_by_ip(ghost).is_none());
+    assert_eq!(
+        net.traceroute(&w, w.probes[0], ghost, splitmix64(7)),
+        measure::traceroute(
+            &w,
+            net.params(),
+            net.seed(),
+            w.probes[0],
+            ghost,
+            splitmix64(7)
+        )
+    );
+}

@@ -200,6 +200,11 @@ impl WebEcosystem {
         // Shared server hosts per (AS, city).
         let mut shared_servers: HashMap<(AsId, CityId), HostId> = HashMap::new();
 
+        // `nearest_of` is a linear scan over a CDN's PoP list and city
+        // centers never move, so the nearest edge per (CDN, entity city) is
+        // a constant; memoize it in a flat table (u32::MAX = unfilled).
+        let mut nearest_edge: Vec<u32> = vec![u32::MAX; cdn_pops.len() * world.cities.len()];
+
         let mut entities: Vec<Entity> = Vec::new();
         let mut websites: Vec<Website> = Vec::new();
         let mut by_zip: HashMap<ZipCode, Vec<EntityId>> = HashMap::new();
@@ -277,8 +282,13 @@ impl WebEcosystem {
                         Hosting::Cdn => {
                             // Anycast approximation: the edge nearest the
                             // entity's city.
-                            let (asn, pops) = &cdn_pops[rng.gen_range(0..cdn_pops.len())];
-                            let edge = nearest_of(world, pops, city.id);
+                            let cdn = rng.gen_range(0..cdn_pops.len());
+                            let (asn, pops) = &cdn_pops[cdn];
+                            let slot = &mut nearest_edge[cdn * city_count + ci];
+                            if *slot == u32::MAX {
+                                *slot = nearest_of(world, pops, city.id).0;
+                            }
+                            let edge = CityId(*slot);
                             *shared_servers.entry((*asn, edge)).or_insert_with(|| {
                                 let loc = world.city(edge).center;
                                 world.add_web_server(*asn, edge, loc)

@@ -26,17 +26,14 @@ fn sanitized_cbg_end_to_end() {
     let anchors = ipgeo::sanitize_anchors(&w, &w.anchors, &mesh, SpeedOfInternet::CBG);
     assert!(anchors.kept.len() >= w.anchors.len() - 3);
 
-    let rtts: Vec<Vec<Option<geo_model::units::Ms>>> = w
-        .probes
-        .iter()
-        .map(|&p| {
-            anchors
-                .kept
-                .iter()
-                .map(|&a| net.ping_min(&w, p, w.host(a).ip, 3, 11).rtt())
-                .collect()
-        })
-        .collect();
+    let rtts =
+        geo_model::matrix::DelayMatrix::par_build(w.probes.len(), anchors.kept.len(), |p, row| {
+            for (a, slot) in anchors.kept.iter().zip(row.iter_mut()) {
+                *slot = geo_model::matrix::DelayMatrix::cell(
+                    net.ping_min(&w, w.probes[p], w.host(*a).ip, 3, 11).rtt(),
+                );
+            }
+        });
     let probes = ipgeo::sanitize_probes(&w, &w.probes, &anchors.kept, &rtts, SpeedOfInternet::CBG);
 
     // Geolocate every surviving anchor with CBG over surviving probes.
@@ -47,7 +44,7 @@ fn sanitized_cbg_end_to_end() {
             .iter()
             .filter_map(|&vp| {
                 let p = w.probes.iter().position(|&x| x == vp).expect("known probe");
-                rtts[p][ai].map(|rtt| VpMeasurement {
+                rtts.get(p, ai).map(|rtt| VpMeasurement {
                     vp,
                     location: w.host(vp).registered_location,
                     rtt,
