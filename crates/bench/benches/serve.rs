@@ -1,16 +1,18 @@
 //! Serving-layer benchmarks: `.igds` snapshot load, single vs batch
-//! lookups (the serial/parallel fan-out), and concurrent-client TCP
-//! throughput against a live `QueryServer`.
+//! lookups (the serial/parallel fan-out), line-protocol TCP throughput,
+//! and the binary pipelined protocol under the zipfian load generator
+//! (closed loop for peak qps, open loop for honest latency percentiles).
 //!
 //! `cargo bench -p bench --bench serve` runs the Criterion group;
 //! `cargo bench -p bench --bench serve -- --snapshot` additionally
 //! rewrites `BENCH_serve.json` at the repo root with one fixed-shape
-//! timing pass (the committed snapshot).
+//! timing pass in the `serve-v2` schema (the committed snapshot).
 
 // Timing measurement is this code's purpose; the workspace bans
 // wall-clock reads by default (see clippy.toml).
 #![allow(clippy::disallowed_methods)]
 
+use bench::loadgen::{self, LoadgenConfig};
 use criterion::{criterion_group, Criterion};
 use geo_model::ip::Ipv4;
 use geo_model::rng::Seed;
@@ -121,6 +123,16 @@ fn bench_serve(c: &mut Criterion) {
     g.bench_function("tcp/concurrent_8x100", |b| {
         b.iter(|| concurrent_sweep(&addr, &ips, 8, 100));
     });
+    g.bench_function("binary/closed_loop_pipelined", |b| {
+        let cfg = LoadgenConfig {
+            connections: 2,
+            batch: 64,
+            pipeline_depth: 8,
+            frames_per_connection: 100,
+            ..LoadgenConfig::default()
+        };
+        b.iter(|| loadgen::run(&addr, &ips, &cfg));
+    });
     g.finish();
     server.shutdown();
 }
@@ -140,7 +152,10 @@ fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// One fixed-shape measurement pass, written to `BENCH_serve.json`.
+/// One fixed-shape measurement pass, written to `BENCH_serve.json` in
+/// the `serve-v2` schema: the legacy store/lookup/line-TCP sections plus
+/// the binary pipelined path (closed loop for peak qps, open loop at a
+/// fixed arrival rate for honest latency percentiles).
 fn write_snapshot() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("snapshot: publishing the bench dataset");
@@ -155,23 +170,61 @@ fn write_snapshot() {
     let batch_serial_s = time_median(9, || batch_with_threads(&store, &ips, "1"));
     let batch_parallel_s = time_median(9, || batch_with_threads(&store, &ips, "4"));
 
-    println!("snapshot: timing concurrent TCP clients");
+    println!("snapshot: timing concurrent line-protocol TCP clients");
     const CLIENTS: usize = 8;
     const PER_CLIENT: usize = 250;
     let server = QueryServer::spawn(Arc::new(store.clone()), 0).expect("spawn");
     let addr = server.addr().to_string();
-    let tcp_s = time_median(5, || {
+    let line_s = time_median(5, || {
         assert_eq!(
             concurrent_sweep(&addr, &ips, CLIENTS, PER_CLIENT),
             CLIENTS * PER_CLIENT
         );
     });
+    let line_qps = (CLIENTS * PER_CLIENT) as f64 / line_s;
+
+    println!("snapshot: binary pipelined closed loop (peak qps)");
+    let closed_cfg = LoadgenConfig {
+        connections: 2,
+        batch: 64,
+        pipeline_depth: 8,
+        frames_per_connection: 2000,
+        rate_qps: None,
+        zipf_s: 1.0,
+        seed: 631,
+    };
+    // Warm the hot-prefix cache and the allocator before the kept run.
+    let _ = loadgen::run(&addr, &ips, &closed_cfg);
+    let closed = loadgen::run(&addr, &ips, &closed_cfg);
+    assert_eq!(closed.hits + closed.misses, closed.queries);
+
+    println!("snapshot: binary pipelined open loop (latency percentiles)");
+    let open_cfg = LoadgenConfig {
+        connections: 1,
+        batch: 64,
+        pipeline_depth: 8,
+        frames_per_connection: 800,
+        // Well under the closed-loop peak, so the percentiles describe
+        // an un-congested server rather than a queueing collapse (on
+        // the 1-core committed container, client threads and server
+        // workers share the core; fewer connections = less scheduler
+        // jitter in the tail).
+        rate_qps: Some(100_000.0),
+        zipf_s: 1.0,
+        seed: 631,
+    };
+    let _ = loadgen::run(&addr, &ips, &open_cfg);
+    let open = loadgen::run(&addr, &ips, &open_cfg);
     server.shutdown();
-    let qps = (CLIENTS * PER_CLIENT) as f64 / tcp_s;
+
+    // v1 recorded 57,643 line-protocol qps on this host class; the
+    // tentpole acceptance bar is 10x that on the binary pipelined path.
+    const V1_LINE_QPS: f64 = 57_643.0;
 
     let json = format!(
         r#"{{
   "bench": "serve",
+  "schema": "serve-v2",
   "host": {{ "available_parallelism": {cores} }},
   "dataset": {{ "entries": {}, "igds_bytes": {}, "query_sweep_ips": {} }},
   "store_load": {{ "decode_s": {load_s:.6} }},
@@ -181,19 +234,57 @@ fn write_snapshot() {
     "batch_parallel_4_threads_s": {batch_parallel_s:.6},
     "speedup": {:.2}
   }},
-  "tcp": {{
+  "line_tcp": {{
     "clients": {CLIENTS},
     "queries_per_client": {PER_CLIENT},
-    "sweep_s": {tcp_s:.4},
-    "qps": {qps:.0}
+    "sweep_s": {line_s:.4},
+    "qps": {line_qps:.0}
   }},
-  "note": "timings from the committed container; batch speedup scales with available_parallelism (1 core => parity by design, results are bit-identical at any IPGEO_THREADS)"
+  "binary": {{
+    "closed_loop": {{
+      "connections": {},
+      "batch": {},
+      "pipeline_depth": {},
+      "queries": {},
+      "elapsed_s": {:.4},
+      "qps": {:.0},
+      "p50_us": {:.1},
+      "p99_us": {:.1},
+      "p999_us": {:.1}
+    }},
+    "open_loop": {{
+      "target_qps": {:.0},
+      "achieved_qps": {:.0},
+      "zipf_s": {:.2},
+      "p50_us": {:.1},
+      "p99_us": {:.1},
+      "p999_us": {:.1}
+    }},
+    "speedup_vs_line_v1": {:.1}
+  }},
+  "note": "timings from the committed container; latency percentiles are per pipelined frame (batch addresses each), open loop clocks from scheduled departures (coordinated-omission aware); batch speedup scales with available_parallelism (1 core => serial fallback by design, results bit-identical at any IPGEO_THREADS)"
 }}
 "#,
         store.len(),
         bytes.len(),
         ips.len(),
         batch_serial_s / batch_parallel_s,
+        closed.connections,
+        closed.batch,
+        closed.pipeline_depth,
+        closed.queries,
+        closed.elapsed_s,
+        closed.qps,
+        closed.p50_us,
+        closed.p99_us,
+        closed.p999_us,
+        open.target_qps.unwrap_or(0.0),
+        open.qps,
+        open_cfg.zipf_s,
+        open.p50_us,
+        open.p99_us,
+        open.p999_us,
+        closed.qps / V1_LINE_QPS,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");

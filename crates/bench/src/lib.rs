@@ -8,6 +8,8 @@
 // wall-clock reads by default (see clippy.toml).
 #![allow(clippy::disallowed_methods)]
 
+pub mod loadgen;
+
 use eval::{Dataset, EvalScale, Report};
 
 /// Loads the dataset per the environment and times the load.

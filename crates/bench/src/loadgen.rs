@@ -1,0 +1,360 @@
+//! An open-loop load generator for the binary pipelined query protocol.
+//!
+//! "Lost in the Prefix" motivates realistic *skewed* per-prefix load: a
+//! handful of hot `/24`s absorb most real traffic, so the generator
+//! samples queried addresses from a zipfian popularity distribution over
+//! the served prefix pool (seeded, so a run's query stream is
+//! reproducible) rather than sweeping uniformly.
+//!
+//! Shape: `connections` TCP connections, each with a sender and a
+//! receiver thread. Senders pre-encode every frame **before** the timed
+//! window so the measurement sees protocol + server cost, not client
+//! `format!` cost. Two pacing modes:
+//!
+//! - **closed loop** (`rate_qps: None`): each sender keeps up to
+//!   `pipeline_depth` frames in flight, throttled by a window counter
+//!   the receiver releases — max-throughput mode;
+//! - **open loop** (`rate_qps: Some(r)`): frame k of a connection has a
+//!   *scheduled* departure at `start + k/frame_rate`, and latency is
+//!   measured from that scheduled instant even when the sender is
+//!   running late — the standard coordinated-omission guard, so a
+//!   stalled server cannot flatter its own percentiles.
+//!
+//! Responses come back in send order on each connection (the protocol
+//! guarantees it), so the receiver matches latency samples FIFO and
+//! verifies every answer count. Percentiles are computed over the merged
+//! samples of all connections.
+
+use geo_model::distr::Zipf;
+use geo_model::ip::Ipv4;
+use geo_model::rng::Seed;
+use geo_serve::proto::{encode_request, try_decode_response, Decoded, Opcode, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One load-generation run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent TCP connections.
+    pub connections: usize,
+    /// Addresses per LOCATE frame (batching factor).
+    pub batch: usize,
+    /// Frames in flight per connection (closed loop only).
+    pub pipeline_depth: usize,
+    /// Frames each connection sends.
+    pub frames_per_connection: usize,
+    /// Aggregate target arrival rate in queries/s; `None` = closed loop.
+    pub rate_qps: Option<f64>,
+    /// Zipf skew exponent over the prefix pool (1.0 ≈ classic web skew).
+    pub zipf_s: f64,
+    /// Seed for the query stream (reproducible runs).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 4,
+            batch: 64,
+            pipeline_depth: 8,
+            frames_per_connection: 400,
+            rate_qps: None,
+            zipf_s: 1.0,
+            seed: 631,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Connections used.
+    pub connections: usize,
+    /// Addresses per frame.
+    pub batch: usize,
+    /// Frames in flight per connection (closed loop).
+    pub pipeline_depth: usize,
+    /// Total frames sent (and answered).
+    pub frames: u64,
+    /// Total addresses queried.
+    pub queries: u64,
+    /// Hits among the answers.
+    pub hits: u64,
+    /// Misses among the answers.
+    pub misses: u64,
+    /// Wall-clock of the timed window, seconds.
+    pub elapsed_s: f64,
+    /// Queries answered per second.
+    pub qps: f64,
+    /// The open-loop target, when one was set.
+    pub target_qps: Option<f64>,
+    /// Median per-frame latency, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile frame latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile frame latency, microseconds.
+    pub p999_us: f64,
+}
+
+/// The percentile at `q` (0..=1) of an unsorted sample set, by the
+/// nearest-rank method.
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Pre-encodes one connection's frames: zipf-sampled addresses over the
+/// pool, `batch` per frame, with per-frame byte offsets for pipelined
+/// slicing.
+fn encode_frames(pool: &[Ipv4], cfg: &LoadgenConfig, conn: usize) -> (Vec<u8>, Vec<usize>) {
+    let mut rng = Seed(cfg.seed).derive_index("loadgen", conn as u64).rng();
+    let zipf = Zipf::new(pool.len().max(1), cfg.zipf_s);
+    let mut bytes = Vec::new();
+    let mut bounds = vec![0];
+    for _ in 0..cfg.frames_per_connection {
+        let ips: Vec<Ipv4> = (0..cfg.batch)
+            .map(|_| pool[zipf.sample_rank(&mut rng) % pool.len().max(1)])
+            .collect();
+        encode_request(&mut bytes, Opcode::Locate, &ips).expect("frame within budget");
+        bounds.push(bytes.len());
+    }
+    (bytes, bounds)
+}
+
+/// Window counter released by the receiver; bounds frames in flight.
+struct Window {
+    outstanding: Mutex<usize>,
+    released: Condvar,
+}
+
+impl Window {
+    fn acquire(&self, depth: usize) {
+        let mut outstanding = self
+            .outstanding
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *outstanding >= depth {
+            outstanding = self
+                .released
+                .wait(outstanding)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *outstanding += 1;
+    }
+
+    fn release(&self) {
+        let mut outstanding = self
+            .outstanding
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *outstanding = outstanding.saturating_sub(1);
+        drop(outstanding);
+        self.released.notify_one();
+    }
+}
+
+/// One connection's receive loop: decode `frames` responses, matching
+/// departure timestamps FIFO, returning `(latencies_us, hits, misses)`.
+fn receive_all(
+    stream: &mut TcpStream,
+    frames: usize,
+    departures: &Mutex<std::collections::VecDeque<Instant>>,
+    window: &Window,
+) -> (Vec<f64>, u64, u64) {
+    let mut latencies = Vec::with_capacity(frames);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut buf = Vec::with_capacity(64 * 1024);
+    let mut parsed = 0;
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut received = 0;
+    while received < frames {
+        match try_decode_response(&buf[parsed..]) {
+            Ok(Decoded::Frame(resp, used)) => {
+                parsed += used;
+                received += 1;
+                let departed = departures
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front()
+                    .expect("a departure per response");
+                latencies.push(departed.elapsed().as_secs_f64() * 1e6);
+                window.release();
+                match resp {
+                    Response::Records { records, .. } => {
+                        for r in &records {
+                            if r.hit {
+                                hits += 1;
+                            } else {
+                                misses += 1;
+                            }
+                        }
+                    }
+                    Response::Stats(_) => {}
+                    Response::Error(msg) => panic!("server error under load: {msg}"),
+                }
+                continue;
+            }
+            Ok(Decoded::NeedMore) => {}
+            Err(e) => panic!("bad response frame under load: {e}"),
+        }
+        if parsed > 0 && parsed == buf.len() {
+            buf.clear();
+            parsed = 0;
+        } else if parsed > chunk.len() {
+            buf.drain(..parsed);
+            parsed = 0;
+        }
+        let n = stream.read(&mut chunk).expect("read responses");
+        assert!(n > 0, "server closed mid-run ({received}/{frames} frames)");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    (latencies, hits, misses)
+}
+
+/// Runs one load-generation pass against a serving address.
+///
+/// `pool` is the address population to sample from (typically one host
+/// per served prefix); ranks are zipf-distributed so low-index pool
+/// entries are the hot set.
+pub fn run(addr: &str, pool: &[Ipv4], cfg: &LoadgenConfig) -> LoadgenReport {
+    assert!(cfg.connections > 0 && cfg.batch > 0 && cfg.frames_per_connection > 0);
+    let encoded: Vec<(Vec<u8>, Vec<usize>)> = (0..cfg.connections)
+        .map(|c| encode_frames(pool, cfg, c))
+        .collect();
+    // Per-connection frame interval for the open-loop schedule.
+    let frame_interval = cfg.rate_qps.map(|r| {
+        let per_conn_qps = r / cfg.connections as f64;
+        Duration::from_secs_f64(cfg.batch as f64 / per_conn_qps)
+    });
+
+    let started = Instant::now();
+    let merged: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = encoded
+            .iter()
+            .map(|(bytes, bounds)| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut rx = stream.try_clone().expect("clone");
+                    let mut tx = stream;
+                    let departures = Mutex::new(std::collections::VecDeque::with_capacity(
+                        cfg.pipeline_depth + 1,
+                    ));
+                    let window = Window {
+                        outstanding: Mutex::new(0),
+                        released: Condvar::new(),
+                    };
+                    let conn_start = Instant::now();
+                    std::thread::scope(|inner| {
+                        let receiver = inner.spawn(|| {
+                            receive_all(&mut rx, cfg.frames_per_connection, &departures, &window)
+                        });
+                        for frame in 0..cfg.frames_per_connection {
+                            let departed = match frame_interval {
+                                // Open loop: latency clocks from the
+                                // *scheduled* departure, sleeping only
+                                // when ahead of schedule.
+                                Some(interval) => {
+                                    let scheduled = conn_start + interval * frame as u32;
+                                    let now = Instant::now();
+                                    if scheduled > now {
+                                        std::thread::sleep(scheduled - now);
+                                    }
+                                    scheduled
+                                }
+                                // Closed loop: window-throttled, latency
+                                // clocks from the actual send.
+                                None => {
+                                    window.acquire(cfg.pipeline_depth.max(1));
+                                    Instant::now()
+                                }
+                            };
+                            departures
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push_back(departed);
+                            tx.write_all(&bytes[bounds[frame]..bounds[frame + 1]])
+                                .expect("send frame");
+                        }
+                        receiver.join().expect("receiver")
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conn"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = merged
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let hits: u64 = merged.iter().map(|(_, h, _)| h).sum();
+    let misses: u64 = merged.iter().map(|(_, _, m)| m).sum();
+    let frames = (cfg.connections * cfg.frames_per_connection) as u64;
+    let queries = frames * cfg.batch as u64;
+    LoadgenReport {
+        connections: cfg.connections,
+        batch: cfg.batch,
+        pipeline_depth: cfg.pipeline_depth,
+        frames,
+        queries,
+        hits,
+        misses,
+        elapsed_s,
+        qps: queries as f64 / elapsed_s,
+        target_qps: cfg.rate_qps,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        p999_us: percentile_us(&latencies, 0.999),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 500.0);
+        assert_eq!(percentile_us(&sorted, 0.99), 990.0);
+        assert_eq!(percentile_us(&sorted, 0.999), 999.0);
+        assert_eq!(percentile_us(&[], 0.99), 0.0);
+        assert_eq!(percentile_us(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn frame_encoding_is_seed_reproducible_and_skewed() {
+        let pool: Vec<Ipv4> = (0..512u32).map(Ipv4).collect();
+        let cfg = LoadgenConfig {
+            frames_per_connection: 32,
+            ..LoadgenConfig::default()
+        };
+        let (a, bounds_a) = encode_frames(&pool, &cfg, 0);
+        let (b, _) = encode_frames(&pool, &cfg, 0);
+        assert_eq!(a, b, "same seed, same connection => same query stream");
+        let (c, _) = encode_frames(&pool, &cfg, 1);
+        assert_ne!(a, c, "different connections draw different streams");
+        assert_eq!(bounds_a.len(), cfg.frames_per_connection + 1);
+        // Zipf skew: rank 0 must dominate any deep-tail rank. Count
+        // occurrences of the hottest address in the raw bytes.
+        let hot = pool[0].0.to_le_bytes();
+        let hot_count = a.windows(4).filter(|w| *w == hot).count();
+        let cold = pool[409].0.to_le_bytes();
+        let cold_count = a.windows(4).filter(|w| *w == cold).count();
+        assert!(
+            hot_count > cold_count.saturating_mul(4),
+            "zipf hot rank ({hot_count}) should dwarf a deep rank ({cold_count})"
+        );
+    }
+}

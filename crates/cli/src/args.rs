@@ -60,6 +60,8 @@ pub enum Command {
         ip: String,
         /// Fall back to the nearest covering prefix (`--nearest`).
         nearest: bool,
+        /// Use the binary pipelined protocol (`--binary`, server only).
+        binary: bool,
     },
     /// Serve a snapshot over TCP: `serve <file.igds> [--port N]`.
     Serve {
@@ -134,8 +136,9 @@ COMMANDS:
     query <file> <ip>       look an address up in a .igds snapshot
     query --server <addr> <ip>
                             ask a running `ipgeo serve` instead
-    serve <file>            serve a .igds snapshot over TCP (LOCATE/
-                            NEAREST/STATS/QUIT line protocol)
+    serve <file>            serve a .igds snapshot over TCP (text line
+                            protocol and the binary pipelined protocol
+                            on the same port)
     diff <old> <new>        compare two .igds snapshots (churn report)
     sanitize                run the speed-of-Internet sanitizer
     help                    show this text
@@ -156,6 +159,8 @@ OPTIONS:
     --server <ADDR>         query: host:port of a running server
     --nearest               query: fall back to the nearest covering
                             prefix on a miss
+    --binary                query --server: speak the binary pipelined
+                            protocol instead of the text line protocol
     --fault-profile <P>     locate/dataset/publish: inject deterministic
                             platform faults and run the resilient campaign
                             executor: none|flaky|hostile (default none)
@@ -173,6 +178,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut port = 4750u16;
     let mut server: Option<String> = None;
     let mut nearest = false;
+    let mut binary = false;
     let mut positional: Vec<&str> = Vec::new();
 
     fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, ParseError> {
@@ -226,6 +232,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 server = Some(value(args, i, "--server")?.to_string());
             }
             "--nearest" => nearest = true,
+            "--binary" => binary = true,
             "--fault-profile" => {
                 i += 1;
                 fault_profile =
@@ -268,10 +275,16 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     ))
                 }
             };
+            if binary && !matches!(source, QuerySource::Server(_)) {
+                return Err(ParseError(
+                    "--binary only applies to query --server <addr>".into(),
+                ));
+            }
             Command::Query {
                 source,
                 ip: ip.to_string(),
                 nearest,
+                binary,
             }
         }
         Some("serve") => Command::Serve {
@@ -391,6 +404,7 @@ mod tests {
                 source: QuerySource::File("ds.igds".into()),
                 ip: "1.0.94.1".into(),
                 nearest: true,
+                binary: false,
             }
         );
         let cli = parse(&argv("query --server 127.0.0.1:4750 1.0.94.1")).unwrap();
@@ -400,10 +414,31 @@ mod tests {
                 source: QuerySource::Server("127.0.0.1:4750".into()),
                 ip: "1.0.94.1".into(),
                 nearest: false,
+                binary: false,
             }
         );
         assert!(parse(&argv("query ds.igds")).is_err());
         assert!(parse(&argv("query --server 127.0.0.1:4750 a.igds 1.2.3.4")).is_err());
+    }
+
+    #[test]
+    fn parses_query_binary() {
+        let cli = parse(&argv(
+            "query --server 127.0.0.1:4750 1.0.94.1 --binary --nearest",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Query {
+                source: QuerySource::Server("127.0.0.1:4750".into()),
+                ip: "1.0.94.1".into(),
+                nearest: true,
+                binary: true,
+            }
+        );
+        // The binary protocol is a wire protocol; a snapshot file query
+        // has no wire to speak it on.
+        assert!(parse(&argv("query ds.igds 1.0.94.1 --binary")).is_err());
     }
 
     #[test]

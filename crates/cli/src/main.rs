@@ -200,8 +200,50 @@ fn run(cli: Cli) -> Result<(), String> {
             source,
             ip,
             nearest,
+            binary,
         } => {
             match source {
+                QuerySource::Server(addr) if binary => {
+                    let target: Ipv4 = ip.parse().map_err(|e| format!("{e}"))?;
+                    let opcode = if nearest {
+                        geo_serve::Opcode::Nearest
+                    } else {
+                        geo_serve::Opcode::Locate
+                    };
+                    let mut client = geo_serve::BinaryClient::connect(&addr)
+                        .map_err(|e| format!("{addr}: {e}"))?;
+                    let response = client
+                        .query(opcode, &[target])
+                        .map_err(|e| format!("{addr}: {e}"))?;
+                    match response {
+                        geo_serve::Response::Records { records, .. } => {
+                            let Some(rec) = records.first() else {
+                                return Err(format!("{addr}: empty response batch"));
+                            };
+                            if !rec.hit {
+                                println!("MISS {target}");
+                                return Err(format!("server answered: MISS {target}"));
+                            }
+                            // Binary records carry the compact answer
+                            // (the evidence trail stays on the line
+                            // protocol and the snapshot itself).
+                            println!(
+                                "OK {}/24,{:.4},{:.4},method={} distance={}",
+                                Ipv4(rec.prefix.0 << 8),
+                                rec.lat(),
+                                rec.lon(),
+                                rec.method,
+                                rec.distance
+                            );
+                        }
+                        geo_serve::Response::Error(msg) => {
+                            return Err(format!("server answered: ERR {msg}"))
+                        }
+                        geo_serve::Response::Stats(_) => {
+                            return Err(format!("{addr}: unexpected STATS response"))
+                        }
+                    }
+                }
                 QuerySource::Server(addr) => {
                     let verb = if nearest { "NEAREST" } else { "LOCATE" };
                     let reply = geo_serve::query_one(&addr, &format!("{verb} {ip}"))

@@ -49,6 +49,12 @@ pub const RULES: &[RuleInfo] = &[
                   `PlatformError`s must bound its attempts with a counter or budget",
     },
     RuleInfo {
+        id: "R4",
+        summary: "no `thread::spawn` or blocking socket reads (`read_line`/`read_exact`) in \
+                  geo-serve serving paths outside the `// geo-lint: worker-bootstrap` pool \
+                  setup — the event loop must stay nonblocking",
+    },
+    RuleInfo {
         id: "P1",
         summary: "heap allocation (Vec/String constructors, vec!/format!, .collect/.to_vec/\
                   .to_string/.to_owned) inside a function marked `// geo-lint: hot-path`",
@@ -178,6 +184,7 @@ pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
     }
     if ctx.is_server(cfg) {
         check_r1(&code, &mut diags);
+        check_r4(&lexed, &code, &mut diags);
     }
     check_r2(&code, &mut diags);
     if ctx.is_retry(cfg) {
@@ -302,9 +309,13 @@ fn parse_allows(
             // A P1 marker, not an allow; `check_p1` consumes it.
             continue;
         }
+        if body.trim() == "worker-bootstrap" {
+            // An R4 pool-setup marker, not an allow; `check_r4` consumes it.
+            continue;
+        }
         let Some(args) = body.strip_prefix("allow(") else {
             fail(
-                "only `allow(...)` and the `hot-path` marker are understood",
+                "only `allow(...)` and the `hot-path`/`worker-bootstrap` markers are understood",
                 report,
             );
             continue;
@@ -787,6 +798,106 @@ fn check_r1(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R4: blocking concurrency primitives in a serving path.
+///
+/// geo-serve answers queries from a fixed worker pool driving a
+/// readiness event loop; `thread::spawn` reintroduces per-connection
+/// threads, and blocking socket reads (`.read_line()`, `.read_exact()`)
+/// park a worker on bytes that may never arrive, starving every other
+/// connection on its poller. The one legitimate spawn site — building
+/// the pool itself — is marked `// geo-lint: worker-bootstrap` directly
+/// above the function, which exempts that function's body.
+fn check_r4(lexed: &FileLex, code: &[Token], diags: &mut Vec<Diagnostic>) {
+    let exempt = bootstrap_ranges(lexed, code);
+    let exempted = |i: usize| exempt.iter().any(|r| r.contains(&i));
+    for (i, t) in code.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        match name {
+            "spawn" => {
+                // The path form `thread::spawn` / `std::thread::spawn`.
+                // Method-call `.spawn(...)` is `thread::Builder` or a
+                // scoped spawn, which the bootstrap fn also uses — the
+                // path check keeps those callable behind the marker.
+                let path_call = i >= 3
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].is_punct(':')
+                    && code[i - 3].is_ident("thread");
+                if path_call && !exempted(i) {
+                    diags.push(diag(
+                        "R4",
+                        t.line,
+                        "`thread::spawn` in a serving path brings back per-connection \
+                         threads; serve from the fixed worker pool (the only spawn site \
+                         is the `// geo-lint: worker-bootstrap` function)"
+                            .into(),
+                    ));
+                }
+            }
+            "read_line" | "read_exact" => {
+                let method_call = i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|x| x.is_punct('('));
+                if method_call && !exempted(i) {
+                    diags.push(diag(
+                        "R4",
+                        t.line,
+                        format!(
+                            "`.{name}()` blocks a pool worker on bytes that may never \
+                             arrive, starving every connection on its poller; read \
+                             nonblocking chunks and let the event loop schedule readiness"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token-index ranges (into `code`) of function bodies marked
+/// `// geo-lint: worker-bootstrap`. Marker resolution mirrors the P1
+/// hot-path marker: the first `fn` within a few lines below the comment
+/// owns it; its balanced `{ … }` body is the exempt range.
+fn bootstrap_ranges(lexed: &FileLex, code: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    for c in &lexed.comments {
+        let anchored = c.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(body) = anchored.strip_prefix("geo-lint:") else {
+            continue;
+        };
+        if body.trim() != "worker-bootstrap" {
+            continue;
+        }
+        let Some(fn_tok) = code
+            .iter()
+            .position(|t| t.line > c.line && t.is_ident("fn"))
+        else {
+            continue;
+        };
+        if code[fn_tok].line > c.line + 8 {
+            continue;
+        }
+        let Some(open) = (fn_tok..code.len()).find(|&k| code[k].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end = open;
+        while end < code.len() {
+            if code[end].is_punct('{') {
+                depth += 1;
+            } else if code[end].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        ranges.push(open..end.min(code.len()));
+    }
+    ranges
+}
+
 /// Identifiers that signal a retry loop bounds its own attempts: a counter
 /// compared or incremented inside the loop, or a budget being drawn down.
 const ATTEMPT_MARKERS: &[&str] = &[
@@ -1116,6 +1227,64 @@ mod tests {
     fn r1_ignores_unwrap_or_else() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }";
         assert!(run(&Config::workspace(), "crates/geo-serve/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r4_fires_on_spawn_and_blocking_reads_in_server_crate_only() {
+        let src = "fn f(s: &mut TcpStream) {\n  std::thread::spawn(|| {});\n  let mut b = [0u8; 8];\n  s.read_exact(&mut b).ok();\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 2, "{:?}", r.diagnostics);
+        assert!(r.diagnostics.iter().all(|d| d.rule == "R4"));
+        assert_eq!(r.diagnostics[0].line, 2);
+        assert_eq!(r.diagnostics[1].line, 4);
+        // The same code outside geo-serve is out of scope.
+        assert!(run(&Config::workspace(), "crates/core/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r4_fires_on_read_line() {
+        let src = "fn f(r: &mut BufReader<TcpStream>) {\n  let mut line = String::new();\n  r.read_line(&mut line).ok();\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R4");
+        assert!(r.diagnostics[0].rationale.contains("read_line"));
+    }
+
+    #[test]
+    fn r4_exempts_the_worker_bootstrap_function_body() {
+        let src = "// geo-lint: worker-bootstrap\nfn spawn_pool(n: usize) {\n  for _ in 0..n {\n    std::thread::spawn(|| {});\n  }\n}\nfn elsewhere() {\n  std::thread::spawn(|| {});\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R4");
+        assert_eq!(r.diagnostics[0].line, 8);
+    }
+
+    #[test]
+    fn r4_marker_must_sit_directly_above_a_fn() {
+        // A detached marker exempts nothing (and is not an X1 either —
+        // it is a known marker, just inert).
+        let src = "// geo-lint: worker-bootstrap\nconst N: usize = 4;\n\n\n\n\n\n\n\n\nfn f() { std::thread::spawn(|| {}); }";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R4");
+    }
+
+    #[test]
+    fn r4_ignores_identifiers_that_merely_resemble_the_calls() {
+        // A `spawn` that is not `thread::spawn`, and `read_exact` as a
+        // bare name rather than a method call.
+        let src = "fn f(scope: &Scope) {\n  scope.spawn(|| {});\n  let read_exact = 1;\n  drop(read_exact);\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn r4_allow_directive_suppresses_with_reason() {
+        let src = "fn f(s: &mut TcpStream) {\n  let mut b = [0u8; 8];\n  // geo-lint: allow(R4, reason = \"one-shot client, not the serving path\")\n  s.read_exact(&mut b).ok();\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "R4");
     }
 
     #[test]

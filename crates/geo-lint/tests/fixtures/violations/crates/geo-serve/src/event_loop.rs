@@ -1,0 +1,28 @@
+//! Fixture: blocking primitives in a serving path (R4); the worker
+//! bootstrap and an allowed one-shot client read are exempt.
+
+// geo-lint: worker-bootstrap
+pub fn spawn_workers(n: usize) {
+    for _ in 0..n {
+        std::thread::spawn(|| {});
+    }
+}
+
+pub fn handle_connection(stream: std::net::TcpStream) {
+    std::thread::spawn(move || serve(stream));
+}
+
+pub fn serve(stream: std::net::TcpStream) {
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    use std::io::BufRead;
+    reader.read_line(&mut line).ok();
+}
+
+pub fn client_roundtrip(stream: &mut std::net::TcpStream) -> [u8; 8] {
+    let mut header = [0u8; 8];
+    use std::io::Read;
+    // geo-lint: allow(R4, reason = "one-shot test client, not the serving path")
+    stream.read_exact(&mut header).ok();
+    header
+}

@@ -39,7 +39,7 @@ fn clean_fixture_is_clean() {
 #[test]
 fn violations_fixture_finds_every_rule() {
     let report = geo_lint::check(&fixture("violations"), &Config::workspace()).unwrap();
-    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "X1", "X2"] {
+    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "X1", "X2"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "no {rule} diagnostic in:\n{}",
@@ -61,12 +61,22 @@ fn violations_fixture_finds_every_rule() {
         .filter(|d| d.rule == "P1")
         .collect();
     assert_eq!(p1.len(), 3, "{p1:?}");
-    // The two legitimate allows are recorded, with their reasons.
-    assert_eq!(report.suppressed.len(), 2);
-    assert_eq!(report.suppressed[0].rule, "P1");
-    assert!(report.suppressed[0].reason.contains("cold fallback"));
-    assert_eq!(report.suppressed[1].rule, "D2");
-    assert!(report.suppressed[1].reason.contains("re-sorted"));
+    // The bootstrap-exempt spawn and the unmarked spawn are told apart:
+    // exactly the serving-path spawn and the blocking read are flagged.
+    let r4: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R4")
+        .collect();
+    assert_eq!(r4.len(), 2, "{r4:?}");
+    // The three legitimate allows are recorded, with their reasons.
+    assert_eq!(report.suppressed.len(), 3);
+    assert_eq!(report.suppressed[0].rule, "R4");
+    assert!(report.suppressed[0].reason.contains("one-shot test client"));
+    assert_eq!(report.suppressed[1].rule, "P1");
+    assert!(report.suppressed[1].reason.contains("cold fallback"));
+    assert_eq!(report.suppressed[2].rule, "D2");
+    assert!(report.suppressed[2].reason.contains("re-sorted"));
 }
 
 #[test]
@@ -123,7 +133,7 @@ fn cli_json_mode_is_well_formed() {
 fn cli_rules_lists_all_rules() {
     let (code, out) = run_cli(&["rules"]);
     assert_eq!(code, 0);
-    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "X1", "X2"] {
+    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "X1", "X2"] {
         assert!(out.contains(rule), "{out}");
     }
 }

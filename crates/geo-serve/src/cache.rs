@@ -1,0 +1,190 @@
+//! A sharded hot-prefix cache layered over [`DatasetStore`] reads.
+//!
+//! Real query traffic is zipfian per prefix ("Lost in the Prefix"): a
+//! handful of `/24`s absorb most of the load. Every answer the server
+//! gives is a pure function of `(snapshot, verb, queried /24)` — the
+//! store is immutable for the life of a server — so the cache can hold
+//! fully materialized answers (binary location records and preformatted
+//! text `OK` lines) with **no invalidation and no effect on response
+//! bytes**: a cache hit returns the identical bytes the store path would
+//! have produced, so the determinism contract is untouched.
+//!
+//! Sharding: the key's low bits pick one of [`SHARDS`] independent
+//! `Mutex<HashMap>`s, so worker threads contend only when they are
+//! hammering the same slice of the keyspace. Each shard is bounded; a
+//! full shard simply stops admitting (the keyspace is bounded by the
+//! snapshot's prefix count times a handful of verbs, so with the default
+//! capacity the steady state is "everything hot fits").
+
+use crate::proto::LocateRecord;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of independent shards (power of two; low key bits select).
+pub const SHARDS: usize = 16;
+
+/// Default per-shard capacity (entries).
+const SHARD_CAP: usize = 4096;
+
+/// What a cache slot holds: either a binary-protocol record or a
+/// preformatted text-protocol reply line (without the trailing newline).
+#[derive(Debug, Clone)]
+pub enum CacheValue {
+    /// A binary LOCATE/NEAREST answer record.
+    Record(LocateRecord),
+    /// A complete text-protocol reply line (`OK …`), shared not copied.
+    Line(Arc<str>),
+}
+
+/// The verbs a cached answer can belong to. Part of the key: the same
+/// prefix can hold an exact-lookup answer, a nearest answer, and their
+/// text-protocol renderings simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// Binary LOCATE record.
+    BinLocate = 0,
+    /// Binary NEAREST record.
+    BinNearest = 1,
+    /// Text `LOCATE` OK-line.
+    LineLocate = 2,
+    /// Text `NEAREST` OK-line.
+    LineNearest = 3,
+}
+
+/// The sharded cache. Cheap to clone a handle via `Arc` at the server
+/// level; internally all shards are independently locked.
+#[derive(Debug)]
+pub struct HotCache {
+    shards: Vec<Mutex<HashMap<u64, CacheValue>>>,
+    shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for HotCache {
+    fn default() -> HotCache {
+        HotCache::new()
+    }
+}
+
+impl HotCache {
+    /// A cache with the default per-shard capacity.
+    pub fn new() -> HotCache {
+        HotCache::with_shard_capacity(SHARD_CAP)
+    }
+
+    /// A cache bounding each shard at `shard_cap` entries.
+    pub fn with_shard_capacity(shard_cap: usize) -> HotCache {
+        HotCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn key(kind: CacheKind, prefix: u32) -> u64 {
+        (kind as u64) << 32 | u64::from(prefix)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CacheValue>> {
+        // Prefixes are dense in their low bits, so low bits shard well.
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a cached answer.
+    pub fn get(&self, kind: CacheKind, prefix: u32) -> Option<CacheValue> {
+        let key = Self::key(kind, prefix);
+        let shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let found = shard.get(&key).cloned();
+        drop(shard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Admits an answer unless the shard is full. Concurrent inserts of
+    /// the same key are benign: both value copies are byte-identical by
+    /// the purity argument above, so last-write-wins changes nothing.
+    pub fn put(&self, kind: CacheKind, prefix: u32, value: CacheValue) {
+        let key = Self::key(kind, prefix);
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if shard.len() < self.shard_cap || shard.contains_key(&key) {
+            shard.insert(key, value);
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::ip::Prefix24;
+
+    fn rec(prefix: u32) -> LocateRecord {
+        LocateRecord {
+            hit: true,
+            prefix: Prefix24(prefix),
+            lat_bits: 42,
+            lon_bits: 7,
+            method: 3,
+            distance: 0,
+        }
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let c = HotCache::new();
+        c.put(CacheKind::BinLocate, 10, CacheValue::Record(rec(10)));
+        c.put(CacheKind::LineLocate, 10, CacheValue::Line("OK ten".into()));
+        assert!(matches!(
+            c.get(CacheKind::BinLocate, 10),
+            Some(CacheValue::Record(r)) if r == rec(10)
+        ));
+        assert!(matches!(
+            c.get(CacheKind::LineLocate, 10),
+            Some(CacheValue::Line(l)) if &*l == "OK ten"
+        ));
+        assert!(c.get(CacheKind::BinNearest, 10).is_none());
+        assert_eq!(c.counters(), (2, 1));
+    }
+
+    #[test]
+    fn full_shards_stop_admitting_but_still_serve() {
+        let c = HotCache::with_shard_capacity(2);
+        // Same shard: keys congruent mod SHARDS.
+        let base = 5u32;
+        for i in 0..4u32 {
+            let p = base + i * SHARDS as u32;
+            c.put(CacheKind::BinLocate, p, CacheValue::Record(rec(p)));
+        }
+        let cached: Vec<bool> = (0..4u32)
+            .map(|i| {
+                c.get(CacheKind::BinLocate, base + i * SHARDS as u32)
+                    .is_some()
+            })
+            .collect();
+        // The first two fit; the rest were refused, not evicted.
+        assert_eq!(cached, vec![true, true, false, false]);
+        // Re-putting an existing key is always allowed (refresh).
+        c.put(CacheKind::BinLocate, base, CacheValue::Record(rec(base)));
+        assert!(c.get(CacheKind::BinLocate, base).is_some());
+    }
+}

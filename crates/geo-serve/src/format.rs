@@ -128,8 +128,9 @@ pub struct Header {
     pub checksum: u64,
 }
 
-/// FNV-1a 64-bit hash — dependency-free integrity check for the payload.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — dependency-free integrity check for the payload
+/// (also reused by the binary wire protocol's frame checksums).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -138,7 +139,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn method_tag(e: &Evidence) -> u8 {
+/// The on-disk evidence tag (0..=3) — also the `method` byte carried by
+/// binary-protocol location records, so wire and disk agree.
+pub(crate) fn method_tag(e: &Evidence) -> u8 {
     match e {
         Evidence::Geofeed => 0,
         Evidence::DnsHint { .. } => 1,

@@ -10,9 +10,20 @@
 //!   exact-`/24` and nearest-covering-prefix lookups by binary search,
 //!   with batch lookups fanned out over the workspace's deterministic
 //!   thread pool;
-//! - [`server`] — [`QueryServer`], a thread-per-connection TCP server
-//!   speaking a one-line text protocol (`LOCATE`/`NEAREST`/`STATS`/
-//!   `QUIT`) with atomic hit/miss counters and graceful shutdown;
+//! - [`server`] — [`QueryServer`], a readiness-driven TCP server: a
+//!   fixed worker pool (sized from `IPGEO_THREADS`) of event loops over
+//!   nonblocking sockets, each connection speaking either the one-line
+//!   text protocol (`LOCATE`/`NEAREST`/`STATS`/`QUIT`) or the binary
+//!   pipelined protocol, with atomic hit/miss counters and wake-token
+//!   shutdown;
+//! - [`proto`] — the length-prefixed, versioned, checksummed binary
+//!   request/response protocol (batched/pipelined LOCATE/NEAREST/STATS
+//!   frames) and its blocking [`BinaryClient`];
+//! - [`poll`] — the safe-`std` readiness poller the server's workers
+//!   run on: slot registry, interest tracking, wake token, adaptive
+//!   idle backoff;
+//! - [`cache`] — [`HotCache`], the sharded hot-prefix cache layered
+//!   over [`DatasetStore`] reads;
 //! - [`diff`] — [`DiffReport`], the longitudinal added/removed/moved/
 //!   retagged comparison between two snapshots;
 //! - [`manifest`] — [`Manifest`], the coverage and (given ground truth)
@@ -22,14 +33,19 @@
 //! protocol and the on-disk format are hand-rolled rather than pulled
 //! from serde/tokio.
 
+pub mod cache;
 pub mod diff;
 pub mod format;
 pub mod manifest;
+pub mod poll;
+pub mod proto;
 pub mod server;
 pub mod store;
 
+pub use cache::HotCache;
 pub use diff::DiffReport;
 pub use format::{FormatError, Header};
 pub use manifest::Manifest;
+pub use proto::{BinaryClient, LocateRecord, Opcode, ProtoError, Request, Response, StatsRecord};
 pub use server::{query_one, QueryServer, StatsSnapshot};
 pub use store::DatasetStore;

@@ -1,0 +1,293 @@
+//! The readiness poller the server's event-loop workers run on.
+//!
+//! The workspace denies `unsafe_code`, so epoll/kqueue are out of
+//! reach; instead each worker sweeps its nonblocking sockets directly
+//! and this module supplies everything *around* that sweep:
+//!
+//! - [`Registry`] — slot-indexed connection storage handing out
+//!   deterministic [`Token`]s (lowest free slot wins, so token
+//!   assignment is a pure function of the accept/close sequence);
+//! - [`Interest`] — per-connection readiness interest, so a sweep
+//!   skips connections that want nothing;
+//! - [`Waker`]/[`Poller::wake_requested`] — the deterministic wake
+//!   token: shutdown flips one shared atomic and every worker observes
+//!   it at the top of its next sweep, replacing the old "dial a dummy
+//!   connection to unblock `accept`" hack;
+//! - [`Poller::idle_wait`] — adaptive backoff. A sweep that made
+//!   progress resets the backoff to zero (the next sweep spins
+//!   immediately); consecutive idle sweeps sleep exponentially longer
+//!   up to a small cap, trading a bounded sliver of wake-up latency
+//!   for not burning a core on an idle server. The cap is deliberately
+//!   far below a millisecond so the serve path's p99 survives it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies one registered connection within a worker's [`Registry`].
+///
+/// Tokens are slot indices: freed slots are reused lowest-first, so for
+/// a fixed accept/close sequence the token of every connection is fixed
+/// too — useful when debugging an interleaving, and the reason registry
+/// iteration order is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// What a connection wants from the next sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// The connection wants its socket read.
+    pub readable: bool,
+    /// The connection has buffered output to flush.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Interest in reads only (a fresh connection).
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// No interest at all; the sweep skips the connection.
+    pub fn is_idle(self) -> bool {
+        !self.readable && !self.writable
+    }
+}
+
+/// Slot-indexed storage for a worker's connections.
+///
+/// `Vec<Option<C>>` keeps tokens stable across unrelated closes and
+/// reuses the lowest free slot on insert, bounding the vector at the
+/// connection high-water mark.
+#[derive(Debug)]
+pub struct Registry<C> {
+    slots: Vec<Option<(C, Interest)>>,
+    live: usize,
+}
+
+impl<C> Default for Registry<C> {
+    fn default() -> Registry<C> {
+        Registry::new()
+    }
+}
+
+impl<C> Registry<C> {
+    /// An empty registry.
+    pub fn new() -> Registry<C> {
+        Registry {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Registers a connection, returning its token (lowest free slot).
+    pub fn register(&mut self, conn: C, interest: Interest) -> Token {
+        self.live += 1;
+        match self.slots.iter().position(Option::is_none) {
+            Some(i) => {
+                self.slots[i] = Some((conn, interest));
+                Token(i)
+            }
+            None => {
+                self.slots.push(Some((conn, interest)));
+                Token(self.slots.len() - 1)
+            }
+        }
+    }
+
+    /// Removes and returns the connection behind `token`.
+    pub fn deregister(&mut self, token: Token) -> Option<C> {
+        let slot = self.slots.get_mut(token.0)?;
+        let taken = slot.take().map(|(c, _)| c);
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
+    }
+
+    /// Mutable access to a registered connection and its interest.
+    pub fn get_mut(&mut self, token: Token) -> Option<(&mut C, &mut Interest)> {
+        self.slots
+            .get_mut(token.0)?
+            .as_mut()
+            .map(|(c, i)| (c, &mut *i))
+    }
+
+    /// Live connection count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no connections are registered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Tokens of all live connections, ascending — the sweep order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| Token(i)))
+            .collect()
+    }
+}
+
+/// Flips the shared wake flag; any thread may hold one.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    flag: Arc<AtomicBool>,
+}
+
+impl Waker {
+    /// Requests a wake-up: every poller sharing the flag returns from
+    /// its current (or next) `idle_wait` and observes `wake_requested`.
+    pub fn wake(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+}
+
+/// Per-worker sweep pacing plus the shared wake token.
+#[derive(Debug)]
+pub struct Poller {
+    wake: Arc<AtomicBool>,
+    /// Consecutive idle sweeps; drives the backoff exponent.
+    idle_streak: u32,
+}
+
+/// Longest single `idle_wait` sleep. Small enough that a request
+/// landing on a fully idle server still sees well-under-a-millisecond
+/// added latency; large enough that an idle worker costs ~no CPU.
+const MAX_IDLE_WAIT: Duration = Duration::from_micros(256);
+/// First non-zero backoff step.
+const BASE_IDLE_WAIT: Duration = Duration::from_micros(8);
+/// Idle sweeps tolerated before the first sleep (pure spins).
+const SPIN_SWEEPS: u32 = 64;
+
+impl Default for Poller {
+    fn default() -> Poller {
+        Poller::new()
+    }
+}
+
+impl Poller {
+    /// A poller with a fresh wake flag.
+    pub fn new() -> Poller {
+        Poller {
+            wake: Arc::new(AtomicBool::new(false)),
+            idle_streak: 0,
+        }
+    }
+
+    /// A poller sharing `other`'s wake flag — the worker-pool shape:
+    /// one flag, N pollers, any waker reaches them all.
+    pub fn sharing(other: &Poller) -> Poller {
+        Poller {
+            wake: Arc::clone(&other.wake),
+            idle_streak: 0,
+        }
+    }
+
+    /// A handle that can wake this poller (and all pollers sharing its
+    /// flag) from any thread.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            flag: Arc::clone(&self.wake),
+        }
+    }
+
+    /// True once any [`Waker::wake`] has fired. Sticky by design:
+    /// shutdown is one-way.
+    pub fn wake_requested(&self) -> bool {
+        self.wake.load(Ordering::Acquire)
+    }
+
+    /// Records that the last sweep did useful work; resets the backoff
+    /// so the next sweeps spin at full speed.
+    pub fn note_progress(&mut self) {
+        self.idle_streak = 0;
+    }
+
+    /// Paces an idle sweep: spin for the first few, then sleep with
+    /// exponential backoff capped at [`MAX_IDLE_WAIT`]. Returns
+    /// immediately when a wake is pending.
+    pub fn idle_wait(&mut self) {
+        if self.wake_requested() {
+            return;
+        }
+        self.idle_streak = self.idle_streak.saturating_add(1);
+        if self.idle_streak <= SPIN_SWEEPS {
+            std::hint::spin_loop();
+            return;
+        }
+        let exp = (self.idle_streak - SPIN_SWEEPS).min(6);
+        let wait = BASE_IDLE_WAIT
+            .saturating_mul(1 << exp.saturating_sub(1))
+            .min(MAX_IDLE_WAIT);
+        std::thread::sleep(wait);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_reuses_lowest_free_slot() {
+        let mut r: Registry<&str> = Registry::new();
+        let a = r.register("a", Interest::READ);
+        let b = r.register("b", Interest::READ);
+        let c = r.register("c", Interest::READ);
+        assert_eq!((a, b, c), (Token(0), Token(1), Token(2)));
+        assert_eq!(r.deregister(b), Some("b"));
+        assert_eq!(r.len(), 2);
+        // The freed middle slot is recycled before the tail grows.
+        assert_eq!(r.register("d", Interest::READ), Token(1));
+        assert_eq!(r.tokens(), vec![Token(0), Token(1), Token(2)]);
+        assert_eq!(r.get_mut(Token(1)).map(|(c, _)| *c), Some("d"));
+        // Double-deregister is a no-op, not a count corruption.
+        assert_eq!(r.deregister(Token(9)), None);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn interest_gates_the_sweep() {
+        let mut r: Registry<u8> = Registry::new();
+        let t = r.register(7, Interest::READ);
+        {
+            let (_, interest) = r.get_mut(t).unwrap();
+            assert!(interest.readable && !interest.is_idle());
+            interest.readable = false;
+            assert!(interest.is_idle());
+            interest.writable = true;
+        }
+        let (_, interest) = r.get_mut(t).unwrap();
+        assert!(interest.writable);
+    }
+
+    #[test]
+    fn waker_reaches_every_sharing_poller() {
+        let mut a = Poller::new();
+        let mut b = Poller::sharing(&a);
+        assert!(!a.wake_requested() && !b.wake_requested());
+        let waker = b.waker();
+        let handle = std::thread::spawn(move || waker.wake());
+        handle.join().ok();
+        assert!(a.wake_requested() && b.wake_requested());
+        // A pending wake short-circuits idle_wait.
+        a.idle_wait();
+        b.idle_wait();
+    }
+
+    #[test]
+    fn idle_backoff_resets_on_progress() {
+        let mut p = Poller::new();
+        for _ in 0..SPIN_SWEEPS + 3 {
+            p.idle_wait();
+        }
+        assert!(p.idle_streak > SPIN_SWEEPS);
+        p.note_progress();
+        assert_eq!(p.idle_streak, 0);
+    }
+}

@@ -1,8 +1,16 @@
-//! A concurrent TCP query server over a [`DatasetStore`].
+//! A readiness-driven TCP query server over a [`DatasetStore`].
 //!
-//! Thread-per-connection on `std::net` (the workspace is offline and
-//! vendored-only, so no async runtime), speaking a newline-delimited text
-//! protocol:
+//! Architecture (DESIGN.md §11): a fixed pool of event-loop workers —
+//! sized from `IPGEO_THREADS` via [`geo_model::runtime::threads`] — each
+//! sweeping its own set of nonblocking connections registered in a
+//! [`poll::Registry`]. No thread is ever spawned per connection and no
+//! serving-path read blocks; the workspace denies `unsafe_code`, so the
+//! sweep is a safe-`std` readiness scan paced by [`poll::Poller`]'s
+//! adaptive idle backoff instead of an OS poller.
+//!
+//! Every connection speaks one of two protocols, chosen by its first
+//! byte ([`proto::REQ_MAGIC`] opens a binary conversation, anything else
+//! is the line protocol):
 //!
 //! ```text
 //! LOCATE <ip>    -> OK <prefix,lat,lon,method,evidence>   exact /24 hit
@@ -13,22 +21,61 @@
 //! anything else  -> ERR <reason>
 //! ```
 //!
-//! Hit/miss/connection counters are relaxed atomics (monotonic counters,
-//! no cross-counter invariant to protect). Shutdown is graceful: the stop
-//! flag is raised, a wake-up connection unblocks `accept`, and every
-//! connection thread is joined — reads poll with a short timeout so an
-//! idle client cannot stall teardown.
+//! plus the batched/pipelined binary protocol of [`proto`]. Both paths
+//! read answers through the shared [`HotCache`]; cached answers are
+//! byte-identical to store answers by construction, so the cache is
+//! invisible in the response stream.
+//!
+//! **Determinism lives in responses, not scheduling**: frames and lines
+//! on one connection are processed in arrival order and answered in
+//! order, so each connection's response byte stream is a pure function
+//! of `(snapshot, its own request stream)` — regardless of worker
+//! count, connection interleaving, or pipelining depth. Which *worker*
+//! serves a connection races; what the connection *reads back* never
+//! does.
+//!
+//! Hit/miss/connection counters are relaxed atomics (monotonic, no
+//! cross-counter invariant). Shutdown is the poller's wake token: one
+//! shared flag flipped by [`poll::Waker::wake`], observed by every
+//! worker at the top of its next sweep — no dummy wake-up connection.
 
+use crate::cache::{CacheKind, CacheValue, HotCache};
+use crate::format::method_tag;
+use crate::poll::{Interest, Poller, Registry, Waker};
+use crate::proto::{
+    self, encode_error, try_decode_request, LocateRecord, Opcode, Request, ResponseWriter,
+    StatsRecord,
+};
 use crate::store::DatasetStore;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use ipgeo::publish::DatasetEntry;
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// How often blocked connection reads re-check the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Per-sweep read chunk. One syscall per ready connection per sweep in
+/// the common case; a connection with more than this buffered keeps the
+/// sweep's attention until it drains.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Longest accepted text-protocol line. Anything longer without a
+/// newline is answered with `ERR` and the connection closed.
+const MAX_LINE: usize = 64 * 1024;
+
+/// Input buffered for one connection before we stop reading it until
+/// the parser catches up (largest binary frame plus headroom).
+const MAX_INBUF: usize = proto::MAX_BODY + 64 * 1024;
+
+/// Output backlog at which a connection stops having its input parsed:
+/// a client that pipelines faster than it reads must absorb its own
+/// backpressure rather than ballooning server memory.
+const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+/// New connections accepted per worker per sweep; bounds accept
+/// starvation of existing connections under a connect flood.
+const ACCEPT_BURST: usize = 64;
 
 /// Live counters of a running server.
 #[derive(Debug)]
@@ -88,6 +135,14 @@ impl ServeStats {
             misses: self.misses.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             uptime_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -150,41 +205,338 @@ fn respond(store: &DatasetStore, stats: &ServeStats, line: &str) -> (String, boo
     }
 }
 
-fn handle_connection(
+/// Everything one worker needs to answer queries; shared by `Arc`.
+struct Serving {
+    store: Arc<DatasetStore>,
+    stats: Arc<ServeStats>,
+    cache: Arc<HotCache>,
+}
+
+impl Serving {
+    /// Answers a text-protocol line straight into the output buffer,
+    /// serving `OK` answers for well-formed single-address LOCATE /
+    /// NEAREST from the [`HotCache`] (byte-identical to the store path).
+    /// Returns `true` when the connection should close.
+    fn respond_line_into(&self, line: &str, out: &mut Vec<u8>) -> bool {
+        let mut words = line.split_whitespace();
+        let cached = match (words.next(), words.next(), words.next()) {
+            (Some(verb @ ("LOCATE" | "NEAREST")), Some(ip_str), None) => {
+                ip_str.parse::<geo_model::ip::Ipv4>().ok().map(|ip| {
+                    let kind = if verb == "LOCATE" {
+                        CacheKind::LineLocate
+                    } else {
+                        CacheKind::LineNearest
+                    };
+                    (kind, ip.prefix24().0)
+                })
+            }
+            _ => None,
+        };
+        if let Some((kind, prefix)) = cached {
+            if let Some(CacheValue::Line(reply)) = self.cache.get(kind, prefix) {
+                // Only `OK` lines are admitted, so a cache hit is a store hit.
+                self.stats.count(true);
+                out.extend_from_slice(reply.as_bytes());
+                out.push(b'\n');
+                return false;
+            }
+        }
+        let (reply, close) = respond(&self.store, &self.stats, line);
+        if let Some((kind, prefix)) = cached {
+            if reply.starts_with("OK ") {
+                self.cache
+                    .put(kind, prefix, CacheValue::Line(reply.as_str().into()));
+            }
+        }
+        out.extend_from_slice(reply.as_bytes());
+        out.push(b'\n');
+        close
+    }
+
+    fn record_from(entry: &DatasetEntry, distance: u32) -> LocateRecord {
+        LocateRecord {
+            hit: true,
+            prefix: entry.prefix,
+            lat_bits: entry.location.lat().to_bits(),
+            lon_bits: entry.location.lon().to_bits(),
+            method: method_tag(&entry.evidence),
+            distance,
+        }
+    }
+
+    /// One binary-protocol answer record, through the cache. Both hit
+    /// and miss records are pure functions of the queried `/24`, so
+    /// both are cacheable.
+    fn locate_record(&self, ip: geo_model::ip::Ipv4, nearest: bool) -> LocateRecord {
+        let kind = if nearest {
+            CacheKind::BinNearest
+        } else {
+            CacheKind::BinLocate
+        };
+        let prefix = ip.prefix24().0;
+        if let Some(CacheValue::Record(rec)) = self.cache.get(kind, prefix) {
+            self.stats.count(rec.hit);
+            return rec;
+        }
+        let rec = if nearest {
+            match self.store.lookup_nearest(ip) {
+                Some((entry, dist)) => Self::record_from(entry, dist),
+                None => LocateRecord::miss(ip),
+            }
+        } else {
+            match self.store.lookup(ip) {
+                Some(entry) => Self::record_from(entry, 0),
+                None => LocateRecord::miss(ip),
+            }
+        };
+        self.stats.count(rec.hit);
+        self.cache.put(kind, prefix, CacheValue::Record(rec));
+        rec
+    }
+
+    /// Answers one decoded binary request straight into the output
+    /// buffer, records streaming in query order.
+    fn respond_frame_into(&self, req: &Request, out: &mut Vec<u8>) {
+        match req {
+            Request::Locate(ips) | Request::Nearest(ips) => {
+                let nearest = matches!(req, Request::Nearest(_));
+                let opcode = if nearest {
+                    Opcode::Nearest
+                } else {
+                    Opcode::Locate
+                };
+                let w = ResponseWriter::begin(out, opcode);
+                for &ip in ips {
+                    let rec = self.locate_record(ip, nearest);
+                    w.push_record(out, &rec);
+                }
+                w.finish(out);
+            }
+            Request::Stats => {
+                let s = self.stats.snapshot();
+                let w = ResponseWriter::begin(out, Opcode::Stats);
+                w.push_stats(
+                    out,
+                    &StatsRecord {
+                        entries: self.store.len() as u64,
+                        hits: s.hits,
+                        misses: s.misses,
+                        connections: s.connections,
+                    },
+                );
+                w.finish(out);
+            }
+        }
+    }
+}
+
+/// Which protocol a connection speaks; decided by its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Undecided,
+    Line,
+    Binary,
+}
+
+/// One registered connection's state.
+struct Conn {
     stream: TcpStream,
-    store: &DatasetStore,
-    stats: &ServeStats,
-    stop: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
+    mode: Mode,
+    /// Bytes read but not yet parsed; `parsed` marks the frame/line
+    /// boundary already consumed.
+    inbuf: Vec<u8>,
+    parsed: usize,
+    /// Bytes queued for the client; `sent` marks how far the socket got.
+    out: Vec<u8>,
+    sent: usize,
+    /// Flush what is queued, then close (QUIT, EOF, protocol error).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            mode: Mode::Undecided,
+            inbuf: Vec::new(),
+            parsed: 0,
+            out: Vec::new(),
+            sent: 0,
+            closing: false,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.out.len() - self.sent
+    }
+
+    /// Drops already-parsed input; called once parsing stalls so the
+    /// buffer never grows beyond one partial frame/line.
+    fn compact(&mut self) {
+        if self.parsed == self.inbuf.len() {
+            self.inbuf.clear();
+            self.parsed = 0;
+        } else if self.parsed > READ_CHUNK {
+            self.inbuf.drain(..self.parsed);
+            self.parsed = 0;
+        }
+    }
+}
+
+/// Outcome of one connection sweep step.
+enum Sweep {
+    Keep,
+    Drop,
+}
+
+/// Reads, parses, answers, and flushes one connection. Nonblocking
+/// throughout: every `WouldBlock` just ends that phase until the next
+/// sweep.
+fn sweep_conn(
+    serving: &Serving,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    progress: &mut bool,
+) -> Sweep {
+    // Read phase — skipped while the client is not draining its answers.
+    while !conn.closing && conn.backlog() < WRITE_HIGH_WATER && conn.inbuf.len() < MAX_INBUF {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                *progress = true;
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Sweep::Drop,
+        }
+    }
+
+    // Parse phase — consume every complete frame/line now buffered.
+    if conn.mode == Mode::Undecided {
+        if let Some(&first) = conn.inbuf.first() {
+            conn.mode = if first == proto::REQ_MAGIC {
+                Mode::Binary
+            } else {
+                Mode::Line
+            };
+        }
+    }
+    match conn.mode {
+        Mode::Undecided => {}
+        Mode::Binary => loop {
+            match try_decode_request(&conn.inbuf[conn.parsed..]) {
+                Ok(proto::Decoded::Frame(req, used)) => {
+                    serving.respond_frame_into(&req, &mut conn.out);
+                    conn.parsed += used;
+                    *progress = true;
+                }
+                Ok(proto::Decoded::NeedMore) => {
+                    if conn.inbuf.len() - conn.parsed >= MAX_INBUF {
+                        // A frame can never legitimately be this large;
+                        // the budget check makes this unreachable, but
+                        // keep the guard so a bug cannot balloon memory.
+                        encode_error(&mut conn.out, Opcode::Locate, "frame exceeds input budget");
+                        conn.closing = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    encode_error(&mut conn.out, Opcode::Locate, &e.to_string());
+                    conn.closing = true;
+                    *progress = true;
+                    break;
+                }
+            }
+        },
+        Mode::Line => loop {
+            let pending = &conn.inbuf[conn.parsed..];
+            let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+                if pending.len() > MAX_LINE {
+                    conn.out.extend_from_slice(b"ERR line exceeds 64 KiB\n");
+                    conn.closing = true;
+                }
+                break;
+            };
+            let line = String::from_utf8_lossy(&pending[..nl]);
+            let close = serving.respond_line_into(line.trim(), &mut conn.out);
+            conn.parsed += nl + 1;
+            *progress = true;
+            if close {
+                conn.closing = true;
+                break;
+            }
+        },
+    }
+    conn.compact();
+
+    // Write phase — flush as much of the backlog as the socket takes.
+    while conn.sent < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.sent..]) {
+            Ok(0) => return Sweep::Drop,
+            Ok(n) => {
+                conn.sent += n;
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Sweep::Drop,
+        }
+    }
+    if conn.sent == conn.out.len() {
+        conn.out.clear();
+        conn.sent = 0;
+        if conn.closing {
+            return Sweep::Drop;
+        }
+    }
+    Sweep::Keep
+}
+
+/// One worker's event loop: accept a bounded burst, sweep every
+/// registered connection, pace with the poller's idle backoff, exit on
+/// the wake token.
+fn worker_loop(listener: &TcpListener, serving: &Serving, mut poller: Poller) {
+    let mut registry: Registry<Conn> = Registry::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let (mut reply, close) = respond(store, stats, line.trim());
-                line.clear();
-                // One write per reply: split writes would leave the
-                // trailing newline to Nagle + delayed-ACK (~40 ms).
-                reply.push('\n');
-                if writer.write_all(reply.as_bytes()).is_err() || close {
-                    break;
+        if poller.wake_requested() {
+            break;
+        }
+        let mut progress = false;
+        for _ in 0..ACCEPT_BURST {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    serving.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    registry.register(Conn::new(stream), Interest::READ);
+                    progress = true;
                 }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            // A timeout keeps any partial line accumulated in `line`;
-            // it only gives us a chance to notice shutdown.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
+        }
+        for token in registry.tokens() {
+            let Some((conn, _)) = registry.get_mut(token) else {
+                continue;
+            };
+            if let Sweep::Drop = sweep_conn(serving, conn, &mut scratch, &mut progress) {
+                registry.deregister(token);
             }
-            Err(_) => break,
+        }
+        if progress {
+            poller.note_progress();
+        } else {
+            poller.idle_wait();
         }
     }
 }
@@ -195,54 +547,52 @@ fn handle_connection(
 pub struct QueryServer {
     addr: SocketAddr,
     stats: Arc<ServeStats>,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    waker: Waker,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl QueryServer {
     /// Binds `127.0.0.1:port` (`port` 0 lets the OS choose) and starts
-    /// accepting connections, one handler thread per client.
+    /// the worker pool, sized from `IPGEO_THREADS` (0/unset: all cores).
     pub fn spawn(store: Arc<DatasetStore>, port: u16) -> io::Result<QueryServer> {
+        let workers = geo_model::runtime::threads();
+        QueryServer::spawn_with_workers(store, port, workers)
+    }
+
+    /// As [`spawn`](QueryServer::spawn) with an explicit worker count —
+    /// the equivalence tests' hook for comparing 1-vs-N worker response
+    /// streams without touching the environment.
+    // geo-lint: worker-bootstrap
+    pub fn spawn_with_workers(
+        store: Arc<DatasetStore>,
+        port: u16,
+        workers: usize,
+    ) -> io::Result<QueryServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stats = Arc::new(ServeStats::new());
-        let stop = Arc::new(AtomicBool::new(false));
-
-        let accept = {
-            let (stats, stop) = (stats.clone(), stop.clone());
-            std::thread::spawn(move || {
-                let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let (store, stats, stop) = (store.clone(), stats.clone(), stop.clone());
-                    let worker = std::thread::spawn(move || {
-                        handle_connection(stream, &store, &stats, &stop);
-                    });
-                    // A panicking worker poisons the registry; recover the
-                    // guard so one bad connection never wedges accept.
-                    workers
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push(worker);
-                }
-                let workers = workers
-                    .into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                for worker in workers {
-                    let _ = worker.join();
-                }
+        let serving = Arc::new(Serving {
+            store,
+            stats: Arc::new(ServeStats::new()),
+            cache: Arc::new(HotCache::new()),
+        });
+        let root = Poller::new();
+        let waker = root.waker();
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let listener = listener.try_clone()?;
+                let serving = Arc::clone(&serving);
+                let poller = Poller::sharing(&root);
+                Ok(std::thread::spawn(move || {
+                    worker_loop(&listener, &serving, poller);
+                }))
             })
-        };
-
+            .collect::<io::Result<Vec<_>>>()?;
         Ok(QueryServer {
             addr,
-            stats,
-            stop,
-            accept: Some(accept),
+            stats: Arc::clone(&serving.stats),
+            waker,
+            workers,
         })
     }
 
@@ -256,22 +606,21 @@ impl QueryServer {
         self.stats.snapshot()
     }
 
-    /// Graceful shutdown: raises the stop flag, unblocks `accept` with a
-    /// wake-up connection, and joins the accept thread (which joins every
-    /// connection thread).
+    /// Graceful shutdown: fires the wake token and joins every worker.
+    /// Each worker observes the token at the top of its next sweep, so
+    /// teardown needs no wake-up connection and no read timeouts.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        self.waker.wake();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 
-    /// Blocks on the accept loop forever — the `ipgeo serve` foreground
+    /// Blocks until the workers exit — the `ipgeo serve` foreground
     /// mode, ended only by killing the process.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -286,6 +635,7 @@ pub fn query_one(addr: &str, command: &str) -> io::Result<String> {
     writer.write_all(format!("{command}\n").as_bytes())?;
     let mut reader = BufReader::new(stream);
     let mut reply = String::new();
+    // geo-lint: allow(R4, reason = "blocking read in the one-shot client primitive, not the serving path")
     reader.read_line(&mut reply)?;
     Ok(reply.trim_end().to_string())
 }
@@ -293,7 +643,8 @@ pub fn query_one(addr: &str, command: &str) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geo_model::ip::Prefix24;
+    use crate::proto::{BinaryClient, Response};
+    use geo_model::ip::{Ipv4, Prefix24};
     use geo_model::point::GeoPoint;
     use ipgeo::publish::{DatasetEntry, Evidence};
 
@@ -342,6 +693,27 @@ mod tests {
     }
 
     #[test]
+    fn cached_line_answers_are_byte_identical() {
+        let serving = Serving {
+            store: Arc::new(store()),
+            stats: Arc::new(ServeStats::new()),
+            cache: Arc::new(HotCache::new()),
+        };
+        let mut cold = Vec::new();
+        let close = serving.respond_line_into("LOCATE 10.10.10.200", &mut cold);
+        assert!(!close);
+        let mut warm = Vec::new();
+        serving.respond_line_into("LOCATE 10.10.10.200", &mut warm);
+        assert_eq!(cold, warm);
+        assert_eq!(serving.stats.snapshot().hits, 2);
+        // Misses bypass the cache (the reply embeds the exact ip).
+        let mut miss = Vec::new();
+        serving.respond_line_into("LOCATE 9.9.9.9", &mut miss);
+        assert_eq!(miss, b"MISS 9.9.9.9\n");
+        assert_eq!(serving.cache.counters().0, 1);
+    }
+
+    #[test]
     fn serves_over_a_real_socket() {
         let server = QueryServer::spawn(Arc::new(store()), 0).unwrap();
         let addr = server.addr().to_string();
@@ -356,5 +728,81 @@ mod tests {
         // The port is released after shutdown: a fresh connect must fail
         // or be refused service; either way, no reply arrives.
         assert!(query_one(&addr, "LOCATE 10.10.10.1").is_err());
+    }
+
+    #[test]
+    fn serves_the_binary_protocol_on_the_same_port() {
+        let server = QueryServer::spawn(Arc::new(store()), 0).unwrap();
+        let addr = server.addr().to_string();
+        let mut client = BinaryClient::connect(&addr).unwrap();
+        let ips = vec![Prefix24(0x0A0A0A).host(1), Ipv4(0x0909_0909)];
+        let Response::Records { opcode, records } = client.query(Opcode::Locate, &ips).unwrap()
+        else {
+            panic!("expected records");
+        };
+        assert_eq!(opcode, Opcode::Locate);
+        assert_eq!(records.len(), 2);
+        assert!(records[0].hit);
+        assert_eq!(records[0].prefix, Prefix24(0x0A0A0A));
+        assert_eq!(records[0].lat(), 48.85);
+        assert!(!records[1].hit);
+
+        let Response::Records { records, .. } = client
+            .query(Opcode::Nearest, &[Prefix24(0x0A0A0B).host(9)])
+            .unwrap()
+        else {
+            panic!("expected records");
+        };
+        assert_eq!(
+            (records[0].prefix, records[0].distance),
+            (Prefix24(0x0A0A0A), 1)
+        );
+
+        let Response::Stats(s) = client.query(Opcode::Stats, &[]).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits + s.misses, 3);
+
+        // A line-protocol client still works on the very same port.
+        let reply = query_one(&addr, "LOCATE 10.10.10.1").unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_binary_frame_gets_a_typed_error_then_close() {
+        let server = QueryServer::spawn(Arc::new(store()), 0).unwrap();
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        // Valid header shape, hostile length field.
+        let mut frame = vec![proto::REQ_MAGIC, proto::PROTO_VERSION, 1, 0];
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.write_all(&frame).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let proto::Decoded::Frame(resp, _) = proto::try_decode_response(&reply).unwrap() else {
+            panic!("expected a complete error frame");
+        };
+        assert!(matches!(resp, Response::Error(msg) if msg.contains("budget")));
+        server.shutdown();
+    }
+
+    #[test]
+    // Wall-clock promptness check, not simulation state.
+    #[allow(clippy::disallowed_methods)]
+    fn shutdown_is_prompt_with_an_idle_connection_parked() {
+        let server = QueryServer::spawn_with_workers(Arc::new(store()), 0, 2).unwrap();
+        let addr = server.addr().to_string();
+        // Park a connection that never sends anything: the wake token
+        // must still tear the server down without a dummy connection.
+        let _idle = TcpStream::connect(&addr).unwrap();
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "wake-token shutdown took {:?}",
+            started.elapsed()
+        );
     }
 }

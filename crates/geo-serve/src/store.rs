@@ -107,12 +107,31 @@ impl DatasetStore {
         Some((&self.entries[best], dist(best)))
     }
 
-    /// Batch exact lookup, fanned out over the measurement engine's
-    /// deterministic thread pool. Output order matches `ips`.
+    /// Batch exact lookup. Output order matches `ips`.
+    ///
+    /// Small batches run serially: a single lookup is a ~5-comparison
+    /// binary search, so the fan-out only pays for itself once the batch
+    /// amortizes thread spawn/join across tens of thousands of lookups
+    /// (the pre-fix snapshot recorded `speedup: 0.54` — the parallel
+    /// path *losing* — on a 7 680-address sweep). Large batches fan out
+    /// over [`geo_model::runtime::par_map_indexed`] unless the effective
+    /// worker count is 1 (either `IPGEO_THREADS=1` or a single-core
+    /// host, where extra workers are pure oversubscription). Both paths
+    /// are bit-identical by the runtime's determinism contract.
     pub fn lookup_batch(&self, ips: &[Ipv4]) -> Vec<Option<DatasetEntry>> {
+        let workers = geo_model::runtime::threads()
+            .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+        if workers <= 1 || ips.len() < PAR_BATCH_MIN {
+            return ips.iter().map(|&ip| self.lookup(ip).cloned()).collect();
+        }
         geo_model::runtime::par_map_indexed(ips.len(), |i| self.lookup(ips[i]).cloned())
     }
 }
+
+/// Below this batch size `lookup_batch` stays serial: per-lookup work is
+/// O(log n) over an in-memory column, so thread spawn/join dominates
+/// until the batch reaches tens of thousands of addresses.
+pub const PAR_BATCH_MIN: usize = 16 * 1024;
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +200,24 @@ mod tests {
         let batch = s.lookup_batch(&ips);
         for (ip, got) in ips.iter().zip(&batch) {
             assert_eq!(got.as_ref(), s.lookup(*ip));
+        }
+    }
+
+    /// Parity across the serial-fallback seam: a batch below
+    /// `PAR_BATCH_MIN` (always serial) and one above it (parallel when
+    /// the environment grants workers — the CI chaos job runs this suite
+    /// at `IPGEO_THREADS` 1 and 8) must both equal the one-at-a-time
+    /// answers element for element.
+    #[test]
+    fn batch_parity_across_the_parallel_threshold() {
+        let s = store();
+        for n in [PAR_BATCH_MIN / 2, PAR_BATCH_MIN + 257] {
+            let ips: Vec<Ipv4> = (0..n as u32)
+                .map(|i| Prefix24(i % 512).host((i % 250) as u8))
+                .collect();
+            let serial: Vec<Option<DatasetEntry>> =
+                ips.iter().map(|&ip| s.lookup(ip).cloned()).collect();
+            assert_eq!(s.lookup_batch(&ips), serial, "batch size {n}");
         }
     }
 }

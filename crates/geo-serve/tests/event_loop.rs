@@ -1,0 +1,230 @@
+//! The event-loop server's acceptance contract: response byte streams
+//! are a pure function of `(snapshot, per-connection request stream)` —
+//! bit-identical across worker counts, connection interleavings, and
+//! pipelining depths — and the binary frame decoder survives arbitrary
+//! byte soup without panicking.
+
+use geo_model::ip::{Ipv4, Prefix24};
+use geo_model::point::GeoPoint;
+use geo_serve::proto::{
+    self, encode_request, try_decode_request, try_decode_response, Decoded, Opcode,
+};
+use geo_serve::{DatasetStore, QueryServer};
+use ipgeo::publish::{DatasetEntry, Evidence};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn store() -> DatasetStore {
+    let entries: Vec<DatasetEntry> = (0..300u32)
+        .map(|i| DatasetEntry {
+            prefix: Prefix24(i * 7 + 3),
+            location: GeoPoint::new(f64::from(i % 170) - 85.0, f64::from(i % 350) - 175.0),
+            evidence: match i % 3 {
+                0 => Evidence::Geofeed,
+                1 => Evidence::DnsHint {
+                    hostname: format!("edge-{i}.example.net"),
+                },
+                _ => Evidence::Whois,
+            },
+        })
+        .collect();
+    DatasetStore::from_entries(&entries, 99, 1)
+}
+
+/// The fixed per-connection workloads: a mix of binary frames at
+/// different batch sizes and verbs, plus one line-protocol client.
+/// Returns each connection's full request byte stream (binary) or lines.
+fn binary_workloads() -> Vec<Vec<u8>> {
+    let ip = |i: u32| Prefix24(i % 2200).host((i % 200) as u8);
+    (0..4u32)
+        .map(|conn| {
+            let mut frames = Vec::new();
+            for f in 0..6u32 {
+                let n = 1 + ((conn * 6 + f) % 17) as usize;
+                let ips: Vec<Ipv4> = (0..n as u32).map(|k| ip(conn * 131 + f * 37 + k)).collect();
+                let opcode = if (conn + f) % 3 == 0 {
+                    Opcode::Nearest
+                } else {
+                    Opcode::Locate
+                };
+                encode_request(&mut frames, opcode, &ips).unwrap();
+            }
+            frames
+        })
+        .collect()
+}
+
+/// Runs every workload against a server with `workers` workers,
+/// pipelining `depth` frames at a time, and returns each connection's
+/// complete response byte stream.
+fn run_workloads(workers: usize, depth: usize) -> Vec<Vec<u8>> {
+    let server = QueryServer::spawn_with_workers(Arc::new(store()), 0, workers).unwrap();
+    let addr = server.addr().to_string();
+    let mut streams: Vec<TcpStream> = binary_workloads()
+        .iter()
+        .map(|_| {
+            let s = TcpStream::connect(&addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    // Interleave sends across connections in `depth`-frame bursts so
+    // higher depth genuinely pipelines more unacknowledged frames.
+    let workloads = binary_workloads();
+    let frame_bounds: Vec<Vec<usize>> = workloads
+        .iter()
+        .map(|bytes| {
+            let mut bounds = vec![0];
+            let mut at = 0;
+            while at < bytes.len() {
+                let Ok(Decoded::Frame(_, used)) = try_decode_request(&bytes[at..]) else {
+                    panic!("workload frames must decode");
+                };
+                at += used;
+                bounds.push(at);
+            }
+            bounds
+        })
+        .collect();
+    let mut cursor = vec![0usize; workloads.len()];
+    loop {
+        let mut sent_any = false;
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let bounds = &frame_bounds[i];
+            let from = cursor[i];
+            let to = (from + depth).min(bounds.len() - 1);
+            if from < to {
+                stream
+                    .write_all(&workloads[i][bounds[from]..bounds[to]])
+                    .unwrap();
+                cursor[i] = to;
+                sent_any = true;
+            }
+        }
+        if !sent_any {
+            break;
+        }
+    }
+    for stream in &streams {
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+    }
+    let responses: Vec<Vec<u8>> = streams
+        .iter_mut()
+        .map(|s| {
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            buf
+        })
+        .collect();
+    server.shutdown();
+    responses
+}
+
+#[test]
+fn responses_are_bit_identical_across_workers_and_pipelining() {
+    let baseline = run_workloads(1, 1);
+    assert!(
+        baseline.iter().all(|r| !r.is_empty()),
+        "every connection must get answers"
+    );
+    // The acceptance matrix: worker count 1 vs 8 (the CI chaos pair)
+    // crossed with pipelining depths, all against the serial baseline.
+    for (workers, depth) in [(1, 6), (8, 1), (8, 3), (8, 6)] {
+        let got = run_workloads(workers, depth);
+        assert_eq!(
+            got, baseline,
+            "workers={workers} depth={depth} must reproduce the serial byte streams"
+        );
+    }
+}
+
+#[test]
+fn line_and_binary_clients_interleave_on_one_server() {
+    let server = QueryServer::spawn_with_workers(Arc::new(store()), 0, 2).unwrap();
+    let addr = server.addr().to_string();
+    let mut bin = geo_serve::BinaryClient::connect(&addr).unwrap();
+    for i in 0..20u32 {
+        let ips = vec![Prefix24(i * 7 + 3).host(1)];
+        let line = geo_serve::query_one(&addr, &format!("LOCATE {}", ips[0])).unwrap();
+        let geo_serve::Response::Records { records, .. } = bin.query(Opcode::Locate, &ips).unwrap()
+        else {
+            panic!("expected records");
+        };
+        // The two protocols agree on every answer.
+        assert_eq!(records[0].hit, line.starts_with("OK"), "{line}");
+        if records[0].hit {
+            assert!(
+                line.contains(&format!("{}/24", Ipv4(records[0].prefix.0 << 8))),
+                "{line}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte soup never panics the request decoder: every input
+    /// is either a frame, a request for more bytes, or a typed error.
+    #[test]
+    fn request_decoder_survives_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = try_decode_request(&bytes);
+    }
+
+    /// Same for the response decoder (the client side).
+    #[test]
+    fn response_decoder_survives_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = try_decode_response(&bytes);
+    }
+
+    /// Magic-prefixed soup exercises the deep header/body/checksum paths.
+    #[test]
+    fn magic_prefixed_soup_never_panics(
+        soup in prop::collection::vec(any::<u8>(), 0..512),
+        response in any::<bool>(),
+    ) {
+        let mut bytes = soup;
+        if bytes.is_empty() {
+            bytes.push(0);
+        }
+        bytes[0] = if response { proto::RESP_MAGIC } else { proto::REQ_MAGIC };
+        if response {
+            let _ = try_decode_response(&bytes);
+        } else {
+            let _ = try_decode_request(&bytes);
+        }
+    }
+
+    /// Truncating or bit-flipping a valid frame is always NeedMore or a
+    /// typed error — never a panic, never a bogus decode that differs in
+    /// length from the original.
+    #[test]
+    fn mutated_valid_frames_stay_safe(
+        n in 0usize..40,
+        cut_raw in any::<u64>(),
+        flip_raw in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let ips: Vec<Ipv4> = (0..n as u32).map(|i| Ipv4(i * 0x0101)).collect();
+        let mut frame = Vec::new();
+        encode_request(&mut frame, Opcode::Locate, &ips).unwrap();
+
+        let cut = (cut_raw % frame.len() as u64) as usize;
+        prop_assert_eq!(try_decode_request(&frame[..cut]).unwrap(), Decoded::NeedMore);
+
+        let at = (flip_raw % frame.len() as u64) as usize;
+        let mut flipped = frame.clone();
+        flipped[at] ^= 1 << flip_bit;
+        match try_decode_request(&flipped) {
+            // The checksum covers every non-checksum byte and vice
+            // versa, so a single flipped bit can never decode as a
+            // valid frame — but if that guarantee ever weakened, the
+            // decode must at least still consume the true length.
+            Ok(Decoded::Frame(_, used)) => prop_assert_eq!(used, frame.len()),
+            Ok(Decoded::NeedMore) | Err(_) => {}
+        }
+    }
+}
