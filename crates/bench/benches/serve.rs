@@ -215,6 +215,7 @@ fn write_snapshot() {
     };
     let _ = loadgen::run(&addr, &ips, &open_cfg);
     let open = loadgen::run(&addr, &ips, &open_cfg);
+    let cache = server.cache_stats();
     server.shutdown();
 
     // v1 recorded 57,643 line-protocol qps on this host class; the
@@ -262,6 +263,12 @@ fn write_snapshot() {
     }},
     "speedup_vs_line_v1": {:.1}
   }},
+  "cache": {{
+    "hits": {},
+    "misses": {},
+    "evictions": {},
+    "hit_rate": {:.4}
+  }},
   "note": "timings from the committed container; latency percentiles are per pipelined frame (batch addresses each), open loop clocks from scheduled departures (coordinated-omission aware); batch speedup scales with available_parallelism (1 core => serial fallback by design, results bit-identical at any IPGEO_THREADS)"
 }}
 "#,
@@ -285,6 +292,10 @@ fn write_snapshot() {
         open.p99_us,
         open.p999_us,
         closed.qps / V1_LINE_QPS,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.hit_rate(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");

@@ -14,6 +14,7 @@
 #![allow(clippy::disallowed_methods)]
 
 use criterion::{criterion_group, BatchSize, Criterion};
+use geo_hints::{build_dataset_fused, FusedConfig};
 use geo_model::constraint::{Circle, Region, RegionScratch};
 use geo_model::ip::Prefix24;
 use geo_model::matrix::DelayMatrix;
@@ -23,6 +24,7 @@ use geo_model::soi::SpeedOfInternet;
 use geo_model::units::Km;
 use ipgeo::cbg::{cbg, cbg_with, VpMeasurement};
 use ipgeo::two_step::greedy_coverage;
+use ipgeo::Resilience;
 use net_sim::{Network, RowScratch};
 use world_sim::ids::HostId;
 use world_sim::{World, WorldConfig};
@@ -183,6 +185,26 @@ fn bench_sanitize(c: &mut Criterion) {
     });
 }
 
+fn bench_fused_publish(c: &mut Criterion) {
+    let (w, net) = world();
+    let vps: Vec<HostId> = w
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !w.host(p).is_mis_geolocated())
+        .collect();
+    let prefixes: Vec<Prefix24> = w.anchors.iter().map(|&a| w.host(a).ip.prefix24()).collect();
+    let cfg = FusedConfig::new(1.0, 0.8);
+    c.bench_function("publish_fused_anchor_prefixes", |b| {
+        b.iter(|| {
+            let res = Resilience::none();
+            build_dataset_fused(&w, &net, &res, &vps, &prefixes, 7, &cfg)
+                .0
+                .len()
+        });
+    });
+}
+
 fn bench_world_generation(c: &mut Criterion) {
     c.bench_function("world_generate_small", |b| {
         b.iter(|| World::generate(WorldConfig::small(Seed(402))).expect("valid"));
@@ -198,6 +220,7 @@ criterion_group!(
     bench_traceroute,
     bench_greedy_coverage,
     bench_sanitize,
+    bench_fused_publish,
     bench_world_generation
 );
 
@@ -328,6 +351,62 @@ fn stage_budget_json() -> String {
     )
 }
 
+/// Times the fused publish path against the pure-latency baseline on the
+/// same preset: the delta is the full cost of the hints tier (rDNS
+/// mining, extraction, region verification, verification probes, fusion).
+fn fusion_cost_json() -> String {
+    let (w, net) = world();
+    let vps: Vec<HostId> = w
+        .probes
+        .iter()
+        .copied()
+        .filter(|&p| !w.host(p).is_mis_geolocated())
+        .collect();
+    let mut prefixes: Vec<Prefix24> = w.anchors.iter().map(|&a| w.host(a).ip.prefix24()).collect();
+    prefixes.extend(w.probes.iter().take(60).map(|&p| w.host(p).ip.prefix24()));
+    prefixes.sort();
+    prefixes.dedup();
+    let res = Resilience::none();
+    let baseline_s = time_median(3, || {
+        ipgeo::publish::build_dataset_resilient(&w, &net, &res, &vps, &prefixes, 7)
+            .0
+            .len()
+    });
+    let cfg = FusedConfig::new(1.0, 0.8);
+    let fused_s = time_median(3, || {
+        build_dataset_fused(&w, &net, &res, &vps, &prefixes, 7, &cfg)
+            .0
+            .len()
+    });
+    let (entries, report) = build_dataset_fused(&w, &net, &res, &vps, &prefixes, 7, &cfg);
+    let fused_entries = entries
+        .iter()
+        .filter(|e| matches!(e.evidence, ipgeo::publish::Evidence::Fused { .. }))
+        .count();
+    let overhead_pct = if baseline_s > 0.0 {
+        (fused_s / baseline_s - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    format!(
+        r#""fusion": {{
+    "preset": "world_small_seed_401",
+    "coverage": 1.0,
+    "truthfulness": 0.8,
+    "baseline_build_s": {baseline_s:.4},
+    "fused_build_s": {fused_s:.4},
+    "overhead_pct": {overhead_pct:.1},
+    "fused_entries": {fused_entries},
+    "total_prefixes": {},
+    "hint_probe_attempts": {},
+    "hint_probe_credits": {}
+  }}"#,
+        prefixes.len(),
+        report.hints.attempts,
+        report.hints.credits.net(),
+    )
+}
+
 /// Merges the `stage_budget` object into `BENCH_campaigns.json`, replacing
 /// any previous one. The campaigns snapshot owns the rest of the file and
 /// always keeps `"note"` as the final key, which anchors the splice.
@@ -345,7 +424,7 @@ fn write_snapshot() {
         Some(at) => at,
         None => note_at,
     };
-    let budget = stage_budget_json();
+    let budget = format!("{},\n  {}", stage_budget_json(), fusion_cost_json());
     let merged = format!(
         "{}  {budget},\n{}",
         &current[..head_end],

@@ -1,0 +1,4 @@
+//! Hint sweep: fused (CBG + verified rDNS hints) vs pure-latency CBG.
+fn main() {
+    bench::run(|d| vec![eval::experiments::hints::hint_sweep(d)]);
+}

@@ -20,6 +20,37 @@ pub struct Cli {
     /// Injected platform faults (`--fault-profile none|flaky|hostile`,
     /// default none).
     pub fault_profile: FaultProfile,
+    /// Evidence tier for dataset campaigns (`--methods baseline|fused`,
+    /// default baseline).
+    pub methods: Methods,
+    /// Fraction of hosts publishing rDNS names (`--hint-coverage`,
+    /// default 0.6; fused tier only).
+    pub hint_coverage: f64,
+    /// Fraction of published names that are truthful
+    /// (`--hint-truthfulness`, default 0.9; fused tier only).
+    pub hint_truthfulness: f64,
+}
+
+/// The evidence tier `dataset`/`publish` build with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Methods {
+    /// The legacy single-source evidence ladder.
+    Baseline,
+    /// The fused tier: CBG fused with latency-verified rDNS hints and
+    /// the commercial-DB prior, with per-entry confidence.
+    Fused,
+}
+
+impl Methods {
+    fn parse(s: &str) -> Result<Methods, ParseError> {
+        match s {
+            "baseline" => Ok(Methods::Baseline),
+            "fused" => Ok(Methods::Fused),
+            other => Err(ParseError(format!(
+                "unknown method tier `{other}` (expected baseline|fused)"
+            ))),
+        }
+    }
 }
 
 /// Where `query` resolves lookups: a local snapshot or a running server.
@@ -94,6 +125,8 @@ pub enum Method {
     TwoStep,
     /// The street-level three-tier technique.
     Street,
+    /// CBG fused with a latency-verified rDNS hint.
+    Fused,
 }
 
 impl Method {
@@ -103,8 +136,9 @@ impl Method {
             "shortest-ping" => Ok(Method::ShortestPing),
             "two-step" => Ok(Method::TwoStep),
             "street" => Ok(Method::Street),
+            "fused" => Ok(Method::Fused),
             other => Err(ParseError(format!(
-                "unknown method `{other}` (expected cbg|shortest-ping|two-step|street)"
+                "unknown method `{other}` (expected cbg|shortest-ping|two-step|street|fused)"
             ))),
         }
     }
@@ -147,7 +181,15 @@ OPTIONS:
     --seed <N>              world seed (default 2023)
     --paper                 paper-scale world (723 anchors, 10k probes)
     --method <M>            locate only: cbg|shortest-ping|two-step|street
-                            (default cbg)
+                            |fused (default cbg)
+    --methods <T>           dataset/publish: evidence tier, baseline|fused
+                            (default baseline; fused adds latency-verified
+                            rDNS hints and the commercial-DB prior, and
+                            stamps every latency entry with a confidence)
+    --hint-coverage <F>     fused tier: fraction of hosts publishing rDNS
+                            names, clamped to 0..1 (default 0.6)
+    --hint-truthfulness <F> fused tier: fraction of published names that
+                            are truthful, clamped to 0..1 (default 0.9)
     --nonce <N>             dataset/publish: measurement nonce mixed into
                             every ping of the campaign (default 1)
     --mesh <N>              dataset/publish: coverage-mesh size, the number
@@ -174,6 +216,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     let mut nonce = 1u64;
     let mut mesh = 300usize;
     let mut fault_profile = FaultProfile::None;
+    let mut methods = Methods::Baseline;
+    let mut hint_coverage = 0.6f64;
+    let mut hint_truthfulness = 0.9f64;
     let mut out: Option<String> = None;
     let mut port = 4750u16;
     let mut server: Option<String> = None;
@@ -237,6 +282,24 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 i += 1;
                 fault_profile =
                     FaultProfile::parse(value(args, i, "--fault-profile")?).map_err(ParseError)?;
+            }
+            "--methods" => {
+                i += 1;
+                methods = Methods::parse(value(args, i, "--methods")?)?;
+            }
+            "--hint-coverage" => {
+                i += 1;
+                let v = value(args, i, "--hint-coverage")?;
+                hint_coverage = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad hint coverage `{v}`")))?;
+            }
+            "--hint-truthfulness" => {
+                i += 1;
+                let v = value(args, i, "--hint-truthfulness")?;
+                hint_truthfulness = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad hint truthfulness `{v}`")))?;
             }
             flag if flag.starts_with("--") => {
                 return Err(ParseError(format!("unknown flag `{flag}`")));
@@ -323,6 +386,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         nonce,
         mesh,
         fault_profile,
+        methods,
+        hint_coverage,
+        hint_truthfulness,
     })
 }
 
@@ -362,6 +428,36 @@ mod tests {
         assert_eq!(cli.nonce, 1);
         assert_eq!(cli.mesh, 300);
         assert_eq!(cli.fault_profile, FaultProfile::None);
+        assert_eq!(cli.methods, Methods::Baseline);
+        assert_eq!(cli.hint_coverage, 0.6);
+        assert_eq!(cli.hint_truthfulness, 0.9);
+    }
+
+    #[test]
+    fn parses_fused_tier_and_hint_knobs() {
+        let cli = parse(&argv(
+            "publish --out ds.igds --methods fused --hint-coverage 0.8 --hint-truthfulness 0.5",
+        ))
+        .unwrap();
+        assert_eq!(cli.methods, Methods::Fused);
+        assert_eq!(cli.hint_coverage, 0.8);
+        assert_eq!(cli.hint_truthfulness, 0.5);
+        assert_eq!(
+            parse(&argv("dataset --methods baseline")).unwrap().methods,
+            Methods::Baseline
+        );
+        assert!(parse(&argv("dataset --methods census")).is_err());
+        assert!(parse(&argv("dataset --hint-coverage lots")).is_err());
+        assert!(parse(&argv("dataset --hint-truthfulness")).is_err());
+    }
+
+    #[test]
+    fn parses_locate_fused() {
+        let cli = parse(&argv("locate 1.0.42.1 --method fused")).unwrap();
+        match cli.command {
+            Command::Locate { method, .. } => assert_eq!(method, Method::Fused),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -5,14 +5,17 @@
 
 mod args;
 
-use args::{parse, Cli, Command, Method, QuerySource, USAGE};
+use args::{parse, Cli, Command, Method, Methods, QuerySource, USAGE};
 use atlas_sim::{FaultPlan, FaultProfile};
+use geo_hints::{
+    build_dataset_fused, fuse_sources, verify_against_region, CodeTable, FusedConfig, FusionInput,
+};
 use geo_model::ip::{Ipv4, Prefix24};
 use geo_model::rng::Seed;
 use geo_model::soi::SpeedOfInternet;
 use geo_serve::{DatasetStore, DiffReport, Manifest, QueryServer};
 use ipgeo::cbg::{cbg, shortest_ping, VpMeasurement};
-use ipgeo::publish::DatasetEntry;
+use ipgeo::publish::{fused_sources, DatasetEntry};
 use ipgeo::resilient::{CampaignReport, TargetLog};
 use ipgeo::street::{geolocate_resilient as street_geolocate, StreetConfig};
 use ipgeo::two_step::{geolocate_resilient as two_step_geolocate, greedy_coverage};
@@ -80,7 +83,7 @@ fn report_faults(cli: &Cli, report: &CampaignReport) {
 
 /// The shared producer behind `dataset` and `publish`: build the
 /// explainable dataset over the anchors' prefixes with the CLI's
-/// campaign knobs (`--nonce`, `--mesh`).
+/// campaign knobs (`--nonce`, `--mesh`, `--methods`).
 fn publish_dataset(cli: &Cli, world: &World) -> Result<Vec<DatasetEntry>, String> {
     let net = Network::new(Seed(cli.seed));
     let vps = clean_probes(world);
@@ -94,16 +97,29 @@ fn publish_dataset(cli: &Cli, world: &World) -> Result<Vec<DatasetEntry>, String
         .map(|&a| world.host(a).ip.prefix24())
         .collect();
     let plan = fault_plan(cli);
-    let (ds, report) = ipgeo::publish::build_dataset_resilient(
-        world,
-        &net,
-        &Resilience::with_plan(&plan),
-        &mesh,
-        &prefixes,
-        cli.nonce,
-    );
-    report_faults(cli, &report);
-    Ok(ds)
+    let res = Resilience::with_plan(&plan);
+    match cli.methods {
+        Methods::Baseline => {
+            let (ds, report) = ipgeo::publish::build_dataset_resilient(
+                world, &net, &res, &mesh, &prefixes, cli.nonce,
+            );
+            report_faults(cli, &report);
+            Ok(ds)
+        }
+        Methods::Fused => {
+            let cfg = FusedConfig::new(cli.hint_coverage, cli.hint_truthfulness);
+            let (ds, report) =
+                build_dataset_fused(world, &net, &res, &mesh, &prefixes, cli.nonce, &cfg);
+            // The fused report keeps baseline and hint-verification
+            // probes in separate books so credit accounting stays
+            // auditable under fault injection.
+            if cli.fault_profile != FaultProfile::None {
+                eprintln!("fault profile {} (seed {}):", cli.fault_profile, cli.seed);
+                eprintln!("{report}");
+            }
+            Ok(ds)
+        }
+    }
 }
 
 fn run(cli: Cli) -> Result<(), String> {
@@ -321,7 +337,7 @@ fn run(cli: Cli) -> Result<(), String> {
             let mut log = TargetLog::default();
 
             let (estimate, label) = match method {
-                Method::Cbg | Method::ShortestPing => {
+                Method::Cbg | Method::ShortestPing | Method::Fused => {
                     let ms: Vec<VpMeasurement> = ipgeo::resilient::ping_batch(
                         &world, &net, &res, &vps, target, 3, 1, &mut log,
                     )
@@ -334,12 +350,49 @@ fn run(cli: Cli) -> Result<(), String> {
                         })
                     })
                     .collect();
-                    if method == Method::Cbg {
-                        let r = cbg(&ms, SpeedOfInternet::CBG).ok_or("CBG region is empty")?;
-                        (r.estimate, "CBG (all probes)")
-                    } else {
-                        let best = shortest_ping(&ms).ok_or("no measurements")?;
-                        (best.location, "shortest ping")
+                    match method {
+                        Method::Cbg => {
+                            let r = cbg(&ms, SpeedOfInternet::CBG).ok_or("CBG region is empty")?;
+                            (r.estimate, "CBG (all probes)")
+                        }
+                        Method::Fused => {
+                            let r = cbg(&ms, SpeedOfInternet::CBG).ok_or("CBG region is empty")?;
+                            let cfg = world_sim::rdns::RdnsConfig::new(
+                                cli.hint_coverage,
+                                cli.hint_truthfulness,
+                            );
+                            let table = CodeTable::build(&world);
+                            let name = world_sim::rdns::hostname(&world, &cfg, host.id);
+                            let hint = name.as_ref().and_then(|n| {
+                                let candidates = table.extract(&n.name);
+                                verify_against_region(&world, &r, &n.name, &candidates)
+                            });
+                            let fused = fuse_sources(&FusionInput {
+                                cbg: &r,
+                                hint: hint.as_ref(),
+                                street: None,
+                                db: None,
+                            });
+                            match (&name, &hint) {
+                                (Some(n), Some(_)) => {
+                                    println!("rdns     {} (hint verified)", n.name);
+                                }
+                                (Some(n), None) => {
+                                    println!("rdns     {} (hint refuted or absent)", n.name);
+                                }
+                                (None, _) => println!("rdns     none published"),
+                            }
+                            println!(
+                                "fused    sources {}  confidence {:.2}",
+                                fused_sources::label(fused.sources),
+                                fused.confidence
+                            );
+                            (fused.location, "fused (CBG + verified rDNS hints)")
+                        }
+                        _ => {
+                            let best = shortest_ping(&ms).ok_or("no measurements")?;
+                            (best.location, "shortest ping")
+                        }
                     }
                 }
                 Method::TwoStep => {

@@ -42,6 +42,55 @@ pub enum Evidence {
     },
     /// WHOIS registration city — the weakest fallback.
     Whois,
+    /// Multi-source fusion (`geo-hints`): CBG constraints combined with a
+    /// latency-verified rDNS hint and a commercial-DB prior, scored into
+    /// one confidence.
+    Fused {
+        /// Combined confidence in `[0, 1]` (noisy-or over the sources).
+        confidence: f64,
+        /// Bitmask of the sources that agreed (see [`fused_sources`]).
+        sources: u8,
+        /// Vantage points behind the CBG constraint region.
+        vps: usize,
+        /// The lowest RTT observed.
+        best_rtt: Ms,
+        /// The VP behind the tightest constraint.
+        best_vp: HostId,
+        /// The rDNS hostname whose hint survived verification, if any.
+        hostname: Option<String>,
+    },
+}
+
+/// Source bits of [`Evidence::Fused`].
+pub mod fused_sources {
+    /// The CBG constraint region contributed.
+    pub const CBG: u8 = 1;
+    /// A latency-verified rDNS hint contributed.
+    pub const HINT: u8 = 2;
+    /// The commercial-DB prior agreed with the chosen location.
+    pub const DB_PRIOR: u8 = 4;
+    /// A street-level tier estimate agreed.
+    pub const STREET: u8 = 8;
+
+    /// Human/CSV label for a mask, e.g. `cbg+hint+db`.
+    pub fn label(mask: u8) -> String {
+        let mut parts = Vec::new();
+        for (bit, name) in [
+            (CBG, "cbg"),
+            (HINT, "hint"),
+            (DB_PRIOR, "db"),
+            (STREET, "street"),
+        ] {
+            if mask & bit != 0 {
+                parts.push(name);
+            }
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
 }
 
 impl Evidence {
@@ -52,6 +101,21 @@ impl Evidence {
             Evidence::DnsHint { .. } => "dns-hint",
             Evidence::Latency { .. } => "latency-cbg",
             Evidence::Whois => "whois",
+            Evidence::Fused { .. } => "fused",
+        }
+    }
+
+    /// Confidence in `[0, 1]` that the entry's location is city-accurate.
+    /// Legacy methods carry the fixed priors of their evidence class
+    /// (geofeeds and DNS hints mirror `world-sim`'s accuracy constants);
+    /// fused entries carry the score the fusion estimator computed.
+    pub fn confidence(&self) -> f64 {
+        match self {
+            Evidence::Geofeed => 0.95,
+            Evidence::DnsHint { .. } => 0.90,
+            Evidence::Latency { .. } => 0.70,
+            Evidence::Whois => 0.30,
+            Evidence::Fused { confidence, .. } => *confidence,
         }
     }
 
@@ -70,6 +134,25 @@ impl Evidence {
                 "vps={vps};best_rtt_ms={:.3};best_vp={best_vp}",
                 best_rtt.value()
             ),
+            Evidence::Fused {
+                sources,
+                vps,
+                best_rtt,
+                best_vp,
+                hostname,
+                ..
+            } => {
+                let mut s = format!(
+                    "sources={};vps={vps};best_rtt_ms={:.3};best_vp={best_vp}",
+                    fused_sources::label(*sources),
+                    best_rtt.value()
+                );
+                if let Some(name) = hostname {
+                    s.push_str(";hostname=");
+                    s.push_str(name);
+                }
+                s
+            }
         }
     }
 }
@@ -89,11 +172,12 @@ impl fmt::Display for DatasetEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{},{:.4},{:.4},{},{}",
+            "{},{:.4},{:.4},{},{:.2},{}",
             self.prefix,
             self.location.lat(),
             self.location.lon(),
             self.evidence.method(),
+            self.evidence.confidence(),
             self.evidence.detail()
         )
     }
@@ -227,7 +311,7 @@ fn locate_prefix(
 /// Renders the dataset as CSV with a header — the publishable artifact.
 /// The `evidence` column carries the full audit trail ([`Evidence::detail`]).
 pub fn to_csv(entries: &[DatasetEntry]) -> String {
-    let mut out = String::from("prefix,lat,lon,method,evidence\n");
+    let mut out = String::from("prefix,lat,lon,method,confidence,evidence\n");
     for e in entries {
         out.push_str(&e.to_string());
         out.push('\n');
@@ -332,10 +416,12 @@ mod tests {
         let ds = build_dataset(&w, &net, &vps, &prefixes[..5], 1);
         let csv = to_csv(&ds);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "prefix,lat,lon,method,evidence");
+        assert_eq!(lines[0], "prefix,lat,lon,method,confidence,evidence");
         assert_eq!(lines.len(), 6);
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 5, "bad row: {line}");
+            assert_eq!(line.split(',').count(), 6, "bad row: {line}");
+            let confidence: f64 = line.split(',').nth(4).unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&confidence), "bad confidence: {line}");
         }
     }
 
@@ -355,6 +441,11 @@ mod tests {
                     assert!(detail.ends_with(&format!("best_vp={best_vp}")));
                 }
                 Evidence::Geofeed | Evidence::Whois => assert_eq!(detail, "-"),
+                Evidence::Fused { sources, .. } => {
+                    assert!(
+                        detail.starts_with(&format!("sources={}", fused_sources::label(*sources)))
+                    );
+                }
             }
             let row = e.to_string();
             assert!(row.ends_with(&detail), "row drops evidence: {row}");

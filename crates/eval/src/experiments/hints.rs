@@ -1,0 +1,203 @@
+//! Hint sweep: fused (CBG + latency-verified rDNS hints) accuracy versus
+//! the pure-latency CBG baseline across a hint coverage × truthfulness
+//! grid.
+//!
+//! Each grid cell re-geolocates the same target sample with the same RTT
+//! matrix — only the rDNS knobs differ — so every delta against the CBG
+//! column is attributable to the hints and the verification gate. The
+//! load-bearing facts (pinned by tests and validated by CI against the
+//! benchmark snapshot):
+//!
+//! - with truthful hints (truthfulness ≥ 0.8) the fused median error is
+//!   *strictly below* CBG-only;
+//! - with maximally misleading hints (truthfulness 0.0) fused never does
+//!   worse than CBG-only: a hint that fails region verification falls
+//!   back to the CBG estimate by construction.
+
+use crate::dataset::Dataset;
+use crate::report::{Report, Table};
+use geo_hints::{probe_consistent, verify_against_region, CodeTable};
+use geo_model::soi::SpeedOfInternet;
+use geo_model::stats;
+use ipgeo::cbg::cbg;
+use world_sim::rdns::{hostname, RdnsConfig};
+
+use super::measurements_for;
+
+/// One grid cell's outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HintCell {
+    /// Hint coverage knob.
+    pub coverage: f64,
+    /// Hint truthfulness knob.
+    pub truthfulness: f64,
+    /// Median CBG-only error (km) over the located sample.
+    pub cbg_median_km: f64,
+    /// Median fused error (km) over the same sample.
+    pub fused_median_km: f64,
+    /// Hostnames mined from the sample.
+    pub mined: usize,
+    /// Hints that survived region verification.
+    pub verified: usize,
+}
+
+/// Evaluates one (coverage, truthfulness) cell: CBG every sampled target
+/// from the full VP set, then fuse a region-verified rDNS hint when the
+/// target publishes one. Targets whose CBG fails are skipped in both
+/// columns, so the medians compare like with like.
+pub fn fused_vs_cbg(
+    d: &Dataset,
+    table: &CodeTable,
+    sample: usize,
+    coverage: f64,
+    truthfulness: f64,
+) -> HintCell {
+    let cfg = RdnsConfig::new(coverage, truthfulness);
+    let mut cbg_errors = Vec::new();
+    let mut fused_errors = Vec::new();
+    let (mut mined, mut verified) = (0, 0);
+    for t in 0..d.targets.len().min(sample) {
+        let ms = measurements_for(d, t, 0..d.vps.len());
+        let Some(result) = cbg(&ms, SpeedOfInternet::CBG) else {
+            continue;
+        };
+        let cbg_err = d.error_km(t, &result.estimate);
+        let mut fused_err = cbg_err;
+        if let Some(name) = hostname(&d.world, &cfg, d.targets[t]) {
+            mined += 1;
+            let candidates = table.extract(&name.name);
+            // Both pipeline gates: region containment, then strict-speed
+            // disc consistency over the measurements (which catches
+            // decoys a fallback-SoI region was loose enough to admit).
+            if let Some(hint) = verify_against_region(&d.world, &result, &name.name, &candidates) {
+                if probe_consistent(&hint.center, &ms) {
+                    verified += 1;
+                    fused_err = d.error_km(t, &hint.center);
+                }
+            }
+        }
+        cbg_errors.push(cbg_err);
+        fused_errors.push(fused_err);
+    }
+    HintCell {
+        coverage,
+        truthfulness,
+        cbg_median_km: stats::median(&cbg_errors).unwrap_or(f64::NAN),
+        fused_median_km: stats::median(&fused_errors).unwrap_or(f64::NAN),
+        mined,
+        verified,
+    }
+}
+
+/// Runs the full coverage × truthfulness grid.
+pub fn hint_sweep(d: &Dataset) -> Report {
+    let mut report =
+        Report::new("hint sweep — fused (CBG + verified rDNS hints) vs pure-latency CBG");
+    let table = CodeTable::build(&d.world);
+    let sample = d.targets.len().min(120);
+    report.note(format!(
+        "{} targets sampled, {} VPs; {} airport-code collisions in the code table; \
+         verification: hint city center must lie in the CBG constraint region and \
+         inside every measurement's strict speed-of-Internet disc",
+        d.targets.len().min(sample),
+        d.vps.len(),
+        table.airport_collisions()
+    ));
+
+    let mut t = Table {
+        heading: "median error (km) by hint coverage × truthfulness".into(),
+        columns: [
+            "coverage",
+            "truthfulness",
+            "cbg median (km)",
+            "fused median (km)",
+            "improvement",
+            "mined",
+            "verified",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: Vec::new(),
+    };
+
+    for &coverage in &[0.25, 0.5, 1.0] {
+        for &truthfulness in &[0.0, 0.5, 0.8, 1.0] {
+            let cell = fused_vs_cbg(d, &table, sample, coverage, truthfulness);
+            let improvement = if cell.cbg_median_km > 0.0 {
+                (1.0 - cell.fused_median_km / cell.cbg_median_km) * 100.0
+            } else {
+                0.0
+            };
+            t.rows.push(vec![
+                format!("{coverage:.2}"),
+                format!("{truthfulness:.2}"),
+                format!("{:.1}", cell.cbg_median_km),
+                format!("{:.1}", cell.fused_median_km),
+                format!("{improvement:+.1}%"),
+                cell.mined.to_string(),
+                cell.verified.to_string(),
+            ]);
+        }
+    }
+    report.table(t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::EvalScale;
+    use geo_model::rng::Seed;
+
+    fn tiny() -> Dataset {
+        Dataset::load(EvalScale::tiny(Seed(231)))
+    }
+
+    #[test]
+    fn truthful_hints_strictly_beat_cbg_only() {
+        let d = tiny();
+        let table = CodeTable::build(&d.world);
+        for truthfulness in [0.8, 1.0] {
+            let cell = fused_vs_cbg(&d, &table, usize::MAX, 1.0, truthfulness);
+            assert!(
+                cell.fused_median_km < cell.cbg_median_km,
+                "fused {:.1} km not better than cbg {:.1} km at truthfulness {truthfulness}",
+                cell.fused_median_km,
+                cell.cbg_median_km
+            );
+            assert!(cell.verified > 0);
+        }
+    }
+
+    #[test]
+    fn misleading_hints_never_do_worse_than_cbg_only() {
+        let d = tiny();
+        let table = CodeTable::build(&d.world);
+        let cell = fused_vs_cbg(&d, &table, usize::MAX, 1.0, 0.0);
+        assert!(
+            cell.fused_median_km <= cell.cbg_median_km,
+            "fused {:.1} km worse than cbg {:.1} km with maximally stale hints",
+            cell.fused_median_km,
+            cell.cbg_median_km
+        );
+    }
+
+    #[test]
+    fn zero_coverage_is_exactly_the_cbg_column() {
+        let d = tiny();
+        let table = CodeTable::build(&d.world);
+        let cell = fused_vs_cbg(&d, &table, usize::MAX, 0.0, 1.0);
+        assert_eq!(cell.fused_median_km.to_bits(), cell.cbg_median_km.to_bits());
+        assert_eq!(cell.mined, 0);
+        assert_eq!(cell.verified, 0);
+    }
+
+    #[test]
+    fn sweep_report_has_the_full_grid() {
+        let d = tiny();
+        let report = hint_sweep(&d);
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].rows.len(), 12);
+    }
+}

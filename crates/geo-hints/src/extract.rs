@@ -1,0 +1,182 @@
+//! rDNS hint extraction: tokenizer + code-table matcher.
+//!
+//! The extractor is deliberately ignorant of how `world_sim::rdns` builds
+//! its names — it sees only the hostname string and a code table derived
+//! from the world's city list, the same asymmetry a real system faces
+//! between an ISP's naming habit and a public airport-code table. Airport
+//! codes are hashed three-letter tokens and **can collide across
+//! cities**; the extractor returns every matching city and marks the
+//! candidate ambiguous instead of guessing, leaving disambiguation to the
+//! latency-verification stage.
+
+use std::collections::HashMap;
+use world_sim::ids::CityId;
+use world_sim::rdns::{airport_code, city_code, reserved_tokens, NamingScheme};
+use world_sim::World;
+
+/// One city a hostname token could stand for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintCandidate {
+    /// The candidate city.
+    pub city: CityId,
+    /// Which naming scheme matched the token.
+    pub scheme: NamingScheme,
+    /// True when the matched token maps to more than one city (airport
+    /// code collision) — the verification stage must pick.
+    pub ambiguous: bool,
+}
+
+/// The code tables an extractor matches hostnames against: airport codes
+/// (possibly colliding, multi-valued) and compact city codes (injective).
+#[derive(Debug, Clone)]
+pub struct CodeTable {
+    airport: HashMap<String, Vec<CityId>>,
+    city: HashMap<String, CityId>,
+}
+
+impl CodeTable {
+    /// Builds both tables from the world's city list. City iteration
+    /// order is the stored `Vec` order, so the table (and every colliding
+    /// candidate list) is deterministic.
+    pub fn build(world: &World) -> CodeTable {
+        let mut airport: HashMap<String, Vec<CityId>> = HashMap::new();
+        let mut city = HashMap::new();
+        for c in &world.cities {
+            airport.entry(airport_code(&c.name)).or_default().push(c.id);
+            city.insert(city_code(&c.name), c.id);
+        }
+        CodeTable { airport, city }
+    }
+
+    /// Number of airport codes shared by more than one city.
+    pub fn airport_collisions(&self) -> usize {
+        self.airport.values().filter(|v| v.len() > 1).count()
+    }
+
+    /// All city candidates a hostname's tokens map to, in token order
+    /// (city-code match first per token, then airport candidates in city
+    /// order), deduplicated by city.
+    pub fn extract(&self, hostname: &str) -> Vec<HintCandidate> {
+        let mut out: Vec<HintCandidate> = Vec::new();
+        let mut push = |cand: HintCandidate| {
+            if !out.iter().any(|c| c.city == cand.city) {
+                out.push(cand);
+            }
+        };
+        for token in tokens(hostname) {
+            if let Some(&city) = self.city.get(token) {
+                push(HintCandidate {
+                    city,
+                    scheme: NamingScheme::CityCode,
+                    ambiguous: false,
+                });
+                continue;
+            }
+            if token.len() == 3 && token.bytes().all(|b| b.is_ascii_lowercase()) {
+                if let Some(cities) = self.airport.get(token) {
+                    for &city in cities {
+                        push(HintCandidate {
+                            city,
+                            scheme: NamingScheme::Airport,
+                            ambiguous: cities.len() > 1,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The location-bearing tokens of a hostname: label pieces split on `.`
+/// and `-`, lowercased by construction in this world, with pure-numeric
+/// pieces and reserved ISP-template words (role tokens, `as<digits>`,
+/// domain scaffolding) dropped. A trailing unit number does not disguise
+/// a reserved word: `core12` is still the reserved `core`.
+pub fn tokens(hostname: &str) -> impl Iterator<Item = &str> {
+    hostname
+        .split(['.', '-'])
+        .filter(|t| !t.is_empty())
+        .filter(|t| {
+            let stem = t.trim_end_matches(|c: char| c.is_ascii_digit());
+            !stem.is_empty() && !reserved_tokens().any(|r| r == stem)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use world_sim::rdns::{hostname, RdnsConfig};
+    use world_sim::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(Seed(83))).unwrap()
+    }
+
+    #[test]
+    fn tokenizer_drops_scaffolding_and_keeps_codes() {
+        let toks: Vec<&str> = tokens("ge-par-3.as17.example.net").collect();
+        assert_eq!(toks, vec!["par"]);
+        let toks: Vec<&str> = tokens("eu0042.core12.as3.example.net").collect();
+        assert_eq!(toks, vec!["eu0042"]);
+        let toks: Vec<&str> = tokens("cpe7.lhr.as901.example.net").collect();
+        assert_eq!(toks, vec!["lhr"]);
+    }
+
+    #[test]
+    fn every_truthful_name_extracts_its_source_city() {
+        let w = world();
+        let table = CodeTable::build(&w);
+        let cfg = RdnsConfig::new(1.0, 1.0);
+        for &h in w.probes.iter().chain(&w.anchors) {
+            let n = hostname(&w, &cfg, h).unwrap();
+            let cands = table.extract(&n.name);
+            assert!(
+                cands.iter().any(|c| c.city == w.host(h).city),
+                "{} missed city of host {h:?}",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn city_code_matches_are_unambiguous() {
+        let w = world();
+        let table = CodeTable::build(&w);
+        for c in &w.cities {
+            let name = format!("edge-{}-0.as1.example.net", city_code(&c.name));
+            let cands = table.extract(&name);
+            assert_eq!(cands.len(), 1);
+            assert_eq!(cands[0].city, c.id);
+            assert!(!cands[0].ambiguous);
+        }
+    }
+
+    #[test]
+    fn colliding_airport_codes_yield_every_city_marked_ambiguous() {
+        let w = world();
+        let table = CodeTable::build(&w);
+        // Find (or accept the absence of) a collision in this world.
+        let mut by_code: HashMap<String, Vec<CityId>> = HashMap::new();
+        for c in &w.cities {
+            by_code.entry(airport_code(&c.name)).or_default().push(c.id);
+        }
+        for (code, cities) in by_code {
+            let cands = table.extract(&format!("core-{code}-1.as2.example.net"));
+            assert_eq!(cands.len(), cities.len());
+            for c in &cands {
+                assert_eq!(c.ambiguous, cities.len() > 1, "code {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_codes_extract_nothing() {
+        let w = world();
+        let table = CodeTable::build(&w);
+        // `zz9` is three chars but ends in a digit; `qqqq` is too long
+        // for an airport code and no city compacts to it.
+        assert!(table.extract("zz9.qqqq.as4.example.net").is_empty());
+    }
+}

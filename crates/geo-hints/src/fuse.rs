@@ -1,0 +1,223 @@
+//! The fusion estimator: one located-with-confidence answer.
+//!
+//! Fusion is deliberately conservative about *location* and generous
+//! about *confidence*:
+//!
+//! - **Location** follows a strict precedence: a verified hint names the
+//!   city, so the hint's city center wins; failing that, a street-level
+//!   estimate (when the caller ran one); failing that, the CBG centroid
+//!   **exactly** — which is what makes the fused tier never worse than
+//!   CBG-only by construction when every hint is refuted. The commercial
+//!   DB prior never moves the location: it is the least auditable source,
+//!   so it may only corroborate.
+//! - **Confidence** is a noisy-or over the agreeing sources: each source
+//!   `i` independently fails with probability `1 - w_i`, so the fused
+//!   confidence is `1 - Π(1 - w_i)`. The DB prior counts only when it
+//!   lands within [`DB_AGREE_KM`] of the fused location.
+//!
+//! The set of contributing sources is returned as the
+//! [`ipgeo::publish::fused_sources`] bit mask that the CSV evidence
+//! column and `.igds` snapshot carry.
+
+use geo_model::point::GeoPoint;
+use ipgeo::publish::fused_sources;
+use ipgeo::CbgResult;
+
+use crate::verify::VerifiedHint;
+
+/// Per-source confidence weights — the probability the source is right
+/// when it contributes, mirroring the class priors
+/// [`ipgeo::publish::Evidence::confidence`] assigns to the legacy
+/// single-source methods.
+pub mod weight {
+    /// CBG centroid (always contributes).
+    pub const CBG: f64 = 0.70;
+    /// A latency-verified rDNS hint.
+    pub const HINT: f64 = 0.90;
+    /// A street-level estimate.
+    pub const STREET: f64 = 0.85;
+    /// A commercial-DB prior that agrees with the fused location.
+    pub const DB_AGREE: f64 = 0.50;
+}
+
+/// How close (km) the DB prior must land to the fused location to count
+/// as corroboration.
+pub const DB_AGREE_KM: f64 = 40.0;
+
+/// The sources available for one target.
+#[derive(Debug, Clone)]
+pub struct FusionInput<'a> {
+    /// The CBG run (fusion requires latency; no CBG, no fused answer).
+    pub cbg: &'a CbgResult,
+    /// A hint that survived both verification gates, if any.
+    pub hint: Option<&'a VerifiedHint>,
+    /// A street-level estimate, when the caller ran that pipeline.
+    pub street: Option<GeoPoint>,
+    /// The commercial-DB prior for the target's address, if covered.
+    pub db: Option<GeoPoint>,
+}
+
+/// One fused answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fused {
+    /// The fused location.
+    pub location: GeoPoint,
+    /// Noisy-or confidence over the contributing sources.
+    pub confidence: f64,
+    /// [`fused_sources`] bit mask of everything that contributed.
+    pub sources: u8,
+}
+
+/// Fuses the available sources (see the module docs for the rules).
+pub fn fuse(input: &FusionInput<'_>) -> Fused {
+    let location = match (input.hint, input.street) {
+        (Some(hint), _) => hint.center,
+        (None, Some(street)) => street,
+        (None, None) => input.cbg.estimate,
+    };
+    let mut sources = fused_sources::CBG;
+    let mut miss_all = 1.0 - weight::CBG;
+    if input.hint.is_some() {
+        sources |= fused_sources::HINT;
+        miss_all *= 1.0 - weight::HINT;
+    }
+    if input.street.is_some() {
+        sources |= fused_sources::STREET;
+        miss_all *= 1.0 - weight::STREET;
+    }
+    if let Some(db) = input.db {
+        if db.distance(&location).value() <= DB_AGREE_KM {
+            sources |= fused_sources::DB_PRIOR;
+            miss_all *= 1.0 - weight::DB_AGREE;
+        }
+    }
+    Fused {
+        location,
+        confidence: 1.0 - miss_all,
+        sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::soi::SpeedOfInternet;
+    use ipgeo::{cbg, VpMeasurement};
+    use world_sim::ids::{CityId, HostId};
+
+    fn cbg_at(target: GeoPoint) -> CbgResult {
+        let vps = [
+            GeoPoint::new(target.lat() + 2.0, target.lon()),
+            GeoPoint::new(target.lat() - 2.0, target.lon() + 2.0),
+            GeoPoint::new(target.lat(), target.lon() - 2.0),
+        ];
+        let ms: Vec<VpMeasurement> = vps
+            .iter()
+            .enumerate()
+            .map(|(i, loc)| VpMeasurement {
+                vp: HostId(i as u32),
+                location: *loc,
+                rtt: SpeedOfInternet::CBG.min_rtt(loc.distance(&target)) * 1.3,
+            })
+            .collect();
+        cbg(&ms, SpeedOfInternet::CBG).unwrap()
+    }
+
+    fn hint_at(center: GeoPoint) -> VerifiedHint {
+        VerifiedHint {
+            city: CityId(7),
+            center,
+            hostname: "core1.par.as9.example.net".into(),
+            ambiguous: false,
+        }
+    }
+
+    #[test]
+    fn cbg_only_passes_the_estimate_through_exactly() {
+        let target = GeoPoint::new(48.85, 2.35);
+        let result = cbg_at(target);
+        let fused = fuse(&FusionInput {
+            cbg: &result,
+            hint: None,
+            street: None,
+            db: None,
+        });
+        assert_eq!(
+            fused.location.lat().to_bits(),
+            result.estimate.lat().to_bits()
+        );
+        assert_eq!(
+            fused.location.lon().to_bits(),
+            result.estimate.lon().to_bits()
+        );
+        assert_eq!(fused.sources, fused_sources::CBG);
+        assert!((fused.confidence - weight::CBG).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verified_hint_moves_the_location_and_raises_confidence() {
+        let target = GeoPoint::new(48.85, 2.35);
+        let result = cbg_at(target);
+        let hint = hint_at(GeoPoint::new(48.86, 2.34));
+        let fused = fuse(&FusionInput {
+            cbg: &result,
+            hint: Some(&hint),
+            street: None,
+            db: None,
+        });
+        assert_eq!(fused.location, hint.center);
+        assert_eq!(fused.sources, fused_sources::CBG | fused_sources::HINT);
+        let expect = 1.0 - (1.0 - weight::CBG) * (1.0 - weight::HINT);
+        assert!((fused.confidence - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hint_outranks_street_for_location_but_both_score() {
+        let result = cbg_at(GeoPoint::new(40.0, -74.0));
+        let hint = hint_at(GeoPoint::new(40.1, -74.1));
+        let fused = fuse(&FusionInput {
+            cbg: &result,
+            hint: Some(&hint),
+            street: Some(GeoPoint::new(41.0, -73.0)),
+            db: None,
+        });
+        assert_eq!(fused.location, hint.center);
+        assert_eq!(
+            fused.sources,
+            fused_sources::CBG | fused_sources::HINT | fused_sources::STREET
+        );
+    }
+
+    #[test]
+    fn db_prior_corroborates_but_never_moves_the_location() {
+        let target = GeoPoint::new(48.85, 2.35);
+        let result = cbg_at(target);
+        let near_db = GeoPoint::new(result.estimate.lat() + 0.05, result.estimate.lon());
+        let fused = fuse(&FusionInput {
+            cbg: &result,
+            hint: None,
+            street: None,
+            db: Some(near_db),
+        });
+        assert_eq!(
+            fused.location.lat().to_bits(),
+            result.estimate.lat().to_bits()
+        );
+        assert_eq!(fused.sources, fused_sources::CBG | fused_sources::DB_PRIOR);
+        let expect = 1.0 - (1.0 - weight::CBG) * (1.0 - weight::DB_AGREE);
+        assert!((fused.confidence - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreeing_db_prior_is_ignored() {
+        let result = cbg_at(GeoPoint::new(48.85, 2.35));
+        let fused = fuse(&FusionInput {
+            cbg: &result,
+            hint: None,
+            street: None,
+            db: Some(GeoPoint::new(-30.0, 140.0)),
+        });
+        assert_eq!(fused.sources, fused_sources::CBG);
+        assert!((fused.confidence - weight::CBG).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Latency verification of extracted hints.
+//!
+//! A hint is a *claim*, not a measurement; HLOC's rule is that a claim
+//! survives only when the latency evidence could be true of it. Two gates
+//! implement that here:
+//!
+//! 1. **Region containment** ([`verify_against_region`]): the candidate
+//!    city's center must lie inside the CBG constraint region built from
+//!    the baseline campaign. Among the surviving candidates the one
+//!    closest to the CBG centroid wins (lowest `CityId` on a tie), which
+//!    also disambiguates colliding airport codes.
+//! 2. **Probe consistency** ([`probe_consistent`]): dedicated
+//!    verification pings, if any were affordable, must each leave the
+//!    hinted center inside their speed-of-Internet disc. One violated
+//!    disc kills the hint — latency can refute, never confirm.
+
+use geo_model::point::GeoPoint;
+use geo_model::soi::SpeedOfInternet;
+use ipgeo::{CbgResult, VpMeasurement};
+use world_sim::ids::CityId;
+use world_sim::World;
+
+use crate::extract::HintCandidate;
+
+/// A hint that survived region containment (and, if probes ran,
+/// probe consistency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedHint {
+    /// The accepted city.
+    pub city: CityId,
+    /// Its center — the fused location when the hint wins.
+    pub center: GeoPoint,
+    /// The hostname the hint was mined from.
+    pub hostname: String,
+    /// True when the winning candidate came from a colliding airport
+    /// code and was disambiguated by the region rather than the name.
+    pub ambiguous: bool,
+}
+
+/// How far (km) from the CBG estimate a hinted city center may lie and
+/// still count as *refining* the latency evidence. A constraint region
+/// can span many cities; a hint is only trustworthy where it agrees
+/// with latency at metro scale — beyond this radius the two sources
+/// disagree outright and latency (the measurement) outranks the hint
+/// (the claim). The same corroboration idea as
+/// [`crate::fuse::DB_AGREE_KM`], wider because a verified hint is
+/// allowed to move the estimate, not just score it.
+pub const HINT_AGREE_KM: f64 = 50.0;
+
+/// Applies gate 1: keeps the candidates whose city center lies in the
+/// CBG constraint region *and* within [`HINT_AGREE_KM`] of the CBG
+/// estimate, and returns the one closest to the estimate, ties broken
+/// by lowest `CityId`. `None` when every candidate is refuted — the
+/// caller must then fall back to pure latency.
+pub fn verify_against_region(
+    world: &World,
+    cbg: &CbgResult,
+    hostname: &str,
+    candidates: &[HintCandidate],
+) -> Option<VerifiedHint> {
+    candidates
+        .iter()
+        .filter_map(|cand| {
+            let center = world.city(cand.city).center;
+            let away = center.distance(&cbg.estimate).value();
+            if away <= HINT_AGREE_KM && cbg.region.contains(&center) {
+                Some((cand, center, away))
+            } else {
+                None
+            }
+        })
+        .min_by(|(a, _, da), (b, _, db)| da.total_cmp(db).then(a.city.0.cmp(&b.city.0)))
+        .map(|(cand, center, _)| VerifiedHint {
+            city: cand.city,
+            center,
+            hostname: hostname.to_string(),
+            ambiguous: cand.ambiguous,
+        })
+}
+
+/// Applies gate 2: true when every delivered verification measurement's
+/// speed-of-Internet disc still covers the hinted center. Vacuously true
+/// for an empty batch (no probes affordable ≠ refuted).
+pub fn probe_consistent(center: &GeoPoint, measurements: &[VpMeasurement]) -> bool {
+    measurements.iter().all(|m| {
+        SpeedOfInternet::CBG.max_distance(m.rtt).value() >= m.location.distance(center).value()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_model::rng::Seed;
+    use geo_model::soi::SpeedOfInternet;
+    use geo_model::units::Ms;
+    use ipgeo::cbg;
+    use world_sim::ids::HostId;
+    use world_sim::rdns::NamingScheme;
+    use world_sim::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(Seed(83))).unwrap()
+    }
+
+    /// Tight consistent measurements around `target` from three synthetic
+    /// vantage points, yielding a small constraint region.
+    fn cbg_around(target: GeoPoint) -> CbgResult {
+        let vps = [
+            GeoPoint::new(target.lat() + 2.0, target.lon()),
+            GeoPoint::new(target.lat() - 2.0, target.lon() + 2.0),
+            GeoPoint::new(target.lat(), target.lon() - 2.0),
+        ];
+        let ms: Vec<VpMeasurement> = vps
+            .iter()
+            .enumerate()
+            .map(|(i, loc)| VpMeasurement {
+                vp: HostId(i as u32),
+                location: *loc,
+                rtt: SpeedOfInternet::CBG.min_rtt(loc.distance(&target)) * 1.3,
+            })
+            .collect();
+        cbg(&ms, SpeedOfInternet::CBG).expect("consistent measurements intersect")
+    }
+
+    fn cand(city: CityId, ambiguous: bool) -> HintCandidate {
+        HintCandidate {
+            city,
+            scheme: NamingScheme::Airport,
+            ambiguous,
+        }
+    }
+
+    #[test]
+    fn in_region_candidate_survives_and_carries_the_hostname() {
+        let w = world();
+        let city = &w.cities[0];
+        let result = cbg_around(city.center);
+        let v =
+            verify_against_region(&w, &result, "x.example.net", &[cand(city.id, false)]).unwrap();
+        assert_eq!(v.city, city.id);
+        assert_eq!(v.hostname, "x.example.net");
+        assert!(!v.ambiguous);
+    }
+
+    #[test]
+    fn out_of_region_candidates_are_refuted() {
+        let w = world();
+        let near = &w.cities[0];
+        let result = cbg_around(near.center);
+        // The farthest city from the region center cannot be inside a
+        // region a few degrees across.
+        let far = w
+            .cities
+            .iter()
+            .max_by(|a, b| {
+                a.center
+                    .distance(&near.center)
+                    .value()
+                    .total_cmp(&b.center.distance(&near.center).value())
+            })
+            .unwrap();
+        assert!(verify_against_region(&w, &result, "x", &[cand(far.id, false)]).is_none());
+    }
+
+    #[test]
+    fn ambiguous_codes_resolve_to_the_in_region_city() {
+        let w = world();
+        let near = &w.cities[0];
+        let far = w
+            .cities
+            .iter()
+            .max_by(|a, b| {
+                a.center
+                    .distance(&near.center)
+                    .value()
+                    .total_cmp(&b.center.distance(&near.center).value())
+            })
+            .unwrap();
+        let result = cbg_around(near.center);
+        let v = verify_against_region(&w, &result, "x", &[cand(far.id, true), cand(near.id, true)])
+            .unwrap();
+        assert_eq!(v.city, near.id);
+        assert!(v.ambiguous);
+    }
+
+    #[test]
+    fn probe_consistency_refutes_too_distant_centers() {
+        let vp = GeoPoint::new(48.0, 2.0);
+        let near = GeoPoint::new(48.5, 2.5);
+        let m = [VpMeasurement {
+            vp: HostId(1),
+            location: vp,
+            rtt: SpeedOfInternet::CBG.min_rtt(vp.distance(&near)),
+        }];
+        assert!(probe_consistent(&near, &m));
+        let far = GeoPoint::new(20.0, 60.0);
+        assert!(!probe_consistent(&far, &m));
+        // No probes delivered: vacuously consistent.
+        assert!(probe_consistent(&far, &[]));
+    }
+
+    #[test]
+    fn short_rtt_shrinks_the_disc_below_the_hint() {
+        let vp = GeoPoint::new(10.0, 10.0);
+        let hint = GeoPoint::new(14.0, 10.0);
+        let m = [VpMeasurement {
+            vp: HostId(0),
+            location: vp,
+            rtt: Ms(0.5),
+        }];
+        assert!(!probe_consistent(&hint, &m));
+    }
+}

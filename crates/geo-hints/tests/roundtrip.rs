@@ -1,0 +1,59 @@
+//! The generation→extraction round-trip contract: every *truthful* rDNS
+//! name the world synthesizes must re-extract to the city it encodes —
+//! for arbitrary world seeds, coverage/truthfulness knobs, and hosts.
+//! (Misleading names round-trip to their *encoded* city too, which is
+//! exactly why the latency gate exists; the property pins the extractor,
+//! not the lie.)
+
+use geo_hints::CodeTable;
+use geo_model::rng::Seed;
+use proptest::prelude::*;
+use world_sim::rdns::{hostname, RdnsConfig};
+use world_sim::{World, WorldConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Truthful names re-extract to the host's actual city.
+    #[test]
+    fn truthful_names_reextract_to_their_source_city(
+        seed in 0u64..64,
+        coverage in 0.2f64..1.0,
+    ) {
+        let w = World::generate(WorldConfig::small(Seed(seed))).unwrap();
+        let table = CodeTable::build(&w);
+        let cfg = RdnsConfig::new(coverage, 1.0);
+        for &h in w.probes.iter().chain(&w.anchors) {
+            if let Some(n) = hostname(&w, &cfg, h) {
+                prop_assert!(n.truthful);
+                let cands = table.extract(&n.name);
+                prop_assert!(
+                    cands.iter().any(|c| c.city == w.host(h).city),
+                    "{} does not re-extract city of {h:?}",
+                    n.name
+                );
+            }
+        }
+    }
+
+    /// Any generated name — truthful or stale — re-extracts to the city
+    /// its code actually encodes.
+    #[test]
+    fn every_name_reextracts_its_encoded_city(
+        seed in 0u64..64,
+        truthfulness in 0.0f64..1.0,
+    ) {
+        let w = World::generate(WorldConfig::small(Seed(seed))).unwrap();
+        let table = CodeTable::build(&w);
+        let cfg = RdnsConfig::new(1.0, truthfulness);
+        for &h in &w.probes {
+            let n = hostname(&w, &cfg, h).unwrap();
+            let cands = table.extract(&n.name);
+            prop_assert!(
+                cands.iter().any(|c| c.city == n.city),
+                "{} does not re-extract its encoded city",
+                n.name
+            );
+        }
+    }
+}

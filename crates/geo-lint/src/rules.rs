@@ -100,9 +100,16 @@ impl Config {
     /// The scoping used for this workspace.
     pub fn workspace() -> Config {
         Config {
-            deterministic_crates: ["world-sim", "net-sim", "geo-model", "core", "eval"]
-                .map(String::from)
-                .to_vec(),
+            deterministic_crates: [
+                "world-sim",
+                "net-sim",
+                "geo-model",
+                "core",
+                "eval",
+                "geo-hints",
+            ]
+            .map(String::from)
+            .to_vec(),
             server_crates: vec!["geo-serve".into()],
             retry_crates: ["core", "atlas-sim"].map(String::from).to_vec(),
             hot_path_crates: ["net-sim", "geo-model"].map(String::from).to_vec(),

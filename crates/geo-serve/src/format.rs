@@ -8,7 +8,7 @@
 //! ```text
 //! header (40 bytes)
 //!   magic        "IGDS"          4 bytes
-//!   version      u16 LE          format revision (currently 1)
+//!   version      u16 LE          format revision (currently 2)
 //!   reserved     u16 LE          0
 //!   world_seed   u64 LE          seed of the world that produced it
 //!   nonce        u64 LE          measurement nonce of the campaign
@@ -19,7 +19,7 @@
 //!   prefixes     n × u32 LE      sorted strictly ascending (/24 upper bits)
 //!   lat          n × u64 LE      f64 bit patterns
 //!   lon          n × u64 LE      f64 bit patterns
-//!   method       n × u8          evidence tag (0..=3)
+//!   method       n × u8          evidence tag (0..=4)
 //!   ev_offset    n × u32 LE      byte offset into the evidence table
 //!   evidence     evidence_len bytes (per-tag records, see below)
 //! ```
@@ -27,7 +27,11 @@
 //! Evidence records, addressed by `ev_offset` and interpreted per tag:
 //! geofeed (0) and WHOIS (3) carry no bytes; a DNS hint (1) is
 //! `u16 LE hostname-length` followed by UTF-8 bytes; latency (2) is
-//! `u32 LE vps`, `u64 LE best-RTT f64 bits`, `u32 LE best-VP host id`.
+//! `u32 LE vps`, `u64 LE best-RTT f64 bits`, `u32 LE best-VP host id`;
+//! fused (4) is `u64 LE confidence f64 bits`, `u8 source mask`,
+//! `u32 LE vps`, `u64 LE best-RTT f64 bits`, `u32 LE best-VP host id`,
+//! then `u16 LE hostname-length` (0 when no hint survived) and UTF-8
+//! bytes. Version 2 added the fused tag; version-1 files are rejected.
 //!
 //! **Determinism.** [`encode`] sorts entries by prefix (stable, keeping the
 //! first record of a duplicated prefix) and writes columns in a fixed
@@ -47,8 +51,8 @@ use world_sim::ids::HostId;
 /// The four magic bytes opening every `.igds` file.
 pub const MAGIC: [u8; 4] = *b"IGDS";
 
-/// Current format revision.
-pub const VERSION: u16 = 1;
+/// Current format revision (2: fused evidence tag).
+pub const VERSION: u16 = 2;
 
 /// Fixed byte length of the header.
 pub const HEADER_LEN: usize = 40;
@@ -147,6 +151,7 @@ pub(crate) fn method_tag(e: &Evidence) -> u8 {
         Evidence::DnsHint { .. } => 1,
         Evidence::Latency { .. } => 2,
         Evidence::Whois => 3,
+        Evidence::Fused { .. } => 4,
     }
 }
 
@@ -186,6 +191,23 @@ pub fn encode(entries: &[DatasetEntry], world_seed: u64, nonce: u64) -> Vec<u8> 
                 evidence.extend_from_slice(&(*vps as u32).to_le_bytes());
                 evidence.extend_from_slice(&best_rtt.value().to_bits().to_le_bytes());
                 evidence.extend_from_slice(&best_vp.0.to_le_bytes());
+            }
+            Evidence::Fused {
+                confidence,
+                sources,
+                vps,
+                best_rtt,
+                best_vp,
+                hostname,
+            } => {
+                evidence.extend_from_slice(&confidence.to_bits().to_le_bytes());
+                evidence.push(*sources);
+                evidence.extend_from_slice(&(*vps as u32).to_le_bytes());
+                evidence.extend_from_slice(&best_rtt.value().to_bits().to_le_bytes());
+                evidence.extend_from_slice(&best_vp.0.to_le_bytes());
+                let name = hostname.as_deref().unwrap_or("");
+                evidence.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                evidence.extend_from_slice(name.as_bytes());
             }
         }
     }
@@ -335,6 +357,39 @@ pub fn decode(bytes: &[u8]) -> Result<(Header, Vec<DatasetEntry>), FormatError> 
                     best_vp: HostId(read_u32(ev, off + 12)),
                 }
             }
+            4 => {
+                // Fixed part: confidence (8) + sources (1) + vps (4) +
+                // best RTT (8) + best VP (4) + hostname length (2).
+                if off + 27 > ev.len() {
+                    return Err(FormatError::BadEvidence(format!(
+                        "fused record at {off} past table end {}",
+                        ev.len()
+                    )));
+                }
+                let len = read_u16(ev, off + 25) as usize;
+                let name_bytes = ev.get(off + 27..off + 27 + len).ok_or_else(|| {
+                    FormatError::BadEvidence(format!("fused hostname of {len} bytes at {off}"))
+                })?;
+                let hostname = if len == 0 {
+                    None
+                } else {
+                    Some(
+                        std::str::from_utf8(name_bytes)
+                            .map_err(|e| {
+                                FormatError::BadEvidence(format!("fused hostname utf-8: {e}"))
+                            })?
+                            .to_string(),
+                    )
+                };
+                Evidence::Fused {
+                    confidence: f64::from_bits(read_u64(ev, off)),
+                    sources: ev[off + 8],
+                    vps: read_u32(ev, off + 9) as usize,
+                    best_rtt: Ms(f64::from_bits(read_u64(ev, off + 13))),
+                    best_vp: HostId(read_u32(ev, off + 21)),
+                    hostname,
+                }
+            }
             other => return Err(FormatError::BadMethodTag(other)),
         };
         entries.push(DatasetEntry {
@@ -397,6 +452,30 @@ mod tests {
                 location: GeoPoint::new(0.0, 0.0),
                 evidence: Evidence::Whois,
             },
+            DatasetEntry {
+                prefix: Prefix24(0x000500),
+                location: GeoPoint::new(48.85, 2.35),
+                evidence: Evidence::Fused {
+                    confidence: 0.97,
+                    sources: 1 | 2 | 4,
+                    vps: 11,
+                    best_rtt: Ms(3.5),
+                    best_vp: HostId(9),
+                    hostname: Some("core2.par.as7.example.net".into()),
+                },
+            },
+            DatasetEntry {
+                prefix: Prefix24(0x000600),
+                location: GeoPoint::new(-12.0, 30.0),
+                evidence: Evidence::Fused {
+                    confidence: 0.70,
+                    sources: 1,
+                    vps: 6,
+                    best_rtt: Ms(21.0),
+                    best_vp: HostId(3),
+                    hostname: None,
+                },
+            },
         ]
     }
 
@@ -407,7 +486,7 @@ mod tests {
         assert_eq!(header.version, VERSION);
         assert_eq!(header.world_seed, 99);
         assert_eq!(header.nonce, 7);
-        assert_eq!(header.entries, 4);
+        assert_eq!(header.entries, 6);
         let mut expected = sample();
         expected.sort_by_key(|e| e.prefix);
         assert_eq!(entries, expected);
@@ -429,7 +508,7 @@ mod tests {
             evidence: Evidence::Whois,
         });
         let (_, entries) = decode(&encode(&dup, 1, 1)).unwrap();
-        assert_eq!(entries.len(), 4);
+        assert_eq!(entries.len(), 6);
         assert_eq!(
             entries[0].evidence,
             Evidence::Latency {
@@ -523,7 +602,7 @@ mod tests {
         let header = save(&path, &sample(), 77, 3).unwrap();
         let (loaded_header, entries) = load(&path).unwrap();
         assert_eq!(header, loaded_header);
-        assert_eq!(entries.len(), 4);
+        assert_eq!(entries.len(), 6);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -11,7 +11,7 @@
 //!   magic      u8        0xB7 (never a printable ASCII command byte,
 //!                         so one connection can speak either protocol:
 //!                         the first byte picks the mode)
-//!   version    u8        protocol revision (currently 1)
+//!   version    u8        protocol revision (currently 2)
 //!   opcode     u8        1 = LOCATE, 2 = NEAREST, 3 = STATS
 //!   reserved   u8        0
 //!   body_len   u32 LE    payload bytes (≤ MAX_BODY)
@@ -21,23 +21,29 @@
 //!
 //! response frame
 //!   magic      u8        0xB8
-//!   version    u8        1
+//!   version    u8        2
 //!   opcode     u8        echo of the request opcode
 //!   status     u8        0 = ok, 1 = error (body is a UTF-8 message)
 //!   body_len   u32 LE
-//!   body                 LOCATE/NEAREST: body_len/26 × record
+//!   body                 LOCATE/NEAREST: body_len/34 × record
 //!                        STATS: 4 × u64 LE (entries, hits, misses,
 //!                        connections)
 //!   checksum   u64 LE    FNV-1a over every byte above
 //!
-//! location record (26 bytes)
+//! location record (34 bytes)
 //!   hit        u8        1 = served from the dataset, 0 = miss
 //!   prefix     u32 LE    the answering /24 (the queried /24 on a miss)
 //!   lat        u64 LE    f64 bit pattern (0 on a miss)
 //!   lon        u64 LE    f64 bit pattern (0 on a miss)
-//!   method     u8        `.igds` evidence tag (0..=3; 0 on a miss)
+//!   method     u8        `.igds` evidence tag (0..=4; 0 on a miss)
 //!   distance   u32 LE    /24 steps to the answer (NEAREST; 0 exact)
+//!   confidence u64 LE    f64 bit pattern of the entry's confidence
+//!                        (fused entries carry their fusion score,
+//!                        legacy entries their class prior; 0 on a miss)
 //! ```
+//!
+//! Protocol revision 2 widened the record with the confidence column;
+//! version-1 frames are rejected with `BadVersion`.
 //!
 //! Responses to a batch preserve query order, one record per queried
 //! address; frames on one connection are answered in arrival order. Both
@@ -62,8 +68,8 @@ use std::net::TcpStream;
 pub const REQ_MAGIC: u8 = 0xB7;
 /// First byte of every response frame.
 pub const RESP_MAGIC: u8 = 0xB8;
-/// Current protocol revision.
-pub const PROTO_VERSION: u8 = 1;
+/// Current protocol revision (2: confidence column in location records).
+pub const PROTO_VERSION: u8 = 2;
 /// Fixed byte length of a frame header (either direction).
 pub const HEADER_LEN: usize = 8;
 /// Byte length of the trailing checksum.
@@ -73,7 +79,7 @@ pub const CHECKSUM_LEN: usize = 8;
 /// any allocation happens.
 pub const MAX_BODY: usize = 256 * 1024;
 /// Byte length of one location record in a response body.
-pub const RECORD_LEN: usize = 26;
+pub const RECORD_LEN: usize = 34;
 
 /// Frame opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,6 +208,8 @@ pub struct LocateRecord {
     pub method: u8,
     /// Distance to the answer in /24 steps (0 for exact hits).
     pub distance: u32,
+    /// Confidence bit pattern of the answering entry (0 on a miss).
+    pub confidence_bits: u64,
 }
 
 impl LocateRecord {
@@ -214,6 +222,7 @@ impl LocateRecord {
             lon_bits: 0,
             method: 0,
             distance: 0,
+            confidence_bits: 0,
         }
     }
 
@@ -225,6 +234,11 @@ impl LocateRecord {
     /// Longitude in degrees.
     pub fn lon(&self) -> f64 {
         f64::from_bits(self.lon_bits)
+    }
+
+    /// Confidence in `[0, 1]` (0 on a miss).
+    pub fn confidence(&self) -> f64 {
+        f64::from_bits(self.confidence_bits)
     }
 }
 
@@ -432,6 +446,7 @@ pub fn try_decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtoError> 
                     lon_bits: read_u64(body, at + 13),
                     method: body[at + 21],
                     distance: read_u32(body, at + 22),
+                    confidence_bits: read_u64(body, at + 26),
                 });
             }
             Response::Records { opcode, records }
@@ -493,6 +508,7 @@ impl ResponseWriter {
         out.extend_from_slice(&rec.lon_bits.to_le_bytes());
         out.push(rec.method);
         out.extend_from_slice(&rec.distance.to_le_bytes());
+        out.extend_from_slice(&rec.confidence_bits.to_le_bytes());
     }
 
     /// Appends a STATS body to the open frame.
@@ -677,6 +693,7 @@ mod tests {
                 lon_bits: 2.35f64.to_bits(),
                 method: 1,
                 distance: 0,
+                confidence_bits: 0.90f64.to_bits(),
             },
             LocateRecord::miss(Ipv4(0x0909_0909)),
         ];

@@ -13,7 +13,7 @@
 //! is the line protocol):
 //!
 //! ```text
-//! LOCATE <ip>    -> OK <prefix,lat,lon,method,evidence>   exact /24 hit
+//! LOCATE <ip>    -> OK <prefix,lat,lon,method,confidence,evidence>   exact /24 hit
 //!                   MISS <ip>                             no covering entry
 //! NEAREST <ip>   -> OK <row> distance=<n>                 nearest prefix, /24 steps
 //! STATS          -> OK entries=.. hits=.. misses=.. connections=.. uptime_s=.. qps=..
@@ -261,6 +261,7 @@ impl Serving {
             lon_bits: entry.location.lon().to_bits(),
             method: method_tag(&entry.evidence),
             distance,
+            confidence_bits: entry.evidence.confidence().to_bits(),
         }
     }
 
@@ -547,6 +548,7 @@ fn worker_loop(listener: &TcpListener, serving: &Serving, mut poller: Poller) {
 pub struct QueryServer {
     addr: SocketAddr,
     stats: Arc<ServeStats>,
+    cache: Arc<HotCache>,
     waker: Waker,
     workers: Vec<JoinHandle<()>>,
 }
@@ -591,6 +593,7 @@ impl QueryServer {
         Ok(QueryServer {
             addr,
             stats: Arc::clone(&serving.stats),
+            cache: Arc::clone(&serving.cache),
             waker,
             workers,
         })
@@ -604,6 +607,11 @@ impl QueryServer {
     /// The live counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Hot-prefix cache traffic (hits/misses/evictions) since spawn.
+    pub fn cache_stats(&self) -> crate::cache::CacheCounters {
+        self.cache.counters()
     }
 
     /// Graceful shutdown: fires the wake token and joins every worker.
@@ -674,7 +682,7 @@ mod tests {
         assert!(!close);
         assert_eq!(
             hit,
-            "OK 10.10.10.0/24,48.8500,2.3500,dns-hint,hostname=par1.example.net"
+            "OK 10.10.10.0/24,48.8500,2.3500,dns-hint,0.90,hostname=par1.example.net"
         );
         let (miss, _) = respond(&s, &stats, "LOCATE 9.9.9.9");
         assert_eq!(miss, "MISS 9.9.9.9");
@@ -710,7 +718,7 @@ mod tests {
         let mut miss = Vec::new();
         serving.respond_line_into("LOCATE 9.9.9.9", &mut miss);
         assert_eq!(miss, b"MISS 9.9.9.9\n");
-        assert_eq!(serving.cache.counters().0, 1);
+        assert_eq!(serving.cache.counters().hits, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod hitlist;
 pub mod host;
 pub mod ids;
 pub mod metadata;
+pub mod rdns;
 pub mod world;
 
 pub use config::WorldConfig;

@@ -1,0 +1,277 @@
+//! On-demand reverse-DNS hostname synthesis for the hints tier.
+//!
+//! HLOC-style geolocation mines rDNS names for airport and city codes and
+//! verifies them with latency. This module gives the synthetic world the
+//! raw material: ISP-templated hostnames that embed either an IATA-like
+//! airport code or a compact city code, with a seeded `truthfulness` knob
+//! that makes a configurable fraction of names stale (they encode the
+//! AS's WHOIS headquarters city, or an arbitrary wrong city, instead of
+//! the host's deployment — the classic decommissioned-router failure).
+//!
+//! Unlike [`crate::metadata::Metadata`], which is generated once inside
+//! [`crate::world::World::generate`] and therefore pinned into the world's
+//! RNG stage order, everything here is computed *on demand* as a pure
+//! function of `(world seed, knob values, host id)` — hashed, never
+//! streamed — so sweeping coverage or truthfulness never perturbs the
+//! world, and the output is bit-identical at any `IPGEO_THREADS` setting.
+
+use crate::ids::{CityId, HostId};
+use crate::world::World;
+use geo_model::rng::{fnv1a, splitmix64};
+
+/// Router-role tokens used by the ISP templates. These (plus the template
+/// scaffolding `as<digits>` / `example` / `net`) are the reserved words a
+/// hint extractor must never read as a location code.
+pub const ROLE_TOKENS: [&str; 6] = ["ge", "xe", "ae", "core", "edge", "cpe"];
+
+/// Every non-location token the templates can emit.
+pub fn reserved_tokens() -> impl Iterator<Item = &'static str> {
+    ROLE_TOKENS.into_iter().chain(["as", "example", "net"])
+}
+
+/// Knobs of the rDNS synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdnsConfig {
+    /// Fraction of hosts that publish a location-bearing rDNS name.
+    pub coverage: f64,
+    /// Fraction of published names that encode the host's *actual* city;
+    /// the rest are stale/misleading.
+    pub truthfulness: f64,
+}
+
+impl RdnsConfig {
+    /// A config with both knobs clamped into `[0, 1]`.
+    pub fn new(coverage: f64, truthfulness: f64) -> RdnsConfig {
+        RdnsConfig {
+            coverage: coverage.clamp(0.0, 1.0),
+            truthfulness: truthfulness.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Which naming scheme a hostname uses for its location token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingScheme {
+    /// Three-letter IATA-like code hashed from the city name (codes can
+    /// collide across cities — the ambiguity a real extractor faces).
+    Airport,
+    /// The full city name compacted (`EU-0042` → `eu0042`); unique.
+    CityCode,
+}
+
+/// One synthesized reverse-DNS name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdnsName {
+    /// The hostname.
+    pub name: String,
+    /// The city the embedded code stands for (ground truth of the
+    /// *encoding*, not necessarily of the host).
+    pub city: CityId,
+    /// True if `city` is the host's actual city.
+    pub truthful: bool,
+    /// The scheme the location token uses.
+    pub scheme: NamingScheme,
+}
+
+/// The airport-style code of a city name: three lowercase letters hashed
+/// from the name, re-rolled past any reserved token. Distinct cities can
+/// share a code.
+pub fn airport_code(city_name: &str) -> String {
+    let mut h = splitmix64(fnv1a(city_name.as_bytes()) ^ fnv1a(b"rdns-airport"));
+    loop {
+        let code: String = (0..3)
+            .map(|i| char::from(b'a' + ((h >> (i * 5)) % 26) as u8))
+            .collect();
+        if !reserved_tokens().any(|r| r == code) {
+            return code;
+        }
+        h = splitmix64(h);
+    }
+}
+
+/// The compact city code: the city name lowercased with separators
+/// dropped (`EU-0042` → `eu0042`). Injective over the generated names.
+pub fn city_code(city_name: &str) -> String {
+    city_name
+        .chars()
+        .filter(|c| *c != '-')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// The rDNS name of `host` under `cfg`, or `None` if the host is outside
+/// the configured coverage. Pure function of `(world seed, cfg, host)`.
+pub fn hostname(world: &World, cfg: &RdnsConfig, host: HostId) -> Option<RdnsName> {
+    let seed = world.config.seed.derive("rdns").0;
+    if unit(seed, b"cover", host.0) >= cfg.coverage {
+        return None;
+    }
+    let h = world.host(host);
+    let truthful_draw = unit(seed, b"truth", host.0) < cfg.truthfulness;
+    let (city, truthful) = if truthful_draw {
+        (h.city, true)
+    } else {
+        match misleading_city(world, seed, host, h.city) {
+            Some(c) => (c, false),
+            // A one-city world cannot mislead; fall back to the truth.
+            None => (h.city, true),
+        }
+    };
+    let scheme_bits = splitmix64(seed ^ splitmix64(u64::from(host.0) ^ fnv1a(b"scheme")));
+    let scheme = if scheme_bits & 1 == 0 {
+        NamingScheme::Airport
+    } else {
+        NamingScheme::CityCode
+    };
+    let city_name = &world.city(city).name;
+    let code = match scheme {
+        NamingScheme::Airport => airport_code(city_name),
+        NamingScheme::CityCode => city_code(city_name),
+    };
+    let role = ROLE_TOKENS[((scheme_bits >> 8) % ROLE_TOKENS.len() as u64) as usize];
+    let unit_no = (scheme_bits >> 16) % 24;
+    let asn = h.asn.0;
+    let name = match (scheme_bits >> 32) % 3 {
+        0 => format!("{role}-{code}-{unit_no}.as{asn}.example.net"),
+        1 => format!("{code}.{role}{unit_no}.as{asn}.example.net"),
+        _ => format!("{role}{unit_no}.{code}.as{asn}.example.net"),
+    };
+    Some(RdnsName {
+        name,
+        city,
+        truthful,
+        scheme,
+    })
+}
+
+/// A deterministic wrong city for a stale name: the AS's WHOIS city when
+/// that differs from the truth, otherwise a hash-picked other city.
+/// `None` only when the world has a single city.
+fn misleading_city(world: &World, seed: u64, host: HostId, actual: CityId) -> Option<CityId> {
+    let whois = world.asn(world.host(host).asn).whois_city;
+    if whois != actual {
+        return Some(whois);
+    }
+    let n = world.cities.len() as u32;
+    if n <= 1 {
+        return None;
+    }
+    let step = 1
+        + (splitmix64(seed ^ splitmix64(u64::from(host.0) ^ fnv1a(b"stale"))) % u64::from(n - 1))
+            as u32;
+    Some(CityId((actual.0 + step) % n))
+}
+
+/// A unit-interval draw keyed by `(seed, label, index)` — the same hashed
+/// (never streamed) construction as `ipgeo::dbsim`, so every draw is
+/// independent of evaluation order.
+fn unit(seed: u64, label: &[u8], index: u32) -> f64 {
+    let k = splitmix64(u64::from(index) ^ fnv1a(label));
+    (splitmix64(seed ^ k) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use geo_model::rng::Seed;
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(Seed(83))).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let cfg = RdnsConfig::new(0.7, 0.8);
+        for &h in w.anchors.iter().chain(&w.probes) {
+            assert_eq!(hostname(&w, &cfg, h), hostname(&w, &cfg, h));
+        }
+    }
+
+    #[test]
+    fn coverage_bounds_are_sharp() {
+        let w = world();
+        let none = RdnsConfig::new(0.0, 1.0);
+        let all = RdnsConfig::new(1.0, 1.0);
+        assert!(w.probes.iter().all(|&h| hostname(&w, &none, h).is_none()));
+        assert!(w.probes.iter().all(|&h| hostname(&w, &all, h).is_some()));
+    }
+
+    #[test]
+    fn coverage_fraction_roughly_configured() {
+        let w = world();
+        let cfg = RdnsConfig::new(0.5, 1.0);
+        let named = w
+            .probes
+            .iter()
+            .filter(|&&h| hostname(&w, &cfg, h).is_some())
+            .count();
+        let frac = named as f64 / w.probes.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "coverage {frac}");
+    }
+
+    #[test]
+    fn full_truthfulness_encodes_the_actual_city() {
+        let w = world();
+        let cfg = RdnsConfig::new(1.0, 1.0);
+        for &h in &w.probes {
+            let n = hostname(&w, &cfg, h).unwrap();
+            assert!(n.truthful);
+            assert_eq!(n.city, w.host(h).city);
+        }
+    }
+
+    #[test]
+    fn zero_truthfulness_misleads() {
+        let w = world();
+        let cfg = RdnsConfig::new(1.0, 0.0);
+        let misleading = w
+            .probes
+            .iter()
+            .filter(|&&h| {
+                let n = hostname(&w, &cfg, h).unwrap();
+                !n.truthful && n.city != w.host(h).city
+            })
+            .count();
+        // Every name should be stale (modulo the one-city fallback, which
+        // cannot fire in a 50-city world).
+        assert_eq!(misleading, w.probes.len());
+    }
+
+    #[test]
+    fn names_embed_the_code_of_the_encoded_city() {
+        let w = world();
+        let cfg = RdnsConfig::new(1.0, 0.6);
+        for &h in &w.probes {
+            let n = hostname(&w, &cfg, h).unwrap();
+            let code = match n.scheme {
+                NamingScheme::Airport => airport_code(&w.city(n.city).name),
+                NamingScheme::CityCode => city_code(&w.city(n.city).name),
+            };
+            assert!(n.name.contains(&code), "{} missing {code}", n.name);
+            assert!(n.name.ends_with(".example.net"));
+        }
+    }
+
+    #[test]
+    fn airport_codes_are_three_letters_and_never_reserved() {
+        let w = world();
+        for c in &w.cities {
+            let code = airport_code(&c.name);
+            assert_eq!(code.len(), 3);
+            assert!(code.bytes().all(|b| b.is_ascii_lowercase()));
+            assert!(reserved_tokens().all(|r| r != code));
+        }
+    }
+
+    #[test]
+    fn city_codes_are_unique() {
+        let w = world();
+        let mut codes: Vec<String> = w.cities.iter().map(|c| city_code(&c.name)).collect();
+        codes.sort();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before);
+    }
+}
