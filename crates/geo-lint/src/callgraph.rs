@@ -1,0 +1,718 @@
+//! Cross-crate call graph over the parsed workspace.
+//!
+//! Nodes are `fn` items keyed by `crate_ident::module::[Type::]name`.
+//! Resolution is best-effort and explicitly layered (see DESIGN §13):
+//! same-module free functions, `use`-imported names, fully-qualified
+//! paths (with `crate`/`self`/`super`/`Self` normalization), enclosing
+//! `impl` for `self.method()` calls, and unique-name matching for other
+//! method calls. What cannot be pinned down is *recorded* as an
+//! unresolved call — never treated as resolved-to-nothing-safe.
+
+use crate::parser::{CallKind, ParsedFile, Sink};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub(crate) struct FnNode {
+    /// Display key: `crate_ident::module::[Type::]name`.
+    pub key: String,
+    /// Root-relative file path.
+    pub file: String,
+    /// Crate directory name (`geo-serve`), if under `crates/`.
+    pub crate_dir: Option<String>,
+    /// True when the file is under the crate's `src/`.
+    pub in_src: bool,
+    pub impl_type: Option<String>,
+    pub name: String,
+    pub item_line: usize,
+    pub sig_line: usize,
+    pub markers: Vec<String>,
+    pub sinks: Vec<Sink>,
+}
+
+/// One resolved call edge, with the token order of the call site (for
+/// lock-order sequencing).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Edge {
+    pub target: usize,
+    pub order: usize,
+    pub line: usize,
+}
+
+/// One call the resolver could not pin to a workspace function (and could
+/// not prove external either).
+#[derive(Debug)]
+pub(crate) struct UnresolvedEdge {
+    pub from: usize,
+    /// The call as written (`mystery::frobnicate`, `.lookup()`).
+    pub name: String,
+    pub line: usize,
+    pub why: String,
+}
+
+/// The built graph.
+#[derive(Debug)]
+pub(crate) struct Graph {
+    pub nodes: Vec<FnNode>,
+    /// Per-node outgoing edges, sorted by (target, order), deduped by
+    /// target keeping the earliest call site.
+    pub edges: Vec<Vec<Edge>>,
+    pub unresolved: Vec<UnresolvedEdge>,
+    pub edge_count: usize,
+}
+
+/// Path heads that are known-external: std and friends, vendored crates,
+/// primitives, and prelude types whose associated calls never target
+/// workspace code. Workspace imports are consulted *before* this list, so
+/// a real `use crate::…` alias always wins.
+const EXTERNAL_HEADS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "rand",
+    "proptest",
+    "criterion",
+    // primitives
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "bool",
+    "char",
+    "str",
+    // prelude
+    "String",
+    "Vec",
+    "Box",
+    "Option",
+    "Result",
+    "Some",
+    "Ok",
+    "Err",
+    "Iterator",
+    "IntoIterator",
+    "Default",
+    "Clone",
+    "Copy",
+    "Drop",
+    "Send",
+    "Sync",
+    "ToOwned",
+    "ToString",
+    "From",
+    "Into",
+    "TryFrom",
+    "TryInto",
+    "PartialEq",
+    "PartialOrd",
+    "Eq",
+    "Ord",
+    "Hash",
+];
+
+/// Method names owned by ubiquitous std types (slices, Vec, HashMap,
+/// strings, atomics, locks, io traits, iterators, threads). A method
+/// *call* with one of these names on an unknown receiver is
+/// overwhelmingly more likely to target std than workspace code, so the
+/// name-based fallback skips them — `self.method()` and fully-qualified
+/// resolution still work, and a same-named workspace method called on an
+/// unknown receiver simply never gets a name-guessed edge.
+const STD_METHODS: &[&str] = &[
+    // collections & slices
+    "get", "get_mut", "insert", "remove", "push", "pop", "len", "is_empty", "clear",
+    "contains", "contains_key", "extend", "drain", "retain", "truncate", "resize",
+    "reserve", "entry", "or_insert", "or_default", "keys", "values", "first", "last",
+    "split_at", "chunks", "windows", "binary_search", "binary_search_by",
+    "partition_point", "swap", "fill", "copy_from_slice",
+    // iterators
+    "iter", "iter_mut", "into_iter", "next", "collect", "map", "filter", "fold",
+    "sum", "min", "max", "min_by", "max_by", "count", "any", "all", "position",
+    "zip", "enumerate", "rev", "skip", "step_by", "copied", "cloned", "flatten",
+    "flat_map", "chain", "take", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    // strings & conversions
+    "to_vec", "to_string", "to_owned", "as_str", "as_slice", "as_bytes", "as_ref",
+    "as_mut", "as_deref", "parse", "split", "split_once", "trim", "starts_with",
+    "ends_with", "find", "replace", "chars", "bytes", "lines", "clone",
+    // Option/Result plumbing
+    "unwrap", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok",
+    "err", "and_then", "or_else", "is_some", "is_none", "is_ok", "is_err",
+    // atomics, locks, cells
+    "load", "store", "fetch_add", "fetch_sub", "compare_exchange", "lock",
+    "get_or_init", "set", "wait", "notify_all", "notify_one",
+    // io, net, threads
+    "read", "write", "write_all", "flush", "read_line", "read_exact", "recv",
+    "try_recv", "send", "join", "spawn", "accept", "connect", "shutdown",
+    "set_nonblocking", "set_nodelay", "peer_addr", "local_addr",
+    // math
+    "abs", "floor", "ceil", "sqrt", "powi", "powf", "hypot", "to_radians",
+];
+
+/// Input slice for the builder: one file's identity and parse.
+pub(crate) struct FileInput<'a> {
+    pub rel: &'a str,
+    pub parsed: &'a ParsedFile,
+}
+
+/// Builds the call graph. `crate_idents` maps crate directory names to
+/// their lib identifiers (`core` → `ipgeo`), from `Cargo.toml` when
+/// available, else `dir.replace('-', "_")`.
+pub(crate) fn build(files: &[FileInput<'_>], crate_idents: &BTreeMap<String, String>) -> Graph {
+    let ident_to_dir: HashMap<&str, &str> = crate_idents
+        .iter()
+        .map(|(d, i)| (i.as_str(), d.as_str()))
+        .collect();
+
+    // 1. Nodes, in (file, fn) order — deterministic because file lists are
+    //    sorted upstream.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    // (file index, fn index in parse) → node index, for the edge pass.
+    let mut node_of: HashMap<(usize, usize), usize> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        let (crate_dir, in_src, file_mods) = classify_path(f.rel);
+        let crate_ident = crate_ident_for(f.rel, crate_dir.as_deref(), crate_idents);
+        for (gi, item) in f.parsed.fns.iter().enumerate() {
+            let mut segs: Vec<&str> = vec![&crate_ident];
+            segs.extend(file_mods.iter().map(String::as_str));
+            segs.extend(item.module.iter().map(String::as_str));
+            if let Some(ty) = &item.impl_type {
+                segs.push(ty);
+            }
+            segs.push(&item.name);
+            node_of.insert((fi, gi), nodes.len());
+            nodes.push(FnNode {
+                key: segs.join("::"),
+                file: f.rel.to_string(),
+                crate_dir: crate_dir.clone(),
+                in_src,
+                impl_type: item.impl_type.clone(),
+                name: item.name.clone(),
+                item_line: item.item_line,
+                sig_line: item.sig_line,
+                markers: item.markers.clone(),
+                sinks: item.sinks.clone(),
+            });
+        }
+    }
+
+    // 2. Resolution indexes. Name-based method fallback only consults
+    //    `src/` nodes so integration-test helpers cannot capture calls.
+    let mut by_path: HashMap<String, usize> = HashMap::new();
+    let mut method_by_crate: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut method_anywhere: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut typefn_by_crate: HashMap<(String, String, String), Vec<usize>> = HashMap::new();
+    let mut freefn_by_crate: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for (idx, n) in nodes.iter().enumerate() {
+        by_path.entry(n.key.clone()).or_insert(idx);
+        if !n.in_src {
+            continue;
+        }
+        let Some(dir) = &n.crate_dir else { continue };
+        if let Some(ty) = &n.impl_type {
+            method_by_crate
+                .entry((dir.clone(), n.name.clone()))
+                .or_default()
+                .push(idx);
+            method_anywhere.entry(n.name.clone()).or_default().push(idx);
+            typefn_by_crate
+                .entry((dir.clone(), ty.clone(), n.name.clone()))
+                .or_default()
+                .push(idx);
+        } else {
+            freefn_by_crate
+                .entry((dir.clone(), n.name.clone()))
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    // 3. Edges.
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+    let mut unresolved: Vec<UnresolvedEdge> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let (crate_dir, _, file_mods) = classify_path(f.rel);
+        let crate_ident = crate_ident_for(f.rel, crate_dir.as_deref(), crate_idents);
+        let imports: HashMap<&str, &[String]> = f
+            .parsed
+            .imports
+            .iter()
+            .map(|(l, p)| (l.as_str(), p.as_slice()))
+            .collect();
+        let scope = ResolveScope {
+            crate_ident: &crate_ident,
+            crate_dir: crate_dir.as_deref(),
+            file_mods: &file_mods,
+            imports: &imports,
+            globs: &f.parsed.globs,
+            ident_to_dir: &ident_to_dir,
+            by_path: &by_path,
+            method_by_crate: &method_by_crate,
+            method_anywhere: &method_anywhere,
+            typefn_by_crate: &typefn_by_crate,
+            freefn_by_crate: &freefn_by_crate,
+        };
+        for (gi, item) in f.parsed.fns.iter().enumerate() {
+            let from = node_of[&(fi, gi)];
+            for call in &item.calls {
+                match scope.resolve(&call.kind, item) {
+                    Resolution::Target(to) => edges[from].push(Edge {
+                        target: to,
+                        order: call.order,
+                        line: call.line,
+                    }),
+                    Resolution::External => {}
+                    Resolution::Unresolved(name, why) => unresolved.push(UnresolvedEdge {
+                        from,
+                        name,
+                        line: call.line,
+                        why,
+                    }),
+                }
+            }
+        }
+    }
+
+    // Dedup per (from, target), keeping the earliest call site; sort for
+    // deterministic traversal.
+    let mut edge_count = 0usize;
+    for list in &mut edges {
+        list.sort_by_key(|e| (e.target, e.order));
+        list.dedup_by_key(|e| e.target);
+        edge_count += list.len();
+    }
+    unresolved.sort_by(|a, b| {
+        (&nodes[a.from].file, a.line, &a.name).cmp(&(&nodes[b.from].file, b.line, &b.name))
+    });
+
+    Graph {
+        nodes,
+        edges,
+        unresolved,
+        edge_count,
+    }
+}
+
+/// (crate dir, in_src, module path) for a root-relative file path.
+fn classify_path(rel: &str) -> (Option<String>, bool, Vec<String>) {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return (None, false, Vec::new());
+    };
+    let Some((crate_dir, tail)) = rest.split_once('/') else {
+        return (None, false, Vec::new());
+    };
+    let Some(src_tail) = tail.strip_prefix("src/") else {
+        return (Some(crate_dir.to_string()), false, Vec::new());
+    };
+    let mut mods: Vec<String> = src_tail
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    match mods.last().map(String::as_str) {
+        Some("lib") | Some("main") => {
+            mods.pop();
+        }
+        Some("mod") => {
+            mods.pop();
+        }
+        _ => {}
+    }
+    (Some(crate_dir.to_string()), true, mods)
+}
+
+/// The crate identifier used in paths: the lib ident for `src/` files, a
+/// per-file pseudo-crate for integration tests/examples/benches (each is
+/// its own crate and must not alias the lib).
+fn crate_ident_for(
+    rel: &str,
+    crate_dir: Option<&str>,
+    crate_idents: &BTreeMap<String, String>,
+) -> String {
+    let in_src = crate_dir
+        .is_some_and(|d| rel.starts_with(&format!("crates/{d}/src/")));
+    if let (Some(dir), true) = (crate_dir, in_src) {
+        return crate_idents
+            .get(dir)
+            .cloned()
+            .unwrap_or_else(|| dir.replace('-', "_"));
+    }
+    // tests/examples/benches and workspace-level trees: unique pseudo-crate
+    // per file so their helpers never collide with lib paths.
+    format!("file:{rel}")
+}
+
+enum Resolution {
+    Target(usize),
+    External,
+    Unresolved(String, String),
+}
+
+struct ResolveScope<'a> {
+    crate_ident: &'a str,
+    crate_dir: Option<&'a str>,
+    file_mods: &'a [String],
+    imports: &'a HashMap<&'a str, &'a [String]>,
+    globs: &'a [Vec<String>],
+    ident_to_dir: &'a HashMap<&'a str, &'a str>,
+    by_path: &'a HashMap<String, usize>,
+    method_by_crate: &'a HashMap<(String, String), Vec<usize>>,
+    method_anywhere: &'a HashMap<String, Vec<usize>>,
+    typefn_by_crate: &'a HashMap<(String, String, String), Vec<usize>>,
+    freefn_by_crate: &'a HashMap<(String, String), Vec<usize>>,
+}
+
+impl ResolveScope<'_> {
+    fn resolve(&self, kind: &CallKind, item: &crate::parser::FnItem) -> Resolution {
+        match kind {
+            CallKind::Bare(name) => self.resolve_bare(name, item),
+            CallKind::SelfMethod(name) => self.resolve_self_method(name, item),
+            CallKind::Method(name) => self.resolve_method(name),
+            CallKind::Path(segs) => self.resolve_path(segs, item, 0),
+        }
+    }
+
+    fn module_key<'b>(&'b self, item: &'b crate::parser::FnItem) -> Vec<&'b str> {
+        let mut segs: Vec<&str> = vec![self.crate_ident];
+        segs.extend(self.file_mods.iter().map(String::as_str));
+        segs.extend(item.module.iter().map(String::as_str));
+        segs
+    }
+
+    fn lookup(&self, segs: &[&str]) -> Option<usize> {
+        self.by_path.get(&segs.join("::")).copied()
+    }
+
+    fn resolve_bare(&self, name: &str, item: &crate::parser::FnItem) -> Resolution {
+        // Same module first.
+        let mut segs = self.module_key(item);
+        segs.push(name);
+        if let Some(idx) = self.lookup(&segs) {
+            return Resolution::Target(idx);
+        }
+        // `use`-imported name: the import path *is* the function path.
+        if let Some(path) = self.imports.get(name) {
+            let owned: Vec<String> = path.to_vec();
+            return self.resolve_path(&owned, item, 1);
+        }
+        // Glob imports.
+        for g in self.globs {
+            let mut p: Vec<String> = g.clone();
+            p.push(name.to_string());
+            if let Resolution::Target(idx) = self.resolve_path(&p, item, 1) {
+                return Resolution::Target(idx);
+            }
+        }
+        // Unknown bare names are prelude functions, tuple-struct
+        // constructors, or locals — external by construction.
+        Resolution::External
+    }
+
+    fn resolve_self_method(&self, name: &str, item: &crate::parser::FnItem) -> Resolution {
+        if let Some(ty) = &item.impl_type {
+            // Same module, same type.
+            let mut segs = self.module_key(item);
+            segs.push(ty);
+            segs.push(name);
+            if let Some(idx) = self.lookup(&segs) {
+                return Resolution::Target(idx);
+            }
+            // Another impl block of the same type elsewhere in the crate.
+            if let Some(dir) = self.crate_dir {
+                if let Some(c) =
+                    self.typefn_by_crate
+                        .get(&(dir.to_string(), ty.clone(), name.to_string()))
+                {
+                    if c.len() == 1 {
+                        return Resolution::Target(c[0]);
+                    }
+                }
+            }
+        }
+        self.resolve_method(name)
+    }
+
+    fn resolve_method(&self, name: &str) -> Resolution {
+        // Std-owned method names never get a name-guessed edge: `.load()`
+        // is an atomic, not `Dataset::load`; `.spawn()` is a thread scope,
+        // not `QueryServer::spawn`.
+        if STD_METHODS.contains(&name) {
+            return Resolution::External;
+        }
+        // Same crate first, then workspace-wide; a unique name match
+        // resolves, an ambiguous one is recorded, no match is external
+        // (std/vendored methods).
+        if let Some(dir) = self.crate_dir {
+            if let Some(c) = self.method_by_crate.get(&(dir.to_string(), name.to_string())) {
+                return match c.len() {
+                    1 => Resolution::Target(c[0]),
+                    n => Resolution::Unresolved(
+                        format!(".{name}()"),
+                        format!("ambiguous method: {n} candidates in this crate"),
+                    ),
+                };
+            }
+        }
+        match self.method_anywhere.get(name).map(Vec::as_slice) {
+            Some([one]) => Resolution::Target(*one),
+            Some(many) => Resolution::Unresolved(
+                format!(".{name}()"),
+                format!("ambiguous method: {} candidates in the workspace", many.len()),
+            ),
+            None => Resolution::External,
+        }
+    }
+
+    /// Resolves a path call. `hops` bounds import-chain recursion.
+    fn resolve_path(
+        &self,
+        segs: &[String],
+        item: &crate::parser::FnItem,
+        hops: usize,
+    ) -> Resolution {
+        if hops > 4 || segs.is_empty() {
+            return Resolution::Unresolved(segs.join("::"), "import chain too deep".into());
+        }
+        let head = segs[0].as_str();
+
+        // Normalize relative heads.
+        let abs: Option<Vec<String>> = match head {
+            "crate" => {
+                let mut p = vec![self.crate_ident.to_string()];
+                p.extend(segs[1..].iter().cloned());
+                Some(p)
+            }
+            "self" => {
+                let mut p: Vec<String> =
+                    self.module_key(item).iter().map(|s| s.to_string()).collect();
+                p.extend(segs[1..].iter().cloned());
+                Some(p)
+            }
+            "super" => {
+                let mut base: Vec<String> =
+                    self.module_key(item).iter().map(|s| s.to_string()).collect();
+                let mut k = 0;
+                while k < segs.len() && segs[k] == "super" {
+                    base.pop();
+                    k += 1;
+                }
+                base.extend(segs[k..].iter().cloned());
+                Some(base)
+            }
+            "Self" => match &item.impl_type {
+                Some(ty) => {
+                    let mut p: Vec<String> =
+                        self.module_key(item).iter().map(|s| s.to_string()).collect();
+                    p.push(ty.clone());
+                    p.extend(segs[1..].iter().cloned());
+                    Some(p)
+                }
+                None => {
+                    return Resolution::Unresolved(
+                        segs.join("::"),
+                        "`Self::` outside an impl block".into(),
+                    )
+                }
+            },
+            _ => None,
+        };
+        if let Some(abs) = abs {
+            return self.resolve_absolute(&abs, segs);
+        }
+
+        // Import alias on the first segment.
+        if let Some(path) = self.imports.get(head) {
+            let mut p: Vec<String> = path.to_vec();
+            p.extend(segs[1..].iter().cloned());
+            return self.resolve_path(&p, item, hops + 1);
+        }
+
+        // A workspace crate identifier: already absolute.
+        if self.ident_to_dir.contains_key(head) {
+            return self.resolve_absolute(segs, segs);
+        }
+
+        // Known-external head.
+        if EXTERNAL_HEADS.contains(&head) {
+            return Resolution::External;
+        }
+
+        // Same-module type or sibling module of the current crate.
+        let mut local: Vec<String> = self.module_key(item).iter().map(|s| s.to_string()).collect();
+        local.extend(segs.iter().cloned());
+        if let Some(idx) = self.lookup(&local.iter().map(String::as_str).collect::<Vec<_>>()) {
+            return Resolution::Target(idx);
+        }
+        let mut rooted: Vec<String> = vec![self.crate_ident.to_string()];
+        rooted.extend(segs.iter().cloned());
+        if let Some(idx) = self.lookup(&rooted.iter().map(String::as_str).collect::<Vec<_>>()) {
+            return Resolution::Target(idx);
+        }
+
+        // Glob imports may bring the head into scope.
+        for g in self.globs {
+            let mut p: Vec<String> = g.clone();
+            p.extend(segs.iter().cloned());
+            if let Resolution::Target(idx) = self.resolve_path(&p, item, hops + 1) {
+                return Resolution::Target(idx);
+            }
+        }
+
+        path_fallback(segs)
+    }
+
+    /// Resolves an absolutized path, with re-export fallbacks.
+    fn resolve_absolute(&self, abs: &[String], as_written: &[String]) -> Resolution {
+        let refs: Vec<&str> = abs.iter().map(String::as_str).collect();
+        if let Some(idx) = self.lookup(&refs) {
+            return Resolution::Target(idx);
+        }
+        let head = abs[0].as_str();
+        let Some(dir) = self.ident_to_dir.get(head) else {
+            // Import chains can land on std (`use std::thread` → `thread::spawn`).
+            if EXTERNAL_HEADS.contains(&head) {
+                return Resolution::External;
+            }
+            return path_fallback(as_written);
+        };
+        // Re-export fallback: `crate::Type::f` where `Type` really lives in
+        // `crate::module::Type` — match by (crate, Type, name) then by
+        // (crate, free fn name) when unique.
+        let n = abs.len();
+        if n >= 3 {
+            if let Some(c) = self.typefn_by_crate.get(&(
+                dir.to_string(),
+                abs[n - 2].clone(),
+                abs[n - 1].clone(),
+            )) {
+                if c.len() == 1 {
+                    return Resolution::Target(c[0]);
+                }
+            }
+        }
+        if n >= 2 {
+            if let Some(c) = self
+                .freefn_by_crate
+                .get(&(dir.to_string(), abs[n - 1].clone()))
+            {
+                if c.len() == 1 {
+                    return Resolution::Target(c[0]);
+                }
+            }
+        }
+        path_fallback(as_written)
+    }
+}
+
+/// Last-resort classification of a path that matched no workspace `fn`.
+/// A capitalized last segment is a tuple-struct or enum-variant
+/// constructor (`CityId(7)`, `PingOutcome::Reply(ms)`), and a std trait
+/// method (`T::default`, `T::from`) resolves to a derive or std impl —
+/// neither can be a workspace `fn` item, so both are external rather than
+/// blind spots worth reporting.
+fn path_fallback(as_written: &[String]) -> Resolution {
+    let last = as_written.last().map_or("", String::as_str);
+    let constructor = last.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+    let std_trait = matches!(last, "default" | "from" | "clone" | "from_str");
+    if constructor || std_trait {
+        return Resolution::External;
+    }
+    Resolution::Unresolved(as_written.join("::"), "unresolved path".into())
+}
+
+/// Reads `crates/*/Cargo.toml` package names (hand-parsed: the `name =`
+/// line inside `[package]`). Missing manifests fall back to the directory
+/// name with `-` → `_`, which is what fixture trees rely on.
+pub(crate) fn crate_idents(root: &std::path::Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return out;
+    };
+    let mut dirs: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let ident = std::fs::read_to_string(crates_dir.join(&dir).join("Cargo.toml"))
+            .ok()
+            .and_then(|toml| package_name(&toml))
+            .unwrap_or_else(|| dir.replace('-', "_"));
+        out.insert(dir, ident.replace('-', "_"));
+    }
+    out
+}
+
+/// The `name = "…"` value inside the `[package]` section.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let v = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(v.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: the node key, shortened for chains by dropping nothing —
+/// chains read better fully qualified.
+pub(crate) fn key_of(g: &Graph, idx: usize) -> &str {
+    &g.nodes[idx].key
+}
+
+/// All lock classes acquired anywhere in the closure of `start`
+/// (memoized externally by the caller via `cache`).
+pub(crate) fn lock_closure(
+    g: &Graph,
+    start: usize,
+    cache: &mut HashMap<usize, BTreeSet<String>>,
+) -> BTreeSet<String> {
+    if let Some(c) = cache.get(&start) {
+        return c.clone();
+    }
+    // Iterative DFS; seed the cache to cut cycles.
+    cache.insert(start, BTreeSet::new());
+    let mut acc: BTreeSet<String> = BTreeSet::new();
+    let mut stack = vec![start];
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        for s in &g.nodes[n].sinks {
+            if s.kind == crate::parser::SinkKind::LockAcquire {
+                acc.insert(lock_class(&g.nodes[n]));
+            }
+        }
+        for e in &g.edges[n] {
+            stack.push(e.target);
+        }
+    }
+    cache.insert(start, acc.clone());
+    acc
+}
+
+/// The lock class a `.lock()` inside `node` acquires: the enclosing impl
+/// type when there is one, else the function's own key (module-level
+/// locking helper).
+pub(crate) fn lock_class(node: &FnNode) -> String {
+    node.impl_type.clone().unwrap_or_else(|| node.key.clone())
+}

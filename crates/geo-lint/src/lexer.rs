@@ -133,6 +133,24 @@ pub fn lex(src: &str) -> FileLex {
             'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
                 i = lex_raw_or_byte(bytes, i, &mut line, &mut out);
             }
+            'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_') =>
+            {
+                // Raw identifier (`r#fn`, `r#type`): one Ident token with
+                // the `r#` prefix kept, so keyword scans (`is_ident("fn")`)
+                // can never mistake it for the keyword itself.
+                let start = i;
+                i += 2;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
             '\'' => i = lex_quote(bytes, i, line, &mut out),
             c if c.is_ascii_digit() => {
                 i += 1;
@@ -419,6 +437,47 @@ mod tests {
 
     #[test]
     fn raw_identifier_is_not_a_raw_string() {
-        assert_eq!(idents("r#type = 1; end"), vec!["r", "type", "end"]);
+        assert_eq!(idents("r#type = 1; end"), vec!["r#type", "end"]);
+    }
+
+    #[test]
+    fn raw_fn_identifier_cannot_fake_an_item() {
+        // `r#fn` must lex as one identifier distinct from the `fn` keyword,
+        // or the item parser would see a phantom function item.
+        let names = idents("fn r#fn() {} fn caller() { r#fn(); }");
+        assert_eq!(names, vec!["fn", "r#fn", "fn", "caller", "r#fn"]);
+        assert!(!lex("let r#match = 1;").tokens.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_hide_contents_and_track_lines() {
+        assert_eq!(
+            idents("let s = b\"unwrap() \\\" quote\"; t"),
+            vec!["let", "s", "t"]
+        );
+        // Raw byte string with embedded quote-hash and a newline inside.
+        let f = lex("let s = br##\"panic!() \"# still\nin\"##;\nend");
+        let names: Vec<&str> = f.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(names, vec!["let", "s", "end"]);
+        let end = f.tokens.iter().find(|t| t.is_ident("end")).unwrap();
+        assert_eq!(end.line, 3);
+    }
+
+    #[test]
+    fn turbofish_runs_lex_cleanly() {
+        // `::<…>` must not swallow following tokens: every ident inside and
+        // after the turbofish survives, and the punct run is intact.
+        let f = lex("xs.iter().collect::<Vec<u32>>().len()");
+        let names: Vec<&str> = f.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(names, vec!["xs", "iter", "collect", "Vec", "u32", "len"]);
+        let puncts: String = f
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ".().::<<>>().()");
     }
 }

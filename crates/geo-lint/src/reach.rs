@@ -1,0 +1,484 @@
+//! Interprocedural reachability rules over the call graph.
+//!
+//! Multi-source BFS from each rule's root set, with parent pointers so
+//! every finding carries the *shortest* witness call chain from a root to
+//! the sink's function. All traversal orders are index-based over
+//! deterministically-ordered nodes/edges, so reports are byte-stable.
+//!
+//! | rule  | roots                                   | sinks                         |
+//! |-------|------------------------------------------|-------------------------------|
+//! | `R1T` | `// geo-lint: serve-entry` fns           | panic family + `expr[…]`      |
+//! | `R4T` | `// geo-lint: serve-entry` fns           | spawn/blocking reads, lock-across-write |
+//! | `D1T` | every `src/` fn of clock-sensitive crates| wall clock / ambient entropy  |
+//! | `P1T` | `// geo-lint: hot-path` fns              | heap allocation in callees    |
+//! | `L1`  | —                                        | lock-acquisition-order cycles |
+//!
+//! Sinks already covered by the corresponding per-file rule (R1/R4/D1/P1)
+//! are skipped, so a site is reported exactly once, by exactly one rule.
+
+use crate::callgraph::{self, Graph};
+use crate::parser::SinkKind;
+use crate::rules::Config;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One transitive finding, pre-snippet (the merge pass fills snippets and
+/// applies allows).
+#[derive(Debug)]
+pub(crate) struct TransFinding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub rationale: String,
+    /// Witness call chain, root first, sink function last.
+    pub chain: Vec<String>,
+    /// Allow-scope window of the sink's function: a standalone allow whose
+    /// target line falls in `[item_line, sig_line]` suppresses fn-wide.
+    pub fn_item_line: usize,
+    pub fn_sig_line: usize,
+}
+
+/// An unresolved call that is reachable from at least one rule root — the
+/// honest "this analysis has a blind spot here" record.
+#[derive(Debug)]
+pub(crate) struct ReachableUnresolved {
+    pub from_key: String,
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    pub why: String,
+}
+
+pub(crate) struct Outcome {
+    pub findings: Vec<TransFinding>,
+    pub unresolved: Vec<ReachableUnresolved>,
+    pub functions: usize,
+    pub edges: usize,
+    pub unresolved_total: usize,
+}
+
+/// Runs every transitive rule over the graph.
+pub(crate) fn analyze(cfg: &Config, graph: &Graph) -> Outcome {
+    let mut findings: Vec<TransFinding> = Vec::new();
+
+    let serve_roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.in_src
+                && n.markers.iter().any(|m| m == "serve-entry")
+                && n.crate_dir
+                    .as_deref()
+                    .is_some_and(|c| cfg.server_crates.iter().any(|s| s == c))
+        })
+        .collect();
+    let serve_parents = bfs(graph, &serve_roots);
+
+    run_r1t(cfg, graph, &serve_parents, &mut findings);
+    run_r4t(cfg, graph, &serve_parents, &mut findings);
+
+    let clock_roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.in_src
+                && n.crate_dir
+                    .as_deref()
+                    .is_some_and(|c| cfg.clock_root_crates.iter().any(|d| d == c))
+        })
+        .collect();
+    let clock_parents = bfs(graph, &clock_roots);
+    run_d1t(cfg, graph, &clock_parents, &mut findings);
+
+    let hot_roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.in_src
+                && n.markers.iter().any(|m| m == "hot-path")
+                && n.crate_dir
+                    .as_deref()
+                    .is_some_and(|c| cfg.hot_path_crates.iter().any(|h| h == c))
+        })
+        .collect();
+    let hot_parents = bfs(graph, &hot_roots);
+    run_p1t(graph, &hot_parents, &mut findings);
+
+    run_l1(graph, &mut findings);
+
+    // Unresolved calls reachable from any root set are surfaced; the rest
+    // only count toward the summary total.
+    let mut unresolved: Vec<ReachableUnresolved> = Vec::new();
+    for u in &graph.unresolved {
+        let reachable = serve_parents[u.from].is_some()
+            || clock_parents[u.from].is_some()
+            || hot_parents[u.from].is_some();
+        if reachable {
+            let n = &graph.nodes[u.from];
+            unresolved.push(ReachableUnresolved {
+                from_key: n.key.clone(),
+                name: u.name.clone(),
+                file: n.file.clone(),
+                line: u.line,
+                why: u.why.clone(),
+            });
+        }
+    }
+
+    Outcome {
+        findings,
+        unresolved,
+        functions: graph.nodes.len(),
+        edges: graph.edge_count,
+        unresolved_total: graph.unresolved.len(),
+    }
+}
+
+/// Multi-source BFS. Returns per-node `Some(parent)` when reachable (a
+/// root's parent is itself). Roots are visited in index order and each
+/// adjacency list is pre-sorted, so shortest chains are deterministic.
+fn bfs(graph: &Graph, roots: &[usize]) -> Vec<Option<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut sorted_roots: Vec<usize> = roots.to_vec();
+    sorted_roots.sort_unstable();
+    for &r in &sorted_roots {
+        if parent[r].is_none() {
+            parent[r] = Some(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for e in &graph.edges[n] {
+            if parent[e.target].is_none() {
+                parent[e.target] = Some(n);
+                queue.push_back(e.target);
+            }
+        }
+    }
+    parent
+}
+
+/// Witness chain from a root to `node`, keys root-first.
+fn chain(graph: &Graph, parents: &[Option<usize>], node: usize) -> Vec<String> {
+    let mut rev = vec![node];
+    let mut cur = node;
+    while let Some(p) = parents[cur] {
+        if p == cur {
+            break;
+        }
+        rev.push(p);
+        cur = p;
+    }
+    rev.reverse();
+    rev.into_iter()
+        .map(|i| callgraph::key_of(graph, i).to_string())
+        .collect()
+}
+
+fn finding(
+    graph: &Graph,
+    parents: &[Option<usize>],
+    node: usize,
+    rule: &'static str,
+    line: usize,
+    rationale: String,
+) -> TransFinding {
+    let n = &graph.nodes[node];
+    TransFinding {
+        rule,
+        file: n.file.clone(),
+        line,
+        rationale,
+        chain: chain(graph, parents, node),
+        fn_item_line: n.item_line,
+        fn_sig_line: n.sig_line,
+    }
+}
+
+/// True when `node`'s file is in a crate from `list`'s `src/` tree.
+fn in_src_of(graph: &Graph, node: usize, list: &[String]) -> bool {
+    let n = &graph.nodes[node];
+    n.in_src
+        && n.crate_dir
+            .as_deref()
+            .is_some_and(|c| list.iter().any(|d| d == c))
+}
+
+/// R1T: panic family + indexing reachable from serving entry points.
+/// Panic-family sinks inside server-crate `src/` are R1's jurisdiction and
+/// skipped; indexing is new surface and reported everywhere reachable.
+fn run_r1t(
+    cfg: &Config,
+    graph: &Graph,
+    parents: &[Option<usize>],
+    out: &mut Vec<TransFinding>,
+) {
+    for node in 0..graph.nodes.len() {
+        if parents[node].is_none() {
+            continue;
+        }
+        let covered_by_r1 = in_src_of(graph, node, &cfg.server_crates);
+        for s in &graph.nodes[node].sinks {
+            let rationale = match s.kind {
+                SinkKind::Panic if !covered_by_r1 => format!(
+                    "{} can panic and is reachable from a serving entry point; a bad \
+                     request must not be able to kill a worker",
+                    s.what
+                ),
+                SinkKind::Index => format!(
+                    "{} indexing panics out of bounds and is reachable from a serving \
+                     entry point; use a checked `.get(…)` and handle the miss",
+                    s.what
+                ),
+                _ => continue,
+            };
+            out.push(finding(graph, parents, node, "R1T", s.line, rationale));
+        }
+    }
+}
+
+/// R4T: blocking constructs reachable from serving entry points. Spawn and
+/// blocking reads inside server-crate `src/` are R4's jurisdiction; the
+/// lock-held-across-write heuristic (a `.lock()` earlier in the same
+/// function than a `.write*()`) is new surface and applies everywhere.
+fn run_r4t(
+    cfg: &Config,
+    graph: &Graph,
+    parents: &[Option<usize>],
+    out: &mut Vec<TransFinding>,
+) {
+    for node in 0..graph.nodes.len() {
+        if parents[node].is_none() {
+            continue;
+        }
+        let covered_by_r4 = in_src_of(graph, node, &cfg.server_crates);
+        let sinks = &graph.nodes[node].sinks;
+        for s in sinks {
+            match s.kind {
+                SinkKind::Spawn | SinkKind::BlockingRead if !covered_by_r4 => {
+                    out.push(finding(
+                        graph,
+                        parents,
+                        node,
+                        "R4T",
+                        s.line,
+                        format!(
+                            "{} blocks or respawns threads and is reachable from the \
+                             event-loop worker; the serving path must stay nonblocking",
+                            s.what
+                        ),
+                    ));
+                }
+                SinkKind::LockAcquire => {
+                    let held_across_write = sinks
+                        .iter()
+                        .any(|w| w.kind == SinkKind::Write && w.order > s.order);
+                    if held_across_write {
+                        out.push(finding(
+                            graph,
+                            parents,
+                            node,
+                            "R4T",
+                            s.line,
+                            "`.lock()` is held across a later `.write*()` in the same \
+                             function, stalling every contender on socket backpressure; \
+                             drop the guard before writing"
+                                .to_string(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// D1T: wall-clock/entropy reachable from clock-sensitive crates. Sinks
+/// inside deterministic-crate `src/` are D1's jurisdiction and skipped.
+fn run_d1t(
+    cfg: &Config,
+    graph: &Graph,
+    parents: &[Option<usize>],
+    out: &mut Vec<TransFinding>,
+) {
+    for node in 0..graph.nodes.len() {
+        if parents[node].is_none() {
+            continue;
+        }
+        if in_src_of(graph, node, &cfg.deterministic_crates) {
+            continue;
+        }
+        for s in &graph.nodes[node].sinks {
+            if s.kind != SinkKind::Clock {
+                continue;
+            }
+            out.push(finding(
+                graph,
+                parents,
+                node,
+                "D1T",
+                s.line,
+                format!(
+                    "{} reads the wall clock or ambient entropy and is reachable from a \
+                     deterministic crate; the campaign output would stop being a pure \
+                     function of the seed",
+                    s.what
+                ),
+            ));
+        }
+    }
+}
+
+/// P1T: heap allocation in the callees of hot-path-marked functions. The
+/// marked bodies themselves are P1's jurisdiction and skipped.
+fn run_p1t(graph: &Graph, parents: &[Option<usize>], out: &mut Vec<TransFinding>) {
+    for node in 0..graph.nodes.len() {
+        if parents[node].is_none() {
+            continue;
+        }
+        if graph.nodes[node].markers.iter().any(|m| m == "hot-path") {
+            continue;
+        }
+        for s in &graph.nodes[node].sinks {
+            if s.kind != SinkKind::Alloc {
+                continue;
+            }
+            out.push(finding(
+                graph,
+                parents,
+                node,
+                "P1T",
+                s.line,
+                format!(
+                    "{} heap-allocates in a function called from a `// geo-lint: \
+                     hot-path` function; hoist the buffer or pass scratch in",
+                    s.what
+                ),
+            ));
+        }
+    }
+}
+
+/// L1: lock-acquisition-order cycles. Edge `A → B` exists when some
+/// function acquires class `A` and, later in the same body, acquires class
+/// `B` directly or calls into code that does. A cycle means two threads
+/// can deadlock by taking the classes in opposite orders.
+fn run_l1(graph: &Graph, out: &mut Vec<TransFinding>) {
+    let mut class_edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut witness: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    let mut closure_cache: HashMap<usize, BTreeSet<String>> = HashMap::new();
+
+    for node in 0..graph.nodes.len() {
+        let n = &graph.nodes[node];
+        let locks: Vec<&crate::parser::Sink> = n
+            .sinks
+            .iter()
+            .filter(|s| s.kind == SinkKind::LockAcquire)
+            .collect();
+        if locks.is_empty() {
+            continue;
+        }
+        let from_class = callgraph::lock_class(n);
+        let mut add_edge = |a: &str, b: &str, line: usize| {
+            if a == b {
+                return;
+            }
+            class_edges
+                .entry(a.to_string())
+                .or_default()
+                .insert(b.to_string());
+            let w = (n.file.clone(), line, n.key.clone(), n.item_line, n.sig_line);
+            witness
+                .entry((a.to_string(), b.to_string()))
+                .and_modify(|old| {
+                    if (&w.0, w.1) < (&old.0, old.1) {
+                        *old = w.clone();
+                    }
+                })
+                .or_insert(w);
+        };
+        for l in &locks {
+            // Calls made after the acquisition: everything their closure
+            // locks is taken while this class is held. (Two `.lock()`s in
+            // the same body share the function's class, so only calls can
+            // introduce a cross-class edge.)
+            for e in &graph.edges[node] {
+                if e.order <= l.order {
+                    continue;
+                }
+                for c in callgraph::lock_closure(graph, e.target, &mut closure_cache) {
+                    add_edge(&from_class, &c, e.line);
+                }
+            }
+        }
+    }
+
+    // Cycle detection: DFS over sorted classes; report each cycle once at
+    // its lexicographically-smallest class.
+    let classes: Vec<String> = class_edges.keys().cloned().collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &classes {
+        let mut path: Vec<String> = Vec::new();
+        dfs_cycles(start, &class_edges, &mut path, &mut reported, &witness, out);
+    }
+}
+
+/// Per-edge witness: (file, line, via-fn-key, fn_item_line, fn_sig_line).
+type Witness = (String, usize, String, usize, usize);
+
+fn dfs_cycles(
+    cur: &String,
+    edges: &BTreeMap<String, BTreeSet<String>>,
+    path: &mut Vec<String>,
+    reported: &mut BTreeSet<Vec<String>>,
+    witness: &BTreeMap<(String, String), Witness>,
+    out: &mut Vec<TransFinding>,
+) {
+    if let Some(pos) = path.iter().position(|c| c == cur) {
+        // Found a cycle: path[pos..] + cur.
+        let cycle: Vec<String> = path[pos..].to_vec();
+        let mut canon = cycle.clone();
+        canon.sort();
+        if !reported.insert(canon) {
+            return;
+        }
+        // Anchor the diagnostic at the witness of the first edge.
+        let first = (
+            cycle[0].clone(),
+            cycle.get(1).cloned().unwrap_or_else(|| cycle[0].clone()),
+        );
+        let Some((file, line, via, item_line, sig_line)) = witness.get(&first).cloned() else {
+            return;
+        };
+        let mut chain: Vec<String> = Vec::new();
+        let mut desc: Vec<String> = Vec::new();
+        for (i, a) in cycle.iter().enumerate() {
+            let b = cycle.get(i + 1).unwrap_or(&cycle[0]);
+            if let Some((wf, wl, wvia, _, _)) = witness.get(&(a.clone(), b.clone())) {
+                chain.push(format!("{a} → {b} (in `{wvia}` at {wf}:{wl})"));
+                desc.push(format!("`{a}` then `{b}`"));
+            }
+        }
+        out.push(TransFinding {
+            rule: "L1",
+            file,
+            line,
+            rationale: format!(
+                "lock-order cycle: {} — two threads taking these classes in opposite \
+                 orders can deadlock; pick one global acquisition order (witness: `{via}`)",
+                desc.join(", then ")
+            ),
+            chain,
+            fn_item_line: item_line,
+            fn_sig_line: sig_line,
+        });
+        return;
+    }
+    if path.len() > 32 {
+        return;
+    }
+    path.push(cur.clone());
+    if let Some(nexts) = edges.get(cur) {
+        for n in nexts {
+            dfs_cycles(n, edges, path, reported, witness, out);
+        }
+    }
+    path.pop();
+}

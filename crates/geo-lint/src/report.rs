@@ -15,6 +15,9 @@ pub struct Diagnostic {
     pub snippet: String,
     /// One-line rationale for why this is a violation.
     pub rationale: String,
+    /// Witness call chain for transitive findings (root first, sink's
+    /// function last); empty for per-file rules.
+    pub chain: Vec<String>,
 }
 
 /// A recorded, *used* suppression: an allow directive that silenced at
@@ -28,6 +31,29 @@ pub struct Suppression {
     pub reason: String,
 }
 
+/// A call the resolver could not pin down, reachable from a rule root.
+/// Surfaced so a blind spot in the analysis is never mistaken for safety.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedCall {
+    /// Key of the calling function (`geo_serve::server::sweep_conn`).
+    pub from: String,
+    /// The call as written (`mystery::frobnicate`, `.lookup()`).
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    /// Why resolution failed (`ambiguous method: 2 candidates …`).
+    pub why: String,
+}
+
+/// Call-graph size summary, present when `--call-graph` ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSummary {
+    pub functions: usize,
+    pub edges: usize,
+    /// Total unresolved calls (including ones not reachable from any root).
+    pub unresolved: usize,
+}
+
 /// The full result of a check run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -35,6 +61,11 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Allow directives that matched a violation.
     pub suppressed: Vec<Suppression>,
+    /// Unresolved calls reachable from a transitive-rule root; empty when
+    /// the call graph did not run.
+    pub unresolved: Vec<UnresolvedCall>,
+    /// Present when the call graph ran.
+    pub graph: Option<GraphSummary>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -51,6 +82,8 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
         self.suppressed
             .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.unresolved
+            .sort_by(|a, b| (&a.file, a.line, &a.name).cmp(&(&b.file, b.line, &b.name)));
     }
 
     /// Human-readable rendering.
@@ -59,6 +92,19 @@ impl Report {
         for d in &self.diagnostics {
             let _ = writeln!(out, "{} {}:{}: `{}`", d.rule, d.file, d.line, d.snippet);
             let _ = writeln!(out, "   {}", d.rationale);
+            if !d.chain.is_empty() {
+                let _ = writeln!(out, "   via {}", d.chain.join(" → "));
+            }
+        }
+        if !self.unresolved.is_empty() {
+            let _ = writeln!(out, "unresolved calls (reachable from rule roots):");
+            for u in &self.unresolved {
+                let _ = writeln!(
+                    out,
+                    "   {}:{}: `{}` in `{}` ({})",
+                    u.file, u.line, u.name, u.from, u.why
+                );
+            }
         }
         if !self.suppressed.is_empty() {
             let _ = writeln!(out, "suppressed:");
@@ -69,6 +115,13 @@ impl Report {
                     s.rule, s.file, s.line, s.reason
                 );
             }
+        }
+        if let Some(g) = &self.graph {
+            let _ = writeln!(
+                out,
+                "call graph: {} functions, {} edges, {} unresolved calls",
+                g.functions, g.edges, g.unresolved
+            );
         }
         let _ = writeln!(
             out,
@@ -91,15 +144,44 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"rationale\": {}}}",
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"rationale\": {}",
                 json_str(&d.rule),
                 json_str(&d.file),
                 d.line,
                 json_str(&d.snippet),
                 json_str(&d.rationale),
             );
+            if !d.chain.is_empty() {
+                out.push_str(", \"chain\": [");
+                for (j, hop) in d.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_str(hop));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"unresolved\": [");
+        for (i, u) in self.unresolved.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"from\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \"why\": {}}}",
+                json_str(&u.from),
+                json_str(&u.name),
+                json_str(&u.file),
+                u.line,
+                json_str(&u.why),
+            );
+        }
+        if !self.unresolved.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("],\n  \"suppressed\": [");
@@ -119,9 +201,20 @@ impl Report {
         if !self.suppressed.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"call_graph\": ");
+        match &self.graph {
+            Some(g) => {
+                let _ = write!(
+                    out,
+                    "{{\"functions\": {}, \"edges\": {}, \"unresolved\": {}}}",
+                    g.functions, g.edges, g.unresolved
+                );
+            }
+            None => out.push_str("null"),
+        }
         let _ = write!(
             out,
-            "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            ",\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
             self.files_scanned,
             self.is_clean()
         );
@@ -162,6 +255,7 @@ mod tests {
                 line: 3,
                 snippet: "let t = Instant::now();".into(),
                 rationale: "wall-clock read in a deterministic crate".into(),
+                chain: Vec::new(),
             }],
             suppressed: vec![Suppression {
                 rule: "R1".into(),
@@ -169,6 +263,8 @@ mod tests {
                 line: 9,
                 reason: "invariant: fresh encode always decodes".into(),
             }],
+            unresolved: Vec::new(),
+            graph: None,
             files_scanned: 2,
         };
         r.sort();
@@ -206,5 +302,53 @@ mod tests {
         let r = Report::default();
         assert!(r.is_clean());
         assert!(r.render_json().contains("\"clean\": true"));
+        // No call graph → null summary, and nothing graph-ish in human text.
+        assert!(r.render_json().contains("\"call_graph\": null"));
+        assert!(!r.render_human().contains("call graph:"));
+    }
+
+    #[test]
+    fn chains_unresolved_and_graph_render_in_both_formats() {
+        let mut r = sample();
+        r.diagnostics[0].rule = "R1T".into();
+        r.diagnostics[0].chain = vec![
+            "geo_serve::server::worker_loop".into(),
+            "geo_serve::store::Store::get".into(),
+        ];
+        r.unresolved.push(UnresolvedCall {
+            from: "geo_serve::server::sweep_conn".into(),
+            name: ".lookup()".into(),
+            file: "crates/geo-serve/src/server.rs".into(),
+            line: 41,
+            why: "ambiguous method: 2 candidates in the workspace".into(),
+        });
+        r.graph = Some(GraphSummary {
+            functions: 10,
+            edges: 7,
+            unresolved: 3,
+        });
+        r.sort();
+
+        let text = r.render_human();
+        assert!(
+            text.contains("via geo_serve::server::worker_loop → geo_serve::store::Store::get"),
+            "{text}"
+        );
+        assert!(text.contains("unresolved calls (reachable from rule roots):"), "{text}");
+        assert!(text.contains("`.lookup()` in `geo_serve::server::sweep_conn`"), "{text}");
+        assert!(text.contains("call graph: 10 functions, 7 edges, 3 unresolved calls"), "{text}");
+
+        let json = r.render_json();
+        assert!(
+            json.contains(r#""chain": ["geo_serve::server::worker_loop", "geo_serve::store::Store::get"]"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""why": "ambiguous method: 2 candidates in the workspace""#), "{json}");
+        assert!(
+            json.contains(r#""call_graph": {"functions": 10, "edges": 7, "unresolved": 3}"#),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -60,6 +60,31 @@ pub const RULES: &[RuleInfo] = &[
                   .to_string/.to_owned) inside a function marked `// geo-lint: hot-path`",
     },
     RuleInfo {
+        id: "R1T",
+        summary: "panic/unwrap/expect or indexing-panic reachable (via the call graph) from \
+                  a `// geo-lint: serve-entry` serving entry point",
+    },
+    RuleInfo {
+        id: "R4T",
+        summary: "blocking construct (thread::spawn, blocking reads, a lock held across a \
+                  write) reachable from a serving entry point",
+    },
+    RuleInfo {
+        id: "D1T",
+        summary: "wall-clock or ambient entropy reachable from a deterministic crate's \
+                  public surface through cross-crate calls",
+    },
+    RuleInfo {
+        id: "P1T",
+        summary: "heap allocation in a function transitively called from a \
+                  `// geo-lint: hot-path` function",
+    },
+    RuleInfo {
+        id: "L1",
+        summary: "lock-acquisition-order cycle across HotCache/ServeStats/Registry-style \
+                  mutex classes — opposite acquisition orders can deadlock",
+    },
+    RuleInfo {
         id: "X1",
         summary: "malformed or unknown-rule `geo-lint: allow(...)` directive",
     },
@@ -73,6 +98,11 @@ pub const RULES: &[RuleInfo] = &[
 fn is_known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id && !r.id.starts_with('X'))
 }
+
+/// The rules that need the call graph. Their allows are fn-scopable (a
+/// standalone allow above the sink's `fn` suppresses the whole function)
+/// and exempt from X2 staleness when the graph did not run.
+const TRANSITIVE_RULES: &[&str] = &["R1T", "R4T", "D1T", "P1T", "L1"];
 
 /// Where each rule family applies, expressed as crate-name lists relative
 /// to the checked root. Fixtures construct their own `Config`, which is how
@@ -91,6 +121,11 @@ pub struct Config {
     pub hot_path_crates: Vec<String>,
     /// Vendored stand-in crates, skipped entirely.
     pub vendored_crates: Vec<String>,
+    /// Crates whose `src/` functions are D1T roots: anything they can
+    /// reach (in any crate) must stay clock/entropy-free. A superset of
+    /// `deterministic_crates` — atlas-sim is seeded-deterministic too even
+    /// though its own body rules are scoped differently.
+    pub clock_root_crates: Vec<String>,
     /// File (root-relative, `/`-separated) exempt from D3: the one place
     /// allowed to touch `SeedableRng` directly.
     pub rng_module: String,
@@ -114,6 +149,17 @@ impl Config {
             retry_crates: ["core", "atlas-sim"].map(String::from).to_vec(),
             hot_path_crates: ["net-sim", "geo-model"].map(String::from).to_vec(),
             vendored_crates: ["rand", "proptest", "criterion"].map(String::from).to_vec(),
+            clock_root_crates: [
+                "world-sim",
+                "net-sim",
+                "geo-model",
+                "core",
+                "eval",
+                "geo-hints",
+                "atlas-sim",
+            ]
+            .map(String::from)
+            .to_vec(),
             rng_module: "crates/geo-model/src/rng.rs".into(),
         }
     }
@@ -173,13 +219,25 @@ impl<'a> FileCtx<'a> {
     }
 }
 
-/// Lints one file; appends non-suppressed diagnostics and used
-/// suppressions to `report`. `rel` is the root-relative path.
-pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
+/// The per-file analysis result: raw diagnostics (snippets filled), parsed
+/// allow directives, and the item-level parse used for the call graph.
+/// Self-contained (owns its data) so the file pass can run in parallel.
+pub(crate) struct FileAnalysis {
+    pub rel: String,
+    pub lines: Vec<String>,
+    /// Per-file rule findings plus X1 directive errors.
+    pub diags: Vec<Diagnostic>,
+    pub allows: Vec<Allow>,
+    pub parsed: crate::parser::ParsedFile,
+}
+
+/// Runs the per-file rules and the item parser over one file. Pure: no
+/// report mutation, so calls are order-independent and parallelizable.
+pub(crate) fn analyze_file(cfg: &Config, rel: &str, src: &str) -> FileAnalysis {
     let ctx = FileCtx::classify(rel);
     let lexed = lexer::lex(src);
     let code = strip_test_regions(&lexed.tokens);
-    let lines: Vec<&str> = src.lines().collect();
+    let lines: Vec<String> = src.lines().map(str::to_string).collect();
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     if ctx.is_deterministic(cfg) {
@@ -209,13 +267,153 @@ pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
             .unwrap_or_default();
     }
 
-    apply_allows(rel, &lexed, &lines, diags, report);
-    report.files_scanned += 1;
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        parse_allows(c, &lexed, rel, &lines, &mut allows, &mut diags);
+    }
+
+    // Item parse on the test-stripped tokens: test fns stay out of the
+    // call graph, mirroring the per-file rules.
+    let parsed = crate::parser::parse(&code, &lexed.comments);
+
+    FileAnalysis {
+        rel: rel.to_string(),
+        lines,
+        diags,
+        allows,
+        parsed,
+    }
+}
+
+/// Reconciles analyses and transitive findings against allow directives,
+/// appending to `report`. Transitive findings may be suppressed either on
+/// the sink line or fn-scoped (a standalone allow above the sink's `fn`).
+/// Unused allows become X2 — with a distinct rationale when the allowed
+/// rule is not even checked for that file, and no X2 at all for
+/// transitive-rule allows when the call graph did not run (their validity
+/// cannot be judged without it).
+pub(crate) fn merge(
+    cfg: &Config,
+    analyses: Vec<FileAnalysis>,
+    transitive: Vec<crate::reach::TransFinding>,
+    call_graph_ran: bool,
+    report: &mut Report,
+) {
+    let mut trans_by_file: std::collections::BTreeMap<&str, Vec<&crate::reach::TransFinding>> =
+        std::collections::BTreeMap::new();
+    for f in &transitive {
+        trans_by_file.entry(f.file.as_str()).or_default().push(f);
+    }
+
+    for mut a in analyses {
+        let ctx = FileCtx::classify(&a.rel);
+        // (diagnostic, fn allow-window for transitive findings).
+        let mut candidates: Vec<(Diagnostic, Option<(usize, usize)>)> =
+            a.diags.drain(..).map(|d| (d, None)).collect();
+        for t in trans_by_file.get(a.rel.as_str()).into_iter().flatten() {
+            candidates.push((
+                Diagnostic {
+                    rule: t.rule.into(),
+                    file: t.file.clone(),
+                    line: t.line,
+                    snippet: a
+                        .lines
+                        .get(t.line.saturating_sub(1))
+                        .map(|l| l.trim().to_string())
+                        .unwrap_or_default(),
+                    rationale: t.rationale.clone(),
+                    chain: t.chain.clone(),
+                },
+                Some((t.fn_item_line, t.fn_sig_line)),
+            ));
+        }
+
+        'diag: for (d, window) in candidates {
+            for al in &mut a.allows {
+                let line_match = al.target_line == d.line;
+                let fn_match = window
+                    .is_some_and(|(lo, hi)| al.target_line >= lo && al.target_line <= hi);
+                if al.rule == d.rule && (line_match || fn_match) {
+                    report.suppressed.push(Suppression {
+                        rule: d.rule.clone(),
+                        file: a.rel.clone(),
+                        line: d.line,
+                        reason: al.reason.clone().unwrap_or_default(),
+                    });
+                    al.used = true;
+                    continue 'diag;
+                }
+            }
+            report.diagnostics.push(d);
+        }
+
+        for al in &a.allows {
+            if al.used {
+                continue;
+            }
+            let is_transitive = TRANSITIVE_RULES.contains(&al.rule.as_str());
+            if is_transitive && !call_graph_ran {
+                continue;
+            }
+            let rationale = if rule_checked_here(cfg, &ctx, &al.rule) {
+                format!(
+                    "stale allow: no {} violation on line {} — remove the directive",
+                    al.rule, al.target_line
+                )
+            } else {
+                format!(
+                    "stale allow: rule {} is not checked for this file (out of scope \
+                     for its crate), so the directive can never suppress anything — \
+                     remove it",
+                    al.rule
+                )
+            };
+            report.diagnostics.push(Diagnostic {
+                rule: "X2".into(),
+                file: a.rel.clone(),
+                line: al.directive_line,
+                snippet: a
+                    .lines
+                    .get(al.directive_line.saturating_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                rationale,
+                chain: Vec::new(),
+            });
+        }
+
+        report.files_scanned += 1;
+    }
+}
+
+/// Whether `rule` actually runs for the file `ctx` describes — the X2
+/// scoping check for unused allows.
+fn rule_checked_here(cfg: &Config, ctx: &FileCtx<'_>, rule: &str) -> bool {
+    match rule {
+        "D1" | "D2" => ctx.is_deterministic(cfg),
+        "D3" => ctx.is_deterministic(cfg) && ctx.rel != cfg.rng_module,
+        "R1" | "R4" => ctx.is_server(cfg),
+        "R2" => true,
+        "R3" => ctx.is_retry(cfg),
+        "P1" => ctx.is_hot_path(cfg),
+        // Transitive rules can fire in any file once the graph runs
+        // (merge already skipped them when it did not).
+        r if TRANSITIVE_RULES.contains(&r) => true,
+        _ => true,
+    }
+}
+
+/// Lints one file; appends non-suppressed diagnostics and used
+/// suppressions to `report`. `rel` is the root-relative path. This is the
+/// serial per-file mode: no call graph, no transitive rules.
+pub fn lint_file(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
+    let analysis = analyze_file(cfg, rel, src);
+    merge(cfg, vec![analysis], Vec::new(), false, report);
 }
 
 /// A parsed `// geo-lint: allow(RULE, reason = "...")` directive.
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     rule: String,
     reason: Option<String>,
     /// Line of the comment itself.
@@ -227,65 +425,15 @@ struct Allow {
     used: bool,
 }
 
-/// Reconciles allow directives against raw diagnostics: matched pairs
-/// become recorded suppressions, unmatched allows become X2, malformed or
-/// unknown-rule allows become X1.
-fn apply_allows(
-    rel: &str,
-    lexed: &FileLex,
-    lines: &[&str],
-    diags: Vec<Diagnostic>,
-    report: &mut Report,
-) {
-    let mut allows = Vec::new();
-    for c in &lexed.comments {
-        parse_allows(c, lexed, rel, lines, &mut allows, report);
-    }
-
-    'diag: for d in diags {
-        for a in &mut allows {
-            if a.rule == d.rule && a.target_line == d.line {
-                report.suppressed.push(Suppression {
-                    rule: d.rule.clone(),
-                    file: rel.to_string(),
-                    line: d.line,
-                    reason: a.reason.clone().unwrap_or_default(),
-                });
-                a.used = true;
-                continue 'diag;
-            }
-        }
-        report.diagnostics.push(d);
-    }
-
-    for a in &allows {
-        if !a.used {
-            report.diagnostics.push(Diagnostic {
-                rule: "X2".into(),
-                file: rel.to_string(),
-                line: a.directive_line,
-                snippet: lines
-                    .get(a.directive_line.saturating_sub(1))
-                    .map(|l| l.trim().to_string())
-                    .unwrap_or_default(),
-                rationale: format!(
-                    "stale allow: no {} violation on line {} — remove the directive",
-                    a.rule, a.target_line
-                ),
-            });
-        }
-    }
-}
-
 /// Parses every `geo-lint:` occurrence in one comment. Malformed or
-/// unknown-rule directives are reported immediately as X1.
+/// unknown-rule directives are reported immediately as X1 into `diags`.
 fn parse_allows(
     c: &Comment,
     lexed: &FileLex,
     rel: &str,
-    lines: &[&str],
+    lines: &[String],
     allows: &mut Vec<Allow>,
-    report: &mut Report,
+    diags: &mut Vec<Diagnostic>,
 ) {
     // A directive must *start* the comment (after doc-comment markers):
     // prose that merely mentions `geo-lint:` mid-sentence is not one.
@@ -297,8 +445,8 @@ fn parse_allows(
     while let Some(pos) = rest.find("geo-lint:") {
         rest = &rest[pos + "geo-lint:".len()..];
         let body = rest.trim_start();
-        let fail = |why: &str, report: &mut Report| {
-            report.diagnostics.push(Diagnostic {
+        let fail = |why: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
                 rule: "X1".into(),
                 file: rel.to_string(),
                 line: c.line,
@@ -310,25 +458,39 @@ fn parse_allows(
                     "malformed geo-lint directive: {why} \
                      (expected `geo-lint: allow(<rule>, reason = \"...\")`)"
                 ),
+                chain: Vec::new(),
             });
         };
-        if body.trim() == "hot-path" {
-            // A P1 marker, not an allow; `check_p1` consumes it.
-            continue;
-        }
-        if body.trim() == "worker-bootstrap" {
-            // An R4 pool-setup marker, not an allow; `check_r4` consumes it.
+        if matches!(body.trim(), "hot-path" | "worker-bootstrap" | "serve-entry") {
+            // Markers, not allows: `check_p1`/`check_r4` consume the first
+            // two; the reachability engine roots R1T/R4T at `serve-entry`.
             continue;
         }
         let Some(args) = body.strip_prefix("allow(") else {
             fail(
-                "only `allow(...)` and the `hot-path`/`worker-bootstrap` markers are understood",
-                report,
+                "only `allow(...)` and the `hot-path`/`worker-bootstrap`/`serve-entry` \
+                 markers are understood",
+                diags,
             );
             continue;
         };
-        let Some(close) = args.find(')') else {
-            fail("unclosed `allow(`", report);
+        // The reason string may itself contain `)` (code snippets like
+        // `buf.len()`), so the directive ends at the first `)` that sits
+        // outside a `"…"` span, not at the first `)` overall.
+        let mut close = None;
+        let mut in_str = false;
+        for (i, ch) in args.char_indices() {
+            match ch {
+                '"' => in_str = !in_str,
+                ')' if !in_str => {
+                    close = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            fail("unclosed `allow(`", diags);
             continue;
         };
         let inner = &args[..close];
@@ -337,7 +499,7 @@ fn parse_allows(
             None => (inner.trim(), None),
         };
         if !is_known_rule(rule) {
-            fail(&format!("unknown rule id `{rule}`"), report);
+            fail(&format!("unknown rule id `{rule}`"), diags);
             continue;
         }
         let reason = reason_part
@@ -345,7 +507,7 @@ fn parse_allows(
             .map(|r| r.trim_start_matches(['=', ' ']))
             .map(|r| r.trim_matches('"').to_string());
         let Some(reason) = reason.filter(|r| !r.is_empty()) else {
-            fail("missing `reason = \"...\"`", report);
+            fail("missing `reason = \"...\"`", diags);
             continue;
         };
         let trailing = lexed.tokens.iter().any(|t| t.line == c.line);
@@ -444,6 +606,7 @@ fn diag(rule: &str, line: usize, rationale: String) -> Diagnostic {
         line,
         snippet: String::new(),
         rationale,
+        chain: Vec::new(),
     }
 }
 
@@ -1409,6 +1572,15 @@ mod tests {
         assert!(r.is_clean(), "{:?}", r.diagnostics);
         assert_eq!(r.suppressed.len(), 1);
         assert_eq!(r.suppressed[0].line, 2);
+    }
+
+    #[test]
+    fn reason_may_contain_parens_and_commas() {
+        let src = "fn f() { let t = Instant::now(); } \
+                   // geo-lint: allow(D1, reason = \"bench probe (see bench.rs), uses len()\")";
+        let r = det(src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed[0].reason, "bench probe (see bench.rs), uses len()");
     }
 
     #[test]

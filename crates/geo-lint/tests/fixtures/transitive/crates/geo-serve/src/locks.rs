@@ -1,0 +1,34 @@
+//! Fixture lock-order cycle: Alpha locks then enters Beta's lock, Beta
+//! locks then enters Alpha's lock.
+
+use std::sync::Mutex;
+
+pub struct Alpha {
+    inner: Mutex<u32>,
+}
+
+pub struct Beta {
+    inner: Mutex<u32>,
+}
+
+impl Alpha {
+    pub fn ping(&self, b: &Beta) {
+        let _g = self.inner.lock();
+        b.cross_from_alpha();
+    }
+
+    pub fn entered_from_beta(&self) {
+        let _g = self.inner.lock();
+    }
+}
+
+impl Beta {
+    pub fn pong(&self, a: &Alpha) {
+        let _g = self.inner.lock();
+        a.entered_from_beta();
+    }
+
+    pub fn cross_from_alpha(&self) {
+        let _g = self.inner.lock();
+    }
+}

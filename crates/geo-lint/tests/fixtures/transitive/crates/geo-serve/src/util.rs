@@ -1,0 +1,9 @@
+//! Fixture clock sink: fine for geo-serve's own per-file rules (D1 is
+//! scoped to deterministic crates), caught only when a deterministic
+//! crate can reach it (D1T).
+
+// geo-lint: allow(D1, reason = "timing is display-only here")
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,11 @@
+//! Fixture helpers a serving path can reach: an unchecked index (R1
+//! does not look at net-sim, so only R1T sees it) and a thread spawn
+//! (likewise invisible to the per-file R4).
+
+pub fn risky_get(items: &[u32], i: usize) -> u32 {
+    items[i]
+}
+
+pub fn refresh() {
+    std::thread::spawn(|| {});
+}

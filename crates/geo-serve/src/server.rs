@@ -393,6 +393,7 @@ enum Sweep {
 /// Reads, parses, answers, and flushes one connection. Nonblocking
 /// throughout: every `WouldBlock` just ends that phase until the next
 /// sweep.
+// geo-lint: allow(R1T, reason = "cursor slices hold `parsed <= inbuf.len()`, `sent <= out.len()`, and `n <= scratch.len()` from read()")
 fn sweep_conn(
     serving: &Serving,
     conn: &mut Conn,
@@ -503,6 +504,7 @@ fn sweep_conn(
 /// One worker's event loop: accept a bounded burst, sweep every
 /// registered connection, pace with the poller's idle backoff, exit on
 /// the wake token.
+// geo-lint: serve-entry
 fn worker_loop(listener: &TcpListener, serving: &Serving, mut poller: Poller) {
     let mut registry: Registry<Conn> = Registry::new();
     let mut scratch = vec![0u8; READ_CHUNK];

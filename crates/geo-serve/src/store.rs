@@ -66,7 +66,7 @@ impl DatasetStore {
         self.entries
             .binary_search_by_key(&prefix, |e| e.prefix)
             .ok()
-            .map(|i| &self.entries[i])
+            .and_then(|i| self.entries.get(i))
     }
 
     /// Exact lookup of the `/24` covering `ip`.
@@ -79,17 +79,14 @@ impl DatasetStore {
     /// (0 for an exact hit). Ties prefer the lower prefix. `None` only on
     /// an empty store.
     pub fn lookup_nearest(&self, ip: Ipv4) -> Option<(&DatasetEntry, u32)> {
-        if self.entries.is_empty() {
-            return None;
-        }
         let target = ip.prefix24();
         let idx = match self.entries.binary_search_by_key(&target, |e| e.prefix) {
-            Ok(i) => return Some((&self.entries[i], 0)),
+            Ok(i) => return self.entries.get(i).map(|e| (e, 0)),
             Err(i) => i,
         };
-        let dist = |i: usize| self.entries[i].prefix.0.abs_diff(target.0);
-        let below = idx.checked_sub(1);
-        let above = (idx < self.entries.len()).then_some(idx);
+        let dist = |e: &DatasetEntry| e.prefix.0.abs_diff(target.0);
+        let below = idx.checked_sub(1).and_then(|i| self.entries.get(i));
+        let above = self.entries.get(idx);
         let best = match (below, above) {
             (Some(b), Some(a)) => {
                 if dist(b) <= dist(a) {
@@ -100,11 +97,10 @@ impl DatasetStore {
             }
             (Some(b), None) => b,
             (None, Some(a)) => a,
-            // Guarded by the is_empty check above; returning None keeps
-            // the request path panic-free regardless.
+            // Empty store: both neighbors are absent.
             (None, None) => return None,
         };
-        Some((&self.entries[best], dist(best)))
+        Some((best, dist(best)))
     }
 
     /// Batch exact lookup. Output order matches `ips`.
