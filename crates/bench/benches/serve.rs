@@ -6,7 +6,12 @@
 //! `cargo bench -p bench --bench serve` runs the Criterion group;
 //! `cargo bench -p bench --bench serve -- --snapshot` additionally
 //! rewrites `BENCH_serve.json` at the repo root with one fixed-shape
-//! timing pass in the `serve-v2` schema (the committed snapshot).
+//! timing pass in the `serve-v3` schema (the committed snapshot):
+//! the serve-v2 sections plus the robustness measurements — idle-sweep
+//! CPU with a fleet of parked connections, throughput with idle
+//! bystanders attached, degraded qps/p99 with 25 % of connections
+//! running seeded socket-level chaos, and the shed rate when twice the
+//! connection cap is offered.
 
 // Timing measurement is this code's purpose; the workspace bans
 // wall-clock reads by default (see clippy.toml).
@@ -16,11 +21,14 @@ use bench::loadgen::{self, LoadgenConfig};
 use criterion::{criterion_group, Criterion};
 use geo_model::ip::Ipv4;
 use geo_model::rng::Seed;
-use geo_serve::{format, DatasetStore, QueryServer};
+use geo_serve::chaos::{ChaosOp, ChaosPlan};
+use geo_serve::{format, DatasetStore, QueryServer, ServeConfig, ServeLimits};
 use ipgeo::publish::{build_dataset, DatasetEntry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use world_sim::{World, WorldConfig};
 
 /// The publish producer at bench scale: small world, modest mesh.
@@ -139,6 +147,122 @@ fn bench_serve(c: &mut Criterion) {
 
 criterion_group!(serve, bench_serve);
 
+/// Whole-process CPU seconds (user + system) from `/proc/self/stat`;
+/// `None` off-Linux. USER_HZ is 100 on every mainstream kernel.
+fn proc_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // utime/stime are fields 14/15 (1-based); the comm field before them
+    // is parenthesised and may contain spaces, so split past the `)`.
+    let after = stat.rsplit_once(')')?.1;
+    let mut fields = after.split_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) / 100.0)
+}
+
+/// CPU fraction the server burns while `idle_conns` connections sit
+/// parked and silent: connect the fleet, let the sweep demote them,
+/// then meter `/proc` CPU across a quiet window. Returns `-1.0` where
+/// `/proc` is unavailable.
+fn measure_idle_cpu(store: &DatasetStore, idle_conns: usize) -> f64 {
+    let server = QueryServer::spawn(Arc::new(store.clone()), 0).expect("spawn idle server");
+    let addr = server.addr().to_string();
+    let holds: Vec<TcpStream> = (0..idle_conns)
+        .map(|_| TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+    // Give the sweep time to park the whole fleet before metering.
+    std::thread::sleep(Duration::from_millis(200));
+    let window = Duration::from_millis(500);
+    let frac = match proc_cpu_seconds() {
+        Some(cpu0) => {
+            let t0 = Instant::now();
+            std::thread::sleep(window);
+            let wall = t0.elapsed().as_secs_f64();
+            proc_cpu_seconds().map_or(-1.0, |cpu1| (cpu1 - cpu0) / wall)
+        }
+        None => -1.0,
+    };
+    drop(holds);
+    server.shutdown();
+    frac
+}
+
+/// One background chaos client: replays seeded [`ChaosPlan`]s against
+/// `addr` until `stop` flips, drawing a fresh connection id per round so
+/// every behavior (split writes, stalls, mid-frame aborts, corruption,
+/// slow loris) keeps cycling for the whole degraded window.
+fn chaos_noise(addr: &str, lane: u64, stop: &AtomicBool) {
+    let mut conn = lane * 10_000;
+    while !stop.load(Ordering::Acquire) {
+        let plan = ChaosPlan::new(Seed(631), conn);
+        conn += 1;
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let mut tx = stream;
+        for op in plan.ops() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            match op {
+                ChaosOp::Send(bytes) => {
+                    if tx.write_all(&bytes).is_err() {
+                        break;
+                    }
+                }
+                ChaosOp::Pause => std::thread::sleep(Duration::from_millis(1)),
+                ChaosOp::Abort => {
+                    let _ = tx.shutdown(std::net::Shutdown::Both);
+                    break;
+                }
+                // The real harness holds until the server evicts; the
+                // bench bounds the hold so the noise keeps churning.
+                ChaosOp::Hold => std::thread::sleep(Duration::from_millis(30)),
+            }
+        }
+    }
+}
+
+/// Offers `2 * cap` connections to a server capped at `cap` and returns
+/// `(shed, shed_rate)`: the confirmed conns are held open while the
+/// second wave queries, so every extra must draw `ERR busy`.
+fn measure_shed(store: &DatasetStore, cap: usize) -> (u64, f64) {
+    let config = ServeConfig {
+        limits: ServeLimits {
+            max_connections: cap,
+            ..ServeLimits::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server =
+        QueryServer::spawn_with_config(Arc::new(store.clone()), 0, config).expect("spawn capped");
+    let addr = server.addr().to_string();
+    let mut held = Vec::with_capacity(cap);
+    for _ in 0..cap {
+        let stream = TcpStream::connect(&addr).expect("fill connect");
+        let mut tx = stream.try_clone().expect("clone");
+        tx.write_all(b"STATS\n").expect("confirm");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("confirm reply");
+        assert!(line.starts_with("OK"), "fill conn not serving: {line}");
+        held.push((stream, tx, reader));
+    }
+    let offered = 2 * cap;
+    let mut shed = 0u64;
+    for _ in cap..offered {
+        match geo_serve::query_one(&addr, "STATS") {
+            Ok(reply) if reply.starts_with("ERR busy") => shed += 1,
+            Ok(reply) => panic!("over-cap conn was served: {reply}"),
+            Err(_) => shed += 1, // connection refused/reset also counts as shed
+        }
+    }
+    drop(held);
+    server.shutdown();
+    (shed, shed as f64 / offered as f64)
+}
+
 /// Median of `reps` wall-clock timings of `f`, in seconds.
 fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
@@ -153,9 +277,12 @@ fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// One fixed-shape measurement pass, written to `BENCH_serve.json` in
-/// the `serve-v2` schema: the legacy store/lookup/line-TCP sections plus
-/// the binary pipelined path (closed loop for peak qps, open loop at a
-/// fixed arrival rate for honest latency percentiles).
+/// the `serve-v3` schema: the legacy store/lookup/line-TCP sections, the
+/// binary pipelined path (closed loop for peak qps, open loop at a
+/// fixed arrival rate for honest latency percentiles), and the
+/// robustness block — idle-sweep CPU, qps with idle bystanders, the
+/// degraded qps/p99 under 25 % chaos connections, and the shed rate at
+/// twice the connection cap.
 fn write_snapshot() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("snapshot: publishing the bench dataset");
@@ -192,6 +319,7 @@ fn write_snapshot() {
         rate_qps: None,
         zipf_s: 1.0,
         seed: 631,
+        idle_connections: 0,
     };
     // Warm the hot-prefix cache and the allocator before the kept run.
     let _ = loadgen::run(&addr, &ips, &closed_cfg);
@@ -212,11 +340,70 @@ fn write_snapshot() {
         rate_qps: Some(100_000.0),
         zipf_s: 1.0,
         seed: 631,
+        idle_connections: 0,
     };
     let _ = loadgen::run(&addr, &ips, &open_cfg);
     let open = loadgen::run(&addr, &ips, &open_cfg);
+
+    println!("snapshot: closed loop with 64 idle bystander connections");
+    const IDLE_CONNS: usize = 64;
+    let with_idle = loadgen::run(
+        &addr,
+        &ips,
+        &LoadgenConfig {
+            idle_connections: IDLE_CONNS,
+            ..closed_cfg.clone()
+        },
+    );
     let cache = server.cache_stats();
     server.shutdown();
+
+    println!("snapshot: idle-sweep CPU with {IDLE_CONNS} parked connections");
+    let idle_cpu_frac = measure_idle_cpu(&store, IDLE_CONNS);
+
+    println!("snapshot: degraded run (25% chaos connections)");
+    const CHAOS_LANES: usize = 2; // 2 chaos lanes : 6 clean = 25%
+    let chaos_server = QueryServer::spawn_with_config(
+        Arc::new(store.clone()),
+        0,
+        ServeConfig {
+            // Tight deadlines so stalled/lorised chaos connections are
+            // evicted within the measured window instead of pooling.
+            limits: ServeLimits {
+                idle_timeout_ms: 500,
+                read_timeout_ms: 200,
+                write_timeout_ms: 200,
+                ..ServeLimits::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("spawn chaos server");
+    let chaos_addr = chaos_server.addr().to_string();
+    let stop = AtomicBool::new(false);
+    let degraded = std::thread::scope(|scope| {
+        for lane in 0..CHAOS_LANES as u64 {
+            let (addr, stop) = (&chaos_addr, &stop);
+            scope.spawn(move || chaos_noise(addr, lane, stop));
+        }
+        let report = loadgen::run(
+            &chaos_addr,
+            &ips,
+            &LoadgenConfig {
+                connections: 6,
+                frames_per_connection: 1000,
+                ..closed_cfg.clone()
+            },
+        );
+        stop.store(true, Ordering::Release);
+        report
+    });
+    let degraded_stats = chaos_server.stats();
+    chaos_server.shutdown();
+
+    println!("snapshot: shed rate at twice the connection cap");
+    const SHED_CAP: usize = 8;
+    let (shed, shed_rate) = measure_shed(&store, SHED_CAP);
 
     // v1 recorded 57,643 line-protocol qps on this host class; the
     // tentpole acceptance bar is 10x that on the binary pipelined path.
@@ -225,7 +412,7 @@ fn write_snapshot() {
     let json = format!(
         r#"{{
   "bench": "serve",
-  "schema": "serve-v2",
+  "schema": "serve-v3",
   "host": {{ "available_parallelism": {cores} }},
   "dataset": {{ "entries": {}, "igds_bytes": {}, "query_sweep_ips": {} }},
   "store_load": {{ "decode_s": {load_s:.6} }},
@@ -263,13 +450,35 @@ fn write_snapshot() {
     }},
     "speedup_vs_line_v1": {:.1}
   }},
+  "idle_sweep": {{
+    "idle_connections": {IDLE_CONNS},
+    "cpu_frac_parked": {idle_cpu_frac:.4},
+    "qps_with_idle": {:.0},
+    "qps_idle_ratio": {:.3}
+  }},
+  "degradation": {{
+    "chaos": {{
+      "chaos_lanes": {CHAOS_LANES},
+      "clean_connections": {},
+      "qps": {:.0},
+      "p99_us": {:.1},
+      "evicted": {},
+      "proto_errors": {}
+    }},
+    "shed": {{
+      "cap": {SHED_CAP},
+      "offered": {},
+      "shed": {shed},
+      "shed_rate": {shed_rate:.2}
+    }}
+  }},
   "cache": {{
     "hits": {},
     "misses": {},
     "evictions": {},
     "hit_rate": {:.4}
   }},
-  "note": "timings from the committed container; latency percentiles are per pipelined frame (batch addresses each), open loop clocks from scheduled departures (coordinated-omission aware); batch speedup scales with available_parallelism (1 core => serial fallback by design, results bit-identical at any IPGEO_THREADS)"
+  "note": "timings from the committed container; latency percentiles are per pipelined frame (batch addresses each), open loop clocks from scheduled departures (coordinated-omission aware); batch speedup scales with available_parallelism (1 core => serial fallback by design, results bit-identical at any IPGEO_THREADS); idle_sweep meters /proc CPU while a parked fleet sits silent; degradation runs the closed loop with seeded chaos lanes replaying ChaosPlan schedules and reports the shed rate when 2x the cap is offered"
 }}
 "#,
         store.len(),
@@ -292,6 +501,14 @@ fn write_snapshot() {
         open.p99_us,
         open.p999_us,
         closed.qps / V1_LINE_QPS,
+        with_idle.qps,
+        with_idle.qps / closed.qps,
+        degraded.connections,
+        degraded.qps,
+        degraded.p99_us,
+        degraded_stats.evicted_total(),
+        degraded_stats.proto_errors,
+        2 * SHED_CAP,
         cache.hits,
         cache.misses,
         cache.evictions,

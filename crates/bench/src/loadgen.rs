@@ -51,6 +51,10 @@ pub struct LoadgenConfig {
     pub zipf_s: f64,
     /// Seed for the query stream (reproducible runs).
     pub seed: u64,
+    /// Extra connections opened before the timed window and held idle
+    /// through it — they send nothing, so a server with sweep parking
+    /// should serve the active connections at undiminished qps.
+    pub idle_connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -63,6 +67,7 @@ impl Default for LoadgenConfig {
             rate_qps: None,
             zipf_s: 1.0,
             seed: 631,
+            idle_connections: 0,
         }
     }
 }
@@ -196,6 +201,7 @@ fn receive_all(
                     }
                     Response::Stats(_) => {}
                     Response::Error(msg) => panic!("server error under load: {msg}"),
+                    Response::Busy => panic!("server shed a loadgen connection mid-run"),
                 }
                 continue;
             }
@@ -223,6 +229,11 @@ fn receive_all(
 /// entries are the hot set.
 pub fn run(addr: &str, pool: &[Ipv4], cfg: &LoadgenConfig) -> LoadgenReport {
     assert!(cfg.connections > 0 && cfg.batch > 0 && cfg.frames_per_connection > 0);
+    // Idle bystanders: connected for the whole run, never speaking.
+    // Dropped (and thus closed) only after the timed window ends.
+    let idle: Vec<TcpStream> = (0..cfg.idle_connections)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
     let encoded: Vec<(Vec<u8>, Vec<usize>)> = (0..cfg.connections)
         .map(|c| encode_frames(pool, cfg, c))
         .collect();
@@ -292,6 +303,7 @@ pub fn run(addr: &str, pool: &[Ipv4], cfg: &LoadgenConfig) -> LoadgenReport {
             .collect()
     });
     let elapsed_s = started.elapsed().as_secs_f64();
+    drop(idle);
 
     let mut latencies: Vec<f64> = merged
         .iter()

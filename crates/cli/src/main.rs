@@ -258,6 +258,11 @@ fn run(cli: Cli) -> Result<(), String> {
                         geo_serve::Response::Stats(_) => {
                             return Err(format!("{addr}: unexpected STATS response"))
                         }
+                        geo_serve::Response::Busy => {
+                            return Err(format!(
+                                "{addr}: server is at its connection cap (BUSY); retry shortly"
+                            ))
+                        }
                     }
                 }
                 QuerySource::Server(addr) => {
@@ -295,7 +300,14 @@ fn run(cli: Cli) -> Result<(), String> {
         }
         Command::Serve { path, port } => {
             let store = Arc::new(DatasetStore::open(&path).map_err(|e| e.to_string())?);
-            let server = QueryServer::spawn(store.clone(), port).map_err(|e| e.to_string())?;
+            let config = geo_serve::ServeConfig {
+                // The served file is also the RELOAD source: an admin
+                // `RELOAD` re-reads it and swaps generations live.
+                snapshot_path: Some(std::path::PathBuf::from(&path)),
+                ..geo_serve::ServeConfig::default()
+            };
+            let server = QueryServer::spawn_with_config(store.clone(), port, config)
+                .map_err(|e| e.to_string())?;
             println!(
                 "serving {} entries from {path} on {} (world seed {}, nonce {})",
                 store.len(),

@@ -129,32 +129,148 @@ const EXTERNAL_HEADS: &[&str] = &[
 /// unknown receiver simply never gets a name-guessed edge.
 const STD_METHODS: &[&str] = &[
     // collections & slices
-    "get", "get_mut", "insert", "remove", "push", "pop", "len", "is_empty", "clear",
-    "contains", "contains_key", "extend", "drain", "retain", "truncate", "resize",
-    "reserve", "entry", "or_insert", "or_default", "keys", "values", "first", "last",
-    "split_at", "chunks", "windows", "binary_search", "binary_search_by",
-    "partition_point", "swap", "fill", "copy_from_slice",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "extend",
+    "drain",
+    "retain",
+    "truncate",
+    "resize",
+    "reserve",
+    "entry",
+    "or_insert",
+    "or_default",
+    "keys",
+    "values",
+    "first",
+    "last",
+    "split_at",
+    "chunks",
+    "windows",
+    "binary_search",
+    "binary_search_by",
+    "partition_point",
+    "swap",
+    "fill",
+    "copy_from_slice",
     // iterators
-    "iter", "iter_mut", "into_iter", "next", "collect", "map", "filter", "fold",
-    "sum", "min", "max", "min_by", "max_by", "count", "any", "all", "position",
-    "zip", "enumerate", "rev", "skip", "step_by", "copied", "cloned", "flatten",
-    "flat_map", "chain", "take", "sort", "sort_by", "sort_by_key", "sort_unstable",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "count",
+    "any",
+    "all",
+    "position",
+    "zip",
+    "enumerate",
+    "rev",
+    "skip",
+    "step_by",
+    "copied",
+    "cloned",
+    "flatten",
+    "flat_map",
+    "chain",
+    "take",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
     // strings & conversions
-    "to_vec", "to_string", "to_owned", "as_str", "as_slice", "as_bytes", "as_ref",
-    "as_mut", "as_deref", "parse", "split", "split_once", "trim", "starts_with",
-    "ends_with", "find", "replace", "chars", "bytes", "lines", "clone",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "parse",
+    "split",
+    "split_once",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "find",
+    "replace",
+    "chars",
+    "bytes",
+    "lines",
+    "clone",
     // Option/Result plumbing
-    "unwrap", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok",
-    "err", "and_then", "or_else", "is_some", "is_none", "is_ok", "is_err",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "and_then",
+    "or_else",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
     // atomics, locks, cells
-    "load", "store", "fetch_add", "fetch_sub", "compare_exchange", "lock",
-    "get_or_init", "set", "wait", "notify_all", "notify_one",
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "compare_exchange",
+    "lock",
+    "get_or_init",
+    "set",
+    "wait",
+    "notify_all",
+    "notify_one",
     // io, net, threads
-    "read", "write", "write_all", "flush", "read_line", "read_exact", "recv",
-    "try_recv", "send", "join", "spawn", "accept", "connect", "shutdown",
-    "set_nonblocking", "set_nodelay", "peer_addr", "local_addr",
+    "read",
+    "write",
+    "write_all",
+    "flush",
+    "read_line",
+    "read_exact",
+    "recv",
+    "try_recv",
+    "send",
+    "join",
+    "spawn",
+    "accept",
+    "connect",
+    "shutdown",
+    "set_nonblocking",
+    "set_nodelay",
+    "peer_addr",
+    "local_addr",
     // math
-    "abs", "floor", "ceil", "sqrt", "powi", "powf", "hypot", "to_radians",
+    "abs",
+    "floor",
+    "ceil",
+    "sqrt",
+    "powi",
+    "powf",
+    "hypot",
+    "to_radians",
 ];
 
 /// Input slice for the builder: one file's identity and parse.
@@ -337,8 +453,7 @@ fn crate_ident_for(
     crate_dir: Option<&str>,
     crate_idents: &BTreeMap<String, String>,
 ) -> String {
-    let in_src = crate_dir
-        .is_some_and(|d| rel.starts_with(&format!("crates/{d}/src/")));
+    let in_src = crate_dir.is_some_and(|d| rel.starts_with(&format!("crates/{d}/src/")));
     if let (Some(dir), true) = (crate_dir, in_src) {
         return crate_idents
             .get(dir)
@@ -451,7 +566,10 @@ impl ResolveScope<'_> {
         // resolves, an ambiguous one is recorded, no match is external
         // (std/vendored methods).
         if let Some(dir) = self.crate_dir {
-            if let Some(c) = self.method_by_crate.get(&(dir.to_string(), name.to_string())) {
+            if let Some(c) = self
+                .method_by_crate
+                .get(&(dir.to_string(), name.to_string()))
+            {
                 return match c.len() {
                     1 => Resolution::Target(c[0]),
                     n => Resolution::Unresolved(
@@ -465,7 +583,10 @@ impl ResolveScope<'_> {
             Some([one]) => Resolution::Target(*one),
             Some(many) => Resolution::Unresolved(
                 format!(".{name}()"),
-                format!("ambiguous method: {} candidates in the workspace", many.len()),
+                format!(
+                    "ambiguous method: {} candidates in the workspace",
+                    many.len()
+                ),
             ),
             None => Resolution::External,
         }
@@ -491,14 +612,20 @@ impl ResolveScope<'_> {
                 Some(p)
             }
             "self" => {
-                let mut p: Vec<String> =
-                    self.module_key(item).iter().map(|s| s.to_string()).collect();
+                let mut p: Vec<String> = self
+                    .module_key(item)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 p.extend(segs[1..].iter().cloned());
                 Some(p)
             }
             "super" => {
-                let mut base: Vec<String> =
-                    self.module_key(item).iter().map(|s| s.to_string()).collect();
+                let mut base: Vec<String> = self
+                    .module_key(item)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 let mut k = 0;
                 while k < segs.len() && segs[k] == "super" {
                     base.pop();
@@ -509,8 +636,11 @@ impl ResolveScope<'_> {
             }
             "Self" => match &item.impl_type {
                 Some(ty) => {
-                    let mut p: Vec<String> =
-                        self.module_key(item).iter().map(|s| s.to_string()).collect();
+                    let mut p: Vec<String> = self
+                        .module_key(item)
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
                     p.push(ty.clone());
                     p.extend(segs[1..].iter().cloned());
                     Some(p)
@@ -546,7 +676,11 @@ impl ResolveScope<'_> {
         }
 
         // Same-module type or sibling module of the current crate.
-        let mut local: Vec<String> = self.module_key(item).iter().map(|s| s.to_string()).collect();
+        let mut local: Vec<String> = self
+            .module_key(item)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         local.extend(segs.iter().cloned());
         if let Some(idx) = self.lookup(&local.iter().map(String::as_str).collect::<Vec<_>>()) {
             return Resolution::Target(idx);
@@ -588,11 +722,10 @@ impl ResolveScope<'_> {
         // (crate, free fn name) when unique.
         let n = abs.len();
         if n >= 3 {
-            if let Some(c) = self.typefn_by_crate.get(&(
-                dir.to_string(),
-                abs[n - 2].clone(),
-                abs[n - 1].clone(),
-            )) {
+            if let Some(c) =
+                self.typefn_by_crate
+                    .get(&(dir.to_string(), abs[n - 2].clone(), abs[n - 1].clone()))
+            {
                 if c.len() == 1 {
                     return Resolution::Target(c[0]);
                 }

@@ -446,7 +446,10 @@ mod tests {
         // or the item parser would see a phantom function item.
         let names = idents("fn r#fn() {} fn caller() { r#fn(); }");
         assert_eq!(names, vec!["fn", "r#fn", "fn", "caller", "r#fn"]);
-        assert!(!lex("let r#match = 1;").tokens.iter().any(|t| t.is_ident("match")));
+        assert!(!lex("let r#match = 1;")
+            .tokens
+            .iter()
+            .any(|t| t.is_ident("match")));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `D3` | RNG construction bypassing `geo_model::rng` seeding |
 //! | `R1` | `unwrap`/`expect`/`panic!` in `geo-serve` serving paths |
 //! | `R2` | `static mut` / `unsafe impl` shared mutable state |
+//! | `R5` | unbounded buffer growth (`read_to_end`, budget-less read loops) in serving paths |
 //! | `P1` | heap allocation inside a `// geo-lint: hot-path` function |
 //! | `X1` | malformed or unknown `geo-lint: allow(...)` directive |
 //! | `X2` | stale allow (suppresses nothing, or allows an unchecked rule) |
@@ -40,8 +41,8 @@
 //! recorded in the report. The tool is dependency-free — a hand-rolled
 //! lexer, no registry crates — and runs as `cargo run -p geo-lint -- check`.
 
-pub mod lexer;
 pub(crate) mod callgraph;
+pub mod lexer;
 pub(crate) mod parser;
 pub(crate) mod reach;
 pub mod report;

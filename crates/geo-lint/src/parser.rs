@@ -561,9 +561,8 @@ fn detect_call_or_sink(code: &[Token], i: usize, scopes: &[Scope], out: &mut Par
             push_sink(out, SinkKind::Write, format!("`.{name}()`"));
         }
         if !SINK_ONLY_METHODS.contains(&name) {
-            let recv_is_self = i >= 2
-                && code[i - 2].is_ident("self")
-                && !(i >= 3 && code[i - 3].is_punct('.'));
+            let recv_is_self =
+                i >= 2 && code[i - 2].is_ident("self") && !(i >= 3 && code[i - 3].is_punct('.'));
             if recv_is_self {
                 push_call(out, CallKind::SelfMethod(name.to_string()));
             } else {
@@ -823,7 +822,10 @@ mod tests {
             Some("crate::proto::LocateRecord")
         );
         assert_eq!(find("ee").as_deref(), Some("crate::proto::encode_error"));
-        assert_eq!(p.globs, vec![vec!["geo_model".to_string(), "runtime".into()]]);
+        assert_eq!(
+            p.globs,
+            vec![vec!["geo_model".to_string(), "runtime".into()]]
+        );
     }
 
     #[test]

@@ -204,12 +204,7 @@ fn in_src_of(graph: &Graph, node: usize, list: &[String]) -> bool {
 /// R1T: panic family + indexing reachable from serving entry points.
 /// Panic-family sinks inside server-crate `src/` are R1's jurisdiction and
 /// skipped; indexing is new surface and reported everywhere reachable.
-fn run_r1t(
-    cfg: &Config,
-    graph: &Graph,
-    parents: &[Option<usize>],
-    out: &mut Vec<TransFinding>,
-) {
+fn run_r1t(cfg: &Config, graph: &Graph, parents: &[Option<usize>], out: &mut Vec<TransFinding>) {
     for node in 0..graph.nodes.len() {
         if parents[node].is_none() {
             continue;
@@ -238,12 +233,7 @@ fn run_r1t(
 /// blocking reads inside server-crate `src/` are R4's jurisdiction; the
 /// lock-held-across-write heuristic (a `.lock()` earlier in the same
 /// function than a `.write*()`) is new surface and applies everywhere.
-fn run_r4t(
-    cfg: &Config,
-    graph: &Graph,
-    parents: &[Option<usize>],
-    out: &mut Vec<TransFinding>,
-) {
+fn run_r4t(cfg: &Config, graph: &Graph, parents: &[Option<usize>], out: &mut Vec<TransFinding>) {
     for node in 0..graph.nodes.len() {
         if parents[node].is_none() {
             continue;
@@ -292,12 +282,7 @@ fn run_r4t(
 
 /// D1T: wall-clock/entropy reachable from clock-sensitive crates. Sinks
 /// inside deterministic-crate `src/` are D1's jurisdiction and skipped.
-fn run_d1t(
-    cfg: &Config,
-    graph: &Graph,
-    parents: &[Option<usize>],
-    out: &mut Vec<TransFinding>,
-) {
+fn run_d1t(cfg: &Config, graph: &Graph, parents: &[Option<usize>], out: &mut Vec<TransFinding>) {
     for node in 0..graph.nodes.len() {
         if parents[node].is_none() {
             continue;

@@ -334,16 +334,30 @@ mod tests {
             text.contains("via geo_serve::server::worker_loop → geo_serve::store::Store::get"),
             "{text}"
         );
-        assert!(text.contains("unresolved calls (reachable from rule roots):"), "{text}");
-        assert!(text.contains("`.lookup()` in `geo_serve::server::sweep_conn`"), "{text}");
-        assert!(text.contains("call graph: 10 functions, 7 edges, 3 unresolved calls"), "{text}");
+        assert!(
+            text.contains("unresolved calls (reachable from rule roots):"),
+            "{text}"
+        );
+        assert!(
+            text.contains("`.lookup()` in `geo_serve::server::sweep_conn`"),
+            "{text}"
+        );
+        assert!(
+            text.contains("call graph: 10 functions, 7 edges, 3 unresolved calls"),
+            "{text}"
+        );
 
         let json = r.render_json();
         assert!(
-            json.contains(r#""chain": ["geo_serve::server::worker_loop", "geo_serve::store::Store::get"]"#),
+            json.contains(
+                r#""chain": ["geo_serve::server::worker_loop", "geo_serve::store::Store::get"]"#
+            ),
             "{json}"
         );
-        assert!(json.contains(r#""why": "ambiguous method: 2 candidates in the workspace""#), "{json}");
+        assert!(
+            json.contains(r#""why": "ambiguous method: 2 candidates in the workspace""#),
+            "{json}"
+        );
         assert!(
             json.contains(r#""call_graph": {"functions": 10, "edges": 7, "unresolved": 3}"#),
             "{json}"

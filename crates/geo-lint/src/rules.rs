@@ -55,6 +55,13 @@ pub const RULES: &[RuleInfo] = &[
                   setup — the event loop must stay nonblocking",
     },
     RuleInfo {
+        id: "R5",
+        summary: "unbounded buffer growth in geo-serve serving paths: `.read_to_end()`/\
+                  `.read_to_string()`, or a read loop that grows a buffer without \
+                  comparing against a byte budget (an identifier naming a max/budget/\
+                  limit/bound)",
+    },
+    RuleInfo {
         id: "P1",
         summary: "heap allocation (Vec/String constructors, vec!/format!, .collect/.to_vec/\
                   .to_string/.to_owned) inside a function marked `// geo-lint: hot-path`",
@@ -250,6 +257,7 @@ pub(crate) fn analyze_file(cfg: &Config, rel: &str, src: &str) -> FileAnalysis {
     if ctx.is_server(cfg) {
         check_r1(&code, &mut diags);
         check_r4(&lexed, &code, &mut diags);
+        check_r5(&code, &mut diags);
     }
     check_r2(&code, &mut diags);
     if ctx.is_retry(cfg) {
@@ -331,8 +339,8 @@ pub(crate) fn merge(
         'diag: for (d, window) in candidates {
             for al in &mut a.allows {
                 let line_match = al.target_line == d.line;
-                let fn_match = window
-                    .is_some_and(|(lo, hi)| al.target_line >= lo && al.target_line <= hi);
+                let fn_match =
+                    window.is_some_and(|(lo, hi)| al.target_line >= lo && al.target_line <= hi);
                 if al.rule == d.rule && (line_match || fn_match) {
                     report.suppressed.push(Suppression {
                         rule: d.rule.clone(),
@@ -392,7 +400,7 @@ fn rule_checked_here(cfg: &Config, ctx: &FileCtx<'_>, rule: &str) -> bool {
     match rule {
         "D1" | "D2" => ctx.is_deterministic(cfg),
         "D3" => ctx.is_deterministic(cfg) && ctx.rel != cfg.rng_module,
-        "R1" | "R4" => ctx.is_server(cfg),
+        "R1" | "R4" | "R5" => ctx.is_server(cfg),
         "R2" => true,
         "R3" => ctx.is_retry(cfg),
         "P1" => ctx.is_hot_path(cfg),
@@ -1068,6 +1076,128 @@ fn bootstrap_ranges(lexed: &FileLex, code: &[Token]) -> Vec<std::ops::Range<usiz
     ranges
 }
 
+/// Methods through which a read loop accumulates bytes into a buffer.
+const GROW_METHODS: &[&str] = &["push", "extend", "extend_from_slice", "append", "push_str"];
+
+/// Substrings that mark an identifier as a size budget. Matched
+/// case-insensitively, so `MAX_INBUF`, `ReplyBudget` and `line_limit`
+/// all count as bounds.
+const BUDGET_MARKERS: &[&str] = &["max", "budget", "limit", "bound"];
+
+/// True when any identifier in `body` names a budget (see
+/// [`BUDGET_MARKERS`]).
+fn mentions_budget(body: &[Token]) -> bool {
+    body.iter().any(|t| {
+        t.ident().is_some_and(|s| {
+            let lower = s.to_ascii_lowercase();
+            BUDGET_MARKERS.iter().any(|m| lower.contains(m))
+        })
+    })
+}
+
+/// R5: unbounded buffer growth in a serving path.
+///
+/// A server that buffers client bytes without a ceiling hands every
+/// client a memory-exhaustion lever: `read_to_end`/`read_to_string`
+/// wait for an EOF a hostile client never sends, and a chunked read
+/// loop that only ever `extend`s its buffer grows without limit under
+/// a slow drip that never completes a frame. The fix is a byte budget
+/// (`proto::MAX_BODY`-style) compared inside the loop, with a typed
+/// eviction when it trips — which is exactly what the rule looks for:
+/// a loop containing both a `.read(…)` and a growth call is flagged
+/// unless some identifier in the loop names a max/budget/limit/bound.
+fn check_r5(tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    // Whole-stream slurps are unbounded by construction.
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if matches!(name, "read_to_end" | "read_to_string")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|x| x.is_punct('('))
+        {
+            diags.push(diag(
+                "R5",
+                t.line,
+                format!(
+                    "`.{name}()` buffers until EOF with no size ceiling; a client that \
+                     never closes its half of the socket exhausts memory — read bounded \
+                     chunks against a byte budget and evict with a typed error"
+                ),
+            ));
+        }
+    }
+
+    // Read loops that grow a buffer without ever consulting a budget.
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !(t.is_ident("loop") || t.is_ident("while") || t.is_ident("for")) {
+            i += 1;
+            continue;
+        }
+        // The body opens at the first `{` outside the loop-head's
+        // parens/brackets (closure bodies in the head are rare enough
+        // that the paren guard covers the real cases).
+        let mut depth = 0i32;
+        let mut open = None;
+        for (k, tok) in tokens.iter().enumerate().skip(i + 1) {
+            match tok.kind {
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth -= 1,
+                TokenKind::Punct('{') if depth <= 0 => {
+                    open = Some(k);
+                    break;
+                }
+                TokenKind::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let mut brace = 0i32;
+        let mut end = open;
+        while end < tokens.len() {
+            if tokens[end].is_punct('{') {
+                brace += 1;
+            } else if tokens[end].is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        // Include the loop head: `while buf.len() < max && …` bounds the
+        // loop just as well as a check inside the body.
+        let scope = &tokens[i..end.min(tokens.len())];
+        let method_call = |name: &str| {
+            scope.iter().enumerate().any(|(k, tok)| {
+                tok.is_ident(name)
+                    && k > 0
+                    && scope[k - 1].is_punct('.')
+                    && scope.get(k + 1).is_some_and(|x| x.is_punct('('))
+            })
+        };
+        let reads = method_call("read");
+        let grows = GROW_METHODS.iter().any(|m| method_call(m));
+        if reads && grows && !mentions_budget(scope) {
+            diags.push(diag(
+                "R5",
+                t.line,
+                "unbounded buffer growth: this loop reads from a stream and grows a \
+                 buffer without comparing against a byte budget; a slow-drip client \
+                 that never completes a frame exhausts memory — cap the buffer \
+                 (`proto::MAX_BODY`-style) and evict the connection when it trips"
+                    .into(),
+            ));
+        }
+        // Advance one token only, so nested loops are still inspected.
+        i += 1;
+    }
+}
+
 /// Identifiers that signal a retry loop bounds its own attempts: a counter
 /// compared or incremented inside the loop, or a budget being drawn down.
 const ATTEMPT_MARKERS: &[&str] = &[
@@ -1458,6 +1588,68 @@ mod tests {
     }
 
     #[test]
+    fn r5_fires_on_read_to_end_in_server_crate_only() {
+        let src = "fn f(s: &mut TcpStream) -> Vec<u8> {\n  let mut b = Vec::new();\n  s.read_to_end(&mut b).ok();\n  b\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R5");
+        assert_eq!(r.diagnostics[0].line, 3);
+        assert!(r.diagnostics[0].rationale.contains("read_to_end"));
+        // The same code outside geo-serve is out of scope.
+        assert!(run(&Config::workspace(), "crates/core/src/lib.rs", src).is_clean());
+    }
+
+    #[test]
+    fn r5_fires_on_a_budget_less_read_loop() {
+        let src = "fn f(s: &mut TcpStream, buf: &mut Vec<u8>) {\n  let mut chunk = [0u8; 4096];\n  loop {\n    let n = match s.read(&mut chunk) { Ok(0) | Err(_) => break, Ok(n) => n };\n    buf.extend_from_slice(&chunk[..n]);\n  }\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].rule, "R5");
+        assert_eq!(r.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn r5_accepts_a_loop_that_checks_a_budget() {
+        // `MAX_INBUF` (case-insensitive `max`) marks the loop as bounded;
+        // so would `budget`, `limit` or `bound` in any identifier.
+        let src = "fn f(s: &mut TcpStream, buf: &mut Vec<u8>) {\n  let mut chunk = [0u8; 4096];\n  loop {\n    let n = match s.read(&mut chunk) { Ok(0) | Err(_) => break, Ok(n) => n };\n    if buf.len() + n > MAX_INBUF { break; }\n    buf.extend_from_slice(&chunk[..n]);\n  }\n}";
+        assert!(run(&Config::workspace(), "crates/geo-serve/src/server.rs", src).is_clean());
+        // A bound in the `while` head counts too.
+        let head = "fn f(s: &mut TcpStream, buf: &mut Vec<u8>) {\n  let mut chunk = [0u8; 64];\n  while buf.len() < line_limit {\n    let n = match s.read(&mut chunk) { Ok(0) | Err(_) => break, Ok(n) => n };\n    buf.extend_from_slice(&chunk[..n]);\n  }\n}";
+        assert!(run(&Config::workspace(), "crates/geo-serve/src/server.rs", head).is_clean());
+    }
+
+    #[test]
+    fn r5_ignores_loops_that_do_not_both_read_and_grow() {
+        // Growth without a read (building a reply) is fine...
+        let grow_only =
+            "fn f(out: &mut Vec<u8>, xs: &[u8]) {\n  for x in xs {\n    out.push(*x);\n  }\n}";
+        assert!(run(
+            &Config::workspace(),
+            "crates/geo-serve/src/server.rs",
+            grow_only
+        )
+        .is_clean());
+        // ...and so is a read into a fixed scratch that is never kept.
+        let read_only = "fn f(s: &mut TcpStream) {\n  let mut chunk = [0u8; 64];\n  loop {\n    if s.read(&mut chunk).is_err() { break; }\n  }\n}";
+        assert!(run(
+            &Config::workspace(),
+            "crates/geo-serve/src/server.rs",
+            read_only
+        )
+        .is_clean());
+    }
+
+    #[test]
+    fn r5_allow_directive_suppresses_with_reason() {
+        let src = "fn f(s: &mut TcpStream) -> Vec<u8> {\n  let mut b = Vec::new();\n  // geo-lint: allow(R5, reason = \"one-shot admin dump, bounded by the peer\")\n  s.read_to_end(&mut b).ok();\n  b\n}";
+        let r = run(&Config::workspace(), "crates/geo-serve/src/server.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, "R5");
+    }
+
+    #[test]
     fn r2_fires_everywhere() {
         let src = "static mut COUNTER: u32 = 0;";
         let r = run(&Config::workspace(), "crates/bench/src/lib.rs", src);
@@ -1580,7 +1772,10 @@ mod tests {
                    // geo-lint: allow(D1, reason = \"bench probe (see bench.rs), uses len()\")";
         let r = det(src);
         assert!(r.is_clean(), "{:?}", r.diagnostics);
-        assert_eq!(r.suppressed[0].reason, "bench probe (see bench.rs), uses len()");
+        assert_eq!(
+            r.suppressed[0].reason,
+            "bench probe (see bench.rs), uses len()"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ fn every_transitive_rule_fires_exactly_once_with_a_full_chain() {
     let r1t = report.diagnostics.iter().find(|d| d.rule == "R1T").unwrap();
     assert_eq!(
         r1t.chain,
-        vec!["geo_serve::server::worker_loop", "net_sim::shared::risky_get"]
+        vec![
+            "geo_serve::server::worker_loop",
+            "net_sim::shared::risky_get"
+        ]
     );
     let d1t = report.diagnostics.iter().find(|d| d.rule == "D1T").unwrap();
     assert_eq!(
@@ -102,7 +105,10 @@ fn transitive_allow_suppresses_and_scoped_out_allow_is_stale() {
     // …and the allow(D1) in a crate where D1 never runs is flagged stale
     // with the scoped-out rationale, not silently ignored.
     let x2 = report.diagnostics.iter().find(|d| d.rule == "X2").unwrap();
-    assert!(x2.rationale.contains("out of scope for its crate"), "{x2:?}");
+    assert!(
+        x2.rationale.contains("out of scope for its crate"),
+        "{x2:?}"
+    );
 }
 
 #[test]
@@ -111,11 +117,7 @@ fn without_call_graph_the_fixture_has_no_transitive_findings() {
     // their allows are exempt from X2 (the graph never ran), and the
     // per-file rules see nothing wrong with any single file.
     let report = geo_lint::check(&fixture("transitive"), &Config::workspace()).unwrap();
-    let rules: Vec<&str> = report
-        .diagnostics
-        .iter()
-        .map(|d| d.rule.as_str())
-        .collect();
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
     assert_eq!(rules, vec!["X2"], "{:?}", report.diagnostics);
     assert!(report.graph.is_none());
     assert!(report.unresolved.is_empty());
@@ -125,7 +127,13 @@ fn without_call_graph_the_fixture_has_no_transitive_findings() {
 fn cli_call_graph_json_carries_chains_and_exits_nonzero() {
     let root = fixture("transitive");
     let out = Command::new(env!("CARGO_BIN_EXE_geo-lint"))
-        .args(["check", "--json", "--call-graph", "--root", root.to_str().unwrap()])
+        .args([
+            "check",
+            "--json",
+            "--call-graph",
+            "--root",
+            root.to_str().unwrap(),
+        ])
         .output()
         .expect("spawn geo-lint");
     assert_eq!(out.status.code(), Some(1));

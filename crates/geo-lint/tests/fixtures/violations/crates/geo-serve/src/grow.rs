@@ -1,0 +1,46 @@
+//! R5 fixture: unbounded buffer growth in a serving path.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn slurp(mut stream: TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).ok();
+    buf
+}
+
+pub fn drip(mut stream: TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf
+}
+
+pub fn metered(mut stream: TcpStream, body_limit: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if buf.len() + n > body_limit {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf
+}
+
+pub fn dump(mut stream: TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // geo-lint: allow(R5, reason = "fixture: one-shot admin debug dump, peer closes promptly")
+    stream.read_to_end(&mut buf).ok();
+    buf
+}

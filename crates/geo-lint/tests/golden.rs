@@ -39,7 +39,9 @@ fn clean_fixture_is_clean() {
 #[test]
 fn violations_fixture_finds_every_rule() {
     let report = geo_lint::check(&fixture("violations"), &Config::workspace()).unwrap();
-    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "X1", "X2"] {
+    for rule in [
+        "D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "R5", "X1", "X2",
+    ] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "no {rule} diagnostic in:\n{}",
@@ -69,14 +71,24 @@ fn violations_fixture_finds_every_rule() {
         .filter(|d| d.rule == "R4")
         .collect();
     assert_eq!(r4.len(), 2, "{r4:?}");
-    // The three legitimate allows are recorded, with their reasons.
-    assert_eq!(report.suppressed.len(), 3);
+    // The `metered` read loop checks `body_limit` and must not be flagged:
+    // exactly the EOF slurp and the budget-less drip loop remain.
+    let r5: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R5")
+        .collect();
+    assert_eq!(r5.len(), 2, "{r5:?}");
+    // The four legitimate allows are recorded, with their reasons.
+    assert_eq!(report.suppressed.len(), 4);
     assert_eq!(report.suppressed[0].rule, "R4");
     assert!(report.suppressed[0].reason.contains("one-shot test client"));
-    assert_eq!(report.suppressed[1].rule, "P1");
-    assert!(report.suppressed[1].reason.contains("cold fallback"));
-    assert_eq!(report.suppressed[2].rule, "D2");
-    assert!(report.suppressed[2].reason.contains("re-sorted"));
+    assert_eq!(report.suppressed[1].rule, "R5");
+    assert!(report.suppressed[1].reason.contains("debug dump"));
+    assert_eq!(report.suppressed[2].rule, "P1");
+    assert!(report.suppressed[2].reason.contains("cold fallback"));
+    assert_eq!(report.suppressed[3].rule, "D2");
+    assert!(report.suppressed[3].reason.contains("re-sorted"));
 }
 
 #[test]
@@ -133,7 +145,9 @@ fn cli_json_mode_is_well_formed() {
 fn cli_rules_lists_all_rules() {
     let (code, out) = run_cli(&["rules"]);
     assert_eq!(code, 0);
-    for rule in ["D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "X1", "X2"] {
+    for rule in [
+        "D1", "D2", "D3", "P1", "R1", "R2", "R3", "R4", "R5", "X1", "X2",
+    ] {
         assert!(out.contains(rule), "{out}");
     }
 }

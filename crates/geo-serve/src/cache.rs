@@ -3,11 +3,15 @@
 //! Real query traffic is zipfian per prefix ("Lost in the Prefix"): a
 //! handful of `/24`s absorb most of the load. Every answer the server
 //! gives is a pure function of `(snapshot, verb, queried /24)` — the
-//! store is immutable for the life of a server — so the cache can hold
-//! fully materialized answers (binary location records and preformatted
-//! text `OK` lines) with **no invalidation and no effect on response
-//! bytes**: a cache hit returns the identical bytes the store path would
-//! have produced, so the determinism contract is untouched.
+//! store is immutable for the life of a *generation* — so the cache can
+//! hold fully materialized answers (binary location records and
+//! preformatted text `OK` lines) with **no invalidation and no effect
+//! on response bytes**: a cache hit returns the identical bytes the
+//! store path would have produced, so the determinism contract is
+//! untouched. Live snapshot reload keeps that argument intact by never
+//! invalidating at all: each generation owns a fresh `HotCache`
+//! (see `store::StoreHandle`), and the retiring generation's counters
+//! are absorbed into the handle's running totals.
 //!
 //! Sharding: the key's low bits pick one of [`SHARDS`] independent
 //! `Mutex` shards, so worker threads contend only when they are
@@ -68,6 +72,15 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
+    /// Adds another counter set into this one — used by the generation
+    /// store handle to carry a retired generation's cache traffic into
+    /// the server-lifetime totals across a live snapshot reload.
+    pub fn absorb(&mut self, other: CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
     /// Hit fraction of all lookups (0 when nothing was looked up).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

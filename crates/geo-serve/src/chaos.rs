@@ -1,0 +1,846 @@
+//! Seeded socket-level fault injection for the serve path.
+//!
+//! The campaign engine proves measurement code against loss and jitter
+//! with `atlas_sim::faults`; this module applies the same discipline to
+//! the *server*: every hostile behavior a connection exhibits is a pure
+//! function of `(seed, domain, connection id)`, so a chaos run is a
+//! reproducible experiment, not a flake generator. Two runs with the
+//! same seed produce byte-identical chaos schedules, byte-identical
+//! response streams, and identical eviction/shed counters — across
+//! process restarts *and* across `IPGEO_THREADS` settings, because the
+//! server's determinism contract puts scheduling outside the observable.
+//!
+//! Behaviors ([`ChaosBehavior`], drawn per connection from the seeded
+//! stream):
+//!
+//! - **split writes** — a valid frame dribbled in several chunks; the
+//!   server must reassemble across arbitrary read boundaries and answer
+//!   normally (then idle-evict the lingering connection);
+//! - **stalled writes** — a frame prefix, then silence: the classic
+//!   slow-loris, which must become a `stalled-read` eviction;
+//! - **mid-frame abort** — a frame prefix, then a closed socket: must
+//!   be a plain close, no counter, no leak;
+//! - **corrupt byte** — a valid frame with one bit flipped before the
+//!   checksum: the decoder must answer a typed error (or, when the
+//!   flipped bit enlarges `body_len`, stall out) — classified exactly by
+//!   [`ChaosPlan::expected`] *simulating the decoder* on the corrupted
+//!   bytes;
+//! - **slow loris** — `0..HEADER_LEN` bytes then silence: a silent
+//!   connection idles out, a partial header stalls out.
+//!
+//! [`run`] is the equivalence harness: it drives a real server with
+//! `clean_conns` well-behaved clients (binary and line protocol,
+//! pipelined) while `chaos_conns` attack, then advances the server's
+//! manual [`ServeClock`] until every deadline eviction the plans predict
+//! has fired — exactly, no more, no fewer. The clean clients' response
+//! digest must equal the digest of an unattacked run; the chaos
+//! counters must equal the pure-function prediction. A shed phase then
+//! fills a capped server with confirmed connections and proves every
+//! over-cap connection is answered `BUSY` in its own protocol.
+//!
+//! Nothing in a [`ChaosReport`] depends on wall time or worker count,
+//! which is what lets CI `cmp` whole harness outputs across runs.
+
+use crate::lifecycle::{ServeClock, ServeLimits};
+use crate::proto::{
+    encode_request, try_decode_request, try_decode_response, BinaryClient, Decoded, Opcode,
+    Response, CHECKSUM_LEN, HEADER_LEN,
+};
+use crate::server::{query_one, QueryServer, ServeConfig};
+use crate::store::DatasetStore;
+use geo_model::ip::Ipv4;
+use geo_model::rng::{fnv1a, splitmix64, Seed};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Domain label separating the chaos stream from every other seeded
+/// subsystem (same discipline as `atlas_sim::faults`).
+const DOMAIN: &str = "serve-chaos";
+
+/// Domain label for the clean clients' query workload.
+const CLEAN_DOMAIN: &str = "serve-chaos-clean";
+
+/// Upper bound on bytes a harness client will accumulate from the
+/// server before declaring the run broken.
+const REPLY_BUDGET: usize = 4 * 1024 * 1024;
+
+/// Deadlines used by the attack phase, in manual-clock ticks. Short on
+/// purpose: the harness advances the clock explicitly, so these are
+/// schedule constants, not tuning.
+const ATTACK_LIMITS: ServeLimits = ServeLimits {
+    max_connections: 4096,
+    max_per_worker: 4096,
+    idle_timeout_ms: 500,
+    read_timeout_ms: 200,
+    write_timeout_ms: 200,
+    drain_grace_ms: 100,
+};
+
+/// A deterministic counter stream in the `KeyRng` style: every value is
+/// a pure function of the construction key.
+struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    fn new(key: u64) -> ChaosRng {
+        ChaosRng {
+            state: splitmix64(key),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// FNV-1a digest of a byte stream — the harness's equivalence primitive,
+/// the same hash the `.igds` format and the wire protocol checksum with.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+/// Length-prefixed combination of per-connection streams, so stream
+/// boundaries cannot alias ("ab","c" vs "a","bc").
+fn combine(streams: &[Vec<u8>]) -> u64 {
+    let mut acc = Vec::new();
+    for s in streams {
+        acc.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        acc.extend_from_slice(s);
+    }
+    digest64(&acc)
+}
+
+/// One hostile connection behavior, with its drawn parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBehavior {
+    /// Write the valid frame in `chunks` pieces with pauses between.
+    SplitWrites {
+        /// Number of pieces (≥ 2).
+        chunks: usize,
+    },
+    /// Write `sent` bytes of the frame, then hold the socket open.
+    StalledWrites {
+        /// Bytes written before the stall (never the whole frame).
+        sent: usize,
+    },
+    /// Write `sent` bytes of the frame, then close the socket.
+    MidFrameAbort {
+        /// Bytes written before the abort (never the whole frame).
+        sent: usize,
+    },
+    /// Write the whole frame with one bit flipped ahead of the checksum.
+    CorruptByte {
+        /// Flipped byte offset, in `[1, frame_len - CHECKSUM_LEN)` — the
+        /// magic byte is spared so the protocol sniff stays binary, and
+        /// the checksum is spared so the flip is always *detectable*.
+        offset: usize,
+        /// Single-bit XOR mask.
+        mask: u8,
+    },
+    /// Write `sent < HEADER_LEN` bytes, then hold forever.
+    SlowLoris {
+        /// Bytes written (0 keeps the connection fully silent).
+        sent: usize,
+    },
+}
+
+/// One step of a chaos connection's schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Write these bytes.
+    Send(Vec<u8>),
+    /// Brief wall pause (pacing only; carries no clock meaning).
+    Pause,
+    /// Close the socket now.
+    Abort,
+    /// Keep the socket open and read whatever the server sends until it
+    /// closes the connection.
+    Hold,
+}
+
+/// How the server must dispose of one chaos connection — a pure
+/// function of the plan, which is what makes chaos counters assertable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedOutcome {
+    /// Answered normally, then idle-evicted once the clock passes the
+    /// idle deadline (split writes).
+    AnsweredThenIdle,
+    /// Never completes a frame: a `stalled-read` eviction.
+    StalledRead,
+    /// Never sends a byte: an idle eviction with no farewell (the
+    /// protocol was never even chosen).
+    SilentIdle,
+    /// The decoder rejects the bytes: a typed error reply, then close.
+    ProtoError,
+    /// The client aborts first: a plain close, no counter.
+    CleanAbort,
+}
+
+/// One connection's complete, deterministic attack plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Connection id within the chaos fleet.
+    pub conn: u64,
+    /// The drawn behavior.
+    pub behavior: ChaosBehavior,
+    /// The valid base request frame the behavior mangles.
+    pub frame: Vec<u8>,
+}
+
+impl ChaosPlan {
+    /// Draws the plan for chaos connection `conn` — a pure function of
+    /// `(seed, DOMAIN, conn)`; nothing else feeds the stream.
+    pub fn new(seed: Seed, conn: u64) -> ChaosPlan {
+        let mut rng = ChaosRng::new(seed.derive(DOMAIN).0 ^ splitmix64(conn));
+        let ips: Vec<Ipv4> = (0..1 + rng.below(4))
+            .map(|_| Ipv4(rng.next() as u32))
+            .collect();
+        let mut frame = Vec::new();
+        // At most 4 addresses: far under MAX_BODY, encoding cannot fail.
+        let _ = encode_request(&mut frame, Opcode::Locate, &ips);
+        let len = frame.len() as u64;
+        let behavior = match rng.below(5) {
+            0 => ChaosBehavior::SplitWrites {
+                chunks: (2 + rng.below(6)) as usize,
+            },
+            1 => ChaosBehavior::StalledWrites {
+                sent: (1 + rng.below(len - 1)) as usize,
+            },
+            2 => ChaosBehavior::MidFrameAbort {
+                sent: (1 + rng.below(len - 1)) as usize,
+            },
+            3 => ChaosBehavior::CorruptByte {
+                offset: (1 + rng.below(len - CHECKSUM_LEN as u64 - 1)) as usize,
+                mask: 1u8 << rng.below(8),
+            },
+            _ => ChaosBehavior::SlowLoris {
+                sent: rng.below(HEADER_LEN as u64) as usize,
+            },
+        };
+        ChaosPlan {
+            conn,
+            behavior,
+            frame,
+        }
+    }
+
+    /// The frame with this plan's corruption applied (`None` for
+    /// non-corrupting behaviors).
+    fn corrupted(&self) -> Option<Vec<u8>> {
+        match self.behavior {
+            ChaosBehavior::CorruptByte { offset, mask } => {
+                let mut bytes = self.frame.clone();
+                if let Some(b) = bytes.get_mut(offset) {
+                    *b ^= mask;
+                }
+                Some(bytes)
+            }
+            _ => None,
+        }
+    }
+
+    /// The socket-level schedule this plan executes.
+    pub fn ops(&self) -> Vec<ChaosOp> {
+        match self.behavior {
+            ChaosBehavior::SplitWrites { chunks } => {
+                let n = chunks.clamp(1, self.frame.len());
+                let base = self.frame.len() / n;
+                let rem = self.frame.len() % n;
+                let mut ops = Vec::new();
+                let mut at = 0;
+                for i in 0..n {
+                    let take = base + usize::from(i < rem);
+                    ops.push(ChaosOp::Send(self.frame[at..at + take].to_vec()));
+                    ops.push(ChaosOp::Pause);
+                    at += take;
+                }
+                ops.push(ChaosOp::Hold);
+                ops
+            }
+            ChaosBehavior::StalledWrites { sent } => vec![
+                ChaosOp::Send(self.frame[..sent.min(self.frame.len())].to_vec()),
+                ChaosOp::Hold,
+            ],
+            ChaosBehavior::MidFrameAbort { sent } => vec![
+                ChaosOp::Send(self.frame[..sent.min(self.frame.len())].to_vec()),
+                ChaosOp::Abort,
+            ],
+            ChaosBehavior::CorruptByte { .. } => {
+                let bytes = self.corrupted().unwrap_or_else(|| self.frame.clone());
+                vec![ChaosOp::Send(bytes), ChaosOp::Hold]
+            }
+            ChaosBehavior::SlowLoris { sent } => {
+                let mut ops = Vec::new();
+                if sent > 0 {
+                    ops.push(ChaosOp::Send(
+                        self.frame[..sent.min(self.frame.len())].to_vec(),
+                    ));
+                }
+                ops.push(ChaosOp::Hold);
+                ops
+            }
+        }
+    }
+
+    /// The server-side outcome this plan must produce. Corruption is
+    /// classified by running the *real decoder* over the corrupted
+    /// bytes, so the prediction can never drift from the
+    /// implementation: a typed decode error means an error reply; a
+    /// decoder left waiting for more bytes means a stalled-read
+    /// eviction.
+    pub fn expected(&self) -> ExpectedOutcome {
+        match self.behavior {
+            ChaosBehavior::SplitWrites { .. } => ExpectedOutcome::AnsweredThenIdle,
+            ChaosBehavior::StalledWrites { .. } => ExpectedOutcome::StalledRead,
+            ChaosBehavior::MidFrameAbort { .. } => ExpectedOutcome::CleanAbort,
+            ChaosBehavior::SlowLoris { sent } => {
+                if sent == 0 {
+                    ExpectedOutcome::SilentIdle
+                } else {
+                    ExpectedOutcome::StalledRead
+                }
+            }
+            ChaosBehavior::CorruptByte { .. } => {
+                let bytes = self.corrupted().unwrap_or_else(|| self.frame.clone());
+                match try_decode_request(&bytes) {
+                    Err(_) => ExpectedOutcome::ProtoError,
+                    Ok(Decoded::NeedMore) => ExpectedOutcome::StalledRead,
+                    Ok(Decoded::Frame(..)) => ExpectedOutcome::AnsweredThenIdle,
+                }
+            }
+        }
+    }
+}
+
+/// Harness shape: how many clients of each kind, how hard to shed.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; every schedule and workload derives from it.
+    pub seed: u64,
+    /// Well-behaved clients (even ids binary, odd ids line protocol).
+    pub clean_conns: usize,
+    /// Attacking clients.
+    pub chaos_conns: usize,
+    /// Queries per clean client.
+    pub queries_per_conn: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// `max_connections` for the shed phase's capped server.
+    pub shed_cap: usize,
+    /// Over-cap connections, each of which must be answered `BUSY`.
+    pub shed_extra: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 7,
+            clean_conns: 6,
+            chaos_conns: 2,
+            queries_per_conn: 8,
+            workers: 2,
+            shed_cap: 4,
+            shed_extra: 3,
+        }
+    }
+}
+
+/// Everything a chaos run observes that must reproduce under the same
+/// seed. Deliberately free of wall-clock and worker-count values: CI
+/// compares whole reports byte-for-byte across runs and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// The seed the run derived everything from.
+    pub seed: u64,
+    /// Combined digest of every clean client's response byte stream,
+    /// in client order.
+    pub clean_digest: u64,
+    /// Combined digest of every chaos client's observed bytes
+    /// (responses, typed error replies, eviction farewells).
+    pub chaos_digest: u64,
+    /// Idle-deadline evictions during the attack.
+    pub evicted_idle: u64,
+    /// Stalled-read evictions during the attack.
+    pub evicted_stalled: u64,
+    /// Typed protocol errors answered during the attack.
+    pub proto_errors: u64,
+    /// Connections answered `BUSY` in the shed phase.
+    pub shed: u64,
+    /// Generation number after the mid-stream reload (always 2: the
+    /// reload swaps in a second generation of the same snapshot, which
+    /// is what proves responses are bit-stable across a swap).
+    pub generation: u64,
+}
+
+impl ChaosReport {
+    /// Stable `key=value` rendering, one line per field — the
+    /// `chaos_serve` binary prints exactly this and CI `cmp`s it.
+    pub fn lines(&self) -> String {
+        format!(
+            "seed={}\nclean_digest={:016x}\nchaos_digest={:016x}\nevicted_idle={}\n\
+             evicted_stalled={}\nproto_errors={}\nshed={}\ngeneration={}\n",
+            self.seed,
+            self.clean_digest,
+            self.chaos_digest,
+            self.evicted_idle,
+            self.evicted_stalled,
+            self.proto_errors,
+            self.shed,
+            self.generation,
+        )
+    }
+}
+
+/// The deterministic query workload of one clean client:
+/// `(nearest?, address)` pairs mixing guaranteed hits (drawn from the
+/// store's own prefixes) with likely misses.
+fn clean_workload(
+    seed: Seed,
+    conn: u64,
+    store: &DatasetStore,
+    queries: usize,
+) -> Vec<(bool, Ipv4)> {
+    let mut rng = ChaosRng::new(seed.derive(CLEAN_DOMAIN).0 ^ splitmix64(conn));
+    (0..queries)
+        .map(|_| {
+            let nearest = rng.below(2) == 1;
+            let ip = match store
+                .entries()
+                .get(rng.below(store.len().max(1) as u64) as usize)
+            {
+                Some(e) if rng.below(2) == 0 => e.prefix.host((1 + rng.below(250)) as u8),
+                _ => Ipv4(rng.next() as u32),
+            };
+            (nearest, ip)
+        })
+        .collect()
+}
+
+/// Runs one clean binary-protocol client: pipelines every query frame,
+/// then reads until exactly that many response frames have decoded.
+/// Returns the raw response bytes.
+fn run_clean_binary(addr: &str, workload: &[(bool, Ipv4)]) -> Result<Vec<u8>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut frames = Vec::new();
+    for &(nearest, ip) in workload {
+        let opcode = if nearest {
+            Opcode::Nearest
+        } else {
+            Opcode::Locate
+        };
+        encode_request(&mut frames, opcode, &[ip]).map_err(|e| format!("encode: {e}"))?;
+    }
+    stream
+        .write_all(&frames)
+        .map_err(|e| format!("pipeline write: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut consumed = 0;
+    let mut seen = 0;
+    while seen < workload.len() {
+        if buf.len() > REPLY_BUDGET {
+            return Err("server reply exceeded the harness budget".into());
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err("server closed before all responses arrived".into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read: {e}")),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        loop {
+            match try_decode_response(&buf[consumed..]) {
+                Ok(Decoded::Frame(_, used)) => {
+                    consumed += used;
+                    seen += 1;
+                }
+                Ok(Decoded::NeedMore) => break,
+                Err(e) => return Err(format!("clean client got undecodable bytes: {e}")),
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Runs one clean line-protocol client: pipelines every query line, then
+/// reads exactly that many reply lines. Returns the raw reply bytes.
+fn run_clean_line(addr: &str, workload: &[(bool, Ipv4)]) -> Result<Vec<u8>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut w = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut batch = String::new();
+    for &(nearest, ip) in workload {
+        let verb = if nearest { "NEAREST" } else { "LOCATE" };
+        batch.push_str(&format!("{verb} {ip}\n"));
+    }
+    w.write_all(batch.as_bytes())
+        .map_err(|e| format!("pipeline write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut bytes = Vec::new();
+    for _ in 0..workload.len() {
+        let mut line = String::new();
+        // geo-lint: allow(R4, reason = "blocking read in the chaos harness's client, not the serving path")
+        let read = reader.read_line(&mut line);
+        let n = read.map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed before all replies arrived".into());
+        }
+        bytes.extend_from_slice(line.as_bytes());
+        if bytes.len() > REPLY_BUDGET {
+            return Err("server reply exceeded the harness budget".into());
+        }
+    }
+    Ok(bytes)
+}
+
+/// Executes one chaos plan against the server and returns every byte
+/// the connection observed (the farewell included). A held connection
+/// reads until the server evicts it, so this only returns once the
+/// harness has advanced the clock past the relevant deadline.
+fn run_chaos_conn(addr: &str, plan: &ChaosPlan) -> Result<Vec<u8>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    for op in plan.ops() {
+        match op {
+            ChaosOp::Send(bytes) => stream
+                .write_all(&bytes)
+                .map_err(|e| format!("chaos write: {e}"))?,
+            ChaosOp::Pause => thread::sleep(Duration::from_millis(1)),
+            ChaosOp::Abort => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(Vec::new());
+            }
+            ChaosOp::Hold => {}
+        }
+    }
+    let mut seen = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if seen.len() > REPLY_BUDGET {
+            return Err("server sent more than the harness budget".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => seen.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A reset after eviction is still end-of-stream.
+            Err(_) => break,
+        }
+    }
+    Ok(seen)
+}
+
+/// The shed phase: a fresh server capped at `shed_cap` connections is
+/// filled with confirmed connections, then every over-cap connection
+/// must be answered `BUSY` (line protocol for all but the last, which
+/// checks the binary `BUSY` frame). Returns the server's shed counter.
+fn shed_phase(store: &Arc<DatasetStore>, cfg: &ChaosConfig) -> Result<u64, String> {
+    let (clock, _tick) = ServeClock::manual();
+    let config = ServeConfig {
+        workers: cfg.workers,
+        limits: ServeLimits {
+            max_connections: cfg.shed_cap,
+            ..ServeLimits::default()
+        },
+        clock,
+        snapshot_path: None,
+    };
+    let server = QueryServer::spawn_with_config(Arc::clone(store), 0, config)
+        .map_err(|e| format!("shed spawn: {e}"))?;
+    let addr = server.addr().to_string();
+
+    // Fill the cap sequentially, each connection confirmed by a reply
+    // before the next connects — so the count the server sheds against
+    // is never racing the harness.
+    let mut held = Vec::new();
+    for i in 0..cfg.shed_cap {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("fill connect: {e}"))?;
+        let mut w = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        w.write_all(b"LOCATE 1.2.3.4\n")
+            .map_err(|e| format!("fill write: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        // geo-lint: allow(R4, reason = "blocking read in the chaos harness's client, not the serving path")
+        let read = reader.read_line(&mut reply);
+        read.map_err(|e| format!("fill read: {e}"))?;
+        if reply.trim_end() == "ERR busy" {
+            return Err(format!("connection {i} shed below the cap"));
+        }
+        held.push((reader, w));
+    }
+
+    // Every over-cap connection is shed with an explicit BUSY.
+    for i in 0..cfg.shed_extra {
+        if i + 1 == cfg.shed_extra {
+            let mut client =
+                BinaryClient::connect(&addr).map_err(|e| format!("busy connect: {e}"))?;
+            match client.query(Opcode::Stats, &[]) {
+                Ok(Response::Busy) => {}
+                other => return Err(format!("over-cap binary client got {other:?}, not Busy")),
+            }
+        } else {
+            let reply = query_one(&addr, "STATS").map_err(|e| format!("busy query: {e}"))?;
+            if reply != "ERR busy" {
+                return Err(format!("over-cap line client got {reply:?}, not ERR busy"));
+            }
+        }
+    }
+    let shed = server.stats().shed;
+    if shed != cfg.shed_extra as u64 {
+        return Err(format!(
+            "shed counter is {shed}, expected exactly {}",
+            cfg.shed_extra
+        ));
+    }
+    drop(held);
+    server.shutdown();
+    Ok(shed)
+}
+
+/// Runs the harness once. With `attack` false the chaos fleet stays
+/// home, giving the baseline the attacked run's clean digest must
+/// match. Everything in the returned report is a pure function of
+/// `(store contents, cfg)`.
+pub fn run(
+    store: &Arc<DatasetStore>,
+    cfg: &ChaosConfig,
+    attack: bool,
+) -> Result<ChaosReport, String> {
+    let seed = Seed(cfg.seed);
+    let (clock, tick) = ServeClock::manual();
+    let config = ServeConfig {
+        workers: cfg.workers,
+        limits: ATTACK_LIMITS,
+        clock,
+        snapshot_path: None,
+    };
+    let server = QueryServer::spawn_with_config(Arc::clone(store), 0, config)
+        .map_err(|e| format!("spawn: {e}"))?;
+    let addr = server.addr().to_string();
+
+    // Clean clients, pipelining their seeded workloads.
+    let mut clean_handles = Vec::new();
+    for id in 0..cfg.clean_conns {
+        let addr = addr.clone();
+        let store = Arc::clone(store);
+        let queries = cfg.queries_per_conn;
+        // geo-lint: allow(R4, reason = "harness client threads, not per-connection serving threads")
+        clean_handles.push(thread::spawn(move || -> Result<Vec<u8>, String> {
+            let workload = clean_workload(seed, id as u64, &store, queries);
+            if id % 2 == 0 {
+                run_clean_binary(&addr, &workload)
+            } else {
+                run_clean_line(&addr, &workload)
+            }
+        }));
+    }
+
+    // Mid-stream reload of the same snapshot: the generation swaps under
+    // live traffic, and because the content is identical, any response
+    // difference the digest catches would be a reload bug.
+    let generation = server.reload(Arc::clone(store));
+
+    // The chaos fleet.
+    let plans: Vec<ChaosPlan> = if attack {
+        (0..cfg.chaos_conns)
+            .map(|i| ChaosPlan::new(seed, i as u64))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut chaos_handles = Vec::new();
+    for plan in &plans {
+        let addr = addr.clone();
+        let plan = plan.clone();
+        // geo-lint: allow(R4, reason = "harness client threads, not per-connection serving threads")
+        chaos_handles.push(thread::spawn(move || run_chaos_conn(&addr, &plan)));
+    }
+
+    let mut clean_streams = Vec::new();
+    for h in clean_handles {
+        clean_streams.push(
+            h.join()
+                .map_err(|_| "clean client thread panicked".to_string())??,
+        );
+    }
+
+    // Advance the manual clock until exactly the predicted evictions
+    // have fired. The clean clients are done and gone, so every
+    // deadline that fires from here belongs to a chaos connection.
+    let mut want_idle = 0u64;
+    let mut want_stalled = 0u64;
+    let mut want_proto = 0u64;
+    for plan in &plans {
+        match plan.expected() {
+            ExpectedOutcome::AnsweredThenIdle | ExpectedOutcome::SilentIdle => want_idle += 1,
+            ExpectedOutcome::StalledRead => want_stalled += 1,
+            ExpectedOutcome::ProtoError => want_proto += 1,
+            ExpectedOutcome::CleanAbort => {}
+        }
+    }
+    let mut converged = false;
+    for _ in 0..3000 {
+        let s = server.stats();
+        if s.evicted_idle == want_idle
+            && s.evicted_stalled == want_stalled
+            && s.proto_errors == want_proto
+        {
+            converged = true;
+            break;
+        }
+        tick.advance(25);
+        thread::sleep(Duration::from_millis(2));
+    }
+    let s = server.stats();
+    if !converged {
+        return Err(format!(
+            "eviction counters never converged: idle {}/{want_idle}, stalled \
+             {}/{want_stalled}, proto {}/{want_proto}",
+            s.evicted_idle, s.evicted_stalled, s.proto_errors
+        ));
+    }
+    if s.evicted_slow != 0 || s.evicted_too_large != 0 {
+        return Err(format!(
+            "unpredicted evictions: slow {} too-large {}",
+            s.evicted_slow, s.evicted_too_large
+        ));
+    }
+
+    let mut chaos_streams = Vec::new();
+    for h in chaos_handles {
+        chaos_streams.push(
+            h.join()
+                .map_err(|_| "chaos client thread panicked".to_string())??,
+        );
+    }
+
+    let report = ChaosReport {
+        seed: cfg.seed,
+        clean_digest: combine(&clean_streams),
+        chaos_digest: combine(&chaos_streams),
+        evicted_idle: s.evicted_idle,
+        evicted_stalled: s.evicted_stalled,
+        proto_errors: s.proto_errors,
+        shed: shed_phase(store, cfg)?,
+        generation,
+    };
+
+    // Drain shutdown must complete promptly: every connection is gone.
+    server.shutdown_drain();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_conn() {
+        for conn in 0..16 {
+            let a = ChaosPlan::new(Seed(7), conn);
+            let b = ChaosPlan::new(Seed(7), conn);
+            assert_eq!(a, b);
+            assert_eq!(a.ops(), b.ops());
+            assert_eq!(a.expected(), b.expected());
+        }
+        assert_ne!(ChaosPlan::new(Seed(7), 0), ChaosPlan::new(Seed(8), 0));
+        assert_ne!(ChaosPlan::new(Seed(7), 0), ChaosPlan::new(Seed(7), 1));
+    }
+
+    #[test]
+    fn every_behavior_appears_across_a_fleet() {
+        let mut seen = [false; 5];
+        for conn in 0..128 {
+            let idx = match ChaosPlan::new(Seed(3), conn).behavior {
+                ChaosBehavior::SplitWrites { .. } => 0,
+                ChaosBehavior::StalledWrites { .. } => 1,
+                ChaosBehavior::MidFrameAbort { .. } => 2,
+                ChaosBehavior::CorruptByte { .. } => 3,
+                ChaosBehavior::SlowLoris { .. } => 4,
+            };
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 5], "128 draws must cover all 5 behaviors");
+    }
+
+    #[test]
+    fn split_writes_reassemble_the_exact_frame() {
+        for conn in 0..128 {
+            let plan = ChaosPlan::new(Seed(11), conn);
+            if let ChaosBehavior::SplitWrites { .. } = plan.behavior {
+                let sent: Vec<u8> = plan
+                    .ops()
+                    .into_iter()
+                    .filter_map(|op| match op {
+                        ChaosOp::Send(b) => Some(b),
+                        _ => None,
+                    })
+                    .flatten()
+                    .collect();
+                assert_eq!(sent, plan.frame);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_classification_matches_the_decoder() {
+        let mut classified = 0;
+        for conn in 0..256 {
+            let plan = ChaosPlan::new(Seed(5), conn);
+            if let ChaosBehavior::CorruptByte { offset, mask } = plan.behavior {
+                classified += 1;
+                // The flip always lands ahead of the checksum and after
+                // the magic byte.
+                assert!(offset >= 1 && offset < plan.frame.len() - CHECKSUM_LEN);
+                assert_eq!(mask.count_ones(), 1);
+                let bytes = plan.corrupted().unwrap_or_default();
+                let want = match try_decode_request(&bytes) {
+                    Err(_) => ExpectedOutcome::ProtoError,
+                    Ok(Decoded::NeedMore) => ExpectedOutcome::StalledRead,
+                    Ok(Decoded::Frame(..)) => ExpectedOutcome::AnsweredThenIdle,
+                };
+                assert_eq!(plan.expected(), want);
+            }
+        }
+        assert!(classified > 10, "only {classified} corrupt plans in 256");
+    }
+
+    #[test]
+    fn stream_combination_is_boundary_sensitive() {
+        let ab_c = combine(&[b"ab".to_vec(), b"c".to_vec()]);
+        let a_bc = combine(&[b"a".to_vec(), b"bc".to_vec()]);
+        assert_ne!(ab_c, a_bc);
+        assert_eq!(ab_c, combine(&[b"ab".to_vec(), b"c".to_vec()]));
+    }
+
+    #[test]
+    fn report_lines_are_stable_and_machine_free() {
+        let report = ChaosReport {
+            seed: 7,
+            clean_digest: 0xDEAD_BEEF,
+            chaos_digest: 0xFEED_FACE,
+            evicted_idle: 1,
+            evicted_stalled: 2,
+            proto_errors: 3,
+            shed: 4,
+            generation: 2,
+        };
+        let lines = report.lines();
+        assert!(lines.contains("seed=7\n"));
+        assert!(lines.contains("clean_digest=00000000deadbeef\n"));
+        assert!(lines.contains("generation=2\n"));
+        // No wall-clock or thread-count leakage: the rendering is a pure
+        // function of the report fields.
+        assert_eq!(lines, report.lines());
+    }
+}

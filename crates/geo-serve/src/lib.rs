@@ -13,9 +13,19 @@
 //! - [`server`] — [`QueryServer`], a readiness-driven TCP server: a
 //!   fixed worker pool (sized from `IPGEO_THREADS`) of event loops over
 //!   nonblocking sockets, each connection speaking either the one-line
-//!   text protocol (`LOCATE`/`NEAREST`/`STATS`/`QUIT`) or the binary
-//!   pipelined protocol, with atomic hit/miss counters and wake-token
-//!   shutdown;
+//!   text protocol (`LOCATE`/`NEAREST`/`STATS`/`RELOAD`/`QUIT`) or the
+//!   binary pipelined protocol, with atomic hit/miss/eviction counters,
+//!   connection caps with `BUSY` shedding, live generation-tagged
+//!   snapshot reload, and wake-token or graceful-drain shutdown;
+//! - [`lifecycle`] — the per-connection deadline state machine
+//!   ([`ServeLimits`], [`ServeClock`], typed [`Eviction`]s) that turns
+//!   idle, slow-loris, and slow-reader connections into bounded,
+//!   counted evictions instead of leaked resources;
+//! - [`chaos`] — seeded socket-level fault injection (split writes,
+//!   stalls, mid-frame aborts, checksum corruption, slow-loris) whose
+//!   schedule is a pure function of `(seed, domain, connection)`,
+//!   plus the harness proving clean clients read bit-identical bytes
+//!   while chaos clients attack;
 //! - [`proto`] — the length-prefixed, versioned, checksummed binary
 //!   request/response protocol (batched/pipelined LOCATE/NEAREST/STATS
 //!   frames) and its blocking [`BinaryClient`];
@@ -34,8 +44,10 @@
 //! from serde/tokio.
 
 pub mod cache;
+pub mod chaos;
 pub mod diff;
 pub mod format;
+pub mod lifecycle;
 pub mod manifest;
 pub mod poll;
 pub mod proto;
@@ -43,9 +55,11 @@ pub mod server;
 pub mod store;
 
 pub use cache::HotCache;
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosReport};
 pub use diff::DiffReport;
 pub use format::{FormatError, Header};
+pub use lifecycle::{ClockHandle, Eviction, ServeClock, ServeLimits};
 pub use manifest::Manifest;
 pub use proto::{BinaryClient, LocateRecord, Opcode, ProtoError, Request, Response, StatsRecord};
-pub use server::{query_one, QueryServer, StatsSnapshot};
-pub use store::DatasetStore;
+pub use server::{query_one, QueryServer, ServeConfig, StatsSnapshot};
+pub use store::{DatasetStore, StoreHandle};

@@ -1,0 +1,331 @@
+//! Connection lifecycle policy for the query server: the mockable clock,
+//! the serve limits, and the per-connection deadline state machine.
+//!
+//! The event-loop workers already sweep every connection continuously, so
+//! deadlines need no timer threads: each sweep reads the clock **once**
+//! and hands the tick to every connection's [`Lifecycle`], which answers
+//! "should this connection be evicted, and why" as a pure function of
+//! `(phase, tick, limits)`. Tests drive a [`ServeClock::manual`] handle
+//! instead of the wall clock, which makes every timeout decision — and
+//! therefore every eviction counter — deterministic and replayable.
+//!
+//! The state machine has three phases:
+//!
+//! - **Idle** — no partial input buffered, no output backlog. Evicted
+//!   after [`ServeLimits::idle_timeout_ms`] without any socket traffic.
+//! - **Reading** — a partial frame/line is buffered. The phase clock
+//!   resets every time a *complete* frame or line is consumed, not on
+//!   every byte, so a slow-loris client trickling one byte per sweep
+//!   still trips [`ServeLimits::read_timeout_ms`] while a fast
+//!   pipelining client never does.
+//! - **Writing** — response bytes are queued. The phase clock resets
+//!   when the backlog fully drains; a client that stops reading its
+//!   answers trips [`ServeLimits::write_timeout_ms`] and is evicted as
+//!   a [`Eviction::SlowClient`].
+//!
+//! [`Eviction`] also names the two non-deadline removals — oversized
+//! input ([`Eviction::TooLarge`]) and the drain-shutdown deadline
+//! ([`Eviction::Drain`]) — so every forced close in the server is typed
+//! and counted under exactly one reason.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Milliseconds since the server's clock started.
+pub type Tick = u64;
+
+/// The clock that drives connection deadlines. One read per worker
+/// sweep; never consulted per byte.
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Real elapsed time since server start.
+    Wall(Instant),
+    /// A test-controlled tick counter; see [`ClockHandle`].
+    Manual(Arc<AtomicU64>),
+}
+
+impl ServeClock {
+    /// The production clock: wall time, millisecond ticks.
+    // Connection deadlines are wall-clock serving state, not simulation
+    // state; exempt from the workspace timing ban (see clippy.toml).
+    #[allow(clippy::disallowed_methods)]
+    pub fn wall() -> ServeClock {
+        ServeClock::Wall(Instant::now())
+    }
+
+    /// A clock that only moves when its [`ClockHandle`] is advanced —
+    /// the chaos/eviction tests' hook for making timeouts deterministic.
+    pub fn manual() -> (ServeClock, ClockHandle) {
+        let ticks = Arc::new(AtomicU64::new(0));
+        (
+            ServeClock::Manual(Arc::clone(&ticks)),
+            ClockHandle { ticks },
+        )
+    }
+
+    /// Current tick (milliseconds).
+    pub fn now(&self) -> Tick {
+        match self {
+            ServeClock::Wall(started) => started.elapsed().as_millis() as Tick,
+            ServeClock::Manual(ticks) => ticks.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Advances a [`ServeClock::manual`] clock from any thread.
+#[derive(Debug, Clone)]
+pub struct ClockHandle {
+    ticks: Arc<AtomicU64>,
+}
+
+impl ClockHandle {
+    /// Moves the clock forward by `ms` ticks.
+    pub fn advance(&self, ms: u64) {
+        self.ticks.fetch_add(ms, Ordering::AcqRel);
+    }
+
+    /// The clock's current tick.
+    pub fn now(&self) -> Tick {
+        self.ticks.load(Ordering::Acquire)
+    }
+}
+
+/// Caps and deadlines for a running server. Every field has a default
+/// sized for the loopback benches; tests shrink them to taste.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLimits {
+    /// Global cap on established connections; accepts beyond it are
+    /// answered `BUSY` and closed (overload sheds instead of stalling).
+    pub max_connections: usize,
+    /// Per-worker cap on registered connections; a worker at its cap
+    /// sheds its own accepts even when the global cap has headroom.
+    pub max_per_worker: usize,
+    /// Eviction deadline for connections with no traffic at all.
+    pub idle_timeout_ms: u64,
+    /// Deadline for completing a started frame/line (anti-slow-loris).
+    pub read_timeout_ms: u64,
+    /// Deadline for draining queued responses (anti-slow-reader).
+    pub write_timeout_ms: u64,
+    /// How long a drain shutdown waits for in-flight connections before
+    /// evicting the stragglers.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_connections: 1024,
+            max_per_worker: 1024,
+            idle_timeout_ms: 60_000,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            drain_grace_ms: 2_000,
+        }
+    }
+}
+
+/// What a connection is waiting on, as seen at the end of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// No partial input, no queued output.
+    Idle,
+    /// A partial frame/line is buffered; waiting on the client's bytes.
+    Reading,
+    /// Responses are queued; waiting on the client to drain them.
+    Writing,
+}
+
+/// Why the server force-closed a connection. Every reason maps to one
+/// monotonic counter surfaced through `STATS` and the stats snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// No traffic for [`ServeLimits::idle_timeout_ms`].
+    Idle,
+    /// A partial frame/line sat incomplete past the read deadline.
+    StalledRead,
+    /// The client stopped draining its responses (write deadline).
+    SlowClient,
+    /// A single line/frame exceeded the shared input budget.
+    TooLarge,
+    /// Still in flight when the drain-shutdown grace expired.
+    Drain,
+}
+
+impl Eviction {
+    /// Stable lowercase name, used in farewell messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Eviction::Idle => "idle-timeout",
+            Eviction::StalledRead => "stalled-read",
+            Eviction::SlowClient => "slow-client",
+            Eviction::TooLarge => "too-large",
+            Eviction::Drain => "drain-deadline",
+        }
+    }
+}
+
+impl fmt::Display for Eviction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-connection deadline state. Owned by the connection, fed by the
+/// sweep, consulted once per sweep via [`Lifecycle::check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Lifecycle {
+    phase: ConnPhase,
+    /// Tick the current phase was entered (or last re-armed by a
+    /// completed frame / fully drained backlog).
+    phase_since: Tick,
+    /// Tick of the last byte moved in either direction.
+    last_io: Tick,
+}
+
+impl Lifecycle {
+    /// Fresh state for a just-accepted connection.
+    pub fn new(now: Tick) -> Lifecycle {
+        Lifecycle {
+            phase: ConnPhase::Idle,
+            phase_since: now,
+            last_io: now,
+        }
+    }
+
+    /// Records that bytes moved on the socket (read or write). Governs
+    /// only the idle deadline; partial progress never extends the read
+    /// or write deadlines.
+    pub fn io_progress(&mut self, now: Tick) {
+        self.last_io = now;
+    }
+
+    /// Records the phase observed at the end of a sweep. `completed`
+    /// re-arms the phase deadline even without a phase change: a parse
+    /// that consumed at least one whole frame/line, or a write that
+    /// fully drained the backlog, proves the connection is live.
+    pub fn observe(&mut self, now: Tick, phase: ConnPhase, completed: bool) {
+        if completed || phase != self.phase {
+            self.phase_since = now;
+        }
+        self.phase = phase;
+    }
+
+    /// The phase recorded by the last [`Lifecycle::observe`].
+    pub fn phase(&self) -> ConnPhase {
+        self.phase
+    }
+
+    /// Milliseconds since bytes last moved on this connection. The
+    /// server's parking gate reads this so busy-but-momentarily-quiet
+    /// connections (a pipelined client between bursts) are never parked:
+    /// sweeps are microsecond-scale, clock time is not.
+    pub fn idle_for(&self, now: Tick) -> u64 {
+        now.saturating_sub(self.last_io)
+    }
+
+    /// The deadline verdict for this sweep, if any.
+    pub fn check(&self, now: Tick, limits: &ServeLimits) -> Option<Eviction> {
+        let in_phase = now.saturating_sub(self.phase_since);
+        match self.phase {
+            ConnPhase::Idle if now.saturating_sub(self.last_io) >= limits.idle_timeout_ms => {
+                Some(Eviction::Idle)
+            }
+            ConnPhase::Reading if in_phase >= limits.read_timeout_ms => Some(Eviction::StalledRead),
+            ConnPhase::Writing if in_phase >= limits.write_timeout_ms => Some(Eviction::SlowClient),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> ServeLimits {
+        ServeLimits {
+            idle_timeout_ms: 100,
+            read_timeout_ms: 20,
+            write_timeout_ms: 30,
+            ..ServeLimits::default()
+        }
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let (clock, handle) = ServeClock::manual();
+        assert_eq!(clock.now(), 0);
+        handle.advance(250);
+        assert_eq!(clock.now(), 250);
+        assert_eq!(handle.now(), 250);
+        // Cloned handles drive the same clock.
+        handle.clone().advance(1);
+        assert_eq!(clock.now(), 251);
+    }
+
+    #[test]
+    fn idle_deadline_counts_from_last_io() {
+        let lm = limits();
+        let mut life = Lifecycle::new(0);
+        assert_eq!(life.check(99, &lm), None);
+        assert_eq!(life.check(100, &lm), Some(Eviction::Idle));
+        life.io_progress(80);
+        assert_eq!(life.check(150, &lm), None);
+        assert_eq!(life.check(180, &lm), Some(Eviction::Idle));
+    }
+
+    #[test]
+    fn partial_reads_do_not_extend_the_read_deadline() {
+        let lm = limits();
+        let mut life = Lifecycle::new(0);
+        life.observe(0, ConnPhase::Reading, false);
+        // A slow-loris trickle: bytes arrive, the frame never completes.
+        for t in [5, 10, 15] {
+            life.io_progress(t);
+            life.observe(t, ConnPhase::Reading, false);
+            assert_eq!(life.check(t, &lm), None);
+        }
+        assert_eq!(life.check(20, &lm), Some(Eviction::StalledRead));
+        // A completed frame re-arms the deadline.
+        life.observe(20, ConnPhase::Reading, true);
+        assert_eq!(life.check(39, &lm), None);
+        assert_eq!(life.check(40, &lm), Some(Eviction::StalledRead));
+    }
+
+    #[test]
+    fn write_backlog_deadline_resets_on_full_drain() {
+        let lm = limits();
+        let mut life = Lifecycle::new(0);
+        life.observe(0, ConnPhase::Writing, false);
+        assert_eq!(life.check(29, &lm), None);
+        assert_eq!(life.check(30, &lm), Some(Eviction::SlowClient));
+        // Fully drained: back to Idle, idle clock governs again.
+        life.io_progress(25);
+        life.observe(25, ConnPhase::Idle, true);
+        assert_eq!(life.check(30, &lm), None);
+        assert_eq!(life.check(125, &lm), Some(Eviction::Idle));
+    }
+
+    #[test]
+    fn eviction_names_are_stable() {
+        let all = [
+            Eviction::Idle,
+            Eviction::StalledRead,
+            Eviction::SlowClient,
+            Eviction::TooLarge,
+            Eviction::Drain,
+        ];
+        let names: Vec<&str> = all.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "idle-timeout",
+                "stalled-read",
+                "slow-client",
+                "too-large",
+                "drain-deadline"
+            ]
+        );
+    }
+}

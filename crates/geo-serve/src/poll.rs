@@ -18,7 +18,15 @@
 //!   immediately); consecutive idle sweeps sleep exponentially longer
 //!   up to a small cap, trading a bounded sliver of wake-up latency
 //!   for not burning a core on an idle server. The cap is deliberately
-//!   far below a millisecond so the serve path's p99 survives it.
+//!   far below a millisecond so the serve path's p99 survives it;
+//! - [`Registry::park`] — the connection-count-aware idle sweep. A
+//!   connection idle for many consecutive sweeps is *parked*: it drops
+//!   out of [`Registry::tokens`] (so the sweep stops issuing a syscall
+//!   for it every iteration) onto a lazy re-arm list, and
+//!   [`Registry::unpark_due`] returns it to the sweep a bounded number
+//!   of sweeps later. Thousands of idle connections then cost ~no CPU
+//!   per sweep while still getting their sockets re-polled (and their
+//!   idle deadlines re-checked) within a fixed sweep budget.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -55,15 +63,32 @@ impl Interest {
     }
 }
 
+/// One occupied registry slot.
+#[derive(Debug)]
+struct Slot<C> {
+    conn: C,
+    interest: Interest,
+    /// Parked connections are skipped by [`Registry::tokens`] until
+    /// [`Registry::unpark_due`] (or [`Registry::unpark_all`]) re-arms
+    /// them.
+    parked: bool,
+}
+
 /// Slot-indexed storage for a worker's connections.
 ///
-/// `Vec<Option<C>>` keeps tokens stable across unrelated closes and
-/// reuses the lowest free slot on insert, bounding the vector at the
+/// A `Vec` of optional slots keeps tokens stable across unrelated closes
+/// and reuses the lowest free slot on insert, bounding the vector at the
 /// connection high-water mark.
 #[derive(Debug)]
 pub struct Registry<C> {
-    slots: Vec<Option<(C, Interest)>>,
+    slots: Vec<Option<Slot<C>>>,
     live: usize,
+    parked: usize,
+    /// Lazy re-arm list: `(slot, due_sweep)` in park order. Entries can
+    /// go stale (the connection closed, or the slot was recycled); a
+    /// stale entry un-parks at worst an unrelated fresh connection one
+    /// sweep early, which costs one extra poll and nothing else.
+    rearm: Vec<(usize, u64)>,
 }
 
 impl<C> Default for Registry<C> {
@@ -78,6 +103,8 @@ impl<C> Registry<C> {
         Registry {
             slots: Vec::new(),
             live: 0,
+            parked: 0,
+            rearm: Vec::new(),
         }
     }
 
@@ -85,13 +112,18 @@ impl<C> Registry<C> {
     // geo-lint: allow(R1T, reason = "slot index comes from `position` over the same vec in the same &mut borrow")
     pub fn register(&mut self, conn: C, interest: Interest) -> Token {
         self.live += 1;
+        let slot = Slot {
+            conn,
+            interest,
+            parked: false,
+        };
         match self.slots.iter().position(Option::is_none) {
             Some(i) => {
-                self.slots[i] = Some((conn, interest));
+                self.slots[i] = Some(slot);
                 Token(i)
             }
             None => {
-                self.slots.push(Some((conn, interest)));
+                self.slots.push(Some(slot));
                 Token(self.slots.len() - 1)
             }
         }
@@ -100,11 +132,14 @@ impl<C> Registry<C> {
     /// Removes and returns the connection behind `token`.
     pub fn deregister(&mut self, token: Token) -> Option<C> {
         let slot = self.slots.get_mut(token.0)?;
-        let taken = slot.take().map(|(c, _)| c);
-        if taken.is_some() {
+        let taken = slot.take();
+        if let Some(s) = &taken {
             self.live -= 1;
+            if s.parked {
+                self.parked -= 1;
+            }
         }
-        taken
+        taken.map(|s| s.conn)
     }
 
     /// Mutable access to a registered connection and its interest.
@@ -112,10 +147,11 @@ impl<C> Registry<C> {
         self.slots
             .get_mut(token.0)?
             .as_mut()
-            .map(|(c, i)| (c, &mut *i))
+            .map(|s| (&mut s.conn, &mut s.interest))
     }
 
-    /// Live connection count.
+    /// Live connection count (parked connections included — they still
+    /// hold sockets and count against every cap).
     pub fn len(&self) -> usize {
         self.live
     }
@@ -125,13 +161,84 @@ impl<C> Registry<C> {
         self.live == 0
     }
 
-    /// Tokens of all live connections, ascending — the sweep order.
+    /// Currently parked connection count.
+    pub fn parked_len(&self) -> usize {
+        self.parked
+    }
+
+    /// Tokens of all live *un-parked* connections, ascending — the
+    /// sweep order.
     pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Some(slot) if !slot.parked => Some(Token(i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Tokens of every live connection, parked or not, ascending —
+    /// for cap accounting and drain-deadline eviction.
+    pub fn all_tokens(&self) -> Vec<Token> {
         self.slots
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|_| Token(i)))
             .collect()
+    }
+
+    /// Parks `token` until sweep number `due_sweep`: it disappears from
+    /// [`Registry::tokens`] and lands on the lazy re-arm list. Returns
+    /// false for unknown or already-parked tokens.
+    pub fn park(&mut self, token: Token, due_sweep: u64) -> bool {
+        let Some(Some(slot)) = self.slots.get_mut(token.0) else {
+            return false;
+        };
+        if slot.parked {
+            return false;
+        }
+        slot.parked = true;
+        self.parked += 1;
+        self.rearm.push((token.0, due_sweep));
+        true
+    }
+
+    /// Re-arms every parked connection whose due sweep has arrived.
+    /// Call once at the top of each sweep with the current sweep number.
+    pub fn unpark_due(&mut self, sweep: u64) {
+        if self.parked == 0 {
+            self.rearm.clear();
+            return;
+        }
+        let mut rearm = std::mem::take(&mut self.rearm);
+        rearm.retain(|&(slot_idx, due)| {
+            if due > sweep {
+                return true;
+            }
+            if let Some(Some(slot)) = self.slots.get_mut(slot_idx) {
+                if slot.parked {
+                    slot.parked = false;
+                    self.parked -= 1;
+                }
+            }
+            false
+        });
+        self.rearm = rearm;
+    }
+
+    /// Immediately re-arms every parked connection (drain shutdown wants
+    /// every socket back in the sweep to flush and close it).
+    pub fn unpark_all(&mut self) {
+        self.rearm.clear();
+        if self.parked == 0 {
+            return;
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            slot.parked = false;
+        }
+        self.parked = 0;
     }
 }
 
@@ -265,6 +372,56 @@ mod tests {
         }
         let (_, interest) = r.get_mut(t).unwrap();
         assert!(interest.writable);
+    }
+
+    #[test]
+    fn parked_connections_leave_the_sweep_until_due() {
+        let mut r: Registry<&str> = Registry::new();
+        let a = r.register("a", Interest::READ);
+        let b = r.register("b", Interest::READ);
+        assert!(r.park(a, 10));
+        assert!(!r.park(a, 12), "double-park is refused");
+        assert_eq!(r.tokens(), vec![b]);
+        assert_eq!(r.all_tokens(), vec![a, b]);
+        assert_eq!((r.len(), r.parked_len()), (2, 1));
+        // Not due yet: still parked.
+        r.unpark_due(9);
+        assert_eq!(r.tokens(), vec![b]);
+        // Due: back in the sweep.
+        r.unpark_due(10);
+        assert_eq!(r.tokens(), vec![a, b]);
+        assert_eq!(r.parked_len(), 0);
+    }
+
+    #[test]
+    fn stale_rearm_entries_are_harmless_after_slot_recycling() {
+        let mut r: Registry<&str> = Registry::new();
+        let a = r.register("a", Interest::READ);
+        assert!(r.park(a, 5));
+        // The parked connection closes; its slot is recycled by a fresh
+        // connection, which must start un-parked.
+        assert_eq!(r.deregister(a), Some("a"));
+        assert_eq!(r.parked_len(), 0);
+        let fresh = r.register("fresh", Interest::READ);
+        assert_eq!(fresh, a, "lowest slot is recycled");
+        assert_eq!(r.tokens(), vec![fresh]);
+        // The stale re-arm entry fires without corrupting counts.
+        r.unpark_due(5);
+        assert_eq!((r.len(), r.parked_len()), (1, 0));
+        assert_eq!(r.tokens(), vec![fresh]);
+    }
+
+    #[test]
+    fn unpark_all_rearms_everything_at_once() {
+        let mut r: Registry<u8> = Registry::new();
+        let toks: Vec<Token> = (0..4).map(|i| r.register(i, Interest::READ)).collect();
+        for &t in &toks[..3] {
+            assert!(r.park(t, u64::MAX));
+        }
+        assert_eq!(r.tokens().len(), 1);
+        r.unpark_all();
+        assert_eq!(r.tokens(), toks);
+        assert_eq!(r.parked_len(), 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   magic      u8        0xB8
 //!   version    u8        2
 //!   opcode     u8        echo of the request opcode
-//!   status     u8        0 = ok, 1 = error (body is a UTF-8 message)
+//!   status     u8        0 = ok, 1 = error (body is a UTF-8 message),
+//!                        2 = busy (server shedding load; empty body,
+//!                        connection closes after the frame)
 //!   body_len   u32 LE
 //!   body                 LOCATE/NEAREST: body_len/34 × record
 //!                        STATS: 4 × u64 LE (entries, hits, misses,
@@ -80,6 +82,14 @@ pub const CHECKSUM_LEN: usize = 8;
 pub const MAX_BODY: usize = 256 * 1024;
 /// Byte length of one location record in a response body.
 pub const RECORD_LEN: usize = 34;
+/// Response status byte: the request was answered.
+pub const STATUS_OK: u8 = 0;
+/// Response status byte: the frame was rejected (body is the message).
+pub const STATUS_ERROR: u8 = 1;
+/// Response status byte: the server is at its connection cap and is
+/// shedding this connection. The body is empty and the server closes
+/// the connection right after the frame.
+pub const STATUS_BUSY: u8 = 2;
 
 /// Frame opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +145,8 @@ pub enum ProtoError {
         /// Checksum of the frame as read.
         computed: u64,
     },
+    /// A response status byte outside the known set (ok/error/busy).
+    BadStatus(u8),
     /// A response error message is not valid UTF-8.
     BadUtf8,
     /// A record's hit byte is neither 0 nor 1.
@@ -173,6 +185,9 @@ impl fmt::Display for ProtoError {
                 f,
                 "corrupt frame: checksum {computed:016x}, frame says {stored:016x}"
             ),
+            ProtoError::BadStatus(s) => {
+                write!(f, "response status {s} is not ok/error/busy")
+            }
             ProtoError::BadUtf8 => write!(f, "error message is not UTF-8"),
             ProtoError::BadHitByte(b) => write!(f, "record hit byte {b} is neither 0 nor 1"),
             ProtoError::BadPrefix(p) => write!(f, "record prefix {p:#x} exceeds 24 bits"),
@@ -269,6 +284,8 @@ pub enum Response {
     Stats(StatsRecord),
     /// The server rejected the frame.
     Error(String),
+    /// The server is shedding load; the connection closes after this.
+    Busy,
 }
 
 /// Outcome of decoding a byte buffer that may hold a partial frame.
@@ -397,7 +414,7 @@ pub fn try_decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtoError> 
         return Err(ProtoError::BadOpcode(op_byte));
     };
     match status {
-        0 => match opcode {
+        STATUS_OK => match opcode {
             Opcode::Locate | Opcode::Nearest if body_len % RECORD_LEN != 0 => {
                 return Err(ProtoError::BadBodyLen {
                     opcode: op_byte,
@@ -412,15 +429,25 @@ pub fn try_decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtoError> 
             }
             _ => {}
         },
-        1 => {}
-        other => return Err(ProtoError::BadHitByte(other)),
+        STATUS_ERROR => {}
+        STATUS_BUSY if body_len != 0 => {
+            return Err(ProtoError::BadBodyLen {
+                opcode: op_byte,
+                body_len,
+            })
+        }
+        STATUS_BUSY => {}
+        other => return Err(ProtoError::BadStatus(other)),
     }
     let total = match check_frame(buf, body_len)? {
         Decoded::Frame((), total) => total,
         Decoded::NeedMore => return Ok(Decoded::NeedMore),
     };
     let body = &buf[HEADER_LEN..HEADER_LEN + body_len];
-    if status == 1 {
+    if status == STATUS_BUSY {
+        return Ok(Decoded::Frame(Response::Busy, total));
+    }
+    if status == STATUS_ERROR {
         let msg = std::str::from_utf8(body).map_err(|_| ProtoError::BadUtf8)?;
         return Ok(Decoded::Frame(Response::Error(msg.to_string()), total));
     }
@@ -495,7 +522,7 @@ pub struct ResponseWriter {
 impl ResponseWriter {
     /// Opens a response frame (status 0) on `out`.
     pub fn begin(out: &mut Vec<u8>, opcode: Opcode) -> ResponseWriter {
-        Self::begin_with_status(out, opcode, 0)
+        Self::begin_with_status(out, opcode, STATUS_OK)
     }
 
     fn begin_with_status(out: &mut Vec<u8>, opcode: Opcode, status: u8) -> ResponseWriter {
@@ -537,8 +564,16 @@ impl ResponseWriter {
 
 /// Appends a complete error response frame to `out`.
 pub fn encode_error(out: &mut Vec<u8>, opcode: Opcode, message: &str) {
-    let w = ResponseWriter::begin_with_status(out, opcode, 1);
+    let w = ResponseWriter::begin_with_status(out, opcode, STATUS_ERROR);
     out.extend_from_slice(message.as_bytes());
+    w.finish(out);
+}
+
+/// Appends a complete BUSY (overload-shed) response frame to `out`.
+/// The body is empty: a shed client learns everything it needs from the
+/// status byte, and the server closes the connection right after.
+pub fn encode_busy(out: &mut Vec<u8>, opcode: Opcode) {
+    let w = ResponseWriter::begin_with_status(out, opcode, STATUS_BUSY);
     w.finish(out);
 }
 
@@ -745,6 +780,32 @@ mod tests {
             try_decode_response(&buf).unwrap(),
             Decoded::Frame(Response::Error("no such thing".into()), buf.len())
         );
+    }
+
+    #[test]
+    fn busy_response_round_trips_and_rejects_a_body() {
+        let mut buf = Vec::new();
+        encode_busy(&mut buf, Opcode::Locate);
+        assert_eq!(
+            try_decode_response(&buf).unwrap(),
+            Decoded::Frame(Response::Busy, buf.len())
+        );
+
+        // A BUSY frame smuggling a body is malformed...
+        let mut with_body = Vec::new();
+        let w = ResponseWriter::begin_with_status(&mut with_body, Opcode::Locate, STATUS_BUSY);
+        with_body.extend_from_slice(b"go away");
+        w.finish(&mut with_body);
+        assert!(matches!(
+            try_decode_response(&with_body),
+            Err(ProtoError::BadBodyLen { .. })
+        ));
+
+        // ...and an unknown status byte is its own typed error.
+        let mut unknown = Vec::new();
+        let w = ResponseWriter::begin_with_status(&mut unknown, Opcode::Locate, 7);
+        w.finish(&mut unknown);
+        assert_eq!(try_decode_response(&unknown), Err(ProtoError::BadStatus(7)));
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! A readiness-driven TCP query server over a [`DatasetStore`].
 //!
-//! Architecture (DESIGN.md §11): a fixed pool of event-loop workers —
-//! sized from `IPGEO_THREADS` via [`geo_model::runtime::threads`] — each
-//! sweeping its own set of nonblocking connections registered in a
-//! [`poll::Registry`]. No thread is ever spawned per connection and no
-//! serving-path read blocks; the workspace denies `unsafe_code`, so the
-//! sweep is a safe-`std` readiness scan paced by [`poll::Poller`]'s
-//! adaptive idle backoff instead of an OS poller.
+//! Architecture (DESIGN.md §11, hardened in §14): a fixed pool of
+//! event-loop workers — sized from `IPGEO_THREADS` via
+//! [`geo_model::runtime::threads`] — each sweeping its own set of
+//! nonblocking connections registered in a [`poll::Registry`]. No thread
+//! is ever spawned per connection and no serving-path read blocks; the
+//! workspace denies `unsafe_code`, so the sweep is a safe-`std`
+//! readiness scan paced by [`poll::Poller`]'s adaptive idle backoff
+//! instead of an OS poller.
 //!
 //! Every connection speaks one of two protocols, chosen by its first
 //! byte ([`proto::REQ_MAGIC`] opens a binary conversation, anything else
@@ -16,41 +17,76 @@
 //! LOCATE <ip>    -> OK <prefix,lat,lon,method,confidence,evidence>   exact /24 hit
 //!                   MISS <ip>                             no covering entry
 //! NEAREST <ip>   -> OK <row> distance=<n>                 nearest prefix, /24 steps
-//! STATS          -> OK entries=.. hits=.. misses=.. connections=.. uptime_s=.. qps=..
+//! STATS          -> OK entries=.. hits=.. misses=.. connections=..
+//!                      uptime_s=.. qps=.. generation=.. live=..
+//!                      shed=.. evicted=.. proto_errors=..
+//! RELOAD         -> OK generation=<n> entries=<m>         swaps in a fresh snapshot
 //! QUIT           -> BYE                                   closes the connection
 //! anything else  -> ERR <reason>
 //! ```
 //!
 //! plus the batched/pipelined binary protocol of [`proto`]. Both paths
-//! read answers through the shared [`HotCache`]; cached answers are
-//! byte-identical to store answers by construction, so the cache is
+//! read answers through the live generation's `HotCache`; cached answers
+//! are byte-identical to store answers by construction, so the cache is
 //! invisible in the response stream.
+//!
+//! **Robustness layer** (the serve path must survive the open internet,
+//! not just a loopback loadgen):
+//!
+//! - every connection runs the [`lifecycle`] deadline state machine —
+//!   idle / stalled-read (anti-slow-loris) / slow-client (anti
+//!   slow-reader) evictions, driven by one [`ServeClock`] read per
+//!   sweep and *no timer threads*;
+//! - request buffers are bounded by the budget shared with the binary
+//!   frame check ([`LINE_BUDGET`] = [`proto::MAX_BODY`]); a newline-free
+//!   line past the budget is a typed `too-large` eviction, not memory
+//!   growth;
+//! - global + per-worker connection caps gate `accept`: a connection
+//!   over either cap is answered `BUSY` in its own protocol
+//!   ([`proto::STATUS_BUSY`] frame / `ERR busy` line) and closed —
+//!   overload sheds predictably instead of collapsing;
+//! - live snapshot reload: workers serve through a generation-tagged
+//!   [`StoreHandle`] and refresh with one atomic load per sweep, so
+//!   `RELOAD` (or [`QueryServer::reload`]) swaps snapshots without
+//!   dropping a single in-flight connection;
+//! - graceful drain ([`QueryServer::shutdown_drain`]): stop accepting,
+//!   finish in-flight work up to [`ServeLimits::drain_grace_ms`], then
+//!   evict stragglers with a typed farewell;
+//! - connections idle for [`PARK_AFTER`] consecutive sweeps *and*
+//!   [`PARK_IDLE_MS`] of clock time are parked off the sweep
+//!   ([`poll::Registry::park`]) and lazily re-armed, so thousands of
+//!   idle connections cost ~no CPU while pipelined clients stay hot.
 //!
 //! **Determinism lives in responses, not scheduling**: frames and lines
 //! on one connection are processed in arrival order and answered in
 //! order, so each connection's response byte stream is a pure function
-//! of `(snapshot, its own request stream)` — regardless of worker
-//! count, connection interleaving, or pipelining depth. Which *worker*
-//! serves a connection races; what the connection *reads back* never
-//! does.
+//! of `(generation snapshot, its own request stream)` — regardless of
+//! worker count, connection interleaving, or pipelining depth. Which
+//! *worker* serves a connection races; what the connection *reads back*
+//! never does. The `chaos` module's equivalence suite leans on exactly
+//! this: clean clients read bit-identical bytes while chaos clients
+//! attack, and every eviction/shed counter is a pure function of the
+//! chaos seed.
 //!
-//! Hit/miss/connection counters are relaxed atomics (monotonic, no
-//! cross-counter invariant). Shutdown is the poller's wake token: one
+//! Hit/miss/connection/eviction counters are relaxed atomics (monotonic,
+//! no cross-counter invariant). Shutdown is the poller's wake token: one
 //! shared flag flipped by [`poll::Waker::wake`], observed by every
 //! worker at the top of its next sweep — no dummy wake-up connection.
 
-use crate::cache::{CacheKind, CacheValue, HotCache};
+use crate::cache::{CacheKind, CacheValue};
 use crate::format::method_tag;
+use crate::lifecycle::{ConnPhase, Eviction, Lifecycle, ServeClock, ServeLimits, Tick};
 use crate::poll::{Interest, Poller, Registry, Waker};
 use crate::proto::{
     self, encode_error, try_decode_request, LocateRecord, Opcode, Request, ResponseWriter,
     StatsRecord,
 };
-use crate::store::DatasetStore;
+use crate::store::{DatasetStore, Generation, StoreHandle};
 use ipgeo::publish::DatasetEntry;
 use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -60,9 +96,11 @@ use std::time::Instant;
 /// sweep's attention until it drains.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Longest accepted text-protocol line. Anything longer without a
-/// newline is answered with `ERR` and the connection closed.
-const MAX_LINE: usize = 64 * 1024;
+/// Longest accepted text-protocol line — deliberately the *same* budget
+/// as the binary frame body bound, so both protocols reject oversized
+/// input at exactly one constant. A newline-free client past this is
+/// answered `ERR too-large` and evicted.
+const LINE_BUDGET: usize = proto::MAX_BODY;
 
 /// Input buffered for one connection before we stop reading it until
 /// the parser catches up (largest binary frame plus headroom).
@@ -77,12 +115,38 @@ const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
 /// starvation of existing connections under a connect flood.
 const ACCEPT_BURST: usize = 64;
 
+/// Consecutive do-nothing sweeps before a connection is parked off the
+/// sweep (it stops costing a read syscall per sweep). Sweep counts alone
+/// are no idleness signal — 64 sweeps complete in microseconds on a hot
+/// poller — so parking additionally requires [`PARK_IDLE_MS`] of clock
+/// time without socket bytes.
+const PARK_AFTER: u32 = 64;
+
+/// Minimum clock-time silence (no bytes either direction) before a
+/// connection may be parked. Keeps pipelined closed-loop clients — idle
+/// for microseconds between bursts — on the hot sweep, while a truly
+/// quiet connection parks after ~50ms and costs ~no CPU.
+const PARK_IDLE_MS: u64 = 50;
+
+/// Sweeps a parked connection waits before its lazy re-arm. Bounds the
+/// extra latency a parked connection's next request can see to a few
+/// dozen microsecond-scale sweeps.
+const PARK_RECHECK: u64 = 64;
+
 /// Live counters of a running server.
 #[derive(Debug)]
 pub struct ServeStats {
     hits: AtomicU64,
     misses: AtomicU64,
     connections: AtomicU64,
+    live: AtomicU64,
+    shed: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_stalled: AtomicU64,
+    evicted_slow: AtomicU64,
+    evicted_too_large: AtomicU64,
+    evicted_drain: AtomicU64,
+    proto_errors: AtomicU64,
     started: Instant,
 }
 
@@ -93,8 +157,24 @@ pub struct StatsSnapshot {
     pub hits: u64,
     /// Queries with no covering entry.
     pub misses: u64,
-    /// Connections accepted so far.
+    /// Connections accepted so far (shed connections included).
     pub connections: u64,
+    /// Connections currently registered (parked and shed included).
+    pub live: u64,
+    /// Connections answered `BUSY` because a cap was exceeded.
+    pub shed: u64,
+    /// Idle-deadline evictions.
+    pub evicted_idle: u64,
+    /// Stalled-read (slow-loris) evictions.
+    pub evicted_stalled: u64,
+    /// Slow-client (write-deadline) evictions.
+    pub evicted_slow: u64,
+    /// Oversized-input evictions.
+    pub evicted_too_large: u64,
+    /// Drain-deadline evictions at shutdown.
+    pub evicted_drain: u64,
+    /// Malformed binary frames answered with a typed error.
+    pub proto_errors: u64,
     /// Seconds since the server started.
     pub uptime_s: f64,
 }
@@ -113,6 +193,15 @@ impl StatsSnapshot {
             0.0
         }
     }
+
+    /// All forced closes, regardless of reason.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_idle
+            + self.evicted_stalled
+            + self.evicted_slow
+            + self.evicted_too_large
+            + self.evicted_drain
+    }
 }
 
 impl ServeStats {
@@ -124,6 +213,14 @@ impl ServeStats {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            evicted_idle: AtomicU64::new(0),
+            evicted_stalled: AtomicU64::new(0),
+            evicted_slow: AtomicU64::new(0),
+            evicted_too_large: AtomicU64::new(0),
+            evicted_drain: AtomicU64::new(0),
+            proto_errors: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -134,6 +231,14 @@ impl ServeStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            live: self.live.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
+            evicted_stalled: self.evicted_stalled.load(Ordering::Relaxed),
+            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
+            evicted_too_large: self.evicted_too_large.load(Ordering::Relaxed),
+            evicted_drain: self.evicted_drain.load(Ordering::Relaxed),
+            proto_errors: self.proto_errors.load(Ordering::Relaxed),
             uptime_s: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -145,79 +250,124 @@ impl ServeStats {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn count_eviction(&self, ev: Eviction) {
+        let counter = match ev {
+            Eviction::Idle => &self.evicted_idle,
+            Eviction::StalledRead => &self.evicted_stalled,
+            Eviction::SlowClient => &self.evicted_slow,
+            Eviction::TooLarge => &self.evicted_too_large,
+            Eviction::Drain => &self.evicted_drain,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// Computes the one-line response to a protocol line. Pure with respect to
-/// the connection (only counters mutate), so it is unit-testable without a
-/// socket. The second return is `true` when the connection should close.
-fn respond(store: &DatasetStore, stats: &ServeStats, line: &str) -> (String, bool) {
-    let mut words = line.split_whitespace();
-    match words.next() {
-        Some("LOCATE") => match words.next().map(str::parse) {
-            Some(Ok(ip)) => match store.lookup(ip) {
-                Some(entry) => {
-                    stats.hits.fetch_add(1, Ordering::Relaxed);
-                    (format!("OK {entry}"), false)
-                }
-                None => {
-                    stats.misses.fetch_add(1, Ordering::Relaxed);
-                    (format!("MISS {ip}"), false)
-                }
-            },
-            Some(Err(e)) => (format!("ERR {e}"), false),
-            None => ("ERR LOCATE needs an <ip>".into(), false),
-        },
-        Some("NEAREST") => match words.next().map(str::parse) {
-            Some(Ok(ip)) => match store.lookup_nearest(ip) {
-                Some((entry, dist)) => {
-                    stats.hits.fetch_add(1, Ordering::Relaxed);
-                    (format!("OK {entry} distance={dist}"), false)
-                }
-                None => {
-                    stats.misses.fetch_add(1, Ordering::Relaxed);
-                    (format!("MISS {ip}"), false)
-                }
-            },
-            Some(Err(e)) => (format!("ERR {e}"), false),
-            None => ("ERR NEAREST needs an <ip>".into(), false),
-        },
-        Some("STATS") => {
-            let s = stats.snapshot();
-            (
-                format!(
-                    "OK entries={} hits={} misses={} connections={} uptime_s={:.3} qps={:.1}",
-                    store.len(),
-                    s.hits,
-                    s.misses,
-                    s.connections,
-                    s.uptime_s,
-                    s.qps()
-                ),
-                false,
-            )
-        }
-        Some("QUIT") => ("BYE".into(), true),
-        Some(other) => (
-            format!("ERR unknown command `{other}` (LOCATE|NEAREST|STATS|QUIT)"),
-            false,
-        ),
-        None => ("ERR empty command".into(), false),
-    }
+/// Drain-shutdown state shared by every worker.
+#[derive(Debug, Default)]
+struct DrainState {
+    active: AtomicBool,
+    /// Clock tick the drain began (read only when `active`).
+    since: AtomicU64,
 }
 
 /// Everything one worker needs to answer queries; shared by `Arc`.
 struct Serving {
-    store: Arc<DatasetStore>,
+    handle: Arc<StoreHandle>,
     stats: Arc<ServeStats>,
-    cache: Arc<HotCache>,
+    limits: ServeLimits,
+    clock: ServeClock,
+    drain: DrainState,
+    /// Where `RELOAD` re-reads the snapshot from; `None` refuses the
+    /// command (in-memory stores reload via [`QueryServer::reload`]).
+    snapshot_path: Option<PathBuf>,
 }
 
 impl Serving {
+    /// Computes the one-line response to a protocol line against the
+    /// worker's generation. Pure with respect to the connection (only
+    /// counters mutate), so it is unit-testable without a socket. The
+    /// second return is `true` when the connection should close.
+    fn respond(&self, g: &Generation, line: &str) -> (String, bool) {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("LOCATE") => match words.next().map(str::parse) {
+                Some(Ok(ip)) => match g.store.lookup(ip) {
+                    Some(entry) => {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        (format!("OK {entry}"), false)
+                    }
+                    None => {
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        (format!("MISS {ip}"), false)
+                    }
+                },
+                Some(Err(e)) => (format!("ERR {e}"), false),
+                None => ("ERR LOCATE needs an <ip>".into(), false),
+            },
+            Some("NEAREST") => match words.next().map(str::parse) {
+                Some(Ok(ip)) => match g.store.lookup_nearest(ip) {
+                    Some((entry, dist)) => {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        (format!("OK {entry} distance={dist}"), false)
+                    }
+                    None => {
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        (format!("MISS {ip}"), false)
+                    }
+                },
+                Some(Err(e)) => (format!("ERR {e}"), false),
+                None => ("ERR NEAREST needs an <ip>".into(), false),
+            },
+            Some("STATS") => {
+                let s = self.stats.snapshot();
+                (
+                    format!(
+                        "OK entries={} hits={} misses={} connections={} uptime_s={:.3} \
+                         qps={:.1} generation={} live={} shed={} evicted={} proto_errors={}",
+                        g.store.len(),
+                        s.hits,
+                        s.misses,
+                        s.connections,
+                        s.uptime_s,
+                        s.qps(),
+                        // The freshest generation, not the worker's copy:
+                        // a STATS right after RELOAD must report the swap
+                        // even when another worker installed it.
+                        self.handle.generation(),
+                        s.live,
+                        s.shed,
+                        s.evicted_total(),
+                        s.proto_errors,
+                    ),
+                    false,
+                )
+            }
+            Some("RELOAD") => match &self.snapshot_path {
+                Some(path) => match DatasetStore::open(path) {
+                    Ok(fresh) => {
+                        let entries = fresh.len();
+                        let number = self.handle.install(Arc::new(fresh));
+                        (format!("OK generation={number} entries={entries}"), false)
+                    }
+                    Err(e) => (format!("ERR reload: {e}"), false),
+                },
+                None => ("ERR reload: no snapshot path configured".into(), false),
+            },
+            Some("QUIT") => ("BYE".into(), true),
+            Some(other) => (
+                format!("ERR unknown command `{other}` (LOCATE|NEAREST|STATS|RELOAD|QUIT)"),
+                false,
+            ),
+            None => ("ERR empty command".into(), false),
+        }
+    }
+
     /// Answers a text-protocol line straight into the output buffer,
     /// serving `OK` answers for well-formed single-address LOCATE /
-    /// NEAREST from the [`HotCache`] (byte-identical to the store path).
-    /// Returns `true` when the connection should close.
-    fn respond_line_into(&self, line: &str, out: &mut Vec<u8>) -> bool {
+    /// NEAREST from the generation's cache (byte-identical to the store
+    /// path). Returns `true` when the connection should close.
+    fn respond_line_into(&self, g: &Generation, line: &str, out: &mut Vec<u8>) -> bool {
         let mut words = line.split_whitespace();
         let cached = match (words.next(), words.next(), words.next()) {
             (Some(verb @ ("LOCATE" | "NEAREST")), Some(ip_str), None) => {
@@ -233,7 +383,7 @@ impl Serving {
             _ => None,
         };
         if let Some((kind, prefix)) = cached {
-            if let Some(CacheValue::Line(reply)) = self.cache.get(kind, prefix) {
+            if let Some(CacheValue::Line(reply)) = g.cache.get(kind, prefix) {
                 // Only `OK` lines are admitted, so a cache hit is a store hit.
                 self.stats.count(true);
                 out.extend_from_slice(reply.as_bytes());
@@ -241,10 +391,10 @@ impl Serving {
                 return false;
             }
         }
-        let (reply, close) = respond(&self.store, &self.stats, line);
+        let (reply, close) = self.respond(g, line);
         if let Some((kind, prefix)) = cached {
             if reply.starts_with("OK ") {
-                self.cache
+                g.cache
                     .put(kind, prefix, CacheValue::Line(reply.as_str().into()));
             }
         }
@@ -268,36 +418,41 @@ impl Serving {
     /// One binary-protocol answer record, through the cache. Both hit
     /// and miss records are pure functions of the queried `/24`, so
     /// both are cacheable.
-    fn locate_record(&self, ip: geo_model::ip::Ipv4, nearest: bool) -> LocateRecord {
+    fn locate_record(
+        &self,
+        g: &Generation,
+        ip: geo_model::ip::Ipv4,
+        nearest: bool,
+    ) -> LocateRecord {
         let kind = if nearest {
             CacheKind::BinNearest
         } else {
             CacheKind::BinLocate
         };
         let prefix = ip.prefix24().0;
-        if let Some(CacheValue::Record(rec)) = self.cache.get(kind, prefix) {
+        if let Some(CacheValue::Record(rec)) = g.cache.get(kind, prefix) {
             self.stats.count(rec.hit);
             return rec;
         }
         let rec = if nearest {
-            match self.store.lookup_nearest(ip) {
+            match g.store.lookup_nearest(ip) {
                 Some((entry, dist)) => Self::record_from(entry, dist),
                 None => LocateRecord::miss(ip),
             }
         } else {
-            match self.store.lookup(ip) {
+            match g.store.lookup(ip) {
                 Some(entry) => Self::record_from(entry, 0),
                 None => LocateRecord::miss(ip),
             }
         };
         self.stats.count(rec.hit);
-        self.cache.put(kind, prefix, CacheValue::Record(rec));
+        g.cache.put(kind, prefix, CacheValue::Record(rec));
         rec
     }
 
     /// Answers one decoded binary request straight into the output
     /// buffer, records streaming in query order.
-    fn respond_frame_into(&self, req: &Request, out: &mut Vec<u8>) {
+    fn respond_frame_into(&self, g: &Generation, req: &Request, out: &mut Vec<u8>) {
         match req {
             Request::Locate(ips) | Request::Nearest(ips) => {
                 let nearest = matches!(req, Request::Nearest(_));
@@ -308,7 +463,7 @@ impl Serving {
                 };
                 let w = ResponseWriter::begin(out, opcode);
                 for &ip in ips {
-                    let rec = self.locate_record(ip, nearest);
+                    let rec = self.locate_record(g, ip, nearest);
                     w.push_record(out, &rec);
                 }
                 w.finish(out);
@@ -319,7 +474,7 @@ impl Serving {
                 w.push_stats(
                     out,
                     &StatsRecord {
-                        entries: self.store.len() as u64,
+                        entries: g.store.len() as u64,
                         hits: s.hits,
                         misses: s.misses,
                         connections: s.connections,
@@ -352,10 +507,17 @@ struct Conn {
     sent: usize,
     /// Flush what is queued, then close (QUIT, EOF, protocol error).
     closing: bool,
+    /// Accepted over a connection cap: answer `BUSY` and close, never
+    /// serve a query.
+    shed: bool,
+    /// Deadline state machine (see [`lifecycle`]).
+    life: Lifecycle,
+    /// Consecutive sweeps with nothing to do; drives parking.
+    idle_sweeps: u32,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(stream: TcpStream, now: Tick, shed: bool) -> Conn {
         Conn {
             stream,
             mode: Mode::Undecided,
@@ -364,6 +526,9 @@ impl Conn {
             out: Vec::new(),
             sent: 0,
             closing: false,
+            shed,
+            life: Lifecycle::new(now),
+            idle_sweeps: 0,
         }
     }
 
@@ -384,10 +549,28 @@ impl Conn {
     }
 }
 
+/// One best-effort typed farewell before an evicted connection closes.
+/// Nonblocking single write: a client too broken to receive it loses
+/// nothing it was entitled to.
+fn farewell(conn: &mut Conn, ev: Eviction) {
+    let bytes: Vec<u8> = match conn.mode {
+        Mode::Line => format!("ERR evicted: {}\n", ev.name()).into_bytes(),
+        Mode::Binary => {
+            let mut b = Vec::new();
+            encode_error(&mut b, Opcode::Locate, &format!("evicted: {}", ev.name()));
+            b
+        }
+        Mode::Undecided => return,
+    };
+    let _ = conn.stream.write(&bytes);
+}
+
 /// Outcome of one connection sweep step.
 enum Sweep {
     Keep,
     Drop,
+    /// Idle long enough to leave the sweep until its lazy re-arm.
+    Park,
 }
 
 /// Reads, parses, answers, and flushes one connection. Nonblocking
@@ -396,10 +579,16 @@ enum Sweep {
 // geo-lint: allow(R1T, reason = "cursor slices hold `parsed <= inbuf.len()`, `sent <= out.len()`, and `n <= scratch.len()` from read()")
 fn sweep_conn(
     serving: &Serving,
+    g: &Generation,
     conn: &mut Conn,
     scratch: &mut [u8],
     progress: &mut bool,
+    now: Tick,
+    draining: bool,
 ) -> Sweep {
+    let mut io_moved = false;
+    let mut completed = false;
+
     // Read phase — skipped while the client is not draining its answers.
     while !conn.closing && conn.backlog() < WRITE_HIGH_WATER && conn.inbuf.len() < MAX_INBUF {
         match conn.stream.read(scratch) {
@@ -410,6 +599,7 @@ fn sweep_conn(
             Ok(n) => {
                 conn.inbuf.extend_from_slice(&scratch[..n]);
                 *progress = true;
+                io_moved = true;
                 if n < scratch.len() {
                     break;
                 }
@@ -420,7 +610,7 @@ fn sweep_conn(
         }
     }
 
-    // Parse phase — consume every complete frame/line now buffered.
+    // Mode sniff — the first byte picks the protocol.
     if conn.mode == Mode::Undecided {
         if let Some(&first) = conn.inbuf.first() {
             conn.mode = if first == proto::REQ_MAGIC {
@@ -430,61 +620,93 @@ fn sweep_conn(
             };
         }
     }
-    match conn.mode {
-        Mode::Undecided => {}
-        Mode::Binary => loop {
-            match try_decode_request(&conn.inbuf[conn.parsed..]) {
-                Ok(proto::Decoded::Frame(req, used)) => {
-                    serving.respond_frame_into(&req, &mut conn.out);
-                    conn.parsed += used;
-                    *progress = true;
+
+    // Parse phase — consume every complete frame/line now buffered.
+    if conn.shed {
+        // A shed connection gets exactly one BUSY reply in its own
+        // protocol, then closes; its input is never interpreted.
+        if !conn.closing && conn.mode != Mode::Undecided {
+            match conn.mode {
+                Mode::Line => conn.out.extend_from_slice(b"ERR busy\n"),
+                Mode::Binary => proto::encode_busy(&mut conn.out, Opcode::Locate),
+                Mode::Undecided => {}
+            }
+            conn.closing = true;
+            *progress = true;
+        }
+        conn.inbuf.clear();
+        conn.parsed = 0;
+    } else {
+        match conn.mode {
+            Mode::Undecided => {}
+            Mode::Binary => loop {
+                match try_decode_request(&conn.inbuf[conn.parsed..]) {
+                    Ok(proto::Decoded::Frame(req, used)) => {
+                        serving.respond_frame_into(g, &req, &mut conn.out);
+                        conn.parsed += used;
+                        completed = true;
+                        *progress = true;
+                    }
+                    Ok(proto::Decoded::NeedMore) => {
+                        if conn.inbuf.len() - conn.parsed >= MAX_INBUF {
+                            // A frame can never legitimately be this large;
+                            // the budget check makes this unreachable, but
+                            // keep the guard so a bug cannot balloon memory.
+                            serving.stats.count_eviction(Eviction::TooLarge);
+                            encode_error(
+                                &mut conn.out,
+                                Opcode::Locate,
+                                "frame exceeds input budget",
+                            );
+                            conn.closing = true;
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        serving.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+                        encode_error(&mut conn.out, Opcode::Locate, &e.to_string());
+                        conn.closing = true;
+                        *progress = true;
+                        break;
+                    }
                 }
-                Ok(proto::Decoded::NeedMore) => {
-                    if conn.inbuf.len() - conn.parsed >= MAX_INBUF {
-                        // A frame can never legitimately be this large;
-                        // the budget check makes this unreachable, but
-                        // keep the guard so a bug cannot balloon memory.
-                        encode_error(&mut conn.out, Opcode::Locate, "frame exceeds input budget");
+            },
+            Mode::Line => loop {
+                let pending = &conn.inbuf[conn.parsed..];
+                let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+                    if pending.len() > LINE_BUDGET {
+                        serving.stats.count_eviction(Eviction::TooLarge);
+                        conn.out.extend_from_slice(
+                            format!("ERR too-large: line exceeds the {LINE_BUDGET}-byte budget\n")
+                                .as_bytes(),
+                        );
                         conn.closing = true;
                     }
                     break;
-                }
-                Err(e) => {
-                    encode_error(&mut conn.out, Opcode::Locate, &e.to_string());
+                };
+                let line = String::from_utf8_lossy(&pending[..nl]);
+                let close = serving.respond_line_into(g, line.trim(), &mut conn.out);
+                conn.parsed += nl + 1;
+                completed = true;
+                *progress = true;
+                if close {
                     conn.closing = true;
-                    *progress = true;
                     break;
                 }
-            }
-        },
-        Mode::Line => loop {
-            let pending = &conn.inbuf[conn.parsed..];
-            let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
-                if pending.len() > MAX_LINE {
-                    conn.out.extend_from_slice(b"ERR line exceeds 64 KiB\n");
-                    conn.closing = true;
-                }
-                break;
-            };
-            let line = String::from_utf8_lossy(&pending[..nl]);
-            let close = serving.respond_line_into(line.trim(), &mut conn.out);
-            conn.parsed += nl + 1;
-            *progress = true;
-            if close {
-                conn.closing = true;
-                break;
-            }
-        },
+            },
+        }
     }
     conn.compact();
 
     // Write phase — flush as much of the backlog as the socket takes.
+    let had_backlog = conn.backlog() > 0;
     while conn.sent < conn.out.len() {
         match conn.stream.write(&conn.out[conn.sent..]) {
             Ok(0) => return Sweep::Drop,
             Ok(n) => {
                 conn.sent += n;
                 *progress = true;
+                io_moved = true;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -494,46 +716,157 @@ fn sweep_conn(
     if conn.sent == conn.out.len() {
         conn.out.clear();
         conn.sent = 0;
+        if had_backlog {
+            completed = true;
+        }
         if conn.closing {
             return Sweep::Drop;
         }
     }
+
+    let pending_input = conn.inbuf.len() > conn.parsed;
+
+    // Drain shutdown closes connections the moment they go quiet; only
+    // in-flight work (a partial frame or an undrained backlog) keeps one
+    // alive, and only until the drain deadline.
+    if draining && !conn.closing && conn.backlog() == 0 && !pending_input {
+        return Sweep::Drop;
+    }
+
+    // Deadline bookkeeping: one clock read per sweep drives every
+    // timeout decision (see `lifecycle`).
+    if io_moved {
+        conn.life.io_progress(now);
+    }
+    let phase = if conn.backlog() > 0 {
+        ConnPhase::Writing
+    } else if pending_input {
+        ConnPhase::Reading
+    } else {
+        ConnPhase::Idle
+    };
+    conn.life.observe(now, phase, completed);
+    let limits = if conn.shed {
+        // A shed connection exists only to receive its BUSY reply; it
+        // gets the short read deadline, not the full idle allowance.
+        ServeLimits {
+            idle_timeout_ms: serving.limits.read_timeout_ms,
+            ..serving.limits
+        }
+    } else {
+        serving.limits
+    };
+    if let Some(ev) = conn.life.check(now, &limits) {
+        serving.stats.count_eviction(ev);
+        farewell(conn, ev);
+        return Sweep::Drop;
+    }
+
+    // Park bookkeeping: a connection that did nothing for PARK_AFTER
+    // consecutive sweeps AND has been byte-silent for PARK_IDLE_MS of
+    // clock time leaves the sweep until its lazy re-arm. The clock gate
+    // is what keeps pipelined clients hot: their inter-burst gaps are
+    // microseconds, far under the threshold.
+    if phase == ConnPhase::Idle && !io_moved && !completed && !conn.closing && !conn.shed {
+        conn.idle_sweeps = conn.idle_sweeps.saturating_add(1);
+        if conn.idle_sweeps >= PARK_AFTER && conn.life.idle_for(now) >= PARK_IDLE_MS {
+            conn.idle_sweeps = 0;
+            return Sweep::Park;
+        }
+    } else {
+        conn.idle_sweeps = 0;
+    }
     Sweep::Keep
 }
 
-/// One worker's event loop: accept a bounded burst, sweep every
-/// registered connection, pace with the poller's idle backoff, exit on
-/// the wake token.
+/// One worker's event loop: accept a bounded burst (shedding over-cap
+/// connections), sweep every registered connection, pace with the
+/// poller's idle backoff, exit on the wake token or when a drain
+/// completes.
 // geo-lint: serve-entry
 fn worker_loop(listener: &TcpListener, serving: &Serving, mut poller: Poller) {
     let mut registry: Registry<Conn> = Registry::new();
     let mut scratch = vec![0u8; READ_CHUNK];
+    let mut g = serving.handle.current();
+    let mut sweep: u64 = 0;
     loop {
         if poller.wake_requested() {
             break;
         }
+        sweep = sweep.wrapping_add(1);
+        let now = serving.clock.now();
+        // Live snapshot reload: one atomic load per sweep; the mutex is
+        // touched only on an actual generation swap.
+        if serving.handle.generation() != g.number {
+            g = serving.handle.current();
+        }
+        let draining = serving.drain.active.load(Ordering::Acquire);
         let mut progress = false;
-        for _ in 0..ACCEPT_BURST {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
+        if draining {
+            registry.unpark_all();
+        } else {
+            registry.unpark_due(sweep);
+            for _ in 0..ACCEPT_BURST {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        serving.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let live = serving.stats.live.fetch_add(1, Ordering::Relaxed) as usize;
+                        // Cap gating: `live` was the count *before* this
+                        // accept, so `>=` sheds the (cap+1)-th connection.
+                        let shed = live >= serving.limits.max_connections
+                            || registry.len() >= serving.limits.max_per_worker;
+                        if shed {
+                            serving.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        registry.register(Conn::new(stream, now, shed), Interest::READ);
+                        progress = true;
                     }
-                    let _ = stream.set_nodelay(true);
-                    serving.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    registry.register(Conn::new(stream), Interest::READ);
-                    progress = true;
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
             }
         }
         for token in registry.tokens() {
             let Some((conn, _)) = registry.get_mut(token) else {
                 continue;
             };
-            if let Sweep::Drop = sweep_conn(serving, conn, &mut scratch, &mut progress) {
-                registry.deregister(token);
+            match sweep_conn(
+                serving,
+                &g,
+                conn,
+                &mut scratch,
+                &mut progress,
+                now,
+                draining,
+            ) {
+                Sweep::Keep => {}
+                Sweep::Drop => {
+                    if registry.deregister(token).is_some() {
+                        serving.stats.live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Sweep::Park => {
+                    registry.park(token, sweep + PARK_RECHECK);
+                }
+            }
+        }
+        if draining {
+            let since = serving.drain.since.load(Ordering::Acquire);
+            if now.saturating_sub(since) >= serving.limits.drain_grace_ms {
+                for token in registry.all_tokens() {
+                    if let Some(mut conn) = registry.deregister(token) {
+                        serving.stats.count_eviction(Eviction::Drain);
+                        farewell(&mut conn, Eviction::Drain);
+                        serving.stats.live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if registry.is_empty() {
+                break;
             }
         }
         if progress {
@@ -544,13 +877,37 @@ fn worker_loop(listener: &TcpListener, serving: &Serving, mut poller: Poller) {
     }
 }
 
+/// How to spawn a [`QueryServer`]: worker count, caps and deadlines,
+/// the deadline clock, and where `RELOAD` re-reads its snapshot.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; 0 means `IPGEO_THREADS` (0/unset: all cores).
+    pub workers: usize,
+    /// Caps and deadlines.
+    pub limits: ServeLimits,
+    /// The deadline clock; tests substitute [`ServeClock::manual`].
+    pub clock: ServeClock,
+    /// Snapshot file the `RELOAD` command re-reads; `None` disables it.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            limits: ServeLimits::default(),
+            clock: ServeClock::wall(),
+            snapshot_path: None,
+        }
+    }
+}
+
 /// A running query server; dropping the handle does **not** stop it —
-/// call [`QueryServer::shutdown`] (or [`QueryServer::wait`] to serve
-/// until the process dies).
+/// call [`QueryServer::shutdown`] / [`QueryServer::shutdown_drain`] (or
+/// [`QueryServer::wait`] to serve until the process dies).
 pub struct QueryServer {
     addr: SocketAddr,
-    stats: Arc<ServeStats>,
-    cache: Arc<HotCache>,
+    serving: Arc<Serving>,
     waker: Waker,
     workers: Vec<JoinHandle<()>>,
 }
@@ -559,26 +916,49 @@ impl QueryServer {
     /// Binds `127.0.0.1:port` (`port` 0 lets the OS choose) and starts
     /// the worker pool, sized from `IPGEO_THREADS` (0/unset: all cores).
     pub fn spawn(store: Arc<DatasetStore>, port: u16) -> io::Result<QueryServer> {
-        let workers = geo_model::runtime::threads();
-        QueryServer::spawn_with_workers(store, port, workers)
+        QueryServer::spawn_with_config(store, port, ServeConfig::default())
     }
 
     /// As [`spawn`](QueryServer::spawn) with an explicit worker count —
     /// the equivalence tests' hook for comparing 1-vs-N worker response
     /// streams without touching the environment.
-    // geo-lint: worker-bootstrap
     pub fn spawn_with_workers(
         store: Arc<DatasetStore>,
         port: u16,
         workers: usize,
     ) -> io::Result<QueryServer> {
+        QueryServer::spawn_with_config(
+            store,
+            port,
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Full-control spawn: caps, deadlines, clock, and `RELOAD` path.
+    // geo-lint: worker-bootstrap
+    pub fn spawn_with_config(
+        store: Arc<DatasetStore>,
+        port: u16,
+        config: ServeConfig,
+    ) -> io::Result<QueryServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            geo_model::runtime::threads()
+        } else {
+            config.workers
+        };
         let serving = Arc::new(Serving {
-            store,
+            handle: Arc::new(StoreHandle::new(store)),
             stats: Arc::new(ServeStats::new()),
-            cache: Arc::new(HotCache::new()),
+            limits: config.limits,
+            clock: config.clock,
+            drain: DrainState::default(),
+            snapshot_path: config.snapshot_path,
         });
         let root = Poller::new();
         let waker = root.waker();
@@ -594,8 +974,7 @@ impl QueryServer {
             .collect::<io::Result<Vec<_>>>()?;
         Ok(QueryServer {
             addr,
-            stats: Arc::clone(&serving.stats),
-            cache: Arc::clone(&serving.cache),
+            serving,
             waker,
             workers,
         })
@@ -608,19 +987,48 @@ impl QueryServer {
 
     /// The live counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.serving.stats.snapshot()
     }
 
-    /// Hot-prefix cache traffic (hits/misses/evictions) since spawn.
+    /// Hot-prefix cache traffic since spawn, summed across generations.
     pub fn cache_stats(&self) -> crate::cache::CacheCounters {
-        self.cache.counters()
+        self.serving.handle.cache_counters()
     }
 
-    /// Graceful shutdown: fires the wake token and joins every worker.
+    /// The live snapshot generation number.
+    pub fn generation(&self) -> u64 {
+        self.serving.handle.generation()
+    }
+
+    /// Atomically installs `store` as the next serving generation (the
+    /// programmatic twin of the `RELOAD` command); returns the new
+    /// generation number. In-flight connections are never dropped:
+    /// each worker swaps at its next sweep boundary.
+    pub fn reload(&self, store: Arc<DatasetStore>) -> u64 {
+        self.serving.handle.install(store)
+    }
+
+    /// Hard shutdown: fires the wake token and joins every worker.
     /// Each worker observes the token at the top of its next sweep, so
     /// teardown needs no wake-up connection and no read timeouts.
+    /// In-flight connections are cut, not drained.
     pub fn shutdown(mut self) {
         self.waker.wake();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Graceful drain: stop accepting, close idle connections, finish
+    /// in-flight frames/lines up to [`ServeLimits::drain_grace_ms`],
+    /// then evict stragglers (typed `drain-deadline` farewell) and join
+    /// every worker.
+    pub fn shutdown_drain(mut self) {
+        self.serving
+            .drain
+            .since
+            .store(self.serving.clock.now(), Ordering::Release);
+        self.serving.drain.active.store(true, Ordering::Release);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -653,10 +1061,12 @@ pub fn query_one(addr: &str, command: &str) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::ClockHandle;
     use crate::proto::{BinaryClient, Response};
     use geo_model::ip::{Ipv4, Prefix24};
     use geo_model::point::GeoPoint;
     use ipgeo::publish::{DatasetEntry, Evidence};
+    use std::time::Duration;
 
     fn store() -> DatasetStore {
         let entries = vec![
@@ -676,51 +1086,80 @@ mod tests {
         DatasetStore::from_entries(&entries, 3, 1)
     }
 
+    fn test_serving(store: DatasetStore) -> (Serving, Arc<Generation>) {
+        let handle = Arc::new(StoreHandle::new(Arc::new(store)));
+        let g = handle.current();
+        let serving = Serving {
+            handle,
+            stats: Arc::new(ServeStats::new()),
+            limits: ServeLimits::default(),
+            clock: ServeClock::wall(),
+            drain: DrainState::default(),
+            snapshot_path: None,
+        };
+        (serving, g)
+    }
+
+    /// Polls `cond` for up to ~2 s without wall-clock reads.
+    fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+        for _ in 0..1000 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
     #[test]
     fn protocol_lines() {
-        let s = store();
-        let stats = ServeStats::new();
-        let (hit, close) = respond(&s, &stats, "LOCATE 10.10.10.200");
+        let (serving, g) = test_serving(store());
+        let respond = |line: &str| serving.respond(&g, line);
+        let (hit, close) = respond("LOCATE 10.10.10.200");
         assert!(!close);
         assert_eq!(
             hit,
             "OK 10.10.10.0/24,48.8500,2.3500,dns-hint,0.90,hostname=par1.example.net"
         );
-        let (miss, _) = respond(&s, &stats, "LOCATE 9.9.9.9");
+        let (miss, _) = respond("LOCATE 9.9.9.9");
         assert_eq!(miss, "MISS 9.9.9.9");
-        let (near, _) = respond(&s, &stats, "NEAREST 10.10.11.1");
+        let (near, _) = respond("NEAREST 10.10.11.1");
         assert!(near.starts_with("OK 10.10.10.0/24"), "{near}");
         assert!(near.ends_with("distance=1"), "{near}");
-        let (stats_line, _) = respond(&s, &stats, "STATS");
+        let (stats_line, _) = respond("STATS");
         assert!(
             stats_line.starts_with("OK entries=2 hits=2 misses=1"),
             "{stats_line}"
         );
-        assert_eq!(respond(&s, &stats, "QUIT"), ("BYE".into(), true));
-        assert!(respond(&s, &stats, "LOCATE not-an-ip").0.starts_with("ERR"));
-        assert!(respond(&s, &stats, "TELEPORT 1.2.3.4").0.starts_with("ERR"));
-        assert!(respond(&s, &stats, "").0.starts_with("ERR"));
+        assert!(stats_line.contains(" generation=1 "), "{stats_line}");
+        assert!(stats_line.contains(" shed=0 "), "{stats_line}");
+        assert!(
+            stats_line.ends_with(" evicted=0 proto_errors=0"),
+            "{stats_line}"
+        );
+        assert_eq!(respond("QUIT"), ("BYE".into(), true));
+        assert!(respond("LOCATE not-an-ip").0.starts_with("ERR"));
+        assert!(respond("TELEPORT 1.2.3.4").0.starts_with("ERR"));
+        assert!(respond("").0.starts_with("ERR"));
+        // RELOAD without a configured path is refused, not a panic.
+        assert!(respond("RELOAD").0.starts_with("ERR reload:"));
     }
 
     #[test]
     fn cached_line_answers_are_byte_identical() {
-        let serving = Serving {
-            store: Arc::new(store()),
-            stats: Arc::new(ServeStats::new()),
-            cache: Arc::new(HotCache::new()),
-        };
+        let (serving, g) = test_serving(store());
         let mut cold = Vec::new();
-        let close = serving.respond_line_into("LOCATE 10.10.10.200", &mut cold);
+        let close = serving.respond_line_into(&g, "LOCATE 10.10.10.200", &mut cold);
         assert!(!close);
         let mut warm = Vec::new();
-        serving.respond_line_into("LOCATE 10.10.10.200", &mut warm);
+        serving.respond_line_into(&g, "LOCATE 10.10.10.200", &mut warm);
         assert_eq!(cold, warm);
         assert_eq!(serving.stats.snapshot().hits, 2);
         // Misses bypass the cache (the reply embeds the exact ip).
         let mut miss = Vec::new();
-        serving.respond_line_into("LOCATE 9.9.9.9", &mut miss);
+        serving.respond_line_into(&g, "LOCATE 9.9.9.9", &mut miss);
         assert_eq!(miss, b"MISS 9.9.9.9\n");
-        assert_eq!(serving.cache.counters().hits, 1);
+        assert_eq!(g.cache.counters().hits, 1);
     }
 
     #[test]
@@ -795,7 +1234,194 @@ mod tests {
             panic!("expected a complete error frame");
         };
         assert!(matches!(resp, Response::Error(msg) if msg.contains("budget")));
+        assert!(eventually(|| server.stats().proto_errors == 1));
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_with_too_large() {
+        let server = QueryServer::spawn_with_workers(Arc::new(store()), 0, 1).unwrap();
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        // A newline-free flood one chunk past the shared input budget.
+        let junk = vec![b'A'; LINE_BUDGET + READ_CHUNK];
+        stream.write_all(&junk).unwrap();
+        let mut reply = String::new();
+        BufReader::new(&mut stream).read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("ERR too-large"), "{reply}");
+        assert!(eventually(|| server.stats().evicted_too_large == 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connections_are_shed_with_busy() {
+        let config = ServeConfig {
+            workers: 1,
+            limits: ServeLimits {
+                max_connections: 2,
+                ..ServeLimits::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = QueryServer::spawn_with_config(Arc::new(store()), 0, config).unwrap();
+        let addr = server.addr().to_string();
+
+        // Fill the cap with two established, confirmed connections.
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            let stream = TcpStream::connect(&addr).unwrap();
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(b"LOCATE 10.10.10.1\n").unwrap();
+            let mut reply = String::new();
+            let mut reader = BufReader::new(stream);
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.starts_with("OK"), "{reply}");
+            held.push((reader, w));
+        }
+
+        // The third connection is shed in the line protocol...
+        let reply = query_one(&addr, "STATS").unwrap();
+        assert_eq!(reply, "ERR busy");
+
+        // ...and the fourth in the binary protocol.
+        let mut client = BinaryClient::connect(&addr).unwrap();
+        let resp = client.query(Opcode::Stats, &[]).unwrap();
+        assert_eq!(resp, Response::Busy);
+
+        assert!(eventually(|| server.stats().shed == 2));
+        // The held connections were never disturbed.
+        let (reader, w) = &mut held[0];
+        w.write_all(b"LOCATE 10.10.10.1\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_swaps_generations_without_dropping_connections() {
+        let server = QueryServer::spawn_with_workers(Arc::new(store()), 0, 2).unwrap();
+        let addr = server.addr().to_string();
+
+        // A long-lived connection established before the reload.
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let line = |cmd: &str, reader: &mut BufReader<TcpStream>, w: &mut TcpStream| {
+            w.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert!(line("LOCATE 10.10.10.1", &mut reader, &mut w).starts_with("OK 10.10.10.0/24"));
+
+        // Swap in a one-entry snapshot mid-connection.
+        let fresh = DatasetStore::from_entries(
+            &[DatasetEntry {
+                prefix: Prefix24(0x0B0B0B),
+                location: GeoPoint::new(1.0, 2.0),
+                evidence: Evidence::Whois,
+            }],
+            9,
+            9,
+        );
+        assert_eq!(server.reload(Arc::new(fresh)), 2);
+        assert_eq!(server.generation(), 2);
+
+        // The same connection keeps working and now answers from the
+        // new generation; STATS reports the swap.
+        assert!(eventually(|| {
+            line("LOCATE 11.11.11.1", &mut reader, &mut w).starts_with("OK 11.11.11.0/24")
+        }));
+        assert_eq!(
+            line("LOCATE 10.10.10.1", &mut reader, &mut w),
+            "MISS 10.10.10.1"
+        );
+        let stats_line = line("STATS", &mut reader, &mut w);
+        assert!(stats_line.contains("entries=1"), "{stats_line}");
+        assert!(stats_line.contains(" generation=2 "), "{stats_line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn manual_clock_evicts_idle_and_stalled_connections() {
+        let (clock, handle): (ServeClock, ClockHandle) = ServeClock::manual();
+        let config = ServeConfig {
+            workers: 1,
+            limits: ServeLimits {
+                idle_timeout_ms: 100,
+                read_timeout_ms: 40,
+                ..ServeLimits::default()
+            },
+            clock,
+            ..ServeConfig::default()
+        };
+        let server = QueryServer::spawn_with_config(Arc::new(store()), 0, config).unwrap();
+        let addr = server.addr().to_string();
+
+        // An idle line connection (mode decided, then silence)...
+        let idle = TcpStream::connect(&addr).unwrap();
+        let mut w = idle.try_clone().unwrap();
+        w.write_all(b"LOCATE 10.10.10.1\n").unwrap();
+        let mut reader = BufReader::new(idle);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+
+        // ...and a slow-loris: a partial frame that never completes.
+        let mut loris = TcpStream::connect(&addr).unwrap();
+        loris
+            .write_all(&[proto::REQ_MAGIC, proto::PROTO_VERSION])
+            .unwrap();
+        assert!(eventually(|| server.stats().live == 2));
+
+        // Nothing is evicted while the clock stands still...
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(server.stats().evicted_total(), 0);
+
+        // ...and both deadlines fire once it advances.
+        handle.advance(150);
+        assert!(eventually(|| {
+            let s = server.stats();
+            s.evicted_idle == 1 && s.evicted_stalled == 1
+        }));
+        // The idle connection got its typed farewell before the close.
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "ERR evicted: idle-timeout");
+        assert!(eventually(|| server.stats().live == 0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_shutdown_finishes_in_flight_then_exits() {
+        let config = ServeConfig {
+            workers: 2,
+            limits: ServeLimits {
+                drain_grace_ms: 500,
+                ..ServeLimits::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = QueryServer::spawn_with_config(Arc::new(store()), 0, config).unwrap();
+        let addr = server.addr().to_string();
+        // An idle connection parked before the drain begins.
+        let parked = TcpStream::connect(&addr).unwrap();
+        let mut w = parked.try_clone().unwrap();
+        w.write_all(b"LOCATE 10.10.10.1\n").unwrap();
+        let mut reader = BufReader::new(parked);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("OK"), "{reply}");
+        assert!(eventually(|| server.stats().live == 1));
+
+        server.shutdown_drain();
+        // The drained server closed the idle connection gracefully (EOF,
+        // no farewell — it was not evicted).
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+        // And new connects are refused: the listener is gone.
+        assert!(query_one(&addr, "STATS").is_err());
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! over [`geo_model::runtime::par_map_indexed`], inheriting the
 //! workspace-wide `IPGEO_THREADS` knob and its determinism contract.
 
+use crate::cache::{CacheCounters, HotCache};
 use crate::format::{self, FormatError, Header};
 use geo_model::ip::{Ipv4, Prefix24};
 use ipgeo::publish::DatasetEntry;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A loaded snapshot with its header, ready to answer queries.
 #[derive(Debug, Clone)]
@@ -129,6 +132,106 @@ impl DatasetStore {
 /// until the batch reaches tens of thousands of addresses.
 pub const PAR_BATCH_MIN: usize = 16 * 1024;
 
+/// One immutable serving generation: a snapshot plus the hot cache that
+/// memoizes its answers. Workers hold an `Arc<Generation>` and answer
+/// every query of a sweep against it, so a connection's response stream
+/// stays a pure function of `(generation snapshot, request stream)` even
+/// while a reload installs the next generation concurrently.
+#[derive(Debug)]
+pub struct Generation {
+    /// 1-based generation number; increments on every install.
+    pub number: u64,
+    /// The snapshot this generation serves.
+    pub store: Arc<DatasetStore>,
+    /// The generation's own answer cache (born empty on install — the
+    /// cache purity argument needs one immutable snapshot per cache).
+    pub cache: Arc<HotCache>,
+}
+
+/// The atomically swappable handle workers serve through.
+///
+/// Reads are one atomic load on the fast path: a worker keeps its local
+/// `Arc<Generation>` and compares [`StoreHandle::generation`] once per
+/// sweep, taking the mutex only on an actual swap. [`StoreHandle::install`]
+/// serializes writers behind the same mutex, absorbs the retiring
+/// generation's cache counters into a running total, and only then
+/// publishes the new generation number — so a reader that sees the new
+/// number always finds the new generation behind the lock.
+#[derive(Debug)]
+pub struct StoreHandle {
+    generation: AtomicU64,
+    current: Mutex<Arc<Generation>>,
+    // Retired generations' cache traffic, accumulated as plain atomics
+    // so the handle only ever holds its single mutex.
+    retired_hits: AtomicU64,
+    retired_misses: AtomicU64,
+    retired_evictions: AtomicU64,
+}
+
+impl StoreHandle {
+    /// Wraps a snapshot as generation 1.
+    pub fn new(store: Arc<DatasetStore>) -> StoreHandle {
+        StoreHandle {
+            generation: AtomicU64::new(1),
+            current: Mutex::new(Arc::new(Generation {
+                number: 1,
+                store,
+                cache: Arc::new(HotCache::new()),
+            })),
+            retired_hits: AtomicU64::new(0),
+            retired_misses: AtomicU64::new(0),
+            retired_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The live generation number (one atomic load).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A reference to the live generation. Workers call this only when
+    /// [`StoreHandle::generation`] disagrees with their local copy.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically installs `store` as the next generation with a fresh
+    /// cache; returns the new generation number. In-flight connections
+    /// keep answering from whichever generation their worker holds until
+    /// its next sweep notices the swap — nothing is dropped.
+    pub fn install(&self, store: Arc<DatasetStore>) -> u64 {
+        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        let next = cur.number + 1;
+        let retiring = cur.cache.counters();
+        *cur = Arc::new(Generation {
+            number: next,
+            store,
+            cache: Arc::new(HotCache::new()),
+        });
+        self.generation.store(next, Ordering::Release);
+        drop(cur);
+        self.retired_hits
+            .fetch_add(retiring.hits, Ordering::Relaxed);
+        self.retired_misses
+            .fetch_add(retiring.misses, Ordering::Relaxed);
+        self.retired_evictions
+            .fetch_add(retiring.evictions, Ordering::Relaxed);
+        next
+    }
+
+    /// Server-lifetime cache counters: every retired generation's totals
+    /// plus the live generation's so far.
+    pub fn cache_counters(&self) -> CacheCounters {
+        let mut total = CacheCounters {
+            hits: self.retired_hits.load(Ordering::Relaxed),
+            misses: self.retired_misses.load(Ordering::Relaxed),
+            evictions: self.retired_evictions.load(Ordering::Relaxed),
+        };
+        total.absorb(self.current().cache.counters());
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +300,39 @@ mod tests {
         for (ip, got) in ips.iter().zip(&batch) {
             assert_eq!(got.as_ref(), s.lookup(*ip));
         }
+    }
+
+    #[test]
+    fn store_handle_swaps_generations_atomically() {
+        use crate::cache::{CacheKind, CacheValue};
+
+        let handle = StoreHandle::new(Arc::new(store()));
+        assert_eq!(handle.generation(), 1);
+        let g1 = handle.current();
+        assert_eq!(g1.number, 1);
+        assert_eq!(g1.store.len(), 4);
+
+        // Traffic on generation 1's cache...
+        g1.cache
+            .put(CacheKind::LineLocate, 10, CacheValue::Line("OK x".into()));
+        assert!(g1.cache.get(CacheKind::LineLocate, 10).is_some());
+        assert!(g1.cache.get(CacheKind::LineLocate, 99).is_none());
+
+        // ...survives the install in the lifetime totals, while the new
+        // generation starts with an empty cache.
+        let next = handle.install(Arc::new(DatasetStore::from_entries(&[entry(10)], 1, 2)));
+        assert_eq!(next, 2);
+        assert_eq!(handle.generation(), 2);
+        let g2 = handle.current();
+        assert_eq!((g2.number, g2.store.len()), (2, 1));
+        assert!(g2.cache.get(CacheKind::LineLocate, 10).is_none());
+        let totals = handle.cache_counters();
+        assert_eq!((totals.hits, totals.evictions), (1, 0));
+        // g1's one miss (the 99 probe) + the g2 probe just above.
+        assert_eq!(totals.misses, 2);
+
+        // A worker still holding g1 keeps serving the old snapshot.
+        assert_eq!(g1.store.len(), 4);
     }
 
     /// Parity across the serial-fallback seam: a batch below

@@ -1,0 +1,194 @@
+//! Read/write boundary independence of the binary protocol.
+//!
+//! The event-loop server reads whatever the kernel hands it — a frame
+//! can arrive glued to its neighbor, split mid-header, or one byte at a
+//! time — and its responses are flushed in whatever chunks the socket
+//! accepts. These properties pin the decoder-side contract both
+//! directions: **any** chunking of a valid frame stream decodes to
+//! exactly the frames that whole-buffer decoding yields, in order, with
+//! nothing invented at the seams. This is the pure-function core of the
+//! chaos harness's split-writes behavior.
+
+use geo_model::ip::{Ipv4, Prefix24};
+use geo_serve::proto::{
+    self, encode_error, encode_request, try_decode_request, try_decode_response, Decoded, Opcode,
+    Request, Response, ResponseWriter,
+};
+use proptest::prelude::*;
+
+/// Feeds `stream` to an incremental decoder in the given chunk sizes
+/// (cycled until the stream is exhausted), the way the server's read
+/// loop would see it, and returns every frame decoded at every step.
+fn decode_in_chunks<T, E: std::fmt::Debug>(
+    stream: &[u8],
+    chunks: &[usize],
+    decode: impl Fn(&[u8]) -> Result<Decoded<T>, E>,
+) -> Vec<T> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut consumed = 0;
+    let mut out = Vec::new();
+    let mut fed = 0;
+    let mut chunk_idx = 0;
+    while fed < stream.len() {
+        let take = chunks
+            .get(chunk_idx % chunks.len())
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, stream.len() - fed);
+        chunk_idx += 1;
+        buf.extend_from_slice(&stream[fed..fed + take]);
+        fed += take;
+        while let Decoded::Frame(item, used) =
+            decode(&buf[consumed..]).expect("valid stream never errors")
+        {
+            out.push(item);
+            consumed += used;
+        }
+    }
+    assert_eq!(consumed, buf.len(), "no bytes may linger after the stream");
+    out
+}
+
+/// Whole-buffer reference decode.
+fn decode_whole<T, E: std::fmt::Debug>(
+    stream: &[u8],
+    decode: impl Fn(&[u8]) -> Result<Decoded<T>, E>,
+) -> Vec<T> {
+    let mut consumed = 0;
+    let mut out = Vec::new();
+    while consumed < stream.len() {
+        match decode(&stream[consumed..]).expect("valid stream never errors") {
+            Decoded::Frame(item, used) => {
+                out.push(item);
+                consumed += used;
+            }
+            Decoded::NeedMore => panic!("whole valid stream must decode completely"),
+        }
+    }
+    out
+}
+
+fn request_stream(batches: &[(bool, Vec<u32>)]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for (nearest, raw) in batches {
+        let ips: Vec<Ipv4> = raw.iter().map(|&r| Ipv4(r)).collect();
+        let opcode = if *nearest {
+            Opcode::Nearest
+        } else {
+            Opcode::Locate
+        };
+        encode_request(&mut stream, opcode, &ips).expect("small batches always encode");
+    }
+    stream
+}
+
+fn response_stream(frames: &[(u8, Vec<u32>)]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for (kind, raw) in frames {
+        match kind % 3 {
+            0 => {
+                let w = ResponseWriter::begin(&mut stream, Opcode::Locate);
+                for &r in raw {
+                    w.push_record(
+                        &mut stream,
+                        &proto::LocateRecord {
+                            hit: r % 2 == 0,
+                            prefix: Prefix24(r & 0x00FF_FFFF),
+                            lat_bits: if r % 2 == 0 { u64::from(r) << 20 } else { 0 },
+                            lon_bits: if r % 2 == 0 { u64::from(r) << 10 } else { 0 },
+                            method: if r % 2 == 0 { (r % 5) as u8 } else { 0 },
+                            distance: if r % 2 == 0 { r % 97 } else { 0 },
+                            confidence_bits: 0,
+                        },
+                    );
+                }
+                w.finish(&mut stream);
+            }
+            1 => {
+                let w = ResponseWriter::begin(&mut stream, Opcode::Stats);
+                w.push_stats(
+                    &mut stream,
+                    &proto::StatsRecord {
+                        entries: u64::from(raw.first().copied().unwrap_or(0)),
+                        hits: raw.len() as u64,
+                        misses: 3,
+                        connections: 9,
+                    },
+                );
+                w.finish(&mut stream);
+            }
+            _ => encode_error(&mut stream, Opcode::Locate, "synthetic refusal"),
+        }
+        // A miss record's hit byte must stay 0/1; the generator above
+        // only emits valid records, mirroring the server's encoder.
+    }
+    stream
+}
+
+proptest! {
+    /// Requests: every chunking — including pathological 1-byte reads —
+    /// decodes the identical frame sequence.
+    #[test]
+    fn request_decode_is_chunking_invariant(
+        batches in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(any::<u32>(), 0..9)),
+            1..7,
+        ),
+        chunks in prop::collection::vec(1usize..23, 1..12),
+    ) {
+        let stream = request_stream(&batches);
+        let whole: Vec<Request> = decode_whole(&stream, try_decode_request);
+        prop_assert_eq!(whole.len(), batches.len());
+        let split = decode_in_chunks(&stream, &chunks, try_decode_request);
+        prop_assert_eq!(&split, &whole);
+        let byte_by_byte = decode_in_chunks(&stream, &[1], try_decode_request);
+        prop_assert_eq!(&byte_by_byte, &whole);
+    }
+
+    /// Responses: a pipelined reply stream reassembles identically under
+    /// arbitrary write splits, so a client (or the chaos harness's
+    /// digest) can never observe the server's flush boundaries.
+    #[test]
+    fn response_reassembly_is_chunking_invariant(
+        frames in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u32>(), 0..9)),
+            1..7,
+        ),
+        chunks in prop::collection::vec(1usize..23, 1..12),
+    ) {
+        let stream = response_stream(&frames);
+        let whole: Vec<Response> = decode_whole(&stream, try_decode_response);
+        prop_assert_eq!(whole.len(), frames.len());
+        let split = decode_in_chunks(&stream, &chunks, try_decode_response);
+        prop_assert_eq!(&split, &whole);
+        let byte_by_byte = decode_in_chunks(&stream, &[1], try_decode_response);
+        prop_assert_eq!(&byte_by_byte, &whole);
+    }
+
+    /// A truncated tail never yields a frame the full stream would not:
+    /// cutting the stream anywhere loses at most the unfinished suffix.
+    #[test]
+    fn truncation_is_a_clean_prefix_of_the_full_decode(
+        batches in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(any::<u32>(), 0..5)),
+            1..5,
+        ),
+        cut in any::<u64>(),
+    ) {
+        let stream = request_stream(&batches);
+        let whole: Vec<Request> = decode_whole(&stream, try_decode_request);
+        let cut_at = (cut % stream.len() as u64) as usize;
+        // Decode greedily from the truncated stream.
+        let mut consumed = 0;
+        let mut got = Vec::new();
+        loop {
+            match try_decode_request(&stream[consumed..cut_at]) {
+                Ok(Decoded::Frame(req, used)) => { got.push(req); consumed += used; }
+                Ok(Decoded::NeedMore) => break,
+                Err(e) => { prop_assert!(false, "truncation errored: {e}"); break; }
+            }
+        }
+        prop_assert!(got.len() <= whole.len());
+        prop_assert_eq!(&got[..], &whole[..got.len()]);
+    }
+}
