@@ -77,6 +77,7 @@ const ATTACK_LIMITS: ServeLimits = ServeLimits {
     read_timeout_ms: 200,
     write_timeout_ms: 200,
     drain_grace_ms: 100,
+    reload_min_interval_ms: 1_000,
 };
 
 /// A deterministic counter stream in the `KeyRng` style: every value is

@@ -111,6 +111,12 @@ pub struct ServeLimits {
     /// How long a drain shutdown waits for in-flight connections before
     /// evicting the stragglers.
     pub drain_grace_ms: u64,
+    /// Minimum clock time between accepted `RELOAD` commands. A reload
+    /// discards every generation's warm cache and costs a full snapshot
+    /// read from disk, so the admin command is rate-limited: a RELOAD
+    /// inside the window is refused with `ERR reload: rate-limited`
+    /// instead of thrashing the serve path.
+    pub reload_min_interval_ms: u64,
 }
 
 impl Default for ServeLimits {
@@ -122,6 +128,7 @@ impl Default for ServeLimits {
             read_timeout_ms: 10_000,
             write_timeout_ms: 10_000,
             drain_grace_ms: 2_000,
+            reload_min_interval_ms: 1_000,
         }
     }
 }

@@ -11,7 +11,7 @@
 //!   magic      u8        0xB7 (never a printable ASCII command byte,
 //!                         so one connection can speak either protocol:
 //!                         the first byte picks the mode)
-//!   version    u8        protocol revision (currently 2)
+//!   version    u8        protocol revision (currently 3)
 //!   opcode     u8        1 = LOCATE, 2 = NEAREST, 3 = STATS
 //!   reserved   u8        0
 //!   body_len   u32 LE    payload bytes (≤ MAX_BODY)
@@ -21,15 +21,16 @@
 //!
 //! response frame
 //!   magic      u8        0xB8
-//!   version    u8        2
+//!   version    u8        3
 //!   opcode     u8        echo of the request opcode
 //!   status     u8        0 = ok, 1 = error (body is a UTF-8 message),
 //!                        2 = busy (server shedding load; empty body,
 //!                        connection closes after the frame)
 //!   body_len   u32 LE
 //!   body                 LOCATE/NEAREST: body_len/34 × record
-//!                        STATS: 4 × u64 LE (entries, hits, misses,
-//!                        connections)
+//!                        STATS: 10 × u64 LE (entries, hits, misses,
+//!                        connections, generation, live, shed,
+//!                        evicted, proto_errors, reload_failed)
 //!   checksum   u64 LE    FNV-1a over every byte above
 //!
 //! location record (34 bytes)
@@ -45,7 +46,11 @@
 //! ```
 //!
 //! Protocol revision 2 widened the record with the confidence column;
-//! version-1 frames are rejected with `BadVersion`.
+//! revision 3 widened the STATS body with the robustness counters
+//! (generation, live, shed, evicted, proto_errors, reload_failed) so
+//! binary ops tooling observes shedding and evictions with the same
+//! fidelity as the text `STATS` line. Older-revision frames are
+//! rejected with `BadVersion`.
 //!
 //! Responses to a batch preserve query order, one record per queried
 //! address; frames on one connection are answered in arrival order. Both
@@ -70,8 +75,9 @@ use std::net::TcpStream;
 pub const REQ_MAGIC: u8 = 0xB7;
 /// First byte of every response frame.
 pub const RESP_MAGIC: u8 = 0xB8;
-/// Current protocol revision (2: confidence column in location records).
-pub const PROTO_VERSION: u8 = 2;
+/// Current protocol revision (3: robustness counters in the STATS body;
+/// 2 added the confidence column in location records).
+pub const PROTO_VERSION: u8 = 3;
 /// Fixed byte length of a frame header (either direction).
 pub const HEADER_LEN: usize = 8;
 /// Byte length of the trailing checksum.
@@ -82,6 +88,8 @@ pub const CHECKSUM_LEN: usize = 8;
 pub const MAX_BODY: usize = 256 * 1024;
 /// Byte length of one location record in a response body.
 pub const RECORD_LEN: usize = 34;
+/// Byte length of a STATS response body (10 × u64 LE).
+pub const STATS_BODY_LEN: usize = 80;
 /// Response status byte: the request was answered.
 pub const STATUS_OK: u8 = 0;
 /// Response status byte: the frame was rejected (body is the message).
@@ -257,7 +265,9 @@ impl LocateRecord {
     }
 }
 
-/// Server counters as carried by a STATS response.
+/// Server counters as carried by a STATS response. Revision 3 carries
+/// every monotonic counter the text `STATS` line reports (wall-clock
+/// derived figures — uptime, qps — are deliberately text-only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsRecord {
     /// Prefixes in the served snapshot.
@@ -268,6 +278,18 @@ pub struct StatsRecord {
     pub misses: u64,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Live snapshot generation number (increments on every reload).
+    pub generation: u64,
+    /// Connections currently registered.
+    pub live: u64,
+    /// Connections answered `BUSY` over a connection cap.
+    pub shed: u64,
+    /// Forced closes, all eviction reasons summed.
+    pub evicted: u64,
+    /// Malformed binary frames answered with a typed error.
+    pub proto_errors: u64,
+    /// Background `RELOAD` loads that failed (generation unchanged).
+    pub reload_failed: u64,
 }
 
 /// A decoded response frame.
@@ -421,7 +443,7 @@ pub fn try_decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtoError> 
                     body_len,
                 })
             }
-            Opcode::Stats if body_len != 32 => {
+            Opcode::Stats if body_len != STATS_BODY_LEN => {
                 return Err(ProtoError::BadBodyLen {
                     opcode: op_byte,
                     body_len,
@@ -457,6 +479,12 @@ pub fn try_decode_response(buf: &[u8]) -> Result<Decoded<Response>, ProtoError> 
             hits: read_u64(body, 8),
             misses: read_u64(body, 16),
             connections: read_u64(body, 24),
+            generation: read_u64(body, 32),
+            live: read_u64(body, 40),
+            shed: read_u64(body, 48),
+            evicted: read_u64(body, 56),
+            proto_errors: read_u64(body, 64),
+            reload_failed: read_u64(body, 72),
         }),
         Opcode::Locate | Opcode::Nearest => {
             let mut records = Vec::with_capacity(body_len / RECORD_LEN);
@@ -549,6 +577,12 @@ impl ResponseWriter {
         out.extend_from_slice(&stats.hits.to_le_bytes());
         out.extend_from_slice(&stats.misses.to_le_bytes());
         out.extend_from_slice(&stats.connections.to_le_bytes());
+        out.extend_from_slice(&stats.generation.to_le_bytes());
+        out.extend_from_slice(&stats.live.to_le_bytes());
+        out.extend_from_slice(&stats.shed.to_le_bytes());
+        out.extend_from_slice(&stats.evicted.to_le_bytes());
+        out.extend_from_slice(&stats.proto_errors.to_le_bytes());
+        out.extend_from_slice(&stats.reload_failed.to_le_bytes());
     }
 
     /// Patches `body_len`, appends the checksum, and seals the frame.
@@ -764,6 +798,12 @@ mod tests {
             hits: 1000,
             misses: 7,
             connections: 12,
+            generation: 3,
+            live: 5,
+            shed: 2,
+            evicted: 4,
+            proto_errors: 1,
+            reload_failed: 6,
         };
         let mut buf = Vec::new();
         let w = ResponseWriter::begin(&mut buf, Opcode::Stats);

@@ -20,7 +20,8 @@
 //! STATS          -> OK entries=.. hits=.. misses=.. connections=..
 //!                      uptime_s=.. qps=.. generation=.. live=..
 //!                      shed=.. evicted=.. proto_errors=..
-//! RELOAD         -> OK generation=<n> entries=<m>         swaps in a fresh snapshot
+//!                      reload_failed=..
+//! RELOAD         -> OK reload=scheduled generation=<n>    schedules a snapshot re-read
 //! QUIT           -> BYE                                   closes the connection
 //! anything else  -> ERR <reason>
 //! ```
@@ -48,7 +49,14 @@
 //! - live snapshot reload: workers serve through a generation-tagged
 //!   [`StoreHandle`] and refresh with one atomic load per sweep, so
 //!   `RELOAD` (or [`QueryServer::reload`]) swaps snapshots without
-//!   dropping a single in-flight connection;
+//!   dropping a single in-flight connection. The `RELOAD` command is
+//!   deliberately constrained: it only re-reads the operator-configured
+//!   path, the snapshot load runs on a short-lived background thread
+//!   (never stalling the event loop), at most one load runs at a time,
+//!   and accepts are rate-limited by
+//!   [`ServeLimits::reload_min_interval_ms`] — the listener binds
+//!   loopback only, and even a local client cannot thrash the disk or
+//!   churn the warm caches;
 //! - graceful drain ([`QueryServer::shutdown_drain`]): stop accepting,
 //!   finish in-flight work up to [`ServeLimits::drain_grace_ms`], then
 //!   evict stragglers with a typed farewell;
@@ -147,6 +155,7 @@ pub struct ServeStats {
     evicted_too_large: AtomicU64,
     evicted_drain: AtomicU64,
     proto_errors: AtomicU64,
+    reload_failed: AtomicU64,
     started: Instant,
 }
 
@@ -175,6 +184,9 @@ pub struct StatsSnapshot {
     pub evicted_drain: u64,
     /// Malformed binary frames answered with a typed error.
     pub proto_errors: u64,
+    /// Background `RELOAD` snapshot loads that failed (the serving
+    /// generation did not advance).
+    pub reload_failed: u64,
     /// Seconds since the server started.
     pub uptime_s: f64,
 }
@@ -221,6 +233,7 @@ impl ServeStats {
             evicted_too_large: AtomicU64::new(0),
             evicted_drain: AtomicU64::new(0),
             proto_errors: AtomicU64::new(0),
+            reload_failed: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -239,6 +252,7 @@ impl ServeStats {
             evicted_too_large: self.evicted_too_large.load(Ordering::Relaxed),
             evicted_drain: self.evicted_drain.load(Ordering::Relaxed),
             proto_errors: self.proto_errors.load(Ordering::Relaxed),
+            reload_failed: self.reload_failed.load(Ordering::Relaxed),
             uptime_s: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -271,6 +285,21 @@ struct DrainState {
     since: AtomicU64,
 }
 
+/// Single-flight and rate-limit state for the `RELOAD` admin command.
+/// The command is deliberately narrow: it only re-reads the configured
+/// snapshot path (a client can never name a file), at most one load
+/// runs at a time, and accepts are spaced at least
+/// [`ServeLimits::reload_min_interval_ms`] apart — so a hostile client
+/// on the loopback listener cannot thrash the disk or churn the warm
+/// per-generation cache faster than the operator allowed.
+#[derive(Debug, Default)]
+struct ReloadState {
+    /// A background snapshot load is in flight.
+    busy: Arc<AtomicBool>,
+    /// `tick + 1` of the last accepted `RELOAD` (0 = never accepted).
+    last_accept: AtomicU64,
+}
+
 /// Everything one worker needs to answer queries; shared by `Arc`.
 struct Serving {
     handle: Arc<StoreHandle>,
@@ -281,6 +310,7 @@ struct Serving {
     /// Where `RELOAD` re-reads the snapshot from; `None` refuses the
     /// command (in-memory stores reload via [`QueryServer::reload`]).
     snapshot_path: Option<PathBuf>,
+    reload: ReloadState,
 }
 
 impl Serving {
@@ -324,7 +354,8 @@ impl Serving {
                 (
                     format!(
                         "OK entries={} hits={} misses={} connections={} uptime_s={:.3} \
-                         qps={:.1} generation={} live={} shed={} evicted={} proto_errors={}",
+                         qps={:.1} generation={} live={} shed={} evicted={} proto_errors={} \
+                         reload_failed={}",
                         g.store.len(),
                         s.hits,
                         s.misses,
@@ -339,27 +370,75 @@ impl Serving {
                         s.shed,
                         s.evicted_total(),
                         s.proto_errors,
+                        s.reload_failed,
                     ),
                     false,
                 )
             }
-            Some("RELOAD") => match &self.snapshot_path {
-                Some(path) => match DatasetStore::open(path) {
-                    Ok(fresh) => {
-                        let entries = fresh.len();
-                        let number = self.handle.install(Arc::new(fresh));
-                        (format!("OK generation={number} entries={entries}"), false)
-                    }
-                    Err(e) => (format!("ERR reload: {e}"), false),
-                },
-                None => ("ERR reload: no snapshot path configured".into(), false),
-            },
+            Some("RELOAD") => (self.schedule_reload(), false),
             Some("QUIT") => ("BYE".into(), true),
             Some(other) => (
                 format!("ERR unknown command `{other}` (LOCATE|NEAREST|STATS|RELOAD|QUIT)"),
                 false,
             ),
             None => ("ERR empty command".into(), false),
+        }
+    }
+
+    /// Handles the `RELOAD` admin command: validates the gate (path
+    /// configured, rate limit, single-flight), then hands the snapshot
+    /// read to a short-lived background thread so the event-loop worker
+    /// never stalls on disk — every other connection on this worker
+    /// keeps being swept while the load runs. The reply is immediate;
+    /// the swap surfaces in `STATS generation=` once the load lands
+    /// (failures land in the `reload_failed` counter instead).
+    fn schedule_reload(&self) -> String {
+        let Some(path) = &self.snapshot_path else {
+            return "ERR reload: no snapshot path configured".into();
+        };
+        let now = self.clock.now();
+        let last = self.reload.last_accept.load(Ordering::Acquire);
+        let min = self.limits.reload_min_interval_ms;
+        if last != 0 && now.saturating_sub(last - 1) < min {
+            return format!("ERR reload: rate-limited (at most one reload per {min}ms)");
+        }
+        if self
+            .reload
+            .busy
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return "ERR reload: a reload is already in progress".into();
+        }
+        self.reload.last_accept.store(now + 1, Ordering::Release);
+        // Read before the spawn: the loader may install the next
+        // generation before the reply line is even formatted.
+        let scheduled_from = self.handle.generation();
+        let handle = Arc::clone(&self.handle);
+        let stats = Arc::clone(&self.stats);
+        let busy = Arc::clone(&self.reload.busy);
+        let path = path.clone();
+        // Not a per-connection thread (R4's concern): one single-flight
+        // loader for an operator command, named for debuggability.
+        let spawned = std::thread::Builder::new()
+            .name("igds-reload".into())
+            .spawn(move || {
+                match DatasetStore::open(&path) {
+                    Ok(fresh) => {
+                        handle.install(Arc::new(fresh));
+                    }
+                    Err(_) => {
+                        stats.reload_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                busy.store(false, Ordering::Release);
+            });
+        match spawned {
+            Ok(_) => format!("OK reload=scheduled generation={scheduled_from}"),
+            Err(e) => {
+                self.reload.busy.store(false, Ordering::Release);
+                format!("ERR reload: {e}")
+            }
         }
     }
 
@@ -478,6 +557,14 @@ impl Serving {
                         hits: s.hits,
                         misses: s.misses,
                         connections: s.connections,
+                        // Freshest generation for the same reason the
+                        // text STATS line reads it off the handle.
+                        generation: self.handle.generation(),
+                        live: s.live,
+                        shed: s.shed,
+                        evicted: s.evicted_total(),
+                        proto_errors: s.proto_errors,
+                        reload_failed: s.reload_failed,
                     },
                 );
                 w.finish(out);
@@ -588,12 +675,13 @@ fn sweep_conn(
 ) -> Sweep {
     let mut io_moved = false;
     let mut completed = false;
+    let mut saw_eof = false;
 
     // Read phase — skipped while the client is not draining its answers.
     while !conn.closing && conn.backlog() < WRITE_HIGH_WATER && conn.inbuf.len() < MAX_INBUF {
         match conn.stream.read(scratch) {
             Ok(0) => {
-                conn.closing = true;
+                saw_eof = true;
                 break;
             }
             Ok(n) => {
@@ -636,7 +724,14 @@ fn sweep_conn(
         }
         conn.inbuf.clear();
         conn.parsed = 0;
-    } else {
+    } else if !conn.closing {
+        // Gated on `closing` exactly like the read phase: once a
+        // protocol error, oversized line, or QUIT has set `closing`,
+        // the remaining input is never re-interpreted. Without the gate
+        // a connection whose backlog cannot flush (slow reader) would
+        // re-parse the same bytes every sweep — double-counting
+        // proto_errors / evictions and appending a duplicate error
+        // reply per sweep until the write deadline fires.
         match conn.mode {
             Mode::Undecided => {}
             Mode::Binary => loop {
@@ -695,6 +790,20 @@ fn sweep_conn(
                 }
             },
         }
+    }
+    // EOF turns into `closing` only *after* the parse phase, so requests
+    // that arrived with (or before) the client's FIN are still answered
+    // and flushed; from the next sweep on the gate above keeps the
+    // leftover bytes (a partial frame, input after QUIT) uninterpreted.
+    if saw_eof {
+        conn.closing = true;
+    }
+    if conn.closing {
+        // The gate above means unparsed input on a closing connection
+        // can never be interpreted — don't hold it while the farewell
+        // backlog drains.
+        conn.inbuf.clear();
+        conn.parsed = 0;
     }
     conn.compact();
 
@@ -959,6 +1068,7 @@ impl QueryServer {
             clock: config.clock,
             drain: DrainState::default(),
             snapshot_path: config.snapshot_path,
+            reload: ReloadState::default(),
         });
         let root = Poller::new();
         let waker = root.waker();
@@ -1096,6 +1206,7 @@ mod tests {
             clock: ServeClock::wall(),
             drain: DrainState::default(),
             snapshot_path: None,
+            reload: ReloadState::default(),
         };
         (serving, g)
     }
@@ -1134,7 +1245,7 @@ mod tests {
         assert!(stats_line.contains(" generation=1 "), "{stats_line}");
         assert!(stats_line.contains(" shed=0 "), "{stats_line}");
         assert!(
-            stats_line.ends_with(" evicted=0 proto_errors=0"),
+            stats_line.ends_with(" evicted=0 proto_errors=0 reload_failed=0"),
             "{stats_line}"
         );
         assert_eq!(respond("QUIT"), ("BYE".into(), true));
@@ -1212,6 +1323,12 @@ mod tests {
         };
         assert_eq!(s.entries, 2);
         assert_eq!(s.hits + s.misses, 3);
+        // Revision 3: the robustness counters ride in the binary STATS
+        // body too, so ops tooling on this protocol sees shedding and
+        // evictions with text-line fidelity.
+        assert_eq!(s.generation, 1);
+        assert!(s.live >= 1, "live={}", s.live);
+        assert_eq!((s.shed, s.evicted, s.proto_errors, s.reload_failed), (0, 0, 0, 0));
 
         // A line-protocol client still works on the very same port.
         let reply = query_one(&addr, "LOCATE 10.10.10.1").unwrap();
@@ -1236,6 +1353,141 @@ mod tests {
         assert!(matches!(resp, Response::Error(msg) if msg.contains("budget")));
         assert!(eventually(|| server.stats().proto_errors == 1));
         server.shutdown();
+    }
+
+    /// A nonblocking socket pair: the accepted end wrapped as a [`Conn`]
+    /// for driving [`sweep_conn`] directly, plus the client end.
+    fn conn_pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        server_end.set_nonblocking(true).unwrap();
+        (Conn::new(server_end, 0, false), client)
+    }
+
+    /// Regression: a malformed frame on a connection whose backlog
+    /// cannot flush must be counted and answered exactly once — before
+    /// the `closing` parse gate, every sweep re-parsed the same bytes,
+    /// re-counting proto_errors and appending a duplicate error frame
+    /// until the write deadline fired.
+    #[test]
+    fn stuck_backlog_never_reparses_a_malformed_frame() {
+        let (serving, g) = test_serving(store());
+        let (mut conn, mut client) = conn_pair();
+        // A backlog far past the socket buffers keeps the connection in
+        // the closing-but-unflushed state the re-parse bug needed.
+        conn.out = vec![0u8; 3 * 1024 * 1024];
+        let mut frame = vec![proto::REQ_MAGIC, proto::PROTO_VERSION, 1, 0];
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        client.write_all(&frame).unwrap();
+
+        let mut scratch = vec![0u8; READ_CHUNK];
+        let mut progress = false;
+        assert!(eventually(|| {
+            sweep_conn(&serving, &g, &mut conn, &mut scratch, &mut progress, 0, false);
+            serving.stats.snapshot().proto_errors >= 1
+        }));
+        assert!(conn.closing);
+        // The malformed bytes are behind the gate now: further sweeps
+        // with the backlog still stuck add nothing.
+        assert!(conn.inbuf.is_empty(), "unparsed bytes kept: {}", conn.inbuf.len());
+        let queued = conn.out.len();
+        for _ in 0..50 {
+            sweep_conn(&serving, &g, &mut conn, &mut scratch, &mut progress, 0, false);
+        }
+        assert_eq!(serving.stats.snapshot().proto_errors, 1);
+        assert_eq!(conn.out.len(), queued, "duplicate error frames appended");
+    }
+
+    /// Input pipelined after QUIT is never interpreted, no matter how
+    /// many sweeps the farewell takes to flush — the answered stream
+    /// stays a pure function of the request stream, not of flush timing.
+    #[test]
+    fn input_after_quit_is_not_interpreted() {
+        let (serving, g) = test_serving(store());
+        let (mut conn, mut client) = conn_pair();
+        conn.out = vec![0u8; 3 * 1024 * 1024];
+        client.write_all(b"QUIT\nLOCATE 10.10.10.1\n").unwrap();
+
+        let mut scratch = vec![0u8; READ_CHUNK];
+        let mut progress = false;
+        assert!(eventually(|| {
+            sweep_conn(&serving, &g, &mut conn, &mut scratch, &mut progress, 0, false);
+            conn.closing
+        }));
+        for _ in 0..50 {
+            sweep_conn(&serving, &g, &mut conn, &mut scratch, &mut progress, 0, false);
+        }
+        let s = serving.stats.snapshot();
+        assert_eq!((s.hits, s.misses), (0, 0), "a post-QUIT command was answered");
+    }
+
+    #[test]
+    fn reload_command_is_async_and_rate_limited() {
+        let path = std::env::temp_dir().join(format!(
+            "igds-reload-test-{}.igds",
+            std::process::id()
+        ));
+        let fresh = vec![DatasetEntry {
+            prefix: Prefix24(0x0B0B0B),
+            location: GeoPoint::new(1.0, 2.0),
+            evidence: Evidence::Whois,
+        }];
+        std::fs::write(&path, crate::format::encode(&fresh, 5, 5)).unwrap();
+
+        let (clock, handle) = ServeClock::manual();
+        let config = ServeConfig {
+            workers: 1,
+            limits: ServeLimits {
+                reload_min_interval_ms: 500,
+                ..ServeLimits::default()
+            },
+            clock,
+            snapshot_path: Some(path.clone()),
+        };
+        let server = QueryServer::spawn_with_config(Arc::new(store()), 0, config).unwrap();
+        let addr = server.addr().to_string();
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = |cmd: &str| {
+            w.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+
+        // The reply is immediate — the snapshot load runs off the event
+        // loop — and the swap lands in the background.
+        assert_eq!(line("RELOAD"), "OK reload=scheduled generation=1");
+        assert!(eventually(|| server.generation() == 2));
+        // The same connection answers from the new snapshot.
+        assert!(eventually(|| {
+            line("LOCATE 11.11.11.1").starts_with("OK 11.11.11.0/24")
+        }));
+
+        // Inside the rate window a second RELOAD is refused...
+        assert!(
+            line("RELOAD").starts_with("ERR reload: rate-limited"),
+            "rate limit did not hold"
+        );
+        assert_eq!(server.generation(), 2);
+        // ...and accepted again once the clock clears it.
+        handle.advance(500);
+        assert_eq!(line("RELOAD"), "OK reload=scheduled generation=2");
+        assert!(eventually(|| server.generation() == 3));
+        assert_eq!(server.stats().reload_failed, 0);
+
+        // An unreadable snapshot fails in the background: the counter
+        // moves, the serving generation does not.
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        handle.advance(500);
+        assert!(line("RELOAD").starts_with("OK reload=scheduled"));
+        assert!(eventually(|| server.stats().reload_failed == 1));
+        assert_eq!(server.generation(), 3);
+
+        server.shutdown();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

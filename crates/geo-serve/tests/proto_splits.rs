@@ -113,6 +113,12 @@ fn response_stream(frames: &[(u8, Vec<u32>)]) -> Vec<u8> {
                         hits: raw.len() as u64,
                         misses: 3,
                         connections: 9,
+                        generation: u64::from(raw.last().copied().unwrap_or(0)) + 1,
+                        live: raw.len() as u64 + 1,
+                        shed: 2,
+                        evicted: 5,
+                        proto_errors: 1,
+                        reload_failed: 0,
                     },
                 );
                 w.finish(&mut stream);
